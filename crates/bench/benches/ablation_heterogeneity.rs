@@ -1,0 +1,45 @@
+//! Ablation A1: heterogeneous organizations vs homogeneous equivalents.
+//!
+//! Prints the regenerated ablation table (analytical latency of the paper's Org A / B
+//! against homogeneous systems of matching size) and measures the evaluation cost of
+//! the heterogeneous model against the homogeneous baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcnet_bench::{model_latency, traffic};
+use mcnet_experiments::ablations::heterogeneity_ablation;
+use mcnet_system::organizations;
+
+fn bench_heterogeneity(c: &mut Criterion) {
+    for (name, system, max_rate) in [
+        ("Org A", organizations::table1_org_a(), 4.5e-4),
+        ("Org B", organizations::table1_org_b(), 9.0e-4),
+    ] {
+        let ab = heterogeneity_ablation(&system, 32, 256.0, max_rate, 5).expect("ablation");
+        println!("\n## {name}: heterogeneous vs homogeneous (analysis)");
+        println!("| λ_g | heterogeneous | homogeneous |");
+        println!("|---|---|---|");
+        for p in &ab.points {
+            let fmt = |v: Option<f64>| v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "sat".into());
+            println!("| {:.2e} | {} | {} |", p.rate, fmt(p.heterogeneous), fmt(p.homogeneous));
+        }
+    }
+
+    let mut group = c.benchmark_group("heterogeneity_ablation");
+    let hetero = organizations::table1_org_b();
+    let homo = organizations::homogeneous_equivalent(&hetero).unwrap();
+    let t = traffic(32, 256.0, 4e-4);
+    group.bench_with_input(BenchmarkId::new("evaluate", "heterogeneous"), &hetero, |b, s| {
+        b.iter(|| std::hint::black_box(model_latency(s, &t)))
+    });
+    group.bench_with_input(BenchmarkId::new("evaluate", "homogeneous"), &homo, |b, s| {
+        b.iter(|| std::hint::black_box(model_latency(s, &t)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_heterogeneity
+}
+criterion_main!(benches);

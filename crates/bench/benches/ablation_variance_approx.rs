@@ -1,0 +1,54 @@
+//! Ablation A2: effect of the Draper–Ghosh service-time variance approximation
+//! (Eq. 22) on the predicted latency, across the load range of Org A / M = 32.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcnet_bench::traffic;
+use mcnet_experiments::ablations::variance_ablation;
+use mcnet_model::{AnalyticalModel, ModelOptions};
+use mcnet_system::organizations;
+
+fn bench_variance(c: &mut Criterion) {
+    let system = organizations::table1_org_a();
+    println!("\n## Draper–Ghosh variance ablation (Org A, M=32, Lm=256)");
+    println!("| λ_g | with variance (Eq. 22) | without variance (M/D/1) |");
+    println!("|---|---|---|");
+    for rate in [1e-4, 2e-4, 3e-4, 4e-4] {
+        let t = traffic(32, 256.0, rate);
+        match variance_ablation(&system, &t) {
+            Ok(v) => println!(
+                "| {:.1e} | {:.1} | {:.1} |",
+                rate, v.with_variance, v.without_variance
+            ),
+            Err(_) => println!("| {rate:.1e} | saturated | saturated |"),
+        }
+    }
+
+    let t = traffic(32, 256.0, 3e-4);
+    let mut group = c.benchmark_group("variance_ablation");
+    group.bench_function("with_draper_ghosh", |b| {
+        b.iter(|| {
+            let m =
+                AnalyticalModel::with_options(&system, &t, ModelOptions::default()).unwrap();
+            std::hint::black_box(m.total_latency())
+        })
+    });
+    group.bench_function("without_variance", |b| {
+        b.iter(|| {
+            let m = AnalyticalModel::with_options(
+                &system,
+                &t,
+                ModelOptions::default().without_variance(),
+            )
+            .unwrap();
+            std::hint::black_box(m.total_latency())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_variance
+}
+criterion_main!(benches);

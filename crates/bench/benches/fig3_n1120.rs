@@ -1,0 +1,45 @@
+//! Fig. 3: mean message latency vs offered traffic for organization A
+//! (N = 1120, m = 8), M ∈ {32, 64} flits, L_m ∈ {256, 512} bytes.
+//!
+//! The bench prints the regenerated analysis-vs-simulation table once (quick effort)
+//! and then measures the cost of the analytical sweep for each panel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcnet_bench::{model_latency, sweep_fractions, traffic};
+use mcnet_experiments::figures::figure3;
+use mcnet_experiments::report::panel_to_markdown;
+use mcnet_experiments::EvaluationEffort;
+use mcnet_system::organizations;
+
+fn bench_fig3(c: &mut Criterion) {
+    // Regenerate the figure data (analysis + quick simulation) as the artifact.
+    for panel in figure3(EvaluationEffort::Quick, true, 2006).expect("figure 3") {
+        println!("\n{}", panel_to_markdown(&panel));
+    }
+
+    let system = organizations::table1_org_a();
+    let mut group = c.benchmark_group("fig3_analysis_sweep");
+    for (m, max_rate) in [(32usize, 5.0e-4), (64usize, 2.5e-4)] {
+        for lm in [256.0, 512.0] {
+            let id = format!("M{m}_Lm{lm}");
+            group.bench_with_input(BenchmarkId::new("sweep", id), &(m, lm), |b, &(m, lm)| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for f in sweep_fractions() {
+                        let t = traffic(m, lm, f * max_rate);
+                        acc += model_latency(&system, &t).unwrap_or(f64::NAN);
+                    }
+                    std::hint::black_box(acc)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3
+}
+criterion_main!(benches);

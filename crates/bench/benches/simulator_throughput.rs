@@ -1,0 +1,34 @@
+//! Substrate bench: discrete-event simulator throughput (events per second) on the
+//! small test organization and on the paper's Org B, at a moderate load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcnet_bench::traffic;
+use mcnet_sim::{run_simulation, SimConfig};
+use mcnet_system::organizations;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    for (name, system, rate) in [
+        ("small_org", organizations::small_test_org(), 2e-3),
+        ("org_b", organizations::table1_org_b(), 3e-4),
+    ] {
+        let t = traffic(32, 256.0, rate);
+        // Calibrate the event count once so Criterion can report events/second.
+        let probe = run_simulation(&system, &t, &SimConfig::quick(1)).unwrap();
+        group.throughput(Throughput::Elements(probe.events));
+        group.bench_with_input(BenchmarkId::new("quick_protocol", name), &system, |b, sys| {
+            b.iter(|| {
+                let report = run_simulation(sys, &t, &SimConfig::quick(1)).unwrap();
+                std::hint::black_box(report.events)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table 1: constructing and summarising the paper's validation organizations.
+//!
+//! Regenerates the contents of Table 1 (printed once at start-up) and measures the
+//! cost of building the organization descriptions and their full simulated fabrics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcnet_experiments::report::table1_to_markdown;
+use mcnet_experiments::table1::table1_summary;
+use mcnet_sim::fabric::Fabric;
+use mcnet_system::{organizations, TrafficConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the regenerated table so the bench run doubles as the artifact.
+    println!("\n{}", table1_to_markdown(&table1_summary()));
+
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("summarize_both_organizations", |b| {
+        b.iter(|| std::hint::black_box(table1_summary()))
+    });
+    for (name, system) in [
+        ("org_a", organizations::table1_org_a()),
+        ("org_b", organizations::table1_org_b()),
+    ] {
+        let traffic = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
+        group.bench_with_input(BenchmarkId::new("build_fabric", name), &system, |b, sys| {
+            b.iter(|| std::hint::black_box(Fabric::build(sys, &traffic).unwrap().num_channels()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! # mcnet-bench
+//!
+//! Criterion benchmarks regenerating every table and figure of the paper's evaluation
+//! plus the ablations listed in `DESIGN.md`. The benchmark *functions* live in
+//! `benches/`; this library only provides the shared helpers they use so that each
+//! bench file stays focused on its experiment.
+//!
+//! | bench target | paper artifact / ablation |
+//! |---|---|
+//! | `table1_organizations` | Table 1 |
+//! | `fig3_n1120` | Fig. 3 (both panels) |
+//! | `fig4_n544` | Fig. 4 (both panels) |
+//! | `accuracy_error` | the accuracy claim (model vs simulation) |
+//! | `ablation_heterogeneity` | A1: heterogeneous vs homogeneous organizations |
+//! | `ablation_variance_approx` | A2: Draper–Ghosh variance term |
+//! | `model_vs_sim_cost` | A3: model evaluation vs simulation cost |
+//! | `topology_routing` | substrate: route construction throughput |
+//! | `simulator_throughput` | substrate: event-processing throughput |
+
+#![warn(missing_docs)]
+
+use mcnet_model::AnalyticalModel;
+use mcnet_system::{MultiClusterSystem, TrafficConfig};
+
+/// Evaluates the analytical model at one traffic point, returning the latency or
+/// `None` when saturated — the common kernel most benches measure.
+pub fn model_latency(system: &MultiClusterSystem, traffic: &TrafficConfig) -> Option<f64> {
+    AnalyticalModel::new(system, traffic).ok()?.total_latency()
+}
+
+/// The traffic points (relative to a maximum rate) every figure bench sweeps.
+pub fn sweep_fractions() -> [f64; 5] {
+    [0.2, 0.4, 0.6, 0.8, 1.0]
+}
+
+/// Builds the uniform traffic configuration used by the benches.
+pub fn traffic(message_flits: usize, flit_bytes: f64, rate: f64) -> TrafficConfig {
+    TrafficConfig::uniform(message_flits, flit_bytes, rate).expect("valid bench traffic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnet_system::organizations;
+
+    #[test]
+    fn helpers_work() {
+        let sys = organizations::table1_org_b();
+        let t = traffic(32, 256.0, 1e-4);
+        assert!(model_latency(&sys, &t).unwrap() > 0.0);
+        assert_eq!(sweep_fractions().len(), 5);
+        let saturated = traffic(32, 256.0, 1e-2);
+        assert!(model_latency(&sys, &saturated).is_none());
+    }
+}

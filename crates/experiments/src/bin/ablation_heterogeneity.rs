@@ -1,0 +1,28 @@
+//! Ablation A1: latency of the paper's heterogeneous organizations vs homogeneous
+//! systems of equivalent size (same cluster count and port count, cluster size closest
+//! to the heterogeneous average).
+
+use mcnet_experiments::ablations::heterogeneity_ablation;
+use mcnet_system::organizations;
+
+fn main() {
+    for (name, system, max_rate) in [
+        ("Org A (N=1120, m=8)", organizations::table1_org_a(), 4.5e-4),
+        ("Org B (N=544, m=4)", organizations::table1_org_b(), 9.0e-4),
+    ] {
+        let ab = heterogeneity_ablation(&system, 32, 256.0, max_rate, 8)
+            .expect("heterogeneity ablation failed");
+        println!("## {name}");
+        println!("heterogeneous: {}", ab.heterogeneous_system);
+        println!("homogeneous equivalent: {}\n", ab.homogeneous_system);
+        println!("| λ_g | heterogeneous | homogeneous |");
+        println!("|---|---|---|");
+        for p in &ab.points {
+            let fmt = |v: Option<f64>| {
+                v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "saturated".into())
+            };
+            println!("| {:.2e} | {} | {} |", p.rate, fmt(p.heterogeneous), fmt(p.homogeneous));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,27 @@
+//! Quantifies the paper's accuracy claim: mean relative error of the analytical model
+//! against the simulation, split into steady-state and near-saturation regions, for
+//! every panel of Figs. 3 and 4.
+//!
+//! Usage: `accuracy [quick|standard|paper]`
+
+use mcnet_experiments::comparison::accuracy_report;
+use mcnet_experiments::figures::{figure3, figure4};
+use mcnet_experiments::report::accuracy_to_markdown;
+use mcnet_experiments::EvaluationEffort;
+
+fn main() {
+    let effort = match std::env::args().nth(1).as_deref() {
+        Some("quick") => EvaluationEffort::Quick,
+        Some("paper") => EvaluationEffort::Paper,
+        _ => EvaluationEffort::Standard,
+    };
+    eprintln!("# Model-vs-simulation accuracy (effort: {effort:?})");
+
+    let mut panels = figure3(effort, true, 2006).expect("figure 3 evaluation failed");
+    panels.extend(figure4(effort, true, 2006).expect("figure 4 evaluation failed"));
+
+    for panel in &panels {
+        let acc = accuracy_report(panel, 0.7);
+        println!("{}", accuracy_to_markdown(&panel.title, &acc));
+    }
+}

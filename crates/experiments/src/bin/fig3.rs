@@ -1,0 +1,31 @@
+//! Regenerates the paper's Fig. 3: mean message latency vs offered traffic for
+//! organization A (N = 1120, m = 8), M ∈ {32, 64} flits, L_m ∈ {256, 512} bytes,
+//! analysis and simulation.
+//!
+//! Usage: `fig3 [quick|standard|paper] [--no-sim] [--csv]`
+
+use mcnet_experiments::figures::figure3;
+use mcnet_experiments::report::{panel_to_csv, panel_to_markdown};
+use mcnet_experiments::EvaluationEffort;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = match args.iter().map(String::as_str).find(|a| !a.starts_with("--")) {
+        Some("quick") => EvaluationEffort::Quick,
+        Some("paper") => EvaluationEffort::Paper,
+        _ => EvaluationEffort::Standard,
+    };
+    let run_sims = !args.iter().any(|a| a == "--no-sim");
+    let csv = args.iter().any(|a| a == "--csv");
+
+    eprintln!("# Fig. 3 reproduction (effort: {effort:?}, simulation: {run_sims})");
+    let panels = figure3(effort, run_sims, 2006).expect("figure 3 evaluation failed");
+    for panel in &panels {
+        if csv {
+            println!("# {}", panel.title);
+            print!("{}", panel_to_csv(panel));
+        } else {
+            println!("{}", panel_to_markdown(panel));
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Table 1 (the validation system organizations), extended
+//! with derived quantities (switch counts, ICN2 arity) recomputed from Eqs. 1–2.
+
+use mcnet_experiments::report::table1_to_markdown;
+use mcnet_experiments::table1::table1_summary;
+
+fn main() {
+    println!("# Table 1: system organizations for validation\n");
+    println!("{}", table1_to_markdown(&table1_summary()));
+}

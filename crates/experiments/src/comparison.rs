@@ -1,0 +1,154 @@
+//! Quantifying the paper's accuracy claim: analysis vs simulation.
+//!
+//! The paper's conclusion from Figs. 3–4 is qualitative: "the analytical model predicts
+//! the mean message latency with a good degree of accuracy when the system is in the
+//! steady-state region" with "discrepancies … when the system … approaches the
+//! saturation point". This module turns that claim into numbers: for a panel it
+//! computes the relative error of the model against the simulation per traffic point
+//! and aggregates it separately for the *steady-state region* (points at most a given
+//! fraction of the saturation rate) and the *near-saturation region* (the rest).
+
+use crate::figures::FigurePanel;
+use serde::{Deserialize, Serialize};
+
+/// Relative error of one traffic point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PointError {
+    /// Generation rate of the point.
+    pub rate: f64,
+    /// Analytical latency.
+    pub analysis: f64,
+    /// Simulated latency.
+    pub simulation: f64,
+    /// `|analysis − simulation| / simulation`.
+    pub relative_error: f64,
+    /// Whether the point lies in the steady-state region.
+    pub steady_state: bool,
+}
+
+/// Aggregated accuracy over one series or panel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracySummary {
+    /// Per-point errors (only points where both numbers exist).
+    pub points: Vec<PointError>,
+    /// Mean relative error over the steady-state region.
+    pub steady_state_error: f64,
+    /// Largest relative error over the steady-state region.
+    pub steady_state_max_error: f64,
+    /// Mean relative error over the near-saturation region (NaN if empty).
+    pub near_saturation_error: f64,
+    /// Number of points in the steady-state region.
+    pub steady_state_points: usize,
+    /// Number of points in the near-saturation region.
+    pub near_saturation_points: usize,
+}
+
+/// Computes the accuracy summary of a panel. A point counts as *steady state* when its
+/// rate is at most `steady_fraction` (e.g. 0.7) of the highest rate at which the model
+/// still had a steady state in that series.
+pub fn accuracy_report(panel: &FigurePanel, steady_fraction: f64) -> AccuracySummary {
+    let mut points = Vec::new();
+    for series in &panel.series {
+        let saturation_rate = series
+            .points
+            .iter()
+            .filter(|p| p.analysis.is_some())
+            .map(|p| p.rate)
+            .fold(f64::NAN, f64::max);
+        for p in &series.points {
+            let (Some(a), Some(s)) = (p.analysis, p.simulation) else { continue };
+            if s <= 0.0 {
+                continue;
+            }
+            let steady = saturation_rate.is_finite() && p.rate <= steady_fraction * saturation_rate;
+            points.push(PointError {
+                rate: p.rate,
+                analysis: a,
+                simulation: s,
+                relative_error: (a - s).abs() / s,
+                steady_state: steady,
+            });
+        }
+    }
+    summarize_points(points)
+}
+
+fn summarize_points(points: Vec<PointError>) -> AccuracySummary {
+    let steady: Vec<&PointError> = points.iter().filter(|p| p.steady_state).collect();
+    let near: Vec<&PointError> = points.iter().filter(|p| !p.steady_state).collect();
+    let mean = |v: &[&PointError]| {
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().map(|p| p.relative_error).sum::<f64>() / v.len() as f64
+        }
+    };
+    let max = |v: &[&PointError]| v.iter().map(|p| p.relative_error).fold(0.0f64, f64::max);
+    AccuracySummary {
+        steady_state_error: mean(&steady),
+        steady_state_max_error: max(&steady),
+        near_saturation_error: mean(&near),
+        steady_state_points: steady.len(),
+        near_saturation_points: near.len(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{FigureSeries, SeriesPoint};
+
+    fn panel_from_points(points: Vec<SeriesPoint>) -> FigurePanel {
+        FigurePanel {
+            title: "test".into(),
+            system: "test".into(),
+            series: vec![FigureSeries {
+                label: "Lm=256".into(),
+                message_flits: 32,
+                flit_bytes: 256.0,
+                points,
+            }],
+        }
+    }
+
+    #[test]
+    fn errors_are_split_by_region() {
+        // Saturation (last analysable rate) at 1.0; steady fraction 0.7.
+        let panel = panel_from_points(vec![
+            SeriesPoint { rate: 0.2, analysis: Some(100.0), simulation: Some(110.0), sim_std_error: None },
+            SeriesPoint { rate: 0.6, analysis: Some(150.0), simulation: Some(140.0), sim_std_error: None },
+            SeriesPoint { rate: 0.9, analysis: Some(250.0), simulation: Some(400.0), sim_std_error: None },
+            SeriesPoint { rate: 1.0, analysis: Some(300.0), simulation: Some(600.0), sim_std_error: None },
+        ]);
+        let acc = accuracy_report(&panel, 0.7);
+        assert_eq!(acc.steady_state_points, 2);
+        assert_eq!(acc.near_saturation_points, 2);
+        assert!(acc.steady_state_error < 0.1);
+        assert!(acc.near_saturation_error > 0.3);
+        assert!(acc.steady_state_max_error >= acc.steady_state_error);
+    }
+
+    #[test]
+    fn missing_values_are_skipped() {
+        let panel = panel_from_points(vec![
+            SeriesPoint { rate: 0.2, analysis: Some(100.0), simulation: None, sim_std_error: None },
+            SeriesPoint { rate: 0.4, analysis: None, simulation: Some(100.0), sim_std_error: None },
+            SeriesPoint { rate: 0.6, analysis: Some(100.0), simulation: Some(100.0), sim_std_error: None },
+        ]);
+        let acc = accuracy_report(&panel, 1.0);
+        assert_eq!(acc.points.len(), 1);
+        assert_eq!(acc.steady_state_points, 1);
+        assert_eq!(acc.steady_state_error, 0.0);
+        assert!(acc.near_saturation_error.is_nan());
+    }
+
+    #[test]
+    fn empty_panel_is_harmless() {
+        let panel = panel_from_points(vec![]);
+        let acc = accuracy_report(&panel, 0.7);
+        assert!(acc.points.is_empty());
+        assert!(acc.steady_state_error.is_nan());
+        assert_eq!(acc.steady_state_max_error, 0.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Regeneration of the paper's latency-vs-offered-traffic figures (Figs. 3 and 4).
+//!
+//! Each figure panel plots the mean message latency against the per-node generation
+//! rate `λ_g` for one organization and one message length, with two flit sizes
+//! (`L_m = 256` and `512` bytes) and, for every curve, both the analytical prediction
+//! and the simulation measurement — exactly the series of the paper's figures.
+
+use crate::{EvaluationEffort, Result};
+use mcnet_model::{AnalyticalModel, ModelError, ModelOptions};
+use mcnet_sim::{run_simulation, SimError};
+use mcnet_system::sweep::FigureSweep;
+use mcnet_system::{organizations, MultiClusterSystem, TrafficConfig};
+use serde::{Deserialize, Serialize};
+
+/// One traffic point of one curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Per-node generation rate `λ_g`.
+    pub rate: f64,
+    /// Analytical prediction; `None` when the model reports saturation at this load.
+    pub analysis: Option<f64>,
+    /// Simulation measurement; `None` when the simulation was skipped or aborted.
+    pub simulation: Option<f64>,
+    /// Standard error of the simulation mean, when available.
+    pub sim_std_error: Option<f64>,
+}
+
+/// One curve of a panel (one flit size, analysis + simulation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// Human-readable label, e.g. `"Lm=256"`.
+    pub label: String,
+    /// Message length in flits.
+    pub message_flits: usize,
+    /// Flit size in bytes.
+    pub flit_bytes: f64,
+    /// The sweep points.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// One panel of a figure (one organization and message length, both flit sizes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigurePanel {
+    /// Panel title, e.g. `"Fig. 3: N=1120, m=8, M=32"`.
+    pub title: String,
+    /// System summary string.
+    pub system: String,
+    /// The curves of the panel.
+    pub series: Vec<FigureSeries>,
+}
+
+impl FigurePanel {
+    /// The largest rate at which the analysis is still unsaturated, per series.
+    pub fn analysis_saturation_points(&self) -> Vec<(String, Option<f64>)> {
+        self.series
+            .iter()
+            .map(|s| {
+                let last_ok = s
+                    .points
+                    .iter()
+                    .filter(|p| p.analysis.is_some())
+                    .map(|p| p.rate)
+                    .fold(None, |_, r| Some(r));
+                (s.label.clone(), last_ok)
+            })
+            .collect()
+    }
+}
+
+/// Builds one curve: sweep `λ_g`, evaluate the model, and (optionally) simulate.
+pub fn build_series(
+    system: &MultiClusterSystem,
+    sweep: &FigureSweep,
+    effort: EvaluationEffort,
+    run_sims: bool,
+    seed: u64,
+) -> Result<FigureSeries> {
+    let sweep = sweep.with_points(effort.sweep_points());
+    let mut points = Vec::with_capacity(sweep.points);
+    for traffic in sweep.configs()? {
+        points.push(evaluate_point(system, &traffic, effort, run_sims, seed)?);
+    }
+    Ok(FigureSeries {
+        label: format!("Lm={}", sweep.flit_bytes),
+        message_flits: sweep.message_flits,
+        flit_bytes: sweep.flit_bytes,
+        points,
+    })
+}
+
+/// Evaluates a single traffic point with both the model and (optionally) the simulator.
+pub fn evaluate_point(
+    system: &MultiClusterSystem,
+    traffic: &TrafficConfig,
+    effort: EvaluationEffort,
+    run_sims: bool,
+    seed: u64,
+) -> Result<SeriesPoint> {
+    let analysis = match AnalyticalModel::with_options(system, traffic, ModelOptions::default())?
+        .evaluate()
+    {
+        Ok(report) => Some(report.total_latency),
+        Err(ModelError::Saturated { .. }) => None,
+        Err(e) => return Err(e.into()),
+    };
+    let (simulation, sim_std_error) = if run_sims {
+        match run_simulation(system, traffic, &effort.sim_config(seed)) {
+            Ok(report) => (Some(report.mean_latency), Some(report.latency_std_error)),
+            // A configuration deep into saturation exhausts the event budget; report
+            // the point as unavailable rather than failing the whole figure.
+            Err(SimError::EventBudgetExhausted { .. }) => (None, None),
+            Err(e) => return Err(e.into()),
+        }
+    } else {
+        (None, None)
+    };
+    Ok(SeriesPoint { rate: traffic.generation_rate, analysis, simulation, sim_std_error })
+}
+
+/// Builds one panel (two flit sizes) for a given organization and message length.
+pub fn build_panel(
+    title: &str,
+    system: &MultiClusterSystem,
+    sweeps: &[FigureSweep],
+    effort: EvaluationEffort,
+    run_sims: bool,
+    seed: u64,
+) -> Result<FigurePanel> {
+    let mut series = Vec::with_capacity(sweeps.len());
+    for sweep in sweeps {
+        series.push(build_series(system, sweep, effort, run_sims, seed)?);
+    }
+    Ok(FigurePanel { title: title.to_string(), system: system.summary(), series })
+}
+
+/// The paper's Fig. 3: organization A (`N = 1120`, `m = 8`), panels for `M = 32` and
+/// `M = 64`, each with `L_m ∈ {256, 512}`.
+pub fn figure3(effort: EvaluationEffort, run_sims: bool, seed: u64) -> Result<Vec<FigurePanel>> {
+    let system = organizations::table1_org_a();
+    Ok(vec![
+        build_panel(
+            "Fig. 3 (left): N=1120, m=8, M=32",
+            &system,
+            &[FigureSweep::fig3_m32(256.0), FigureSweep::fig3_m32(512.0)],
+            effort,
+            run_sims,
+            seed,
+        )?,
+        build_panel(
+            "Fig. 3 (right): N=1120, m=8, M=64",
+            &system,
+            &[FigureSweep::fig3_m64(256.0), FigureSweep::fig3_m64(512.0)],
+            effort,
+            run_sims,
+            seed,
+        )?,
+    ])
+}
+
+/// The paper's Fig. 4: organization B (`N = 544`, `m = 4`), panels for `M = 32` and
+/// `M = 64`, each with `L_m ∈ {256, 512}`.
+pub fn figure4(effort: EvaluationEffort, run_sims: bool, seed: u64) -> Result<Vec<FigurePanel>> {
+    let system = organizations::table1_org_b();
+    Ok(vec![
+        build_panel(
+            "Fig. 4 (left): N=544, m=4, M=32",
+            &system,
+            &[FigureSweep::fig4_m32(256.0), FigureSweep::fig4_m32(512.0)],
+            effort,
+            run_sims,
+            seed,
+        )?,
+        build_panel(
+            "Fig. 4 (right): N=544, m=4, M=64",
+            &system,
+            &[FigureSweep::fig4_m64(256.0), FigureSweep::fig4_m64(512.0)],
+            effort,
+            run_sims,
+            seed,
+        )?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analysis_only_series_has_expected_shape() {
+        // Model-only sweep of Org B, M=32, Lm=256: latency grows with rate and may
+        // saturate at the top of the range.
+        let system = organizations::table1_org_b();
+        let series = build_series(
+            &system,
+            &FigureSweep::fig4_m32(256.0),
+            EvaluationEffort::Quick,
+            false,
+            1,
+        )
+        .unwrap();
+        assert_eq!(series.points.len(), EvaluationEffort::Quick.sweep_points());
+        assert!(series.points[0].analysis.is_some());
+        assert!(series.points.iter().all(|p| p.simulation.is_none()));
+        let values: Vec<f64> = series.points.iter().filter_map(|p| p.analysis).collect();
+        assert!(values.windows(2).all(|w| w[1] > w[0]), "latency must be increasing");
+    }
+
+    #[test]
+    fn point_with_simulation_produces_both_numbers() {
+        let system = organizations::small_test_org();
+        let traffic = TrafficConfig::uniform(16, 256.0, 5e-4).unwrap();
+        let p = evaluate_point(&system, &traffic, EvaluationEffort::Quick, true, 3).unwrap();
+        assert!(p.analysis.is_some());
+        assert!(p.simulation.is_some());
+        assert!(p.sim_std_error.unwrap() > 0.0);
+        // Model and simulation agree within a factor of two at this low load (the
+        // close-agreement claim is exercised properly by the integration tests).
+        let a = p.analysis.unwrap();
+        let s = p.simulation.unwrap();
+        assert!(a > 0.3 * s && a < 3.0 * s, "analysis {a} vs simulation {s}");
+    }
+
+    #[test]
+    fn saturation_produces_none_not_error() {
+        let system = organizations::table1_org_b();
+        let traffic = TrafficConfig::uniform(32, 256.0, 5e-3).unwrap();
+        let p = evaluate_point(&system, &traffic, EvaluationEffort::Quick, false, 1).unwrap();
+        assert!(p.analysis.is_none());
+    }
+
+    #[test]
+    fn panel_carries_saturation_summary() {
+        let system = organizations::table1_org_b();
+        let panel = build_panel(
+            "test",
+            &system,
+            &[FigureSweep::fig4_m32(256.0)],
+            EvaluationEffort::Quick,
+            false,
+            1,
+        )
+        .unwrap();
+        let sat = panel.analysis_saturation_points();
+        assert_eq!(sat.len(), 1);
+        assert!(sat[0].1.is_some());
+    }
+}

@@ -1,0 +1,113 @@
+//! Concentrator/dispatcher waiting time (Eqs. 33–34).
+//!
+//! The concentrator/dispatcher units bridge a cluster's ECN1 to the global ICN2. The
+//! paper models each direction as a simple single-server queue with Poisson arrivals at
+//! the pairwise ICN2 rate `λ_I2^{(i,v)}` and a *deterministic* service time of one full
+//! message over a switch channel, `M·t_cs` (the message length is fixed, "so there is
+//! no variance in the service time"):
+//!
+//! ```text
+//! W_s^{(i,v)} = λ_I2^{(i,v)} (M·t_cs)² / (2·(1 − λ_I2^{(i,v)} M·t_cs))     (Eq. 33)
+//! W_d^{(i)}   = 1/(C−1) Σ_{v≠i} 2·W_s^{(i,v)}                              (Eq. 34)
+//! ```
+//!
+//! The factor 2 accounts for the concentrate buffer (ECN1 → ICN2) and the dispatch
+//! buffer (ICN2 → ECN1), which see the same rate and service time.
+
+use crate::service::ChannelTimes;
+use crate::{ModelError, Result, SaturatedComponent};
+
+/// Mean waiting time of one concentrator (or dispatcher) buffer for the ordered pair
+/// `(i, v)` — the M/D/1 waiting time of Eq. (33).
+pub fn concentrator_waiting(lambda_icn2: f64, times: &ChannelTimes, cluster: usize) -> Result<f64> {
+    if lambda_icn2 < 0.0 || !lambda_icn2.is_finite() {
+        return Err(ModelError::InvalidConfiguration {
+            reason: format!("negative or non-finite ICN2 rate {lambda_icn2}"),
+        });
+    }
+    let service = times.message_switch_time();
+    let rho = lambda_icn2 * service;
+    if rho >= 1.0 {
+        return Err(ModelError::Saturated {
+            component: SaturatedComponent::Concentrator,
+            utilization: rho,
+            cluster: Some(cluster),
+        });
+    }
+    Ok(lambda_icn2 * service * service / (2.0 * (1.0 - rho)))
+}
+
+/// Mean concentrator/dispatcher waiting time seen by external messages of cluster `i`
+/// (Eq. 34), given the per-destination waiting times `W_s^{(i,v)}` for every `v ≠ i`.
+pub fn mean_concentrator_waiting(per_pair: &[f64]) -> f64 {
+    if per_pair.is_empty() {
+        return 0.0;
+    }
+    2.0 * per_pair.iter().sum::<f64>() / per_pair.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnet_system::{NetworkTechnology, TrafficConfig};
+
+    fn times(flits: usize, bytes: f64) -> ChannelTimes {
+        let traffic = TrafficConfig::uniform(flits, bytes, 1e-4).unwrap();
+        ChannelTimes::new(&NetworkTechnology::paper_default(), &traffic)
+    }
+
+    #[test]
+    fn zero_rate_no_waiting() {
+        let w = concentrator_waiting(0.0, &times(32, 256.0), 0).unwrap();
+        assert_eq!(w, 0.0);
+    }
+
+    #[test]
+    fn matches_md1_closed_form() {
+        let t = times(32, 256.0);
+        let lambda = 0.02;
+        let service = t.message_switch_time();
+        let rho = lambda * service;
+        let expected = rho * service / (2.0 * (1.0 - rho));
+        assert!((concentrator_waiting(lambda, &t, 0).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_point_scales_with_message_size() {
+        // M = 32, L_m = 256: service 16.704 ⇒ saturation at λ ≈ 0.0599.
+        // M = 64 doubles the service time and halves the saturation rate.
+        let t32 = times(32, 256.0);
+        let t64 = times(64, 256.0);
+        assert!(concentrator_waiting(0.055, &t32, 0).is_ok());
+        assert!(concentrator_waiting(0.055, &t64, 0).is_err());
+        assert!(concentrator_waiting(0.025, &t64, 0).is_ok());
+    }
+
+    #[test]
+    fn saturation_error_carries_cluster() {
+        let t = times(32, 256.0);
+        let err = concentrator_waiting(1.0, &t, 7).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::Saturated {
+                component: SaturatedComponent::Concentrator,
+                cluster: Some(7),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn mean_doubles_the_per_direction_wait() {
+        assert_eq!(mean_concentrator_waiting(&[]), 0.0);
+        let w = mean_concentrator_waiting(&[1.0, 2.0, 3.0]);
+        assert!((w - 4.0).abs() < 1e-12); // 2 * mean(1,2,3) = 4
+    }
+
+    #[test]
+    fn invalid_rate_rejected() {
+        let t = times(32, 256.0);
+        assert!(concentrator_waiting(-1.0, &t, 0).is_err());
+        assert!(concentrator_waiting(f64::NAN, &t, 0).is_err());
+    }
+}

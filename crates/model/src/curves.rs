@@ -1,0 +1,216 @@
+//! Latency curves: evaluating the model over a whole load range at once.
+//!
+//! The paper's figures, and any design-space study built on the model, need the same
+//! loop: sweep the generation rate from (near) zero up to saturation and record the
+//! latency — ideally with the per-component breakdown so the designer can see *why*
+//! the curve bends (source queueing, channel blocking or the concentrators). This
+//! module packages that loop.
+
+use crate::multicluster::AnalyticalModel;
+use crate::options::ModelOptions;
+use crate::{ModelError, Result};
+use mcnet_system::{MultiClusterSystem, TrafficConfig};
+use serde::{Deserialize, Serialize};
+
+/// One point of a latency curve with its component breakdown (node-weighted averages
+/// over all clusters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Per-node generation rate `λ_g`.
+    pub rate: f64,
+    /// Total mean message latency (Eq. 36); `None` when the model is saturated.
+    pub total: Option<f64>,
+    /// Node-weighted mean intra-cluster latency.
+    pub intra: Option<f64>,
+    /// Node-weighted mean inter-cluster latency (including concentrator waits).
+    pub inter: Option<f64>,
+    /// Node-weighted mean concentrator/dispatcher waiting time.
+    pub concentrator_wait: Option<f64>,
+    /// Worst channel utilisation reported by the model at this point.
+    pub max_channel_utilization: Option<f64>,
+}
+
+impl CurvePoint {
+    /// `true` when the model had a steady state at this load.
+    pub fn is_steady(&self) -> bool {
+        self.total.is_some()
+    }
+}
+
+/// A full latency-vs-load curve for one system and message geometry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyCurve {
+    /// Message length in flits.
+    pub message_flits: usize,
+    /// Flit size in bytes.
+    pub flit_bytes: f64,
+    /// The evaluated points, in increasing rate order.
+    pub points: Vec<CurvePoint>,
+}
+
+impl LatencyCurve {
+    /// Evaluates the curve at the given rates.
+    pub fn compute(
+        system: &MultiClusterSystem,
+        message_flits: usize,
+        flit_bytes: f64,
+        rates: &[f64],
+        options: ModelOptions,
+    ) -> Result<Self> {
+        let mut points = Vec::with_capacity(rates.len());
+        for &rate in rates {
+            let traffic = TrafficConfig::uniform(message_flits, flit_bytes, rate)
+                .map_err(ModelError::from)?;
+            let model = AnalyticalModel::with_options(system, &traffic, options)?;
+            let point = match model.evaluate() {
+                Ok(report) => {
+                    let concentrator = report
+                        .clusters
+                        .iter()
+                        .map(|c| c.weight * c.inter.concentrator_wait)
+                        .sum::<f64>();
+                    CurvePoint {
+                        rate,
+                        total: Some(report.total_latency),
+                        intra: Some(report.mean_intra_latency()),
+                        inter: Some(report.mean_inter_latency()),
+                        concentrator_wait: Some(concentrator),
+                        max_channel_utilization: Some(report.max_channel_utilization),
+                    }
+                }
+                Err(ModelError::Saturated { .. }) => CurvePoint {
+                    rate,
+                    total: None,
+                    intra: None,
+                    inter: None,
+                    concentrator_wait: None,
+                    max_channel_utilization: None,
+                },
+                Err(e) => return Err(e),
+            };
+            points.push(point);
+        }
+        Ok(LatencyCurve { message_flits, flit_bytes, points })
+    }
+
+    /// Evaluates the curve on a linear grid of `points` rates up to `max_rate`.
+    pub fn compute_grid(
+        system: &MultiClusterSystem,
+        message_flits: usize,
+        flit_bytes: f64,
+        max_rate: f64,
+        points: usize,
+        options: ModelOptions,
+    ) -> Result<Self> {
+        if points < 2 || !(max_rate.is_finite() && max_rate > 0.0) {
+            return Err(ModelError::InvalidConfiguration {
+                reason: format!("invalid curve grid: {points} points up to {max_rate}"),
+            });
+        }
+        let rates: Vec<f64> =
+            (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
+        Self::compute(system, message_flits, flit_bytes, &rates, options)
+    }
+
+    /// The largest rate with a steady state, if any point had one.
+    pub fn last_steady_rate(&self) -> Option<f64> {
+        self.points.iter().filter(|p| p.is_steady()).map(|p| p.rate).next_back()
+    }
+
+    /// The zero-load (lowest evaluated rate) latency, if available.
+    pub fn base_latency(&self) -> Option<f64> {
+        self.points.first().and_then(|p| p.total)
+    }
+
+    /// The "knee" of the curve: the first steady point whose latency exceeds
+    /// `factor` times the base latency (a practical definition of the onset of
+    /// saturation used by capacity planners).
+    pub fn knee(&self, factor: f64) -> Option<&CurvePoint> {
+        let base = self.base_latency()?;
+        self.points.iter().find(|p| p.total.is_some_and(|t| t > factor * base))
+    }
+
+    /// Fraction of the inter-cluster latency attributable to the concentrators at the
+    /// last steady point — the headline "where does the time go" number.
+    pub fn concentrator_share_at_knee(&self) -> Option<f64> {
+        let p = self.points.iter().rev().find(|p| p.is_steady())?;
+        match (p.concentrator_wait, p.inter) {
+            (Some(w), Some(inter)) if inter > 0.0 => Some(w / inter),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnet_system::organizations;
+
+    fn curve(points: usize, max_rate: f64) -> LatencyCurve {
+        LatencyCurve::compute_grid(
+            &organizations::table1_org_b(),
+            32,
+            256.0,
+            max_rate,
+            points,
+            ModelOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn curve_is_monotone_until_saturation() {
+        let c = curve(8, 1.0e-3);
+        assert_eq!(c.points.len(), 8);
+        let steady: Vec<f64> = c.points.iter().filter_map(|p| p.total).collect();
+        assert!(steady.len() >= 4, "most of the range is steady");
+        assert!(steady.windows(2).all(|w| w[1] > w[0]));
+        // Component breakdown is consistent: total is a mixture of intra and inter, so
+        // it lies between them.
+        for p in c.points.iter().filter(|p| p.is_steady()) {
+            let (t, i, e) = (p.total.unwrap(), p.intra.unwrap(), p.inter.unwrap());
+            assert!(t >= i.min(e) - 1e-9 && t <= i.max(e) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn saturated_tail_is_reported_as_none() {
+        let c = curve(6, 3.0e-3);
+        assert!(c.points.last().unwrap().total.is_none());
+        assert!(c.last_steady_rate().unwrap() < 3.0e-3);
+    }
+
+    #[test]
+    fn knee_detection() {
+        let c = curve(16, 9.5e-4);
+        let knee = c.knee(1.5).expect("curve bends before saturation");
+        assert!(knee.rate > c.points[0].rate);
+        assert!(knee.total.unwrap() > 1.5 * c.base_latency().unwrap());
+        // The concentrators dominate the inter-cluster latency increase near the knee.
+        let share = c.concentrator_share_at_knee().unwrap();
+        assert!(share > 0.1 && share < 1.0, "concentrator share {share}");
+    }
+
+    #[test]
+    fn invalid_grids_are_rejected() {
+        let sys = organizations::small_test_org();
+        assert!(LatencyCurve::compute_grid(&sys, 32, 256.0, 0.0, 4, ModelOptions::default())
+            .is_err());
+        assert!(LatencyCurve::compute_grid(&sys, 32, 256.0, 1e-4, 1, ModelOptions::default())
+            .is_err());
+    }
+
+    #[test]
+    fn explicit_rates_are_preserved() {
+        let rates = [1e-5, 5e-5, 2e-4];
+        let c = LatencyCurve::compute(
+            &organizations::small_test_org(),
+            16,
+            256.0,
+            &rates,
+            ModelOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(c.points.iter().map(|p| p.rate).collect::<Vec<_>>(), rates);
+    }
+}

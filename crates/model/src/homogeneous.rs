@@ -1,0 +1,151 @@
+//! Baseline models for homogeneous configurations.
+//!
+//! The prior art the paper positions itself against ([10], [12] and the authors' own
+//! earlier work) models *homogeneous* systems: either a single cluster in isolation or
+//! a multi-cluster system in which every cluster has the same size. These baselines are
+//! implemented here so the benchmark suite can quantify what the heterogeneity-aware
+//! model adds (ablation A1 of DESIGN.md):
+//!
+//! * [`single_cluster_latency`] — one isolated m-port n-tree cluster: every message is
+//!   intra-cluster, so the model reduces to Eqs. (3), (16)–(25) with `P_o = 0`.
+//! * [`homogeneous_multicluster_latency`] — a multi-cluster system with identical
+//!   clusters evaluated with the full model (a consistency anchor: the heterogeneous
+//!   model must reproduce it exactly when fed a homogeneous configuration).
+
+use crate::intra;
+use crate::options::ModelOptions;
+use crate::rates::ClusterRates;
+use crate::service::ChannelTimes;
+use crate::{AnalyticalModel, ModelError, Result};
+use mcnet_system::{ClusterSpec, MultiClusterSystem, NetworkTechnology, TrafficConfig};
+use mcnet_topology::distance::HopDistribution;
+
+/// Mean message latency of a single, isolated m-port n-tree cluster under uniform
+/// traffic (the single-cluster baseline of the related work).
+///
+/// Every message stays inside the cluster, so the outgoing probability is zero and the
+/// ICN1 carries the full generation rate of every node.
+pub fn single_cluster_latency(
+    ports: usize,
+    levels: usize,
+    technology: &NetworkTechnology,
+    traffic: &TrafficConfig,
+    options: &ModelOptions,
+) -> Result<f64> {
+    let spec = ClusterSpec::new(ports, levels).map_err(ModelError::from)?;
+    traffic.validate().map_err(ModelError::from)?;
+    let nodes = spec.num_nodes();
+    let hops = HopDistribution::with_model(ports, levels, options.hop_model)?;
+    let d_avg = hops.average_distance();
+    let lambda_g = traffic.generation_rate;
+    let lambda_icn1 = nodes as f64 * lambda_g;
+    let rates = ClusterRates {
+        cluster: 0,
+        nodes,
+        levels,
+        outgoing_probability: 0.0,
+        average_distance: d_avg,
+        lambda_icn1,
+        eta_icn1: d_avg * lambda_icn1 / (4.0 * levels as f64 * nodes as f64),
+        per_node_icn1_rate: lambda_g,
+        per_node_ecn1_rate: 0.0,
+        generation_rate: lambda_g,
+    };
+    let times = ChannelTimes::new(technology, traffic);
+    let latency = intra::intra_cluster_latency(&rates, &hops, &times, options)?;
+    Ok(latency.total)
+}
+
+/// Mean message latency of a homogeneous multi-cluster system (every cluster has the
+/// same size), evaluated with the full heterogeneous model.
+///
+/// Returns an error if the provided system is not homogeneous, to protect callers that
+/// use this as the "prior-art baseline" from silently feeding it a heterogeneous
+/// configuration.
+pub fn homogeneous_multicluster_latency(
+    system: &MultiClusterSystem,
+    traffic: &TrafficConfig,
+    options: &ModelOptions,
+) -> Result<f64> {
+    if !system.is_homogeneous() {
+        return Err(ModelError::InvalidConfiguration {
+            reason: "homogeneous baseline called on a heterogeneous system".into(),
+        });
+    }
+    Ok(AnalyticalModel::with_options(system, traffic, *options)?.evaluate()?.total_latency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnet_system::organizations;
+
+    #[test]
+    fn single_cluster_latency_is_positive_and_monotone_in_load() {
+        let tech = NetworkTechnology::paper_default();
+        let low = single_cluster_latency(
+            8,
+            2,
+            &tech,
+            &TrafficConfig::uniform(32, 256.0, 1e-4).unwrap(),
+            &ModelOptions::default(),
+        )
+        .unwrap();
+        let high = single_cluster_latency(
+            8,
+            2,
+            &tech,
+            &TrafficConfig::uniform(32, 256.0, 2e-3).unwrap(),
+            &ModelOptions::default(),
+        )
+        .unwrap();
+        assert!(low > 0.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn bigger_single_clusters_have_higher_latency() {
+        let tech = NetworkTechnology::paper_default();
+        let traffic = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
+        let small =
+            single_cluster_latency(8, 1, &tech, &traffic, &ModelOptions::default()).unwrap();
+        let large =
+            single_cluster_latency(8, 3, &tech, &traffic, &ModelOptions::default()).unwrap();
+        assert!(large > small, "taller trees mean longer average journeys");
+    }
+
+    #[test]
+    fn homogeneous_baseline_rejects_heterogeneous_systems() {
+        let sys = organizations::table1_org_a();
+        let traffic = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
+        assert!(homogeneous_multicluster_latency(&sys, &traffic, &ModelOptions::default())
+            .is_err());
+    }
+
+    #[test]
+    fn homogeneous_baseline_matches_full_model() {
+        let sys = organizations::homogeneous(8, 8, 2).unwrap();
+        let traffic = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
+        let baseline =
+            homogeneous_multicluster_latency(&sys, &traffic, &ModelOptions::default()).unwrap();
+        let full = AnalyticalModel::new(&sys, &traffic).unwrap().evaluate().unwrap();
+        assert!((baseline - full.total_latency).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_cluster_is_faster_than_multicluster_of_same_size() {
+        // Keeping all traffic local (no ECN1/ICN2/concentrators) must be faster than
+        // the multi-cluster configuration at the same per-node load.
+        let tech = NetworkTechnology::paper_default();
+        let traffic = TrafficConfig::uniform(32, 256.0, 2e-4).unwrap();
+        let single =
+            single_cluster_latency(8, 2, &tech, &traffic, &ModelOptions::default()).unwrap();
+        let multi = homogeneous_multicluster_latency(
+            &organizations::homogeneous(8, 8, 2).unwrap(),
+            &traffic,
+            &ModelOptions::default(),
+        )
+        .unwrap();
+        assert!(single < multi);
+    }
+}

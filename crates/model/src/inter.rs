@@ -1,0 +1,215 @@
+//! Mean message latency of inter-cluster traffic (Eqs. 26–34).
+//!
+//! A message leaving cluster `i` for cluster `v` ascends through cluster `i`'s ECN1,
+//! crosses the concentrator into ICN2, traverses ICN2, is dispatched into cluster `v`'s
+//! ECN1 and descends to its destination. Because the flow control is wormhole, the
+//! paper evaluates ECN1 and ICN2 as one merged journey (Eqs. 26–29) and adds the
+//! concentrator/dispatcher buffers as separate M/D/1 queues (Eqs. 33–34). The
+//! per-destination quantities are then averaged arithmetically over all destination
+//! clusters `v ≠ i` (Eqs. 31 and 34).
+
+use crate::concentrator;
+use crate::options::ModelOptions;
+use crate::rates::{HopCache, SystemRates};
+use crate::service::{self, ChannelTimes};
+use crate::source_queue::{self, SourceQueueInput, SourceQueueKind};
+use crate::tail;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Breakdown of the inter-cluster latency seen from one source cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterClusterLatency {
+    /// Mean merged ECN1+ICN2 network latency, averaged over destination clusters
+    /// (the `S` term of Eq. 31).
+    pub network: f64,
+    /// Mean source-queue waiting time at the ECN1 injection channel (Eq. 30), averaged
+    /// over destination clusters.
+    pub source_wait: f64,
+    /// Mean tail-flit time (Eq. 32), averaged over destination clusters.
+    pub tail: f64,
+    /// Mean message latency through the inter-cluster networks,
+    /// `T_{E1&I2}^{(i)}` (Eq. 31) — does **not** include the concentrator wait.
+    pub total: f64,
+    /// Mean concentrator/dispatcher waiting time `W_d^{(i)}` (Eq. 34); zero when the
+    /// model options exclude the concentrators.
+    pub concentrator_wait: f64,
+    /// Worst per-channel utilisation seen by the service-time recursion over all
+    /// destination clusters.
+    pub max_channel_utilization: f64,
+}
+
+/// Computes the inter-cluster latency seen by messages originating in cluster `source`.
+pub fn inter_cluster_latency(
+    rates: &SystemRates,
+    hops: &HopCache,
+    source: usize,
+    times: &ChannelTimes,
+    options: &ModelOptions,
+) -> Result<InterClusterLatency> {
+    let num_clusters = rates.clusters().len();
+    let src = rates.cluster(source);
+    let hops_src = hops.cluster(src.levels);
+
+    let mut network_sum = 0.0;
+    let mut wait_sum = 0.0;
+    let mut tail_sum = 0.0;
+    let mut concentrator_waits = Vec::with_capacity(num_clusters - 1);
+    let mut max_utilization: f64 = 0.0;
+
+    for v in 0..num_clusters {
+        if v == source {
+            continue;
+        }
+        let dst = rates.cluster(v);
+        let hops_dst = hops.cluster(dst.levels);
+        let pair = rates.pair(source, v);
+
+        let network = service::mean_inter_network_latency(
+            hops_src,
+            hops_dst,
+            hops.icn2(),
+            pair.eta_ecn1,
+            pair.eta_icn2,
+            times,
+        )?;
+        service::check_channel_utilization(&network, Some(source))?;
+        max_utilization = max_utilization.max(network.max_utilization);
+
+        let wait = source_queue::waiting_time(
+            &SourceQueueInput {
+                kind: SourceQueueKind::Inter,
+                per_node_rate: src.per_node_ecn1_rate,
+                aggregate_rate: pair.lambda_ecn1,
+                network_latency: network.latency,
+                minimum_latency: times.message_node_time(),
+                cluster: source,
+            },
+            options,
+        )?;
+
+        let tail = tail::inter_tail_time(hops_src, hops_dst, hops.icn2(), times);
+
+        network_sum += network.latency;
+        wait_sum += wait;
+        tail_sum += tail;
+
+        if options.include_concentrator {
+            concentrator_waits.push(concentrator::concentrator_waiting(
+                pair.lambda_icn2,
+                times,
+                source,
+            )?);
+        }
+    }
+
+    let destinations = (num_clusters - 1) as f64;
+    let network = network_sum / destinations;
+    let source_wait = wait_sum / destinations;
+    let tail = tail_sum / destinations;
+    let concentrator_wait = if options.include_concentrator {
+        concentrator::mean_concentrator_waiting(&concentrator_waits)
+    } else {
+        0.0
+    };
+
+    Ok(InterClusterLatency {
+        network,
+        source_wait,
+        tail,
+        total: network + source_wait + tail,
+        concentrator_wait,
+        max_channel_utilization: max_utilization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnet_system::{organizations, NetworkTechnology, TrafficConfig};
+
+    fn setup(rate: f64) -> (SystemRates, HopCache, ChannelTimes) {
+        let sys = organizations::table1_org_b();
+        let traffic = TrafficConfig::uniform(32, 256.0, rate).unwrap();
+        let options = ModelOptions::default();
+        let rates = SystemRates::compute(&sys, &traffic, &options).unwrap();
+        let hops = HopCache::build(&sys, &options).unwrap();
+        let times = ChannelTimes::new(&NetworkTechnology::paper_default(), &traffic);
+        (rates, hops, times)
+    }
+
+    #[test]
+    fn components_add_up() {
+        let (rates, hops, times) = setup(1e-4);
+        let lat =
+            inter_cluster_latency(&rates, &hops, 0, &times, &ModelOptions::default()).unwrap();
+        assert!((lat.total - (lat.network + lat.source_wait + lat.tail)).abs() < 1e-12);
+        assert!(lat.network > 0.0 && lat.tail > 0.0);
+        assert!(lat.concentrator_wait > 0.0);
+        assert!(lat.max_channel_utilization < 1.0);
+    }
+
+    #[test]
+    fn inter_latency_exceeds_intra_latency() {
+        let (rates, hops, times) = setup(1e-4);
+        let inter =
+            inter_cluster_latency(&rates, &hops, 0, &times, &ModelOptions::default()).unwrap();
+        let intra = crate::intra::intra_cluster_latency(
+            rates.cluster(0),
+            hops.cluster(rates.cluster(0).levels),
+            &times,
+            &ModelOptions::default(),
+        )
+        .unwrap();
+        assert!(inter.total > intra.total, "three networks cost more than one");
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let (r1, h1, t1) = setup(1e-4);
+        let (r2, h2, t2) = setup(8e-4);
+        let low = inter_cluster_latency(&r1, &h1, 11, &t1, &ModelOptions::default()).unwrap();
+        let high = inter_cluster_latency(&r2, &h2, 11, &t2, &ModelOptions::default()).unwrap();
+        assert!(high.total > low.total);
+        assert!(high.concentrator_wait > low.concentrator_wait);
+    }
+
+    #[test]
+    fn concentrator_can_be_excluded() {
+        let (rates, hops, times) = setup(2e-4);
+        let with =
+            inter_cluster_latency(&rates, &hops, 0, &times, &ModelOptions::default()).unwrap();
+        let without = inter_cluster_latency(
+            &rates,
+            &hops,
+            0,
+            &times,
+            &ModelOptions::default().without_concentrator(),
+        )
+        .unwrap();
+        assert!(with.concentrator_wait > 0.0);
+        assert_eq!(without.concentrator_wait, 0.0);
+        // The merged-network part is unaffected by the concentrator switch.
+        assert!((with.network - without.network).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_at_high_load_is_reported() {
+        // At λ_g = 5e-3 the Org B concentrators are far past saturation.
+        let (rates, hops, times) = setup(5e-3);
+        let err = inter_cluster_latency(&rates, &hops, 11, &times, &ModelOptions::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn source_cluster_size_matters() {
+        // Messages from a big cluster see more ECN1 contention (larger λ_E1) but the
+        // same ICN2; totals must differ between a 16-node and a 64-node source.
+        let (rates, hops, times) = setup(4e-4);
+        let small =
+            inter_cluster_latency(&rates, &hops, 0, &times, &ModelOptions::default()).unwrap();
+        let big =
+            inter_cluster_latency(&rates, &hops, 11, &times, &ModelOptions::default()).unwrap();
+        assert!((small.total - big.total).abs() > 1e-9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Processor-heterogeneity extension.
+//!
+//! The paper studies *cluster-size* heterogeneity and cites the authors' companion work
+//! (its references [24, 25]) for *processor* heterogeneity, listing the combination as
+//! future work. This module implements that extension on top of the same machinery:
+//! clusters whose processors are `τ_i` times faster are assumed to generate messages
+//! `τ_i / τ̄` times more often (computation completes sooner, so communication requests
+//! are issued at a proportionally higher rate), which maps onto the per-cluster
+//! rate-scaling hook of [`AnalyticalModel::with_rate_scaling`].
+
+use crate::options::ModelOptions;
+use crate::{AnalyticalModel, LatencyReport, ModelError, Result};
+use mcnet_system::{MultiClusterSystem, TrafficConfig};
+
+/// Derives the per-cluster generation-rate scale factors from the clusters' relative
+/// processing powers: `scale_i = τ_i / τ̄`, so the system-wide average per-node rate is
+/// preserved.
+pub fn rate_scale_from_processing_power(system: &MultiClusterSystem) -> Vec<f64> {
+    let total_nodes = system.total_nodes() as f64;
+    let mean_power: f64 = system
+        .iter_clusters()
+        .map(|(_, c)| c.processing_power * c.num_nodes() as f64)
+        .sum::<f64>()
+        / total_nodes;
+    system.iter_clusters().map(|(_, c)| c.processing_power / mean_power).collect()
+}
+
+/// Evaluates the analytical model with the processor-heterogeneity extension: message
+/// generation rates scale with the clusters' relative processing power.
+pub fn evaluate_with_processor_heterogeneity(
+    system: &MultiClusterSystem,
+    traffic: &TrafficConfig,
+    options: ModelOptions,
+) -> Result<LatencyReport> {
+    let scale = rate_scale_from_processing_power(system);
+    if scale.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+        return Err(ModelError::InvalidConfiguration {
+            reason: "cluster processing powers must be positive and finite".into(),
+        });
+    }
+    AnalyticalModel::with_rate_scaling(system, traffic, &scale, options)?.evaluate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnet_system::{ClusterSpec, MultiClusterSystem, TrafficConfig};
+
+    fn system_with_powers(powers: &[f64]) -> MultiClusterSystem {
+        let clusters: Vec<ClusterSpec> = powers
+            .iter()
+            .map(|&p| ClusterSpec::with_processing_power(4, 2, p).unwrap())
+            .collect();
+        MultiClusterSystem::new(clusters).unwrap()
+    }
+
+    #[test]
+    fn uniform_powers_reduce_to_base_model() {
+        let sys = system_with_powers(&[1.0, 1.0, 1.0, 1.0]);
+        let traffic = TrafficConfig::uniform(32, 256.0, 2e-4).unwrap();
+        let base = AnalyticalModel::new(&sys, &traffic).unwrap().evaluate().unwrap();
+        let ext =
+            evaluate_with_processor_heterogeneity(&sys, &traffic, ModelOptions::default())
+                .unwrap();
+        assert!((base.total_latency - ext.total_latency).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_factors_average_to_one() {
+        let sys = system_with_powers(&[0.5, 1.0, 1.5, 2.0]);
+        let scale = rate_scale_from_processing_power(&sys);
+        // Node-weighted mean of the scales is 1 (all clusters have equal size here).
+        let mean: f64 = scale.iter().sum::<f64>() / scale.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-12);
+        assert!(scale[3] > scale[0]);
+    }
+
+    #[test]
+    fn heterogeneous_powers_change_the_latency() {
+        let uniform = system_with_powers(&[1.0, 1.0, 1.0, 1.0]);
+        let skewed = system_with_powers(&[0.25, 0.25, 0.25, 3.25]);
+        let traffic = TrafficConfig::uniform(32, 256.0, 3e-4).unwrap();
+        let a = evaluate_with_processor_heterogeneity(&uniform, &traffic, ModelOptions::default())
+            .unwrap();
+        let b = evaluate_with_processor_heterogeneity(&skewed, &traffic, ModelOptions::default())
+            .unwrap();
+        assert!((a.total_latency - b.total_latency).abs() > 1e-9);
+    }
+
+    #[test]
+    fn fast_cluster_saturates_the_system_earlier() {
+        // Concentrating the generation rate in one cluster pushes that cluster's
+        // queues towards saturation at a lower nominal λ_g.
+        let skewed = system_with_powers(&[0.2, 0.2, 0.2, 3.4]);
+        let traffic = TrafficConfig::uniform(32, 256.0, 1.3e-3).unwrap();
+        let uniform_sys = system_with_powers(&[1.0, 1.0, 1.0, 1.0]);
+        let uniform_ok =
+            evaluate_with_processor_heterogeneity(&uniform_sys, &traffic, ModelOptions::default());
+        let skewed_res =
+            evaluate_with_processor_heterogeneity(&skewed, &traffic, ModelOptions::default());
+        // The uniform system might or might not be saturated at this load, but the
+        // skewed one must be at least as loaded; assert the specific expected ordering:
+        match (uniform_ok, skewed_res) {
+            (Ok(u), Ok(s)) => assert!(s.total_latency > u.total_latency),
+            (Ok(_), Err(_)) => {} // skewed saturated first — expected
+            (Err(_), Err(_)) => {}
+            (Err(_), Ok(_)) => panic!("uniform saturated before the skewed system"),
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Message and channel rates (paper Eqs. 5–13).
+//!
+//! All rates are expressed in messages per time unit. For a cluster `i` with `N_i`
+//! nodes, outgoing-request probability `P_o^{(i)}` (Eq. 13) and per-node generation
+//! rate `λ_g`:
+//!
+//! ```text
+//! λ_I1^{(i)}   = N_i (1 − P_o^{(i)}) λ_g                         (Eq. 5)
+//! λ_E1^{(i,v)} = N_i P_o^{(i)} λ_g + N_v P_o^{(v)} λ_g            (Eq. 6)
+//! λ_I2^{(i,v)} = (N_i·[N_i P_o^{(i)}] + N_v·[N_v P_o^{(v)}]) λ_g / (N_i + N_v)   (Eq. 7)
+//!
+//! η_I1^{(i)}   = d_avg^{(i)} λ_I1^{(i)}   / (4 n_i N_i)           (Eq. 10)
+//! η_E1^{(i,v)} = d_avg^{(i)} λ_E1^{(i,v)} / (4 n_i N_i)           (Eq. 11)
+//! η_I2^{(i,v)} = d_avg^{(c)} λ_I2^{(i,v)} / (4 n_c)               (Eq. 12)
+//! ```
+//!
+//! `d_avg` is the average number of links a message crosses in the respective network
+//! (Eqs. 8–9), and the `4·n·N` denominator is the paper's count of channels over which
+//! the traffic spreads.
+
+use crate::options::ModelOptions;
+use crate::{ModelError, Result};
+use mcnet_system::{MultiClusterSystem, TrafficConfig};
+use mcnet_topology::distance::HopDistribution;
+use serde::{Deserialize, Serialize};
+
+/// Per-cluster rate quantities that do not depend on the destination cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterRates {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Number of nodes `N_i`.
+    pub nodes: usize,
+    /// Tree levels `n_i`.
+    pub levels: usize,
+    /// Outgoing-request probability `P_o^{(i)}` (Eq. 13).
+    pub outgoing_probability: f64,
+    /// Average message distance within the cluster's trees, `d_avg^{(i)}` (Eq. 8).
+    pub average_distance: f64,
+    /// Aggregate intra-cluster message rate `λ_I1^{(i)}` (Eq. 5).
+    pub lambda_icn1: f64,
+    /// Per-channel message rate in ICN1, `η_I1^{(i)}` (Eq. 10).
+    pub eta_icn1: f64,
+    /// Per-node rate of messages injected into ICN1, `(1 − P_o^{(i)})·λ_g`.
+    pub per_node_icn1_rate: f64,
+    /// Per-node rate of messages injected into ECN1, `P_o^{(i)}·λ_g`.
+    pub per_node_ecn1_rate: f64,
+    /// Per-node message generation rate of this cluster. Equals the system-wide `λ_g`
+    /// for the paper's model; the processor-heterogeneity extension scales it per
+    /// cluster.
+    pub generation_rate: f64,
+}
+
+/// Rate quantities of one ordered cluster pair `(i, v)` for the inter-cluster journey.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairRates {
+    /// Source cluster `i`.
+    pub source: usize,
+    /// Destination cluster `v`.
+    pub destination: usize,
+    /// Aggregate rate on the ECN1 networks relevant to this pair, `λ_E1^{(i,v)}` (Eq. 6).
+    pub lambda_ecn1: f64,
+    /// Aggregate rate on ICN2 relevant to this pair, `λ_I2^{(i,v)}` (Eq. 7).
+    pub lambda_icn2: f64,
+    /// Per-channel rate in the source-side ECN1, `η_E1^{(i,v)}` (Eq. 11).
+    pub eta_ecn1: f64,
+    /// Per-channel rate in ICN2, `η_I2^{(i,v)}` (Eq. 12).
+    pub eta_icn2: f64,
+}
+
+/// All rate quantities of a system under a given traffic configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemRates {
+    clusters: Vec<ClusterRates>,
+    /// Average message distance in ICN2 (over the concentrators), `d_avg^{(c)}`.
+    pub icn2_average_distance: f64,
+    /// ICN2 tree levels `n_c`.
+    pub icn2_levels: usize,
+    generation_rate: f64,
+}
+
+impl SystemRates {
+    /// Computes every per-cluster rate for the given system, traffic and options.
+    pub fn compute(
+        system: &MultiClusterSystem,
+        traffic: &TrafficConfig,
+        options: &ModelOptions,
+    ) -> Result<Self> {
+        let scale = vec![1.0; system.num_clusters()];
+        Self::compute_scaled(system, traffic, &scale, options)
+    }
+
+    /// Computes the rates with a per-cluster scaling of the generation rate: cluster
+    /// `i` generates `scale[i]·λ_g` messages per node per time unit. The paper's model
+    /// uses a scale of 1 everywhere; the processor-heterogeneity extension scales by
+    /// relative processing power.
+    pub fn compute_scaled(
+        system: &MultiClusterSystem,
+        traffic: &TrafficConfig,
+        scale: &[f64],
+        options: &ModelOptions,
+    ) -> Result<Self> {
+        traffic.validate().map_err(ModelError::from)?;
+        if !traffic.pattern.is_uniform() {
+            return Err(ModelError::InvalidConfiguration {
+                reason: "the analytical model supports uniform traffic only".into(),
+            });
+        }
+        if scale.len() != system.num_clusters() {
+            return Err(ModelError::InvalidConfiguration {
+                reason: format!(
+                    "rate scale has {} entries but the system has {} clusters",
+                    scale.len(),
+                    system.num_clusters()
+                ),
+            });
+        }
+        if scale.iter().any(|s| !s.is_finite() || *s < 0.0) {
+            return Err(ModelError::InvalidConfiguration {
+                reason: "rate scales must be finite and non-negative".into(),
+            });
+        }
+        let m = system.ports();
+        let icn2_hops = HopDistribution::with_model(m, system.icn2_levels(), options.hop_model)?;
+        let icn2_average_distance = icn2_hops.average_distance();
+
+        let mut clusters = Vec::with_capacity(system.num_clusters());
+        for (i, spec) in system.iter_clusters() {
+            let nodes = spec.num_nodes();
+            let levels = spec.levels;
+            let lambda_g = traffic.generation_rate * scale[i];
+            let p_o = system.outgoing_probability(i)?;
+            let hops = HopDistribution::with_model(m, levels, options.hop_model)?;
+            let d_avg = hops.average_distance();
+            let lambda_icn1 = nodes as f64 * (1.0 - p_o) * lambda_g;
+            let eta_icn1 = d_avg * lambda_icn1 / (4.0 * levels as f64 * nodes as f64);
+            clusters.push(ClusterRates {
+                cluster: i,
+                nodes,
+                levels,
+                outgoing_probability: p_o,
+                average_distance: d_avg,
+                lambda_icn1,
+                eta_icn1,
+                per_node_icn1_rate: (1.0 - p_o) * lambda_g,
+                per_node_ecn1_rate: p_o * lambda_g,
+                generation_rate: lambda_g,
+            });
+        }
+        Ok(SystemRates {
+            clusters,
+            icn2_average_distance,
+            icn2_levels: system.icn2_levels(),
+            generation_rate: traffic.generation_rate,
+        })
+    }
+
+    /// Per-cluster rates.
+    pub fn cluster(&self, i: usize) -> &ClusterRates {
+        &self.clusters[i]
+    }
+
+    /// All per-cluster rates.
+    pub fn clusters(&self) -> &[ClusterRates] {
+        &self.clusters
+    }
+
+    /// The per-node generation rate `λ_g` the rates were computed for.
+    pub fn generation_rate(&self) -> f64 {
+        self.generation_rate
+    }
+
+    /// Rates for the ordered cluster pair `(i, v)` (Eqs. 6–7, 11–12).
+    pub fn pair(&self, i: usize, v: usize) -> PairRates {
+        let a = &self.clusters[i];
+        let b = &self.clusters[v];
+        let ni = a.nodes as f64;
+        let nv = b.nodes as f64;
+        let out_i = ni * a.outgoing_probability * a.generation_rate;
+        let out_v = nv * b.outgoing_probability * b.generation_rate;
+        let lambda_ecn1 = out_i + out_v;
+        let lambda_icn2 = (ni * out_i + nv * out_v) / (ni + nv);
+        let eta_ecn1 = a.average_distance * lambda_ecn1 / (4.0 * a.levels as f64 * ni);
+        let eta_icn2 =
+            self.icn2_average_distance * lambda_icn2 / (4.0 * self.icn2_levels as f64);
+        PairRates {
+            source: i,
+            destination: v,
+            lambda_ecn1,
+            lambda_icn2,
+            eta_ecn1,
+            eta_icn2,
+        }
+    }
+}
+
+/// Cache of hop-count distributions keyed by tree level count, shared by the intra- and
+/// inter-cluster latency computations so each distinct `n` is computed once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HopCache {
+    per_levels: std::collections::BTreeMap<usize, HopDistribution>,
+    icn2: HopDistribution,
+}
+
+impl HopCache {
+    /// Builds the cache for every distinct cluster size of the system plus ICN2.
+    pub fn build(system: &MultiClusterSystem, options: &ModelOptions) -> Result<Self> {
+        let m = system.ports();
+        let mut per_levels = std::collections::BTreeMap::new();
+        for (_, spec) in system.iter_clusters() {
+            if let std::collections::btree_map::Entry::Vacant(e) = per_levels.entry(spec.levels) {
+                e.insert(HopDistribution::with_model(m, spec.levels, options.hop_model)?);
+            }
+        }
+        let icn2 = HopDistribution::with_model(m, system.icn2_levels(), options.hop_model)?;
+        Ok(HopCache { per_levels, icn2 })
+    }
+
+    /// The hop distribution of a cluster with the given tree level count.
+    ///
+    /// # Panics
+    /// Panics if the level count was not part of the system the cache was built for.
+    pub fn cluster(&self, levels: usize) -> &HopDistribution {
+        self.per_levels
+            .get(&levels)
+            .expect("hop cache queried for a cluster size absent from the system")
+    }
+
+    /// The hop distribution of the inter-cluster network ICN2.
+    pub fn icn2(&self) -> &HopDistribution {
+        &self.icn2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnet_system::organizations;
+
+    fn rates_for(system: &MultiClusterSystem, rate: f64) -> SystemRates {
+        let traffic = TrafficConfig::uniform(32, 256.0, rate).unwrap();
+        SystemRates::compute(system, &traffic, &ModelOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn outgoing_probability_and_weights_org_a() {
+        let sys = organizations::table1_org_a();
+        let rates = rates_for(&sys, 1e-4);
+        // Cluster 0 has 8 nodes out of 1120: P_o = (1120-8)/1119.
+        let c0 = rates.cluster(0);
+        assert!((c0.outgoing_probability - 1112.0 / 1119.0).abs() < 1e-12);
+        // Cluster 31 has 128 nodes: P_o = 992/1119.
+        let c31 = rates.cluster(31);
+        assert!((c31.outgoing_probability - 992.0 / 1119.0).abs() < 1e-12);
+        assert!(c31.outgoing_probability < c0.outgoing_probability);
+    }
+
+    #[test]
+    fn rates_scale_linearly_with_lambda_g() {
+        let sys = organizations::table1_org_b();
+        let r1 = rates_for(&sys, 1e-4);
+        let r2 = rates_for(&sys, 2e-4);
+        for i in 0..sys.num_clusters() {
+            assert!((r2.cluster(i).lambda_icn1 - 2.0 * r1.cluster(i).lambda_icn1).abs() < 1e-15);
+            assert!((r2.cluster(i).eta_icn1 - 2.0 * r1.cluster(i).eta_icn1).abs() < 1e-15);
+        }
+        let p1 = r1.pair(0, 15);
+        let p2 = r2.pair(0, 15);
+        assert!((p2.lambda_ecn1 - 2.0 * p1.lambda_ecn1).abs() < 1e-15);
+        assert!((p2.lambda_icn2 - 2.0 * p1.lambda_icn2).abs() < 1e-15);
+        assert!((p2.eta_icn2 - 2.0 * p1.eta_icn2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eta_icn1_is_independent_of_cluster_size_for_equal_levels() {
+        // η_I1 = d_avg (1-P_o) λ_g / (4 n): the N_i factors cancel, so two clusters
+        // with the same n but different P_o differ only through P_o.
+        let sys = organizations::table1_org_a();
+        let rates = rates_for(&sys, 1e-4);
+        let a = rates.cluster(0); // n=1
+        let expected = a.average_distance * a.per_node_icn1_rate / (4.0 * a.levels as f64);
+        assert!((a.eta_icn1 - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn pair_rates_are_symmetric() {
+        let sys = organizations::table1_org_b();
+        let rates = rates_for(&sys, 1e-4);
+        let ab = rates.pair(0, 11);
+        let ba = rates.pair(11, 0);
+        // λ quantities are symmetric by construction; η_E1 differs because it is
+        // normalised by the source cluster's tree.
+        assert!((ab.lambda_ecn1 - ba.lambda_ecn1).abs() < 1e-18);
+        assert!((ab.lambda_icn2 - ba.lambda_icn2).abs() < 1e-18);
+        assert!((ab.eta_icn2 - ba.eta_icn2).abs() < 1e-18);
+    }
+
+    #[test]
+    fn larger_pairs_load_icn2_more() {
+        let sys = organizations::table1_org_a();
+        let rates = rates_for(&sys, 1e-4);
+        // Pair of two 128-node clusters vs pair of two 8-node clusters.
+        let big = rates.pair(28, 31);
+        let small = rates.pair(0, 1);
+        assert!(big.lambda_icn2 > 10.0 * small.lambda_icn2);
+    }
+
+    #[test]
+    fn non_uniform_traffic_is_rejected() {
+        let sys = organizations::small_test_org();
+        let traffic = TrafficConfig::uniform(32, 256.0, 1e-4)
+            .unwrap()
+            .with_pattern(mcnet_system::TrafficPattern::LocalFavoring { locality: 0.9 })
+            .unwrap();
+        let err = SystemRates::compute(&sys, &traffic, &ModelOptions::default());
+        assert!(matches!(err, Err(ModelError::InvalidConfiguration { .. })));
+    }
+
+    #[test]
+    fn zero_rate_produces_zero_loads() {
+        let sys = organizations::small_test_org();
+        let rates = rates_for(&sys, 0.0);
+        for c in rates.clusters() {
+            assert_eq!(c.lambda_icn1, 0.0);
+            assert_eq!(c.eta_icn1, 0.0);
+        }
+        let p = rates.pair(0, 1);
+        assert_eq!(p.lambda_icn2, 0.0);
+        assert_eq!(p.eta_ecn1, 0.0);
+    }
+}

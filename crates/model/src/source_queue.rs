@@ -1,0 +1,161 @@
+//! Source-queue waiting time (Eqs. 19–23 and 30).
+//!
+//! The injection channel of a node is modelled as an M/G/1 queue whose service time is
+//! the network latency `S` of the message it is injecting (blocking inside the network
+//! keeps the channel busy, which is why the service-time distribution is "general").
+//! The first two moments of that service time come from the Draper–Ghosh approximation
+//! (Eq. 22): mean `S`, standard deviation `S − M·t_cn`.
+
+use crate::options::{ModelOptions, SourceQueueRate, VarianceApproximation};
+use crate::{ModelError, Result, SaturatedComponent};
+use mcnet_queueing::{MG1Queue, QueueingError, ServiceTime};
+use serde::{Deserialize, Serialize};
+
+/// Which network's injection channel the queue feeds (only used for error reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceQueueKind {
+    /// Injection into the intra-cluster network ICN1.
+    Intra,
+    /// Injection into the inter-cluster access network ECN1.
+    Inter,
+}
+
+/// Inputs of a source-queue computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceQueueInput {
+    /// Which injection channel this is.
+    pub kind: SourceQueueKind,
+    /// Per-node arrival rate of messages using this channel.
+    pub per_node_rate: f64,
+    /// Aggregate arrival rate used by the literal reading of the paper
+    /// ([`SourceQueueRate::ClusterAggregate`]).
+    pub aggregate_rate: f64,
+    /// Mean network latency `S` (the service time of the queue).
+    pub network_latency: f64,
+    /// Minimum possible network latency, `M·t_cn`, used by the variance approximation.
+    pub minimum_latency: f64,
+    /// Cluster index (for error reporting).
+    pub cluster: usize,
+}
+
+/// Computes the mean source-queue waiting time `W` (Eq. 23 / Eq. 30) under the given
+/// interpretation options.
+pub fn waiting_time(input: &SourceQueueInput, options: &ModelOptions) -> Result<f64> {
+    let rate = match options.source_queue_rate {
+        SourceQueueRate::PerNode => input.per_node_rate,
+        SourceQueueRate::ClusterAggregate => input.aggregate_rate,
+    };
+    let service = match options.variance {
+        VarianceApproximation::DraperGhosh => {
+            ServiceTime::draper_ghosh(input.network_latency, input.minimum_latency)
+        }
+        VarianceApproximation::None => ServiceTime::deterministic(input.network_latency),
+    }
+    .map_err(|e| ModelError::InvalidConfiguration { reason: e.to_string() })?;
+
+    let queue = MG1Queue::new(rate, service)
+        .map_err(|e| ModelError::InvalidConfiguration { reason: e.to_string() })?;
+    match queue.waiting_time() {
+        Ok(w) => Ok(w),
+        Err(QueueingError::Saturated { utilization }) => Err(ModelError::Saturated {
+            component: match input.kind {
+                SourceQueueKind::Intra => SaturatedComponent::IntraSourceQueue,
+                SourceQueueKind::Inter => SaturatedComponent::InterSourceQueue,
+            },
+            utilization,
+            cluster: Some(input.cluster),
+        }),
+        Err(e) => Err(ModelError::InvalidConfiguration { reason: e.to_string() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(per_node: f64, aggregate: f64, latency: f64) -> SourceQueueInput {
+        SourceQueueInput {
+            kind: SourceQueueKind::Intra,
+            per_node_rate: per_node,
+            aggregate_rate: aggregate,
+            network_latency: latency,
+            minimum_latency: 8.832,
+            cluster: 0,
+        }
+    }
+
+    #[test]
+    fn zero_rate_means_zero_waiting() {
+        let w = waiting_time(&input(0.0, 0.0, 100.0), &ModelOptions::default()).unwrap();
+        assert_eq!(w, 0.0);
+    }
+
+    #[test]
+    fn matches_pollaczek_khinchine_by_hand() {
+        // λ = 1e-3, S = 100, min = 8.832: σ = 91.168, C² = σ²/S², ρ = 0.1.
+        let lambda = 1e-3;
+        let s = 100.0;
+        let sigma: f64 = s - 8.832;
+        let rho = lambda * s;
+        let expected = rho * s * (1.0 + sigma * sigma / (s * s)) / (2.0 * (1.0 - rho));
+        let w = waiting_time(&input(lambda, 999.0, s), &ModelOptions::default()).unwrap();
+        assert!((w - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_option_uses_other_rate() {
+        let opts_per_node = ModelOptions::default();
+        let opts_aggregate = ModelOptions::literal();
+        let inp = input(1e-4, 2e-3, 50.0);
+        let w1 = waiting_time(&inp, &opts_per_node).unwrap();
+        let w2 = waiting_time(&inp, &opts_aggregate).unwrap();
+        assert!(w2 > w1, "aggregate rate is larger, so waiting must be larger");
+    }
+
+    #[test]
+    fn variance_option_lowers_waiting() {
+        let with = waiting_time(&input(1e-3, 0.0, 100.0), &ModelOptions::default()).unwrap();
+        let without =
+            waiting_time(&input(1e-3, 0.0, 100.0), &ModelOptions::default().without_variance())
+                .unwrap();
+        assert!(without < with, "removing variance halves the P-K numerator");
+        // Deterministic service: W = ρ·S / (2(1-ρ)).
+        let rho = 1e-3 * 100.0;
+        assert!((without - rho * 100.0 / (2.0 * (1.0 - rho))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_reports_component_and_cluster() {
+        let mut inp = input(0.02, 0.0, 100.0); // ρ = 2
+        inp.cluster = 5;
+        let err = waiting_time(&inp, &ModelOptions::default()).unwrap_err();
+        match err {
+            ModelError::Saturated { component, cluster, utilization } => {
+                assert_eq!(component, SaturatedComponent::IntraSourceQueue);
+                assert_eq!(cluster, Some(5));
+                assert!(utilization >= 1.0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        inp.kind = SourceQueueKind::Inter;
+        let err = waiting_time(&inp, &ModelOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::Saturated { component: SaturatedComponent::InterSourceQueue, .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_inputs_are_reported() {
+        let inp = input(-1.0, 0.0, 100.0);
+        assert!(matches!(
+            waiting_time(&inp, &ModelOptions::default()),
+            Err(ModelError::InvalidConfiguration { .. })
+        ));
+        let inp = input(1e-3, 0.0, -5.0);
+        assert!(matches!(
+            waiting_time(&inp, &ModelOptions::default()),
+            Err(ModelError::InvalidConfiguration { .. })
+        ));
+    }
+}

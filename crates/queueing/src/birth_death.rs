@@ -1,0 +1,194 @@
+//! Birth–death Markov chains and the channel-blocking probability.
+//!
+//! The paper determines the probability that a message must wait to acquire a channel
+//! at stage `k` "using a birth–death Markov chain" (Eq. 17), which — after solving the
+//! chain for its steady state and truncating to a single-flit buffer — reduces to the
+//! well-known approximation
+//!
+//! ```text
+//! P_B = η · S
+//! ```
+//!
+//! i.e. the blocking probability equals the channel utilisation (arrival rate times
+//! mean holding time), clamped to 1. This module provides both the general finite
+//! birth–death chain solver (so the approximation can be derived and tested rather than
+//! asserted) and the convenience [`blocking_probability`] used by the model.
+
+use crate::{check_nonnegative, QueueingError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A finite birth–death chain on states `0..=n` with per-state birth rates
+/// `λ_0..λ_{n-1}` and death rates `μ_1..μ_n`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BirthDeathChain {
+    birth_rates: Vec<f64>,
+    death_rates: Vec<f64>,
+}
+
+impl BirthDeathChain {
+    /// Creates a chain from birth rates (`λ_i`, transitions `i → i+1`) and death rates
+    /// (`μ_i`, transitions `i+1 → i`, indexed from 0). The two vectors must have equal
+    /// length `n`, giving a chain on `n + 1` states.
+    pub fn new(birth_rates: Vec<f64>, death_rates: Vec<f64>) -> Result<Self> {
+        if birth_rates.len() != death_rates.len() {
+            return Err(QueueingError::InvalidDistribution {
+                reason: format!(
+                    "birth and death rate vectors have different lengths ({} vs {})",
+                    birth_rates.len(),
+                    death_rates.len()
+                ),
+            });
+        }
+        for &b in &birth_rates {
+            check_nonnegative("birth_rate", b)?;
+        }
+        for &d in &death_rates {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(QueueingError::InvalidParameter { name: "death_rate", value: d });
+            }
+        }
+        Ok(BirthDeathChain { birth_rates, death_rates })
+    }
+
+    /// A single-server queue with finite capacity `capacity` (an M/M/1/K chain):
+    /// constant birth rate `λ` for states below capacity and constant death rate `μ`.
+    pub fn mm1k(arrival_rate: f64, service_rate: f64, capacity: usize) -> Result<Self> {
+        check_nonnegative("arrival_rate", arrival_rate)?;
+        if !(service_rate.is_finite() && service_rate > 0.0) {
+            return Err(QueueingError::InvalidParameter { name: "service_rate", value: service_rate });
+        }
+        Ok(BirthDeathChain {
+            birth_rates: vec![arrival_rate; capacity],
+            death_rates: vec![service_rate; capacity],
+        })
+    }
+
+    /// Number of states of the chain.
+    pub fn num_states(&self) -> usize {
+        self.birth_rates.len() + 1
+    }
+
+    /// Steady-state distribution `π`, obtained from the detailed-balance product form
+    /// `π_i = π_0 · Π_{j<i} (λ_j / μ_j)`.
+    pub fn steady_state(&self) -> Vec<f64> {
+        let n = self.num_states();
+        let mut unnormalised = Vec::with_capacity(n);
+        unnormalised.push(1.0);
+        let mut acc = 1.0;
+        for i in 0..self.birth_rates.len() {
+            acc *= self.birth_rates[i] / self.death_rates[i];
+            unnormalised.push(acc);
+        }
+        let total: f64 = unnormalised.iter().sum();
+        unnormalised.iter().map(|&v| v / total).collect()
+    }
+
+    /// Probability that the chain is *not* in state 0 (the server is busy). For the
+    /// single-flit-buffer channel model this is the probability that an arriving
+    /// message finds the channel occupied.
+    pub fn busy_probability(&self) -> f64 {
+        1.0 - self.steady_state()[0]
+    }
+
+    /// Expected state (mean number of customers).
+    pub fn mean_state(&self) -> f64 {
+        self.steady_state().iter().enumerate().map(|(i, &p)| i as f64 * p).sum()
+    }
+}
+
+/// The paper's Eq. (17): the probability that a message is blocked at a stage whose
+/// channel receives `channel_rate` messages per time unit and holds each for
+/// `mean_service_time`, clamped to `[0, 1]`.
+///
+/// This equals the utilisation of the channel, which is the exact busy probability of
+/// the corresponding birth–death chain in the low-occupancy (single-flit buffer) limit;
+/// see the `approximation_matches_two_state_chain` test.
+pub fn blocking_probability(channel_rate: f64, mean_service_time: f64) -> Result<f64> {
+    let eta = check_nonnegative("channel_rate", channel_rate)?;
+    let s = check_nonnegative("mean_service_time", mean_service_time)?;
+    Ok((eta * s).min(1.0))
+}
+
+/// Mean waiting time to acquire a channel at a stage (paper Eq. 16):
+/// `W = ½ · S · P_B`, with `P_B` from [`blocking_probability`].
+///
+/// The factor ½ is the expected residual holding time of the channel under the
+/// memoryless-arrival assumption.
+pub fn stage_waiting_time(channel_rate: f64, mean_service_time: f64) -> Result<f64> {
+    let pb = blocking_probability(channel_rate, mean_service_time)?;
+    Ok(0.5 * mean_service_time * pb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_sums_to_one() {
+        let chain = BirthDeathChain::new(vec![1.0, 0.5, 0.25], vec![2.0, 2.0, 2.0]).unwrap();
+        let pi = chain.steady_state();
+        assert_eq!(pi.len(), 4);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn mm1k_matches_truncated_geometric() {
+        let chain = BirthDeathChain::mm1k(1.0, 2.0, 3).unwrap();
+        let pi = chain.steady_state();
+        // π_i ∝ (1/2)^i over 4 states.
+        let norm: f64 = (0..4).map(|i| 0.5f64.powi(i)).sum();
+        for (i, &p) in pi.iter().enumerate() {
+            assert!((p - 0.5f64.powi(i as i32) / norm).abs() < 1e-12);
+        }
+        assert!(chain.mean_state() > 0.0);
+    }
+
+    #[test]
+    fn approximation_matches_two_state_chain() {
+        // With a single-flit buffer the channel is a two-state chain (free/busy).
+        // Its exact busy probability is ρ/(1+ρ); for small ρ this is ≈ ρ = η·S, which
+        // is the paper's Eq. (17). Verify the approximation error is O(ρ²).
+        for &(eta, s) in &[(0.001, 10.0), (0.002, 16.7), (0.005, 8.0)] {
+            let rho: f64 = eta * s;
+            let chain = BirthDeathChain::mm1k(eta, 1.0 / s, 1).unwrap();
+            let exact = chain.busy_probability();
+            let approx = blocking_probability(eta, s).unwrap();
+            assert!((approx - exact).abs() < rho * rho * 1.1, "eta={eta}, s={s}");
+        }
+    }
+
+    #[test]
+    fn blocking_probability_clamps_to_one() {
+        assert_eq!(blocking_probability(1.0, 5.0).unwrap(), 1.0);
+        assert_eq!(blocking_probability(0.0, 5.0).unwrap(), 0.0);
+        assert!(blocking_probability(-1.0, 5.0).is_err());
+        assert!(blocking_probability(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn stage_waiting_time_formula() {
+        // W = 0.5 * S * (η S).
+        let w = stage_waiting_time(0.01, 16.7).unwrap();
+        assert!((w - 0.5 * 16.7 * (0.01 * 16.7)).abs() < 1e-12);
+        // Saturated channel: waiting capped at S/2 by the clamp.
+        let w = stage_waiting_time(1.0, 10.0).unwrap();
+        assert!((w - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_chains_rejected() {
+        assert!(BirthDeathChain::new(vec![1.0], vec![]).is_err());
+        assert!(BirthDeathChain::new(vec![-1.0], vec![1.0]).is_err());
+        assert!(BirthDeathChain::new(vec![1.0], vec![0.0]).is_err());
+        assert!(BirthDeathChain::mm1k(1.0, 0.0, 2).is_err());
+        assert!(BirthDeathChain::mm1k(-1.0, 1.0, 2).is_err());
+    }
+
+    #[test]
+    fn busy_probability_increases_with_load() {
+        let low = BirthDeathChain::mm1k(0.1, 1.0, 1).unwrap().busy_probability();
+        let high = BirthDeathChain::mm1k(0.5, 1.0, 1).unwrap().busy_probability();
+        assert!(high > low);
+    }
+}

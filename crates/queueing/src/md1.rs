@@ -1,0 +1,103 @@
+//! The M/D/1 queue (Poisson arrivals, deterministic service, single server).
+//!
+//! The paper's concentrator/dispatcher queues are exactly M/D/1: the message length is
+//! fixed, so the service time `M·t_cs` has no variance (Eq. 33). The module also backs
+//! the "zero-variance source queue" ablation (what the model would predict had the
+//! Draper–Ghosh variance approximation not been applied).
+
+use crate::{check_nonnegative, check_positive, QueueingError, Result};
+use serde::{Deserialize, Serialize};
+
+/// An M/D/1 queue with arrival rate `λ` and constant service time `d`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MD1Queue {
+    arrival_rate: f64,
+    service_time: f64,
+}
+
+impl MD1Queue {
+    /// Creates an M/D/1 queue.
+    pub fn new(arrival_rate: f64, service_time: f64) -> Result<Self> {
+        Ok(MD1Queue {
+            arrival_rate: check_nonnegative("arrival_rate", arrival_rate)?,
+            service_time: check_positive("service_time", service_time)?,
+        })
+    }
+
+    /// Utilisation `ρ = λ·d`.
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        self.arrival_rate * self.service_time
+    }
+
+    /// `true` when `ρ < 1`.
+    #[inline]
+    pub fn is_stable(&self) -> bool {
+        self.utilization() < 1.0
+    }
+
+    /// Mean waiting time, `W_q = ρ·d / (2(1 − ρ))` — the form used by the paper's
+    /// Eq. (33) for the concentrator/dispatcher.
+    pub fn waiting_time(&self) -> Result<f64> {
+        let rho = self.utilization();
+        if rho >= 1.0 {
+            return Err(QueueingError::Saturated { utilization: rho });
+        }
+        Ok(rho * self.service_time / (2.0 * (1.0 - rho)))
+    }
+
+    /// Mean residence time (waiting plus service).
+    pub fn residence_time(&self) -> Result<f64> {
+        Ok(self.waiting_time()? + self.service_time)
+    }
+
+    /// Mean number of customers in the system, by Little's law.
+    pub fn mean_customers(&self) -> Result<f64> {
+        Ok(self.arrival_rate * self.residence_time()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::ServiceTime;
+    use crate::mg1::MG1Queue;
+
+    #[test]
+    fn agrees_with_mg1_deterministic_service() {
+        let q = MD1Queue::new(0.3, 2.5).unwrap();
+        let g = MG1Queue::new(0.3, ServiceTime::deterministic(2.5).unwrap()).unwrap();
+        assert!((q.waiting_time().unwrap() - g.waiting_time().unwrap()).abs() < 1e-12);
+        assert!((q.residence_time().unwrap() - g.residence_time().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn md1_waits_half_as_long_as_mm1() {
+        // Classic result: at equal utilisation the M/D/1 waiting time is half the
+        // M/M/1 waiting time.
+        let lambda = 0.7;
+        let d = 1.0;
+        let md1 = MD1Queue::new(lambda, d).unwrap();
+        let mm1 = crate::mm1::MM1Queue::new(lambda, 1.0 / d).unwrap();
+        let ratio = md1.waiting_time().unwrap() / mm1.waiting_time().unwrap();
+        assert!((ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentrator_style_usage() {
+        // Paper Eq. (33): service = M·t_cs with M = 32 flits, t_cs = 0.522 time units.
+        let service = 32.0 * 0.522;
+        let q = MD1Queue::new(3e-4 * 100.0, service).unwrap(); // aggregated ICN2 rate
+        assert!(q.is_stable());
+        assert!(q.waiting_time().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn saturation_and_validation() {
+        assert!(MD1Queue::new(0.1, 0.0).is_err());
+        assert!(MD1Queue::new(-0.1, 1.0).is_err());
+        let q = MD1Queue::new(1.0, 1.0).unwrap();
+        assert!(!q.is_stable());
+        assert!(q.waiting_time().is_err());
+    }
+}

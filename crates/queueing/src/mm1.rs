@@ -1,0 +1,116 @@
+//! The M/M/1 queue (Poisson arrivals, exponential service, single server).
+//!
+//! Not used directly by the paper's model, but it is the classical sanity anchor for
+//! both the M/G/1 implementation (exponential service must reproduce M/M/1) and the
+//! discrete-event engine (an M/M/1 station simulated event-by-event must match the
+//! closed forms below), so it earns its own module.
+
+use crate::{check_nonnegative, check_positive, QueueingError, Result};
+use serde::{Deserialize, Serialize};
+
+/// An M/M/1 queue with arrival rate `λ` and service rate `μ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MM1Queue {
+    arrival_rate: f64,
+    service_rate: f64,
+}
+
+impl MM1Queue {
+    /// Creates an M/M/1 queue.
+    pub fn new(arrival_rate: f64, service_rate: f64) -> Result<Self> {
+        Ok(MM1Queue {
+            arrival_rate: check_nonnegative("arrival_rate", arrival_rate)?,
+            service_rate: check_positive("service_rate", service_rate)?,
+        })
+    }
+
+    /// Utilisation `ρ = λ/μ`.
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        self.arrival_rate / self.service_rate
+    }
+
+    /// `true` when `ρ < 1`.
+    #[inline]
+    pub fn is_stable(&self) -> bool {
+        self.utilization() < 1.0
+    }
+
+    fn guard(&self) -> Result<f64> {
+        let rho = self.utilization();
+        if rho >= 1.0 {
+            Err(QueueingError::Saturated { utilization: rho })
+        } else {
+            Ok(rho)
+        }
+    }
+
+    /// Mean waiting time in the queue, `W_q = ρ / (μ − λ)`.
+    pub fn waiting_time(&self) -> Result<f64> {
+        let rho = self.guard()?;
+        Ok(rho / (self.service_rate - self.arrival_rate))
+    }
+
+    /// Mean residence time, `T = 1 / (μ − λ)`.
+    pub fn residence_time(&self) -> Result<f64> {
+        self.guard()?;
+        Ok(1.0 / (self.service_rate - self.arrival_rate))
+    }
+
+    /// Mean number of customers in the system, `L = ρ / (1 − ρ)`.
+    pub fn mean_customers(&self) -> Result<f64> {
+        let rho = self.guard()?;
+        Ok(rho / (1.0 - rho))
+    }
+
+    /// Steady-state probability of exactly `n` customers, `(1 − ρ)·ρⁿ`.
+    pub fn prob_n_customers(&self, n: usize) -> Result<f64> {
+        let rho = self.guard()?;
+        Ok((1.0 - rho) * rho.powi(n as i32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::ServiceTime;
+    use crate::mg1::MG1Queue;
+
+    #[test]
+    fn agrees_with_mg1_exponential_service() {
+        let lambda = 0.6;
+        let mu = 1.0;
+        let mm1 = MM1Queue::new(lambda, mu).unwrap();
+        let mg1 = MG1Queue::new(lambda, ServiceTime::exponential(1.0 / mu).unwrap()).unwrap();
+        assert!((mm1.waiting_time().unwrap() - mg1.waiting_time().unwrap()).abs() < 1e-12);
+        assert!((mm1.residence_time().unwrap() - mg1.residence_time().unwrap()).abs() < 1e-12);
+        assert!((mm1.mean_customers().unwrap() - mg1.mean_customers().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_textbook_values() {
+        // λ = 2, μ = 3: ρ = 2/3, T = 1, L = 2, Wq = 2/3.
+        let q = MM1Queue::new(2.0, 3.0).unwrap();
+        assert!((q.utilization() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.residence_time().unwrap() - 1.0).abs() < 1e-12);
+        assert!((q.mean_customers().unwrap() - 2.0).abs() < 1e-12);
+        assert!((q.waiting_time().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_probabilities_sum_to_one() {
+        let q = MM1Queue::new(1.0, 2.0).unwrap();
+        let total: f64 = (0..200).map(|n| q.prob_n_customers(n).unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_and_validation() {
+        assert!(MM1Queue::new(1.0, 0.0).is_err());
+        assert!(MM1Queue::new(-1.0, 1.0).is_err());
+        let q = MM1Queue::new(2.0, 2.0).unwrap();
+        assert!(!q.is_stable());
+        assert!(q.waiting_time().is_err());
+        assert!(q.prob_n_customers(0).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Poisson processes.
+//!
+//! Paper assumption 1: every node generates messages according to an independent
+//! Poisson process with rate `λ_g`, and the arrival process at every channel is
+//! approximated as Poisson as well. The simulator needs to *sample* such processes;
+//! the model relies on two closure properties that are also exposed (and tested) here:
+//! thinning (splitting by an independent coin flip keeps the process Poisson) and
+//! superposition (merging independent processes adds their rates).
+
+use crate::{check_nonnegative, check_positive, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous Poisson process with a fixed rate, used as an inter-arrival sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoissonProcess {
+    rate: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given rate (events per time unit). A rate of zero is
+    /// allowed and produces no events (infinite inter-arrival times).
+    pub fn new(rate: f64) -> Result<Self> {
+        Ok(PoissonProcess { rate: check_nonnegative("rate", rate)? })
+    }
+
+    /// The event rate.
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Samples the next inter-arrival time (exponentially distributed with mean
+    /// `1/rate`). Returns `f64::INFINITY` for a zero-rate process.
+    pub fn sample_interarrival<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.rate == 0.0 {
+            return f64::INFINITY;
+        }
+        // Inverse-transform sampling; `1 - u` avoids ln(0).
+        let u: f64 = rng.gen::<f64>();
+        -(1.0 - u).ln() / self.rate
+    }
+
+    /// Samples the number of events in an interval of the given length (Poisson
+    /// distributed), by counting exponential gaps. Intended for moderate means; the
+    /// simulator only uses it for sanity checks.
+    pub fn sample_count<R: Rng + ?Sized>(&self, rng: &mut R, interval: f64) -> Result<u64> {
+        check_nonnegative("interval", interval)?;
+        if self.rate == 0.0 || interval == 0.0 {
+            return Ok(0);
+        }
+        let mut t = 0.0;
+        let mut count = 0u64;
+        loop {
+            t += self.sample_interarrival(rng);
+            if t > interval {
+                return Ok(count);
+            }
+            count += 1;
+        }
+    }
+
+    /// Splits the process by independent thinning: with probability `p` an event goes
+    /// to the first output stream, otherwise to the second. Returns the two resulting
+    /// Poisson processes (rates `p·λ` and `(1−p)·λ`).
+    pub fn thin(&self, p: f64) -> Result<(PoissonProcess, PoissonProcess)> {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(crate::QueueingError::InvalidParameter { name: "p", value: p });
+        }
+        Ok((PoissonProcess { rate: self.rate * p }, PoissonProcess { rate: self.rate * (1.0 - p) }))
+    }
+
+    /// Superposition of independent Poisson processes: the merged process has the sum
+    /// of the rates.
+    pub fn merge(processes: &[PoissonProcess]) -> PoissonProcess {
+        PoissonProcess { rate: processes.iter().map(|p| p.rate).sum() }
+    }
+}
+
+/// Samples an exponential random variable with the given mean.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> Result<f64> {
+    let mean = check_positive("mean", mean)?;
+    let u: f64 = rng.gen::<f64>();
+    Ok(-mean * (1.0 - u).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interarrival_mean_matches_rate() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let p = PoissonProcess::new(0.5).unwrap();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| p.sample_interarrival(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean inter-arrival {mean} != 2.0");
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = PoissonProcess::new(0.0).unwrap();
+        assert!(p.sample_interarrival(&mut rng).is_infinite());
+        assert_eq!(p.sample_count(&mut rng, 100.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn count_mean_and_variance_match_poisson() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = PoissonProcess::new(2.0).unwrap();
+        let interval = 5.0; // expected count 10
+        let samples: Vec<u64> =
+            (0..20_000).map(|_| p.sample_count(&mut rng, interval).unwrap()).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        let var = samples.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+        // For a Poisson distribution the variance equals the mean.
+        assert!((var - 10.0).abs() < 0.6, "variance {var}");
+    }
+
+    #[test]
+    fn thinning_preserves_total_rate() {
+        let p = PoissonProcess::new(3.0).unwrap();
+        let (a, b) = p.thin(0.25).unwrap();
+        assert!((a.rate() - 0.75).abs() < 1e-12);
+        assert!((b.rate() - 2.25).abs() < 1e-12);
+        assert!((a.rate() + b.rate() - p.rate()).abs() < 1e-12);
+        assert!(p.thin(1.5).is_err());
+        assert!(p.thin(-0.1).is_err());
+    }
+
+    #[test]
+    fn merging_adds_rates() {
+        let ps: Vec<PoissonProcess> =
+            (1..=4).map(|i| PoissonProcess::new(i as f64).unwrap()).collect();
+        let merged = PoissonProcess::merge(&ps);
+        assert!((merged.rate() - 10.0).abs() < 1e-12);
+        assert_eq!(PoissonProcess::merge(&[]).rate(), 0.0);
+    }
+
+    #[test]
+    fn exponential_sampler_mean() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let n = 100_000;
+        let mean: f64 =
+            (0..n).map(|_| sample_exponential(&mut rng, 3.0).unwrap()).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05);
+        assert!(sample_exponential(&mut rng, 0.0).is_err());
+        assert!(sample_exponential(&mut rng, -1.0).is_err());
+    }
+
+    #[test]
+    fn invalid_rate_rejected() {
+        assert!(PoissonProcess::new(-1.0).is_err());
+        assert!(PoissonProcess::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn samples_are_nonnegative_and_finite() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let p = PoissonProcess::new(10.0).unwrap();
+        for _ in 0..10_000 {
+            let x = p.sample_interarrival(&mut rng);
+            assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+}

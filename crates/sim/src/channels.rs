@@ -1,0 +1,272 @@
+//! Channel occupancy tracking for wormhole flow control.
+//!
+//! Every unidirectional channel of every network instance is represented by one slot in
+//! the [`ChannelPool`]: a busy flag (the channel is part of some worm's path and has
+//! not been released yet), a FIFO of messages waiting to acquire it (paper assumption 4:
+//! one flit buffer per channel — the worm behind simply blocks in place) and the
+//! per-flit transfer time of the channel (`t_cn` for node↔switch channels, `t_cs` for
+//! switch↔switch channels).
+
+use crate::event::MessageId;
+use std::collections::VecDeque;
+
+/// Global identifier of a channel across all network instances of the simulation.
+pub type GlobalChannelId = u32;
+
+/// State of one unidirectional channel.
+#[derive(Debug, Clone, Default)]
+struct ChannelState {
+    /// The message currently holding the channel, if any.
+    holder: Option<MessageId>,
+    /// Messages waiting to acquire the channel, in arrival order.
+    waiters: VecDeque<MessageId>,
+    /// Simulation time at which the current holder acquired the channel.
+    held_since: f64,
+    /// Accumulated busy time of the channel.
+    busy_time: f64,
+}
+
+/// All channels of the simulated system.
+#[derive(Debug)]
+pub struct ChannelPool {
+    states: Vec<ChannelState>,
+    /// Per-flit transfer time of each channel.
+    flit_times: Vec<f64>,
+    /// Total number of acquisitions that had to wait (contention events), for
+    /// diagnostics.
+    contention_events: u64,
+    /// Total number of acquisitions.
+    acquisitions: u64,
+}
+
+/// Result of an acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// The channel was free and is now held by the requesting message.
+    Granted,
+    /// The channel is busy; the message was appended to its FIFO.
+    Queued,
+}
+
+impl ChannelPool {
+    /// Creates a pool of `count` channels with the given per-flit times.
+    pub fn new(flit_times: Vec<f64>) -> Self {
+        ChannelPool {
+            states: vec![ChannelState::default(); flit_times.len()],
+            flit_times,
+            contention_events: 0,
+            acquisitions: 0,
+        }
+    }
+
+    /// Number of channels in the pool.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` if the pool has no channels.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Per-flit transfer time of a channel.
+    #[inline]
+    pub fn flit_time(&self, ch: GlobalChannelId) -> f64 {
+        self.flit_times[ch as usize]
+    }
+
+    /// Whether a channel is currently held.
+    #[inline]
+    pub fn is_busy(&self, ch: GlobalChannelId) -> bool {
+        self.states[ch as usize].holder.is_some()
+    }
+
+    /// The message currently holding the channel, if any.
+    #[inline]
+    pub fn holder(&self, ch: GlobalChannelId) -> Option<MessageId> {
+        self.states[ch as usize].holder
+    }
+
+    /// Number of messages waiting on a channel.
+    #[inline]
+    pub fn queue_len(&self, ch: GlobalChannelId) -> usize {
+        self.states[ch as usize].waiters.len()
+    }
+
+    /// Fraction of acquisitions that had to wait, over the whole run.
+    pub fn contention_ratio(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contention_events as f64 / self.acquisitions as f64
+        }
+    }
+
+    /// Attempts to acquire a channel for `message` at simulation time `now`: grants it
+    /// immediately if free, otherwise queues the message in FIFO order.
+    pub fn acquire(&mut self, ch: GlobalChannelId, message: MessageId, now: f64) -> Acquire {
+        self.acquisitions += 1;
+        let state = &mut self.states[ch as usize];
+        if state.holder.is_none() {
+            state.holder = Some(message);
+            state.held_since = now;
+            Acquire::Granted
+        } else {
+            debug_assert_ne!(state.holder, Some(message), "message acquiring a channel twice");
+            self.contention_events += 1;
+            state.waiters.push_back(message);
+            Acquire::Queued
+        }
+    }
+
+    /// Releases a channel held by `message` at simulation time `now`. If another
+    /// message is waiting, it becomes the new holder and its id is returned so the
+    /// engine can resume it.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the channel is not held by `message`.
+    pub fn release(&mut self, ch: GlobalChannelId, message: MessageId, now: f64) -> Option<MessageId> {
+        let state = &mut self.states[ch as usize];
+        debug_assert_eq!(state.holder, Some(message), "releasing a channel not held");
+        state.busy_time += now - state.held_since;
+        match state.waiters.pop_front() {
+            Some(next) => {
+                state.holder = Some(next);
+                state.held_since = now;
+                Some(next)
+            }
+            None => {
+                state.holder = None;
+                None
+            }
+        }
+    }
+
+    /// Number of currently busy channels (diagnostic).
+    pub fn busy_count(&self) -> usize {
+        self.states.iter().filter(|s| s.holder.is_some()).count()
+    }
+
+    /// Time-average utilisation of one channel over `[0, now]` (fraction of time the
+    /// channel was held). Returns 0 before any time has elapsed.
+    pub fn utilization(&self, ch: GlobalChannelId, now: f64) -> f64 {
+        if now <= 0.0 {
+            return 0.0;
+        }
+        let state = &self.states[ch as usize];
+        let in_flight = if state.holder.is_some() { now - state.held_since } else { 0.0 };
+        ((state.busy_time + in_flight) / now).clamp(0.0, 1.0)
+    }
+
+    /// `(mean, max)` utilisation over an arbitrary subset of channels at time `now`.
+    pub fn utilization_summary<I: IntoIterator<Item = GlobalChannelId>>(
+        &self,
+        channels: I,
+        now: f64,
+    ) -> (f64, f64) {
+        let mut count = 0usize;
+        let mut sum = 0.0;
+        let mut max = 0.0f64;
+        for ch in channels {
+            let u = self.utilization(ch, now);
+            sum += u;
+            max = max.max(u);
+            count += 1;
+        }
+        if count == 0 {
+            (0.0, 0.0)
+        } else {
+            (sum / count as f64, max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> ChannelPool {
+        ChannelPool::new(vec![0.5; n])
+    }
+
+    #[test]
+    fn grant_and_release_without_contention() {
+        let mut p = pool(2);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.acquire(0, 7, 0.0), Acquire::Granted);
+        assert!(p.is_busy(0));
+        assert_eq!(p.holder(0), Some(7));
+        assert!(!p.is_busy(1));
+        assert_eq!(p.release(0, 7, 1.0), None);
+        assert!(!p.is_busy(0));
+        assert_eq!(p.contention_ratio(), 0.0);
+        assert_eq!(p.flit_time(1), 0.5);
+    }
+
+    #[test]
+    fn fifo_handoff_on_release() {
+        let mut p = pool(1);
+        assert_eq!(p.acquire(0, 1, 0.0), Acquire::Granted);
+        assert_eq!(p.acquire(0, 2, 0.1), Acquire::Queued);
+        assert_eq!(p.acquire(0, 3, 0.2), Acquire::Queued);
+        assert_eq!(p.queue_len(0), 2);
+        // Release hands the channel to message 2 (FIFO), then to 3.
+        assert_eq!(p.release(0, 1, 1.0), Some(2));
+        assert_eq!(p.holder(0), Some(2));
+        assert_eq!(p.release(0, 2, 2.0), Some(3));
+        assert_eq!(p.release(0, 3, 3.0), None);
+        assert!(p.contention_ratio() > 0.0);
+    }
+
+    #[test]
+    fn busy_count_tracks_holders() {
+        let mut p = pool(4);
+        p.acquire(0, 1, 0.0);
+        p.acquire(2, 1, 0.0);
+        p.acquire(3, 2, 0.0);
+        assert_eq!(p.busy_count(), 3);
+        p.release(2, 1, 1.0);
+        assert_eq!(p.busy_count(), 2);
+    }
+
+    #[test]
+    fn utilization_accounts_for_busy_time() {
+        let mut p = pool(2);
+        // Channel 0 busy over [0, 4] and [6, 8]; channel 1 never used.
+        p.acquire(0, 1, 0.0);
+        p.release(0, 1, 4.0);
+        p.acquire(0, 2, 6.0);
+        p.release(0, 2, 8.0);
+        assert!((p.utilization(0, 10.0) - 0.6).abs() < 1e-12);
+        assert_eq!(p.utilization(1, 10.0), 0.0);
+        assert_eq!(p.utilization(0, 0.0), 0.0);
+        // A currently-held channel counts its in-flight time.
+        p.acquire(1, 3, 5.0);
+        assert!((p.utilization(1, 10.0) - 0.5).abs() < 1e-12);
+        let (mean, max) = p.utilization_summary([0u32, 1u32], 10.0);
+        assert!((mean - 0.55).abs() < 1e-12);
+        assert!((max - 0.6).abs() < 1e-12);
+        assert_eq!(p.utilization_summary(std::iter::empty(), 10.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn continuous_handoff_counts_as_continuously_busy() {
+        let mut p = pool(1);
+        p.acquire(0, 1, 0.0);
+        p.acquire(0, 2, 1.0);
+        assert_eq!(p.release(0, 1, 3.0), Some(2));
+        p.release(0, 2, 5.0);
+        assert!((p.utilization(0, 5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not held")]
+    fn releasing_unheld_channel_panics() {
+        let mut p = pool(1);
+        p.release(0, 9, 0.0);
+    }
+}

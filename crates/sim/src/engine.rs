@@ -1,0 +1,359 @@
+//! The simulation engine: event dispatch and the wormhole state machine.
+//!
+//! The engine advances messages through three phases:
+//!
+//! 1. **Acquisition** — the header acquires the channels of its path one at a time
+//!    (FIFO per channel), holding everything acquired so far; crossing a channel takes
+//!    that channel's per-flit time.
+//! 2. **Drain** — once the header has acquired the whole path, the remaining `M − 1`
+//!    flits stream behind it at the path's bottleneck channel rate.
+//! 3. **Release** — each channel is released when the tail flit passes it: channel `k`
+//!    of an `L`-channel path is freed `max(0, M − L + k)` bottleneck flit-times after
+//!    header delivery (so the injection channel is held for roughly one message
+//!    transfer, and the last channel until the tail is delivered). Released channels
+//!    are handed to the oldest waiter, which resumes its own acquisition.
+//!
+//! Because routes in the fat-tree (and across the ECN1 → bridge → ICN2 → bridge → ECN1
+//! chain) acquire resources in a globally consistent up-then-down order, the channel
+//! wait-for graph is acyclic and the simulation cannot deadlock.
+
+use crate::channels::{Acquire, ChannelPool, GlobalChannelId};
+use crate::event::{EventKind, EventQueue, MessageId};
+use crate::fabric::Fabric;
+use crate::message::MessageState;
+use crate::runner::SimConfig;
+use crate::stats::SimStats;
+use crate::traffic::TrafficSource;
+use crate::{Result, SimError};
+use mcnet_system::{MultiClusterSystem, TrafficConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One simulation run over a fixed system, traffic point and seed.
+#[derive(Debug)]
+pub struct Simulation {
+    fabric: Fabric,
+    pool: ChannelPool,
+    queue: EventQueue,
+    messages: Vec<MessageState>,
+    traffic: TrafficSource,
+    stats: SimStats,
+    rng: SmallRng,
+    message_flits: f64,
+    generation_target: u64,
+    max_events: u64,
+}
+
+impl Simulation {
+    /// Builds the simulation state: fabric, channel pool, per-node Poisson processes.
+    pub fn new(
+        system: &MultiClusterSystem,
+        traffic_cfg: &TrafficConfig,
+        config: &SimConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let fabric = Fabric::build(system, traffic_cfg)?;
+        let pool = fabric.channel_pool();
+        let traffic = TrafficSource::new(system, traffic_cfg)?;
+        let expected_scale = traffic_cfg.message_flits as f64 * fabric.t_cs();
+        let stats = SimStats::new(config.warmup_messages, config.measured_messages, expected_scale);
+        let generation_target = stats.generation_target(config.drain_messages);
+        let mut sim = Simulation {
+            fabric,
+            pool,
+            queue: EventQueue::new(),
+            messages: Vec::with_capacity(generation_target as usize),
+            traffic,
+            stats,
+            rng: SmallRng::seed_from_u64(config.seed),
+            message_flits: traffic_cfg.message_flits as f64,
+            generation_target,
+            max_events: config.max_events,
+        };
+        // Prime every node's Poisson process.
+        let nodes = sim.fabric.system().total_nodes();
+        for node in 0..nodes {
+            let dt = sim.traffic.sample_interarrival(&mut sim.rng);
+            sim.queue.schedule_in(dt, EventKind::Generate { node: node as u32 });
+        }
+        Ok(sim)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.queue.now()
+    }
+
+    /// The statistics accumulator.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The channel pool (for diagnostics such as the contention ratio).
+    pub fn pool(&self) -> &ChannelPool {
+        &self.pool
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.processed()
+    }
+
+    /// `(mean, max)` time-average utilisation of the concentrator/dispatcher bridge
+    /// resources — the quantity the model's Eq. (33) approximates with an M/D/1 queue.
+    pub fn bridge_utilization(&self) -> (f64, f64) {
+        let bridges = self.fabric.bridges();
+        let ids = (0..self.fabric.system().num_clusters())
+            .flat_map(|c| [bridges.concentrate(c), bridges.dispatch(c)]);
+        self.pool.utilization_summary(ids, self.queue.now())
+    }
+
+    /// `(mean, max)` time-average utilisation over every network channel (ICN1, ECN1
+    /// and ICN2, excluding the bridges) — comparable with the model's per-channel
+    /// rates `η·M·t` of Eqs. (10)–(12).
+    pub fn network_utilization(&self) -> (f64, f64) {
+        let bridges = *self.fabric.bridges();
+        let ids = (0..self.pool.len() as u32).filter(move |&c| !bridges.is_bridge(c));
+        self.pool.utilization_summary(ids, self.queue.now())
+    }
+
+    /// Runs the simulation until every generated message has been delivered.
+    pub fn run(&mut self) -> Result<()> {
+        while let Some(event) = self.queue.pop() {
+            if self.queue.processed() > self.max_events {
+                return Err(SimError::EventBudgetExhausted {
+                    events: self.queue.processed(),
+                    delivered: self.stats.delivered(),
+                });
+            }
+            match event.kind {
+                EventKind::Generate { node } => self.handle_generate(node as usize),
+                EventKind::HeaderAdvance { message } => self.handle_header_advance(message),
+                EventKind::ChannelRelease { message, index } => {
+                    self.handle_channel_release(message, index as usize)
+                }
+                EventKind::TailArrived { message } => self.handle_tail_arrived(message),
+            }
+            if self.stats.generated() >= self.generation_target
+                && self.stats.delivered() >= self.generation_target
+            {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- event handlers -----------------------------------------------------------
+
+    fn handle_generate(&mut self, node: usize) {
+        if self.stats.generated() >= self.generation_target {
+            return; // generation phase is over; let the network drain
+        }
+        // Sample the message.
+        let dst = self.traffic.sample_destination(&mut self.rng, node);
+        let itinerary = self
+            .fabric
+            .build_path(node, dst)
+            .expect("sampled destinations are always routable");
+        let (index, measured) = self.stats.register_generation();
+        let id = index as MessageId;
+        let message = MessageState::new(
+            id,
+            itinerary.src_cluster,
+            itinerary.dst_cluster,
+            self.queue.now(),
+            itinerary.channels,
+            itinerary.bottleneck,
+            measured,
+        );
+        debug_assert_eq!(self.messages.len(), id as usize);
+        self.messages.push(message);
+        self.request_next_channel(id);
+
+        // Keep this node's Poisson process alive while the generation phase lasts.
+        if self.stats.generated() < self.generation_target {
+            let dt = self.traffic.sample_interarrival(&mut self.rng);
+            self.queue.schedule_in(dt, EventKind::Generate { node: node as u32 });
+        }
+    }
+
+    /// Attempts to acquire the next channel of a message's path; if the channel is
+    /// busy the message is left waiting in that channel's FIFO.
+    fn request_next_channel(&mut self, id: MessageId) {
+        let channel = self.messages[id as usize]
+            .next_channel()
+            .expect("request_next_channel called on a finished path");
+        if self.pool.acquire(channel, id, self.queue.now()) == Acquire::Granted {
+            self.channel_granted(id, channel);
+        }
+    }
+
+    /// A channel has been granted to the message: the header starts crossing it.
+    fn channel_granted(&mut self, id: MessageId, channel: GlobalChannelId) {
+        let msg = &mut self.messages[id as usize];
+        let expected = msg.advance();
+        debug_assert_eq!(expected, channel, "granted channel differs from the path order");
+        let cross_time = self.pool.flit_time(channel);
+        self.queue.schedule_in(cross_time, EventKind::HeaderAdvance { message: id });
+    }
+
+    fn handle_header_advance(&mut self, id: MessageId) {
+        if self.messages[id as usize].header_delivered() {
+            // The header reached the destination. The remaining M-1 flits drain behind
+            // it at the bottleneck channel rate: channel k of an L-channel path sees
+            // the tail pass max(0, M - L + k) flit-times after header delivery, and the
+            // tail is delivered (M - 1) flit-times after header delivery.
+            let (path_len, bottleneck) = {
+                let msg = &self.messages[id as usize];
+                (msg.path.len(), msg.bottleneck_time)
+            };
+            let flits = self.message_flits;
+            for k in 0..path_len {
+                let behind = (path_len - 1 - k) as f64;
+                let offset = ((flits - 1.0) - behind).max(0.0) * bottleneck;
+                self.queue
+                    .schedule_in(offset, EventKind::ChannelRelease { message: id, index: k as u32 });
+            }
+            let drain = (flits - 1.0).max(0.0) * bottleneck;
+            self.queue.schedule_in(drain, EventKind::TailArrived { message: id });
+        } else {
+            self.request_next_channel(id);
+        }
+    }
+
+    fn handle_channel_release(&mut self, id: MessageId, index: usize) {
+        let channel = self.messages[id as usize].path[index];
+        if let Some(next) = self.pool.release(channel, id, self.queue.now()) {
+            self.channel_granted(next, channel);
+        }
+    }
+
+    fn handle_tail_arrived(&mut self, id: MessageId) {
+        let now = self.queue.now();
+        let msg = &mut self.messages[id as usize];
+        msg.delivered_time = Some(now);
+        let latency = msg.latency().expect("just delivered");
+        let class = msg.class;
+        let measured = msg.measured;
+        self.stats.record_delivery(latency, class, measured);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnet_system::organizations;
+
+    fn small_config() -> SimConfig {
+        SimConfig {
+            warmup_messages: 50,
+            measured_messages: 400,
+            drain_messages: 50,
+            seed: 7,
+            max_events: 5_000_000,
+        }
+    }
+
+    #[test]
+    fn all_generated_messages_are_delivered() {
+        let system = organizations::small_test_org();
+        let traffic = TrafficConfig::uniform(8, 256.0, 5e-4).unwrap();
+        let mut sim = Simulation::new(&system, &traffic, &small_config()).unwrap();
+        sim.run().unwrap();
+        assert_eq!(sim.stats().generated(), 500);
+        assert_eq!(sim.stats().delivered(), 500);
+        assert_eq!(sim.stats().delivered_measured(), 400);
+        assert!(sim.stats().mean_latency() > 0.0);
+        // All channels are free again after the drain.
+        assert_eq!(sim.pool().busy_count(), 0);
+    }
+
+    #[test]
+    fn zero_load_latency_matches_hand_computation() {
+        // With an extremely low generation rate there is essentially no contention, so
+        // every intra-cluster same-leaf message takes header (2·t_cn) + drain
+        // ((M-1)·t_cn), and inter-cluster messages are bounded by the full path
+        // crossing plus the (M-1)·t_cs drain.
+        let system = organizations::small_test_org();
+        let flits = 8usize;
+        let traffic = TrafficConfig::uniform(flits, 256.0, 1e-6).unwrap();
+        let cfg = SimConfig {
+            warmup_messages: 10,
+            measured_messages: 200,
+            drain_messages: 10,
+            seed: 3,
+            max_events: 5_000_000,
+        };
+        let mut sim = Simulation::new(&system, &traffic, &cfg).unwrap();
+        sim.run().unwrap();
+        let t_cn = 0.276;
+        let t_cs = 0.522;
+        let min_possible = 2.0 * t_cn + (flits as f64 - 1.0) * t_cn;
+        // Longest possible inter path in the small org: ascent 3 + bridge + ICN2 2 +
+        // bridge + descent 3 = 10 channels, each at most t_cs, plus the drain.
+        let max_possible = 10.0 * t_cs + (flits as f64 - 1.0) * t_cs + 1.0;
+        let stats = sim.stats();
+        assert!(stats.mean_latency() >= min_possible - 1e-9, "{}", stats.mean_latency());
+        assert!(stats.max_latency() <= max_possible, "{}", stats.max_latency());
+        // Contention is negligible at this load.
+        assert!(sim.pool().contention_ratio() < 0.01);
+    }
+
+    #[test]
+    fn latency_increases_with_load() {
+        let system = organizations::small_test_org();
+        let cfg = small_config();
+        let low = {
+            let traffic = TrafficConfig::uniform(8, 256.0, 1e-4).unwrap();
+            let mut sim = Simulation::new(&system, &traffic, &cfg).unwrap();
+            sim.run().unwrap();
+            sim.stats().mean_latency()
+        };
+        let high = {
+            let traffic = TrafficConfig::uniform(8, 256.0, 8e-3).unwrap();
+            let mut sim = Simulation::new(&system, &traffic, &cfg).unwrap();
+            sim.run().unwrap();
+            sim.stats().mean_latency()
+        };
+        assert!(
+            high > low,
+            "latency must grow with offered traffic: low={low}, high={high}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_seed() {
+        let system = organizations::small_test_org();
+        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
+        let mean = |seed: u64| {
+            let cfg = SimConfig { seed, ..small_config() };
+            let mut sim = Simulation::new(&system, &traffic, &cfg).unwrap();
+            sim.run().unwrap();
+            sim.stats().mean_latency()
+        };
+        assert_eq!(mean(11).to_bits(), mean(11).to_bits());
+        assert_ne!(mean(11).to_bits(), mean(13).to_bits());
+    }
+
+    #[test]
+    fn event_budget_is_enforced() {
+        let system = organizations::small_test_org();
+        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
+        let cfg = SimConfig { max_events: 100, ..small_config() };
+        let mut sim = Simulation::new(&system, &traffic, &cfg).unwrap();
+        assert!(matches!(sim.run(), Err(SimError::EventBudgetExhausted { .. })));
+    }
+
+    #[test]
+    fn intra_and_inter_classes_are_both_observed() {
+        let system = organizations::small_test_org();
+        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
+        let mut sim = Simulation::new(&system, &traffic, &small_config()).unwrap();
+        sim.run().unwrap();
+        let intra = sim.stats().class_summary(crate::message::MessageClass::Intra);
+        let inter = sim.stats().class_summary(crate::message::MessageClass::Inter);
+        assert!(intra.count > 0);
+        assert!(inter.count > 0);
+        assert!(inter.mean > intra.mean, "inter-cluster messages travel further");
+    }
+}

@@ -1,0 +1,389 @@
+//! The simulated fabric: every network instance of the system plus the global channel
+//! numbering shared by all of them.
+//!
+//! The fabric materialises, with explicit switches and unidirectional channels:
+//!
+//! * one **ICN1** m-port `n_i`-tree per cluster (intra-cluster traffic),
+//! * one **ECN1** m-port `n_i`-tree per cluster (access network towards other clusters),
+//! * the **ICN2** m-port `n_c`-tree whose node slot `i` hosts cluster `i`'s
+//!   concentrator/dispatcher, and
+//! * two bridge resources per cluster (see [`crate::concentrator::BridgeMap`]).
+//!
+//! Channels of all instances share one dense global id space so the wormhole engine can
+//! keep a single occupancy table; [`Fabric::build_path`] translates a source/destination
+//! pair of *global node indices* into the ordered channel list the worm must acquire.
+
+use crate::channels::{ChannelPool, GlobalChannelId};
+use crate::concentrator::BridgeMap;
+use crate::{Result, SimError};
+use mcnet_system::{GlobalNodeId, MultiClusterSystem, TrafficConfig};
+use mcnet_topology::graph::ChannelKind;
+use mcnet_topology::routing::NcaRouter;
+use mcnet_topology::{MPortNTree, NodeId};
+
+/// One m-port n-tree network instance mapped into the global channel space.
+#[derive(Debug, Clone)]
+pub struct NetworkInstance {
+    tree: MPortNTree,
+    channel_base: u32,
+}
+
+impl NetworkInstance {
+    fn new(tree: MPortNTree, channel_base: u32) -> Self {
+        NetworkInstance { tree, channel_base }
+    }
+
+    /// The underlying topology.
+    pub fn tree(&self) -> &MPortNTree {
+        &self.tree
+    }
+
+    /// First global channel id of this instance.
+    pub fn channel_base(&self) -> u32 {
+        self.channel_base
+    }
+
+    fn globalize(&self, channels: &[mcnet_topology::graph::ChannelId]) -> Vec<GlobalChannelId> {
+        channels.iter().map(|c| self.channel_base + c.0).collect()
+    }
+
+    fn append_flit_times(&self, t_cn: f64, t_cs: f64, out: &mut Vec<f64>) {
+        for (_, ch) in self.tree.graph().channels() {
+            out.push(match ch.kind {
+                ChannelKind::NodeSwitch => t_cn,
+                ChannelKind::SwitchSwitch => t_cs,
+            });
+        }
+    }
+}
+
+/// A fully built description of the itinerary of one message.
+#[derive(Debug, Clone)]
+pub struct Itinerary {
+    /// Ordered channels the worm must acquire.
+    pub channels: Vec<GlobalChannelId>,
+    /// Slowest per-flit channel time on the path.
+    pub bottleneck: f64,
+    /// Source cluster index.
+    pub src_cluster: u32,
+    /// Destination cluster index.
+    pub dst_cluster: u32,
+}
+
+/// The complete simulated fabric.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    system: MultiClusterSystem,
+    icn1: Vec<NetworkInstance>,
+    ecn1: Vec<NetworkInstance>,
+    icn2: NetworkInstance,
+    bridges: BridgeMap,
+    flit_times: Vec<f64>,
+    t_cn: f64,
+    t_cs: f64,
+}
+
+impl Fabric {
+    /// Builds every network instance of the system.
+    pub fn build(system: &MultiClusterSystem, traffic: &TrafficConfig) -> Result<Self> {
+        traffic.validate().map_err(SimError::from)?;
+        let tech = system.technology();
+        let t_cn = tech.node_channel_time(traffic.flit_bytes);
+        let t_cs = tech.switch_channel_time(traffic.flit_bytes);
+        let m = system.ports();
+
+        let mut flit_times = Vec::new();
+        let mut next_base = 0u32;
+        let mut alloc = |tree: MPortNTree, flit_times: &mut Vec<f64>| -> NetworkInstance {
+            let instance = NetworkInstance::new(tree, next_base);
+            instance.append_flit_times(t_cn, t_cs, flit_times);
+            next_base += instance.tree.graph().num_channels() as u32;
+            instance
+        };
+
+        let mut icn1 = Vec::with_capacity(system.num_clusters());
+        let mut ecn1 = Vec::with_capacity(system.num_clusters());
+        for (_, spec) in system.iter_clusters() {
+            icn1.push(alloc(MPortNTree::new(m, spec.levels)?, &mut flit_times));
+            ecn1.push(alloc(MPortNTree::new(m, spec.levels)?, &mut flit_times));
+        }
+        let icn2 = alloc(MPortNTree::new(m, system.icn2_levels())?, &mut flit_times);
+        if icn2.tree.num_nodes() < system.num_clusters() {
+            return Err(SimError::InvalidConfiguration {
+                reason: format!(
+                    "ICN2 has {} node slots but the system has {} clusters",
+                    icn2.tree.num_nodes(),
+                    system.num_clusters()
+                ),
+            });
+        }
+
+        // Bridge resources: one concentrator and one dispatcher per cluster, occupying
+        // the tail of the global channel space with switch-channel flit times.
+        let bridges = BridgeMap::new(next_base, system.num_clusters());
+        flit_times.extend(std::iter::repeat_n(t_cs, bridges.num_channels()));
+
+        Ok(Fabric {
+            system: system.clone(),
+            icn1,
+            ecn1,
+            icn2,
+            bridges,
+            flit_times,
+            t_cn,
+            t_cs,
+        })
+    }
+
+    /// The system the fabric was built from.
+    pub fn system(&self) -> &MultiClusterSystem {
+        &self.system
+    }
+
+    /// Total number of channels (all networks plus bridges).
+    pub fn num_channels(&self) -> usize {
+        self.flit_times.len()
+    }
+
+    /// Per-flit node↔switch channel time.
+    pub fn t_cn(&self) -> f64 {
+        self.t_cn
+    }
+
+    /// Per-flit switch↔switch channel time.
+    pub fn t_cs(&self) -> f64 {
+        self.t_cs
+    }
+
+    /// The bridge index map.
+    pub fn bridges(&self) -> &BridgeMap {
+        &self.bridges
+    }
+
+    /// The ICN1 instance of a cluster.
+    pub fn icn1(&self, cluster: usize) -> &NetworkInstance {
+        &self.icn1[cluster]
+    }
+
+    /// The ECN1 instance of a cluster.
+    pub fn ecn1(&self, cluster: usize) -> &NetworkInstance {
+        &self.ecn1[cluster]
+    }
+
+    /// The ICN2 instance.
+    pub fn icn2(&self) -> &NetworkInstance {
+        &self.icn2
+    }
+
+    /// Creates the channel-occupancy pool matching this fabric.
+    pub fn channel_pool(&self) -> ChannelPool {
+        ChannelPool::new(self.flit_times.clone())
+    }
+
+    /// Builds the wormhole itinerary for a message from global node `src` to global
+    /// node `dst`.
+    pub fn build_path(&self, src: usize, dst: usize) -> Result<Itinerary> {
+        if src == dst {
+            return Err(SimError::InvalidConfiguration {
+                reason: format!("message from node {src} to itself"),
+            });
+        }
+        let s = self.system.locate(src).map_err(SimError::from)?;
+        let d = self.system.locate(dst).map_err(SimError::from)?;
+        if s.cluster == d.cluster {
+            self.intra_path(s, d)
+        } else {
+            self.inter_path(s, d)
+        }
+    }
+
+    fn intra_path(&self, s: GlobalNodeId, d: GlobalNodeId) -> Result<Itinerary> {
+        let net = &self.icn1[s.cluster];
+        let router = NcaRouter::new(net.tree());
+        let path = router
+            .route(NodeId::from_index(s.local), NodeId::from_index(d.local))
+            .map_err(SimError::from)?;
+        let channels = net.globalize(&path.channels);
+        let bottleneck = self.bottleneck_of(&channels);
+        Ok(Itinerary {
+            channels,
+            bottleneck,
+            src_cluster: s.cluster as u32,
+            dst_cluster: d.cluster as u32,
+        })
+    }
+
+    fn inter_path(&self, s: GlobalNodeId, d: GlobalNodeId) -> Result<Itinerary> {
+        let src_net = &self.ecn1[s.cluster];
+        let dst_net = &self.ecn1[d.cluster];
+        let src_router = NcaRouter::new(src_net.tree());
+        let dst_router = NcaRouter::new(dst_net.tree());
+        let icn2_router = NcaRouter::new(self.icn2.tree());
+
+        // Phase 1: ascend the source cluster's ECN1 to a root switch.
+        let ascent = src_router.route_to_root(NodeId::from_index(s.local)).map_err(SimError::from)?;
+        // Phase 2: cross ICN2 from concentrator slot `s.cluster` to slot `d.cluster`.
+        let icn2_path = icn2_router
+            .route(NodeId::from_index(s.cluster), NodeId::from_index(d.cluster))
+            .map_err(SimError::from)?;
+        // Phase 3: descend the destination cluster's ECN1 from the destination's home
+        // root switch (the same balanced root the destination's own ascents use).
+        let home_root = *dst_router
+            .route_to_root(NodeId::from_index(d.local))
+            .map_err(SimError::from)?
+            .switches
+            .last()
+            .expect("ascents always end at a switch");
+        let descent = dst_router
+            .route_from_root(home_root, NodeId::from_index(d.local))
+            .map_err(SimError::from)?;
+
+        let mut channels = Vec::with_capacity(
+            ascent.channels.len() + icn2_path.channels.len() + descent.channels.len() + 2,
+        );
+        channels.extend(src_net.globalize(&ascent.channels));
+        channels.push(self.bridges.concentrate(s.cluster));
+        channels.extend(self.icn2.globalize(&icn2_path.channels));
+        channels.push(self.bridges.dispatch(d.cluster));
+        channels.extend(dst_net.globalize(&descent.channels));
+
+        let bottleneck = self.bottleneck_of(&channels);
+        Ok(Itinerary {
+            channels,
+            bottleneck,
+            src_cluster: s.cluster as u32,
+            dst_cluster: d.cluster as u32,
+        })
+    }
+
+    fn bottleneck_of(&self, channels: &[GlobalChannelId]) -> f64 {
+        channels
+            .iter()
+            .map(|&c| self.flit_times[c as usize])
+            .fold(0.0f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnet_system::organizations;
+    use std::collections::HashSet;
+
+    fn fabric() -> Fabric {
+        let system = organizations::small_test_org();
+        let traffic = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
+        Fabric::build(&system, &traffic).unwrap()
+    }
+
+    #[test]
+    fn channel_count_covers_all_networks_and_bridges() {
+        let f = fabric();
+        let expected: usize = (0..f.system().num_clusters())
+            .map(|c| {
+                f.icn1(c).tree().graph().num_channels() + f.ecn1(c).tree().graph().num_channels()
+            })
+            .sum::<usize>()
+            + f.icn2().tree().graph().num_channels()
+            + f.bridges().num_channels();
+        assert_eq!(f.num_channels(), expected);
+        assert_eq!(f.channel_pool().len(), expected);
+    }
+
+    #[test]
+    fn channel_bases_do_not_overlap() {
+        let f = fabric();
+        let mut seen = HashSet::new();
+        for c in 0..f.system().num_clusters() {
+            assert!(seen.insert(f.icn1(c).channel_base()));
+            assert!(seen.insert(f.ecn1(c).channel_base()));
+        }
+        assert!(seen.insert(f.icn2().channel_base()));
+    }
+
+    #[test]
+    fn flit_times_match_paper_constants() {
+        let f = fabric();
+        assert!((f.t_cn() - 0.276).abs() < 1e-12);
+        assert!((f.t_cs() - 0.522).abs() < 1e-12);
+        let pool = f.channel_pool();
+        // Bridge channels use the switch time.
+        let bridge = f.bridges().concentrate(0);
+        assert!((pool.flit_time(bridge) - 0.522).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intra_paths_stay_inside_one_cluster() {
+        let f = fabric();
+        let sys = f.system().clone();
+        // Nodes 0 and 1 are both in cluster 0.
+        let it = f.build_path(0, 1).unwrap();
+        assert_eq!(it.src_cluster, 0);
+        assert_eq!(it.dst_cluster, 0);
+        assert_eq!(it.channels.len(), 2, "same-leaf-switch journey crosses 2 links");
+        assert!((it.bottleneck - f.t_cn()).abs() < 1e-12);
+        // All channels belong to cluster 0's ICN1 instance.
+        let base = f.icn1(0).channel_base();
+        let limit = base + f.icn1(0).tree().graph().num_channels() as u32;
+        assert!(it.channels.iter().all(|&c| c >= base && c < limit));
+        // The path never touches a bridge.
+        assert!(it.channels.iter().all(|&c| !f.bridges().is_bridge(c)));
+        drop(sys);
+    }
+
+    #[test]
+    fn inter_paths_traverse_all_three_networks_and_bridges() {
+        let f = fabric();
+        let sys = f.system().clone();
+        let src = 0; // cluster 0
+        let dst = sys.total_nodes() - 1; // last cluster
+        let it = f.build_path(src, dst).unwrap();
+        assert_ne!(it.src_cluster, it.dst_cluster);
+        assert!(it.channels.contains(&f.bridges().concentrate(it.src_cluster as usize)));
+        assert!(it.channels.contains(&f.bridges().dispatch(it.dst_cluster as usize)));
+        assert!((it.bottleneck - f.t_cs()).abs() < 1e-12);
+        // Expected length: n_src ascent + 1 bridge + 2h ICN2 + 1 bridge + n_dst descent.
+        let n_src = sys.cluster(it.src_cluster as usize).unwrap().levels;
+        let n_dst = sys.cluster(it.dst_cluster as usize).unwrap().levels;
+        let len = it.channels.len();
+        assert!(len >= n_src + n_dst + 2 + 2, "path too short: {len}");
+        assert!(
+            len <= n_src + n_dst + 2 + 2 * sys.icn2_levels(),
+            "path too long: {len}"
+        );
+        // No duplicate channels on a path.
+        let unique: HashSet<_> = it.channels.iter().collect();
+        assert_eq!(unique.len(), it.channels.len());
+    }
+
+    #[test]
+    fn all_pairs_paths_are_buildable() {
+        let f = fabric();
+        let n = f.system().total_nodes();
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    assert!(f.build_path(src, dst).is_err());
+                } else {
+                    let it = f.build_path(src, dst).unwrap();
+                    assert!(!it.channels.is_empty());
+                    let unique: HashSet<_> = it.channels.iter().collect();
+                    assert_eq!(unique.len(), it.channels.len(), "{src}->{dst} repeats a channel");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_org_a_fabric_builds() {
+        // The full 1120-node organization materialises without error and has the
+        // expected channel population.
+        let system = organizations::table1_org_a();
+        let traffic = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
+        let f = Fabric::build(&system, &traffic).unwrap();
+        assert!(f.num_channels() > 10_000);
+        let it = f.build_path(0, 1119).unwrap();
+        assert_eq!(it.src_cluster, 0);
+        assert_eq!(it.dst_cluster, 31);
+    }
+}

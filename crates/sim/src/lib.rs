@@ -1,0 +1,138 @@
+//! # mcnet-sim
+//!
+//! A flit-level-granularity **discrete-event wormhole simulator** for heterogeneous
+//! multi-cluster systems — the validation vehicle of Javadi et al. (ICPP Workshops
+//! 2006, Section 4). The paper validates its analytical latency model against "a
+//! simulator that uses the same assumptions as the analysis"; that simulator is not
+//! published, so this crate rebuilds it from the stated assumptions.
+//!
+//! ## What is simulated
+//!
+//! The full system of the paper's Fig. 1–2 is materialised: per cluster an ICN1 and an
+//! ECN1 m-port n-tree (explicit switches and unidirectional channels, from
+//! `mcnet-topology`), a global ICN2 m-port n_c-tree whose node slots host the per-cluster
+//! concentrator/dispatcher units, Poisson message generation at every node, uniform (or
+//! optionally hot-spot / cluster-local) destination selection, deterministic NCA
+//! routing and wormhole flow control with single-flit channel buffers.
+//!
+//! ## Wormhole model
+//!
+//! Messages are simulated at *worm* granularity: the header acquires the channels of
+//! its path one by one (waiting in FIFO order when a channel is held by another worm,
+//! while keeping every channel it has already acquired — the tree-saturation behaviour
+//! that produces latency blow-up near saturation), and once the header is delivered the
+//! remaining `M − 1` flits drain at the slowest channel rate of the path, after which
+//! all held channels are released. The injection channel of a node therefore stays busy
+//! for the entire network latency of the message, which makes the node's source queue
+//! exactly the M/G/1 station the analytical model assumes.
+//!
+//! Inter-cluster messages traverse three wormhole segments (ECN1 ascent, ICN2, ECN1
+//! descent) separated by the concentrator and dispatcher buffers, each modelled as a
+//! single-server FIFO whose service time is one message transfer (`M·t_cs`), with
+//! cut-through forwarding (the message proceeds as soon as it reaches the head of the
+//! queue, mirroring the paper's Eq. 33 which charges only the *waiting* time).
+//!
+//! ## Methodology
+//!
+//! [`SimConfig`] reproduces the paper's measurement protocol: a warm-up phase
+//! (messages not counted), a measurement phase and a drain phase, with totals of
+//! 10,000 / 100,000 / 10,000 messages in the paper. Parallel replications with
+//! independent seeds run on worker threads via [`runner::run_replications`].
+//!
+//! ```
+//! use mcnet_sim::{SimConfig, runner};
+//! use mcnet_system::{organizations, TrafficConfig};
+//!
+//! let system = organizations::small_test_org();
+//! let traffic = TrafficConfig::uniform(8, 256.0, 1.0e-3).unwrap();
+//! let config = SimConfig::quick(42);
+//! let report = runner::run_simulation(&system, &traffic, &config).unwrap();
+//! assert!(report.mean_latency > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod channels;
+pub mod concentrator;
+pub mod engine;
+pub mod event;
+pub mod fabric;
+pub mod message;
+pub mod runner;
+pub mod stats;
+pub mod traffic;
+
+pub use runner::{run_simulation, SimConfig, SimReport};
+
+/// Errors produced while building or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The system or traffic description was invalid.
+    InvalidConfiguration {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The event budget was exhausted before every generated message was delivered
+    /// (the system is so far past saturation that finishing would take unreasonably
+    /// long). The partial statistics are returned alongside.
+    EventBudgetExhausted {
+        /// Number of events processed before giving up.
+        events: u64,
+        /// Number of messages delivered before giving up.
+        delivered: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidConfiguration { reason } => {
+                write!(f, "invalid simulation configuration: {reason}")
+            }
+            SimError::EventBudgetExhausted { events, delivered } => write!(
+                f,
+                "event budget exhausted after {events} events ({delivered} messages delivered)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+impl From<mcnet_system::SystemError> for SimError {
+    fn from(e: mcnet_system::SystemError) -> Self {
+        SimError::InvalidConfiguration { reason: e.to_string() }
+    }
+}
+
+impl From<mcnet_topology::TopologyError> for SimError {
+    fn from(e: mcnet_topology::TopologyError) -> Self {
+        SimError::InvalidConfiguration { reason: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = SimError::InvalidConfiguration { reason: "nope".into() };
+        assert!(e.to_string().contains("nope"));
+        let e = SimError::EventBudgetExhausted { events: 10, delivered: 3 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn error_conversions() {
+        let e: SimError = mcnet_system::SystemError::TooFewClusters { clusters: 1 }.into();
+        assert!(matches!(e, SimError::InvalidConfiguration { .. }));
+        let e: SimError = mcnet_topology::TopologyError::InvalidLevelCount { n: 0 }.into();
+        assert!(matches!(e, SimError::InvalidConfiguration { .. }));
+    }
+}

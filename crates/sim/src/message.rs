@@ -1,0 +1,154 @@
+//! In-flight message records.
+//!
+//! Each message carries its precomputed channel itinerary (the wormhole path through
+//! one or — for inter-cluster messages — all three networks and the two bridge
+//! buffers), its progress along that itinerary and the timestamps needed for latency
+//! accounting.
+
+use crate::channels::GlobalChannelId;
+use crate::event::MessageId;
+use serde::{Deserialize, Serialize};
+
+/// Whether a message stays inside its source cluster or crosses to another cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MessageClass {
+    /// Source and destination are in the same cluster; the message uses ICN1.
+    Intra,
+    /// Source and destination are in different clusters; the message uses
+    /// ECN1 → concentrator → ICN2 → dispatcher → ECN1.
+    Inter,
+}
+
+/// The state of one message during a simulation run.
+#[derive(Debug, Clone)]
+pub struct MessageState {
+    /// Dense message identifier (its generation index).
+    pub id: MessageId,
+    /// Cluster of the source node.
+    pub src_cluster: u32,
+    /// Cluster of the destination node.
+    pub dst_cluster: u32,
+    /// Traffic class.
+    pub class: MessageClass,
+    /// Simulation time at which the message was generated (entered its source queue).
+    pub generation_time: f64,
+    /// The full ordered list of channels the worm must acquire, across every network
+    /// and bridge it traverses.
+    pub path: Vec<GlobalChannelId>,
+    /// The slowest per-flit channel time on the path (drain bottleneck).
+    pub bottleneck_time: f64,
+    /// Number of channels acquired so far; the next channel to acquire is
+    /// `path[acquired]`.
+    pub acquired: usize,
+    /// Whether this message falls into the measurement window (not warm-up, not drain).
+    pub measured: bool,
+    /// Delivery time of the tail flit, once delivered.
+    pub delivered_time: Option<f64>,
+}
+
+impl MessageState {
+    /// Creates a new, not-yet-started message.
+    pub fn new(
+        id: MessageId,
+        src_cluster: u32,
+        dst_cluster: u32,
+        generation_time: f64,
+        path: Vec<GlobalChannelId>,
+        bottleneck_time: f64,
+        measured: bool,
+    ) -> Self {
+        debug_assert!(!path.is_empty(), "messages always cross at least one channel");
+        MessageState {
+            id,
+            src_cluster,
+            dst_cluster,
+            class: if src_cluster == dst_cluster {
+                MessageClass::Intra
+            } else {
+                MessageClass::Inter
+            },
+            generation_time,
+            path,
+            bottleneck_time,
+            acquired: 0,
+            measured,
+            delivered_time: None,
+        }
+    }
+
+    /// The next channel the header must acquire, or `None` if the whole path has been
+    /// acquired (the header has reached the destination).
+    #[inline]
+    pub fn next_channel(&self) -> Option<GlobalChannelId> {
+        self.path.get(self.acquired).copied()
+    }
+
+    /// Marks the next channel as acquired and returns it.
+    ///
+    /// # Panics
+    /// Panics if the path is already fully acquired.
+    #[inline]
+    pub fn advance(&mut self) -> GlobalChannelId {
+        let ch = self.path[self.acquired];
+        self.acquired += 1;
+        ch
+    }
+
+    /// Whether the header has acquired the full path.
+    #[inline]
+    pub fn header_delivered(&self) -> bool {
+        self.acquired == self.path.len()
+    }
+
+    /// The channels currently held by the worm (all acquired channels, since channels
+    /// are only released when the tail arrives).
+    #[inline]
+    pub fn held_channels(&self) -> &[GlobalChannelId] {
+        &self.path[..self.acquired]
+    }
+
+    /// Tail-to-tail latency, available once delivered.
+    #[inline]
+    pub fn latency(&self) -> Option<f64> {
+        self.delivered_time.map(|t| t - self.generation_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg() -> MessageState {
+        MessageState::new(5, 0, 1, 10.0, vec![3, 7, 9], 0.5, true)
+    }
+
+    #[test]
+    fn class_is_derived_from_clusters() {
+        assert_eq!(msg().class, MessageClass::Inter);
+        let intra = MessageState::new(0, 2, 2, 0.0, vec![1], 0.3, false);
+        assert_eq!(intra.class, MessageClass::Intra);
+    }
+
+    #[test]
+    fn progress_through_the_path() {
+        let mut m = msg();
+        assert_eq!(m.next_channel(), Some(3));
+        assert!(!m.header_delivered());
+        assert_eq!(m.advance(), 3);
+        assert_eq!(m.next_channel(), Some(7));
+        assert_eq!(m.held_channels(), &[3]);
+        m.advance();
+        m.advance();
+        assert!(m.header_delivered());
+        assert_eq!(m.next_channel(), None);
+        assert_eq!(m.held_channels(), &[3, 7, 9]);
+    }
+
+    #[test]
+    fn latency_requires_delivery() {
+        let mut m = msg();
+        assert_eq!(m.latency(), None);
+        m.delivered_time = Some(42.0);
+        assert_eq!(m.latency(), Some(32.0));
+    }
+}

@@ -1,0 +1,254 @@
+//! Simulation configuration, result reporting and (parallel) replication running.
+
+use crate::engine::Simulation;
+use crate::message::MessageClass;
+use crate::stats::ClassSummary;
+use crate::{Result, SimError};
+use mcnet_queueing::stats::RunningStats;
+use mcnet_system::{MultiClusterSystem, TrafficConfig};
+use serde::{Deserialize, Serialize};
+
+/// Measurement protocol of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Messages discarded as warm-up (the paper uses 10,000).
+    pub warmup_messages: u64,
+    /// Messages whose latency is measured (the paper uses 100,000).
+    pub measured_messages: u64,
+    /// Additional messages generated as drain traffic so the measured messages finish
+    /// under load (the paper uses 10,000).
+    pub drain_messages: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Hard bound on the number of simulation events (guards against accidentally
+    /// simulating a configuration that is deep into saturation).
+    pub max_events: u64,
+}
+
+impl SimConfig {
+    /// The paper's measurement protocol: 10k warm-up, 100k measured, 10k drain.
+    pub fn paper(seed: u64) -> Self {
+        SimConfig {
+            warmup_messages: 10_000,
+            measured_messages: 100_000,
+            drain_messages: 10_000,
+            seed,
+            max_events: 1_000_000_000,
+        }
+    }
+
+    /// A reduced protocol (1k/10k/1k) for sweeps where full runs are unnecessarily
+    /// expensive; statistical noise grows accordingly.
+    pub fn reduced(seed: u64) -> Self {
+        SimConfig {
+            warmup_messages: 1_000,
+            measured_messages: 10_000,
+            drain_messages: 1_000,
+            seed,
+            max_events: 200_000_000,
+        }
+    }
+
+    /// A very small protocol for unit tests and examples.
+    pub fn quick(seed: u64) -> Self {
+        SimConfig {
+            warmup_messages: 200,
+            measured_messages: 2_000,
+            drain_messages: 200,
+            seed,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.measured_messages == 0 {
+            return Err(SimError::InvalidConfiguration {
+                reason: "measured_messages must be positive".into(),
+            });
+        }
+        if self.max_events == 0 {
+            return Err(SimError::InvalidConfiguration {
+                reason: "max_events must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// The per-node generation rate of the run.
+    pub generation_rate: f64,
+    /// Mean message latency over the measured messages.
+    pub mean_latency: f64,
+    /// Standard deviation of the measured latencies.
+    pub latency_std_dev: f64,
+    /// Standard error of the mean latency.
+    pub latency_std_error: f64,
+    /// Largest measured latency.
+    pub max_latency: f64,
+    /// Approximate 99th-percentile latency.
+    pub p99_latency: Option<f64>,
+    /// Intra-cluster class summary.
+    pub intra: ClassSummary,
+    /// Inter-cluster class summary.
+    pub inter: ClassSummary,
+    /// Number of measured messages delivered.
+    pub measured_messages: u64,
+    /// Number of messages generated in total (all phases).
+    pub generated_messages: u64,
+    /// Fraction of channel acquisitions that had to wait.
+    pub contention_ratio: f64,
+    /// Largest time-average utilisation over all network channels.
+    pub max_channel_utilization: f64,
+    /// Mean time-average utilisation of the concentrator/dispatcher bridges.
+    pub mean_bridge_utilization: f64,
+    /// Largest time-average utilisation of any concentrator/dispatcher bridge.
+    pub max_bridge_utilization: f64,
+    /// Total simulated time.
+    pub simulated_time: f64,
+    /// Number of events processed.
+    pub events: u64,
+    /// RNG seed of the run.
+    pub seed: u64,
+}
+
+/// Runs one simulation.
+pub fn run_simulation(
+    system: &MultiClusterSystem,
+    traffic: &TrafficConfig,
+    config: &SimConfig,
+) -> Result<SimReport> {
+    let mut sim = Simulation::new(system, traffic, config)?;
+    sim.run()?;
+    let (_, max_channel_utilization) = sim.network_utilization();
+    let (mean_bridge_utilization, max_bridge_utilization) = sim.bridge_utilization();
+    let stats = sim.stats();
+    Ok(SimReport {
+        generation_rate: traffic.generation_rate,
+        mean_latency: stats.mean_latency(),
+        latency_std_dev: stats.latency_std_dev(),
+        latency_std_error: stats.latency_std_error(),
+        max_latency: stats.max_latency(),
+        p99_latency: stats.latency_quantile(0.99),
+        intra: stats.class_summary(MessageClass::Intra),
+        inter: stats.class_summary(MessageClass::Inter),
+        measured_messages: stats.delivered_measured(),
+        generated_messages: stats.generated(),
+        contention_ratio: sim.pool().contention_ratio(),
+        max_channel_utilization,
+        mean_bridge_utilization,
+        max_bridge_utilization,
+        simulated_time: sim.now(),
+        events: sim.events_processed(),
+        seed: config.seed,
+    })
+}
+
+/// Aggregate of several independent replications of the same configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedReport {
+    /// Per-replication reports.
+    pub replications: Vec<SimReport>,
+    /// Mean of the per-replication mean latencies.
+    pub mean_latency: f64,
+    /// 95% confidence-interval half-width over the replication means.
+    pub halfwidth_95: f64,
+}
+
+/// Runs `replications` independent replications (seeds `seed`, `seed+1`, …) on worker
+/// threads and aggregates them.
+pub fn run_replications(
+    system: &MultiClusterSystem,
+    traffic: &TrafficConfig,
+    config: &SimConfig,
+    replications: usize,
+) -> Result<ReplicatedReport> {
+    if replications == 0 {
+        return Err(SimError::InvalidConfiguration {
+            reason: "at least one replication is required".into(),
+        });
+    }
+    let mut results: Vec<Option<Result<SimReport>>> = Vec::new();
+    results.resize_with(replications, || None);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(replications);
+        for r in 0..replications {
+            let cfg = SimConfig { seed: config.seed.wrapping_add(r as u64), ..*config };
+            handles.push(scope.spawn(move |_| run_simulation(system, traffic, &cfg)));
+        }
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("simulation worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut replication_reports = Vec::with_capacity(replications);
+    for r in results.into_iter().flatten() {
+        replication_reports.push(r?);
+    }
+    let mut stats = RunningStats::new();
+    for r in &replication_reports {
+        stats.push(r.mean_latency);
+    }
+    let halfwidth = mcnet_queueing::stats::confidence_interval_halfwidth(&stats, 0.95);
+    Ok(ReplicatedReport {
+        mean_latency: stats.mean(),
+        halfwidth_95: if halfwidth.is_finite() { halfwidth } else { 0.0 },
+        replications: replication_reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnet_system::organizations;
+
+    #[test]
+    fn config_presets_are_valid() {
+        assert!(SimConfig::paper(1).validate().is_ok());
+        assert!(SimConfig::reduced(1).validate().is_ok());
+        assert!(SimConfig::quick(1).validate().is_ok());
+        let bad = SimConfig { measured_messages: 0, ..SimConfig::quick(1) };
+        assert!(bad.validate().is_err());
+        let bad = SimConfig { max_events: 0, ..SimConfig::quick(1) };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let system = organizations::small_test_org();
+        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
+        let report = run_simulation(&system, &traffic, &SimConfig::quick(5)).unwrap();
+        assert_eq!(report.measured_messages, 2_000);
+        assert_eq!(report.generated_messages, 2_400);
+        assert!(report.mean_latency > 0.0);
+        assert!(report.max_latency >= report.mean_latency);
+        assert!(report.simulated_time > 0.0);
+        assert!(report.events > 0);
+        assert!(report.intra.count + report.inter.count == report.measured_messages);
+        assert!(report.p99_latency.unwrap_or(f64::MAX) >= report.mean_latency * 0.5);
+        // Utilisations are proper fractions and the bridges see real load at this rate.
+        assert!((0.0..=1.0).contains(&report.max_channel_utilization));
+        assert!((0.0..=1.0).contains(&report.max_bridge_utilization));
+        assert!(report.mean_bridge_utilization > 0.0);
+        assert!(report.max_bridge_utilization >= report.mean_bridge_utilization);
+    }
+
+    #[test]
+    fn replications_run_in_parallel_and_aggregate() {
+        let system = organizations::small_test_org();
+        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
+        let agg = run_replications(&system, &traffic, &SimConfig::quick(100), 3).unwrap();
+        assert_eq!(agg.replications.len(), 3);
+        // Different seeds give different (but close) means.
+        let means: Vec<f64> = agg.replications.iter().map(|r| r.mean_latency).collect();
+        assert!(means.iter().any(|&m| (m - means[0]).abs() > 0.0));
+        let avg = means.iter().sum::<f64>() / means.len() as f64;
+        assert!((agg.mean_latency - avg).abs() < 1e-12);
+        assert!(agg.halfwidth_95 >= 0.0);
+        assert!(run_replications(&system, &traffic, &SimConfig::quick(1), 0).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Measurement-phase accounting and latency statistics.
+//!
+//! The paper's methodology (Section 4): generate messages continuously; discard the
+//! first 10,000 delivered observations as warm-up; gather statistics over the next
+//! 100,000 messages; keep generating (and simulating) a drain allowance so that the
+//! measured messages all reach their destinations under ongoing background load.
+//!
+//! Messages are tagged at *generation* time: generation indices
+//! `[warmup, warmup + measured)` are the measurement window, indices beyond that are
+//! drain traffic. Latencies are recorded for measured messages only, split by traffic
+//! class (intra vs inter cluster).
+
+use crate::message::MessageClass;
+use mcnet_queueing::stats::{Histogram, RunningStats};
+use serde::{Deserialize, Serialize};
+
+/// Statistics collected during one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimStats {
+    warmup: u64,
+    measured_target: u64,
+    generated: u64,
+    delivered: u64,
+    delivered_measured: u64,
+    latency: RunningStats,
+    intra_latency: RunningStats,
+    inter_latency: RunningStats,
+    histogram: Histogram,
+    max_latency: f64,
+}
+
+/// Summary of the per-class latency statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// Number of measured messages of the class.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: f64,
+    /// Standard deviation of the latency.
+    pub std_dev: f64,
+}
+
+impl SimStats {
+    /// Creates the accumulator for a run with the given warm-up and measurement
+    /// message counts. The histogram bin width adapts to the expected latency scale
+    /// (`expected_scale` ≈ a zero-load message latency).
+    pub fn new(warmup: u64, measured: u64, expected_scale: f64) -> Self {
+        let bin = (expected_scale / 10.0).max(1e-9);
+        SimStats {
+            warmup,
+            measured_target: measured,
+            generated: 0,
+            delivered: 0,
+            delivered_measured: 0,
+            latency: RunningStats::new(),
+            intra_latency: RunningStats::new(),
+            inter_latency: RunningStats::new(),
+            histogram: Histogram::new(bin, 1000),
+            max_latency: 0.0,
+        }
+    }
+
+    /// Registers a newly generated message and returns `(generation index, measured?)`.
+    pub fn register_generation(&mut self) -> (u64, bool) {
+        let index = self.generated;
+        self.generated += 1;
+        let measured = index >= self.warmup && index < self.warmup + self.measured_target;
+        (index, measured)
+    }
+
+    /// Total number of messages to generate in the run (warm-up + measured + drain).
+    pub fn generation_target(&self, drain: u64) -> u64 {
+        self.warmup + self.measured_target + drain
+    }
+
+    /// Records a delivery.
+    pub fn record_delivery(&mut self, latency: f64, class: MessageClass, measured: bool) {
+        self.delivered += 1;
+        if !measured {
+            return;
+        }
+        self.delivered_measured += 1;
+        self.latency.push(latency);
+        self.histogram.record(latency);
+        self.max_latency = self.max_latency.max(latency);
+        match class {
+            MessageClass::Intra => self.intra_latency.push(latency),
+            MessageClass::Inter => self.inter_latency.push(latency),
+        }
+    }
+
+    /// Number of messages generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Number of messages delivered so far (all phases).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of measured messages delivered so far.
+    pub fn delivered_measured(&self) -> u64 {
+        self.delivered_measured
+    }
+
+    /// Mean latency over the measured messages.
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Standard deviation of the measured latencies.
+    pub fn latency_std_dev(&self) -> f64 {
+        self.latency.std_dev()
+    }
+
+    /// Standard error of the mean latency.
+    pub fn latency_std_error(&self) -> f64 {
+        self.latency.std_error()
+    }
+
+    /// Largest measured latency.
+    pub fn max_latency(&self) -> f64 {
+        self.max_latency
+    }
+
+    /// Approximate latency quantile from the histogram.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        self.histogram.quantile(q)
+    }
+
+    /// Summary for one traffic class.
+    pub fn class_summary(&self, class: MessageClass) -> ClassSummary {
+        let s = match class {
+            MessageClass::Intra => &self.intra_latency,
+            MessageClass::Inter => &self.inter_latency,
+        };
+        ClassSummary { count: s.count(), mean: s.mean(), std_dev: s.std_dev() }
+    }
+
+    /// The underlying running statistics of all measured latencies.
+    pub fn latency_stats(&self) -> &RunningStats {
+        &self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_window_is_tagged_correctly() {
+        let mut s = SimStats::new(2, 3, 10.0);
+        let tags: Vec<(u64, bool)> = (0..7).map(|_| s.register_generation()).collect();
+        let expected = [false, false, true, true, true, false, false];
+        for (i, &(idx, measured)) in tags.iter().enumerate() {
+            assert_eq!(idx, i as u64);
+            assert_eq!(measured, expected[i], "index {i}");
+        }
+        assert_eq!(s.generation_target(2), 7);
+        assert_eq!(s.generated(), 7);
+    }
+
+    #[test]
+    fn only_measured_messages_enter_statistics() {
+        let mut s = SimStats::new(1, 2, 10.0);
+        s.record_delivery(5.0, MessageClass::Intra, false);
+        s.record_delivery(10.0, MessageClass::Intra, true);
+        s.record_delivery(20.0, MessageClass::Inter, true);
+        assert_eq!(s.delivered(), 3);
+        assert_eq!(s.delivered_measured(), 2);
+        assert!((s.mean_latency() - 15.0).abs() < 1e-12);
+        assert_eq!(s.max_latency(), 20.0);
+        assert_eq!(s.class_summary(MessageClass::Intra).count, 1);
+        assert_eq!(s.class_summary(MessageClass::Inter).count, 1);
+        assert!((s.class_summary(MessageClass::Inter).mean - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_and_errors_are_available() {
+        let mut s = SimStats::new(0, 1000, 100.0);
+        for i in 0..1000 {
+            s.record_delivery(i as f64, MessageClass::Inter, true);
+        }
+        assert!(s.latency_quantile(0.5).unwrap() >= 490.0);
+        assert!(s.latency_std_error() > 0.0);
+        assert!(s.latency_std_dev() > 0.0);
+        assert_eq!(s.latency_stats().count(), 1000);
+    }
+}

@@ -1,0 +1,209 @@
+//! Message generation: Poisson arrivals and destination selection.
+//!
+//! Paper assumptions 1–2: each node generates messages according to an independent
+//! Poisson process with rate `λ_g`, and destinations are uniformly distributed over all
+//! other nodes. The hot-spot and cluster-local patterns are provided for the simulator
+//! only (the paper lists non-uniform traffic as future work).
+
+use crate::{Result, SimError};
+use mcnet_system::{MultiClusterSystem, TrafficConfig, TrafficPattern};
+use rand::Rng;
+
+/// Samples inter-arrival times and destinations for one simulation run.
+#[derive(Debug, Clone)]
+pub struct TrafficSource {
+    generation_rate: f64,
+    pattern: TrafficPattern,
+    total_nodes: usize,
+    /// Exclusive prefix sums of cluster node counts, used by the local-favouring
+    /// pattern to sample within / outside the source cluster.
+    cluster_ranges: Vec<(usize, usize)>,
+}
+
+impl TrafficSource {
+    /// Creates a source for the given system and traffic configuration.
+    pub fn new(system: &MultiClusterSystem, traffic: &TrafficConfig) -> Result<Self> {
+        traffic.validate().map_err(SimError::from)?;
+        if traffic.generation_rate <= 0.0 {
+            return Err(SimError::InvalidConfiguration {
+                reason: "simulation requires a positive generation rate".into(),
+            });
+        }
+        if let TrafficPattern::Hotspot { hotspot, .. } = traffic.pattern {
+            if hotspot >= system.total_nodes() {
+                return Err(SimError::InvalidConfiguration {
+                    reason: format!("hotspot node {hotspot} outside the system"),
+                });
+            }
+        }
+        let cluster_ranges = (0..system.num_clusters())
+            .map(|c| {
+                let r = system.node_range(c).expect("cluster index in range");
+                (r.start, r.end)
+            })
+            .collect();
+        Ok(TrafficSource {
+            generation_rate: traffic.generation_rate,
+            pattern: traffic.pattern,
+            total_nodes: system.total_nodes(),
+            cluster_ranges,
+        })
+    }
+
+    /// The per-node generation rate.
+    pub fn generation_rate(&self) -> f64 {
+        self.generation_rate
+    }
+
+    /// Samples the exponential inter-arrival time of one node's Poisson process.
+    pub fn sample_interarrival<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>();
+        -(1.0 - u).ln() / self.generation_rate
+    }
+
+    /// Samples a destination for a message generated at global node `src`.
+    pub fn sample_destination<R: Rng + ?Sized>(&self, rng: &mut R, src: usize) -> usize {
+        match self.pattern {
+            TrafficPattern::Uniform => self.uniform_other(rng, src),
+            TrafficPattern::Hotspot { hotspot, fraction } => {
+                if hotspot != src && rng.gen::<f64>() < fraction {
+                    hotspot
+                } else {
+                    self.uniform_other(rng, src)
+                }
+            }
+            TrafficPattern::LocalFavoring { locality } => {
+                let (start, end) = self.cluster_of(src);
+                let cluster_size = end - start;
+                // A cluster of one node cannot keep traffic local.
+                if cluster_size > 1 && rng.gen::<f64>() < locality {
+                    // Uniform within the cluster, excluding the source.
+                    let mut d = rng.gen_range(start..end - 1);
+                    if d >= src {
+                        d += 1;
+                    }
+                    d
+                } else if self.total_nodes > cluster_size {
+                    // Uniform over all nodes outside the source cluster.
+                    let outside = self.total_nodes - cluster_size;
+                    let mut idx = rng.gen_range(0..outside);
+                    if idx >= start {
+                        idx += cluster_size;
+                    }
+                    idx
+                } else {
+                    self.uniform_other(rng, src)
+                }
+            }
+        }
+    }
+
+    fn uniform_other<R: Rng + ?Sized>(&self, rng: &mut R, src: usize) -> usize {
+        let mut d = rng.gen_range(0..self.total_nodes - 1);
+        if d >= src {
+            d += 1;
+        }
+        d
+    }
+
+    fn cluster_of(&self, node: usize) -> (usize, usize) {
+        *self
+            .cluster_ranges
+            .iter()
+            .find(|(s, e)| node >= *s && node < *e)
+            .expect("node belongs to some cluster")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnet_system::organizations;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn source(pattern: TrafficPattern) -> (MultiClusterSystem, TrafficSource) {
+        let system = organizations::small_test_org();
+        let traffic =
+            TrafficConfig::uniform(32, 256.0, 1e-3).unwrap().with_pattern(pattern).unwrap();
+        let src = TrafficSource::new(&system, &traffic).unwrap();
+        (system, src)
+    }
+
+    #[test]
+    fn interarrival_mean_matches_rate() {
+        let (_, src) = source(TrafficPattern::Uniform);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| src.sample_interarrival(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1000.0).abs() < 15.0, "mean inter-arrival {mean}");
+    }
+
+    #[test]
+    fn uniform_destinations_cover_all_other_nodes() {
+        let (system, src) = source(TrafficPattern::Uniform);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = system.total_nodes();
+        let mut counts = vec![0usize; n];
+        let samples = 50_000;
+        for _ in 0..samples {
+            let d = src.sample_destination(&mut rng, 5);
+            assert_ne!(d, 5);
+            counts[d] += 1;
+        }
+        assert_eq!(counts[5], 0);
+        let expected = samples as f64 / (n - 1) as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            if i == 5 {
+                continue;
+            }
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.15,
+                "destination {i} sampled {c} times, expected ≈ {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn hotspot_receives_extra_traffic() {
+        let (_, src) = source(TrafficPattern::Hotspot { hotspot: 3, fraction: 0.5 });
+        let mut rng = SmallRng::seed_from_u64(3);
+        let samples = 20_000;
+        let hot = (0..samples)
+            .filter(|_| src.sample_destination(&mut rng, 10) == 3)
+            .count();
+        let frac = hot as f64 / samples as f64;
+        assert!(frac > 0.45 && frac < 0.60, "hotspot fraction {frac}");
+    }
+
+    #[test]
+    fn local_favoring_keeps_traffic_in_cluster() {
+        let (system, src) = source(TrafficPattern::LocalFavoring { locality: 0.8 });
+        let mut rng = SmallRng::seed_from_u64(4);
+        // Source in the last cluster (16 nodes in the small test org).
+        let range = system.node_range(3).unwrap();
+        let src_node = range.start + 2;
+        let samples = 20_000;
+        let local = (0..samples)
+            .filter(|_| {
+                let d = src.sample_destination(&mut rng, src_node);
+                assert_ne!(d, src_node);
+                range.contains(&d)
+            })
+            .count();
+        let frac = local as f64 / samples as f64;
+        assert!((frac - 0.8).abs() < 0.05, "local fraction {frac}");
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        let system = organizations::small_test_org();
+        let zero = TrafficConfig::uniform(32, 256.0, 0.0).unwrap();
+        assert!(TrafficSource::new(&system, &zero).is_err());
+        let bad_hotspot = TrafficConfig::uniform(32, 256.0, 1e-3)
+            .unwrap()
+            .with_pattern(TrafficPattern::Hotspot { hotspot: 10_000, fraction: 0.1 })
+            .unwrap();
+        assert!(TrafficSource::new(&system, &bad_hotspot).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! # mcnet-system
+//!
+//! Configuration layer describing the **heterogeneous multi-cluster system** studied by
+//! Javadi et al. (ICPP Workshops 2006): the clusters, their intra- and inter-cluster
+//! networks, the network technology parameters, the traffic model, the paper's
+//! validation organizations (Table 1) and parameter sweeps.
+//!
+//! The crate is deliberately free of both queueing math and simulation logic: it is the
+//! single vocabulary shared by the analytical model (`mcnet-model`), the discrete-event
+//! simulator (`mcnet-sim`) and the experiment harness (`mcnet-experiments`), so that a
+//! configuration constructed once can be fed to all of them.
+//!
+//! ## System structure (paper Section 2, Fig. 1)
+//!
+//! A system consists of `C` clusters. Cluster `i` has `N_i = 2(m/2)^{n_i}` processing
+//! nodes and two networks of its own:
+//!
+//! * **ICN1** — the intra-cluster network, an m-port `n_i`-tree carrying messages
+//!   between processors of the same cluster;
+//! * **ECN1** — the inter-cluster access network, also an m-port `n_i`-tree, reached
+//!   directly by the processors (not through ICN1).
+//!
+//! The clusters are joined by **ICN2**, an m-port `n_c`-tree whose "processing nodes"
+//! are the per-cluster concentrator/dispatcher units bridging ECN1 and ICN2.
+//!
+//! ## Example
+//!
+//! ```
+//! use mcnet_system::organizations;
+//!
+//! // The paper's Table 1, organization A: N = 1120, C = 32, m = 8.
+//! let org_a = organizations::table1_org_a();
+//! assert_eq!(org_a.total_nodes(), 1120);
+//! assert_eq!(org_a.num_clusters(), 32);
+//! assert_eq!(org_a.icn2_levels(), 2);
+//!
+//! // Probability that a message from a size-8 cluster leaves its cluster (Eq. 13).
+//! let p = org_a.outgoing_probability(0).unwrap();
+//! assert!(p > 0.99);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod multicluster;
+pub mod network;
+pub mod organizations;
+pub mod sweep;
+pub mod traffic;
+
+pub use cluster::ClusterSpec;
+pub use multicluster::{GlobalNodeId, MultiClusterSystem};
+pub use network::NetworkTechnology;
+pub use traffic::{TrafficConfig, TrafficPattern};
+
+/// Errors produced while building or validating system configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemError {
+    /// The switch port count must be even and at least 2.
+    InvalidPortCount {
+        /// Rejected value.
+        m: usize,
+    },
+    /// A cluster tree-level count must be at least 1.
+    InvalidClusterLevels {
+        /// Index of the offending cluster.
+        cluster: usize,
+        /// Rejected value.
+        n: usize,
+    },
+    /// The system must contain at least two clusters (otherwise there is no
+    /// inter-cluster network to study).
+    TooFewClusters {
+        /// Number of clusters provided.
+        clusters: usize,
+    },
+    /// All clusters must use the same switch port count as the inter-cluster network.
+    MixedPortCounts {
+        /// Port count of the first cluster.
+        expected: usize,
+        /// Conflicting port count.
+        found: usize,
+    },
+    /// The inter-cluster network cannot host the requested number of clusters.
+    Icn2TooSmall {
+        /// Number of clusters requested.
+        clusters: usize,
+        /// Capacity of the configured ICN2 tree.
+        capacity: usize,
+    },
+    /// A numeric parameter was invalid (negative, zero where forbidden, or not finite).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+    /// A cluster index was out of range.
+    ClusterOutOfRange {
+        /// Rejected index.
+        cluster: usize,
+        /// Number of clusters in the system.
+        num_clusters: usize,
+    },
+    /// A node index was out of range.
+    NodeOutOfRange {
+        /// Rejected global node index.
+        node: usize,
+        /// Total number of nodes.
+        num_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::InvalidPortCount { m } => {
+                write!(f, "switch port count m={m} must be an even number >= 2")
+            }
+            SystemError::InvalidClusterLevels { cluster, n } => {
+                write!(f, "cluster {cluster}: tree level count n={n} must be >= 1")
+            }
+            SystemError::TooFewClusters { clusters } => {
+                write!(f, "a multi-cluster system needs at least 2 clusters, got {clusters}")
+            }
+            SystemError::MixedPortCounts { expected, found } => {
+                write!(f, "all networks must use m={expected}-port switches, found m={found}")
+            }
+            SystemError::Icn2TooSmall { clusters, capacity } => write!(
+                f,
+                "inter-cluster network supports {capacity} clusters but {clusters} were requested"
+            ),
+            SystemError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            SystemError::ClusterOutOfRange { cluster, num_clusters } => {
+                write!(f, "cluster index {cluster} out of range (system has {num_clusters})")
+            }
+            SystemError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node index {node} out of range (system has {num_nodes})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SystemError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        let cases: Vec<(SystemError, &str)> = vec![
+            (SystemError::InvalidPortCount { m: 5 }, "m=5"),
+            (SystemError::InvalidClusterLevels { cluster: 3, n: 0 }, "cluster 3"),
+            (SystemError::TooFewClusters { clusters: 1 }, "at least 2"),
+            (SystemError::MixedPortCounts { expected: 8, found: 4 }, "m=8"),
+            (SystemError::Icn2TooSmall { clusters: 40, capacity: 32 }, "32"),
+            (SystemError::InvalidParameter { name: "lambda_g", value: -1.0 }, "lambda_g"),
+            (SystemError::ClusterOutOfRange { cluster: 9, num_clusters: 4 }, "9"),
+            (SystemError::NodeOutOfRange { node: 2000, num_nodes: 1120 }, "1120"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Predefined system organizations.
+//!
+//! The paper validates its model on the two heterogeneous organizations of **Table 1**
+//! (reproduced below) plus "several combinations of cluster sizes, network sizes,
+//! network technologies and message length" whose detailed parameters are not listed.
+//! This module provides the two published organizations, homogeneous references of
+//! matching total size (for the heterogeneity ablation) and small scaled-down variants
+//! used by fast tests.
+//!
+//! | Org | N | C | m | node organization |
+//! |-----|------|----|---|---------------------------------------------|
+//! | A   | 1120 | 32 | 8 | `n_i = 1` for i∈\[0,11\], `n_i = 2` for i∈\[12,27\], `n_i = 3` for i∈\[28,31\] |
+//! | B   | 544  | 16 | 4 | `n_i = 3` for i∈\[0,7\], `n_i = 4` for i∈\[8,10\], `n_i = 5` for i∈\[11,15\] |
+
+use crate::cluster::ClusterSpec;
+use crate::multicluster::MultiClusterSystem;
+use crate::Result;
+
+/// Builds a cluster list from `(count, ports, levels)` groups.
+pub fn cluster_groups(groups: &[(usize, usize, usize)]) -> Result<Vec<ClusterSpec>> {
+    let mut clusters = Vec::new();
+    for &(count, ports, levels) in groups {
+        let spec = ClusterSpec::new(ports, levels)?;
+        clusters.extend(std::iter::repeat_n(spec, count));
+    }
+    Ok(clusters)
+}
+
+/// Table 1, organization A: `N = 1120`, `C = 32`, `m = 8`.
+pub fn table1_org_a() -> MultiClusterSystem {
+    let clusters = cluster_groups(&[(12, 8, 1), (16, 8, 2), (4, 8, 3)])
+        .expect("static organization is valid");
+    MultiClusterSystem::new(clusters).expect("static organization is valid")
+}
+
+/// Table 1, organization B: `N = 544`, `C = 16`, `m = 4`.
+pub fn table1_org_b() -> MultiClusterSystem {
+    let clusters = cluster_groups(&[(8, 4, 3), (3, 4, 4), (5, 4, 5)])
+        .expect("static organization is valid");
+    MultiClusterSystem::new(clusters).expect("static organization is valid")
+}
+
+/// A homogeneous system of `count` identical clusters with `m`-port switches and `n`
+/// tree levels — the configuration the prior-art single-cluster/homogeneous models
+/// cover, used as the baseline of the heterogeneity ablation.
+pub fn homogeneous(count: usize, ports: usize, levels: usize) -> Result<MultiClusterSystem> {
+    MultiClusterSystem::new(vec![ClusterSpec::new(ports, levels)?; count])
+}
+
+/// A homogeneous system whose total node count is as close as possible to the given
+/// heterogeneous system, keeping the same number of clusters and port count. Used by
+/// the ablation comparing heterogeneous and equivalent homogeneous organizations.
+pub fn homogeneous_equivalent(system: &MultiClusterSystem) -> Result<MultiClusterSystem> {
+    let c = system.num_clusters();
+    let m = system.ports();
+    let target_per_cluster = system.total_nodes() as f64 / c as f64;
+    // Choose the level count whose cluster size is nearest the average cluster size.
+    let mut best_levels = 1usize;
+    let mut best_err = f64::INFINITY;
+    for levels in 1..=12 {
+        let nodes = 2.0 * ((m / 2) as f64).powi(levels as i32);
+        let err = (nodes - target_per_cluster).abs();
+        if err < best_err {
+            best_err = err;
+            best_levels = levels;
+        }
+        if nodes > target_per_cluster * 4.0 {
+            break;
+        }
+    }
+    homogeneous(c, m, best_levels)
+}
+
+/// A deliberately small heterogeneous organization (a scaled-down Org A) used by unit
+/// and integration tests that need a full system but cannot afford 1120 nodes.
+pub fn small_test_org() -> MultiClusterSystem {
+    let clusters =
+        cluster_groups(&[(2, 4, 1), (1, 4, 2), (1, 4, 3)]).expect("static organization is valid");
+    MultiClusterSystem::new(clusters).expect("static organization is valid")
+}
+
+/// A medium-size heterogeneous organization (between the test organization and the
+/// paper's Org B) used by examples and fast benchmark variants.
+pub fn medium_org() -> MultiClusterSystem {
+    let clusters =
+        cluster_groups(&[(4, 4, 2), (2, 4, 3), (2, 4, 4)]).expect("static organization is valid");
+    MultiClusterSystem::new(clusters).expect("static organization is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn org_a_matches_table1() {
+        let sys = table1_org_a();
+        assert_eq!(sys.total_nodes(), 1120);
+        assert_eq!(sys.num_clusters(), 32);
+        assert_eq!(sys.ports(), 8);
+        assert_eq!(sys.icn2_levels(), 2);
+        assert_eq!(sys.icn2_capacity(), 32);
+        // Cluster sizes: 12 × 8 nodes, 16 × 32 nodes, 4 × 128 nodes.
+        assert_eq!(sys.cluster_nodes(0).unwrap(), 8);
+        assert_eq!(sys.cluster_nodes(11).unwrap(), 8);
+        assert_eq!(sys.cluster_nodes(12).unwrap(), 32);
+        assert_eq!(sys.cluster_nodes(27).unwrap(), 32);
+        assert_eq!(sys.cluster_nodes(28).unwrap(), 128);
+        assert_eq!(sys.cluster_nodes(31).unwrap(), 128);
+        assert!(!sys.is_homogeneous());
+    }
+
+    #[test]
+    fn org_b_matches_table1() {
+        let sys = table1_org_b();
+        assert_eq!(sys.total_nodes(), 544);
+        assert_eq!(sys.num_clusters(), 16);
+        assert_eq!(sys.ports(), 4);
+        assert_eq!(sys.icn2_levels(), 3);
+        assert_eq!(sys.icn2_capacity(), 16);
+        assert_eq!(sys.cluster_nodes(0).unwrap(), 16);
+        assert_eq!(sys.cluster_nodes(8).unwrap(), 32);
+        assert_eq!(sys.cluster_nodes(11).unwrap(), 64);
+        assert_eq!(sys.cluster_nodes(15).unwrap(), 64);
+    }
+
+    #[test]
+    fn homogeneous_builders() {
+        let sys = homogeneous(8, 8, 2).unwrap();
+        assert!(sys.is_homogeneous());
+        assert_eq!(sys.total_nodes(), 8 * 32);
+        assert!(homogeneous(4, 5, 2).is_err());
+    }
+
+    #[test]
+    fn homogeneous_equivalent_preserves_cluster_count_and_ports() {
+        let org_a = table1_org_a();
+        let eq = homogeneous_equivalent(&org_a).unwrap();
+        assert_eq!(eq.num_clusters(), org_a.num_clusters());
+        assert_eq!(eq.ports(), org_a.ports());
+        assert!(eq.is_homogeneous());
+        // The average Org A cluster has 35 nodes; the closest m=8 cluster size is 32.
+        assert_eq!(eq.cluster_nodes(0).unwrap(), 32);
+    }
+
+    #[test]
+    fn small_and_medium_orgs_are_valid() {
+        let s = small_test_org();
+        assert_eq!(s.total_nodes(), 2 * 4 + 8 + 16);
+        assert!(!s.is_homogeneous());
+        let m = medium_org();
+        assert_eq!(m.total_nodes(), 4 * 8 + 2 * 16 + 2 * 32);
+        assert_eq!(m.num_clusters(), 8);
+    }
+
+    #[test]
+    fn cluster_groups_builder() {
+        let groups = cluster_groups(&[(2, 4, 1), (3, 4, 2)]).unwrap();
+        assert_eq!(groups.len(), 5);
+        assert!(cluster_groups(&[(1, 3, 1)]).is_err());
+    }
+}

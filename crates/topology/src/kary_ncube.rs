@@ -1,0 +1,269 @@
+//! k-ary n-cube topology (torus) with deterministic dimension-order routing.
+//!
+//! The analytical-modeling lineage the paper builds on (its references [6]–[9]: Draper
+//! & Ghosh, Ould-Khaoua, Sarbazi-Azad et al.) studies wormhole routing in k-ary
+//! n-cubes. This module implements that topology so the benchmark suite can contrast
+//! the fat-tree-based multi-cluster model with the classic direct-network setting, and
+//! so the queueing substrate has a second, structurally different consumer exercised in
+//! tests.
+//!
+//! Nodes are addressed by `n` digits in radix `k`; each node has `2n` neighbours
+//! (±1 in every dimension, with wrap-around). Deterministic dimension-order routing
+//! corrects dimensions from 0 upwards, taking the shorter way around each ring.
+
+use crate::ids::NodeId;
+use crate::{upow, Result, TopologyError};
+use serde::{Deserialize, Serialize};
+
+/// A k-ary n-cube (n-dimensional torus with k nodes per dimension).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KaryNCube {
+    k: usize,
+    n: usize,
+    num_nodes: usize,
+}
+
+/// One hop of a dimension-order route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CubeHop {
+    /// Dimension being corrected.
+    pub dimension: usize,
+    /// Direction of travel: `+1` or `-1` around the ring.
+    pub direction: i8,
+    /// Node reached after the hop.
+    pub node: NodeId,
+}
+
+impl KaryNCube {
+    /// Creates a k-ary n-cube.
+    pub fn new(k: usize, n: usize) -> Result<Self> {
+        if k < 2 {
+            return Err(TopologyError::InvalidRadix { k });
+        }
+        if n == 0 {
+            return Err(TopologyError::InvalidDimension { n });
+        }
+        let nodes_u128 = (k as u128).pow(n as u32);
+        if nodes_u128 > crate::tree::MAX_NODES {
+            return Err(TopologyError::TooLarge { nodes: nodes_u128, limit: crate::tree::MAX_NODES });
+        }
+        Ok(KaryNCube { k, n, num_nodes: upow(k, n as u32) })
+    }
+
+    /// Radix (nodes per dimension).
+    #[inline]
+    pub fn radix(&self) -> usize {
+        self.k
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dimensions(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of nodes, `k^n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of unidirectional channels: `2n` per node (`n` per node when `k == 2`,
+    /// where +1 and −1 coincide).
+    pub fn num_channels(&self) -> usize {
+        if self.k == 2 {
+            self.num_nodes * self.n
+        } else {
+            self.num_nodes * 2 * self.n
+        }
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes).map(NodeId::from_index)
+    }
+
+    /// Decodes a node id into its digit vector (dimension 0 first).
+    pub fn coordinates(&self, node: NodeId) -> Result<Vec<usize>> {
+        self.check(node)?;
+        let mut rest = node.index();
+        let mut coords = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            coords.push(rest % self.k);
+            rest /= self.k;
+        }
+        Ok(coords)
+    }
+
+    /// Encodes coordinates back into a node id.
+    pub fn node_at(&self, coords: &[usize]) -> Result<NodeId> {
+        if coords.len() != self.n || coords.iter().any(|&c| c >= self.k) {
+            return Err(TopologyError::NodeOutOfRange {
+                node: NodeId(u32::MAX),
+                num_nodes: self.num_nodes,
+            });
+        }
+        let mut v = 0usize;
+        for (dim, &c) in coords.iter().enumerate() {
+            v += c * upow(self.k, dim as u32);
+        }
+        Ok(NodeId::from_index(v))
+    }
+
+    /// Minimal hop distance between two nodes (sum of per-dimension ring distances).
+    pub fn distance(&self, a: NodeId, b: NodeId) -> Result<usize> {
+        let ca = self.coordinates(a)?;
+        let cb = self.coordinates(b)?;
+        Ok(ca
+            .iter()
+            .zip(&cb)
+            .map(|(&x, &y)| {
+                let d = x.abs_diff(y);
+                d.min(self.k - d)
+            })
+            .sum())
+    }
+
+    /// Deterministic dimension-order route from `src` to `dst`.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Result<Vec<CubeHop>> {
+        if src == dst {
+            return Err(TopologyError::SelfRouting { node: src });
+        }
+        let mut current = self.coordinates(src)?;
+        let target = self.coordinates(dst)?;
+        let mut hops = Vec::new();
+        for dim in 0..self.n {
+            while current[dim] != target[dim] {
+                let forward = (target[dim] + self.k - current[dim]) % self.k;
+                let backward = self.k - forward;
+                let direction: i8 = if forward <= backward { 1 } else { -1 };
+                current[dim] = if direction == 1 {
+                    (current[dim] + 1) % self.k
+                } else {
+                    (current[dim] + self.k - 1) % self.k
+                };
+                hops.push(CubeHop {
+                    dimension: dim,
+                    direction,
+                    node: self.node_at(&current)?,
+                });
+            }
+        }
+        Ok(hops)
+    }
+
+    /// Average minimal distance under uniform traffic.
+    ///
+    /// For each dimension the average ring distance is `k/4` for even `k` and
+    /// `(k² − 1) / (4k)` for odd `k` (averaged over all destinations *including* the
+    /// source); the conventional closed form used by the k-ary n-cube literature scales
+    /// that by `n` and corrects for excluding the source itself.
+    pub fn average_distance(&self) -> f64 {
+        let k = self.k as f64;
+        let n = self.n as f64;
+        let per_dim = if self.k.is_multiple_of(2) { k / 4.0 } else { (k * k - 1.0) / (4.0 * k) };
+        // Average over all k^n destinations is n·per_dim; excluding the source (which
+        // contributes distance 0) rescales by N/(N-1).
+        let nn = self.num_nodes as f64;
+        n * per_dim * nn / (nn - 1.0)
+    }
+
+    fn check(&self, node: NodeId) -> Result<()> {
+        if node.index() >= self.num_nodes {
+            Err(TopologyError::NodeOutOfRange { node, num_nodes: self.num_nodes })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_counts() {
+        let cube = KaryNCube::new(4, 3).unwrap();
+        assert_eq!(cube.num_nodes(), 64);
+        assert_eq!(cube.num_channels(), 64 * 6);
+        let cube2 = KaryNCube::new(2, 4).unwrap();
+        assert_eq!(cube2.num_nodes(), 16);
+        assert_eq!(cube2.num_channels(), 16 * 4);
+        assert!(KaryNCube::new(1, 3).is_err());
+        assert!(KaryNCube::new(4, 0).is_err());
+        assert!(KaryNCube::new(1024, 8).is_err());
+    }
+
+    #[test]
+    fn coordinate_roundtrip() {
+        let cube = KaryNCube::new(3, 3).unwrap();
+        for node in cube.nodes() {
+            let c = cube.coordinates(node).unwrap();
+            assert_eq!(cube.node_at(&c).unwrap(), node);
+        }
+        assert!(cube.node_at(&[0, 0]).is_err());
+        assert!(cube.node_at(&[3, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn routes_follow_minimal_distance() {
+        let cube = KaryNCube::new(4, 2).unwrap();
+        for a in cube.nodes() {
+            for b in cube.nodes() {
+                if a == b {
+                    continue;
+                }
+                let hops = cube.route(a, b).unwrap();
+                assert_eq!(hops.len(), cube.distance(a, b).unwrap());
+                assert_eq!(hops.last().unwrap().node, b);
+                // Dimension-order: dimensions are non-decreasing along the route.
+                for w in hops.windows(2) {
+                    assert!(w[0].dimension <= w[1].dimension);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let cube = KaryNCube::new(5, 2).unwrap();
+        let diameter = 2 * (5 / 2);
+        for a in cube.nodes() {
+            for b in cube.nodes() {
+                let d = cube.distance(a, b).unwrap();
+                assert_eq!(d, cube.distance(b, a).unwrap());
+                assert!(d <= diameter);
+            }
+        }
+    }
+
+    #[test]
+    fn average_distance_matches_enumeration() {
+        for &(k, n) in &[(4usize, 2usize), (3, 3), (5, 2), (2, 4)] {
+            let cube = KaryNCube::new(k, n).unwrap();
+            let mut total = 0usize;
+            let mut pairs = 0usize;
+            for a in cube.nodes() {
+                for b in cube.nodes() {
+                    if a == b {
+                        continue;
+                    }
+                    total += cube.distance(a, b).unwrap();
+                    pairs += 1;
+                }
+            }
+            let measured = total as f64 / pairs as f64;
+            let formula = cube.average_distance();
+            assert!(
+                (measured - formula).abs() < 1e-9,
+                "({k},{n}): measured={measured}, formula={formula}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_route_rejected() {
+        let cube = KaryNCube::new(3, 2).unwrap();
+        assert!(cube.route(NodeId(4), NodeId(4)).is_err());
+    }
+}

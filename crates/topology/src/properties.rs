@@ -1,0 +1,237 @@
+//! Structural properties and invariants of the m-port n-tree.
+//!
+//! The paper relies on two structural claims about the m-port n-tree (Section 2):
+//!
+//! 1. it has **full bisection bandwidth**, so link contention does not arise, and
+//! 2. the deterministic NCA routing distributes traffic evenly, so switch contention
+//!    does not arise either.
+//!
+//! The functions here compute the quantities behind those claims (bisection width,
+//! diameter, per-level link counts, ascent balance) so that the test-suite and the
+//! benchmark ablations can verify them on concrete instances instead of taking them on
+//! faith.
+
+use crate::graph::ChannelKind;
+use crate::ids::NodeId;
+use crate::routing::NcaRouter;
+use crate::tree::MPortNTree;
+use serde::{Deserialize, Serialize};
+
+/// Summary of the structural properties of one tree instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeProperties {
+    /// Switch port count `m`.
+    pub m: usize,
+    /// Tree levels `n`.
+    pub n: usize,
+    /// Number of processing nodes (Eq. 1).
+    pub num_nodes: usize,
+    /// Number of switches (Eq. 2).
+    pub num_switches: usize,
+    /// Number of unidirectional channels (node↔switch plus switch↔switch).
+    pub num_channels: usize,
+    /// Diameter in links (longest shortest path between two nodes), `2n`.
+    pub diameter_links: usize,
+    /// Number of unidirectional channels crossing each level boundary, indexed by the
+    /// lower level of the boundary (`0` = node↔leaf boundary).
+    pub channels_per_level: Vec<usize>,
+    /// Bisection width in unidirectional channels: the number of channels that cross
+    /// between the two half-trees (they all pass through the shared root switches).
+    pub bisection_channels: usize,
+}
+
+impl TreeProperties {
+    /// Computes the properties of a tree instance.
+    pub fn of(tree: &MPortNTree) -> Self {
+        let n = tree.levels();
+        let mut channels_per_level = vec![0usize; n];
+        for (_, ch) in tree.graph().channels() {
+            match ch.kind {
+                ChannelKind::NodeSwitch => channels_per_level[0] += 1,
+                ChannelKind::SwitchSwitch => {
+                    // The boundary index is the lower of the two switch levels + 1
+                    // (boundary 0 is the node↔leaf-switch boundary).
+                    let a = ch.from.switch().expect("switch-switch channel");
+                    let b = ch.to.switch().expect("switch-switch channel");
+                    let la = tree.switch_level(a).expect("valid").index();
+                    let lb = tree.switch_level(b).expect("valid").index();
+                    channels_per_level[la.min(lb) + 1] += 1;
+                }
+            }
+        }
+        // Channels between the two halves: every cross-half route goes through a root
+        // switch, so the bisection equals the channels on the top boundary belonging to
+        // one half (half of the top-boundary channels in each direction).
+        let bisection_channels = channels_per_level.last().copied().unwrap_or(0) / 2;
+        TreeProperties {
+            m: tree.ports(),
+            n,
+            num_nodes: tree.num_nodes(),
+            num_switches: tree.num_switches(),
+            num_channels: tree.graph().num_channels(),
+            diameter_links: 2 * n,
+            channels_per_level,
+            bisection_channels,
+        }
+    }
+
+    /// Whether the tree provides full bisection bandwidth: the bisection width (in
+    /// channels per direction) is at least half the node count, i.e. all nodes of one
+    /// half can simultaneously stream to the other half.
+    pub fn has_full_bisection_bandwidth(&self) -> bool {
+        // `bisection_channels` counts both directions; per direction it must cover the
+        // N/2 nodes of one half.
+        self.bisection_channels / 2 >= self.num_nodes / 2
+    }
+}
+
+/// Measures how evenly the deterministic NCA routing spreads ascending traffic over the
+/// root switches under uniform all-to-all traffic.
+///
+/// Returns `(min, max)` counts of root-switch apex usage over all ordered node pairs
+/// whose route reaches the root level. Perfect balance means `min == max`.
+pub fn root_apex_balance(tree: &MPortNTree, router: &NcaRouter<'_>) -> (usize, usize) {
+    let mut counts = vec![0usize; tree.num_roots()];
+    for src in tree.nodes() {
+        for dst in tree.nodes() {
+            if src == dst {
+                continue;
+            }
+            let path = router.route(src, dst).expect("valid route");
+            if path.ascending_links == tree.levels() {
+                if let Some(apex) = path.apex() {
+                    if tree.is_root(apex) {
+                        counts[apex.index()] += 1;
+                    }
+                }
+            }
+        }
+    }
+    let min = counts.iter().copied().min().unwrap_or(0);
+    let max = counts.iter().copied().max().unwrap_or(0);
+    (min, max)
+}
+
+/// Measures per-channel utilisation counts under uniform all-to-all traffic: every
+/// ordered pair of distinct nodes sends one message along its deterministic route and
+/// the function returns how many routes traverse each channel, grouped by channel kind.
+///
+/// The returned tuple is `(max switch-switch load, min switch-switch load)`; the
+/// analytical model's "no switch contention" assumption corresponds to these being
+/// close to each other.
+pub fn uniform_channel_load(tree: &MPortNTree, router: &NcaRouter<'_>) -> (usize, usize) {
+    let mut loads = vec![0usize; tree.graph().num_channels()];
+    for src in tree.nodes() {
+        for dst in tree.nodes() {
+            if src == dst {
+                continue;
+            }
+            for ch in &router.route(src, dst).expect("valid route").channels {
+                loads[ch.index()] += 1;
+            }
+        }
+    }
+    let mut max = 0usize;
+    let mut min = usize::MAX;
+    for (id, ch) in tree.graph().channels() {
+        if ch.kind == ChannelKind::SwitchSwitch {
+            max = max.max(loads[id.index()]);
+            min = min.min(loads[id.index()]);
+        }
+    }
+    if min == usize::MAX {
+        min = 0;
+    }
+    (max, min)
+}
+
+/// Exhaustively verifies that every route produced by the router has length `2j` where
+/// `j` is the analytic hop count, returning the number of pairs verified.
+pub fn verify_route_lengths(tree: &MPortNTree, router: &NcaRouter<'_>) -> usize {
+    let mut verified = 0;
+    for src in tree.nodes() {
+        for dst in tree.nodes() {
+            if src == dst {
+                continue;
+            }
+            let j = tree.hop_count(src, dst).expect("valid");
+            let path = router.route(src, dst).expect("valid");
+            assert_eq!(path.num_links(), 2 * j);
+            verified += 1;
+        }
+    }
+    verified
+}
+
+/// Returns the eccentricity (in links) of a node: the longest deterministic route from
+/// `node` to any other node.
+pub fn eccentricity(tree: &MPortNTree, node: NodeId) -> usize {
+    tree.nodes()
+        .filter(|&d| d != node)
+        .map(|d| 2 * tree.hop_count(node, d).expect("valid"))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn properties_of_paper_trees() {
+        for &(m, n) in &[(8usize, 1usize), (8, 2), (8, 3), (4, 3), (4, 4), (4, 5)] {
+            let tree = MPortNTree::new(m, n).unwrap();
+            let props = TreeProperties::of(&tree);
+            assert_eq!(props.num_nodes, MPortNTree::node_count(m, n));
+            assert_eq!(props.num_switches, MPortNTree::switch_count(m, n));
+            assert_eq!(props.diameter_links, 2 * n);
+            // Every level boundary carries exactly 2N unidirectional channels in this
+            // construction (N per direction), which is what full bisection requires.
+            for (lvl, &count) in props.channels_per_level.iter().enumerate() {
+                assert_eq!(count, 2 * props.num_nodes, "({m},{n}) level {lvl}");
+            }
+            assert!(props.has_full_bisection_bandwidth(), "({m},{n})");
+        }
+    }
+
+    #[test]
+    fn diameter_matches_eccentricity() {
+        let tree = MPortNTree::new(4, 3).unwrap();
+        let props = TreeProperties::of(&tree);
+        let max_ecc =
+            tree.nodes().map(|v| eccentricity(&tree, v)).max().unwrap();
+        assert_eq!(max_ecc, props.diameter_links);
+    }
+
+    #[test]
+    fn uniform_traffic_is_balanced_on_switch_links() {
+        // The deterministic routing must not create hot channels under uniform
+        // all-to-all traffic: the max/min per-channel load ratio stays small.
+        let tree = MPortNTree::new(4, 3).unwrap();
+        let router = NcaRouter::new(&tree);
+        let (max, min) = uniform_channel_load(&tree, &router);
+        assert!(min > 0, "every switch-switch channel is used under all-to-all");
+        assert!(
+            max <= 4 * min,
+            "per-channel load imbalance too large: max={max}, min={min}"
+        );
+    }
+
+    #[test]
+    fn root_apexes_are_used_evenly() {
+        let tree = MPortNTree::new(8, 2).unwrap();
+        let router = NcaRouter::new(&tree);
+        let (min, max) = root_apex_balance(&tree, &router);
+        assert!(min > 0);
+        // Destination-digit ascent selection gives perfect balance across roots.
+        assert_eq!(min, max);
+    }
+
+    #[test]
+    fn route_lengths_verified_exhaustively() {
+        let tree = MPortNTree::new(4, 2).unwrap();
+        let router = NcaRouter::new(&tree);
+        let pairs = verify_route_lengths(&tree, &router);
+        assert_eq!(pairs, tree.num_nodes() * (tree.num_nodes() - 1));
+    }
+}

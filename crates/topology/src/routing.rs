@@ -1,0 +1,422 @@
+//! Deterministic nearest-common-ancestor (NCA) routing for the m-port n-tree.
+//!
+//! The paper adopts a deterministic routing algorithm derived from Up*/Down* routing
+//! (its reference [18]): every message first *ascends* from the source node towards the
+//! nearest common ancestor of source and destination, then *descends* to the
+//! destination. Because the m-port n-tree has full bisection bandwidth and the
+//! algorithm spreads ascending traffic by destination digits, the paper argues that
+//! neither link nor switch contention hot-spots arise; the analytical model relies on
+//! this balanced-traffic property.
+//!
+//! A message whose nearest common ancestor sits at tree level `j - 1` crosses `2j`
+//! links: `j` ascending (one node→switch link plus `j-1` switch→switch links) and `j`
+//! descending (`j-1` switch→switch links plus one switch→node link), passing through
+//! `2j - 1` switches.
+//!
+//! Besides full node-to-node routes the router also produces the two *partial* routes
+//! needed to model the inter-cluster access network (ECN1): ascending from a node to a
+//! root switch (where the concentrator/dispatcher is attached) and descending from a
+//! root switch to a node.
+
+use crate::graph::ChannelId;
+use crate::ids::{NodeId, SwitchId};
+use crate::tree::MPortNTree;
+use crate::{Result, TopologyError};
+use serde::{Deserialize, Serialize};
+
+/// An explicit route through one m-port n-tree network instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    /// Channels in traversal order. For a full route the first channel is the source's
+    /// injection channel and the last is the destination's ejection channel.
+    pub channels: Vec<ChannelId>,
+    /// Switches traversed, in order.
+    pub switches: Vec<SwitchId>,
+    /// Number of ascending links (the paper's `j`).
+    pub ascending_links: usize,
+    /// Number of descending links.
+    pub descending_links: usize,
+}
+
+impl Path {
+    /// Total number of links (channels) on the path.
+    #[inline]
+    pub fn num_links(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of switches traversed (the number of *stages* `K` in the paper's
+    /// service-time recursion is `num_links() - 1 == num_switches()` for full routes).
+    #[inline]
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// The highest switch on the path (the NCA for full routes, the root for partial
+    /// ascending routes).
+    #[inline]
+    pub fn apex(&self) -> Option<SwitchId> {
+        if self.switches.is_empty() {
+            None
+        } else {
+            Some(self.switches[self.ascending_links.saturating_sub(1).min(self.switches.len() - 1)])
+        }
+    }
+}
+
+/// Deterministic NCA router over a borrowed [`MPortNTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct NcaRouter<'a> {
+    tree: &'a MPortNTree,
+}
+
+impl<'a> NcaRouter<'a> {
+    /// Creates a router for the given tree.
+    pub fn new(tree: &'a MPortNTree) -> Self {
+        NcaRouter { tree }
+    }
+
+    /// The tree this router operates on.
+    #[inline]
+    pub fn tree(&self) -> &'a MPortNTree {
+        self.tree
+    }
+
+    /// Computes the full deterministic route from `src` to `dst`.
+    ///
+    /// # Errors
+    /// Fails if either node is out of range or `src == dst`.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Result<Path> {
+        let tree = self.tree;
+        let n = tree.levels();
+        let k = tree.arity();
+        let src_addr = tree.node_address(src)?;
+        let dst_addr = tree.node_address(dst)?;
+        if src == dst {
+            return Err(TopologyError::SelfRouting { node: src });
+        }
+
+        let j = MPortNTree::hop_count_addr(&src_addr, &dst_addr, n);
+        let nca_level = j - 1;
+
+        let mut channels = Vec::with_capacity(2 * j);
+        let mut switches = Vec::with_capacity(2 * j - 1);
+
+        // Ascending phase: injection link plus `j - 1` switch-to-switch links.
+        channels.push(tree.injection_channel(src)?);
+        let mut current = tree.leaf_switch_of(src)?;
+        switches.push(current);
+        let mut word: Vec<u8> = src_addr.digits[1..].to_vec();
+        for level in 0..nca_level {
+            // The up-channel index chosen at `level` becomes word position `level` of
+            // the next switch. Using destination digit `level` (rather than `level+1`)
+            // keeps the route deterministic while giving every destination — including
+            // destinations sharing a leaf switch — its own descending path, which is
+            // what balances traffic across the redundant down links of the fat-tree.
+            let u = dst_addr.digits[level] as usize;
+            let ch = tree
+                .up_channel(current, u)
+                .expect("non-root switches always have k up channels");
+            channels.push(ch);
+            if !word.is_empty() {
+                word[level] = u as u8;
+            }
+            current = if level + 1 == n - 1 {
+                tree.root_switch(&word)
+            } else {
+                tree.inner_switch(src_addr.half, (level + 1) as u8, &word)
+            };
+            switches.push(current);
+        }
+
+        // Descending phase: `j - 1` switch-to-switch links plus the ejection link.
+        let descend = self.descend_channels(current, nca_level, &dst_addr, k, n)?;
+        for (ch, sw) in descend.0 {
+            channels.push(ch);
+            switches.push(sw);
+        }
+        channels.push(descend.1);
+
+        debug_assert_eq!(channels.len(), 2 * j);
+        debug_assert_eq!(switches.len(), 2 * j - 1);
+        Ok(Path { channels, switches, ascending_links: j, descending_links: j })
+    }
+
+    /// Ascending-only route from `src` up to a root switch, used for the ECN1 phase of
+    /// inter-cluster messages (the concentrator is attached above the root switches).
+    ///
+    /// The up-port choices are taken from the *source's own* digits, which statically
+    /// balances concentrator-bound traffic across the root switches.
+    pub fn route_to_root(&self, src: NodeId) -> Result<Path> {
+        let tree = self.tree;
+        let n = tree.levels();
+        let src_addr = tree.node_address(src)?;
+
+        let mut channels = Vec::with_capacity(n);
+        let mut switches = Vec::with_capacity(n);
+        channels.push(tree.injection_channel(src)?);
+        let mut current = tree.leaf_switch_of(src)?;
+        switches.push(current);
+        let mut word: Vec<u8> = src_addr.digits[1..].to_vec();
+        for level in 0..n.saturating_sub(1) {
+            let u = src_addr.digits[level] as usize;
+            let ch = tree
+                .up_channel(current, u)
+                .expect("non-root switches always have k up channels");
+            channels.push(ch);
+            if !word.is_empty() {
+                word[level] = u as u8;
+            }
+            current = if level + 1 == n - 1 {
+                tree.root_switch(&word)
+            } else {
+                tree.inner_switch(src_addr.half, (level + 1) as u8, &word)
+            };
+            switches.push(current);
+        }
+        let links = channels.len();
+        Ok(Path { channels, switches, ascending_links: links, descending_links: 0 })
+    }
+
+    /// Descending-only route from a root switch down to `dst`, used for the ECN1 phase
+    /// of inter-cluster messages on the destination-cluster side.
+    pub fn route_from_root(&self, root: SwitchId, dst: NodeId) -> Result<Path> {
+        let tree = self.tree;
+        let n = tree.levels();
+        let k = tree.arity();
+        let dst_addr = tree.node_address(dst)?;
+        if !tree.is_root(root) {
+            return Err(TopologyError::SwitchOutOfRange {
+                switch: root,
+                num_switches: tree.num_roots(),
+            });
+        }
+
+        let mut channels = Vec::with_capacity(n);
+        let mut switches = vec![root];
+        let (descend, ejection) = self.descend_channels(root, n - 1, &dst_addr, k, n)?;
+        for (ch, sw) in descend {
+            channels.push(ch);
+            switches.push(sw);
+        }
+        channels.push(ejection);
+        let links = channels.len();
+        Ok(Path { channels, switches, ascending_links: 0, descending_links: links })
+    }
+
+    /// Descends from `from` (a switch at `from_level`) to the destination node,
+    /// returning the switch-to-switch hops (with the switch reached after each hop) and
+    /// the final ejection channel.
+    #[allow(clippy::type_complexity)]
+    fn descend_channels(
+        &self,
+        from: SwitchId,
+        from_level: usize,
+        dst_addr: &crate::tree::NodeAddress,
+        k: usize,
+        n: usize,
+    ) -> Result<(Vec<(ChannelId, SwitchId)>, ChannelId)> {
+        let tree = self.tree;
+        let dst = tree.node_id(dst_addr)?;
+        let mut hops = Vec::with_capacity(from_level);
+        let mut current = from;
+        let mut level = from_level;
+        let mut word: Vec<u8> = match tree.switch_address(current)? {
+            crate::tree::SwitchAddress::Root { word } => word,
+            crate::tree::SwitchAddress::Inner { word, .. } => word,
+        };
+        while level > 0 {
+            let digit = dst_addr.digits[level] as usize;
+            let port = if level == n - 1 {
+                // Root switches interleave halves on their down ports.
+                dst_addr.half as usize * k + digit
+            } else {
+                digit
+            };
+            let ch = tree
+                .down_channel(current, port)
+                .expect("descent ports are always wired");
+            level -= 1;
+            if !word.is_empty() {
+                word[level] = dst_addr.digits[level + 1];
+            }
+            current = if level == n - 1 {
+                tree.root_switch(&word)
+            } else {
+                tree.inner_switch(dst_addr.half, level as u8, &word)
+            };
+            hops.push((ch, current));
+        }
+        let ejection = if n == 1 {
+            tree.down_channel(current, dst_addr.half as usize * k + dst_addr.digits[0] as usize)
+                .expect("single-switch trees wire all node ports")
+        } else {
+            tree.down_channel(current, dst_addr.digits[0] as usize)
+                .expect("leaf switches wire all node ports")
+        };
+        debug_assert_eq!(tree.ejection_channel(dst)?, ejection);
+        Ok((hops, ejection))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ChannelKind;
+    use crate::ids::Endpoint;
+
+    /// Checks that consecutive channels of a path connect: channel i ends where
+    /// channel i+1 starts (same switch), the first channel starts at `src` and the
+    /// last ends at `dst`.
+    fn assert_path_is_connected(tree: &MPortNTree, path: &Path, src: NodeId, dst: NodeId) {
+        let g = tree.graph();
+        let first = g.channel(path.channels[0]);
+        assert_eq!(first.from, Endpoint::Node(src), "path must start at the source node");
+        let last = g.channel(*path.channels.last().unwrap());
+        assert_eq!(last.to, Endpoint::Node(dst), "path must end at the destination node");
+        for w in path.channels.windows(2) {
+            let a = g.channel(w[0]);
+            let b = g.channel(w[1]);
+            assert_eq!(
+                a.to.switch(),
+                b.from.switch(),
+                "consecutive channels must meet at the same switch"
+            );
+        }
+        // The switch list mirrors the channel list.
+        assert_eq!(path.switches.len(), path.channels.len() - 1);
+        for (i, sw) in path.switches.iter().enumerate() {
+            assert_eq!(g.channel(path.channels[i]).to.switch(), Some(*sw));
+            assert_eq!(g.channel(path.channels[i + 1]).from.switch(), Some(*sw));
+        }
+    }
+
+    #[test]
+    fn all_pairs_routes_are_valid_small_trees() {
+        for &(m, n) in &[(4usize, 1usize), (4, 2), (4, 3), (8, 2), (6, 2)] {
+            let tree = MPortNTree::new(m, n).unwrap();
+            let router = NcaRouter::new(&tree);
+            for src in tree.nodes() {
+                for dst in tree.nodes() {
+                    if src == dst {
+                        continue;
+                    }
+                    let path = router.route(src, dst).unwrap();
+                    let j = tree.hop_count(src, dst).unwrap();
+                    assert_eq!(path.ascending_links, j, "({m},{n}) {src}->{dst}");
+                    assert_eq!(path.descending_links, j);
+                    assert_eq!(path.num_links(), 2 * j);
+                    assert_eq!(path.num_switches(), 2 * j - 1);
+                    assert_path_is_connected(&tree, &path, src, dst);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_channel_kinds_follow_the_paper_convention() {
+        // First and last hops are node↔switch links (service time t_cn); all middle
+        // hops are switch↔switch links (service time t_cs).
+        let tree = MPortNTree::new(8, 3).unwrap();
+        let router = NcaRouter::new(&tree);
+        let path = router.route(NodeId(0), NodeId(120)).unwrap();
+        let g = tree.graph();
+        let kinds: Vec<ChannelKind> = path.channels.iter().map(|&c| g.channel(c).kind).collect();
+        assert_eq!(kinds.first(), Some(&ChannelKind::NodeSwitch));
+        assert_eq!(kinds.last(), Some(&ChannelKind::NodeSwitch));
+        for k in &kinds[1..kinds.len() - 1] {
+            assert_eq!(*k, ChannelKind::SwitchSwitch);
+        }
+    }
+
+    #[test]
+    fn route_is_deterministic() {
+        let tree = MPortNTree::new(8, 2).unwrap();
+        let router = NcaRouter::new(&tree);
+        let p1 = router.route(NodeId(3), NodeId(17)).unwrap();
+        let p2 = router.route(NodeId(3), NodeId(17)).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn apex_is_root_for_cross_half_routes() {
+        let tree = MPortNTree::new(4, 3).unwrap();
+        let router = NcaRouter::new(&tree);
+        let dst = NodeId::from_index(tree.num_nodes() - 1);
+        let path = router.route(NodeId(0), dst).unwrap();
+        assert_eq!(path.ascending_links, tree.levels());
+        let apex = path.apex().unwrap();
+        assert!(tree.is_root(apex));
+    }
+
+    #[test]
+    fn route_to_root_reaches_a_root_switch() {
+        for &(m, n) in &[(4usize, 1usize), (4, 3), (8, 2)] {
+            let tree = MPortNTree::new(m, n).unwrap();
+            let router = NcaRouter::new(&tree);
+            for src in tree.nodes() {
+                let path = router.route_to_root(src).unwrap();
+                assert_eq!(path.num_links(), n, "ascent crosses n links");
+                assert_eq!(path.descending_links, 0);
+                let last = *path.switches.last().unwrap();
+                assert!(tree.is_root(last), "ascent must end at a root switch");
+                // First channel is the injection channel of the source.
+                assert_eq!(path.channels[0], tree.injection_channel(src).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn route_from_root_reaches_destination() {
+        for &(m, n) in &[(4usize, 1usize), (4, 3), (8, 2)] {
+            let tree = MPortNTree::new(m, n).unwrap();
+            let router = NcaRouter::new(&tree);
+            for root in tree.roots() {
+                for dst in tree.nodes().step_by(3) {
+                    let path = router.route_from_root(root, dst).unwrap();
+                    assert_eq!(path.num_links(), n, "descent crosses n links");
+                    assert_eq!(path.ascending_links, 0);
+                    assert_eq!(
+                        tree.graph().channel(*path.channels.last().unwrap()).to,
+                        Endpoint::Node(dst)
+                    );
+                    assert_eq!(path.switches[0], root);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_from_non_root_is_rejected() {
+        let tree = MPortNTree::new(4, 3).unwrap();
+        let router = NcaRouter::new(&tree);
+        let non_root = SwitchId::from_index(tree.num_switches() - 1);
+        assert!(!tree.is_root(non_root));
+        assert!(router.route_from_root(non_root, NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn ascending_traffic_is_spread_over_roots() {
+        // With source-digit ascent selection, the mapping node -> root should use
+        // every root switch equally often.
+        let tree = MPortNTree::new(8, 2).unwrap();
+        let router = NcaRouter::new(&tree);
+        let mut counts = vec![0usize; tree.num_roots()];
+        for src in tree.nodes() {
+            let path = router.route_to_root(src).unwrap();
+            counts[path.switches.last().unwrap().index()] += 1;
+        }
+        let expected = tree.num_nodes() / tree.num_roots();
+        assert!(counts.iter().all(|&c| c == expected), "{counts:?}");
+    }
+
+    #[test]
+    fn self_route_is_rejected() {
+        let tree = MPortNTree::new(4, 2).unwrap();
+        let router = NcaRouter::new(&tree);
+        assert!(matches!(
+            router.route(NodeId(1), NodeId(1)),
+            Err(TopologyError::SelfRouting { .. })
+        ));
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: predict and measure the mean message latency of a heterogeneous
+//! multi-cluster system.
+//!
+//! Builds the paper's organization B (N = 544 nodes in 16 clusters of three different
+//! sizes, 4-port switches), evaluates the analytical model at one traffic point and
+//! cross-checks it against a short discrete-event simulation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mcnet::model::AnalyticalModel;
+use mcnet::sim::{run_simulation, SimConfig};
+use mcnet::system::{organizations, TrafficConfig};
+
+fn main() {
+    // 1. Describe the system: the paper's Table 1, organization B.
+    let system = organizations::table1_org_b();
+    println!("system: {}", system.summary());
+    println!("clusters: {:?}", system.clusters().iter().map(|c| c.num_nodes()).collect::<Vec<_>>());
+
+    // 2. Describe the workload: 32-flit messages of 256-byte flits, Poisson generation
+    //    at 2e-4 messages per node per time unit, uniform destinations.
+    let traffic = TrafficConfig::uniform(32, 256.0, 2.0e-4).expect("valid traffic");
+
+    // 3. Ask the analytical model for the mean message latency.
+    let model = AnalyticalModel::new(&system, &traffic).expect("model builds");
+    let report = model.evaluate().expect("steady state at this load");
+    println!("\nanalytical model:");
+    println!("  mean message latency  = {:.2} time units", report.total_latency);
+    println!("  intra-cluster portion = {:.2}", report.mean_intra_latency());
+    println!("  inter-cluster portion = {:.2}", report.mean_inter_latency());
+    let worst = report.worst_cluster().expect("non-empty system");
+    println!("  worst cluster         = #{} ({:.2})", worst.cluster, worst.mean_latency);
+
+    // 4. Cross-check with the discrete-event wormhole simulator (reduced protocol).
+    let sim = run_simulation(&system, &traffic, &SimConfig::reduced(42)).expect("simulation runs");
+    println!("\nsimulation ({} measured messages):", sim.measured_messages);
+    println!("  mean message latency  = {:.2} ± {:.2}", sim.mean_latency, sim.latency_std_error);
+    println!("  intra / inter class   = {:.2} / {:.2}", sim.intra.mean, sim.inter.mean);
+
+    let err = (report.total_latency - sim.mean_latency).abs() / sim.mean_latency;
+    println!("\nmodel vs simulation relative error: {:.1}%", err * 100.0);
+}

@@ -1,0 +1,45 @@
+//! Saturation analysis: locate the saturation point of every (M, L_m) geometry for
+//! both paper organizations, and show which component saturates first.
+//!
+//! Run with: `cargo run --release --example saturation_analysis`
+
+use mcnet::model::multicluster::saturation_rate;
+use mcnet::model::{AnalyticalModel, ModelError, ModelOptions};
+use mcnet::system::sweep::geometry_grid;
+use mcnet::system::{organizations, TrafficConfig};
+
+fn main() {
+    for (name, system) in [
+        ("Org A (N=1120, m=8)", organizations::table1_org_a()),
+        ("Org B (N=544, m=4)", organizations::table1_org_b()),
+    ] {
+        println!("## {name}\n");
+        println!("| M (flits) | L_m (bytes) | saturation λ_g | first saturating component |");
+        println!("|---|---|---|---|");
+        for (flits, bytes) in geometry_grid(&[32, 64], &[256.0, 512.0]) {
+            let sat = saturation_rate(&system, flits, bytes, ModelOptions::default(), 1e-1, 1e-7)
+                .expect("saturation search converges");
+            // Evaluate slightly past saturation to see which component trips first.
+            let traffic = TrafficConfig::uniform(flits, bytes, sat * 1.02).expect("valid traffic");
+            let component = match AnalyticalModel::new(&system, &traffic)
+                .expect("model builds")
+                .evaluate()
+            {
+                Err(ModelError::Saturated { component, cluster, .. }) => match cluster {
+                    Some(c) => format!("{component} (cluster {c})"),
+                    None => component.to_string(),
+                },
+                Ok(_) => "none (still stable)".to_string(),
+                Err(e) => format!("error: {e}"),
+            };
+            println!("| {flits} | {bytes} | {sat:.2e} | {component} |");
+        }
+        println!();
+    }
+    println!(
+        "Reading: doubling the message length M (or the flit size L_m) halves the\n\
+         saturation rate, and the concentrator/dispatcher of the largest clusters is\n\
+         consistently the first component to saturate — the structural bottleneck of\n\
+         the multi-cluster architecture."
+    );
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: the analytical model against the discrete-event
+//! simulator — the reproduction of the paper's central validation claim, scaled down
+//! to sizes a test suite can afford.
+
+use mcnet::model::{AnalyticalModel, ModelOptions};
+use mcnet::sim::{run_simulation, SimConfig};
+use mcnet::system::{organizations, ClusterSpec, MultiClusterSystem, TrafficConfig};
+
+/// Relative error helper.
+fn rel_err(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b
+}
+
+#[test]
+fn model_matches_simulation_at_low_load_small_org() {
+    // At low load the model and simulator must agree closely (the paper's
+    // "good degree of accuracy in the steady-state region").
+    let system = organizations::small_test_org();
+    let traffic = TrafficConfig::uniform(16, 256.0, 2e-4).unwrap();
+    let model = AnalyticalModel::new(&system, &traffic).unwrap().evaluate().unwrap();
+    let sim = run_simulation(&system, &traffic, &SimConfig::quick(1)).unwrap();
+    assert!(
+        rel_err(model.total_latency, sim.mean_latency) < 0.25,
+        "model {} vs simulation {}",
+        model.total_latency,
+        sim.mean_latency
+    );
+}
+
+#[test]
+fn model_matches_simulation_on_org_b_steady_state() {
+    // The paper's organization B at one-quarter of the Fig. 4 axis range.
+    let system = organizations::table1_org_b();
+    let traffic = TrafficConfig::uniform(32, 256.0, 2.5e-4).unwrap();
+    let model = AnalyticalModel::new(&system, &traffic).unwrap().evaluate().unwrap();
+    let sim = run_simulation(&system, &traffic, &SimConfig::quick(7)).unwrap();
+    assert!(
+        rel_err(model.total_latency, sim.mean_latency) < 0.25,
+        "model {} vs simulation {}",
+        model.total_latency,
+        sim.mean_latency
+    );
+}
+
+#[test]
+fn simulation_exceeds_model_near_saturation() {
+    // Near saturation the paper reports that the model under-predicts: the simulator
+    // captures tree-saturation effects the independence assumptions miss.
+    let system = organizations::table1_org_b();
+    let traffic = TrafficConfig::uniform(32, 256.0, 7.5e-4).unwrap();
+    let model = AnalyticalModel::new(&system, &traffic).unwrap().evaluate().unwrap();
+    let sim = run_simulation(&system, &traffic, &SimConfig::quick(7)).unwrap();
+    assert!(
+        sim.mean_latency > model.total_latency,
+        "simulation {} should exceed model {} near saturation",
+        sim.mean_latency,
+        model.total_latency
+    );
+}
+
+#[test]
+fn both_model_and_simulation_grow_with_load() {
+    let system = organizations::small_test_org();
+    let rates = [2e-4, 1e-3, 3e-3];
+    let mut last_model = 0.0;
+    let mut last_sim = 0.0;
+    for &rate in &rates {
+        let traffic = TrafficConfig::uniform(16, 256.0, rate).unwrap();
+        let model =
+            AnalyticalModel::new(&system, &traffic).unwrap().evaluate().unwrap().total_latency;
+        let sim = run_simulation(&system, &traffic, &SimConfig::quick(3)).unwrap().mean_latency;
+        assert!(model > last_model, "model latency must grow with load");
+        assert!(sim > last_sim, "simulated latency must grow with load");
+        last_model = model;
+        last_sim = sim;
+    }
+}
+
+#[test]
+fn doubling_message_length_roughly_halves_the_saturation_rate() {
+    // Structural property visible in both Fig. 3 and Fig. 4: the M=64 panels saturate
+    // at about half the offered traffic of the M=32 panels.
+    use mcnet::model::multicluster::saturation_rate;
+    let system = organizations::table1_org_b();
+    let sat32 = saturation_rate(&system, 32, 256.0, ModelOptions::default(), 1e-1, 1e-7).unwrap();
+    let sat64 = saturation_rate(&system, 64, 256.0, ModelOptions::default(), 1e-1, 1e-7).unwrap();
+    let ratio = sat32 / sat64;
+    assert!((1.8..=2.2).contains(&ratio), "saturation ratio {ratio}");
+    // Doubling the flit size has the same effect as doubling the flit count, to first
+    // order (both double the message transfer time).
+    let sat512 = saturation_rate(&system, 32, 512.0, ModelOptions::default(), 1e-1, 1e-7).unwrap();
+    let ratio = sat32 / sat512;
+    assert!((1.7..=2.3).contains(&ratio), "flit-size saturation ratio {ratio}");
+}
+
+#[test]
+fn org_a_saturates_at_lower_per_node_rate_than_org_b() {
+    // The larger system (N=1120) funnels more aggregate traffic through its
+    // concentrators and therefore saturates at a lower per-node generation rate —
+    // visible in the paper as Fig. 3's x-axis ending well below Fig. 4's.
+    use mcnet::model::multicluster::saturation_rate;
+    let a = saturation_rate(
+        &organizations::table1_org_a(),
+        32,
+        256.0,
+        ModelOptions::default(),
+        1e-1,
+        1e-7,
+    )
+    .unwrap();
+    let b = saturation_rate(
+        &organizations::table1_org_b(),
+        32,
+        256.0,
+        ModelOptions::default(),
+        1e-1,
+        1e-7,
+    )
+    .unwrap();
+    assert!(a < b, "Org A saturation {a} should be below Org B saturation {b}");
+}
+
+#[test]
+fn simulation_intra_cluster_latency_is_below_inter_cluster_latency() {
+    let system = organizations::medium_org();
+    let traffic = TrafficConfig::uniform(32, 256.0, 3e-4).unwrap();
+    let sim = run_simulation(&system, &traffic, &SimConfig::quick(11)).unwrap();
+    assert!(sim.intra.count > 0 && sim.inter.count > 0);
+    assert!(sim.inter.mean > sim.intra.mean);
+
+    // The model agrees on that ordering.
+    let model = AnalyticalModel::new(&system, &traffic).unwrap().evaluate().unwrap();
+    assert!(model.mean_inter_latency() > model.mean_intra_latency());
+}
+
+#[test]
+fn heterogeneous_system_differs_from_homogeneous_equivalent_in_both_tools() {
+    let hetero = MultiClusterSystem::new(vec![
+        ClusterSpec::new(4, 1).unwrap(),
+        ClusterSpec::new(4, 1).unwrap(),
+        ClusterSpec::new(4, 3).unwrap(),
+        ClusterSpec::new(4, 3).unwrap(),
+    ])
+    .unwrap();
+    let homo = MultiClusterSystem::new(vec![ClusterSpec::new(4, 2).unwrap(); 4]).unwrap();
+    assert_eq!(
+        hetero.total_nodes() > 0,
+        homo.total_nodes() > 0,
+        "both systems exist"
+    );
+    let traffic = TrafficConfig::uniform(16, 256.0, 8e-4).unwrap();
+    let m_het = AnalyticalModel::new(&hetero, &traffic).unwrap().evaluate().unwrap().total_latency;
+    let m_hom = AnalyticalModel::new(&homo, &traffic).unwrap().evaluate().unwrap().total_latency;
+    assert!((m_het - m_hom).abs() / m_hom > 0.01, "model: {m_het} vs {m_hom}");
+
+    let s_het =
+        run_simulation(&hetero, &traffic, &SimConfig::quick(5)).unwrap().mean_latency;
+    let s_hom = run_simulation(&homo, &traffic, &SimConfig::quick(5)).unwrap().mean_latency;
+    assert!((s_het - s_hom).abs() / s_hom > 0.01, "simulation: {s_het} vs {s_hom}");
+}

@@ -1,0 +1,135 @@
+//! Integration tests of the discrete-event simulator against analytically known
+//! results and conservation invariants.
+
+use mcnet::sim::{run_simulation, runner::run_replications, SimConfig};
+use mcnet::system::{organizations, ClusterSpec, MultiClusterSystem, TrafficConfig, TrafficPattern};
+
+#[test]
+fn zero_contention_latency_matches_closed_form() {
+    // A two-cluster system with single-switch clusters at a vanishing load: every
+    // latency component is known in closed form.
+    //   intra (same switch):  2·t_cn header + (M-1)·t_cn drain
+    //   inter:                (ascent 1 + bridge + ICN2 2·h + bridge + descent 1)
+    //                         channel crossings + (M-1)·t_cs drain
+    let system = MultiClusterSystem::new(vec![ClusterSpec::new(4, 1).unwrap(); 2]).unwrap();
+    let flits = 4usize;
+    let traffic = TrafficConfig::uniform(flits, 256.0, 1e-7).unwrap();
+    let cfg = SimConfig { warmup_messages: 10, measured_messages: 300, drain_messages: 10, seed: 9, max_events: 10_000_000 };
+    let report = run_simulation(&system, &traffic, &cfg).unwrap();
+
+    let t_cn = 0.276;
+    let t_cs = 0.522;
+    let intra_expected = 2.0 * t_cn + (flits as f64 - 1.0) * t_cn;
+    // ICN2 for C=2, m=4 is a single-level tree. Inter path: ECN1 injection (t_cn),
+    // concentrator bridge (t_cs), ICN2 injection + ejection (the concentrators are the
+    // "nodes" of ICN2, so both are t_cn), dispatcher bridge (t_cs), ECN1 ejection
+    // (t_cn) — then the (M-1)-flit drain at the bottleneck rate t_cs.
+    let inter_expected = 4.0 * t_cn + 2.0 * t_cs + (flits as f64 - 1.0) * t_cs;
+
+    assert!(
+        (report.intra.mean - intra_expected).abs() < 0.02,
+        "intra {} vs expected {}",
+        report.intra.mean,
+        intra_expected
+    );
+    assert!(
+        (report.inter.mean - inter_expected).abs() < 0.05,
+        "inter {} vs expected {}",
+        report.inter.mean,
+        inter_expected
+    );
+}
+
+#[test]
+fn message_conservation_and_class_split() {
+    let system = organizations::small_test_org();
+    let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
+    let report = run_simulation(&system, &traffic, &SimConfig::quick(21)).unwrap();
+    // Every measured message is either intra or inter; nothing is lost.
+    assert_eq!(report.intra.count + report.inter.count, report.measured_messages);
+    assert_eq!(report.measured_messages, 2_000);
+    // With uniform destinations the inter fraction approximates the mean outgoing
+    // probability of the system (weighted by nodes): for the small org P_o ≈ 0.6–0.9.
+    let inter_fraction = report.inter.count as f64 / report.measured_messages as f64;
+    let expected: f64 = (0..system.num_clusters())
+        .map(|i| {
+            system.cluster_weight(i).unwrap() * system.outgoing_probability(i).unwrap()
+        })
+        .sum();
+    assert!(
+        (inter_fraction - expected).abs() < 0.05,
+        "inter fraction {inter_fraction} vs expected {expected}"
+    );
+}
+
+#[test]
+fn replications_tighten_the_confidence_interval() {
+    let system = organizations::small_test_org();
+    let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
+    let few = run_replications(&system, &traffic, &SimConfig::quick(1), 2).unwrap();
+    let many = run_replications(&system, &traffic, &SimConfig::quick(1), 6).unwrap();
+    assert_eq!(few.replications.len(), 2);
+    assert_eq!(many.replications.len(), 6);
+    // Same seeds prefix => the first two replications are identical across calls.
+    assert_eq!(
+        few.replications[0].mean_latency.to_bits(),
+        many.replications[0].mean_latency.to_bits()
+    );
+    assert!(many.halfwidth_95 <= few.halfwidth_95 * 1.5 + 1e-9);
+}
+
+#[test]
+fn hotspot_traffic_is_slower_than_uniform() {
+    let system = organizations::small_test_org();
+    let uniform = TrafficConfig::uniform(16, 256.0, 2e-3).unwrap();
+    let hotspot = uniform
+        .with_pattern(TrafficPattern::Hotspot { hotspot: 0, fraction: 0.4 })
+        .unwrap();
+    let u = run_simulation(&system, &uniform, &SimConfig::quick(31)).unwrap();
+    let h = run_simulation(&system, &hotspot, &SimConfig::quick(31)).unwrap();
+    assert!(
+        h.mean_latency > u.mean_latency,
+        "hotspot {} should exceed uniform {}",
+        h.mean_latency,
+        u.mean_latency
+    );
+}
+
+#[test]
+fn local_traffic_is_faster_than_uniform() {
+    let system = organizations::medium_org();
+    let uniform = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
+    let local = uniform
+        .with_pattern(TrafficPattern::LocalFavoring { locality: 0.9 })
+        .unwrap();
+    let u = run_simulation(&system, &uniform, &SimConfig::quick(41)).unwrap();
+    let l = run_simulation(&system, &local, &SimConfig::quick(41)).unwrap();
+    assert!(
+        l.mean_latency < u.mean_latency,
+        "local {} should be below uniform {}",
+        l.mean_latency,
+        u.mean_latency
+    );
+}
+
+#[test]
+fn larger_messages_take_longer_in_simulation() {
+    let system = organizations::small_test_org();
+    let small = TrafficConfig::uniform(8, 256.0, 5e-4).unwrap();
+    let large = TrafficConfig::uniform(32, 256.0, 5e-4).unwrap();
+    let s = run_simulation(&system, &small, &SimConfig::quick(51)).unwrap();
+    let l = run_simulation(&system, &large, &SimConfig::quick(51)).unwrap();
+    assert!(l.mean_latency > 2.0 * s.mean_latency);
+}
+
+#[test]
+fn paper_org_a_simulates_end_to_end_at_low_load() {
+    // The full 1120-node organization runs (with a reduced message budget) and produces
+    // sane latencies: above the zero-load bound, below the saturation regime.
+    let system = organizations::table1_org_a();
+    let traffic = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
+    let report = run_simulation(&system, &traffic, &SimConfig::quick(61)).unwrap();
+    assert!(report.mean_latency > 20.0, "latency {}", report.mean_latency);
+    assert!(report.mean_latency < 500.0, "latency {}", report.mean_latency);
+    assert!(report.contention_ratio < 0.5);
+}
