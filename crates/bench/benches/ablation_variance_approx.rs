@@ -15,10 +15,9 @@ fn bench_variance(c: &mut Criterion) {
     for rate in [1e-4, 2e-4, 3e-4, 4e-4] {
         let t = traffic(32, 256.0, rate);
         match variance_ablation(&system, &t) {
-            Ok(v) => println!(
-                "| {:.1e} | {:.1} | {:.1} |",
-                rate, v.with_variance, v.without_variance
-            ),
+            Ok(v) => {
+                println!("| {:.1e} | {:.1} | {:.1} |", rate, v.with_variance, v.without_variance)
+            }
             Err(_) => println!("| {rate:.1e} | saturated | saturated |"),
         }
     }
@@ -27,8 +26,7 @@ fn bench_variance(c: &mut Criterion) {
     let mut group = c.benchmark_group("variance_ablation");
     group.bench_function("with_draper_ghosh", |b| {
         b.iter(|| {
-            let m =
-                AnalyticalModel::with_options(&system, &t, ModelOptions::default()).unwrap();
+            let m = AnalyticalModel::with_options(&system, &t, ModelOptions::default()).unwrap();
             std::hint::black_box(m.total_latency())
         })
     });

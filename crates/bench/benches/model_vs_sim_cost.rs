@@ -12,8 +12,7 @@ use mcnet_system::organizations;
 fn bench_cost(c: &mut Criterion) {
     let system = organizations::table1_org_b();
     let t = traffic(32, 256.0, 3e-4);
-    let cost =
-        cost_comparison(&system, &t, EvaluationEffort::Quick).expect("cost comparison runs");
+    let cost = cost_comparison(&system, &t, EvaluationEffort::Quick).expect("cost comparison runs");
     println!(
         "\n## Model vs simulation cost (Org B, quick protocol): model {:.3} ms, simulation {:.1} ms, speedup {:.0}x",
         cost.model_seconds * 1e3,

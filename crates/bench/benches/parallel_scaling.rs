@@ -1,0 +1,49 @@
+//! Substrate bench: scaling of the bounded worker pool that backs
+//! `run_replications` and the figure-sweep drivers.
+//!
+//! Compares N independent replications run serially against the same N
+//! replications fanned over the pool. On a multi-core machine the parallel
+//! variant approaches `N / min(N, cores)` of the serial time; on a single-core
+//! machine both are equal (the pool runs inline) — the printed pair makes the
+//! achieved ratio visible either way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcnet_bench::traffic;
+use mcnet_sim::runner::run_replications;
+use mcnet_sim::{run_simulation, SimConfig};
+use mcnet_system::organizations;
+
+const REPLICATIONS: usize = 4;
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let system = organizations::small_test_org();
+    let t = traffic(32, 256.0, 2e-3);
+    let mut group = c.benchmark_group("replication_scaling");
+
+    group.bench_with_input(BenchmarkId::new("serial", REPLICATIONS), &system, |b, sys| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for r in 0..REPLICATIONS {
+                let cfg = SimConfig::quick(100 + r as u64);
+                total += run_simulation(sys, &t, &cfg).unwrap().mean_latency;
+            }
+            std::hint::black_box(total)
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("worker_pool", REPLICATIONS), &system, |b, sys| {
+        b.iter(|| {
+            let agg = run_replications(sys, &t, &SimConfig::quick(100), REPLICATIONS).unwrap();
+            std::hint::black_box(agg.mean_latency)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel_scaling
+}
+criterion_main!(benches);

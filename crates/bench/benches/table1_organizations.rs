@@ -17,10 +17,9 @@ fn bench_table1(c: &mut Criterion) {
     group.bench_function("summarize_both_organizations", |b| {
         b.iter(|| std::hint::black_box(table1_summary()))
     });
-    for (name, system) in [
-        ("org_a", organizations::table1_org_a()),
-        ("org_b", organizations::table1_org_b()),
-    ] {
+    for (name, system) in
+        [("org_a", organizations::table1_org_a()), ("org_b", organizations::table1_org_b())]
+    {
         let traffic = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
         group.bench_with_input(BenchmarkId::new("build_fabric", name), &system, |b, sys| {
             b.iter(|| std::hint::black_box(Fabric::build(sys, &traffic).unwrap().num_channels()))

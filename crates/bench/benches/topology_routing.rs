@@ -10,9 +10,13 @@ use mcnet_topology::{MPortNTree, NodeId};
 fn bench_topology(c: &mut Criterion) {
     let mut build = c.benchmark_group("tree_construction");
     for &(m, n) in &[(8usize, 2usize), (8, 3), (4, 5)] {
-        build.bench_with_input(BenchmarkId::new("m_port_n_tree", format!("m{m}_n{n}")), &(m, n), |b, &(m, n)| {
-            b.iter(|| std::hint::black_box(MPortNTree::new(m, n).unwrap().num_switches()))
-        });
+        build.bench_with_input(
+            BenchmarkId::new("m_port_n_tree", format!("m{m}_n{n}")),
+            &(m, n),
+            |b, &(m, n)| {
+                b.iter(|| std::hint::black_box(MPortNTree::new(m, n).unwrap().num_switches()))
+            },
+        );
     }
     build.finish();
 

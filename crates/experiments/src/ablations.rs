@@ -61,14 +61,19 @@ pub fn heterogeneity_ablation(
             Err(e) => Err(e.into()),
         }
     };
-    let mut rows = Vec::with_capacity(points);
-    for i in 1..=points {
-        let rate = max_rate * i as f64 / points as f64;
-        rows.push(HeterogeneityPoint {
+    // The sweep points are independent model evaluations: fan them over the
+    // bounded worker pool and aggregate in rate order.
+    let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
+    let results = mcnet_system::parallel::parallel_map(rates, |_, rate| -> Result<_> {
+        Ok(HeterogeneityPoint {
             rate,
             heterogeneous: latency(system, rate)?,
             homogeneous: latency(&homogeneous, rate)?,
-        });
+        })
+    });
+    let mut rows = Vec::with_capacity(points);
+    for r in results {
+        rows.push(r?);
     }
     Ok(HeterogeneityAblation {
         heterogeneous_system: system.summary(),
@@ -135,7 +140,11 @@ pub fn cost_comparison(
     Ok(CostComparison {
         model_seconds,
         simulation_seconds,
-        speedup: if model_seconds > 0.0 { simulation_seconds / model_seconds } else { f64::INFINITY },
+        speedup: if model_seconds > 0.0 {
+            simulation_seconds / model_seconds
+        } else {
+            f64::INFINITY
+        },
     })
 }
 
@@ -162,10 +171,7 @@ mod tests {
         let system = organizations::table1_org_b();
         let traffic = TrafficConfig::uniform(32, 256.0, 4e-4).unwrap();
         let ab = variance_ablation(&system, &traffic).unwrap();
-        assert!(
-            ab.with_variance > ab.without_variance,
-            "the variance term adds waiting time"
-        );
+        assert!(ab.with_variance > ab.without_variance, "the variance term adds waiting time");
     }
 
     #[test]

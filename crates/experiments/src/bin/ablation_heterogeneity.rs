@@ -18,9 +18,8 @@ fn main() {
         println!("| λ_g | heterogeneous | homogeneous |");
         println!("|---|---|---|");
         for p in &ab.points {
-            let fmt = |v: Option<f64>| {
-                v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "saturated".into())
-            };
+            let fmt =
+                |v: Option<f64>| v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "saturated".into());
             println!("| {:.2e} | {} | {} |", p.rate, fmt(p.heterogeneous), fmt(p.homogeneous));
         }
         println!();

@@ -116,10 +116,30 @@ mod tests {
     fn errors_are_split_by_region() {
         // Saturation (last analysable rate) at 1.0; steady fraction 0.7.
         let panel = panel_from_points(vec![
-            SeriesPoint { rate: 0.2, analysis: Some(100.0), simulation: Some(110.0), sim_std_error: None },
-            SeriesPoint { rate: 0.6, analysis: Some(150.0), simulation: Some(140.0), sim_std_error: None },
-            SeriesPoint { rate: 0.9, analysis: Some(250.0), simulation: Some(400.0), sim_std_error: None },
-            SeriesPoint { rate: 1.0, analysis: Some(300.0), simulation: Some(600.0), sim_std_error: None },
+            SeriesPoint {
+                rate: 0.2,
+                analysis: Some(100.0),
+                simulation: Some(110.0),
+                sim_std_error: None,
+            },
+            SeriesPoint {
+                rate: 0.6,
+                analysis: Some(150.0),
+                simulation: Some(140.0),
+                sim_std_error: None,
+            },
+            SeriesPoint {
+                rate: 0.9,
+                analysis: Some(250.0),
+                simulation: Some(400.0),
+                sim_std_error: None,
+            },
+            SeriesPoint {
+                rate: 1.0,
+                analysis: Some(300.0),
+                simulation: Some(600.0),
+                sim_std_error: None,
+            },
         ]);
         let acc = accuracy_report(&panel, 0.7);
         assert_eq!(acc.steady_state_points, 2);
@@ -134,7 +154,12 @@ mod tests {
         let panel = panel_from_points(vec![
             SeriesPoint { rate: 0.2, analysis: Some(100.0), simulation: None, sim_std_error: None },
             SeriesPoint { rate: 0.4, analysis: None, simulation: Some(100.0), sim_std_error: None },
-            SeriesPoint { rate: 0.6, analysis: Some(100.0), simulation: Some(100.0), sim_std_error: None },
+            SeriesPoint {
+                rate: 0.6,
+                analysis: Some(100.0),
+                simulation: Some(100.0),
+                sim_std_error: None,
+            },
         ]);
         let acc = accuracy_report(&panel, 1.0);
         assert_eq!(acc.points.len(), 1);

@@ -68,6 +68,12 @@ impl FigurePanel {
 }
 
 /// Builds one curve: sweep `λ_g`, evaluate the model, and (optionally) simulate.
+///
+/// The traffic points are independent, so they run concurrently on a bounded
+/// worker pool (capped at the machine's available parallelism). Every point
+/// gets the deterministic seed `seed + index`, and results are aggregated in
+/// sweep order — the produced series is bit-identical regardless of how the
+/// points interleave across threads.
 pub fn build_series(
     system: &MultiClusterSystem,
     sweep: &FigureSweep,
@@ -76,9 +82,12 @@ pub fn build_series(
     seed: u64,
 ) -> Result<FigureSeries> {
     let sweep = sweep.with_points(effort.sweep_points());
-    let mut points = Vec::with_capacity(sweep.points);
-    for traffic in sweep.configs()? {
-        points.push(evaluate_point(system, &traffic, effort, run_sims, seed)?);
+    let results = mcnet_system::parallel::parallel_map(sweep.configs()?, |i, traffic| {
+        evaluate_point(system, &traffic, effort, run_sims, seed.wrapping_add(i as u64))
+    });
+    let mut points = Vec::with_capacity(results.len());
+    for r in results {
+        points.push(r?);
     }
     Ok(FigureSeries {
         label: format!("Lm={}", sweep.flit_bytes),
@@ -96,13 +105,12 @@ pub fn evaluate_point(
     run_sims: bool,
     seed: u64,
 ) -> Result<SeriesPoint> {
-    let analysis = match AnalyticalModel::with_options(system, traffic, ModelOptions::default())?
-        .evaluate()
-    {
-        Ok(report) => Some(report.total_latency),
-        Err(ModelError::Saturated { .. }) => None,
-        Err(e) => return Err(e.into()),
-    };
+    let analysis =
+        match AnalyticalModel::with_options(system, traffic, ModelOptions::default())?.evaluate() {
+            Ok(report) => Some(report.total_latency),
+            Err(ModelError::Saturated { .. }) => None,
+            Err(e) => return Err(e.into()),
+        };
     let (simulation, sim_std_error) = if run_sims {
         match run_simulation(system, traffic, &effort.sim_config(seed)) {
             Ok(report) => (Some(report.mean_latency), Some(report.latency_std_error)),
@@ -190,14 +198,9 @@ mod tests {
         // Model-only sweep of Org B, M=32, Lm=256: latency grows with rate and may
         // saturate at the top of the range.
         let system = organizations::table1_org_b();
-        let series = build_series(
-            &system,
-            &FigureSweep::fig4_m32(256.0),
-            EvaluationEffort::Quick,
-            false,
-            1,
-        )
-        .unwrap();
+        let series =
+            build_series(&system, &FigureSweep::fig4_m32(256.0), EvaluationEffort::Quick, false, 1)
+                .unwrap();
         assert_eq!(series.points.len(), EvaluationEffort::Quick.sweep_points());
         assert!(series.points[0].analysis.is_some());
         assert!(series.points.iter().all(|p| p.simulation.is_none()));

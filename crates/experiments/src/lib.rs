@@ -122,18 +122,13 @@ mod tests {
 
     #[test]
     fn error_display_and_conversion() {
-        let e: ExperimentError =
-            mcnet_system::SystemError::TooFewClusters { clusters: 1 }.into();
+        let e: ExperimentError = mcnet_system::SystemError::TooFewClusters { clusters: 1 }.into();
         assert!(e.to_string().contains("invalid experiment"));
-        let e: ExperimentError = mcnet_sim::SimError::InvalidConfiguration {
-            reason: "x".into(),
-        }
-        .into();
+        let e: ExperimentError =
+            mcnet_sim::SimError::InvalidConfiguration { reason: "x".into() }.into();
         assert!(e.to_string().contains("simulation failed"));
-        let e: ExperimentError = mcnet_model::ModelError::InvalidConfiguration {
-            reason: "y".into(),
-        }
-        .into();
+        let e: ExperimentError =
+            mcnet_model::ModelError::InvalidConfiguration { reason: "y".into() }.into();
         assert!(e.to_string().contains("model evaluation failed"));
     }
 }

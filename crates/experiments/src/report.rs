@@ -151,7 +151,12 @@ mod tests {
                         simulation: Some(105.0),
                         sim_std_error: Some(1.0),
                     },
-                    SeriesPoint { rate: 2e-4, analysis: None, simulation: None, sim_std_error: None },
+                    SeriesPoint {
+                        rate: 2e-4,
+                        analysis: None,
+                        simulation: None,
+                        sim_std_error: None,
+                    },
                 ],
             }],
         }

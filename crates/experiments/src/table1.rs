@@ -59,11 +59,9 @@ pub fn summarize(name: &str, system: &MultiClusterSystem) -> OrganizationSummary
     groups.sort_by_key(|g| g.levels);
     let icn2_switches = (2 * system.icn2_levels() - 1)
         * (system.ports() / 2).pow((system.icn2_levels() - 1) as u32);
-    let total_switches = groups
-        .iter()
-        .map(|g| 2 * g.clusters * g.switches_per_network)
-        .sum::<usize>()
-        + icn2_switches;
+    let total_switches =
+        groups.iter().map(|g| 2 * g.clusters * g.switches_per_network).sum::<usize>()
+            + icn2_switches;
     OrganizationSummary {
         name: name.to_string(),
         total_nodes: system.total_nodes(),
@@ -76,6 +74,11 @@ pub fn summarize(name: &str, system: &MultiClusterSystem) -> OrganizationSummary
 }
 
 /// The two organizations of the paper's Table 1.
+///
+/// Deliberately serial: `summarize` is microsecond-scale configuration math,
+/// so fanning it over the worker pool would cost more in thread spawns than
+/// the work itself. The pool backs the simulation-bearing sweeps instead
+/// (`mcnet_experiments::figures`, `mcnet_sim::runner`).
 pub fn table1_summary() -> Vec<OrganizationSummary> {
     vec![
         summarize("A", &organizations::table1_org_a()),
@@ -100,7 +103,10 @@ mod tests {
         assert_eq!(a.icn2_levels, 2);
         assert_eq!(a.groups.len(), 3);
         assert_eq!(
-            a.groups.iter().map(|g| (g.levels, g.clusters, g.nodes_per_cluster)).collect::<Vec<_>>(),
+            a.groups
+                .iter()
+                .map(|g| (g.levels, g.clusters, g.nodes_per_cluster))
+                .collect::<Vec<_>>(),
             vec![(1, 12, 8), (2, 16, 32), (3, 4, 128)]
         );
 
@@ -111,7 +117,10 @@ mod tests {
         assert_eq!(b.ports, 4);
         assert_eq!(b.icn2_levels, 3);
         assert_eq!(
-            b.groups.iter().map(|g| (g.levels, g.clusters, g.nodes_per_cluster)).collect::<Vec<_>>(),
+            b.groups
+                .iter()
+                .map(|g| (g.levels, g.clusters, g.nodes_per_cluster))
+                .collect::<Vec<_>>(),
             vec![(3, 8, 16), (4, 3, 32), (5, 5, 64)]
         );
     }
@@ -131,8 +140,7 @@ mod tests {
         for row in table1_summary() {
             let clusters: usize = row.groups.iter().map(|g| g.clusters).sum();
             assert_eq!(clusters, row.clusters);
-            let nodes: usize =
-                row.groups.iter().map(|g| g.clusters * g.nodes_per_cluster).sum();
+            let nodes: usize = row.groups.iter().map(|g| g.clusters * g.nodes_per_cluster).sum();
             assert_eq!(nodes, row.total_nodes);
         }
     }

@@ -107,8 +107,7 @@ impl LatencyCurve {
                 reason: format!("invalid curve grid: {points} points up to {max_rate}"),
             });
         }
-        let rates: Vec<f64> =
-            (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
+        let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
         Self::compute(system, message_flits, flit_bytes, &rates, options)
     }
 
@@ -194,10 +193,12 @@ mod tests {
     #[test]
     fn invalid_grids_are_rejected() {
         let sys = organizations::small_test_org();
-        assert!(LatencyCurve::compute_grid(&sys, 32, 256.0, 0.0, 4, ModelOptions::default())
-            .is_err());
-        assert!(LatencyCurve::compute_grid(&sys, 32, 256.0, 1e-4, 1, ModelOptions::default())
-            .is_err());
+        assert!(
+            LatencyCurve::compute_grid(&sys, 32, 256.0, 0.0, 4, ModelOptions::default()).is_err()
+        );
+        assert!(
+            LatencyCurve::compute_grid(&sys, 32, 256.0, 1e-4, 1, ModelOptions::default()).is_err()
+        );
     }
 
     #[test]

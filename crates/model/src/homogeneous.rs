@@ -118,8 +118,7 @@ mod tests {
     fn homogeneous_baseline_rejects_heterogeneous_systems() {
         let sys = organizations::table1_org_a();
         let traffic = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
-        assert!(homogeneous_multicluster_latency(&sys, &traffic, &ModelOptions::default())
-            .is_err());
+        assert!(homogeneous_multicluster_latency(&sys, &traffic, &ModelOptions::default()).is_err());
     }
 
     #[test]

@@ -80,9 +80,8 @@ mod tests {
     fn components_add_up() {
         let (rates, times) = setup(1e-4);
         let hops = HopDistribution::paper(8, 3);
-        let lat =
-            intra_cluster_latency(rates.cluster(31), &hops, &times, &ModelOptions::default())
-                .unwrap();
+        let lat = intra_cluster_latency(rates.cluster(31), &hops, &times, &ModelOptions::default())
+            .unwrap();
         assert!((lat.total - (lat.network + lat.source_wait + lat.tail)).abs() < 1e-12);
         assert!(lat.network > 0.0 && lat.tail > 0.0 && lat.source_wait >= 0.0);
         assert!(lat.max_channel_utilization < 1.0);
@@ -107,9 +106,8 @@ mod tests {
         // switch-to-switch hops exist.
         let (rates, times) = setup(1e-4);
         let hops = HopDistribution::paper(8, 1);
-        let lat =
-            intra_cluster_latency(rates.cluster(0), &hops, &times, &ModelOptions::default())
-                .unwrap();
+        let lat = intra_cluster_latency(rates.cluster(0), &hops, &times, &ModelOptions::default())
+            .unwrap();
         assert!((lat.network - times.message_node_time()).abs() < 1e-9);
         assert!((lat.tail - times.t_cn).abs() < 1e-12);
     }

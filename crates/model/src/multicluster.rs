@@ -64,10 +64,7 @@ impl LatencyReport {
 
     /// Node-weighted mean of the inter-cluster latencies (including concentrators).
     pub fn mean_inter_latency(&self) -> f64 {
-        self.clusters
-            .iter()
-            .map(|c| c.weight * (c.inter.total + c.inter.concentrator_wait))
-            .sum()
+        self.clusters.iter().map(|c| c.weight * (c.inter.total + c.inter.concentrator_wait)).sum()
     }
 }
 
@@ -156,8 +153,13 @@ impl<'a> AnalyticalModel<'a> {
             &self.times,
             &self.options,
         )?;
-        let inter =
-            inter::inter_cluster_latency(&self.rates, &self.hops, cluster, &self.times, &self.options)?;
+        let inter = inter::inter_cluster_latency(
+            &self.rates,
+            &self.hops,
+            cluster,
+            &self.times,
+            &self.options,
+        )?;
         let p_o = c.outgoing_probability;
         let mean_latency =
             (1.0 - p_o) * intra.total + p_o * (inter.total + inter.concentrator_wait);
@@ -213,8 +215,8 @@ pub fn saturation_rate(
     tolerance: f64,
 ) -> Result<f64> {
     let evaluate = |rate: f64| -> Result<bool> {
-        let traffic = TrafficConfig::uniform(message_flits, flit_bytes, rate)
-            .map_err(ModelError::from)?;
+        let traffic =
+            TrafficConfig::uniform(message_flits, flit_bytes, rate).map_err(ModelError::from)?;
         match AnalyticalModel::with_options(system, &traffic, options)?.evaluate() {
             Ok(_) => Ok(true),
             Err(ModelError::Saturated { .. }) => Ok(false),
@@ -255,8 +257,7 @@ mod tests {
         let report = model(&sys, 2e-4);
         let weight_sum: f64 = report.clusters.iter().map(|c| c.weight).sum();
         assert!((weight_sum - 1.0).abs() < 1e-12);
-        let recomputed: f64 =
-            report.clusters.iter().map(|c| c.weight * c.mean_latency).sum();
+        let recomputed: f64 = report.clusters.iter().map(|c| c.weight * c.mean_latency).sum();
         assert!((recomputed - report.total_latency).abs() < 1e-12);
         assert!(report.is_steady_state());
         assert!(report.worst_cluster().is_some());
@@ -346,8 +347,7 @@ mod tests {
     #[test]
     fn saturation_search_brackets_the_knee() {
         let sys = organizations::table1_org_b();
-        let sat =
-            saturation_rate(&sys, 32, 256.0, ModelOptions::default(), 1e-2, 1e-6).unwrap();
+        let sat = saturation_rate(&sys, 32, 256.0, ModelOptions::default(), 1e-2, 1e-6).unwrap();
         // The curve must still be evaluable slightly below and saturated above.
         let below = TrafficConfig::uniform(32, 256.0, sat * 0.95).unwrap();
         assert!(AnalyticalModel::new(&sys, &below).unwrap().evaluate().is_ok());

@@ -17,11 +17,9 @@ use mcnet_system::{MultiClusterSystem, TrafficConfig};
 /// preserved.
 pub fn rate_scale_from_processing_power(system: &MultiClusterSystem) -> Vec<f64> {
     let total_nodes = system.total_nodes() as f64;
-    let mean_power: f64 = system
-        .iter_clusters()
-        .map(|(_, c)| c.processing_power * c.num_nodes() as f64)
-        .sum::<f64>()
-        / total_nodes;
+    let mean_power: f64 =
+        system.iter_clusters().map(|(_, c)| c.processing_power * c.num_nodes() as f64).sum::<f64>()
+            / total_nodes;
     system.iter_clusters().map(|(_, c)| c.processing_power / mean_power).collect()
 }
 
@@ -47,10 +45,8 @@ mod tests {
     use mcnet_system::{ClusterSpec, MultiClusterSystem, TrafficConfig};
 
     fn system_with_powers(powers: &[f64]) -> MultiClusterSystem {
-        let clusters: Vec<ClusterSpec> = powers
-            .iter()
-            .map(|&p| ClusterSpec::with_processing_power(4, 2, p).unwrap())
-            .collect();
+        let clusters: Vec<ClusterSpec> =
+            powers.iter().map(|&p| ClusterSpec::with_processing_power(4, 2, p).unwrap()).collect();
         MultiClusterSystem::new(clusters).unwrap()
     }
 
@@ -60,8 +56,7 @@ mod tests {
         let traffic = TrafficConfig::uniform(32, 256.0, 2e-4).unwrap();
         let base = AnalyticalModel::new(&sys, &traffic).unwrap().evaluate().unwrap();
         let ext =
-            evaluate_with_processor_heterogeneity(&sys, &traffic, ModelOptions::default())
-                .unwrap();
+            evaluate_with_processor_heterogeneity(&sys, &traffic, ModelOptions::default()).unwrap();
         assert!((base.total_latency - ext.total_latency).abs() < 1e-12);
     }
 

@@ -181,16 +181,8 @@ impl SystemRates {
         let lambda_ecn1 = out_i + out_v;
         let lambda_icn2 = (ni * out_i + nv * out_v) / (ni + nv);
         let eta_ecn1 = a.average_distance * lambda_ecn1 / (4.0 * a.levels as f64 * ni);
-        let eta_icn2 =
-            self.icn2_average_distance * lambda_icn2 / (4.0 * self.icn2_levels as f64);
-        PairRates {
-            source: i,
-            destination: v,
-            lambda_ecn1,
-            lambda_icn2,
-            eta_ecn1,
-            eta_icn2,
-        }
+        let eta_icn2 = self.icn2_average_distance * lambda_icn2 / (4.0 * self.icn2_levels as f64);
+        PairRates { source: i, destination: v, lambda_ecn1, lambda_icn2, eta_ecn1, eta_icn2 }
     }
 }
 

@@ -104,7 +104,11 @@ pub fn stage_recursion(etas: &[f64], times: &ChannelTimes) -> Result<StageOutcom
 
 /// Network latency of an intra-cluster `2j`-link journey: every stage sees the same
 /// ICN1 channel rate.
-pub fn intra_journey_latency(j: usize, eta_icn1: f64, times: &ChannelTimes) -> Result<StageOutcome> {
+pub fn intra_journey_latency(
+    j: usize,
+    eta_icn1: f64,
+    times: &ChannelTimes,
+) -> Result<StageOutcome> {
     if j == 0 {
         return Err(ModelError::InvalidConfiguration {
             reason: "journeys cross at least 2 links (j >= 1)".into(),
@@ -250,7 +254,7 @@ mod tests {
         let b = t.message_switch_time();
         let expected = b + 0.5 * eta * a * a;
         let got = intra_journey_latency(1 + 1, eta, &t).unwrap(); // j=2 => K=3? no: j=2 -> K=3
-        // j = 2 gives K = 3 stages; compute the three-stage value explicitly instead.
+                                                                  // j = 2 gives K = 3 stages; compute the three-stage value explicitly instead.
         let s2 = a;
         let w2 = 0.5 * eta * s2 * s2;
         let s1 = b + w2;

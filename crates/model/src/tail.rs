@@ -68,9 +68,8 @@ mod tests {
         let hops = HopDistribution::paper(8, 3);
         let r = intra_tail_time(&hops, &t);
         // By hand: Σ_j P_j [(2j-2) t_cs + t_cn].
-        let expected: f64 = (1..=3)
-            .map(|j| hops.probability(j) * ((2 * j - 2) as f64 * t.t_cs + t.t_cn))
-            .sum();
+        let expected: f64 =
+            (1..=3).map(|j| hops.probability(j) * ((2 * j - 2) as f64 * t.t_cs + t.t_cn)).sum();
         assert!((r - expected).abs() < 1e-12);
         // Bounded by the diameter's tail time.
         assert!(r <= 4.0 * t.t_cs + t.t_cn);

@@ -55,7 +55,10 @@ impl BirthDeathChain {
     pub fn mm1k(arrival_rate: f64, service_rate: f64, capacity: usize) -> Result<Self> {
         check_nonnegative("arrival_rate", arrival_rate)?;
         if !(service_rate.is_finite() && service_rate > 0.0) {
-            return Err(QueueingError::InvalidParameter { name: "service_rate", value: service_rate });
+            return Err(QueueingError::InvalidParameter {
+                name: "service_rate",
+                value: service_rate,
+            });
         }
         Ok(BirthDeathChain {
             birth_rates: vec![arrival_rate; capacity],

@@ -24,6 +24,11 @@ struct ChannelState {
     held_since: f64,
     /// Accumulated busy time of the channel.
     busy_time: f64,
+    /// Time at which a lazily released channel becomes free again. When the
+    /// holder's tail passes with nobody waiting, no release event is scheduled;
+    /// the channel simply records its future free time and the next acquirer
+    /// compares against it.
+    free_at: f64,
 }
 
 /// All channels of the simulated system.
@@ -40,12 +45,18 @@ pub struct ChannelPool {
 }
 
 /// Result of an acquisition attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Acquire {
     /// The channel was free and is now held by the requesting message.
     Granted,
-    /// The channel is busy; the message was appended to its FIFO.
+    /// The channel is busy; the message was appended to its FIFO and an already
+    /// pending hand-off (the holder's release or an earlier waiter's wakeup)
+    /// will reach it.
     Queued,
+    /// The channel was released lazily and becomes free at the returned time;
+    /// the message is the first waiter, so the caller must schedule a wakeup
+    /// ([`ChannelPool::handoff`]) at exactly that time.
+    QueuedUntil(f64),
 }
 
 impl ChannelPool {
@@ -106,10 +117,16 @@ impl ChannelPool {
 
     /// Attempts to acquire a channel for `message` at simulation time `now`: grants it
     /// immediately if free, otherwise queues the message in FIFO order.
+    ///
+    /// A channel is free when it has no holder, no earlier waiter, and any lazy
+    /// release time has passed. A return of [`Acquire::QueuedUntil`] obliges the
+    /// caller to schedule a [`handoff`](Self::handoff) at the returned time —
+    /// the channel was released lazily (no event pending) and this message is
+    /// the first waiter.
     pub fn acquire(&mut self, ch: GlobalChannelId, message: MessageId, now: f64) -> Acquire {
         self.acquisitions += 1;
         let state = &mut self.states[ch as usize];
-        if state.holder.is_none() {
+        if state.holder.is_none() && state.waiters.is_empty() && now >= state.free_at {
             state.holder = Some(message);
             state.held_since = now;
             Acquire::Granted
@@ -117,36 +134,70 @@ impl ChannelPool {
             debug_assert_ne!(state.holder, Some(message), "message acquiring a channel twice");
             self.contention_events += 1;
             state.waiters.push_back(message);
-            Acquire::Queued
+            if state.holder.is_none() && state.waiters.len() == 1 {
+                Acquire::QueuedUntil(state.free_at)
+            } else {
+                Acquire::Queued
+            }
         }
     }
 
-    /// Releases a channel held by `message` at simulation time `now`. If another
-    /// message is waiting, it becomes the new holder and its id is returned so the
-    /// engine can resume it.
+    /// Marks the channel held by `message` as released at (the possibly future)
+    /// time `at` — called when the holder's header is delivered and all release
+    /// times along its path become known.
+    ///
+    /// If somebody is waiting, the caller must schedule a
+    /// [`handoff`](Self::handoff) at exactly `at` (returned as `Some`). With no
+    /// waiters the release is lazy: the channel records `free_at = at` and no
+    /// event is needed — a later acquirer either finds the time passed (grant)
+    /// or schedules the wakeup itself ([`Acquire::QueuedUntil`]).
     ///
     /// # Panics
     /// Panics (in debug builds) if the channel is not held by `message`.
-    pub fn release(&mut self, ch: GlobalChannelId, message: MessageId, now: f64) -> Option<MessageId> {
+    pub fn mark_released(
+        &mut self,
+        ch: GlobalChannelId,
+        message: MessageId,
+        at: f64,
+    ) -> Option<f64> {
         let state = &mut self.states[ch as usize];
         debug_assert_eq!(state.holder, Some(message), "releasing a channel not held");
-        state.busy_time += now - state.held_since;
-        match state.waiters.pop_front() {
-            Some(next) => {
-                state.holder = Some(next);
-                state.held_since = now;
-                Some(next)
-            }
-            None => {
-                state.holder = None;
-                None
-            }
+        state.busy_time += at - state.held_since;
+        state.holder = None;
+        state.free_at = at;
+        if state.waiters.is_empty() {
+            None
+        } else {
+            Some(at)
         }
     }
 
-    /// Number of currently busy channels (diagnostic).
-    pub fn busy_count(&self) -> usize {
-        self.states.iter().filter(|s| s.holder.is_some()).count()
+    /// Hands a released channel to the oldest waiter at simulation time `now`
+    /// (the firing of a scheduled wakeup). Returns the new holder so the engine
+    /// can resume it, or `None` if no waiter is left.
+    pub fn handoff(&mut self, ch: GlobalChannelId, now: f64) -> Option<MessageId> {
+        let state = &mut self.states[ch as usize];
+        debug_assert!(state.holder.is_none(), "hand-off on a held channel");
+        debug_assert!(now >= state.free_at, "hand-off before the channel is free");
+        let next = state.waiters.pop_front()?;
+        state.holder = Some(next);
+        state.held_since = now;
+        Some(next)
+    }
+
+    /// `true` if the channel is occupied at time `now`: either held by a worm's
+    /// header or still draining a lazily released tail (`now < free_at`).
+    #[inline]
+    pub fn is_occupied(&self, ch: GlobalChannelId, now: f64) -> bool {
+        let state = &self.states[ch as usize];
+        state.holder.is_some() || now < state.free_at
+    }
+
+    /// Number of channels occupied at time `now` (diagnostic). Counts both held
+    /// channels and lazily released channels whose free time has not yet passed,
+    /// so a stuck or leaked channel cannot hide behind a cleared holder.
+    pub fn busy_count(&self, now: f64) -> usize {
+        (0..self.states.len() as GlobalChannelId).filter(|&ch| self.is_occupied(ch, now)).count()
     }
 
     /// Time-average utilisation of one channel over `[0, now]` (fraction of time the
@@ -200,10 +251,33 @@ mod tests {
         assert!(p.is_busy(0));
         assert_eq!(p.holder(0), Some(7));
         assert!(!p.is_busy(1));
-        assert_eq!(p.release(0, 7, 1.0), None);
+        // No waiters: the release is lazy (no wakeup needed). The holder is
+        // cleared immediately, but the channel stays *occupied* until the
+        // recorded free time passes.
+        assert_eq!(p.mark_released(0, 7, 1.0), None);
         assert!(!p.is_busy(0));
+        assert!(p.is_occupied(0, 0.5));
+        assert!(!p.is_occupied(0, 1.0));
         assert_eq!(p.contention_ratio(), 0.0);
         assert_eq!(p.flit_time(1), 0.5);
+        // After the free time has passed, the channel grants directly again.
+        assert_eq!(p.acquire(0, 8, 1.0), Acquire::Granted);
+    }
+
+    #[test]
+    fn lazily_freed_channel_defers_early_acquirers() {
+        let mut p = pool(1);
+        assert_eq!(p.acquire(0, 1, 0.0), Acquire::Granted);
+        assert_eq!(p.mark_released(0, 1, 5.0), None);
+        // An acquire before the free time queues and must schedule the wakeup.
+        assert_eq!(p.acquire(0, 2, 2.0), Acquire::QueuedUntil(5.0));
+        // A second early acquirer just queues behind it.
+        assert_eq!(p.acquire(0, 3, 3.0), Acquire::Queued);
+        assert_eq!(p.queue_len(0), 2);
+        // The wakeup grants FIFO order.
+        assert_eq!(p.handoff(0, 5.0), Some(2));
+        assert_eq!(p.holder(0), Some(2));
+        assert_eq!(p.queue_len(0), 1);
     }
 
     #[test]
@@ -213,11 +287,14 @@ mod tests {
         assert_eq!(p.acquire(0, 2, 0.1), Acquire::Queued);
         assert_eq!(p.acquire(0, 3, 0.2), Acquire::Queued);
         assert_eq!(p.queue_len(0), 2);
-        // Release hands the channel to message 2 (FIFO), then to 3.
-        assert_eq!(p.release(0, 1, 1.0), Some(2));
+        // With waiters present the release demands a scheduled hand-off, which
+        // grants message 2 (FIFO), then 3.
+        assert_eq!(p.mark_released(0, 1, 1.0), Some(1.0));
+        assert_eq!(p.handoff(0, 1.0), Some(2));
         assert_eq!(p.holder(0), Some(2));
-        assert_eq!(p.release(0, 2, 2.0), Some(3));
-        assert_eq!(p.release(0, 3, 3.0), None);
+        assert_eq!(p.mark_released(0, 2, 2.0), Some(2.0));
+        assert_eq!(p.handoff(0, 2.0), Some(3));
+        assert_eq!(p.mark_released(0, 3, 3.0), None);
         assert!(p.contention_ratio() > 0.0);
     }
 
@@ -227,9 +304,11 @@ mod tests {
         p.acquire(0, 1, 0.0);
         p.acquire(2, 1, 0.0);
         p.acquire(3, 2, 0.0);
-        assert_eq!(p.busy_count(), 3);
-        p.release(2, 1, 1.0);
-        assert_eq!(p.busy_count(), 2);
+        assert_eq!(p.busy_count(0.0), 3);
+        p.mark_released(2, 1, 1.0);
+        // The lazily released channel counts as occupied until its free time.
+        assert_eq!(p.busy_count(0.5), 3);
+        assert_eq!(p.busy_count(1.0), 2);
     }
 
     #[test]
@@ -237,9 +316,9 @@ mod tests {
         let mut p = pool(2);
         // Channel 0 busy over [0, 4] and [6, 8]; channel 1 never used.
         p.acquire(0, 1, 0.0);
-        p.release(0, 1, 4.0);
+        p.mark_released(0, 1, 4.0);
         p.acquire(0, 2, 6.0);
-        p.release(0, 2, 8.0);
+        p.mark_released(0, 2, 8.0);
         assert!((p.utilization(0, 10.0) - 0.6).abs() < 1e-12);
         assert_eq!(p.utilization(1, 10.0), 0.0);
         assert_eq!(p.utilization(0, 0.0), 0.0);
@@ -257,8 +336,9 @@ mod tests {
         let mut p = pool(1);
         p.acquire(0, 1, 0.0);
         p.acquire(0, 2, 1.0);
-        assert_eq!(p.release(0, 1, 3.0), Some(2));
-        p.release(0, 2, 5.0);
+        assert_eq!(p.mark_released(0, 1, 3.0), Some(3.0));
+        assert_eq!(p.handoff(0, 3.0), Some(2));
+        p.mark_released(0, 2, 5.0);
         assert!((p.utilization(0, 5.0) - 1.0).abs() < 1e-12);
     }
 
@@ -267,6 +347,6 @@ mod tests {
     #[should_panic(expected = "not held")]
     fn releasing_unheld_channel_panics() {
         let mut p = pool(1);
-        p.release(0, 9, 0.0);
+        p.mark_released(0, 9, 0.0);
     }
 }

@@ -62,7 +62,8 @@ mod tests {
     fn ids_are_disjoint_and_contiguous() {
         let map = BridgeMap::new(100, 4);
         assert_eq!(map.num_channels(), 8);
-        let mut ids: Vec<u32> = (0..4).flat_map(|c| [map.concentrate(c), map.dispatch(c)]).collect();
+        let mut ids: Vec<u32> =
+            (0..4).flat_map(|c| [map.concentrate(c), map.dispatch(c)]).collect();
         ids.sort_unstable();
         assert_eq!(ids, (100..108).collect::<Vec<_>>());
         assert!(map.is_bridge(100));

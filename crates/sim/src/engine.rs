@@ -10,8 +10,10 @@
 //! 3. **Release** — each channel is released when the tail flit passes it: channel `k`
 //!    of an `L`-channel path is freed `max(0, M − L + k)` bottleneck flit-times after
 //!    header delivery (so the injection channel is held for roughly one message
-//!    transfer, and the last channel until the tail is delivered). Released channels
-//!    are handed to the oldest waiter, which resumes its own acquisition.
+//!    transfer, and the last channel until the tail is delivered). All release times
+//!    become known at header delivery, so channels with nobody waiting are freed
+//!    *lazily* by timestamp (no event); only contended channels cost a hand-off
+//!    event, which grants the channel to the oldest waiter at exactly its free time.
 //!
 //! Because routes in the fat-tree (and across the ECN1 → bridge → ICN2 → bridge → ECN1
 //! chain) acquire resources in a globally consistent up-then-down order, the channel
@@ -21,6 +23,7 @@ use crate::channels::{Acquire, ChannelPool, GlobalChannelId};
 use crate::event::{EventKind, EventQueue, MessageId};
 use crate::fabric::Fabric;
 use crate::message::MessageState;
+use crate::routes::RouteTable;
 use crate::runner::SimConfig;
 use crate::stats::SimStats;
 use crate::traffic::TrafficSource;
@@ -33,6 +36,7 @@ use rand::SeedableRng;
 #[derive(Debug)]
 pub struct Simulation {
     fabric: Fabric,
+    routes: RouteTable,
     pool: ChannelPool,
     queue: EventQueue,
     messages: Vec<MessageState>,
@@ -45,7 +49,8 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Builds the simulation state: fabric, channel pool, per-node Poisson processes.
+    /// Builds the simulation state: fabric, route table, channel pool, per-node
+    /// Poisson processes.
     pub fn new(
         system: &MultiClusterSystem,
         traffic_cfg: &TrafficConfig,
@@ -53,15 +58,24 @@ impl Simulation {
     ) -> Result<Self> {
         config.validate()?;
         let fabric = Fabric::build(system, traffic_cfg)?;
+        let routes = RouteTable::build(&fabric)?;
         let pool = fabric.channel_pool();
         let traffic = TrafficSource::new(system, traffic_cfg)?;
         let expected_scale = traffic_cfg.message_flits as f64 * fabric.t_cs();
         let stats = SimStats::new(config.warmup_messages, config.measured_messages, expected_scale);
         let generation_target = stats.generation_target(config.drain_messages);
+        // Tight bound on simultaneously pending events: one Generate per node;
+        // one HeaderAdvance per crossing message (its source's injection
+        // channel is held, so at most one per node); one TailArrived per
+        // draining message (its destination's ejection channel is held until
+        // the tail, so at most one per node); FIFO waiters carry no event; and
+        // at most one ChannelFree per channel.
+        let event_capacity = 3 * system.total_nodes() + fabric.num_channels();
         let mut sim = Simulation {
             fabric,
+            routes,
             pool,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(event_capacity),
             messages: Vec::with_capacity(generation_target as usize),
             traffic,
             stats,
@@ -92,6 +106,11 @@ impl Simulation {
     /// The channel pool (for diagnostics such as the contention ratio).
     pub fn pool(&self) -> &ChannelPool {
         &self.pool
+    }
+
+    /// The interned route table (for diagnostics and equivalence tests).
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
     }
 
     /// Number of events processed so far.
@@ -129,9 +148,7 @@ impl Simulation {
             match event.kind {
                 EventKind::Generate { node } => self.handle_generate(node as usize),
                 EventKind::HeaderAdvance { message } => self.handle_header_advance(message),
-                EventKind::ChannelRelease { message, index } => {
-                    self.handle_channel_release(message, index as usize)
-                }
+                EventKind::ChannelFree { channel } => self.handle_channel_free(channel),
                 EventKind::TailArrived { message } => self.handle_tail_arrived(message),
             }
             if self.stats.generated() >= self.generation_target
@@ -149,23 +166,16 @@ impl Simulation {
         if self.stats.generated() >= self.generation_target {
             return; // generation phase is over; let the network drain
         }
-        // Sample the message.
+        // Sample the message. The route is a pure table lookup: the itinerary
+        // was interned into the route-table arena ahead of time (or, for a
+        // first-seen inter-cluster pair, is composed from precomputed segments
+        // by memcpy) — no routing algorithm runs and no per-message allocation
+        // happens here.
         let dst = self.traffic.sample_destination(&mut self.rng, node);
-        let itinerary = self
-            .fabric
-            .build_path(node, dst)
-            .expect("sampled destinations are always routable");
+        let entry = self.routes.entry(&self.fabric, node, dst);
         let (index, measured) = self.stats.register_generation();
         let id = index as MessageId;
-        let message = MessageState::new(
-            id,
-            itinerary.src_cluster,
-            itinerary.dst_cluster,
-            self.queue.now(),
-            itinerary.channels,
-            itinerary.bottleneck,
-            measured,
-        );
+        let message = MessageState::new(id, entry, self.queue.now(), measured);
         debug_assert_eq!(self.messages.len(), id as usize);
         self.messages.push(message);
         self.request_next_channel(id);
@@ -178,20 +188,26 @@ impl Simulation {
     }
 
     /// Attempts to acquire the next channel of a message's path; if the channel is
-    /// busy the message is left waiting in that channel's FIFO.
+    /// busy the message is left waiting in that channel's FIFO (scheduling the
+    /// wakeup itself when it is the first to wait on a lazily freed channel).
     fn request_next_channel(&mut self, id: MessageId) {
-        let channel = self.messages[id as usize]
-            .next_channel()
+        let msg = &self.messages[id as usize];
+        let channel = msg
+            .next_channel(self.routes.channels(msg.route))
             .expect("request_next_channel called on a finished path");
-        if self.pool.acquire(channel, id, self.queue.now()) == Acquire::Granted {
-            self.channel_granted(id, channel);
+        match self.pool.acquire(channel, id, self.queue.now()) {
+            Acquire::Granted => self.channel_granted(id, channel),
+            Acquire::QueuedUntil(free_at) => {
+                self.queue.schedule_at(free_at, EventKind::ChannelFree { channel });
+            }
+            Acquire::Queued => {}
         }
     }
 
     /// A channel has been granted to the message: the header starts crossing it.
     fn channel_granted(&mut self, id: MessageId, channel: GlobalChannelId) {
         let msg = &mut self.messages[id as usize];
-        let expected = msg.advance();
+        let expected = msg.advance(self.routes.channels(msg.route));
         debug_assert_eq!(expected, channel, "granted channel differs from the path order");
         let cross_time = self.pool.flit_time(channel);
         self.queue.schedule_in(cross_time, EventKind::HeaderAdvance { message: id });
@@ -202,17 +218,24 @@ impl Simulation {
             // The header reached the destination. The remaining M-1 flits drain behind
             // it at the bottleneck channel rate: channel k of an L-channel path sees
             // the tail pass max(0, M - L + k) flit-times after header delivery, and the
-            // tail is delivered (M - 1) flit-times after header delivery.
-            let (path_len, bottleneck) = {
+            // tail is delivered (M - 1) flit-times after header delivery. All release
+            // times are known now, so every held channel is marked released up front;
+            // only channels with actual waiters cost a future hand-off event — the
+            // rest free themselves by timestamp.
+            let (route, bottleneck) = {
                 let msg = &self.messages[id as usize];
-                (msg.path.len(), msg.bottleneck_time)
+                (msg.route, msg.bottleneck_time)
             };
+            let path = self.routes.channels(route);
+            let path_len = path.len();
             let flits = self.message_flits;
-            for k in 0..path_len {
+            let now = self.queue.now();
+            for (k, &channel) in path.iter().enumerate() {
                 let behind = (path_len - 1 - k) as f64;
                 let offset = ((flits - 1.0) - behind).max(0.0) * bottleneck;
-                self.queue
-                    .schedule_in(offset, EventKind::ChannelRelease { message: id, index: k as u32 });
+                if let Some(free_at) = self.pool.mark_released(channel, id, now + offset) {
+                    self.queue.schedule_at(free_at, EventKind::ChannelFree { channel });
+                }
             }
             let drain = (flits - 1.0).max(0.0) * bottleneck;
             self.queue.schedule_in(drain, EventKind::TailArrived { message: id });
@@ -221,9 +244,8 @@ impl Simulation {
         }
     }
 
-    fn handle_channel_release(&mut self, id: MessageId, index: usize) {
-        let channel = self.messages[id as usize].path[index];
-        if let Some(next) = self.pool.release(channel, id, self.queue.now()) {
+    fn handle_channel_free(&mut self, channel: u32) {
+        if let Some(next) = self.pool.handoff(channel, self.queue.now()) {
             self.channel_granted(next, channel);
         }
     }
@@ -265,7 +287,7 @@ mod tests {
         assert_eq!(sim.stats().delivered_measured(), 400);
         assert!(sim.stats().mean_latency() > 0.0);
         // All channels are free again after the drain.
-        assert_eq!(sim.pool().busy_count(), 0);
+        assert_eq!(sim.pool().busy_count(sim.now()), 0);
     }
 
     #[test]
@@ -315,10 +337,7 @@ mod tests {
             sim.run().unwrap();
             sim.stats().mean_latency()
         };
-        assert!(
-            high > low,
-            "latency must grow with offered traffic: low={low}, high={high}"
-        );
+        assert!(high > low, "latency must grow with offered traffic: low={low}, high={high}");
     }
 
     #[test]

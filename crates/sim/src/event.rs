@@ -11,6 +11,13 @@ use std::collections::BinaryHeap;
 pub type MessageId = u32;
 
 /// The things that can happen in the simulation.
+///
+/// Every variant carries a single `u32` payload, so the whole event (time +
+/// sequence number + kind) packs into 24 bytes — three words per future-event
+/// heap slot. Channel releases with nobody waiting do not appear here at all:
+/// they are recorded lazily as a per-channel `free_at` timestamp, and a
+/// [`ChannelFree`](EventKind::ChannelFree) wakeup is only scheduled when a
+/// message actually waits for the channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A node generates its next message.
@@ -25,13 +32,11 @@ pub enum EventKind {
         /// The message in flight.
         message: MessageId,
     },
-    /// The tail flit of a message has passed one channel of its path; that channel is
-    /// released and handed to the oldest waiter.
-    ChannelRelease {
-        /// The message in flight.
-        message: MessageId,
-        /// Index of the released channel within the message's path.
-        index: u32,
+    /// A released channel becomes free while messages wait for it: it is handed
+    /// to the oldest waiter.
+    ChannelFree {
+        /// The channel being handed off.
+        channel: u32,
     },
     /// The tail flit of a message has reached its destination; the message is
     /// delivered and its latency recorded.
@@ -69,10 +74,7 @@ impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; reverse the comparison so the earliest event pops
         // first, with the sequence number as a deterministic tie-breaker.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -89,6 +91,12 @@ impl EventQueue {
     /// Creates an empty queue at time 0.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty queue with heap capacity pre-reserved for `capacity`
+    /// pending events, so the steady-state future-event list never reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(capacity), ..Self::default() }
     }
 
     /// Current simulation time.
@@ -112,15 +120,20 @@ impl EventQueue {
     /// Schedules `kind` to fire `delay` time units from now.
     ///
     /// # Panics
-    /// Panics if `delay` is negative or NaN (scheduling into the past is always a bug).
+    /// Panics in debug builds if `delay` is negative or NaN (scheduling into the
+    /// past is always a bug); release builds skip the validity check on this hot
+    /// path and rely on the debug-tested engine invariants.
     pub fn schedule_in(&mut self, delay: f64, kind: EventKind) {
-        assert!(delay >= 0.0 && delay.is_finite(), "invalid event delay {delay}");
+        debug_assert!(delay >= 0.0 && delay.is_finite(), "invalid event delay {delay}");
         self.schedule_at(self.now + delay, kind);
     }
 
     /// Schedules `kind` at an absolute time (≥ now).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `time` lies in the past or is not finite.
     pub fn schedule_at(&mut self, time: f64, kind: EventKind) {
-        assert!(
+        debug_assert!(
             time >= self.now && time.is_finite(),
             "event scheduled in the past: {time} < {}",
             self.now
@@ -194,6 +207,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "invalid event delay")]
     fn negative_delay_panics() {
         let mut q = EventQueue::new();
@@ -201,11 +215,19 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "scheduled in the past")]
     fn past_scheduling_panics() {
         let mut q = EventQueue::new();
         q.schedule_in(5.0, EventKind::Generate { node: 0 });
         q.pop();
         q.schedule_at(1.0, EventKind::Generate { node: 1 });
+    }
+
+    #[test]
+    fn with_capacity_reserves_heap_space() {
+        let q = EventQueue::with_capacity(1024);
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.now(), 0.0);
     }
 }

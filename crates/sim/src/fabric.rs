@@ -123,16 +123,7 @@ impl Fabric {
         let bridges = BridgeMap::new(next_base, system.num_clusters());
         flit_times.extend(std::iter::repeat_n(t_cs, bridges.num_channels()));
 
-        Ok(Fabric {
-            system: system.clone(),
-            icn1,
-            ecn1,
-            icn2,
-            bridges,
-            flit_times,
-            t_cn,
-            t_cs,
-        })
+        Ok(Fabric { system: system.clone(), icn1, ecn1, icn2, bridges, flit_times, t_cn, t_cs })
     }
 
     /// The system the fabric was built from.
@@ -153,6 +144,12 @@ impl Fabric {
     /// Per-flit switch↔switch channel time.
     pub fn t_cs(&self) -> f64 {
         self.t_cs
+    }
+
+    /// Per-flit transfer time of one global channel.
+    #[inline]
+    pub fn flit_time(&self, ch: GlobalChannelId) -> f64 {
+        self.flit_times[ch as usize]
     }
 
     /// The bridge index map.
@@ -221,7 +218,8 @@ impl Fabric {
         let icn2_router = NcaRouter::new(self.icn2.tree());
 
         // Phase 1: ascend the source cluster's ECN1 to a root switch.
-        let ascent = src_router.route_to_root(NodeId::from_index(s.local)).map_err(SimError::from)?;
+        let ascent =
+            src_router.route_to_root(NodeId::from_index(s.local)).map_err(SimError::from)?;
         // Phase 2: cross ICN2 from concentrator slot `s.cluster` to slot `d.cluster`.
         let icn2_path = icn2_router
             .route(NodeId::from_index(s.cluster), NodeId::from_index(d.cluster))
@@ -257,10 +255,7 @@ impl Fabric {
     }
 
     fn bottleneck_of(&self, channels: &[GlobalChannelId]) -> f64 {
-        channels
-            .iter()
-            .map(|&c| self.flit_times[c as usize])
-            .fold(0.0f64, f64::max)
+        channels.iter().map(|&c| self.flit_times[c as usize]).fold(0.0f64, f64::max)
     }
 }
 
@@ -315,7 +310,6 @@ mod tests {
     #[test]
     fn intra_paths_stay_inside_one_cluster() {
         let f = fabric();
-        let sys = f.system().clone();
         // Nodes 0 and 1 are both in cluster 0.
         let it = f.build_path(0, 1).unwrap();
         assert_eq!(it.src_cluster, 0);
@@ -328,13 +322,12 @@ mod tests {
         assert!(it.channels.iter().all(|&c| c >= base && c < limit));
         // The path never touches a bridge.
         assert!(it.channels.iter().all(|&c| !f.bridges().is_bridge(c)));
-        drop(sys);
     }
 
     #[test]
     fn inter_paths_traverse_all_three_networks_and_bridges() {
         let f = fabric();
-        let sys = f.system().clone();
+        let sys = f.system();
         let src = 0; // cluster 0
         let dst = sys.total_nodes() - 1; // last cluster
         let it = f.build_path(src, dst).unwrap();
@@ -347,10 +340,7 @@ mod tests {
         let n_dst = sys.cluster(it.dst_cluster as usize).unwrap().levels;
         let len = it.channels.len();
         assert!(len >= n_src + n_dst + 2 + 2, "path too short: {len}");
-        assert!(
-            len <= n_src + n_dst + 2 + 2 * sys.icn2_levels(),
-            "path too long: {len}"
-        );
+        assert!(len <= n_src + n_dst + 2 + 2 * sys.icn2_levels(), "path too long: {len}");
         // No duplicate channels on a path.
         let unique: HashSet<_> = it.channels.iter().collect();
         assert_eq!(unique.len(), it.channels.len());

@@ -59,6 +59,7 @@ pub mod engine;
 pub mod event;
 pub mod fabric;
 pub mod message;
+pub mod routes;
 pub mod runner;
 pub mod stats;
 pub mod traffic;

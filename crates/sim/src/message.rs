@@ -1,12 +1,16 @@
 //! In-flight message records.
 //!
-//! Each message carries its precomputed channel itinerary (the wormhole path through
-//! one or — for inter-cluster messages — all three networks and the two bridge
-//! buffers), its progress along that itinerary and the timestamps needed for latency
-//! accounting.
+//! Each message references its precomputed channel itinerary as an interned
+//! [`RouteRef`] into the simulation's [`crate::routes::RouteTable`] arena (the
+//! wormhole path through one or — for inter-cluster messages — all three
+//! networks and the two bridge buffers), together with its progress along that
+//! itinerary and the timestamps needed for latency accounting. Holding an
+//! `(offset, len)` arena slice instead of an owned `Vec` keeps message
+//! generation allocation-free.
 
 use crate::channels::GlobalChannelId;
 use crate::event::MessageId;
+use crate::routes::{RouteEntry, RouteRef};
 use serde::{Deserialize, Serialize};
 
 /// Whether a message stays inside its source cluster or crosses to another cluster.
@@ -32,14 +36,14 @@ pub struct MessageState {
     pub class: MessageClass,
     /// Simulation time at which the message was generated (entered its source queue).
     pub generation_time: f64,
-    /// The full ordered list of channels the worm must acquire, across every network
-    /// and bridge it traverses.
-    pub path: Vec<GlobalChannelId>,
+    /// The full ordered channel list the worm must acquire, as an interned slice
+    /// of the route table arena.
+    pub route: RouteRef,
     /// The slowest per-flit channel time on the path (drain bottleneck).
     pub bottleneck_time: f64,
     /// Number of channels acquired so far; the next channel to acquire is
-    /// `path[acquired]`.
-    pub acquired: usize,
+    /// `path[acquired]` where `path` is the resolved route slice.
+    pub acquired: u16,
     /// Whether this message falls into the measurement window (not warm-up, not drain).
     pub measured: bool,
     /// Delivery time of the tail flit, once delivered.
@@ -47,40 +51,33 @@ pub struct MessageState {
 }
 
 impl MessageState {
-    /// Creates a new, not-yet-started message.
-    pub fn new(
-        id: MessageId,
-        src_cluster: u32,
-        dst_cluster: u32,
-        generation_time: f64,
-        path: Vec<GlobalChannelId>,
-        bottleneck_time: f64,
-        measured: bool,
-    ) -> Self {
-        debug_assert!(!path.is_empty(), "messages always cross at least one channel");
+    /// Creates a new, not-yet-started message from a resolved route-table entry.
+    pub fn new(id: MessageId, entry: RouteEntry, generation_time: f64, measured: bool) -> Self {
+        debug_assert!(!entry.route.is_empty(), "messages always cross at least one channel");
         MessageState {
             id,
-            src_cluster,
-            dst_cluster,
-            class: if src_cluster == dst_cluster {
+            src_cluster: entry.src_cluster,
+            dst_cluster: entry.dst_cluster,
+            class: if entry.src_cluster == entry.dst_cluster {
                 MessageClass::Intra
             } else {
                 MessageClass::Inter
             },
             generation_time,
-            path,
-            bottleneck_time,
+            route: entry.route,
+            bottleneck_time: entry.bottleneck,
             acquired: 0,
             measured,
             delivered_time: None,
         }
     }
 
-    /// The next channel the header must acquire, or `None` if the whole path has been
-    /// acquired (the header has reached the destination).
+    /// The next channel the header must acquire, or `None` if the whole path has
+    /// been acquired (the header has reached the destination). `path` is the
+    /// resolved route slice (`RouteTable::channels(self.route)`).
     #[inline]
-    pub fn next_channel(&self) -> Option<GlobalChannelId> {
-        self.path.get(self.acquired).copied()
+    pub fn next_channel(&self, path: &[GlobalChannelId]) -> Option<GlobalChannelId> {
+        path.get(self.acquired as usize).copied()
     }
 
     /// Marks the next channel as acquired and returns it.
@@ -88,8 +85,8 @@ impl MessageState {
     /// # Panics
     /// Panics if the path is already fully acquired.
     #[inline]
-    pub fn advance(&mut self) -> GlobalChannelId {
-        let ch = self.path[self.acquired];
+    pub fn advance(&mut self, path: &[GlobalChannelId]) -> GlobalChannelId {
+        let ch = path[self.acquired as usize];
         self.acquired += 1;
         ch
     }
@@ -97,14 +94,14 @@ impl MessageState {
     /// Whether the header has acquired the full path.
     #[inline]
     pub fn header_delivered(&self) -> bool {
-        self.acquired == self.path.len()
+        self.acquired as usize == self.route.len()
     }
 
     /// The channels currently held by the worm (all acquired channels, since channels
     /// are only released when the tail arrives).
     #[inline]
-    pub fn held_channels(&self) -> &[GlobalChannelId] {
-        &self.path[..self.acquired]
+    pub fn held_channels<'p>(&self, path: &'p [GlobalChannelId]) -> &'p [GlobalChannelId] {
+        &path[..self.acquired as usize]
     }
 
     /// Tail-to-tail latency, available once delivered.
@@ -117,36 +114,52 @@ impl MessageState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::routes::RouteTable;
+    use mcnet_system::{organizations, TrafficConfig};
 
-    fn msg() -> MessageState {
-        MessageState::new(5, 0, 1, 10.0, vec![3, 7, 9], 0.5, true)
+    /// A real route table over the small test org, so message tests exercise the
+    /// same arena-slice mechanics the engine uses.
+    fn table() -> (crate::fabric::Fabric, RouteTable) {
+        let system = organizations::small_test_org();
+        let traffic = TrafficConfig::uniform(8, 256.0, 1e-4).unwrap();
+        let fabric = crate::fabric::Fabric::build(&system, &traffic).unwrap();
+        let table = RouteTable::build(&fabric).unwrap();
+        (fabric, table)
     }
 
     #[test]
     fn class_is_derived_from_clusters() {
-        assert_eq!(msg().class, MessageClass::Inter);
-        let intra = MessageState::new(0, 2, 2, 0.0, vec![1], 0.3, false);
+        let (f, mut t) = table();
+        let last = t.nodes() - 1;
+        let inter = MessageState::new(5, t.entry(&f, 0, last), 10.0, true);
+        assert_eq!(inter.class, MessageClass::Inter);
+        let intra = MessageState::new(0, t.entry(&f, 0, 1), 0.0, false);
         assert_eq!(intra.class, MessageClass::Intra);
     }
 
     #[test]
     fn progress_through_the_path() {
-        let mut m = msg();
-        assert_eq!(m.next_channel(), Some(3));
+        let (f, mut t) = table();
+        let entry = t.entry(&f, 0, 1);
+        let path: Vec<_> = t.channels(entry.route).to_vec();
+        assert_eq!(path.len(), 2, "same-leaf intra journey crosses two links");
+        let mut m = MessageState::new(5, entry, 10.0, true);
+
+        assert_eq!(m.next_channel(&path), Some(path[0]));
         assert!(!m.header_delivered());
-        assert_eq!(m.advance(), 3);
-        assert_eq!(m.next_channel(), Some(7));
-        assert_eq!(m.held_channels(), &[3]);
-        m.advance();
-        m.advance();
+        assert_eq!(m.advance(&path), path[0]);
+        assert_eq!(m.next_channel(&path), Some(path[1]));
+        assert_eq!(m.held_channels(&path), &path[..1]);
+        m.advance(&path);
         assert!(m.header_delivered());
-        assert_eq!(m.next_channel(), None);
-        assert_eq!(m.held_channels(), &[3, 7, 9]);
+        assert_eq!(m.next_channel(&path), None);
+        assert_eq!(m.held_channels(&path), &path[..]);
     }
 
     #[test]
     fn latency_requires_delivery() {
-        let mut m = msg();
+        let (f, mut t) = table();
+        let mut m = MessageState::new(0, t.entry(&f, 0, 1), 10.0, true);
         assert_eq!(m.latency(), None);
         m.delivered_time = Some(42.0);
         assert_eq!(m.latency(), Some(32.0));

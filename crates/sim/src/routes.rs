@@ -1,0 +1,451 @@
+//! Interned route storage: every `(src, dst)` itinerary as a slice of one flat arena.
+//!
+//! The wormhole engine used to call [`Fabric::build_path`] for every generated
+//! message, which re-ran the NCA routing algorithm and allocated several fresh
+//! `Vec`s per message. The [`RouteTable`] removes all of that from the hot path:
+//!
+//! * **One flat arena.** All itineraries live in a single `Vec<GlobalChannelId>`;
+//!   a route is a [`RouteRef`] — an `(offset, len)` pair — and resolving it is a
+//!   bounds-checked slice of the arena.
+//! * **Shared segments.** Inter-cluster paths are the concatenation
+//!   `ascent(src) ⊕ concentrator ⊕ icn2(c_s, c_d) ⊕ dispatcher ⊕ descent(dst)`.
+//!   The three variable segments are computed once per node / cluster pair at
+//!   build time (`2N + C²` routing calls), so materialising an inter-cluster
+//!   pair afterwards is a handful of `memcpy`s — the routing algorithm never
+//!   runs for it again.
+//! * **Interned entries.** A pair's itinerary is materialised on its first
+//!   lookup and interned forever: every subsequent message between the same
+//!   `(src, dst)` resolves to the *same* arena slice, so each distinct pair
+//!   occupies storage exactly once no matter how many messages use it.
+//!   Intra-cluster pairs (whose single-network routes cannot be composed from
+//!   shared segments) are routed straight into the arena through the
+//!   allocation-free [`NcaRouter::route_into`] walker on first use.
+//!   (Full-path deduplication across *different* pairs would never fire: a
+//!   node's injection and ejection channels make every pair's path unique.)
+//! * **Precomputed metadata.** The drain bottleneck (slowest per-flit channel
+//!   time) and the source/destination clusters are stored per entry, so
+//!   `handle_generate` never scans a path.
+//!
+//! The per-pair entry index is three flat arrays (packed route word, packed
+//! cluster word, bottleneck) whose zero bit-pattern is the "unmaterialised"
+//! sentinel — `vec![0; n]` lowers to `alloc_zeroed`, so even the `N²` index of
+//! a 1000-node fabric costs fresh zero pages rather than a memset, and only
+//! pages of pairs actually used are ever touched.
+//!
+//! Lookups after a pair's first are allocation-free reads. The table produces
+//! channel sequences identical to [`Fabric::build_path`] for every pair
+//! (covered by equivalence tests here and in `tests/property_tests.rs`), and it
+//! consumes nothing from the simulation RNG — so swapping per-message route
+//! construction for the table is bit-transparent to engine results.
+
+use crate::channels::GlobalChannelId;
+use crate::fabric::{Fabric, Itinerary};
+use crate::{Result, SimError};
+use mcnet_topology::routing::NcaRouter;
+use mcnet_topology::NodeId;
+
+/// A route as a slice of the table's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteRef {
+    offset: u64,
+    len: u16,
+}
+
+impl RouteRef {
+    /// Number of channels on the route.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` if the route crosses no channel (never the case for real entries).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One resolved `(src, dst)` table entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteEntry {
+    /// The interned channel sequence.
+    pub route: RouteRef,
+    /// Slowest per-flit channel time on the path (drain bottleneck).
+    pub bottleneck: f64,
+    /// Source cluster index.
+    pub src_cluster: u32,
+    /// Destination cluster index.
+    pub dst_cluster: u32,
+}
+
+/// A precomputed path fragment (ascent, descent or ICN2 crossing).
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    offset: u32,
+    len: u16,
+    bottleneck: f64,
+}
+
+const LEN_BITS: u32 = 16;
+const LEN_MASK: u64 = (1 << LEN_BITS) - 1;
+
+/// The interned all-pairs route table of one [`Fabric`].
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    nodes: usize,
+    arena: Vec<GlobalChannelId>,
+    /// Per-pair `offset << 16 | len`; `0` means "not materialised yet" (a real
+    /// entry always has `len >= 1`).
+    route_packed: Vec<u64>,
+    /// Per-pair `src_cluster << 16 | dst_cluster`, valid once materialised.
+    cluster_packed: Vec<u32>,
+    /// Per-pair drain bottleneck, valid once materialised.
+    bottleneck: Vec<f64>,
+    /// Per-node ECN1 ascent (node → root switch, concentrator side).
+    ascent: Vec<Segment>,
+    /// Per-node ECN1 descent (home root switch → node, dispatcher side).
+    descent: Vec<Segment>,
+    /// Per-`(src_cluster, dst_cluster)` ICN2 crossing.
+    icn2: Vec<Segment>,
+    clusters: usize,
+    /// Half-open global-node ranges `[start, end)` of each cluster, in order.
+    cluster_bounds: Vec<(usize, usize)>,
+    /// Concentrator/dispatcher channel ids, `[concentrate(c), dispatch(c)]` per cluster.
+    bridges: Vec<[GlobalChannelId; 2]>,
+    /// Per-flit time of the bridge resources (the switch channel time).
+    bridge_flit: f64,
+    /// Scratch buffer reused by intra-pair materialisation.
+    scratch: Vec<mcnet_topology::graph::ChannelId>,
+    /// Number of entries materialised so far, for diagnostics.
+    materialized: usize,
+}
+
+impl RouteTable {
+    /// Builds the table for a fabric: precomputes the shared inter-cluster
+    /// segments (`2N + C²` routing calls) and the zeroed per-pair index.
+    /// Itineraries themselves are interned on first lookup.
+    pub fn build(fabric: &Fabric) -> Result<Self> {
+        let system = fabric.system();
+        let nodes = system.total_nodes();
+        let clusters = system.num_clusters();
+
+        let mut table = RouteTable {
+            nodes,
+            arena: Vec::new(),
+            route_packed: vec![0u64; nodes * nodes],
+            cluster_packed: vec![0u32; nodes * nodes],
+            bottleneck: vec![0.0f64; nodes * nodes],
+            ascent: Vec::with_capacity(nodes),
+            descent: Vec::with_capacity(nodes),
+            icn2: vec![Segment { offset: 0, len: 0, bottleneck: 0.0 }; clusters * clusters],
+            clusters,
+            cluster_bounds: (0..clusters)
+                .map(|c| {
+                    let r = system.node_range(c).expect("cluster index in range");
+                    (r.start, r.end)
+                })
+                .collect(),
+            bridges: (0..clusters)
+                .map(|c| [fabric.bridges().concentrate(c), fabric.bridges().dispatch(c)])
+                .collect(),
+            bridge_flit: fabric.t_cs(),
+            scratch: Vec::new(),
+            materialized: 0,
+        };
+
+        let mut scratch: Vec<mcnet_topology::graph::ChannelId> = Vec::new();
+
+        // ECN1 ascent and descent segments, one of each per node. The descent
+        // starts at the node's *home* root switch — the same balanced root its
+        // own ascents use — matching `Fabric::build_path`.
+        for cluster in 0..clusters {
+            let range = system.node_range(cluster).map_err(SimError::from)?;
+            let net = fabric.ecn1(cluster);
+            let router = NcaRouter::new(net.tree());
+            for local in 0..range.len() {
+                let node = NodeId::from_index(local);
+
+                scratch.clear();
+                let root = router.ascent_into(node, &mut scratch).map_err(SimError::from)?;
+                let ascent = table.intern_segment(fabric, net.channel_base(), &scratch);
+
+                scratch.clear();
+                router.descent_into(root, node, &mut scratch).map_err(SimError::from)?;
+                let descent = table.intern_segment(fabric, net.channel_base(), &scratch);
+
+                table.ascent.push(ascent);
+                table.descent.push(descent);
+            }
+        }
+        debug_assert_eq!(table.ascent.len(), nodes);
+
+        // ICN2 crossings, one per ordered cluster pair.
+        let net = fabric.icn2();
+        let router = NcaRouter::new(net.tree());
+        for c1 in 0..clusters {
+            for c2 in 0..clusters {
+                if c1 == c2 {
+                    continue;
+                }
+                scratch.clear();
+                router
+                    .route_into(NodeId::from_index(c1), NodeId::from_index(c2), &mut scratch)
+                    .map_err(SimError::from)?;
+                table.icn2[c1 * clusters + c2] =
+                    table.intern_segment(fabric, net.channel_base(), &scratch);
+            }
+        }
+
+        Ok(table)
+    }
+
+    /// Appends a globalized channel sequence to the arena, returning its segment.
+    fn intern_segment(
+        &mut self,
+        fabric: &Fabric,
+        channel_base: u32,
+        channels: &[mcnet_topology::graph::ChannelId],
+    ) -> Segment {
+        let offset = self.arena.len() as u32;
+        let mut bottleneck = 0.0f64;
+        for ch in channels {
+            let global = channel_base + ch.0;
+            bottleneck = bottleneck.max(fabric.flit_time(global));
+            self.arena.push(global);
+        }
+        debug_assert!(channels.len() <= u16::MAX as usize, "path longer than u16");
+        Segment { offset, len: channels.len() as u16, bottleneck }
+    }
+
+    /// Total number of nodes the table covers.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of `(src, dst)` entries materialised (interned) so far.
+    pub fn materialized_entries(&self) -> usize {
+        self.materialized
+    }
+
+    /// Current arena length in channels (storage diagnostics).
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Resolves a route to its channel slice.
+    #[inline]
+    pub fn channels(&self, route: RouteRef) -> &[GlobalChannelId] {
+        &self.arena[route.offset as usize..route.offset as usize + route.len as usize]
+    }
+
+    /// Looks up (interning on first use) the entry for `src → dst`.
+    ///
+    /// After a pair's first lookup this is a pure table read. The first lookup
+    /// interns the itinerary: inter-cluster pairs are composed from the
+    /// precomputed segments with a few `memcpy`s; intra-cluster pairs run the
+    /// allocation-free route walker straight into the arena.
+    ///
+    /// # Panics
+    /// Panics if `src == dst` or either index is out of range — the traffic
+    /// layer never generates such messages.
+    #[inline]
+    pub fn entry(&mut self, fabric: &Fabric, src: usize, dst: usize) -> RouteEntry {
+        assert_ne!(src, dst, "message from node {src} to itself");
+        let idx = src * self.nodes + dst;
+        let packed = self.route_packed[idx];
+        if packed != 0 {
+            let clusters = self.cluster_packed[idx];
+            return RouteEntry {
+                route: RouteRef { offset: packed >> LEN_BITS, len: (packed & LEN_MASK) as u16 },
+                bottleneck: self.bottleneck[idx],
+                src_cluster: clusters >> 16,
+                dst_cluster: clusters & 0xFFFF,
+            };
+        }
+        self.materialize(fabric, src, dst)
+    }
+
+    /// Interns the itinerary of a first-seen pair.
+    #[cold]
+    fn materialize(&mut self, fabric: &Fabric, src: usize, dst: usize) -> RouteEntry {
+        let src_cluster = self.cluster_of(src);
+        let dst_cluster = self.cluster_of(dst);
+
+        let offset = self.arena.len() as u64;
+        let (len, bottleneck) = if src_cluster == dst_cluster {
+            // Intra-cluster: run the route walker straight into the arena.
+            let start = self.cluster_bounds[src_cluster].0;
+            let net = fabric.icn1(src_cluster);
+            let mut scratch = std::mem::take(&mut self.scratch);
+            scratch.clear();
+            NcaRouter::new(net.tree())
+                .route_into(
+                    NodeId::from_index(src - start),
+                    NodeId::from_index(dst - start),
+                    &mut scratch,
+                )
+                .expect("in-range distinct nodes are always routable");
+            let seg = self.intern_segment(fabric, net.channel_base(), &scratch);
+            self.scratch = scratch;
+            (seg.len, seg.bottleneck)
+        } else {
+            // Inter-cluster: compose the precomputed segments by memcpy.
+            let ascent = self.ascent[src];
+            let icn2 = self.icn2[src_cluster * self.clusters + dst_cluster];
+            let descent = self.descent[dst];
+            let [concentrate, _] = self.bridges[src_cluster];
+            let [_, dispatch] = self.bridges[dst_cluster];
+
+            let len = ascent.len + 1 + icn2.len + 1 + descent.len;
+            self.arena.reserve(len as usize);
+            Self::copy_segment(&mut self.arena, ascent);
+            self.arena.push(concentrate);
+            Self::copy_segment(&mut self.arena, icn2);
+            self.arena.push(dispatch);
+            Self::copy_segment(&mut self.arena, descent);
+
+            let bottleneck = ascent
+                .bottleneck
+                .max(icn2.bottleneck)
+                .max(descent.bottleneck)
+                .max(self.bridge_flit);
+            (len, bottleneck)
+        };
+
+        let idx = src * self.nodes + dst;
+        self.route_packed[idx] = offset << LEN_BITS | len as u64;
+        self.cluster_packed[idx] = (src_cluster as u32) << 16 | dst_cluster as u32;
+        self.bottleneck[idx] = bottleneck;
+        self.materialized += 1;
+        RouteEntry {
+            route: RouteRef { offset, len },
+            bottleneck,
+            src_cluster: src_cluster as u32,
+            dst_cluster: dst_cluster as u32,
+        }
+    }
+
+    #[inline]
+    fn copy_segment(arena: &mut Vec<GlobalChannelId>, seg: Segment) {
+        let start = seg.offset as usize;
+        arena.extend_from_within(start..start + seg.len as usize);
+    }
+
+    /// The cluster a node belongs to (binary search over the cluster bounds).
+    fn cluster_of(&self, node: usize) -> usize {
+        self.cluster_bounds
+            .binary_search_by(|probe| {
+                use std::cmp::Ordering;
+                if node < probe.0 {
+                    Ordering::Greater
+                } else if node >= probe.1 {
+                    Ordering::Less
+                } else {
+                    Ordering::Equal
+                }
+            })
+            .expect("node belongs to some cluster")
+    }
+
+    /// Rebuilds an owned [`Itinerary`] for a pair — the compatibility/verification
+    /// view used by tests to compare against [`Fabric::build_path`].
+    pub fn itinerary(&mut self, fabric: &Fabric, src: usize, dst: usize) -> Result<Itinerary> {
+        if src == dst || src >= self.nodes || dst >= self.nodes {
+            return Err(SimError::InvalidConfiguration {
+                reason: format!("invalid route table pair {src} -> {dst}"),
+            });
+        }
+        let entry = self.entry(fabric, src, dst);
+        Ok(Itinerary {
+            channels: self.channels(entry.route).to_vec(),
+            bottleneck: entry.bottleneck,
+            src_cluster: entry.src_cluster,
+            dst_cluster: entry.dst_cluster,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnet_system::{organizations, TrafficConfig};
+
+    fn build_pair() -> (Fabric, RouteTable) {
+        let system = organizations::small_test_org();
+        let traffic = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
+        let fabric = Fabric::build(&system, &traffic).unwrap();
+        let table = RouteTable::build(&fabric).unwrap();
+        (fabric, table)
+    }
+
+    #[test]
+    fn all_pairs_match_freshly_computed_paths() {
+        let (fabric, mut table) = build_pair();
+        let n = fabric.system().total_nodes();
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    assert!(table.itinerary(&fabric, src, dst).is_err());
+                    continue;
+                }
+                let fresh = fabric.build_path(src, dst).unwrap();
+                let interned = table.itinerary(&fabric, src, dst).unwrap();
+                assert_eq!(interned.channels, fresh.channels, "{src}->{dst}");
+                assert_eq!(interned.src_cluster, fresh.src_cluster);
+                assert_eq!(interned.dst_cluster, fresh.dst_cluster);
+                assert!((interned.bottleneck - fresh.bottleneck).abs() < 1e-15);
+            }
+        }
+        assert_eq!(table.materialized_entries(), n * (n - 1));
+    }
+
+    #[test]
+    fn pairs_are_interned_on_first_lookup() {
+        let (fabric, mut table) = build_pair();
+        assert_eq!(table.materialized_entries(), 0);
+
+        // First intra lookup interns one entry; the repeat is a pure read.
+        let e1 = table.entry(&fabric, 0, 1);
+        let after_intra = table.arena_len();
+        assert_eq!(table.materialized_entries(), 1);
+        let e1_again = table.entry(&fabric, 0, 1);
+        assert_eq!(e1, e1_again, "repeated lookups share the interned entry");
+        assert_eq!(table.arena_len(), after_intra);
+
+        // First inter lookup extends the arena once; the repeat is pure.
+        let last = table.nodes() - 1;
+        let e2 = table.entry(&fabric, 0, last);
+        let grown = table.arena_len();
+        assert!(grown > after_intra);
+        assert_eq!(table.materialized_entries(), 2);
+        let e2_again = table.entry(&fabric, 0, last);
+        assert_eq!(table.arena_len(), grown);
+        assert_eq!(e2, e2_again);
+        assert_ne!(e1.route, e2.route);
+    }
+
+    #[test]
+    fn entries_carry_correct_metadata() {
+        let (fabric, mut table) = build_pair();
+        let last = table.nodes() - 1;
+        let inter = table.entry(&fabric, 0, last);
+        assert_ne!(inter.src_cluster, inter.dst_cluster);
+        assert!((inter.bottleneck - fabric.t_cs()).abs() < 1e-12);
+        let channels = table.channels(inter.route);
+        assert!(channels.contains(&fabric.bridges().concentrate(inter.src_cluster as usize)));
+        assert!(channels.contains(&fabric.bridges().dispatch(inter.dst_cluster as usize)));
+
+        let intra = table.entry(&fabric, 0, 1);
+        assert_eq!(intra.src_cluster, 0);
+        assert_eq!(intra.dst_cluster, 0);
+        assert!((intra.bottleneck - fabric.t_cn()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "to itself")]
+    fn self_route_lookup_panics() {
+        let (fabric, mut table) = build_pair();
+        table.entry(&fabric, 3, 3);
+    }
+}

@@ -158,8 +158,13 @@ pub struct ReplicatedReport {
     pub halfwidth_95: f64,
 }
 
-/// Runs `replications` independent replications (seeds `seed`, `seed+1`, …) on worker
-/// threads and aggregates them.
+/// Runs `replications` independent replications (seeds `seed`, `seed+1`, …) on a
+/// bounded worker pool and aggregates them.
+///
+/// The pool is capped at the machine's available parallelism (never one OS thread
+/// per replication); seed assignment (`seed + r`) and aggregation order are by
+/// replication index, so the aggregate is bit-identical regardless of how the
+/// replications interleave across threads.
 pub fn run_replications(
     system: &MultiClusterSystem,
     traffic: &TrafficConfig,
@@ -171,22 +176,13 @@ pub fn run_replications(
             reason: "at least one replication is required".into(),
         });
     }
-    let mut results: Vec<Option<Result<SimReport>>> = Vec::new();
-    results.resize_with(replications, || None);
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(replications);
-        for r in 0..replications {
-            let cfg = SimConfig { seed: config.seed.wrapping_add(r as u64), ..*config };
-            handles.push(scope.spawn(move |_| run_simulation(system, traffic, &cfg)));
-        }
-        for (slot, handle) in results.iter_mut().zip(handles) {
-            *slot = Some(handle.join().expect("simulation worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
+    let results = mcnet_system::parallel::parallel_map((0..replications).collect(), |_, r| {
+        let cfg = SimConfig { seed: config.seed.wrapping_add(r as u64), ..*config };
+        run_simulation(system, traffic, &cfg)
+    });
 
     let mut replication_reports = Vec::with_capacity(replications);
-    for r in results.into_iter().flatten() {
+    for r in results {
         replication_reports.push(r?);
     }
     let mut stats = RunningStats::new();

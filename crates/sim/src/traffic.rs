@@ -169,9 +169,7 @@ mod tests {
         let (_, src) = source(TrafficPattern::Hotspot { hotspot: 3, fraction: 0.5 });
         let mut rng = SmallRng::seed_from_u64(3);
         let samples = 20_000;
-        let hot = (0..samples)
-            .filter(|_| src.sample_destination(&mut rng, 10) == 3)
-            .count();
+        let hot = (0..samples).filter(|_| src.sample_destination(&mut rng, 10) == 3).count();
         let frac = hot as f64 / samples as f64;
         assert!(frac > 0.45 && frac < 0.60, "hotspot fraction {frac}");
     }

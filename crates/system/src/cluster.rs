@@ -30,7 +30,11 @@ impl ClusterSpec {
     }
 
     /// Creates a cluster with an explicit relative processing power.
-    pub fn with_processing_power(ports: usize, levels: usize, processing_power: f64) -> Result<Self> {
+    pub fn with_processing_power(
+        ports: usize,
+        levels: usize,
+        processing_power: f64,
+    ) -> Result<Self> {
         if ports < 2 || !ports.is_multiple_of(2) {
             return Err(SystemError::InvalidPortCount { m: ports });
         }

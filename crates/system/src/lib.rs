@@ -46,6 +46,7 @@ pub mod cluster;
 pub mod multicluster;
 pub mod network;
 pub mod organizations;
+pub mod parallel;
 pub mod sweep;
 pub mod traffic;
 

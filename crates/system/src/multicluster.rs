@@ -119,10 +119,9 @@ impl MultiClusterSystem {
 
     /// One cluster's specification.
     pub fn cluster(&self, i: usize) -> Result<&ClusterSpec> {
-        self.clusters.get(i).ok_or(SystemError::ClusterOutOfRange {
-            cluster: i,
-            num_clusters: self.clusters.len(),
-        })
+        self.clusters
+            .get(i)
+            .ok_or(SystemError::ClusterOutOfRange { cluster: i, num_clusters: self.clusters.len() })
     }
 
     /// Node count `N_i` of cluster `i`.
@@ -169,10 +168,7 @@ impl MultiClusterSystem {
     pub fn global_index(&self, node: GlobalNodeId) -> Result<usize> {
         let nodes = self.cluster_nodes(node.cluster)?;
         if node.local >= nodes {
-            return Err(SystemError::NodeOutOfRange {
-                node: node.local,
-                num_nodes: nodes,
-            });
+            return Err(SystemError::NodeOutOfRange { node: node.local, num_nodes: nodes });
         }
         Ok(self.offsets[node.cluster] + node.local)
     }
@@ -180,7 +176,10 @@ impl MultiClusterSystem {
     /// Cluster and local index of a node given its global index.
     pub fn locate(&self, global: usize) -> Result<GlobalNodeId> {
         if global >= self.total_nodes() {
-            return Err(SystemError::NodeOutOfRange { node: global, num_nodes: self.total_nodes() });
+            return Err(SystemError::NodeOutOfRange {
+                node: global,
+                num_nodes: self.total_nodes(),
+            });
         }
         // offsets is sorted; partition_point finds the cluster whose range contains it.
         let cluster = self.offsets.partition_point(|&o| o <= global) - 1;
@@ -303,17 +302,13 @@ mod tests {
             Err(SystemError::TooFewClusters { .. })
         ));
         let mixed = vec![ClusterSpec::new(4, 1).unwrap(), ClusterSpec::new(8, 1).unwrap()];
-        assert!(matches!(
-            MultiClusterSystem::new(mixed),
-            Err(SystemError::MixedPortCounts { .. })
-        ));
+        assert!(matches!(MultiClusterSystem::new(mixed), Err(SystemError::MixedPortCounts { .. })));
     }
 
     #[test]
     fn homogeneity_detection() {
         assert!(!small_system().is_homogeneous());
-        let sys =
-            MultiClusterSystem::new(vec![ClusterSpec::new(4, 2).unwrap(); 4]).unwrap();
+        let sys = MultiClusterSystem::new(vec![ClusterSpec::new(4, 2).unwrap(); 4]).unwrap();
         assert!(sys.is_homogeneous());
     }
 

@@ -28,15 +28,15 @@ pub fn cluster_groups(groups: &[(usize, usize, usize)]) -> Result<Vec<ClusterSpe
 
 /// Table 1, organization A: `N = 1120`, `C = 32`, `m = 8`.
 pub fn table1_org_a() -> MultiClusterSystem {
-    let clusters = cluster_groups(&[(12, 8, 1), (16, 8, 2), (4, 8, 3)])
-        .expect("static organization is valid");
+    let clusters =
+        cluster_groups(&[(12, 8, 1), (16, 8, 2), (4, 8, 3)]).expect("static organization is valid");
     MultiClusterSystem::new(clusters).expect("static organization is valid")
 }
 
 /// Table 1, organization B: `N = 544`, `C = 16`, `m = 4`.
 pub fn table1_org_b() -> MultiClusterSystem {
-    let clusters = cluster_groups(&[(8, 4, 3), (3, 4, 4), (5, 4, 5)])
-        .expect("static organization is valid");
+    let clusters =
+        cluster_groups(&[(8, 4, 3), (3, 4, 4), (5, 4, 5)]).expect("static organization is valid");
     MultiClusterSystem::new(clusters).expect("static organization is valid")
 }
 

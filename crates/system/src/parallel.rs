@@ -1,0 +1,130 @@
+//! A minimal bounded worker pool for embarrassingly parallel evaluation work.
+//!
+//! Every layer above the configuration crate has the same need: evaluate many
+//! independent `(system, traffic, seed)` points — simulation replications,
+//! traffic sweeps, figure curves, table rows — and aggregate the results in a
+//! deterministic order. [`parallel_map`] provides exactly that: it fans a work
+//! list over at most [`max_workers`] OS threads (never one thread per item)
+//! and returns the results in input order, so callers keep bit-identical
+//! aggregation behaviour regardless of scheduling.
+//!
+//! Determinism contract: the *value* of each result depends only on the input
+//! item and its index (callers derive per-item seeds from the index), and the
+//! result vector is indexed by input position — thread interleaving can never
+//! reorder or change results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on worker threads: the machine's available parallelism.
+pub fn max_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items` on a bounded worker pool, returning results in input
+/// order.
+///
+/// `f` receives `(index, item)` so callers can derive deterministic per-item
+/// seeds. At most `min(items.len(), max_workers())` threads are spawned; with
+/// zero or one item (or a single-core machine) the map runs inline on the
+/// caller's thread. A panic in `f` propagates to the caller after the pool
+/// drains.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let workers = max_workers().min(items.len());
+    if workers <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let n = items.len();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work item claimed twice");
+                let out = f(i, item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool finished with an unfilled slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_keep_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = parallel_map(items, |i, item| {
+            assert_eq!(i, item);
+            item * 3
+        });
+        assert_eq!(out, (0..257).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_is_bounded() {
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<usize> = (0..64).collect();
+        parallel_map(items, |_, _| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(seen.lock().unwrap().len() <= max_workers());
+        assert!(max_workers() >= 1);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = parallel_map((0..100).collect::<Vec<_>>(), |_, x: i32| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_run_inline() {
+        assert!(parallel_map(Vec::<u8>::new(), |_, x| x).is_empty());
+        assert_eq!(parallel_map(vec![9], |i, x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        parallel_map(vec![1, 2, 3], |_, x| {
+            if x == 2 {
+                panic!("worker boom");
+            }
+            x
+        });
+    }
+}

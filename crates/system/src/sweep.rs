@@ -110,7 +110,8 @@ impl FigureSweep {
 
     /// The traffic configurations of the sweep.
     pub fn configs(&self) -> Result<Vec<TrafficConfig>> {
-        TrafficSweep::up_to(self.max_rate, self.points)?.configs(self.message_flits, self.flit_bytes)
+        TrafficSweep::up_to(self.max_rate, self.points)?
+            .configs(self.message_flits, self.flit_bytes)
     }
 }
 

@@ -67,8 +67,8 @@ impl HopDistribution {
             let mut acc = 0.0;
             for j in 1..n {
                 // Eq. (4), first branch: (2(m/2)^j - 2(m/2)^(j-1)) / (N - 1).
-                let p = (2.0 * (k as f64).powi(j as i32) - 2.0 * (k as f64).powi(j as i32 - 1))
-                    / denom;
+                let p =
+                    (2.0 * (k as f64).powi(j as i32) - 2.0 * (k as f64).powi(j as i32 - 1)) / denom;
                 probs.push(p);
                 acc += p;
             }
@@ -167,11 +167,7 @@ impl HopDistribution {
     /// Average number of links crossed by a message, `d_avg = Σ_j 2j · P_{j,n}`
     /// (paper Eq. 8).
     pub fn average_distance(&self) -> f64 {
-        self.probs
-            .iter()
-            .enumerate()
-            .map(|(idx, p)| 2.0 * (idx + 1) as f64 * p)
-            .sum()
+        self.probs.iter().enumerate().map(|(idx, p)| 2.0 * (idx + 1) as f64 * p).sum()
     }
 
     /// Average number of ascending links, `Σ_j j · P_{j,n}` (half of

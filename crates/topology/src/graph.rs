@@ -108,10 +108,7 @@ impl NetworkGraph {
 
     /// Iterates over all channels with their identifiers.
     pub fn channels(&self) -> impl Iterator<Item = (ChannelId, &Channel)> {
-        self.channels
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (ChannelId(i as u32), c))
+        self.channels.iter().enumerate().map(|(i, c)| (ChannelId(i as u32), c))
     }
 
     fn push_channel(&mut self, ch: Channel) -> ChannelId {
@@ -233,11 +230,7 @@ impl NetworkGraph {
 
     /// Counts channels of each kind, returned as `(node_switch, switch_switch)`.
     pub fn channel_counts(&self) -> (usize, usize) {
-        let ns = self
-            .channels
-            .iter()
-            .filter(|c| c.kind == ChannelKind::NodeSwitch)
-            .count();
+        let ns = self.channels.iter().filter(|c| c.kind == ChannelKind::NodeSwitch).count();
         (ns, self.channels.len() - ns)
     }
 }

@@ -45,7 +45,10 @@ impl KaryNCube {
         }
         let nodes_u128 = (k as u128).pow(n as u32);
         if nodes_u128 > crate::tree::MAX_NODES {
-            return Err(TopologyError::TooLarge { nodes: nodes_u128, limit: crate::tree::MAX_NODES });
+            return Err(TopologyError::TooLarge {
+                nodes: nodes_u128,
+                limit: crate::tree::MAX_NODES,
+            });
         }
         Ok(KaryNCube { k, n, num_nodes: upow(k, n as u32) })
     }
@@ -142,11 +145,7 @@ impl KaryNCube {
                 } else {
                     (current[dim] + self.k - 1) % self.k
                 };
-                hops.push(CubeHop {
-                    dimension: dim,
-                    direction,
-                    node: self.node_at(&current)?,
-                });
+                hops.push(CubeHop { dimension: dim, direction, node: self.node_at(&current)? });
             }
         }
         Ok(hops)

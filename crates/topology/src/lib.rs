@@ -131,17 +131,15 @@ impl std::fmt::Display for TopologyError {
             TopologyError::NodeOutOfRange { node, num_nodes } => {
                 write!(f, "node {node:?} out of range (topology has {num_nodes} nodes)")
             }
-            TopologyError::SwitchOutOfRange { switch, num_switches } => write!(
-                f,
-                "switch {switch:?} out of range (topology has {num_switches} switches)"
-            ),
+            TopologyError::SwitchOutOfRange { switch, num_switches } => {
+                write!(f, "switch {switch:?} out of range (topology has {num_switches} switches)")
+            }
             TopologyError::SelfRouting { node } => {
                 write!(f, "cannot route from node {node:?} to itself")
             }
-            TopologyError::TooLarge { nodes, limit } => write!(
-                f,
-                "topology with {nodes} nodes exceeds the construction limit of {limit}"
-            ),
+            TopologyError::TooLarge { nodes, limit } => {
+                write!(f, "topology with {nodes} nodes exceeds the construction limit of {limit}")
+            }
             TopologyError::InvalidRadix { k } => {
                 write!(f, "k-ary n-cube radix k={k} must be >= 2")
             }

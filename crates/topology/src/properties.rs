@@ -198,8 +198,7 @@ mod tests {
     fn diameter_matches_eccentricity() {
         let tree = MPortNTree::new(4, 3).unwrap();
         let props = TreeProperties::of(&tree);
-        let max_ecc =
-            tree.nodes().map(|v| eccentricity(&tree, v)).max().unwrap();
+        let max_ecc = tree.nodes().map(|v| eccentricity(&tree, v)).max().unwrap();
         assert_eq!(max_ecc, props.diameter_links);
     }
 
@@ -211,10 +210,7 @@ mod tests {
         let router = NcaRouter::new(&tree);
         let (max, min) = uniform_channel_load(&tree, &router);
         assert!(min > 0, "every switch-switch channel is used under all-to-all");
-        assert!(
-            max <= 4 * min,
-            "per-channel load imbalance too large: max={max}, min={min}"
-        );
+        assert!(max <= 4 * min, "per-channel load imbalance too large: max={max}, min={min}");
     }
 
     #[test]

@@ -64,7 +64,51 @@ impl Path {
     }
 }
 
+/// Maximum tree depth the stack-allocated route walkers support. A deeper tree
+/// would need more nodes than fit in memory (`2·k^64`), so this is unreachable
+/// in practice.
+const MAX_LEVELS: usize = 64;
+
+/// A small fixed-capacity switch word, so route walking never allocates.
+#[derive(Clone, Copy)]
+struct WordBuf {
+    buf: [u8; MAX_LEVELS],
+    len: usize,
+}
+
+impl WordBuf {
+    fn from_digits(digits: &[u8]) -> Self {
+        assert!(digits.len() <= MAX_LEVELS, "tree deeper than {MAX_LEVELS} levels");
+        let mut buf = [0u8; MAX_LEVELS];
+        buf[..digits.len()].copy_from_slice(digits);
+        WordBuf { buf, len: digits.len() }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, v: u8) {
+        if i < self.len {
+            self.buf[i] = v;
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
+}
+
 /// Deterministic NCA router over a borrowed [`MPortNTree`].
+///
+/// Construction is free (the router borrows the tree), so routers can be
+/// created per call site without cost. Two API families are offered:
+///
+/// * [`route`](Self::route) / [`route_to_root`](Self::route_to_root) /
+///   [`route_from_root`](Self::route_from_root) return a fully materialised
+///   [`Path`] (channels *and* switches) — convenient for analysis and tests;
+/// * [`route_into`](Self::route_into) / [`ascent_into`](Self::ascent_into) /
+///   [`descent_into`](Self::descent_into) append the channel sequence onto a
+///   caller-provided buffer without allocating — the hot-path API used by the
+///   simulator's route table construction.
 #[derive(Debug, Clone, Copy)]
 pub struct NcaRouter<'a> {
     tree: &'a MPortNTree,
@@ -87,59 +131,19 @@ impl<'a> NcaRouter<'a> {
     /// # Errors
     /// Fails if either node is out of range or `src == dst`.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Result<Path> {
-        let tree = self.tree;
-        let n = tree.levels();
-        let k = tree.arity();
-        let src_addr = tree.node_address(src)?;
-        let dst_addr = tree.node_address(dst)?;
-        if src == dst {
-            return Err(TopologyError::SelfRouting { node: src });
-        }
-
-        let j = MPortNTree::hop_count_addr(&src_addr, &dst_addr, n);
-        let nca_level = j - 1;
-
-        let mut channels = Vec::with_capacity(2 * j);
-        let mut switches = Vec::with_capacity(2 * j - 1);
-
-        // Ascending phase: injection link plus `j - 1` switch-to-switch links.
-        channels.push(tree.injection_channel(src)?);
-        let mut current = tree.leaf_switch_of(src)?;
-        switches.push(current);
-        let mut word: Vec<u8> = src_addr.digits[1..].to_vec();
-        for level in 0..nca_level {
-            // The up-channel index chosen at `level` becomes word position `level` of
-            // the next switch. Using destination digit `level` (rather than `level+1`)
-            // keeps the route deterministic while giving every destination — including
-            // destinations sharing a leaf switch — its own descending path, which is
-            // what balances traffic across the redundant down links of the fat-tree.
-            let u = dst_addr.digits[level] as usize;
-            let ch = tree
-                .up_channel(current, u)
-                .expect("non-root switches always have k up channels");
-            channels.push(ch);
-            if !word.is_empty() {
-                word[level] = u as u8;
-            }
-            current = if level + 1 == n - 1 {
-                tree.root_switch(&word)
-            } else {
-                tree.inner_switch(src_addr.half, (level + 1) as u8, &word)
-            };
-            switches.push(current);
-        }
-
-        // Descending phase: `j - 1` switch-to-switch links plus the ejection link.
-        let descend = self.descend_channels(current, nca_level, &dst_addr, k, n)?;
-        for (ch, sw) in descend.0 {
-            channels.push(ch);
-            switches.push(sw);
-        }
-        channels.push(descend.1);
-
+        let mut channels = Vec::new();
+        let mut switches = Vec::new();
+        self.walk_route(src, dst, &mut channels, &mut |sw| switches.push(sw))?;
+        let j = channels.len() / 2;
         debug_assert_eq!(channels.len(), 2 * j);
         debug_assert_eq!(switches.len(), 2 * j - 1);
         Ok(Path { channels, switches, ascending_links: j, descending_links: j })
+    }
+
+    /// Appends the channels of the full route from `src` to `dst` onto `out`
+    /// without any allocation beyond (amortised) buffer growth.
+    pub fn route_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<ChannelId>) -> Result<()> {
+        self.walk_route(src, dst, out, &mut |_| {})
     }
 
     /// Ascending-only route from `src` up to a root switch, used for the ECN1 phase of
@@ -148,82 +152,157 @@ impl<'a> NcaRouter<'a> {
     /// The up-port choices are taken from the *source's own* digits, which statically
     /// balances concentrator-bound traffic across the root switches.
     pub fn route_to_root(&self, src: NodeId) -> Result<Path> {
-        let tree = self.tree;
-        let n = tree.levels();
-        let src_addr = tree.node_address(src)?;
-
-        let mut channels = Vec::with_capacity(n);
-        let mut switches = Vec::with_capacity(n);
-        channels.push(tree.injection_channel(src)?);
-        let mut current = tree.leaf_switch_of(src)?;
-        switches.push(current);
-        let mut word: Vec<u8> = src_addr.digits[1..].to_vec();
-        for level in 0..n.saturating_sub(1) {
-            let u = src_addr.digits[level] as usize;
-            let ch = tree
-                .up_channel(current, u)
-                .expect("non-root switches always have k up channels");
-            channels.push(ch);
-            if !word.is_empty() {
-                word[level] = u as u8;
-            }
-            current = if level + 1 == n - 1 {
-                tree.root_switch(&word)
-            } else {
-                tree.inner_switch(src_addr.half, (level + 1) as u8, &word)
-            };
-            switches.push(current);
-        }
+        let mut channels = Vec::new();
+        let mut switches = Vec::new();
+        self.walk_ascent(src, &mut channels, &mut |sw| switches.push(sw))?;
         let links = channels.len();
         Ok(Path { channels, switches, ascending_links: links, descending_links: 0 })
+    }
+
+    /// Appends the channels of the ascent from `src` to its root switch onto `out`,
+    /// returning the root switch reached.
+    pub fn ascent_into(&self, src: NodeId, out: &mut Vec<ChannelId>) -> Result<SwitchId> {
+        self.walk_ascent(src, out, &mut |_| {})
     }
 
     /// Descending-only route from a root switch down to `dst`, used for the ECN1 phase
     /// of inter-cluster messages on the destination-cluster side.
     pub fn route_from_root(&self, root: SwitchId, dst: NodeId) -> Result<Path> {
-        let tree = self.tree;
-        let n = tree.levels();
-        let k = tree.arity();
-        let dst_addr = tree.node_address(dst)?;
-        if !tree.is_root(root) {
-            return Err(TopologyError::SwitchOutOfRange {
-                switch: root,
-                num_switches: tree.num_roots(),
-            });
-        }
-
-        let mut channels = Vec::with_capacity(n);
+        self.check_root(root)?;
+        let dst_addr = self.tree.node_address(dst)?;
+        let mut channels = Vec::new();
         let mut switches = vec![root];
-        let (descend, ejection) = self.descend_channels(root, n - 1, &dst_addr, k, n)?;
-        for (ch, sw) in descend {
-            channels.push(ch);
-            switches.push(sw);
-        }
-        channels.push(ejection);
+        self.walk_descent(root, self.tree.levels() - 1, &dst_addr, &mut channels, &mut |sw| {
+            switches.push(sw)
+        })?;
         let links = channels.len();
         Ok(Path { channels, switches, ascending_links: 0, descending_links: links })
     }
 
-    /// Descends from `from` (a switch at `from_level`) to the destination node,
-    /// returning the switch-to-switch hops (with the switch reached after each hop) and
-    /// the final ejection channel.
-    #[allow(clippy::type_complexity)]
-    fn descend_channels(
+    /// Appends the channels of the descent from `root` to `dst` onto `out`.
+    pub fn descent_into(
+        &self,
+        root: SwitchId,
+        dst: NodeId,
+        out: &mut Vec<ChannelId>,
+    ) -> Result<()> {
+        self.check_root(root)?;
+        let dst_addr = self.tree.node_address(dst)?;
+        self.walk_descent(root, self.tree.levels() - 1, &dst_addr, out, &mut |_| {})
+    }
+
+    fn check_root(&self, root: SwitchId) -> Result<()> {
+        if !self.tree.is_root(root) {
+            return Err(TopologyError::SwitchOutOfRange {
+                switch: root,
+                num_switches: self.tree.num_roots(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Core full-route walker: appends channels onto `out` and reports every switch
+    /// traversed (leaf, intermediate and NCA) to `emit_switch` in traversal order.
+    fn walk_route(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<ChannelId>,
+        emit_switch: &mut dyn FnMut(SwitchId),
+    ) -> Result<()> {
+        let tree = self.tree;
+        let n = tree.levels();
+        let src_addr = tree.node_address(src)?;
+        let dst_addr = tree.node_address(dst)?;
+        if src == dst {
+            return Err(TopologyError::SelfRouting { node: src });
+        }
+
+        let j = MPortNTree::hop_count_addr(&src_addr, &dst_addr, n);
+        let nca_level = j - 1;
+        out.reserve(2 * j);
+
+        // Ascending phase: injection link plus `j - 1` switch-to-switch links.
+        out.push(tree.injection_channel(src)?);
+        let mut current = tree.leaf_switch_of(src)?;
+        emit_switch(current);
+        let mut word = WordBuf::from_digits(&src_addr.digits[1..]);
+        for level in 0..nca_level {
+            // The up-channel index chosen at `level` becomes word position `level` of
+            // the next switch. Using destination digit `level` (rather than `level+1`)
+            // keeps the route deterministic while giving every destination — including
+            // destinations sharing a leaf switch — its own descending path, which is
+            // what balances traffic across the redundant down links of the fat-tree.
+            let u = dst_addr.digits[level] as usize;
+            let ch =
+                tree.up_channel(current, u).expect("non-root switches always have k up channels");
+            out.push(ch);
+            word.set(level, u as u8);
+            current = if level + 1 == n - 1 {
+                tree.root_switch(word.as_slice())
+            } else {
+                tree.inner_switch(src_addr.half, (level + 1) as u8, word.as_slice())
+            };
+            emit_switch(current);
+        }
+
+        // Descending phase: `j - 1` switch-to-switch links plus the ejection link.
+        self.walk_descent(current, nca_level, &dst_addr, out, emit_switch)
+    }
+
+    /// Core ascent walker: appends the injection channel and all up-links onto `out`,
+    /// reporting traversed switches, and returns the root switch reached.
+    fn walk_ascent(
+        &self,
+        src: NodeId,
+        out: &mut Vec<ChannelId>,
+        emit_switch: &mut dyn FnMut(SwitchId),
+    ) -> Result<SwitchId> {
+        let tree = self.tree;
+        let n = tree.levels();
+        let src_addr = tree.node_address(src)?;
+
+        out.reserve(n);
+        out.push(tree.injection_channel(src)?);
+        let mut current = tree.leaf_switch_of(src)?;
+        emit_switch(current);
+        let mut word = WordBuf::from_digits(&src_addr.digits[1..]);
+        for level in 0..n.saturating_sub(1) {
+            let u = src_addr.digits[level] as usize;
+            let ch =
+                tree.up_channel(current, u).expect("non-root switches always have k up channels");
+            out.push(ch);
+            word.set(level, u as u8);
+            current = if level + 1 == n - 1 {
+                tree.root_switch(word.as_slice())
+            } else {
+                tree.inner_switch(src_addr.half, (level + 1) as u8, word.as_slice())
+            };
+            emit_switch(current);
+        }
+        Ok(current)
+    }
+
+    /// Core descent walker from `from` (a switch at `from_level`) down to the
+    /// destination node: appends the switch-to-switch hops and the final ejection
+    /// channel onto `out`, reporting the switch reached after every hop.
+    fn walk_descent(
         &self,
         from: SwitchId,
         from_level: usize,
         dst_addr: &crate::tree::NodeAddress,
-        k: usize,
-        n: usize,
-    ) -> Result<(Vec<(ChannelId, SwitchId)>, ChannelId)> {
+        out: &mut Vec<ChannelId>,
+        emit_switch: &mut dyn FnMut(SwitchId),
+    ) -> Result<()> {
         let tree = self.tree;
+        let n = tree.levels();
+        let k = tree.arity();
         let dst = tree.node_id(dst_addr)?;
-        let mut hops = Vec::with_capacity(from_level);
         let mut current = from;
         let mut level = from_level;
-        let mut word: Vec<u8> = match tree.switch_address(current)? {
-            crate::tree::SwitchAddress::Root { word } => word,
-            crate::tree::SwitchAddress::Inner { word, .. } => word,
+        let mut word = match tree.switch_address(current)? {
+            crate::tree::SwitchAddress::Root { word } => WordBuf::from_digits(&word),
+            crate::tree::SwitchAddress::Inner { word, .. } => WordBuf::from_digits(&word),
         };
         while level > 0 {
             let digit = dst_addr.digits[level] as usize;
@@ -233,19 +312,16 @@ impl<'a> NcaRouter<'a> {
             } else {
                 digit
             };
-            let ch = tree
-                .down_channel(current, port)
-                .expect("descent ports are always wired");
+            let ch = tree.down_channel(current, port).expect("descent ports are always wired");
+            out.push(ch);
             level -= 1;
-            if !word.is_empty() {
-                word[level] = dst_addr.digits[level + 1];
-            }
+            word.set(level, dst_addr.digits[level + 1]);
             current = if level == n - 1 {
-                tree.root_switch(&word)
+                tree.root_switch(word.as_slice())
             } else {
-                tree.inner_switch(dst_addr.half, level as u8, &word)
+                tree.inner_switch(dst_addr.half, level as u8, word.as_slice())
             };
-            hops.push((ch, current));
+            emit_switch(current);
         }
         let ejection = if n == 1 {
             tree.down_channel(current, dst_addr.half as usize * k + dst_addr.digits[0] as usize)
@@ -255,7 +331,8 @@ impl<'a> NcaRouter<'a> {
                 .expect("leaf switches wire all node ports")
         };
         debug_assert_eq!(tree.ejection_channel(dst)?, ejection);
-        Ok((hops, ejection))
+        out.push(ejection);
+        Ok(())
     }
 }
 
@@ -408,6 +485,62 @@ mod tests {
         }
         let expected = tree.num_nodes() / tree.num_roots();
         assert!(counts.iter().all(|&c| c == expected), "{counts:?}");
+    }
+
+    #[test]
+    fn buffer_writing_api_matches_path_api() {
+        // The `_into` walkers must append exactly the channel sequences of the
+        // Path-returning API, for full routes, ascents and descents alike.
+        for &(m, n) in &[(4usize, 1usize), (4, 3), (8, 2)] {
+            let tree = MPortNTree::new(m, n).unwrap();
+            let router = NcaRouter::new(&tree);
+            let mut buf = Vec::new();
+            for src in tree.nodes() {
+                let ascent = router.route_to_root(src).unwrap();
+                buf.clear();
+                let root = router.ascent_into(src, &mut buf).unwrap();
+                assert_eq!(buf, ascent.channels);
+                assert_eq!(Some(&root), ascent.switches.last());
+
+                for dst in tree.nodes().step_by(3) {
+                    if src != dst {
+                        let path = router.route(src, dst).unwrap();
+                        buf.clear();
+                        router.route_into(src, dst, &mut buf).unwrap();
+                        assert_eq!(buf, path.channels, "({m},{n}) {src}->{dst}");
+                    }
+                    let descent = router.route_from_root(root, dst).unwrap();
+                    buf.clear();
+                    router.descent_into(root, dst, &mut buf).unwrap();
+                    assert_eq!(buf, descent.channels);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_writing_api_appends_without_clearing() {
+        let tree = MPortNTree::new(4, 2).unwrap();
+        let router = NcaRouter::new(&tree);
+        let mut buf = Vec::new();
+        router.route_into(NodeId(0), NodeId(1), &mut buf).unwrap();
+        let first = buf.len();
+        router.route_into(NodeId(2), NodeId(3), &mut buf).unwrap();
+        assert!(buf.len() > first, "second route must append after the first");
+        let mut alone = Vec::new();
+        router.route_into(NodeId(2), NodeId(3), &mut alone).unwrap();
+        assert_eq!(&buf[first..], &alone[..]);
+    }
+
+    #[test]
+    fn into_api_rejects_invalid_requests() {
+        let tree = MPortNTree::new(4, 2).unwrap();
+        let router = NcaRouter::new(&tree);
+        let mut buf = Vec::new();
+        assert!(router.route_into(NodeId(1), NodeId(1), &mut buf).is_err());
+        let non_root = SwitchId::from_index(tree.num_switches() - 1);
+        assert!(!tree.is_root(non_root));
+        assert!(router.descent_into(non_root, NodeId(0), &mut buf).is_err());
     }
 
     #[test]

@@ -140,8 +140,8 @@ impl MPortNTree {
         let mut switch_level = vec![0u8; num_switches];
 
         // Pre-compute switch levels.
-        for sw in 0..num_switches {
-            switch_level[sw] = if sw < num_roots {
+        for (sw, level) in switch_level.iter_mut().enumerate() {
+            *level = if sw < num_roots {
                 (n - 1) as u8
             } else {
                 let rel = (sw - num_roots) / num_roots;
@@ -177,8 +177,7 @@ impl MPortNTree {
         for half in 0..2u8 {
             for level in 0..n.saturating_sub(1) {
                 for word_value in 0..num_roots {
-                    let child =
-                        Self::inner_switch_id(half, level as u8, word_value, n, num_roots);
+                    let child = Self::inner_switch_id(half, level as u8, word_value, n, num_roots);
                     let word = Self::decode_word(word_value, k, n);
                     for u in 0..k {
                         // Parent word: `word` with position `level` replaced by `u`.
@@ -338,7 +337,9 @@ impl MPortNTree {
 
     /// Encodes a node address back into its dense id.
     pub fn node_id(&self, addr: &NodeAddress) -> Result<NodeId> {
-        if addr.half > 1 || addr.digits.len() != self.n || addr.digits.iter().any(|&d| d as usize >= self.k)
+        if addr.half > 1
+            || addr.digits.len() != self.n
+            || addr.digits.iter().any(|&d| d as usize >= self.k)
         {
             return Err(TopologyError::NodeOutOfRange {
                 node: NodeId(u32::MAX),

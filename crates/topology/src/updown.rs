@@ -270,7 +270,8 @@ mod tests {
             assert!(ud.is_legal(&[leaf, root, leaf]));
         }
         // Non-adjacent switches are also illegal.
-        let other_leaf = tree.leaf_switch_of(crate::ids::NodeId(tree.num_nodes() as u32 - 1)).unwrap();
+        let other_leaf =
+            tree.leaf_switch_of(crate::ids::NodeId(tree.num_nodes() as u32 - 1)).unwrap();
         if other_leaf != leaf {
             assert!(!ud.is_legal(&[leaf, other_leaf]));
         }

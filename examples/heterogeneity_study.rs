@@ -38,13 +38,17 @@ fn main() {
     };
 
     println!("Latency vs offered traffic (M = 32 flits, L_m = 256 bytes)\n");
-    println!("| λ_g      | homogeneous {} | size-heterogeneous {} | + processor heterogeneity |",
-        homo.summary(), hetero.summary());
+    println!(
+        "| λ_g      | homogeneous {} | size-heterogeneous {} | + processor heterogeneity |",
+        homo.summary(),
+        hetero.summary()
+    );
     println!("|----------|---------------|----------------------|---------------------------|");
     for i in 1..=8 {
         let rate = 1e-4 * i as f64;
         let traffic = TrafficConfig::uniform(32, 256.0, rate).expect("valid traffic");
-        let fmt = |v: Option<f64>| v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "saturated".into());
+        let fmt =
+            |v: Option<f64>| v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "saturated".into());
         let homo_latency =
             AnalyticalModel::new(&homo, &traffic).expect("model builds").total_latency();
         let hetero_latency =

@@ -21,17 +21,15 @@ fn main() {
                 .expect("saturation search converges");
             // Evaluate slightly past saturation to see which component trips first.
             let traffic = TrafficConfig::uniform(flits, bytes, sat * 1.02).expect("valid traffic");
-            let component = match AnalyticalModel::new(&system, &traffic)
-                .expect("model builds")
-                .evaluate()
-            {
-                Err(ModelError::Saturated { component, cluster, .. }) => match cluster {
-                    Some(c) => format!("{component} (cluster {c})"),
-                    None => component.to_string(),
-                },
-                Ok(_) => "none (still stable)".to_string(),
-                Err(e) => format!("error: {e}"),
-            };
+            let component =
+                match AnalyticalModel::new(&system, &traffic).expect("model builds").evaluate() {
+                    Err(ModelError::Saturated { component, cluster, .. }) => match cluster {
+                        Some(c) => format!("{component} (cluster {c})"),
+                        None => component.to_string(),
+                    },
+                    Ok(_) => "none (still stable)".to_string(),
+                    Err(e) => format!("error: {e}"),
+                };
             println!("| {flits} | {bytes} | {sat:.2e} | {component} |");
         }
         println!();

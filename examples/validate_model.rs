@@ -10,10 +10,7 @@ use mcnet::experiments::EvaluationEffort;
 use mcnet::system::{organizations, TrafficConfig};
 
 fn main() {
-    let points: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(6);
+    let points: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(6);
     let system = organizations::table1_org_b();
     println!("Validation sweep on {} (M = 32 flits, L_m = 256 bytes)\n", system.summary());
     println!("| λ_g      | analysis | simulation | rel. error |");
@@ -28,7 +25,8 @@ fn main() {
             (Some(a), Some(s)) if s > 0.0 => format!("{:.1}%", (a - s).abs() / s * 100.0),
             _ => "-".into(),
         };
-        let fmt = |v: Option<f64>| v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "saturated".into());
+        let fmt =
+            |v: Option<f64>| v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "saturated".into());
         println!("| {rate:.2e} | {:>8} | {:>10} | {err:>10} |", fmt(a), fmt(s));
     }
     println!(

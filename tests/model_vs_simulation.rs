@@ -143,18 +143,13 @@ fn heterogeneous_system_differs_from_homogeneous_equivalent_in_both_tools() {
     ])
     .unwrap();
     let homo = MultiClusterSystem::new(vec![ClusterSpec::new(4, 2).unwrap(); 4]).unwrap();
-    assert_eq!(
-        hetero.total_nodes() > 0,
-        homo.total_nodes() > 0,
-        "both systems exist"
-    );
+    assert_eq!(hetero.total_nodes() > 0, homo.total_nodes() > 0, "both systems exist");
     let traffic = TrafficConfig::uniform(16, 256.0, 8e-4).unwrap();
     let m_het = AnalyticalModel::new(&hetero, &traffic).unwrap().evaluate().unwrap().total_latency;
     let m_hom = AnalyticalModel::new(&homo, &traffic).unwrap().evaluate().unwrap().total_latency;
     assert!((m_het - m_hom).abs() / m_hom > 0.01, "model: {m_het} vs {m_hom}");
 
-    let s_het =
-        run_simulation(&hetero, &traffic, &SimConfig::quick(5)).unwrap().mean_latency;
+    let s_het = run_simulation(&hetero, &traffic, &SimConfig::quick(5)).unwrap().mean_latency;
     let s_hom = run_simulation(&homo, &traffic, &SimConfig::quick(5)).unwrap().mean_latency;
     assert!((s_het - s_hom).abs() / s_hom > 0.01, "simulation: {s_het} vs {s_hom}");
 }

@@ -3,6 +3,8 @@
 
 use mcnet::model::{AnalyticalModel, ModelError, ModelOptions};
 use mcnet::queueing::{MG1Queue, ServiceTime};
+use mcnet::sim::fabric::Fabric;
+use mcnet::sim::routes::RouteTable;
 use mcnet::system::{ClusterSpec, MultiClusterSystem, TrafficConfig};
 use mcnet::topology::distance::HopDistribution;
 use mcnet::topology::routing::NcaRouter;
@@ -11,10 +13,9 @@ use proptest::prelude::*;
 
 /// Strategy for valid (m, n) tree parameters kept small enough for exhaustive checks.
 fn tree_params() -> impl Strategy<Value = (usize, usize)> {
-    (1usize..=4, 1usize..=4).prop_map(|(half, n)| (2 * half, n)).prop_filter(
-        "keep trees small",
-        |(m, n)| MPortNTree::node_count(*m, *n) <= 256,
-    )
+    (1usize..=4, 1usize..=4)
+        .prop_map(|(half, n)| (2 * half, n))
+        .prop_filter("keep trees small", |(m, n)| MPortNTree::node_count(*m, *n) <= 256)
 }
 
 /// Strategy for small heterogeneous systems.
@@ -128,6 +129,37 @@ proptest! {
         .total_latency;
         prop_assert!((defaults - literal).abs() < 1e-6);
         prop_assert!((defaults - no_var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn route_table_matches_fresh_paths_on_random_systems(levels in system_params()) {
+        // The interned RouteTable itinerary of every (src, dst) pair — channels,
+        // bottleneck and clusters — must equal a freshly computed
+        // Fabric::build_path. Together with the fixed RNG stream this guarantees
+        // the engine's behaviour is identical to per-message route construction.
+        let clusters: Vec<ClusterSpec> =
+            levels.iter().map(|&n| ClusterSpec::new(4, n).unwrap()).collect();
+        let system = MultiClusterSystem::new(clusters).unwrap();
+        let traffic = TrafficConfig::uniform(16, 256.0, 1e-4).unwrap();
+        let fabric = Fabric::build(&system, &traffic).unwrap();
+        let mut table = RouteTable::build(&fabric).unwrap();
+        let n = system.total_nodes();
+        // Visit every pair, rotating each row's start so lazy interning is
+        // exercised off the natural row-major path.
+        for s in 0..n {
+            for k in 0..n {
+                let d = (s * 13 + k) % n;
+                if s == d {
+                    continue;
+                }
+                let fresh = fabric.build_path(s, d).unwrap();
+                let interned = table.itinerary(&fabric, s, d).unwrap();
+                prop_assert_eq!(&interned.channels, &fresh.channels, "{}->{}", s, d);
+                prop_assert_eq!(interned.src_cluster, fresh.src_cluster);
+                prop_assert_eq!(interned.dst_cluster, fresh.dst_cluster);
+                prop_assert!((interned.bottleneck - fresh.bottleneck).abs() < 1e-15);
+            }
+        }
     }
 
     #[test]

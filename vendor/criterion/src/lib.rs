@@ -1,0 +1,289 @@
+//! Offline shim for the subset of the `criterion` API used by this workspace's
+//! benches. Unlike the serde shim this one really measures: every benchmark is
+//! warmed up, its iteration count is calibrated to the configured measurement
+//! time, and the harness reports per-sample mean/min/max wall-clock time plus
+//! elements-per-second throughput when a [`Throughput`] was declared.
+//!
+//! Setting `MCNET_BENCH_QUICK=1` (the CI smoke mode) clamps every benchmark to
+//! one sample of one iteration so a full `cargo bench` run stays cheap.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's traditional name.
+pub use std::hint::black_box;
+
+/// Top-level bench configuration, criterion-style builder.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("MCNET_BENCH_QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let config = self.clone();
+        run_benchmark(&config, name, None, f);
+        self
+    }
+}
+
+/// Identifier of one benchmark within a group: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Declared per-iteration workload, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput setting.
+///
+/// Group-level `sample_size`/`measurement_time` overrides are scoped to the
+/// group (matching upstream criterion) — they never leak into later groups of
+/// the same bench binary.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Overrides the measurement time for this group only.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// The group's effective configuration: the parent criterion with the
+    /// group-local overrides applied.
+    fn effective_config(&self) -> Criterion {
+        let mut config = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            config.sample_size = n;
+        }
+        if let Some(d) = self.measurement_time {
+            config.measurement_time = d;
+        }
+        config
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&self.effective_config(), &full, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark with an input value passed through to the closure.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&self.effective_config(), &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing is immediate in this shim, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    config: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let quick = quick_mode();
+
+    // Warm-up: run single iterations until the warm-up budget is spent, which
+    // also calibrates the per-iteration cost.
+    let mut one = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut one);
+    let mut per_iter = one.elapsed.max(Duration::from_nanos(1));
+    if !quick {
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < config.warm_up_time {
+            f(&mut one);
+            per_iter = (per_iter + one.elapsed.max(Duration::from_nanos(1))) / 2;
+        }
+    }
+
+    let (samples, iters_per_sample) = if quick {
+        (1usize, 1u64)
+    } else {
+        let per_sample = config.measurement_time.as_secs_f64() / config.sample_size as f64;
+        let iters = (per_sample / per_iter.as_secs_f64()).clamp(1.0, 1e9) as u64;
+        (config.sample_size, iters)
+    };
+
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    let fmt = |t: f64| -> String {
+        if t >= 1.0 {
+            format!("{t:.4} s")
+        } else if t >= 1e-3 {
+            format!("{:.4} ms", t * 1e3)
+        } else if t >= 1e-6 {
+            format!("{:.4} µs", t * 1e6)
+        } else {
+            format!("{:.1} ns", t * 1e9)
+        }
+    };
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  thrpt: {:.3} Kelem/s", n as f64 / mean / 1e3)
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  thrpt: {:.3} MiB/s", n as f64 / mean / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<60} time: [{} {} {}]{thrpt}  ({} samples x {} iters)",
+        fmt(min),
+        fmt(mean),
+        fmt(max),
+        samples,
+        iters_per_sample,
+    );
+}
+
+/// Declares a named group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,14 @@
+//! Offline shim for the subset of `serde` this workspace uses: the
+//! `Serialize`/`Deserialize` traits exist purely as derive markers (no
+//! serialization backend such as `serde_json` is linked), so the traits are
+//! blanket-implemented and the derives are no-ops.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as a marker (no serialization backend is
+//! linked anywhere), and the `serde` shim provides blanket implementations of
+//! its marker traits — so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (the `serde` shim blanket-implements the trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (the `serde` shim blanket-implements the trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
