@@ -1,0 +1,33 @@
+//! Substrate bench: discrete-event simulator throughput (events per second) on
+//! the k-ary n-cube (torus) backend — the direct-network counterpart of
+//! `simulator_throughput`, exercising the same engine over `CubeFabric`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcnet_bench::traffic;
+use mcnet_sim::{run_torus_simulation, SimConfig};
+use mcnet_system::TorusSystem;
+
+fn bench_torus_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("torus_throughput");
+    for (name, k, n, rate) in [("4ary_2cube", 4usize, 2usize, 2e-3), ("8ary_2cube", 8, 2, 1e-3)] {
+        let torus = TorusSystem::new(k, n).expect("valid bench torus");
+        let t = traffic(32, 256.0, rate);
+        // Calibrate the event count once so Criterion can report events/second.
+        let probe = run_torus_simulation(&torus, &t, &SimConfig::quick(1)).unwrap();
+        group.throughput(Throughput::Elements(probe.events));
+        group.bench_with_input(BenchmarkId::new("quick_protocol", name), &torus, |b, torus| {
+            b.iter(|| {
+                let report = run_torus_simulation(torus, &t, &SimConfig::quick(1)).unwrap();
+                std::hint::black_box(report.events)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_torus_simulator
+}
+criterion_main!(benches);

@@ -15,7 +15,8 @@
 //! | `ablation_variance_approx` | A2: Draper–Ghosh variance term |
 //! | `model_vs_sim_cost` | A3: model evaluation vs simulation cost |
 //! | `topology_routing` | substrate: route construction throughput |
-//! | `simulator_throughput` | substrate: event-processing throughput |
+//! | `simulator_throughput` | substrate: event-processing throughput (tree backend) |
+//! | `torus_throughput` | substrate: event-processing throughput (k-ary n-cube backend) |
 
 #![warn(missing_docs)]
 

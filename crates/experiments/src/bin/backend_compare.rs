@@ -1,0 +1,40 @@
+//! Tree-vs-torus backend comparison: replicated mean latency of the paper's
+//! multi-cluster fat-tree fabric against a matched k-ary n-cube torus over a
+//! shared load sweep.
+//!
+//! Usage: `backend_compare [quick|standard|paper] [--replications N]`
+
+use mcnet_experiments::backends::{comparison_to_markdown, matched_tree_vs_torus};
+use mcnet_experiments::EvaluationEffort;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut effort = EvaluationEffort::Standard;
+    let mut replications = 3usize;
+    let mut iter = args.iter().map(String::as_str);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "quick" => effort = EvaluationEffort::Quick,
+            "standard" => effort = EvaluationEffort::Standard,
+            "paper" => effort = EvaluationEffort::Paper,
+            "--replications" => {
+                replications = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .expect("--replications requires a positive integer");
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: \
+                     backend_compare [quick|standard|paper] [--replications N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("# Backend comparison (effort: {effort:?}, replications: {replications})");
+    let cmp = matched_tree_vs_torus(effort, replications, 2006)
+        .expect("backend comparison evaluation failed");
+    println!("{}", comparison_to_markdown(&cmp));
+}

@@ -14,6 +14,7 @@
 //! | Ablation A1: heterogeneity vs homogeneous | [`ablations::heterogeneity_ablation`] | `ablation_heterogeneity` |
 //! | Ablation A2: Draper–Ghosh variance | [`ablations::variance_ablation`] | (bench) |
 //! | Ablation A3: model vs simulation cost | [`ablations::cost_comparison`] | (bench) |
+//! | Backend comparison (tree vs k-ary n-cube) | [`backends::tree_vs_torus`] | `backend_compare` |
 //!
 //! All builders accept an [`EvaluationEffort`] so the same code path serves quick CI
 //! runs, the Criterion benches and full paper-protocol reproductions.
@@ -22,6 +23,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
+pub mod backends;
 pub mod comparison;
 pub mod figures;
 pub mod report;

@@ -1,0 +1,323 @@
+//! The k-ary n-cube (torus) fabric: the direct-network backend of the wormhole
+//! engine.
+//!
+//! [`CubeFabric`] materialises a [`TorusSystem`] into the same dense global
+//! channel-id space the tree fabric uses, so the engine's occupancy table,
+//! route-interning arena and lazy-release machinery run unchanged over it:
+//!
+//! * **Link channels** — one id per unidirectional router↔router link *and
+//!   virtual channel*. For `k > 2` every directed link carries two virtual
+//!   channels with the classic Dally–Seitz dateline discipline: a message
+//!   travels a ring on VC0 until (and unless) it crosses the ring's wrap-around
+//!   edge, from which point it uses VC1. Dimension-order routing corrects
+//!   dimensions strictly upwards and a minimal route crosses each ring's wrap
+//!   edge at most once, so the channel dependency graph is acyclic and the
+//!   torus cannot deadlock — the direct-network analogue of the tree's
+//!   up-then-down acquisition order. For `k = 2` a route takes at most one hop
+//!   per ring, no intra-ring dependency exists, and a single channel per link
+//!   suffices.
+//! * **Injection / ejection channels** — two per node at the tail of the id
+//!   space, crossed first and last by every message. As in the tree fabric the
+//!   injection channel is held for the message's entire network latency, which
+//!   keeps the source queue the M/G/1 station the analytical lineage assumes,
+//!   and makes every `(src, dst)` itinerary unique (a prerequisite of the
+//!   per-pair interning arena).
+//!
+//! Per-flit times mirror the tree's channel-kind mapping: injection/ejection
+//! channels are node↔router connections at `t_cn`, link channels are
+//! router↔router connections at `t_cs` (Eqs. 14–15 of the paper, evaluated for
+//! the configured flit size).
+
+use crate::channels::{ChannelPool, GlobalChannelId};
+use crate::fabric::Itinerary;
+use crate::{Result, SimError};
+use mcnet_system::{TorusSystem, TrafficConfig};
+use mcnet_topology::kary_ncube::CubeHop;
+use mcnet_topology::{KaryNCube, NodeId};
+
+/// A torus mapped into the global channel space.
+#[derive(Debug, Clone)]
+pub struct CubeFabric {
+    torus: TorusSystem,
+    cube: KaryNCube,
+    /// Per-flit time of injection/ejection (node↔router) channels, `t_cn`.
+    t_node: f64,
+    /// Per-flit time of router↔router link channels, `t_cs`.
+    t_link: f64,
+    /// Virtual channels per directed link: 2 (dateline discipline) for `k > 2`,
+    /// 1 for `k = 2`.
+    vcs: u32,
+    /// Directions per dimension: 2 for `k > 2`, 1 for `k = 2` (where +1 and −1
+    /// coincide).
+    dirs: u32,
+    /// Total number of link-channel ids (`num_nodes · n · dirs · vcs`);
+    /// injection/ejection ids start here.
+    link_channels: u32,
+}
+
+impl CubeFabric {
+    /// Builds the torus fabric.
+    pub fn build(torus: &TorusSystem, traffic: &TrafficConfig) -> Result<Self> {
+        traffic.validate().map_err(SimError::from)?;
+        let cube = KaryNCube::new(torus.radix(), torus.dimensions()).map_err(SimError::from)?;
+        let tech = torus.technology();
+        let (dirs, vcs) = if torus.radix() == 2 { (1u32, 1u32) } else { (2u32, 2u32) };
+        let link_channels = (cube.num_nodes() * cube.dimensions()) as u32 * dirs * vcs;
+        Ok(CubeFabric {
+            torus: torus.clone(),
+            cube,
+            t_node: tech.node_channel_time(traffic.flit_bytes),
+            t_link: tech.switch_channel_time(traffic.flit_bytes),
+            vcs,
+            dirs,
+            link_channels,
+        })
+    }
+
+    /// The system description the fabric was built from.
+    pub fn torus(&self) -> &TorusSystem {
+        &self.torus
+    }
+
+    /// The underlying topology.
+    pub fn cube(&self) -> &KaryNCube {
+        &self.cube
+    }
+
+    /// Total number of channels (links × VCs plus injection/ejection).
+    pub fn num_channels(&self) -> usize {
+        self.link_channels as usize + 2 * self.cube.num_nodes()
+    }
+
+    /// Per-flit node↔router channel time.
+    pub fn t_node(&self) -> f64 {
+        self.t_node
+    }
+
+    /// Per-flit router↔router channel time.
+    pub fn t_link(&self) -> f64 {
+        self.t_link
+    }
+
+    /// Per-flit transfer time of one global channel.
+    #[inline]
+    pub fn flit_time(&self, ch: GlobalChannelId) -> f64 {
+        debug_assert!((ch as usize) < self.num_channels());
+        if ch < self.link_channels {
+            self.t_link
+        } else {
+            self.t_node
+        }
+    }
+
+    /// Virtual channels per directed link (2 under the dateline discipline,
+    /// 1 for `k = 2`).
+    pub fn virtual_channels(&self) -> u32 {
+        self.vcs
+    }
+
+    /// The injection channel of a node (crossed first by every message it sends).
+    #[inline]
+    pub fn injection(&self, node: usize) -> GlobalChannelId {
+        self.link_channels + 2 * node as u32
+    }
+
+    /// The ejection channel of a node (crossed last by every message it receives).
+    #[inline]
+    pub fn ejection(&self, node: usize) -> GlobalChannelId {
+        self.link_channels + 2 * node as u32 + 1
+    }
+
+    /// The sub-ring neighborhood of a node — the torus analogue of the cluster
+    /// index used for the intra/inter message classification and the
+    /// locality-favouring traffic pattern.
+    #[inline]
+    pub fn neighborhood_of(&self, node: usize) -> usize {
+        node / self.torus.radix()
+    }
+
+    /// The channel id of one routed hop leaving `from`, on the virtual channel
+    /// selected by the dateline discipline (`vc` is 0 before the ring's wrap
+    /// edge, 1 from the wrap hop onwards; always 0 for `k = 2`). Exposed so
+    /// equivalence tests can check interned routes against
+    /// [`KaryNCube::route`] channel-by-channel.
+    pub fn link_channel(&self, from: usize, hop: &CubeHop, vc: u32) -> GlobalChannelId {
+        let dir_idx = if self.dirs == 1 || hop.direction == 1 { 0u32 } else { 1u32 };
+        let per_node = self.cube.dimensions() as u32 * self.dirs * self.vcs;
+        from as u32 * per_node + (hop.dimension as u32 * self.dirs + dir_idx) * self.vcs + vc
+    }
+
+    /// Creates the channel-occupancy pool matching this fabric.
+    pub fn channel_pool(&self) -> ChannelPool {
+        let mut flit_times = vec![self.t_link; self.link_channels as usize];
+        flit_times.extend(std::iter::repeat_n(self.t_node, 2 * self.cube.num_nodes()));
+        ChannelPool::new(flit_times)
+    }
+
+    /// Appends the globalized itinerary of `src → dst` (injection, dimension-order
+    /// link channels on dateline-selected VCs, ejection) to `out`, reusing
+    /// `hop_scratch` for the topology walk. This is the route the interning
+    /// table materialises into its arena; [`CubeFabric::build_path`] is the
+    /// freshly-allocated verification view of the same computation.
+    pub fn route_into(
+        &self,
+        src: usize,
+        dst: usize,
+        hop_scratch: &mut Vec<CubeHop>,
+        out: &mut Vec<GlobalChannelId>,
+    ) -> Result<()> {
+        hop_scratch.clear();
+        self.cube
+            .route_into(NodeId::from_index(src), NodeId::from_index(dst), hop_scratch)
+            .map_err(SimError::from)?;
+        out.push(self.injection(src));
+        let k = self.torus.radix();
+        let mut from = src;
+        let mut wrapped_dim = usize::MAX; // routes correct dimensions upwards
+        let mut wrapped = false;
+        for hop in hop_scratch.iter() {
+            if hop.dimension != wrapped_dim {
+                wrapped_dim = hop.dimension;
+                wrapped = false;
+            }
+            if self.vcs > 1 {
+                // The digit of `from` in the hop's dimension decides whether this
+                // hop crosses the ring's wrap-around edge.
+                let digit = from / k.pow(hop.dimension as u32) % k;
+                let crosses_wrap =
+                    (hop.direction == 1 && digit == k - 1) || (hop.direction == -1 && digit == 0);
+                wrapped = wrapped || crosses_wrap;
+            }
+            out.push(self.link_channel(from, hop, wrapped as u32));
+            from = hop.node.index();
+        }
+        debug_assert_eq!(from, dst, "dimension-order route must end at the destination");
+        out.push(self.ejection(dst));
+        Ok(())
+    }
+
+    /// Builds the wormhole itinerary for a message from node `src` to node `dst`
+    /// from scratch — the per-message reference computation the interned route
+    /// table is checked against.
+    pub fn build_path(&self, src: usize, dst: usize) -> Result<Itinerary> {
+        if src == dst {
+            return Err(SimError::InvalidConfiguration {
+                reason: format!("message from node {src} to itself"),
+            });
+        }
+        let mut hops = Vec::new();
+        let mut channels = Vec::new();
+        self.route_into(src, dst, &mut hops, &mut channels)?;
+        let bottleneck = channels.iter().map(|&c| self.flit_time(c)).fold(0.0f64, f64::max);
+        Ok(Itinerary {
+            channels,
+            bottleneck,
+            src_cluster: self.neighborhood_of(src) as u32,
+            dst_cluster: self.neighborhood_of(dst) as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn fabric(k: usize, n: usize) -> CubeFabric {
+        let torus = TorusSystem::new(k, n).unwrap();
+        let traffic = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
+        CubeFabric::build(&torus, &traffic).unwrap()
+    }
+
+    #[test]
+    fn channel_space_is_dense_and_disjoint() {
+        let f = fabric(4, 2);
+        // 16 nodes × 2 dims × 2 dirs × 2 VCs links + 32 injection/ejection.
+        assert_eq!(f.num_channels(), 16 * 2 * 2 * 2 + 32);
+        assert_eq!(f.channel_pool().len(), f.num_channels());
+        let mut seen = HashSet::new();
+        for node in 0..16 {
+            assert!(seen.insert(f.injection(node)));
+            assert!(seen.insert(f.ejection(node)));
+            assert!(f.injection(node) >= f.link_channels);
+        }
+    }
+
+    #[test]
+    fn flit_times_follow_channel_kind() {
+        let f = fabric(4, 2);
+        // Paper constants for Lm = 256: t_cn = 0.276, t_cs = 0.522.
+        assert!((f.t_node() - 0.276).abs() < 1e-12);
+        assert!((f.t_link() - 0.522).abs() < 1e-12);
+        let pool = f.channel_pool();
+        assert!((pool.flit_time(0) - 0.522).abs() < 1e-12);
+        assert!((pool.flit_time(f.injection(3)) - 0.276).abs() < 1e-12);
+        assert!((f.flit_time(f.ejection(0)) - 0.276).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paths_match_topology_routes_hop_by_hop() {
+        let f = fabric(4, 2);
+        let cube = f.cube();
+        for src in 0..cube.num_nodes() {
+            for dst in 0..cube.num_nodes() {
+                if src == dst {
+                    assert!(f.build_path(src, dst).is_err());
+                    continue;
+                }
+                let it = f.build_path(src, dst).unwrap();
+                let hops = cube.route(NodeId::from_index(src), NodeId::from_index(dst)).unwrap();
+                // injection + one channel per hop + ejection.
+                assert_eq!(it.channels.len(), hops.len() + 2);
+                assert_eq!(it.channels[0], f.injection(src));
+                assert_eq!(*it.channels.last().unwrap(), f.ejection(dst));
+                assert!((it.bottleneck - f.t_link()).abs() < 1e-12);
+                // No channel repeats on a minimal dimension-order path.
+                let unique: HashSet<_> = it.channels.iter().collect();
+                assert_eq!(unique.len(), it.channels.len(), "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_crossing_routes_switch_virtual_channel() {
+        // On a 4-ring, 3 -> 0 (+1 across the wrap) and 0 -> 3 (−1 across the
+        // wrap) must use VC1; 0 -> 1 stays on VC0 of the same physical link
+        // family.
+        let f = fabric(4, 1);
+        let forward_wrap = f.build_path(3, 0).unwrap();
+        let backward_wrap = f.build_path(0, 3).unwrap();
+        let plain = f.build_path(0, 1).unwrap();
+        // Link ids are (node·dirs + dir)·vcs + vc: odd ids are VC1.
+        assert_eq!(forward_wrap.channels[1] % 2, 1, "wrap hop must ride VC1");
+        assert_eq!(backward_wrap.channels[1] % 2, 1, "wrap hop must ride VC1");
+        assert_eq!(plain.channels[1] % 2, 0, "non-wrap hop must ride VC0");
+        // A two-hop route crossing the wrap keeps VC1 after the crossing.
+        let two_hop = f.build_path(3, 1).unwrap();
+        assert_eq!(two_hop.channels.len(), 4);
+        assert_eq!(two_hop.channels[1] % 2, 1);
+        assert_eq!(two_hop.channels[2] % 2, 1);
+    }
+
+    #[test]
+    fn hypercube_uses_single_channels() {
+        let f = fabric(2, 3);
+        assert_eq!(f.num_channels(), 8 * 3 + 16);
+        let it = f.build_path(0, 7).unwrap();
+        assert_eq!(it.channels.len(), 3 + 2);
+        let unique: HashSet<_> = it.channels.iter().collect();
+        assert_eq!(unique.len(), it.channels.len());
+    }
+
+    #[test]
+    fn neighborhoods_are_dimension0_subrings() {
+        let f = fabric(4, 2);
+        assert_eq!(f.neighborhood_of(0), 0);
+        assert_eq!(f.neighborhood_of(3), 0);
+        assert_eq!(f.neighborhood_of(4), 1);
+        let intra = f.build_path(0, 3).unwrap();
+        assert_eq!(intra.src_cluster, intra.dst_cluster);
+        let inter = f.build_path(0, 4).unwrap();
+        assert_ne!(inter.src_cluster, inter.dst_cluster);
+    }
+}

@@ -19,23 +19,23 @@
 //! chain) acquire resources in a globally consistent up-then-down order, the channel
 //! wait-for graph is acyclic and the simulation cannot deadlock.
 
+use crate::backend::FabricBackend;
 use crate::channels::{Acquire, ChannelPool, GlobalChannelId};
 use crate::event::{EventKind, EventQueue, MessageId};
-use crate::fabric::Fabric;
 use crate::message::MessageState;
 use crate::routes::RouteTable;
 use crate::runner::SimConfig;
 use crate::stats::SimStats;
 use crate::traffic::TrafficSource;
 use crate::{Result, SimError};
-use mcnet_system::{MultiClusterSystem, TrafficConfig};
+use mcnet_system::{MultiClusterSystem, TorusSystem, TrafficConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-/// One simulation run over a fixed system, traffic point and seed.
+/// One simulation run over a fixed fabric backend, traffic point and seed.
 #[derive(Debug)]
 pub struct Simulation {
-    fabric: Fabric,
+    backend: FabricBackend,
     routes: RouteTable,
     pool: ChannelPool,
     queue: EventQueue,
@@ -49,19 +49,40 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Builds the simulation state: fabric, route table, channel pool, per-node
-    /// Poisson processes.
+    /// Builds a simulation over the paper's multi-cluster tree fabric.
     pub fn new(
         system: &MultiClusterSystem,
         traffic_cfg: &TrafficConfig,
         config: &SimConfig,
     ) -> Result<Self> {
-        config.validate()?;
-        let fabric = Fabric::build(system, traffic_cfg)?;
-        let routes = RouteTable::build(&fabric)?;
-        let pool = fabric.channel_pool();
+        let backend = FabricBackend::tree(system, traffic_cfg)?;
         let traffic = TrafficSource::new(system, traffic_cfg)?;
-        let expected_scale = traffic_cfg.message_flits as f64 * fabric.t_cs();
+        Self::from_backend(backend, traffic, traffic_cfg, config)
+    }
+
+    /// Builds a simulation over a k-ary n-cube (torus) fabric.
+    pub fn new_torus(
+        torus: &TorusSystem,
+        traffic_cfg: &TrafficConfig,
+        config: &SimConfig,
+    ) -> Result<Self> {
+        let backend = FabricBackend::cube(torus, traffic_cfg)?;
+        let traffic = TrafficSource::for_torus(torus, traffic_cfg)?;
+        Self::from_backend(backend, traffic, traffic_cfg, config)
+    }
+
+    /// Builds the simulation state shared by every backend: route table, channel
+    /// pool, per-node Poisson processes.
+    fn from_backend(
+        backend: FabricBackend,
+        traffic: TrafficSource,
+        traffic_cfg: &TrafficConfig,
+        config: &SimConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        let routes = RouteTable::build(&backend)?;
+        let pool = backend.channel_pool();
+        let expected_scale = traffic_cfg.message_flits as f64 * backend.drain_scale();
         let stats = SimStats::new(config.warmup_messages, config.measured_messages, expected_scale);
         let generation_target = stats.generation_target(config.drain_messages);
         // Tight bound on simultaneously pending events: one Generate per node;
@@ -70,9 +91,10 @@ impl Simulation {
         // draining message (its destination's ejection channel is held until
         // the tail, so at most one per node); FIFO waiters carry no event; and
         // at most one ChannelFree per channel.
-        let event_capacity = 3 * system.total_nodes() + fabric.num_channels();
+        let event_capacity = 3 * backend.total_nodes() + backend.num_channels();
+        let nodes = backend.total_nodes();
         let mut sim = Simulation {
-            fabric,
+            backend,
             routes,
             pool,
             queue: EventQueue::with_capacity(event_capacity),
@@ -85,7 +107,6 @@ impl Simulation {
             max_events: config.max_events,
         };
         // Prime every node's Poisson process.
-        let nodes = sim.fabric.system().total_nodes();
         for node in 0..nodes {
             let dt = sim.traffic.sample_interarrival(&mut sim.rng);
             sim.queue.schedule_in(dt, EventKind::Generate { node: node as u32 });
@@ -118,21 +139,25 @@ impl Simulation {
         self.queue.processed()
     }
 
+    /// The fabric backend the simulation runs over.
+    pub fn backend(&self) -> &FabricBackend {
+        &self.backend
+    }
+
     /// `(mean, max)` time-average utilisation of the concentrator/dispatcher bridge
     /// resources — the quantity the model's Eq. (33) approximates with an M/D/1 queue.
+    /// The torus backend has no bridges, so it reports `(0, 0)`.
     pub fn bridge_utilization(&self) -> (f64, f64) {
-        let bridges = self.fabric.bridges();
-        let ids = (0..self.fabric.system().num_clusters())
-            .flat_map(|c| [bridges.concentrate(c), bridges.dispatch(c)]);
+        let ids = self.backend.bridge_channels();
         self.pool.utilization_summary(ids, self.queue.now())
     }
 
-    /// `(mean, max)` time-average utilisation over every network channel (ICN1, ECN1
-    /// and ICN2, excluding the bridges) — comparable with the model's per-channel
-    /// rates `η·M·t` of Eqs. (10)–(12).
+    /// `(mean, max)` time-average utilisation over every network channel (excluding
+    /// the tree's bridges) — comparable with the model's per-channel rates `η·M·t`
+    /// of Eqs. (10)–(12).
     pub fn network_utilization(&self) -> (f64, f64) {
-        let bridges = *self.fabric.bridges();
-        let ids = (0..self.pool.len() as u32).filter(move |&c| !bridges.is_bridge(c));
+        let backend = &self.backend;
+        let ids = (0..self.pool.len() as u32).filter(move |&c| !backend.is_bridge(c));
         self.pool.utilization_summary(ids, self.queue.now())
     }
 
@@ -172,7 +197,7 @@ impl Simulation {
         // by memcpy) — no routing algorithm runs and no per-message allocation
         // happens here.
         let dst = self.traffic.sample_destination(&mut self.rng, node);
-        let entry = self.routes.entry(&self.fabric, node, dst);
+        let entry = self.routes.entry(&self.backend, node, dst);
         let (index, measured) = self.stats.register_generation();
         let id = index as MessageId;
         let message = MessageState::new(id, entry, self.queue.now(), measured);

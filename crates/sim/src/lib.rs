@@ -15,6 +15,27 @@
 //! optionally hot-spot / cluster-local) destination selection, deterministic NCA
 //! routing and wormhole flow control with single-flit channel buffers.
 //!
+//! ## Fabric backends
+//!
+//! The engine itself is network-agnostic: everything it needs from the fabric —
+//! a dense global channel-id space with per-flit times, itinerary construction
+//! (consumed through the interning [`routes::RouteTable`] arena) and a coarse
+//! node partition for the intra/inter latency split — is captured by
+//! [`backend::FabricBackend`]. Two backends implement that surface:
+//!
+//! * the **tree backend** ([`fabric::Fabric`]) — the paper's multi-cluster
+//!   m-port n-tree fabric described above, and
+//! * the **cube backend** ([`cube::CubeFabric`]) — a k-ary n-cube (torus) with
+//!   dimension-order routing and Dally–Seitz dateline virtual channels, the
+//!   direct-network family of the paper's analytical lineage (its refs [6]–[9]).
+//!
+//! [`Simulation::new`](engine::Simulation::new) /
+//! [`runner::run_simulation`] drive the tree;
+//! [`Simulation::new_torus`](engine::Simulation::new_torus) /
+//! [`runner::run_torus_simulation`] drive the torus. Replications of either
+//! backend share one bounded-worker-pool driver
+//! ([`runner::run_replications`] / [`runner::run_torus_replications`]).
+//!
 //! ## Wormhole model
 //!
 //! Messages are simulated at *worm* granularity: the header acquires the channels of
@@ -53,8 +74,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod channels;
 pub mod concentrator;
+pub mod cube;
 pub mod engine;
 pub mod event;
 pub mod fabric;
@@ -64,7 +87,8 @@ pub mod runner;
 pub mod stats;
 pub mod traffic;
 
-pub use runner::{run_simulation, SimConfig, SimReport};
+pub use backend::FabricBackend;
+pub use runner::{run_simulation, run_torus_simulation, SimConfig, SimReport};
 
 /// Errors produced while building or running a simulation.
 #[derive(Debug, Clone, PartialEq)]

@@ -119,12 +119,12 @@ mod tests {
 
     /// A real route table over the small test org, so message tests exercise the
     /// same arena-slice mechanics the engine uses.
-    fn table() -> (crate::fabric::Fabric, RouteTable) {
+    fn table() -> (crate::backend::FabricBackend, RouteTable) {
         let system = organizations::small_test_org();
         let traffic = TrafficConfig::uniform(8, 256.0, 1e-4).unwrap();
-        let fabric = crate::fabric::Fabric::build(&system, &traffic).unwrap();
-        let table = RouteTable::build(&fabric).unwrap();
-        (fabric, table)
+        let backend = crate::backend::FabricBackend::tree(&system, &traffic).unwrap();
+        let table = RouteTable::build(&backend).unwrap();
+        (backend, table)
     }
 
     #[test]

@@ -1,30 +1,37 @@
 //! Interned route storage: every `(src, dst)` itinerary as a slice of one flat arena.
 //!
-//! The wormhole engine used to call [`Fabric::build_path`] for every generated
-//! message, which re-ran the NCA routing algorithm and allocated several fresh
-//! `Vec`s per message. The [`RouteTable`] removes all of that from the hot path:
+//! The wormhole engine used to call `Fabric::build_path` for every generated
+//! message, which re-ran the routing algorithm and allocated several fresh
+//! `Vec`s per message. The [`RouteTable`] removes all of that from the hot path,
+//! for **either fabric backend** ([`FabricBackend::Tree`] or
+//! [`FabricBackend::Cube`]):
 //!
 //! * **One flat arena.** All itineraries live in a single `Vec<GlobalChannelId>`;
 //!   a route is a [`RouteRef`] — an `(offset, len)` pair — and resolving it is a
 //!   bounds-checked slice of the arena.
-//! * **Shared segments.** Inter-cluster paths are the concatenation
+//! * **Shared segments (tree).** Tree inter-cluster paths are the concatenation
 //!   `ascent(src) ⊕ concentrator ⊕ icn2(c_s, c_d) ⊕ dispatcher ⊕ descent(dst)`.
 //!   The three variable segments are computed once per node / cluster pair at
 //!   build time (`2N + C²` routing calls), so materialising an inter-cluster
 //!   pair afterwards is a handful of `memcpy`s — the routing algorithm never
-//!   runs for it again.
+//!   runs for it again. Intra-cluster pairs (whose single-network routes cannot
+//!   be composed from shared segments) are routed straight into the arena
+//!   through the allocation-free `NcaRouter::route_into` walker on first use.
+//! * **Direct walks (cube).** Torus routes have no shareable middle segment
+//!   (every hop's channel id depends on the node it leaves), so a first-seen
+//!   pair runs the dimension-order walker straight into the arena through
+//!   [`CubeFabric::route_into`], reusing one hop scratch buffer; like the tree
+//!   path this allocates nothing per message after the first lookup.
 //! * **Interned entries.** A pair's itinerary is materialised on its first
 //!   lookup and interned forever: every subsequent message between the same
 //!   `(src, dst)` resolves to the *same* arena slice, so each distinct pair
 //!   occupies storage exactly once no matter how many messages use it.
-//!   Intra-cluster pairs (whose single-network routes cannot be composed from
-//!   shared segments) are routed straight into the arena through the
-//!   allocation-free [`NcaRouter::route_into`] walker on first use.
 //!   (Full-path deduplication across *different* pairs would never fire: a
-//!   node's injection and ejection channels make every pair's path unique.)
+//!   node's injection and ejection channels make every pair's path unique, in
+//!   both backends.)
 //! * **Precomputed metadata.** The drain bottleneck (slowest per-flit channel
-//!   time) and the source/destination clusters are stored per entry, so
-//!   `handle_generate` never scans a path.
+//!   time) and the source/destination clusters (sub-ring neighborhoods for the
+//!   torus) are stored per entry, so `handle_generate` never scans a path.
 //!
 //! The per-pair entry index is three flat arrays (packed route word, packed
 //! cluster word, bottleneck) whose zero bit-pattern is the "unmaterialised"
@@ -33,14 +40,18 @@
 //! pages of pairs actually used are ever touched.
 //!
 //! Lookups after a pair's first are allocation-free reads. The table produces
-//! channel sequences identical to [`Fabric::build_path`] for every pair
-//! (covered by equivalence tests here and in `tests/property_tests.rs`), and it
-//! consumes nothing from the simulation RNG — so swapping per-message route
-//! construction for the table is bit-transparent to engine results.
+//! channel sequences identical to [`FabricBackend::build_path`] for every pair
+//! (covered by equivalence tests here, in `tests/property_tests.rs` and in
+//! `tests/torus_invariants.rs`), and it consumes nothing from the simulation
+//! RNG — so swapping per-message route construction for the table is
+//! bit-transparent to engine results.
 
+use crate::backend::FabricBackend;
 use crate::channels::GlobalChannelId;
+use crate::cube::CubeFabric;
 use crate::fabric::{Fabric, Itinerary};
 use crate::{Result, SimError};
+use mcnet_topology::kary_ncube::CubeHop;
 use mcnet_topology::routing::NcaRouter;
 use mcnet_topology::NodeId;
 
@@ -72,9 +83,9 @@ pub struct RouteEntry {
     pub route: RouteRef,
     /// Slowest per-flit channel time on the path (drain bottleneck).
     pub bottleneck: f64,
-    /// Source cluster index.
+    /// Source cluster (tree) / sub-ring neighborhood (torus) index.
     pub src_cluster: u32,
-    /// Destination cluster index.
+    /// Destination cluster (tree) / sub-ring neighborhood (torus) index.
     pub dst_cluster: u32,
 }
 
@@ -89,18 +100,10 @@ struct Segment {
 const LEN_BITS: u32 = 16;
 const LEN_MASK: u64 = (1 << LEN_BITS) - 1;
 
-/// The interned all-pairs route table of one [`Fabric`].
+/// Tree-backend precompute: the shared inter-cluster segments plus the cluster
+/// geometry needed to compose them.
 #[derive(Debug, Clone)]
-pub struct RouteTable {
-    nodes: usize,
-    arena: Vec<GlobalChannelId>,
-    /// Per-pair `offset << 16 | len`; `0` means "not materialised yet" (a real
-    /// entry always has `len >= 1`).
-    route_packed: Vec<u64>,
-    /// Per-pair `src_cluster << 16 | dst_cluster`, valid once materialised.
-    cluster_packed: Vec<u32>,
-    /// Per-pair drain bottleneck, valid once materialised.
-    bottleneck: Vec<f64>,
+struct TreeSegments {
     /// Per-node ECN1 ascent (node → root switch, concentrator side).
     ascent: Vec<Segment>,
     /// Per-node ECN1 descent (home root switch → node, dispatcher side).
@@ -116,25 +119,95 @@ pub struct RouteTable {
     bridge_flit: f64,
     /// Scratch buffer reused by intra-pair materialisation.
     scratch: Vec<mcnet_topology::graph::ChannelId>,
+}
+
+impl TreeSegments {
+    /// The cluster a node belongs to (binary search over the cluster bounds).
+    fn cluster_of(&self, node: usize) -> usize {
+        self.cluster_bounds
+            .binary_search_by(|probe| {
+                use std::cmp::Ordering;
+                if node < probe.0 {
+                    Ordering::Greater
+                } else if node >= probe.1 {
+                    Ordering::Less
+                } else {
+                    Ordering::Equal
+                }
+            })
+            .expect("node belongs to some cluster")
+    }
+}
+
+/// Backend-specific first-lookup machinery.
+#[derive(Debug, Clone)]
+enum Materializer {
+    Tree(TreeSegments),
+    /// The cube needs no precompute — only a reusable hop scratch buffer.
+    Cube {
+        hop_scratch: Vec<CubeHop>,
+    },
+}
+
+/// The interned all-pairs route table of one [`FabricBackend`].
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    nodes: usize,
+    arena: Vec<GlobalChannelId>,
+    /// Per-pair `offset << 16 | len`; `0` means "not materialised yet" (a real
+    /// entry always has `len >= 1`).
+    route_packed: Vec<u64>,
+    /// Per-pair `src_cluster << 16 | dst_cluster`, valid once materialised.
+    cluster_packed: Vec<u32>,
+    /// Per-pair drain bottleneck, valid once materialised.
+    bottleneck: Vec<f64>,
+    materializer: Materializer,
     /// Number of entries materialised so far, for diagnostics.
     materialized: usize,
 }
 
 impl RouteTable {
-    /// Builds the table for a fabric: precomputes the shared inter-cluster
-    /// segments (`2N + C²` routing calls) and the zeroed per-pair index.
-    /// Itineraries themselves are interned on first lookup.
-    pub fn build(fabric: &Fabric) -> Result<Self> {
-        let system = fabric.system();
-        let nodes = system.total_nodes();
-        let clusters = system.num_clusters();
-
+    /// Builds the table for a fabric backend. For the tree this precomputes the
+    /// shared inter-cluster segments (`2N + C²` routing calls); for the cube no
+    /// precompute is needed. Either way the per-pair index starts zeroed and
+    /// itineraries are interned on first lookup.
+    pub fn build(backend: &FabricBackend) -> Result<Self> {
+        let nodes = backend.total_nodes();
         let mut table = RouteTable {
             nodes,
             arena: Vec::new(),
             route_packed: vec![0u64; nodes * nodes],
             cluster_packed: vec![0u32; nodes * nodes],
             bottleneck: vec![0.0f64; nodes * nodes],
+            materializer: match backend {
+                FabricBackend::Tree(_) => Materializer::Tree(TreeSegments {
+                    ascent: Vec::with_capacity(nodes),
+                    descent: Vec::with_capacity(nodes),
+                    icn2: Vec::new(),
+                    clusters: 0,
+                    cluster_bounds: Vec::new(),
+                    bridges: Vec::new(),
+                    bridge_flit: 0.0,
+                    scratch: Vec::new(),
+                }),
+                FabricBackend::Cube(_) => Materializer::Cube { hop_scratch: Vec::new() },
+            },
+            materialized: 0,
+        };
+        if let FabricBackend::Tree(fabric) = backend {
+            table.precompute_tree_segments(fabric)?;
+        }
+        Ok(table)
+    }
+
+    /// Fills in the tree backend's shared segments (ascents, descents, ICN2
+    /// crossings, bridge ids and cluster bounds).
+    fn precompute_tree_segments(&mut self, fabric: &Fabric) -> Result<()> {
+        let system = fabric.system();
+        let nodes = system.total_nodes();
+        let clusters = system.num_clusters();
+
+        let mut segments = TreeSegments {
             ascent: Vec::with_capacity(nodes),
             descent: Vec::with_capacity(nodes),
             icn2: vec![Segment { offset: 0, len: 0, bottleneck: 0.0 }; clusters * clusters],
@@ -150,7 +223,6 @@ impl RouteTable {
                 .collect(),
             bridge_flit: fabric.t_cs(),
             scratch: Vec::new(),
-            materialized: 0,
         };
 
         let mut scratch: Vec<mcnet_topology::graph::ChannelId> = Vec::new();
@@ -167,17 +239,19 @@ impl RouteTable {
 
                 scratch.clear();
                 let root = router.ascent_into(node, &mut scratch).map_err(SimError::from)?;
-                let ascent = table.intern_segment(fabric, net.channel_base(), &scratch);
+                let ascent =
+                    Self::intern_segment(&mut self.arena, fabric, net.channel_base(), &scratch);
 
                 scratch.clear();
                 router.descent_into(root, node, &mut scratch).map_err(SimError::from)?;
-                let descent = table.intern_segment(fabric, net.channel_base(), &scratch);
+                let descent =
+                    Self::intern_segment(&mut self.arena, fabric, net.channel_base(), &scratch);
 
-                table.ascent.push(ascent);
-                table.descent.push(descent);
+                segments.ascent.push(ascent);
+                segments.descent.push(descent);
             }
         }
-        debug_assert_eq!(table.ascent.len(), nodes);
+        debug_assert_eq!(segments.ascent.len(), nodes);
 
         // ICN2 crossings, one per ordered cluster pair.
         let net = fabric.icn2();
@@ -191,27 +265,28 @@ impl RouteTable {
                 router
                     .route_into(NodeId::from_index(c1), NodeId::from_index(c2), &mut scratch)
                     .map_err(SimError::from)?;
-                table.icn2[c1 * clusters + c2] =
-                    table.intern_segment(fabric, net.channel_base(), &scratch);
+                segments.icn2[c1 * clusters + c2] =
+                    Self::intern_segment(&mut self.arena, fabric, net.channel_base(), &scratch);
             }
         }
 
-        Ok(table)
+        self.materializer = Materializer::Tree(segments);
+        Ok(())
     }
 
     /// Appends a globalized channel sequence to the arena, returning its segment.
     fn intern_segment(
-        &mut self,
+        arena: &mut Vec<GlobalChannelId>,
         fabric: &Fabric,
         channel_base: u32,
         channels: &[mcnet_topology::graph::ChannelId],
     ) -> Segment {
-        let offset = self.arena.len() as u32;
+        let offset = arena.len() as u32;
         let mut bottleneck = 0.0f64;
         for ch in channels {
             let global = channel_base + ch.0;
             bottleneck = bottleneck.max(fabric.flit_time(global));
-            self.arena.push(global);
+            arena.push(global);
         }
         debug_assert!(channels.len() <= u16::MAX as usize, "path longer than u16");
         Segment { offset, len: channels.len() as u16, bottleneck }
@@ -242,15 +317,15 @@ impl RouteTable {
     /// Looks up (interning on first use) the entry for `src → dst`.
     ///
     /// After a pair's first lookup this is a pure table read. The first lookup
-    /// interns the itinerary: inter-cluster pairs are composed from the
-    /// precomputed segments with a few `memcpy`s; intra-cluster pairs run the
-    /// allocation-free route walker straight into the arena.
+    /// interns the itinerary: tree inter-cluster pairs are composed from the
+    /// precomputed segments with a few `memcpy`s; tree intra-cluster and all
+    /// torus pairs run an allocation-free route walker straight into the arena.
     ///
     /// # Panics
     /// Panics if `src == dst` or either index is out of range — the traffic
     /// layer never generates such messages.
     #[inline]
-    pub fn entry(&mut self, fabric: &Fabric, src: usize, dst: usize) -> RouteEntry {
+    pub fn entry(&mut self, backend: &FabricBackend, src: usize, dst: usize) -> RouteEntry {
         assert_ne!(src, dst, "message from node {src} to itself");
         let idx = src * self.nodes + dst;
         let packed = self.route_packed[idx];
@@ -263,58 +338,32 @@ impl RouteTable {
                 dst_cluster: clusters & 0xFFFF,
             };
         }
-        self.materialize(fabric, src, dst)
+        self.materialize(backend, src, dst)
     }
 
     /// Interns the itinerary of a first-seen pair.
     #[cold]
-    fn materialize(&mut self, fabric: &Fabric, src: usize, dst: usize) -> RouteEntry {
-        let src_cluster = self.cluster_of(src);
-        let dst_cluster = self.cluster_of(dst);
-
+    fn materialize(&mut self, backend: &FabricBackend, src: usize, dst: usize) -> RouteEntry {
         let offset = self.arena.len() as u64;
-        let (len, bottleneck) = if src_cluster == dst_cluster {
-            // Intra-cluster: run the route walker straight into the arena.
-            let start = self.cluster_bounds[src_cluster].0;
-            let net = fabric.icn1(src_cluster);
-            let mut scratch = std::mem::take(&mut self.scratch);
-            scratch.clear();
-            NcaRouter::new(net.tree())
-                .route_into(
-                    NodeId::from_index(src - start),
-                    NodeId::from_index(dst - start),
-                    &mut scratch,
-                )
-                .expect("in-range distinct nodes are always routable");
-            let seg = self.intern_segment(fabric, net.channel_base(), &scratch);
-            self.scratch = scratch;
-            (seg.len, seg.bottleneck)
-        } else {
-            // Inter-cluster: compose the precomputed segments by memcpy.
-            let ascent = self.ascent[src];
-            let icn2 = self.icn2[src_cluster * self.clusters + dst_cluster];
-            let descent = self.descent[dst];
-            let [concentrate, _] = self.bridges[src_cluster];
-            let [_, dispatch] = self.bridges[dst_cluster];
-
-            let len = ascent.len + 1 + icn2.len + 1 + descent.len;
-            self.arena.reserve(len as usize);
-            Self::copy_segment(&mut self.arena, ascent);
-            self.arena.push(concentrate);
-            Self::copy_segment(&mut self.arena, icn2);
-            self.arena.push(dispatch);
-            Self::copy_segment(&mut self.arena, descent);
-
-            let bottleneck = ascent
-                .bottleneck
-                .max(icn2.bottleneck)
-                .max(descent.bottleneck)
-                .max(self.bridge_flit);
-            (len, bottleneck)
+        let (len, bottleneck, src_cluster, dst_cluster) = match (&mut self.materializer, backend) {
+            (Materializer::Tree(segments), FabricBackend::Tree(fabric)) => {
+                Self::materialize_tree(&mut self.arena, segments, fabric, src, dst)
+            }
+            (Materializer::Cube { hop_scratch }, FabricBackend::Cube(fabric)) => {
+                Self::materialize_cube(&mut self.arena, hop_scratch, fabric, src, dst)
+            }
+            _ => panic!("route table used with a backend of the wrong kind"),
         };
 
         let idx = src * self.nodes + dst;
         self.route_packed[idx] = offset << LEN_BITS | len as u64;
+        // The cluster word packs two 16-bit indices. Any system whose N² pair
+        // index fits in memory has far fewer than 2^16 clusters/neighborhoods,
+        // but the assumption is made explicit rather than silently truncated.
+        debug_assert!(
+            src_cluster <= 0xFFFF && dst_cluster <= 0xFFFF,
+            "cluster index exceeds the 16-bit packing"
+        );
         self.cluster_packed[idx] = (src_cluster as u32) << 16 | dst_cluster as u32;
         self.bottleneck[idx] = bottleneck;
         self.materialized += 1;
@@ -326,37 +375,97 @@ impl RouteTable {
         }
     }
 
+    /// Tree materialisation: segment composition (inter) or a fresh ICN1 walk
+    /// (intra). Returns `(len, bottleneck, src_cluster, dst_cluster)`.
+    fn materialize_tree(
+        arena: &mut Vec<GlobalChannelId>,
+        segments: &mut TreeSegments,
+        fabric: &Fabric,
+        src: usize,
+        dst: usize,
+    ) -> (u16, f64, usize, usize) {
+        let src_cluster = segments.cluster_of(src);
+        let dst_cluster = segments.cluster_of(dst);
+
+        if src_cluster == dst_cluster {
+            // Intra-cluster: run the route walker straight into the arena.
+            let start = segments.cluster_bounds[src_cluster].0;
+            let net = fabric.icn1(src_cluster);
+            let scratch = &mut segments.scratch;
+            scratch.clear();
+            NcaRouter::new(net.tree())
+                .route_into(
+                    NodeId::from_index(src - start),
+                    NodeId::from_index(dst - start),
+                    scratch,
+                )
+                .expect("in-range distinct nodes are always routable");
+            let seg = Self::intern_segment(arena, fabric, net.channel_base(), scratch);
+            (seg.len, seg.bottleneck, src_cluster, dst_cluster)
+        } else {
+            // Inter-cluster: compose the precomputed segments by memcpy.
+            let ascent = segments.ascent[src];
+            let icn2 = segments.icn2[src_cluster * segments.clusters + dst_cluster];
+            let descent = segments.descent[dst];
+            let [concentrate, _] = segments.bridges[src_cluster];
+            let [_, dispatch] = segments.bridges[dst_cluster];
+
+            let len = ascent.len + 1 + icn2.len + 1 + descent.len;
+            arena.reserve(len as usize);
+            Self::copy_segment(arena, ascent);
+            arena.push(concentrate);
+            Self::copy_segment(arena, icn2);
+            arena.push(dispatch);
+            Self::copy_segment(arena, descent);
+
+            let bottleneck = ascent
+                .bottleneck
+                .max(icn2.bottleneck)
+                .max(descent.bottleneck)
+                .max(segments.bridge_flit);
+            (len, bottleneck, src_cluster, dst_cluster)
+        }
+    }
+
+    /// Cube materialisation: the dimension-order walker appends the globalized
+    /// itinerary directly; the bottleneck is read off the appended channels.
+    fn materialize_cube(
+        arena: &mut Vec<GlobalChannelId>,
+        hop_scratch: &mut Vec<CubeHop>,
+        fabric: &CubeFabric,
+        src: usize,
+        dst: usize,
+    ) -> (u16, f64, usize, usize) {
+        let start = arena.len();
+        fabric
+            .route_into(src, dst, hop_scratch, arena)
+            .expect("in-range distinct nodes are always routable");
+        let len = arena.len() - start;
+        debug_assert!(len <= u16::MAX as usize, "path longer than u16");
+        let bottleneck = arena[start..].iter().map(|&c| fabric.flit_time(c)).fold(0.0f64, f64::max);
+        (len as u16, bottleneck, fabric.neighborhood_of(src), fabric.neighborhood_of(dst))
+    }
+
     #[inline]
     fn copy_segment(arena: &mut Vec<GlobalChannelId>, seg: Segment) {
         let start = seg.offset as usize;
         arena.extend_from_within(start..start + seg.len as usize);
     }
 
-    /// The cluster a node belongs to (binary search over the cluster bounds).
-    fn cluster_of(&self, node: usize) -> usize {
-        self.cluster_bounds
-            .binary_search_by(|probe| {
-                use std::cmp::Ordering;
-                if node < probe.0 {
-                    Ordering::Greater
-                } else if node >= probe.1 {
-                    Ordering::Less
-                } else {
-                    Ordering::Equal
-                }
-            })
-            .expect("node belongs to some cluster")
-    }
-
     /// Rebuilds an owned [`Itinerary`] for a pair — the compatibility/verification
-    /// view used by tests to compare against [`Fabric::build_path`].
-    pub fn itinerary(&mut self, fabric: &Fabric, src: usize, dst: usize) -> Result<Itinerary> {
+    /// view used by tests to compare against [`FabricBackend::build_path`].
+    pub fn itinerary(
+        &mut self,
+        backend: &FabricBackend,
+        src: usize,
+        dst: usize,
+    ) -> Result<Itinerary> {
         if src == dst || src >= self.nodes || dst >= self.nodes {
             return Err(SimError::InvalidConfiguration {
                 reason: format!("invalid route table pair {src} -> {dst}"),
             });
         }
-        let entry = self.entry(fabric, src, dst);
+        let entry = self.entry(backend, src, dst);
         Ok(Itinerary {
             channels: self.channels(entry.route).to_vec(),
             bottleneck: entry.bottleneck,
@@ -369,28 +478,57 @@ impl RouteTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcnet_system::{organizations, TrafficConfig};
+    use mcnet_system::{organizations, TorusSystem, TrafficConfig};
 
-    fn build_pair() -> (Fabric, RouteTable) {
+    fn build_pair() -> (FabricBackend, RouteTable) {
         let system = organizations::small_test_org();
         let traffic = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
-        let fabric = Fabric::build(&system, &traffic).unwrap();
-        let table = RouteTable::build(&fabric).unwrap();
-        (fabric, table)
+        let backend = FabricBackend::tree(&system, &traffic).unwrap();
+        let table = RouteTable::build(&backend).unwrap();
+        (backend, table)
+    }
+
+    fn build_cube_pair() -> (FabricBackend, RouteTable) {
+        let torus = TorusSystem::new(4, 2).unwrap();
+        let traffic = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
+        let backend = FabricBackend::cube(&torus, &traffic).unwrap();
+        let table = RouteTable::build(&backend).unwrap();
+        (backend, table)
     }
 
     #[test]
     fn all_pairs_match_freshly_computed_paths() {
-        let (fabric, mut table) = build_pair();
-        let n = fabric.system().total_nodes();
+        let (backend, mut table) = build_pair();
+        let n = backend.total_nodes();
         for src in 0..n {
             for dst in 0..n {
                 if src == dst {
-                    assert!(table.itinerary(&fabric, src, dst).is_err());
+                    assert!(table.itinerary(&backend, src, dst).is_err());
                     continue;
                 }
-                let fresh = fabric.build_path(src, dst).unwrap();
-                let interned = table.itinerary(&fabric, src, dst).unwrap();
+                let fresh = backend.build_path(src, dst).unwrap();
+                let interned = table.itinerary(&backend, src, dst).unwrap();
+                assert_eq!(interned.channels, fresh.channels, "{src}->{dst}");
+                assert_eq!(interned.src_cluster, fresh.src_cluster);
+                assert_eq!(interned.dst_cluster, fresh.dst_cluster);
+                assert!((interned.bottleneck - fresh.bottleneck).abs() < 1e-15);
+            }
+        }
+        assert_eq!(table.materialized_entries(), n * (n - 1));
+    }
+
+    #[test]
+    fn cube_all_pairs_match_freshly_computed_paths() {
+        let (backend, mut table) = build_cube_pair();
+        let n = backend.total_nodes();
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    assert!(table.itinerary(&backend, src, dst).is_err());
+                    continue;
+                }
+                let fresh = backend.build_path(src, dst).unwrap();
+                let interned = table.itinerary(&backend, src, dst).unwrap();
                 assert_eq!(interned.channels, fresh.channels, "{src}->{dst}");
                 assert_eq!(interned.src_cluster, fresh.src_cluster);
                 assert_eq!(interned.dst_cluster, fresh.dst_cluster);
@@ -402,50 +540,83 @@ mod tests {
 
     #[test]
     fn pairs_are_interned_on_first_lookup() {
-        let (fabric, mut table) = build_pair();
+        let (backend, mut table) = build_pair();
         assert_eq!(table.materialized_entries(), 0);
 
         // First intra lookup interns one entry; the repeat is a pure read.
-        let e1 = table.entry(&fabric, 0, 1);
+        let e1 = table.entry(&backend, 0, 1);
         let after_intra = table.arena_len();
         assert_eq!(table.materialized_entries(), 1);
-        let e1_again = table.entry(&fabric, 0, 1);
+        let e1_again = table.entry(&backend, 0, 1);
         assert_eq!(e1, e1_again, "repeated lookups share the interned entry");
         assert_eq!(table.arena_len(), after_intra);
 
         // First inter lookup extends the arena once; the repeat is pure.
         let last = table.nodes() - 1;
-        let e2 = table.entry(&fabric, 0, last);
+        let e2 = table.entry(&backend, 0, last);
         let grown = table.arena_len();
         assert!(grown > after_intra);
         assert_eq!(table.materialized_entries(), 2);
-        let e2_again = table.entry(&fabric, 0, last);
+        let e2_again = table.entry(&backend, 0, last);
         assert_eq!(table.arena_len(), grown);
         assert_eq!(e2, e2_again);
         assert_ne!(e1.route, e2.route);
     }
 
     #[test]
+    fn cube_pairs_are_interned_on_first_lookup() {
+        let (backend, mut table) = build_cube_pair();
+        assert_eq!(table.materialized_entries(), 0);
+        assert_eq!(table.arena_len(), 0, "the cube needs no precomputed segments");
+
+        let e1 = table.entry(&backend, 0, 5);
+        let grown = table.arena_len();
+        assert!(grown > 0);
+        assert_eq!(table.materialized_entries(), 1);
+        let e1_again = table.entry(&backend, 0, 5);
+        assert_eq!(e1, e1_again);
+        assert_eq!(table.arena_len(), grown);
+    }
+
+    #[test]
     fn entries_carry_correct_metadata() {
-        let (fabric, mut table) = build_pair();
+        let (backend, mut table) = build_pair();
+        let fabric = backend.as_tree().unwrap();
         let last = table.nodes() - 1;
-        let inter = table.entry(&fabric, 0, last);
+        let inter = table.entry(&backend, 0, last);
         assert_ne!(inter.src_cluster, inter.dst_cluster);
         assert!((inter.bottleneck - fabric.t_cs()).abs() < 1e-12);
         let channels = table.channels(inter.route);
         assert!(channels.contains(&fabric.bridges().concentrate(inter.src_cluster as usize)));
         assert!(channels.contains(&fabric.bridges().dispatch(inter.dst_cluster as usize)));
 
-        let intra = table.entry(&fabric, 0, 1);
+        let intra = table.entry(&backend, 0, 1);
         assert_eq!(intra.src_cluster, 0);
         assert_eq!(intra.dst_cluster, 0);
         assert!((intra.bottleneck - fabric.t_cn()).abs() < 1e-12);
     }
 
     #[test]
+    fn cube_entries_carry_correct_metadata() {
+        let (backend, mut table) = build_cube_pair();
+        let fabric = backend.as_cube().unwrap();
+        // 0 and 3 share the dimension-0 sub-ring; 0 and 4 do not.
+        let intra = table.entry(&backend, 0, 3);
+        assert_eq!(intra.src_cluster, 0);
+        assert_eq!(intra.dst_cluster, 0);
+        let inter = table.entry(&backend, 0, 4);
+        assert_eq!(inter.src_cluster, 0);
+        assert_eq!(inter.dst_cluster, 1);
+        assert!((inter.bottleneck - fabric.t_link()).abs() < 1e-12);
+        let channels = table.channels(inter.route);
+        assert_eq!(channels[0], fabric.injection(0));
+        assert_eq!(*channels.last().unwrap(), fabric.ejection(4));
+    }
+
+    #[test]
     #[should_panic(expected = "to itself")]
     fn self_route_lookup_panics() {
-        let (fabric, mut table) = build_pair();
-        table.entry(&fabric, 3, 3);
+        let (backend, mut table) = build_pair();
+        table.entry(&backend, 3, 3);
     }
 }

@@ -5,7 +5,7 @@ use crate::message::MessageClass;
 use crate::stats::ClassSummary;
 use crate::{Result, SimError};
 use mcnet_queueing::stats::RunningStats;
-use mcnet_system::{MultiClusterSystem, TrafficConfig};
+use mcnet_system::{MultiClusterSystem, TorusSystem, TrafficConfig};
 use serde::{Deserialize, Serialize};
 
 /// Measurement protocol of one simulation run.
@@ -115,13 +115,33 @@ pub struct SimReport {
     pub seed: u64,
 }
 
-/// Runs one simulation.
+/// Runs one simulation over the multi-cluster tree fabric.
 pub fn run_simulation(
     system: &MultiClusterSystem,
     traffic: &TrafficConfig,
     config: &SimConfig,
 ) -> Result<SimReport> {
-    let mut sim = Simulation::new(system, traffic, config)?;
+    report_from(Simulation::new(system, traffic, config)?, traffic, config)
+}
+
+/// Runs one simulation over a k-ary n-cube (torus) fabric. The produced
+/// [`SimReport`] has the same shape as a tree run; the bridge-utilisation
+/// fields are zero because the torus has no concentrator/dispatcher bridges,
+/// and the intra/inter class split is by dimension-0 sub-ring neighborhood.
+pub fn run_torus_simulation(
+    torus: &TorusSystem,
+    traffic: &TrafficConfig,
+    config: &SimConfig,
+) -> Result<SimReport> {
+    report_from(Simulation::new_torus(torus, traffic, config)?, traffic, config)
+}
+
+/// Drives a built simulation to completion and extracts its report.
+fn report_from(
+    mut sim: Simulation,
+    traffic: &TrafficConfig,
+    config: &SimConfig,
+) -> Result<SimReport> {
     sim.run()?;
     let (_, max_channel_utilization) = sim.network_utilization();
     let (mean_bridge_utilization, max_bridge_utilization) = sim.bridge_utilization();
@@ -154,12 +174,15 @@ pub struct ReplicatedReport {
     pub replications: Vec<SimReport>,
     /// Mean of the per-replication mean latencies.
     pub mean_latency: f64,
-    /// 95% confidence-interval half-width over the replication means.
-    pub halfwidth_95: f64,
+    /// 95% confidence-interval half-width over the replication means, or `None`
+    /// when it cannot be estimated (fewer than two replications). A single
+    /// replication used to be reported as a half-width of `0.0` — false perfect
+    /// confidence; the absence of an estimate is now explicit.
+    pub halfwidth_95: Option<f64>,
 }
 
-/// Runs `replications` independent replications (seeds `seed`, `seed+1`, …) on a
-/// bounded worker pool and aggregates them.
+/// Runs `replications` independent replications over the tree fabric (seeds
+/// `seed`, `seed+1`, …) on a bounded worker pool and aggregates them.
 ///
 /// The pool is capped at the machine's available parallelism (never one OS thread
 /// per replication); seed assignment (`seed + r`) and aggregation order are by
@@ -171,14 +194,35 @@ pub fn run_replications(
     config: &SimConfig,
     replications: usize,
 ) -> Result<ReplicatedReport> {
+    replicate(config, replications, |cfg| run_simulation(system, traffic, &cfg))
+}
+
+/// Runs `replications` independent torus replications on the same bounded
+/// worker pool and with the same deterministic seed/aggregation contract as
+/// [`run_replications`].
+pub fn run_torus_replications(
+    torus: &TorusSystem,
+    traffic: &TrafficConfig,
+    config: &SimConfig,
+    replications: usize,
+) -> Result<ReplicatedReport> {
+    replicate(config, replications, |cfg| run_torus_simulation(torus, traffic, &cfg))
+}
+
+/// The shared replication driver: fans per-replication configs over
+/// `parallel_map` and aggregates in replication order, for any backend's
+/// single-run function.
+fn replicate<F>(config: &SimConfig, replications: usize, run: F) -> Result<ReplicatedReport>
+where
+    F: Fn(SimConfig) -> Result<SimReport> + Sync,
+{
     if replications == 0 {
         return Err(SimError::InvalidConfiguration {
             reason: "at least one replication is required".into(),
         });
     }
     let results = mcnet_system::parallel::parallel_map((0..replications).collect(), |_, r| {
-        let cfg = SimConfig { seed: config.seed.wrapping_add(r as u64), ..*config };
-        run_simulation(system, traffic, &cfg)
+        run(SimConfig { seed: config.seed.wrapping_add(r as u64), ..*config })
     });
 
     let mut replication_reports = Vec::with_capacity(replications);
@@ -192,7 +236,7 @@ pub fn run_replications(
     let halfwidth = mcnet_queueing::stats::confidence_interval_halfwidth(&stats, 0.95);
     Ok(ReplicatedReport {
         mean_latency: stats.mean(),
-        halfwidth_95: if halfwidth.is_finite() { halfwidth } else { 0.0 },
+        halfwidth_95: halfwidth.is_finite().then_some(halfwidth),
         replications: replication_reports,
     })
 }
@@ -244,7 +288,50 @@ mod tests {
         assert!(means.iter().any(|&m| (m - means[0]).abs() > 0.0));
         let avg = means.iter().sum::<f64>() / means.len() as f64;
         assert!((agg.mean_latency - avg).abs() < 1e-12);
-        assert!(agg.halfwidth_95 >= 0.0);
+        assert!(agg.halfwidth_95.expect("3 replications give a CI") >= 0.0);
         assert!(run_replications(&system, &traffic, &SimConfig::quick(1), 0).is_err());
+    }
+
+    #[test]
+    fn single_replication_reports_no_confidence_interval() {
+        // One replication used to report halfwidth 0.0 — false perfect
+        // confidence. It must now be explicit about having no estimate.
+        let system = organizations::small_test_org();
+        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
+        let one = run_replications(&system, &traffic, &SimConfig::quick(5), 1).unwrap();
+        assert_eq!(one.replications.len(), 1);
+        assert_eq!(one.halfwidth_95, None);
+        let two = run_replications(&system, &traffic, &SimConfig::quick(5), 2).unwrap();
+        assert!(two.halfwidth_95.is_some());
+    }
+
+    #[test]
+    fn torus_simulation_produces_a_full_report() {
+        let torus = mcnet_system::TorusSystem::new(4, 2).unwrap();
+        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
+        let report = run_torus_simulation(&torus, &traffic, &SimConfig::quick(5)).unwrap();
+        assert_eq!(report.measured_messages, 2_000);
+        assert_eq!(report.generated_messages, 2_400);
+        assert!(report.mean_latency > 0.0);
+        assert!(report.max_latency >= report.mean_latency);
+        assert!(report.intra.count + report.inter.count == report.measured_messages);
+        // No bridges exist on the torus.
+        assert_eq!(report.mean_bridge_utilization, 0.0);
+        assert_eq!(report.max_bridge_utilization, 0.0);
+        assert!((0.0..=1.0).contains(&report.max_channel_utilization));
+        assert!(report.events > 0);
+    }
+
+    #[test]
+    fn torus_replications_share_the_replication_contract() {
+        let torus = mcnet_system::TorusSystem::new(4, 2).unwrap();
+        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
+        let agg = run_torus_replications(&torus, &traffic, &SimConfig::quick(100), 3).unwrap();
+        assert_eq!(agg.replications.len(), 3);
+        // Replication 0 equals the standalone run with the same seed.
+        let standalone = run_torus_simulation(&torus, &traffic, &SimConfig::quick(100)).unwrap();
+        assert_eq!(agg.replications[0].mean_latency.to_bits(), standalone.mean_latency.to_bits());
+        assert!(agg.halfwidth_95.is_some());
+        assert!(run_torus_replications(&torus, &traffic, &SimConfig::quick(1), 0).is_err());
     }
 }

@@ -6,7 +6,7 @@
 //! only (the paper lists non-uniform traffic as future work).
 
 use crate::{Result, SimError};
-use mcnet_system::{MultiClusterSystem, TrafficConfig, TrafficPattern};
+use mcnet_system::{MultiClusterSystem, TorusSystem, TrafficConfig, TrafficPattern};
 use rand::Rng;
 
 /// Samples inter-arrival times and destinations for one simulation run.
@@ -15,14 +15,39 @@ pub struct TrafficSource {
     generation_rate: f64,
     pattern: TrafficPattern,
     total_nodes: usize,
-    /// Exclusive prefix sums of cluster node counts, used by the local-favouring
-    /// pattern to sample within / outside the source cluster.
+    /// Exclusive prefix sums of cluster node counts (tree) or sub-ring
+    /// neighborhood ranges (torus), used by the local-favouring pattern to
+    /// sample within / outside the source's partition.
     cluster_ranges: Vec<(usize, usize)>,
 }
 
 impl TrafficSource {
-    /// Creates a source for the given system and traffic configuration.
+    /// Creates a source for the given multi-cluster system and traffic
+    /// configuration.
     pub fn new(system: &MultiClusterSystem, traffic: &TrafficConfig) -> Result<Self> {
+        let cluster_ranges = (0..system.num_clusters())
+            .map(|c| {
+                let r = system.node_range(c).expect("cluster index in range");
+                (r.start, r.end)
+            })
+            .collect();
+        Self::from_parts(traffic, system.total_nodes(), cluster_ranges)
+    }
+
+    /// Creates a source for a torus system. The cluster-relative patterns map
+    /// onto the torus's dimension-0 sub-ring neighborhoods: uniform and
+    /// hot-spot traffic carry over directly, and `LocalFavoring` keeps messages
+    /// inside the source's sub-ring.
+    pub fn for_torus(torus: &TorusSystem, traffic: &TrafficConfig) -> Result<Self> {
+        Self::from_parts(traffic, torus.total_nodes(), torus.neighborhood_ranges())
+    }
+
+    /// Shared constructor over an arbitrary contiguous node partition.
+    fn from_parts(
+        traffic: &TrafficConfig,
+        total_nodes: usize,
+        cluster_ranges: Vec<(usize, usize)>,
+    ) -> Result<Self> {
         traffic.validate().map_err(SimError::from)?;
         if traffic.generation_rate <= 0.0 {
             return Err(SimError::InvalidConfiguration {
@@ -30,22 +55,16 @@ impl TrafficSource {
             });
         }
         if let TrafficPattern::Hotspot { hotspot, .. } = traffic.pattern {
-            if hotspot >= system.total_nodes() {
+            if hotspot >= total_nodes {
                 return Err(SimError::InvalidConfiguration {
                     reason: format!("hotspot node {hotspot} outside the system"),
                 });
             }
         }
-        let cluster_ranges = (0..system.num_clusters())
-            .map(|c| {
-                let r = system.node_range(c).expect("cluster index in range");
-                (r.start, r.end)
-            })
-            .collect();
         Ok(TrafficSource {
             generation_rate: traffic.generation_rate,
             pattern: traffic.pattern,
-            total_nodes: system.total_nodes(),
+            total_nodes,
             cluster_ranges,
         })
     }
@@ -56,9 +75,18 @@ impl TrafficSource {
     }
 
     /// Samples the exponential inter-arrival time of one node's Poisson process.
+    ///
+    /// The uniform draw is guarded away from the `u = 0` endpoint: `gen::<f64>()`
+    /// returns values in `[0, 1)`, and `−ln(1 − 0)/λ = 0` would produce a zero
+    /// inter-arrival time — two messages generated at the same instant at the
+    /// same node, creating event ties the queue has to break arbitrarily. The
+    /// guard clamps the `ln` argument to the largest double below 1, so the
+    /// result is always strictly positive.
     pub fn sample_interarrival<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let u: f64 = rng.gen::<f64>();
-        -(1.0 - u).ln() / self.generation_rate
+        // 1 − u ∈ (0, 1]; exclude 1 itself (drawn iff u == 0) to keep ln < 0.
+        let v = (1.0 - u).min(1.0 - f64::EPSILON / 2.0);
+        -v.ln() / self.generation_rate
     }
 
     /// Samples a destination for a message generated at global node `src`.
@@ -66,7 +94,12 @@ impl TrafficSource {
         match self.pattern {
             TrafficPattern::Uniform => self.uniform_other(rng, src),
             TrafficPattern::Hotspot { hotspot, fraction } => {
-                if hotspot != src && rng.gen::<f64>() < fraction {
+                // The fraction coin is drawn unconditionally so the RNG stream
+                // does not depend on whether the source happens to be the
+                // hot-spot node — runs stay comparable across patterns and
+                // hot-spot placements.
+                let coin = rng.gen::<f64>();
+                if hotspot != src && coin < fraction {
                     hotspot
                 } else {
                     self.uniform_other(rng, src)
@@ -106,12 +139,15 @@ impl TrafficSource {
         d
     }
 
+    /// The partition range a node belongs to. Binary search: the ranges are
+    /// sorted and contiguous, and the torus mapping grows their count to
+    /// `k^(n-1)` sub-rings — a linear scan here would sit on the per-message
+    /// sampling path.
     fn cluster_of(&self, node: usize) -> (usize, usize) {
-        *self
-            .cluster_ranges
-            .iter()
-            .find(|(s, e)| node >= *s && node < *e)
-            .expect("node belongs to some cluster")
+        let idx = self.cluster_ranges.partition_point(|&(_, e)| e <= node);
+        let range = self.cluster_ranges[idx];
+        debug_assert!(node >= range.0 && node < range.1, "node belongs to some cluster");
+        range
     }
 }
 
@@ -128,6 +164,79 @@ mod tests {
             TrafficConfig::uniform(32, 256.0, 1e-3).unwrap().with_pattern(pattern).unwrap();
         let src = TrafficSource::new(&system, &traffic).unwrap();
         (system, src)
+    }
+
+    /// An adversarial generator whose `f64` draws are exactly 0.0 — the endpoint
+    /// that used to produce zero inter-arrival times.
+    struct ZeroRng;
+
+    impl rand::Rng for ZeroRng {
+        fn next_u64(&mut self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn interarrival_is_strictly_positive_even_for_a_zero_draw() {
+        let (_, src) = source(TrafficPattern::Uniform);
+        let mut rng = ZeroRng;
+        assert_eq!(rng.gen::<f64>(), 0.0, "the shim must expose the hazardous endpoint");
+        let dt = src.sample_interarrival(&mut rng);
+        assert!(dt > 0.0, "zero inter-arrival time would tie generation events: {dt}");
+        assert!(dt.is_finite());
+    }
+
+    #[test]
+    fn hotspot_coin_is_consumed_regardless_of_source() {
+        // The fraction coin must be drawn even when the source *is* the hot-spot
+        // node, so the RNG stream (and therefore the rest of the run) does not
+        // depend on which node generates. Pinned with a fixed seed: sampling at
+        // the hot-spot equals uniform sampling after manually burning one coin.
+        let hotspot = 3usize;
+        let (_, hotspot_src) = source(TrafficPattern::Hotspot { hotspot, fraction: 0.5 });
+        let (_, uniform_src) = source(TrafficPattern::Uniform);
+        for seed in 0..32 {
+            let mut rng_a = SmallRng::seed_from_u64(seed);
+            let d_hot = hotspot_src.sample_destination(&mut rng_a, hotspot);
+
+            let mut rng_b = SmallRng::seed_from_u64(seed);
+            let _coin: f64 = rng_b.gen();
+            let d_uniform = uniform_src.sample_destination(&mut rng_b, hotspot);
+
+            assert_eq!(d_hot, d_uniform, "seed {seed}: RNG stream diverged by source node");
+            // And the generators are fully aligned afterwards.
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn torus_source_maps_patterns_onto_subrings() {
+        use mcnet_system::TorusSystem;
+        let torus = TorusSystem::new(4, 2).unwrap();
+        let traffic = TrafficConfig::uniform(32, 256.0, 1e-3)
+            .unwrap()
+            .with_pattern(TrafficPattern::LocalFavoring { locality: 0.8 })
+            .unwrap();
+        let src = TrafficSource::for_torus(&torus, &traffic).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        // Node 5 lives in sub-ring 1 (nodes 4..8).
+        let samples = 20_000;
+        let local = (0..samples)
+            .filter(|_| {
+                let d = src.sample_destination(&mut rng, 5);
+                assert_ne!(d, 5);
+                (4..8).contains(&d)
+            })
+            .count();
+        let frac = local as f64 / samples as f64;
+        assert!((frac - 0.8).abs() < 0.05, "sub-ring locality fraction {frac}");
+
+        // Hot-spot validation uses the torus node count.
+        let bad = TrafficConfig::uniform(32, 256.0, 1e-3)
+            .unwrap()
+            .with_pattern(TrafficPattern::Hotspot { hotspot: 100, fraction: 0.1 })
+            .unwrap();
+        assert!(TrafficSource::for_torus(&torus, &bad).is_err());
     }
 
     #[test]

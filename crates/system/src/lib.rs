@@ -48,11 +48,13 @@ pub mod network;
 pub mod organizations;
 pub mod parallel;
 pub mod sweep;
+pub mod torus;
 pub mod traffic;
 
 pub use cluster::ClusterSpec;
 pub use multicluster::{GlobalNodeId, MultiClusterSystem};
 pub use network::NetworkTechnology;
+pub use torus::TorusSystem;
 pub use traffic::{TrafficConfig, TrafficPattern};
 
 /// Errors produced while building or validating system configurations.
@@ -111,6 +113,20 @@ pub enum SystemError {
         /// Total number of nodes.
         num_nodes: usize,
     },
+    /// A torus needs a radix of at least 2 and at least one dimension.
+    InvalidTorusShape {
+        /// Rejected radix.
+        radix: usize,
+        /// Rejected dimension count.
+        dimensions: usize,
+    },
+    /// The torus node count exceeds the supported maximum.
+    TorusTooLarge {
+        /// Requested node count `k^n`.
+        nodes: u128,
+        /// Supported maximum.
+        limit: u128,
+    },
 }
 
 impl std::fmt::Display for SystemError {
@@ -141,6 +157,12 @@ impl std::fmt::Display for SystemError {
             SystemError::NodeOutOfRange { node, num_nodes } => {
                 write!(f, "node index {node} out of range (system has {num_nodes})")
             }
+            SystemError::InvalidTorusShape { radix, dimensions } => {
+                write!(f, "invalid torus shape k={radix}, n={dimensions} (need k >= 2, n >= 1)")
+            }
+            SystemError::TorusTooLarge { nodes, limit } => {
+                write!(f, "torus with {nodes} nodes exceeds the supported maximum of {limit}")
+            }
         }
     }
 }
@@ -165,6 +187,8 @@ mod tests {
             (SystemError::InvalidParameter { name: "lambda_g", value: -1.0 }, "lambda_g"),
             (SystemError::ClusterOutOfRange { cluster: 9, num_clusters: 4 }, "9"),
             (SystemError::NodeOutOfRange { node: 2000, num_nodes: 1120 }, "1120"),
+            (SystemError::InvalidTorusShape { radix: 1, dimensions: 3 }, "k=1"),
+            (SystemError::TorusTooLarge { nodes: 1 << 30, limit: 1 << 22 }, "maximum"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

@@ -129,12 +129,21 @@ impl KaryNCube {
 
     /// Deterministic dimension-order route from `src` to `dst`.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Result<Vec<CubeHop>> {
+        let mut hops = Vec::new();
+        self.route_into(src, dst, &mut hops)?;
+        Ok(hops)
+    }
+
+    /// Appends the dimension-order route from `src` to `dst` to `out` without
+    /// allocating when `out` has capacity — the buffer-reusing walker consumed
+    /// by the simulator's route-interning arena (mirroring
+    /// [`crate::routing::NcaRouter::route_into`]).
+    pub fn route_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<CubeHop>) -> Result<()> {
         if src == dst {
             return Err(TopologyError::SelfRouting { node: src });
         }
         let mut current = self.coordinates(src)?;
         let target = self.coordinates(dst)?;
-        let mut hops = Vec::new();
         for dim in 0..self.n {
             while current[dim] != target[dim] {
                 let forward = (target[dim] + self.k - current[dim]) % self.k;
@@ -145,10 +154,10 @@ impl KaryNCube {
                 } else {
                     (current[dim] + self.k - 1) % self.k
                 };
-                hops.push(CubeHop { dimension: dim, direction, node: self.node_at(&current)? });
+                out.push(CubeHop { dimension: dim, direction, node: self.node_at(&current)? });
             }
         }
-        Ok(hops)
+        Ok(())
     }
 
     /// Average minimal distance under uniform traffic.
@@ -258,6 +267,26 @@ mod tests {
                 "({k},{n}): measured={measured}, formula={formula}"
             );
         }
+    }
+
+    #[test]
+    fn route_into_appends_and_matches_route() {
+        let cube = KaryNCube::new(4, 2).unwrap();
+        let mut buf = Vec::new();
+        for a in cube.nodes() {
+            for b in cube.nodes() {
+                if a == b {
+                    continue;
+                }
+                buf.clear();
+                cube.route_into(a, b, &mut buf).unwrap();
+                assert_eq!(buf, cube.route(a, b).unwrap());
+            }
+        }
+        // Appending semantics: an uncleaned buffer keeps its prefix.
+        let prefix = buf.len();
+        cube.route_into(NodeId(0), NodeId(1), &mut buf).unwrap();
+        assert!(buf.len() > prefix);
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod updown;
 
 pub use distance::HopDistribution;
 pub use ids::{Level, NodeId, PortId, SwitchId};
+pub use kary_ncube::KaryNCube;
 pub use tree::MPortNTree;
 
 /// Errors produced while constructing or querying a topology.

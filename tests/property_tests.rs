@@ -3,8 +3,8 @@
 
 use mcnet::model::{AnalyticalModel, ModelError, ModelOptions};
 use mcnet::queueing::{MG1Queue, ServiceTime};
-use mcnet::sim::fabric::Fabric;
 use mcnet::sim::routes::RouteTable;
+use mcnet::sim::FabricBackend;
 use mcnet::system::{ClusterSpec, MultiClusterSystem, TrafficConfig};
 use mcnet::topology::distance::HopDistribution;
 use mcnet::topology::routing::NcaRouter;
@@ -141,8 +141,8 @@ proptest! {
             levels.iter().map(|&n| ClusterSpec::new(4, n).unwrap()).collect();
         let system = MultiClusterSystem::new(clusters).unwrap();
         let traffic = TrafficConfig::uniform(16, 256.0, 1e-4).unwrap();
-        let fabric = Fabric::build(&system, &traffic).unwrap();
-        let mut table = RouteTable::build(&fabric).unwrap();
+        let backend = FabricBackend::tree(&system, &traffic).unwrap();
+        let mut table = RouteTable::build(&backend).unwrap();
         let n = system.total_nodes();
         // Visit every pair, rotating each row's start so lazy interning is
         // exercised off the natural row-major path.
@@ -152,8 +152,8 @@ proptest! {
                 if s == d {
                     continue;
                 }
-                let fresh = fabric.build_path(s, d).unwrap();
-                let interned = table.itinerary(&fabric, s, d).unwrap();
+                let fresh = backend.build_path(s, d).unwrap();
+                let interned = table.itinerary(&backend, s, d).unwrap();
                 prop_assert_eq!(&interned.channels, &fresh.channels, "{}->{}", s, d);
                 prop_assert_eq!(interned.src_cluster, fresh.src_cluster);
                 prop_assert_eq!(interned.dst_cluster, fresh.dst_cluster);

@@ -91,7 +91,10 @@ fn fixed_seed_runs_are_bit_identical() {
     let r1 = run_replications(&system, &traffic, &cfg, 3).unwrap();
     let r2 = run_replications(&system, &traffic, &cfg, 3).unwrap();
     assert_eq!(r1.mean_latency.to_bits(), r2.mean_latency.to_bits());
-    assert_eq!(r1.halfwidth_95.to_bits(), r2.halfwidth_95.to_bits());
+    assert_eq!(
+        r1.halfwidth_95.expect("3 replications give a CI").to_bits(),
+        r2.halfwidth_95.expect("3 replications give a CI").to_bits()
+    );
     // The pool's replication 0 (seed 77) equals the standalone run with seed 77.
     assert_eq!(r1.replications[0].mean_latency.to_bits(), a.mean_latency.to_bits());
 }
@@ -127,7 +130,9 @@ fn replications_tighten_the_confidence_interval() {
         few.replications[0].mean_latency.to_bits(),
         many.replications[0].mean_latency.to_bits()
     );
-    assert!(many.halfwidth_95 <= few.halfwidth_95 * 1.5 + 1e-9);
+    let few_hw = few.halfwidth_95.expect("2 replications give a CI");
+    let many_hw = many.halfwidth_95.expect("6 replications give a CI");
+    assert!(many_hw <= few_hw * 1.5 + 1e-9);
 }
 
 #[test]

@@ -1,0 +1,162 @@
+//! Integration tests of the k-ary n-cube (torus) backend: route-interning
+//! equivalence against the topology-level router, fixed-seed determinism and
+//! engine invariants — the torus counterparts of `simulator_invariants.rs`.
+
+use mcnet::sim::engine::Simulation;
+use mcnet::sim::routes::RouteTable;
+use mcnet::sim::runner::{run_torus_replications, run_torus_simulation};
+use mcnet::sim::{FabricBackend, SimConfig};
+use mcnet::system::{TorusSystem, TrafficConfig};
+use mcnet::topology::NodeId;
+
+fn quick(seed: u64) -> SimConfig {
+    SimConfig::quick(seed)
+}
+
+#[test]
+fn interned_routes_match_kary_ncube_routing_for_all_pairs() {
+    // For every (src, dst) pair of a small torus the interned RouteTable
+    // itinerary must equal the per-message computation channel-by-channel:
+    // the injection channel, then exactly one link channel per
+    // `KaryNCube::route` hop (on a virtual channel of that hop's physical
+    // link), then the ejection channel — and be identical to a fresh
+    // `build_path`.
+    for (k, n) in [(4usize, 2usize), (3, 2), (2, 3)] {
+        let torus = TorusSystem::new(k, n).unwrap();
+        let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
+        let backend = FabricBackend::cube(&torus, &traffic).unwrap();
+        let fabric = backend.as_cube().unwrap();
+        let cube = fabric.cube();
+        let mut table = RouteTable::build(&backend).unwrap();
+        let nodes = torus.total_nodes();
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                if src == dst {
+                    assert!(table.itinerary(&backend, src, dst).is_err());
+                    continue;
+                }
+                let interned = table.itinerary(&backend, src, dst).unwrap();
+                let fresh = backend.build_path(src, dst).unwrap();
+                assert_eq!(interned.channels, fresh.channels, "k={k},n={n}: {src}->{dst}");
+                assert!((interned.bottleneck - fresh.bottleneck).abs() < 1e-15);
+
+                let hops = cube.route(NodeId::from_index(src), NodeId::from_index(dst)).unwrap();
+                assert_eq!(interned.channels.len(), hops.len() + 2);
+                assert_eq!(interned.channels[0], fabric.injection(src));
+                assert_eq!(*interned.channels.last().unwrap(), fabric.ejection(dst));
+                let mut from = src;
+                for (i, hop) in hops.iter().enumerate() {
+                    let channel = interned.channels[i + 1];
+                    let allowed: Vec<_> = (0..fabric.virtual_channels())
+                        .map(|vc| fabric.link_channel(from, hop, vc))
+                        .collect();
+                    assert!(
+                        allowed.contains(&channel),
+                        "k={k},n={n}: {src}->{dst} hop {i} uses channel {channel}, \
+                         expected one of {allowed:?}"
+                    );
+                    from = hop.node.index();
+                }
+                assert_eq!(from, dst);
+            }
+        }
+        assert_eq!(table.materialized_entries(), nodes * (nodes - 1));
+    }
+}
+
+#[test]
+fn fixed_seed_torus_runs_are_bit_identical() {
+    let torus = TorusSystem::new(4, 2).unwrap();
+    let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
+    let cfg = quick(77);
+
+    let a = run_torus_simulation(&torus, &traffic, &cfg).unwrap();
+    let b = run_torus_simulation(&torus, &traffic, &cfg).unwrap();
+    assert_eq!(a.mean_latency.to_bits(), b.mean_latency.to_bits());
+    assert_eq!(a.latency_std_dev.to_bits(), b.latency_std_dev.to_bits());
+    assert_eq!(a.max_latency.to_bits(), b.max_latency.to_bits());
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.simulated_time.to_bits(), b.simulated_time.to_bits());
+
+    // Replications share the deterministic seed/aggregation contract.
+    let r1 = run_torus_replications(&torus, &traffic, &cfg, 3).unwrap();
+    let r2 = run_torus_replications(&torus, &traffic, &cfg, 3).unwrap();
+    assert_eq!(r1.mean_latency.to_bits(), r2.mean_latency.to_bits());
+    assert_eq!(r1.replications[0].mean_latency.to_bits(), a.mean_latency.to_bits());
+}
+
+#[test]
+fn fixed_seed_torus_golden_values_are_pinned() {
+    // Golden regression tripwire for the torus backend, pinned at its
+    // introduction (the fabric-backend abstraction PR): any future change to
+    // channel numbering, VC selection, event scheduling or route interning
+    // that alters torus results must consciously update these constants.
+    let torus = TorusSystem::new(4, 2).unwrap();
+    let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
+    let r = run_torus_simulation(&torus, &traffic, &quick(77)).unwrap();
+    assert_eq!(r.generated_messages, 2400);
+    assert_eq!(r.measured_messages, 2000);
+    assert_eq!(r.mean_latency.to_bits(), GOLDEN_MEAN_LATENCY_BITS, "mean {}", r.mean_latency);
+    assert_eq!(r.events, GOLDEN_EVENTS);
+}
+
+/// Pinned observables of `run_torus_simulation(TorusSystem::new(4, 2), M=16
+/// Lm=256 λ=1e-3, SimConfig::quick(77))`. Bit-stable across debug and release.
+const GOLDEN_MEAN_LATENCY_BITS: u64 = 0x402329825345CD2A;
+const GOLDEN_EVENTS: u64 = 14803;
+
+#[test]
+fn torus_latency_increases_with_load_and_messages_conserve() {
+    let torus = TorusSystem::new(4, 2).unwrap();
+    let low_t = TrafficConfig::uniform(16, 256.0, 2e-4).unwrap();
+    let high_t = TrafficConfig::uniform(16, 256.0, 3e-3).unwrap();
+    let low = run_torus_simulation(&torus, &low_t, &quick(5)).unwrap();
+    let high = run_torus_simulation(&torus, &high_t, &quick(5)).unwrap();
+    assert!(
+        high.mean_latency > low.mean_latency,
+        "low={} high={}",
+        low.mean_latency,
+        high.mean_latency
+    );
+    for r in [&low, &high] {
+        assert_eq!(r.intra.count + r.inter.count, r.measured_messages);
+        assert_eq!(r.measured_messages, 2000);
+    }
+    // Messages crossing sub-rings travel further on average.
+    assert!(low.inter.mean > low.intra.mean);
+}
+
+#[test]
+fn torus_zero_load_latency_matches_closed_form() {
+    // At a vanishing load there is no contention: a message crossing h links
+    // takes t_cn (injection) + h·t_cs (links) + t_cn (ejection) for the header
+    // plus (M−1)·t_cs drain. The shortest route has h = 1.
+    let torus = TorusSystem::new(4, 2).unwrap();
+    let flits = 4usize;
+    let traffic = TrafficConfig::uniform(flits, 256.0, 1e-7).unwrap();
+    let cfg = SimConfig {
+        warmup_messages: 10,
+        measured_messages: 300,
+        drain_messages: 10,
+        seed: 9,
+        max_events: 10_000_000,
+    };
+    let report = run_torus_simulation(&torus, &traffic, &cfg).unwrap();
+    let (t_cn, t_cs) = (0.276, 0.522);
+    let min_possible = 2.0 * t_cn + 1.0 * t_cs + (flits as f64 - 1.0) * t_cs;
+    // Longest dimension-order route on the 4-ary 2-cube crosses 4 links.
+    let max_possible = 2.0 * t_cn + 4.0 * t_cs + (flits as f64 - 1.0) * t_cs + 1.0;
+    assert!(report.mean_latency >= min_possible - 1e-9, "{}", report.mean_latency);
+    assert!(report.max_latency <= max_possible, "{}", report.max_latency);
+}
+
+#[test]
+fn torus_channels_all_free_after_drain() {
+    let torus = TorusSystem::new(3, 2).unwrap();
+    let traffic = TrafficConfig::uniform(8, 256.0, 2e-3).unwrap();
+    let mut sim = Simulation::new_torus(&torus, &traffic, &quick(3)).unwrap();
+    sim.run().unwrap();
+    assert_eq!(sim.stats().generated(), sim.stats().delivered());
+    assert_eq!(sim.pool().busy_count(sim.now()), 0, "leaked channel occupancy");
+    assert!(sim.backend().as_cube().is_some());
+}
