@@ -1,4 +1,4 @@
-//! Substrate bench: discrete-event simulator throughput (events per second) on
+//! Substrate bench: discrete-event simulator throughput (messages per second) on
 //! the k-ary n-cube (torus) backend — the direct-network counterpart of
 //! `simulator_throughput`, exercising the same engine over `CubeFabric`.
 
@@ -12,9 +12,10 @@ fn bench_torus_simulator(c: &mut Criterion) {
     for (name, k, n, rate) in [("4ary_2cube", 4usize, 2usize, 2e-3), ("8ary_2cube", 8, 2, 1e-3)] {
         let torus = TorusSystem::new(k, n).expect("valid bench torus");
         let t = traffic(32, 256.0, rate);
-        // Calibrate the event count once so Criterion can report events/second.
+        // Calibrate the message count once so Criterion can report messages/second
+        // (the number PERFORMANCE.md tracks across PRs).
         let probe = run_torus_simulation(&torus, &t, &SimConfig::quick(1)).unwrap();
-        group.throughput(Throughput::Elements(probe.events));
+        group.throughput(Throughput::Elements(probe.generated_messages));
         group.bench_with_input(BenchmarkId::new("quick_protocol", name), &torus, |b, torus| {
             b.iter(|| {
                 let report = run_torus_simulation(torus, &t, &SimConfig::quick(1)).unwrap();

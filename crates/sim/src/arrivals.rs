@@ -1,0 +1,154 @@
+//! Batched message generation: the per-node next-arrival queue.
+//!
+//! Every node runs an independent Poisson process, so at any instant the engine
+//! knows each node's *next* arrival time. Scheduling those arrivals through the
+//! future-event list costs a queue round-trip per message (plus a popped no-op
+//! event per node at the end of the generation phase). The [`ArrivalQueue`]
+//! keeps them out of the future-event list entirely: a flat index-heap of
+//! `(time, node)` pairs, one slot per node, where drawing a node's next arrival
+//! is a [`replace_min`](ArrivalQueue::replace_min) — a single in-place
+//! sift-down, no allocation, no push/pop pair. The engine's main loop fires
+//! whichever of (earliest future event, earliest arrival) comes first;
+//! at equal instants the future-event list wins (a fixed, documented
+//! tie-break — see `PERFORMANCE.md`).
+//!
+//! Ordering among arrivals is by `(time, node)`, so runs remain fully
+//! deterministic even if two nodes' exponential draws ever coincide exactly.
+
+/// A min-heap of per-node next-arrival times.
+#[derive(Debug, Clone, Default)]
+pub struct ArrivalQueue {
+    /// Binary min-heap ordered by `(time, node)`.
+    heap: Vec<(f64, u32)>,
+}
+
+impl ArrivalQueue {
+    /// Creates an empty queue with room for `nodes` entries.
+    pub fn with_capacity(nodes: usize) -> Self {
+        ArrivalQueue { heap: Vec::with_capacity(nodes) }
+    }
+
+    /// Number of pending arrivals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no arrival is pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The earliest pending `(time, node)`, if any.
+    #[inline]
+    pub fn peek(&self) -> Option<(f64, u32)> {
+        self.heap.first().copied()
+    }
+
+    /// Adds a node's first arrival (used while priming; `O(log n)` sift-up).
+    pub fn push(&mut self, time: f64, node: u32) {
+        self.heap.push((time, node));
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Replaces the earliest arrival (the one just fired) with the same node's
+    /// next draw — one sift-down, the whole cost of keeping a node's Poisson
+    /// process alive.
+    ///
+    /// # Panics
+    /// Panics if the queue is empty (debug) or used before a fire (the new time
+    /// must not precede the fired one, so the root only ever moves down).
+    pub fn replace_min(&mut self, time: f64) {
+        debug_assert!(!self.heap.is_empty(), "replace_min on an empty arrival queue");
+        debug_assert!(time >= self.heap[0].0, "a node's next arrival precedes its last");
+        self.heap[0].0 = time;
+        self.sift_down(0);
+    }
+
+    /// Removes every pending arrival (the generation phase is over).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn less(a: (f64, u32), b: (f64, u32)) -> bool {
+        a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::less(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let (left, right) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if left < n && Self::less(self.heap[left], self.heap[smallest]) {
+                smallest = left;
+            }
+            if right < n && Self::less(self.heap[right], self.heap[smallest]) {
+                smallest = right;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_fire_in_time_then_node_order() {
+        let mut q = ArrivalQueue::with_capacity(4);
+        q.push(3.0, 0);
+        q.push(1.0, 1);
+        q.push(1.0, 2); // same instant as node 1: node index breaks the tie
+        q.push(2.0, 3);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek(), Some((1.0, 1)));
+        q.replace_min(5.0);
+        assert_eq!(q.peek(), Some((1.0, 2)));
+        q.replace_min(4.0);
+        assert_eq!(q.peek(), Some((2.0, 3)));
+        q.replace_min(6.0);
+        assert_eq!(q.peek(), Some((3.0, 0)));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn replace_min_keeps_the_heap_ordered_over_many_draws() {
+        // A deterministic pseudo-Poisson workload: each fire re-arms the node
+        // with a quasi-random increment; the observed fire times must be
+        // globally non-decreasing.
+        let mut q = ArrivalQueue::with_capacity(8);
+        for node in 0..8u32 {
+            q.push(f64::from(node % 3) + 0.1, node);
+        }
+        let mut last = 0.0f64;
+        for step in 0..1000u64 {
+            let (time, node) = q.peek().unwrap();
+            assert!(time >= last, "step {step}: {time} < {last}");
+            last = time;
+            let increment = 0.05 + ((step * 7 + u64::from(node) * 13) % 11) as f64 * 0.11;
+            q.replace_min(time + increment);
+        }
+        assert_eq!(q.len(), 8);
+    }
+}

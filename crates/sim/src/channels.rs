@@ -6,20 +6,32 @@
 //! one flit buffer per channel — the worm behind simply blocks in place) and the
 //! per-flit transfer time of the channel (`t_cn` for node↔switch channels, `t_cs` for
 //! switch↔switch channels).
+//!
+//! Waiter FIFOs are **allocation-free for the uncontended majority**: instead of
+//! one `VecDeque` per channel (thousands of eager heap allocations, almost all
+//! of which never see a waiter), every channel carries only a `(head, tail)`
+//! pair of indices into one pool-wide [`WaiterArena`] of singly-linked nodes.
+//! A link node is taken from the arena's free list only when a message actually
+//! has to wait, and returns to it at hand-off — so steady-state contention
+//! recycles a handful of nodes and an uncontended run allocates nothing at all.
 
 use crate::event::MessageId;
-use std::collections::VecDeque;
 
 /// Global identifier of a channel across all network instances of the simulation.
 pub type GlobalChannelId = u32;
 
+/// Sentinel for "no link node" in the waiter arena's intrusive lists.
+const NIL: u32 = u32::MAX;
+
 /// State of one unidirectional channel.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 struct ChannelState {
     /// The message currently holding the channel, if any.
     holder: Option<MessageId>,
-    /// Messages waiting to acquire the channel, in arrival order.
-    waiters: VecDeque<MessageId>,
+    /// First waiter link node in the shared [`WaiterArena`], or [`NIL`].
+    waiters_head: u32,
+    /// Last waiter link node, or [`NIL`] (push-back is O(1)).
+    waiters_tail: u32,
     /// Simulation time at which the current holder acquired the channel.
     held_since: f64,
     /// Accumulated busy time of the channel.
@@ -31,12 +43,60 @@ struct ChannelState {
     free_at: f64,
 }
 
+impl Default for ChannelState {
+    fn default() -> Self {
+        ChannelState {
+            holder: None,
+            waiters_head: NIL,
+            waiters_tail: NIL,
+            held_since: 0.0,
+            busy_time: 0.0,
+            free_at: 0.0,
+        }
+    }
+}
+
+/// One singly-linked FIFO node of the shared waiter storage.
+#[derive(Debug, Clone, Copy)]
+struct WaiterNode {
+    message: MessageId,
+    next: u32,
+}
+
+/// Pool-wide storage for every channel's waiter FIFO: a slab of link nodes with
+/// a free list. Grows only under real contention and recycles nodes forever.
+#[derive(Debug, Default)]
+struct WaiterArena {
+    nodes: Vec<WaiterNode>,
+    free: Vec<u32>,
+}
+
+impl WaiterArena {
+    fn alloc(&mut self, message: MessageId) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = WaiterNode { message, next: NIL };
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(WaiterNode { message, next: NIL });
+            idx
+        }
+    }
+
+    fn release(&mut self, idx: u32) -> WaiterNode {
+        self.free.push(idx);
+        self.nodes[idx as usize]
+    }
+}
+
 /// All channels of the simulated system.
 #[derive(Debug)]
 pub struct ChannelPool {
     states: Vec<ChannelState>,
     /// Per-flit transfer time of each channel.
     flit_times: Vec<f64>,
+    /// Shared waiter-FIFO storage (see [`WaiterArena`]).
+    waiters: WaiterArena,
     /// Total number of acquisitions that had to wait (contention events), for
     /// diagnostics.
     contention_events: u64,
@@ -65,6 +125,7 @@ impl ChannelPool {
         ChannelPool {
             states: vec![ChannelState::default(); flit_times.len()],
             flit_times,
+            waiters: WaiterArena::default(),
             contention_events: 0,
             acquisitions: 0,
         }
@@ -100,10 +161,21 @@ impl ChannelPool {
         self.states[ch as usize].holder
     }
 
-    /// Number of messages waiting on a channel.
-    #[inline]
+    /// Number of messages waiting on a channel (diagnostic; walks the FIFO).
     pub fn queue_len(&self, ch: GlobalChannelId) -> usize {
-        self.states[ch as usize].waiters.len()
+        let mut count = 0;
+        let mut idx = self.states[ch as usize].waiters_head;
+        while idx != NIL {
+            count += 1;
+            idx = self.waiters.nodes[idx as usize].next;
+        }
+        count
+    }
+
+    /// Number of waiter link nodes ever allocated (diagnostic: the peak of
+    /// simultaneous waiting across the whole pool, not per channel).
+    pub fn waiter_nodes_allocated(&self) -> usize {
+        self.waiters.nodes.len()
     }
 
     /// Fraction of acquisitions that had to wait, over the whole run.
@@ -113,6 +185,32 @@ impl ChannelPool {
         } else {
             self.contention_events as f64 / self.acquisitions as f64
         }
+    }
+
+    /// Appends a waiter to a channel's FIFO.
+    fn push_waiter(&mut self, ch: GlobalChannelId, message: MessageId) {
+        let node = self.waiters.alloc(message);
+        let state = &mut self.states[ch as usize];
+        if state.waiters_tail == NIL {
+            state.waiters_head = node;
+        } else {
+            self.waiters.nodes[state.waiters_tail as usize].next = node;
+        }
+        state.waiters_tail = node;
+    }
+
+    /// Removes and returns the oldest waiter of a channel, if any.
+    fn pop_waiter(&mut self, ch: GlobalChannelId) -> Option<MessageId> {
+        let state = &mut self.states[ch as usize];
+        if state.waiters_head == NIL {
+            return None;
+        }
+        let node = self.waiters.release(state.waiters_head);
+        state.waiters_head = node.next;
+        if state.waiters_head == NIL {
+            state.waiters_tail = NIL;
+        }
+        Some(node.message)
     }
 
     /// Attempts to acquire a channel for `message` at simulation time `now`: grants it
@@ -126,16 +224,18 @@ impl ChannelPool {
     pub fn acquire(&mut self, ch: GlobalChannelId, message: MessageId, now: f64) -> Acquire {
         self.acquisitions += 1;
         let state = &mut self.states[ch as usize];
-        if state.holder.is_none() && state.waiters.is_empty() && now >= state.free_at {
+        if state.holder.is_none() && state.waiters_head == NIL && now >= state.free_at {
             state.holder = Some(message);
             state.held_since = now;
             Acquire::Granted
         } else {
             debug_assert_ne!(state.holder, Some(message), "message acquiring a channel twice");
             self.contention_events += 1;
-            state.waiters.push_back(message);
-            if state.holder.is_none() && state.waiters.len() == 1 {
-                Acquire::QueuedUntil(state.free_at)
+            let first = state.holder.is_none() && state.waiters_head == NIL;
+            let free_at = state.free_at;
+            self.push_waiter(ch, message);
+            if first {
+                Acquire::QueuedUntil(free_at)
             } else {
                 Acquire::Queued
             }
@@ -165,7 +265,7 @@ impl ChannelPool {
         state.busy_time += at - state.held_since;
         state.holder = None;
         state.free_at = at;
-        if state.waiters.is_empty() {
+        if state.waiters_head == NIL {
             None
         } else {
             Some(at)
@@ -176,10 +276,13 @@ impl ChannelPool {
     /// (the firing of a scheduled wakeup). Returns the new holder so the engine
     /// can resume it, or `None` if no waiter is left.
     pub fn handoff(&mut self, ch: GlobalChannelId, now: f64) -> Option<MessageId> {
+        debug_assert!(self.states[ch as usize].holder.is_none(), "hand-off on a held channel");
+        debug_assert!(
+            now >= self.states[ch as usize].free_at,
+            "hand-off before the channel is free"
+        );
+        let next = self.pop_waiter(ch)?;
         let state = &mut self.states[ch as usize];
-        debug_assert!(state.holder.is_none(), "hand-off on a held channel");
-        debug_assert!(now >= state.free_at, "hand-off before the channel is free");
-        let next = state.waiters.pop_front()?;
         state.holder = Some(next);
         state.held_since = now;
         Some(next)
@@ -262,6 +365,8 @@ mod tests {
         assert_eq!(p.flit_time(1), 0.5);
         // After the free time has passed, the channel grants directly again.
         assert_eq!(p.acquire(0, 8, 1.0), Acquire::Granted);
+        // An entirely uncontended history allocates no waiter storage at all.
+        assert_eq!(p.waiter_nodes_allocated(), 0);
     }
 
     #[test]
@@ -296,6 +401,30 @@ mod tests {
         assert_eq!(p.handoff(0, 2.0), Some(3));
         assert_eq!(p.mark_released(0, 3, 3.0), None);
         assert!(p.contention_ratio() > 0.0);
+    }
+
+    #[test]
+    fn waiter_nodes_are_recycled_across_channels() {
+        let mut p = pool(2);
+        // Contend on channel 0: two link nodes get allocated.
+        p.acquire(0, 1, 0.0);
+        p.acquire(0, 2, 0.1);
+        p.acquire(0, 3, 0.2);
+        assert_eq!(p.waiter_nodes_allocated(), 2);
+        p.mark_released(0, 1, 1.0);
+        p.handoff(0, 1.0);
+        p.mark_released(0, 2, 2.0);
+        p.handoff(0, 2.0);
+        assert_eq!(p.queue_len(0), 0);
+        // Later contention on a *different* channel reuses the freed nodes.
+        p.acquire(1, 4, 3.0);
+        p.acquire(1, 5, 3.1);
+        p.acquire(1, 6, 3.2);
+        assert_eq!(p.queue_len(1), 2);
+        assert_eq!(p.waiter_nodes_allocated(), 2, "freed link nodes must be reused");
+        assert_eq!(p.mark_released(1, 4, 4.0), Some(4.0));
+        assert_eq!(p.handoff(1, 4.0), Some(5));
+        assert_eq!(p.queue_len(1), 1, "message 6 still waits behind the new holder");
     }
 
     #[test]

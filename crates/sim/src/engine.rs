@@ -15,14 +15,24 @@
 //!    *lazily* by timestamp (no event); only contended channels cost a hand-off
 //!    event, which grants the channel to the oldest waiter at exactly its free time.
 //!
+//! Message generation never enters the future-event list: per-node Poisson
+//! arrivals live in a dedicated [`ArrivalQueue`] (re-arming a node is one
+//! in-place sift-down), and the main loop fires whichever of (earliest event,
+//! earliest arrival) comes first — the future-event list wins exact ties.
+//! Delivered messages are retired immediately: their latency folds into the
+//! statistics at the `TailArrived` event and their [`MessageSlab`] slot is
+//! recycled, so engine memory tracks the in-flight population, not the run
+//! length.
+//!
 //! Because routes in the fat-tree (and across the ECN1 → bridge → ICN2 → bridge → ECN1
 //! chain) acquire resources in a globally consistent up-then-down order, the channel
 //! wait-for graph is acyclic and the simulation cannot deadlock.
 
+use crate::arrivals::ArrivalQueue;
 use crate::backend::FabricBackend;
 use crate::channels::{Acquire, ChannelPool, GlobalChannelId};
 use crate::event::{EventKind, EventQueue, MessageId};
-use crate::message::MessageState;
+use crate::message::{MessageSlab, MessageState};
 use crate::routes::RouteTable;
 use crate::runner::SimConfig;
 use crate::stats::SimStats;
@@ -39,7 +49,9 @@ pub struct Simulation {
     routes: RouteTable,
     pool: ChannelPool,
     queue: EventQueue,
-    messages: Vec<MessageState>,
+    arrivals: ArrivalQueue,
+    arrivals_processed: u64,
+    messages: MessageSlab,
     traffic: TrafficSource,
     stats: SimStats,
     rng: SmallRng,
@@ -85,20 +97,27 @@ impl Simulation {
         let expected_scale = traffic_cfg.message_flits as f64 * backend.drain_scale();
         let stats = SimStats::new(config.warmup_messages, config.measured_messages, expected_scale);
         let generation_target = stats.generation_target(config.drain_messages);
-        // Tight bound on simultaneously pending events: one Generate per node;
-        // one HeaderAdvance per crossing message (its source's injection
-        // channel is held, so at most one per node); one TailArrived per
-        // draining message (its destination's ejection channel is held until
-        // the tail, so at most one per node); FIFO waiters carry no event; and
-        // at most one ChannelFree per channel.
-        let event_capacity = 3 * backend.total_nodes() + backend.num_channels();
+        // Pending events stay bounded by 2·nodes + channels (one HeaderAdvance
+        // per crossing message — its source's injection channel is held; one
+        // TailArrived per draining message — its destination's ejection channel
+        // is held; at most one ChannelFree per channel; waiters and arrivals
+        // carry no event). The calendar queue sizes itself to that load during
+        // ramp-up, recalibrating its bucket width as it grows — pre-sizing it
+        // would only be torn down again (see EventQueue::new docs).
         let nodes = backend.total_nodes();
         let mut sim = Simulation {
             backend,
             routes,
             pool,
-            queue: EventQueue::with_capacity(event_capacity),
-            messages: Vec::with_capacity(generation_target as usize),
+            queue: EventQueue::new(),
+            arrivals: ArrivalQueue::with_capacity(nodes),
+            arrivals_processed: 0,
+            // The slab grows to the peak in-flight population: messages in
+            // the network plus the source-queue backlog still waiting for
+            // their injection channel. At sub-saturation loads that peak sits
+            // near the node count; near saturation it grows with the backlog
+            // (generation is open-loop). The hint covers the common case.
+            messages: MessageSlab::with_capacity(nodes),
             traffic,
             stats,
             rng: SmallRng::seed_from_u64(config.seed),
@@ -106,10 +125,11 @@ impl Simulation {
             generation_target,
             max_events: config.max_events,
         };
-        // Prime every node's Poisson process.
+        // Prime every node's Poisson process (same RNG draw order as the
+        // per-node Generate events the seed engine scheduled).
         for node in 0..nodes {
             let dt = sim.traffic.sample_interarrival(&mut sim.rng);
-            sim.queue.schedule_in(dt, EventKind::Generate { node: node as u32 });
+            sim.arrivals.push(dt, node as u32);
         }
         Ok(sim)
     }
@@ -134,9 +154,16 @@ impl Simulation {
         &self.routes
     }
 
-    /// Number of events processed so far.
+    /// Number of events processed so far: future-event-list events plus fired
+    /// arrivals (so the count stays comparable with the event-per-message
+    /// accounting of earlier engines, which scheduled arrivals as events).
     pub fn events_processed(&self) -> u64 {
-        self.queue.processed()
+        self.queue.processed() + self.arrivals_processed
+    }
+
+    /// Peak number of simultaneously in-flight messages over the run so far.
+    pub fn peak_in_flight(&self) -> usize {
+        self.messages.peak()
     }
 
     /// The fabric backend the simulation runs over.
@@ -163,18 +190,43 @@ impl Simulation {
 
     /// Runs the simulation until every generated message has been delivered.
     pub fn run(&mut self) -> Result<()> {
-        while let Some(event) = self.queue.pop() {
-            if self.queue.processed() > self.max_events {
+        loop {
+            // Fire whichever comes first: the earliest future event or the
+            // earliest batched arrival. Exact ties go to the event list (a
+            // fixed contract; see PERFORMANCE.md).
+            let event_time = self.queue.peek_time();
+            let arrival = self.arrivals.peek();
+            let fire_arrival = match (event_time, arrival) {
+                (Some(e), Some((a, _))) => a < e,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => break,
+            };
+            if fire_arrival {
+                let (time, node) = arrival.expect("checked above");
+                self.queue.advance_to(time);
+                self.arrivals_processed += 1;
+                self.handle_generate(node as usize);
+            } else {
+                let event = self.queue.pop().expect("checked above");
+                match event.kind {
+                    // Generation is batched through the arrival queue; the
+                    // engine never schedules Generate events, and handling one
+                    // here would re-arm the *arrival-queue minimum* (an
+                    // arbitrary node) instead of this event's node.
+                    EventKind::Generate { .. } => {
+                        unreachable!("Generate events are batched in the ArrivalQueue")
+                    }
+                    EventKind::HeaderAdvance { message } => self.handle_header_advance(message),
+                    EventKind::ChannelFree { channel } => self.handle_channel_free(channel),
+                    EventKind::TailArrived { message } => self.handle_tail_arrived(message),
+                }
+            }
+            if self.events_processed() > self.max_events {
                 return Err(SimError::EventBudgetExhausted {
-                    events: self.queue.processed(),
+                    events: self.events_processed(),
                     delivered: self.stats.delivered(),
                 });
-            }
-            match event.kind {
-                EventKind::Generate { node } => self.handle_generate(node as usize),
-                EventKind::HeaderAdvance { message } => self.handle_header_advance(message),
-                EventKind::ChannelFree { channel } => self.handle_channel_free(channel),
-                EventKind::TailArrived { message } => self.handle_tail_arrived(message),
             }
             if self.stats.generated() >= self.generation_target
                 && self.stats.delivered() >= self.generation_target
@@ -189,7 +241,8 @@ impl Simulation {
 
     fn handle_generate(&mut self, node: usize) {
         if self.stats.generated() >= self.generation_target {
-            return; // generation phase is over; let the network drain
+            self.arrivals.clear(); // generation phase is over; let the network drain
+            return;
         }
         // Sample the message. The route is a pure table lookup: the itinerary
         // was interned into the route-table arena ahead of time (or, for a
@@ -198,17 +251,19 @@ impl Simulation {
         // happens here.
         let dst = self.traffic.sample_destination(&mut self.rng, node);
         let entry = self.routes.entry(&self.backend, node, dst);
-        let (index, measured) = self.stats.register_generation();
-        let id = index as MessageId;
-        let message = MessageState::new(id, entry, self.queue.now(), measured);
-        debug_assert_eq!(self.messages.len(), id as usize);
-        self.messages.push(message);
+        let (_, measured) = self.stats.register_generation();
+        let message = MessageState::new(entry, self.queue.now(), measured);
+        let id = self.messages.insert(message);
         self.request_next_channel(id);
 
-        // Keep this node's Poisson process alive while the generation phase lasts.
+        // Keep this node's Poisson process alive while the generation phase
+        // lasts: one in-place re-arm of the arrival heap, no event round-trip.
         if self.stats.generated() < self.generation_target {
             let dt = self.traffic.sample_interarrival(&mut self.rng);
-            self.queue.schedule_in(dt, EventKind::Generate { node: node as u32 });
+            let next = self.queue.now() + dt;
+            self.arrivals.replace_min(next);
+        } else {
+            self.arrivals.clear();
         }
     }
 
@@ -216,7 +271,7 @@ impl Simulation {
     /// busy the message is left waiting in that channel's FIFO (scheduling the
     /// wakeup itself when it is the first to wait on a lazily freed channel).
     fn request_next_channel(&mut self, id: MessageId) {
-        let msg = &self.messages[id as usize];
+        let msg = &self.messages[id];
         let channel = msg
             .next_channel(self.routes.channels(msg.route))
             .expect("request_next_channel called on a finished path");
@@ -231,7 +286,7 @@ impl Simulation {
 
     /// A channel has been granted to the message: the header starts crossing it.
     fn channel_granted(&mut self, id: MessageId, channel: GlobalChannelId) {
-        let msg = &mut self.messages[id as usize];
+        let msg = &mut self.messages[id];
         let expected = msg.advance(self.routes.channels(msg.route));
         debug_assert_eq!(expected, channel, "granted channel differs from the path order");
         let cross_time = self.pool.flit_time(channel);
@@ -239,7 +294,7 @@ impl Simulation {
     }
 
     fn handle_header_advance(&mut self, id: MessageId) {
-        if self.messages[id as usize].header_delivered() {
+        if self.messages[id].header_delivered() {
             // The header reached the destination. The remaining M-1 flits drain behind
             // it at the bottleneck channel rate: channel k of an L-channel path sees
             // the tail pass max(0, M - L + k) flit-times after header delivery, and the
@@ -248,7 +303,7 @@ impl Simulation {
             // only channels with actual waiters cost a future hand-off event — the
             // rest free themselves by timestamp.
             let (route, bottleneck) = {
-                let msg = &self.messages[id as usize];
+                let msg = &self.messages[id];
                 (msg.route, msg.bottleneck_time)
             };
             let path = self.routes.channels(route);
@@ -277,12 +332,10 @@ impl Simulation {
 
     fn handle_tail_arrived(&mut self, id: MessageId) {
         let now = self.queue.now();
-        let msg = &mut self.messages[id as usize];
-        msg.delivered_time = Some(now);
-        let latency = msg.latency().expect("just delivered");
-        let class = msg.class;
-        let measured = msg.measured;
-        self.stats.record_delivery(latency, class, measured);
+        // The message's work is done: fold its latency into the statistics and
+        // recycle its slot. No per-message state outlives delivery.
+        let msg = self.messages.remove(id);
+        self.stats.record_delivery(msg.latency_at(now), msg.class(), msg.measured);
     }
 }
 
@@ -313,6 +366,15 @@ mod tests {
         assert!(sim.stats().mean_latency() > 0.0);
         // All channels are free again after the drain.
         assert_eq!(sim.pool().busy_count(sim.now()), 0);
+        // The slab recycled slots: at this sub-saturation load the peak
+        // in-flight population (in-network plus source-queue backlog) is far
+        // below the total message count. No hard node-count bound exists —
+        // generation is open-loop, so the backlog grows near saturation.
+        assert!(
+            sim.peak_in_flight() < 500 / 4,
+            "peak in-flight {} suggests slots are not recycled",
+            sim.peak_in_flight()
+        );
     }
 
     #[test]

@@ -3,21 +3,60 @@
 //! Events are ordered by time; ties are broken by a monotonically increasing sequence
 //! number so that runs are fully deterministic for a given seed regardless of floating
 //! point coincidences.
+//!
+//! The future-event list is a **calendar queue** (Brown's O(1) priority queue,
+//! the standard structure for network simulators): a circular array of time
+//! buckets of width `w`, where an event at time `t` lives in bucket
+//! `⌊t/w⌋ mod nbuckets`. The engine's event times are sums of a handful of
+//! fixed flit times, so they cluster densely in a narrow moving window — the
+//! worst case for a binary heap's `log n` sift, the best case for time
+//! buckets: enqueue is a push onto the target bucket, dequeue scans the
+//! current bucket (kept near one event on average by the resize policy).
+//! Buckets are deliberately **unsorted** (lazy intra-bucket ordering): the
+//! dequeue min-scan of a ~1-event bucket is cheaper than keeping every insert
+//! ordered.
+//!
+//! ## Determinism contract
+//!
+//! [`EventQueue::pop`] always returns the pending event with the smallest
+//! `(time, seq)` pair — *exactly* the order a `BinaryHeap` with the [`Event`]
+//! ordering would produce. Bucket layout, bucket width and resize timing can
+//! never change which event is the minimum (sequence numbers are unique), so
+//! the calendar queue is pop-order-identical to the reference heap. This is
+//! enforced by a property test driving both structures through randomized
+//! schedules (`tests/event_queue_props.rs`).
+//!
+//! ## Recalibration
+//!
+//! The queue resizes itself from observed event density: it doubles the bucket
+//! count when occupancy exceeds two events per bucket, halves it when
+//! occupancy falls below one half, and recalibrates the bucket width on every
+//! rebuild from the mean gap of a sorted sample of pending event times. A
+//! dequeue that had to fall back to a full scan (event times far sparser than
+//! the current width) also triggers a recalibrating rebuild, so a queue whose
+//! density drifts without crossing a size threshold still adapts.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Identifier of a message inside one simulation run.
+///
+/// Since the message-lifecycle compaction this is a *slot* index into the
+/// engine's in-flight message slab (slots are recycled once a message is
+/// delivered), not a generation index.
 pub type MessageId = u32;
 
 /// The things that can happen in the simulation.
 ///
 /// Every variant carries a single `u32` payload, so the whole event (time +
 /// sequence number + kind) packs into 24 bytes — three words per future-event
-/// heap slot. Channel releases with nobody waiting do not appear here at all:
-/// they are recorded lazily as a per-channel `free_at` timestamp, and a
+/// slot. Channel releases with nobody waiting do not appear here at all: they
+/// are recorded lazily as a per-channel `free_at` timestamp, and a
 /// [`ChannelFree`](EventKind::ChannelFree) wakeup is only scheduled when a
-/// message actually waits for the channel.
+/// message actually waits for the channel. Message generation does not appear
+/// here either: per-node Poisson arrivals live in the engine's dedicated
+/// [`crate::arrivals::ArrivalQueue`] and never round-trip the future-event
+/// list (the [`Generate`](EventKind::Generate) variant remains for tests and
+/// external schedulers).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A node generates its next message.
@@ -72,31 +111,79 @@ impl PartialOrd for Event {
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse the comparison so the earliest event pops
-        // first, with the sequence number as a deterministic tie-breaker.
+        // `BinaryHeap<Event>` is a max-heap; reverse the comparison so the earliest
+        // event pops first, with the sequence number as a deterministic tie-breaker.
+        // The calendar queue below reproduces exactly this order; the impl is kept
+        // so a reference heap can be built against it in equivalence tests.
         other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
+/// Cached position of the pending minimum, valid until the next pop or rebuild.
+#[derive(Debug, Clone, Copy)]
+struct MinPos {
+    bucket: u32,
+    slot: u32,
+    time: f64,
+    seq: u64,
+}
+
+/// Smallest number of buckets the calendar ever shrinks to.
+const MIN_BUCKETS: usize = 16;
+/// Largest number of buckets the calendar ever grows to (a full year scan must
+/// stay affordable; 1 << 20 buckets ≈ 16 MiB of empty `Vec` headers).
+const MAX_BUCKETS: usize = 1 << 20;
+/// How many pending events are sampled when recalibrating the bucket width.
+const WIDTH_SAMPLE: usize = 64;
+/// Width multiplier over the mean adjacent-event gap (Brown's rule of thumb).
+const WIDTH_FACTOR: f64 = 3.0;
+
 /// The future-event list plus the simulation clock.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    /// Circular array of unsorted time buckets; length is a power of two.
+    buckets: Vec<Vec<Event>>,
+    /// Bucket time width.
+    width: f64,
+    /// Number of pending events.
+    len: usize,
+    /// Cached position of the pending minimum (see [`MinPos`]).
+    cached_min: Option<MinPos>,
+    /// Set when a dequeue scan overflowed a full year: the width is stale and
+    /// the next pop rebuilds with a recalibrated width.
+    recalibrate: bool,
     now: f64,
     next_seq: u64,
     processed: u64,
 }
 
-impl EventQueue {
-    /// Creates an empty queue at time 0.
-    pub fn new() -> Self {
-        Self::default()
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
     }
+}
 
-    /// Creates an empty queue with heap capacity pre-reserved for `capacity`
-    /// pending events, so the steady-state future-event list never reallocates.
-    pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(capacity), ..Self::default() }
+impl EventQueue {
+    /// Creates an empty queue at time 0, at the minimum calendar size.
+    ///
+    /// There is deliberately no capacity-hint constructor: a pre-sized
+    /// calendar starts almost empty (below the shrink threshold), so the
+    /// first pops would tear it straight back down through a chain of
+    /// rebuilds — and the bucket *width* can only be calibrated from observed
+    /// event times anyway. Growing from the minimum costs `log₂(steady-state
+    /// len)` cheap rebuilds during ramp-up, each of which also recalibrates
+    /// the width from real gaps.
+    pub fn new() -> Self {
+        EventQueue {
+            buckets: vec![Vec::new(); MIN_BUCKETS],
+            width: 1.0,
+            len: 0,
+            cached_min: None,
+            recalibrate: false,
+            now: 0.0,
+            next_seq: 0,
+            processed: 0,
+        }
     }
 
     /// Current simulation time.
@@ -114,7 +201,31 @@ impl EventQueue {
     /// Number of events still pending.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.len
+    }
+
+    /// Number of buckets currently in the calendar (diagnostics / tests).
+    #[inline]
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Current bucket width (diagnostics / tests).
+    #[inline]
+    pub fn bucket_width(&self) -> f64 {
+        self.width
+    }
+
+    /// Advances the clock to `time` without popping an event — used by the
+    /// engine when an externally-queued occurrence (a batched arrival) fires
+    /// before every pending event.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `time` lies in the past.
+    #[inline]
+    pub fn advance_to(&mut self, time: f64) {
+        debug_assert!(time >= self.now && time.is_finite(), "clock moved backwards to {time}");
+        self.now = time;
     }
 
     /// Schedules `kind` to fire `delay` time units from now.
@@ -140,16 +251,187 @@ impl EventQueue {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        let bucket = self.bucket_of(time);
+        self.buckets[bucket].push(Event { time, seq, kind });
+        self.len += 1;
+        // Keep the cached minimum valid: a push never moves existing events, so
+        // the cache only changes if the new event beats it.
+        if let Some(min) = self.cached_min {
+            if time < min.time || (time == min.time && seq < min.seq) {
+                self.cached_min = Some(MinPos {
+                    bucket: bucket as u32,
+                    slot: (self.buckets[bucket].len() - 1) as u32,
+                    time,
+                    seq,
+                });
+            }
+        }
+        if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild(self.buckets.len() * 2);
+        }
+    }
+
+    /// Firing time of the next event without popping it, or `None` when empty.
+    /// (`&mut` because the scan that locates the minimum is memoized for the
+    /// following [`pop`](Self::pop).)
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        self.ensure_min();
+        Some(self.cached_min.expect("ensure_min fills the cache").time)
     }
 
     /// Pops the next event, advancing the clock to its firing time.
     pub fn pop(&mut self) -> Option<Event> {
-        let ev = self.heap.pop()?;
+        if self.len == 0 {
+            return None;
+        }
+        self.ensure_min();
+        let min = self.cached_min.take().expect("ensure_min fills the cache");
+        let ev = self.buckets[min.bucket as usize].swap_remove(min.slot as usize);
+        debug_assert!(ev.time == min.time && ev.seq == min.seq);
+        self.len -= 1;
         debug_assert!(ev.time >= self.now);
         self.now = ev.time;
         self.processed += 1;
+        if self.recalibrate {
+            // A scan overflowed the year: the width no longer matches the event
+            // density. Rebuild at the current size with a fresh width.
+            self.recalibrate = false;
+            self.rebuild(self.buckets.len());
+        } else if self.len < self.buckets.len() / 2 && self.buckets.len() > MIN_BUCKETS {
+            self.rebuild(self.buckets.len() / 2);
+        }
         Some(ev)
+    }
+
+    /// The absolute day (bucket-grid index) of a time instant.
+    #[inline]
+    fn day_of(&self, time: f64) -> u64 {
+        (time / self.width) as u64
+    }
+
+    /// The circular bucket a time instant maps to.
+    #[inline]
+    fn bucket_of(&self, time: f64) -> usize {
+        (self.day_of(time) & (self.buckets.len() as u64 - 1)) as usize
+    }
+
+    /// Locates the pending minimum `(time, seq)` and memoizes its position.
+    ///
+    /// Standard calendar scan: walk days starting at the day of `now`; the
+    /// first bucket holding an event *of that day* contains the global minimum
+    /// (`day_of` is monotone in time, so every earlier day was empty, and a
+    /// same-time tie always lands on the same day, where the min-scan breaks
+    /// it by `seq`). Day membership is tested with the *same* `day_of`
+    /// expression insertion used — never with a recomputed bucket edge
+    /// (`(day+1)·width` can round to the opposite side of the division at a
+    /// boundary-exact time, which would skip the event and pop out of order).
+    /// If a whole year passes without a hit the events are far sparser than
+    /// the width: fall back to a direct scan of everything and flag the width
+    /// for recalibration.
+    fn ensure_min(&mut self) {
+        if self.cached_min.is_some() {
+            return;
+        }
+        debug_assert!(self.len > 0);
+        let mask = self.buckets.len() as u64 - 1;
+        let start = self.day_of(self.now);
+        for day in start..start + self.buckets.len() as u64 {
+            let bucket = (day & mask) as usize;
+            if let Some(min) = self.bucket_min(bucket, Some(day)) {
+                self.cached_min = Some(min);
+                return;
+            }
+        }
+        // Sparse fallback: direct search over all buckets for the global min.
+        self.recalibrate = self.len >= 4;
+        let global = (0..self.buckets.len())
+            .filter_map(|b| self.bucket_min(b, None))
+            .min_by(|a, b| a.time.total_cmp(&b.time).then_with(|| a.seq.cmp(&b.seq)));
+        self.cached_min = global;
+        debug_assert!(self.cached_min.is_some(), "non-empty queue always has a minimum");
+    }
+
+    /// Minimum `(time, seq)` event of one bucket, restricted to events whose
+    /// [`day_of`](Self::day_of) equals `day` when given.
+    fn bucket_min(&self, bucket: usize, day: Option<u64>) -> Option<MinPos> {
+        let mut best: Option<MinPos> = None;
+        for (slot, e) in self.buckets[bucket].iter().enumerate() {
+            if day.is_some_and(|d| self.day_of(e.time) != d) {
+                continue; // an event of another year sharing this bucket
+            }
+            let better = match best {
+                None => true,
+                Some(m) => e.time < m.time || (e.time == m.time && e.seq < m.seq),
+            };
+            if better {
+                best = Some(MinPos {
+                    bucket: bucket as u32,
+                    slot: slot as u32,
+                    time: e.time,
+                    seq: e.seq,
+                });
+            }
+        }
+        best
+    }
+
+    /// Rebuilds the calendar with `new_buckets` buckets and a width
+    /// recalibrated from the observed event density.
+    fn rebuild(&mut self, new_buckets: usize) {
+        let new_buckets = new_buckets.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let events: Vec<Event> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        debug_assert_eq!(events.len(), self.len);
+        self.width = self.calibrated_width(&events);
+        if self.buckets.len() != new_buckets {
+            self.buckets = vec![Vec::new(); new_buckets];
+        }
+        self.cached_min = None;
+        for ev in events {
+            let bucket = self.bucket_of(ev.time);
+            self.buckets[bucket].push(ev);
+        }
+    }
+
+    /// Pins the bucket width (tests only): lets boundary-exact event times be
+    /// constructed against a known width, which normal calibration would
+    /// perturb.
+    #[cfg(test)]
+    fn set_width_for_test(&mut self, width: f64) {
+        assert_eq!(self.len, 0, "set the width before scheduling");
+        self.width = width;
+    }
+
+    /// A bucket width matched to the pending events: [`WIDTH_FACTOR`] times the
+    /// mean positive gap between adjacent event times in a sorted sample. Falls
+    /// back to the current width when there are too few events (or only ties)
+    /// to estimate a gap.
+    fn calibrated_width(&self, events: &[Event]) -> f64 {
+        if events.len() < 2 {
+            return self.width;
+        }
+        let mut sample: Vec<f64> = events.iter().take(WIDTH_SAMPLE).map(|e| e.time).collect();
+        sample.sort_by(f64::total_cmp);
+        let (mut sum, mut gaps) = (0.0f64, 0usize);
+        for pair in sample.windows(2) {
+            let gap = pair[1] - pair[0];
+            if gap > 0.0 {
+                sum += gap;
+                gaps += 1;
+            }
+        }
+        if gaps == 0 {
+            return self.width;
+        }
+        let width = WIDTH_FACTOR * sum / gaps as f64;
+        if width.is_finite() && width > f64::MIN_POSITIVE {
+            width
+        } else {
+            self.width
+        }
     }
 }
 
@@ -207,6 +489,36 @@ mod tests {
     }
 
     #[test]
+    fn peek_matches_pop_and_is_stable() {
+        let mut q = EventQueue::new();
+        q.schedule_in(4.0, EventKind::Generate { node: 4 });
+        q.schedule_in(2.0, EventKind::Generate { node: 2 });
+        assert_eq!(q.peek_time(), Some(2.0));
+        assert_eq!(q.peek_time(), Some(2.0), "peek must not consume");
+        // An insert below the cached minimum takes over the peek.
+        q.schedule_in(1.0, EventKind::Generate { node: 1 });
+        assert_eq!(q.peek_time(), Some(1.0));
+        assert_eq!(q.pop().unwrap().time, 1.0);
+        assert_eq!(q.peek_time(), Some(2.0));
+        q.pop();
+        q.pop();
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn advance_to_moves_the_clock_between_events() {
+        let mut q = EventQueue::new();
+        q.schedule_in(5.0, EventKind::Generate { node: 0 });
+        q.advance_to(3.0);
+        assert_eq!(q.now(), 3.0);
+        // Scheduling is relative to the advanced clock.
+        q.schedule_in(1.0, EventKind::Generate { node: 1 });
+        let first = q.pop().unwrap();
+        assert_eq!(first.time, 4.0);
+        assert_eq!(q.pop().unwrap().time, 5.0);
+    }
+
+    #[test]
     #[cfg(debug_assertions)]
     #[should_panic(expected = "invalid event delay")]
     fn negative_delay_panics() {
@@ -225,9 +537,107 @@ mod tests {
     }
 
     #[test]
-    fn with_capacity_reserves_heap_space() {
-        let q = EventQueue::with_capacity(1024);
+    fn new_queue_starts_minimal_and_adapts() {
+        // The calendar must start at its minimum size: a pre-sized,
+        // almost-empty calendar would immediately shrink itself back down
+        // through a chain of rebuilds (see the constructor docs).
+        let q = EventQueue::new();
         assert_eq!(q.pending(), 0);
         assert_eq!(q.now(), 0.0);
+        assert_eq!(q.num_buckets(), MIN_BUCKETS);
+    }
+
+    #[test]
+    fn calendar_grows_and_shrinks_with_occupancy() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.num_buckets(), MIN_BUCKETS);
+        // Push far past 2 events/bucket: the calendar must grow.
+        for i in 0..400u32 {
+            q.schedule_at(i as f64 * 0.5, EventKind::Generate { node: i });
+        }
+        assert!(q.num_buckets() >= 128, "grew to {}", q.num_buckets());
+        assert!(q.bucket_width() > 0.0);
+        // Drain most of it: the calendar must shrink back down.
+        let mut last = -1.0f64;
+        for _ in 0..390 {
+            let e = q.pop().unwrap();
+            assert!(e.time >= last);
+            last = e.time;
+        }
+        assert!(q.num_buckets() < 128, "shrank to {}", q.num_buckets());
+        assert_eq!(q.pending(), 10);
+        assert_eq!(q.processed(), 390);
+    }
+
+    #[test]
+    fn sparse_schedules_trigger_recalibration_and_stay_ordered() {
+        // Event times spread over many orders of magnitude force year-overflow
+        // scans; pops must stay correctly ordered and the width must adapt.
+        let mut q = EventQueue::new();
+        for i in 0..40u32 {
+            q.schedule_at(f64::from(i) * 1e4, EventKind::Generate { node: i });
+            q.schedule_at(f64::from(i) * 1e4 + 1e-3, EventKind::Generate { node: 1000 + i });
+        }
+        let mut last = -1.0f64;
+        let mut count = 0;
+        while let Some(e) = q.pop() {
+            assert!(e.time >= last, "out of order at {count}: {} < {last}", e.time);
+            last = e.time;
+            count += 1;
+        }
+        assert_eq!(count, 80);
+    }
+
+    #[test]
+    fn boundary_exact_event_times_pop_in_order() {
+        // Regression: day membership must use the same `time / width`
+        // truncation as insertion. With this width, A = fl(868·width) exactly,
+        // yet trunc(A/width) = 867 — a recomputed bucket edge
+        // `top = (day+1)·width` would classify A as "next day" while it sits
+        // in day 867's bucket, skip it during the scan of day 867, and pop the
+        // later event B first (clock moving backwards).
+        let width = 1.3522987986828883f64;
+        let a = 1173.795357256747f64; // == fl(868 * width), trunc(a/width) == 867
+        assert_eq!((a / width) as u64, 867);
+        assert_eq!(868.0 * width, a);
+        let mut q = EventQueue::new();
+        q.set_width_for_test(width);
+        let t0 = 860.0 * width; // brings `now` within one year of day 867
+        q.schedule_at(t0, EventKind::Generate { node: 0 });
+        q.schedule_at(a, EventKind::Generate { node: 1 });
+        q.schedule_at(a + 0.5, EventKind::Generate { node: 2 }); // day 868
+        assert_eq!(q.pop().unwrap().time, t0);
+        let second = q.pop().unwrap();
+        assert_eq!(second.time, a, "boundary-exact event popped out of order");
+        assert_eq!(second.seq, 1);
+        assert_eq!(q.pop().unwrap().time, a + 0.5);
+    }
+
+    #[test]
+    fn processed_and_pending_stay_consistent_across_resizes() {
+        let mut q = EventQueue::new();
+        let mut scheduled = 0u64;
+        let mut popped = 0u64;
+        // Interleave bursts of pushes with partial drains so the calendar
+        // crosses grow and shrink thresholds repeatedly.
+        for round in 0..6 {
+            for i in 0..100u32 {
+                q.schedule_in(0.01 + f64::from(i % 17) * 0.3, EventKind::Generate { node: i });
+                scheduled += 1;
+            }
+            for _ in 0..(40 + round * 10) {
+                if q.pop().is_some() {
+                    popped += 1;
+                }
+            }
+            assert_eq!(q.pending() as u64, scheduled - popped);
+            assert_eq!(q.processed(), popped);
+        }
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, scheduled);
+        assert_eq!(q.processed(), scheduled);
+        assert_eq!(q.pending(), 0);
     }
 }

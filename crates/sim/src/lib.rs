@@ -74,6 +74,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arrivals;
 pub mod backend;
 pub mod channels;
 pub mod concentrator;

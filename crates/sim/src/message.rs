@@ -1,4 +1,4 @@
-//! In-flight message records.
+//! In-flight message records and their slot-reusing store.
 //!
 //! Each message references its precomputed channel itinerary as an interned
 //! [`RouteRef`] into the simulation's [`crate::routes::RouteTable`] arena (the
@@ -7,6 +7,16 @@
 //! itinerary and the timestamps needed for latency accounting. Holding an
 //! `(offset, len)` arena slice instead of an owned `Vec` keeps message
 //! generation allocation-free.
+//!
+//! The record is deliberately small (compile-time-checked at ≤ 40 bytes): the
+//! cluster indices are 16-bit, the traffic class is derived from them instead
+//! of stored, the measurement flag is one byte, and there is no delivery
+//! timestamp at all — a delivered message's latency is computed and folded into
+//! the statistics at its `TailArrived` event, after which the record is retired
+//! and its [`MessageSlab`] slot recycled. The engine therefore keeps memory
+//! proportional to the *peak in-flight* message count — messages in the
+//! network plus the source-queue backlog, which sits near the node count at
+//! sub-saturation loads — not the run's total message count.
 
 use crate::channels::GlobalChannelId;
 use crate::event::MessageId;
@@ -24,51 +34,56 @@ pub enum MessageClass {
 }
 
 /// The state of one message during a simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct MessageState {
-    /// Dense message identifier (its generation index).
-    pub id: MessageId,
-    /// Cluster of the source node.
-    pub src_cluster: u32,
-    /// Cluster of the destination node.
-    pub dst_cluster: u32,
-    /// Traffic class.
-    pub class: MessageClass,
     /// Simulation time at which the message was generated (entered its source queue).
     pub generation_time: f64,
+    /// The slowest per-flit channel time on the path (drain bottleneck).
+    pub bottleneck_time: f64,
     /// The full ordered channel list the worm must acquire, as an interned slice
     /// of the route table arena.
     pub route: RouteRef,
-    /// The slowest per-flit channel time on the path (drain bottleneck).
-    pub bottleneck_time: f64,
+    /// Cluster of the source node (16-bit: see [`RouteEntry`]'s packing contract).
+    pub src_cluster: u16,
+    /// Cluster of the destination node.
+    pub dst_cluster: u16,
     /// Number of channels acquired so far; the next channel to acquire is
     /// `path[acquired]` where `path` is the resolved route slice.
     pub acquired: u16,
     /// Whether this message falls into the measurement window (not warm-up, not drain).
     pub measured: bool,
-    /// Delivery time of the tail flit, once delivered.
-    pub delivered_time: Option<f64>,
 }
+
+// The whole point of the compact lifecycle: if a field is added back, it must
+// be argued against this budget (the record used to be 64 bytes).
+const _: () = assert!(std::mem::size_of::<MessageState>() <= 40, "MessageState grew past 40B");
 
 impl MessageState {
     /// Creates a new, not-yet-started message from a resolved route-table entry.
-    pub fn new(id: MessageId, entry: RouteEntry, generation_time: f64, measured: bool) -> Self {
+    pub fn new(entry: RouteEntry, generation_time: f64, measured: bool) -> Self {
         debug_assert!(!entry.route.is_empty(), "messages always cross at least one channel");
+        debug_assert!(
+            entry.src_cluster <= u32::from(u16::MAX) && entry.dst_cluster <= u32::from(u16::MAX),
+            "cluster index exceeds the 16-bit packing"
+        );
         MessageState {
-            id,
-            src_cluster: entry.src_cluster,
-            dst_cluster: entry.dst_cluster,
-            class: if entry.src_cluster == entry.dst_cluster {
-                MessageClass::Intra
-            } else {
-                MessageClass::Inter
-            },
             generation_time,
-            route: entry.route,
             bottleneck_time: entry.bottleneck,
+            route: entry.route,
+            src_cluster: entry.src_cluster as u16,
+            dst_cluster: entry.dst_cluster as u16,
             acquired: 0,
             measured,
-            delivered_time: None,
+        }
+    }
+
+    /// Traffic class, derived from the cluster pair instead of stored.
+    #[inline]
+    pub fn class(&self) -> MessageClass {
+        if self.src_cluster == self.dst_cluster {
+            MessageClass::Intra
+        } else {
+            MessageClass::Inter
         }
     }
 
@@ -104,10 +119,83 @@ impl MessageState {
         &path[..self.acquired as usize]
     }
 
-    /// Tail-to-tail latency, available once delivered.
+    /// Tail-to-tail latency given the delivery instant. The delivery time is not
+    /// stored on the record — it is only ever known at the `TailArrived` event,
+    /// where the latency goes straight into the statistics and the record dies.
     #[inline]
-    pub fn latency(&self) -> Option<f64> {
-        self.delivered_time.map(|t| t - self.generation_time)
+    pub fn latency_at(&self, delivered_time: f64) -> f64 {
+        delivered_time - self.generation_time
+    }
+}
+
+/// Slot-reusing store of the in-flight messages.
+///
+/// A [`MessageId`] is an index into `slots`; delivering a message returns its
+/// slot to a free list, so the backing vector grows to the peak *in-flight*
+/// count — in-network messages plus the source-queue backlog, near the node
+/// count at sub-saturation loads (it grows with the backlog near saturation,
+/// since generation is open-loop) — instead of the total message count of the
+/// run. Under the paper's 120k-message protocol that is the difference between
+/// a few KiB that stay cache-hot and several MiB streamed exactly once.
+#[derive(Debug, Default)]
+pub struct MessageSlab {
+    slots: Vec<MessageState>,
+    free: Vec<MessageId>,
+}
+
+impl MessageSlab {
+    /// Creates an empty slab with room for `capacity` simultaneous messages.
+    pub fn with_capacity(capacity: usize) -> Self {
+        MessageSlab { slots: Vec::with_capacity(capacity), free: Vec::new() }
+    }
+
+    /// Number of live (in-flight) messages.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// High-water mark of simultaneously in-flight messages.
+    #[inline]
+    pub fn peak(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Stores a message, recycling a retired slot when one is available.
+    #[inline]
+    pub fn insert(&mut self, message: MessageState) -> MessageId {
+        if let Some(id) = self.free.pop() {
+            self.slots[id as usize] = message;
+            id
+        } else {
+            let id = self.slots.len() as MessageId;
+            self.slots.push(message);
+            id
+        }
+    }
+
+    /// Retires a delivered message, returning its final state and freeing the
+    /// slot for reuse. The id must not be used again afterwards.
+    #[inline]
+    pub fn remove(&mut self, id: MessageId) -> MessageState {
+        debug_assert!(!self.free.contains(&id), "double retirement of message slot {id}");
+        self.free.push(id);
+        self.slots[id as usize]
+    }
+}
+
+impl std::ops::Index<MessageId> for MessageSlab {
+    type Output = MessageState;
+    #[inline]
+    fn index(&self, id: MessageId) -> &MessageState {
+        &self.slots[id as usize]
+    }
+}
+
+impl std::ops::IndexMut<MessageId> for MessageSlab {
+    #[inline]
+    fn index_mut(&mut self, id: MessageId) -> &mut MessageState {
+        &mut self.slots[id as usize]
     }
 }
 
@@ -131,10 +219,10 @@ mod tests {
     fn class_is_derived_from_clusters() {
         let (f, mut t) = table();
         let last = t.nodes() - 1;
-        let inter = MessageState::new(5, t.entry(&f, 0, last), 10.0, true);
-        assert_eq!(inter.class, MessageClass::Inter);
-        let intra = MessageState::new(0, t.entry(&f, 0, 1), 0.0, false);
-        assert_eq!(intra.class, MessageClass::Intra);
+        let inter = MessageState::new(t.entry(&f, 0, last), 10.0, true);
+        assert_eq!(inter.class(), MessageClass::Inter);
+        let intra = MessageState::new(t.entry(&f, 0, 1), 0.0, false);
+        assert_eq!(intra.class(), MessageClass::Intra);
     }
 
     #[test]
@@ -143,7 +231,7 @@ mod tests {
         let entry = t.entry(&f, 0, 1);
         let path: Vec<_> = t.channels(entry.route).to_vec();
         assert_eq!(path.len(), 2, "same-leaf intra journey crosses two links");
-        let mut m = MessageState::new(5, entry, 10.0, true);
+        let mut m = MessageState::new(entry, 10.0, true);
 
         assert_eq!(m.next_channel(&path), Some(path[0]));
         assert!(!m.header_delivered());
@@ -157,11 +245,35 @@ mod tests {
     }
 
     #[test]
-    fn latency_requires_delivery() {
+    fn latency_is_relative_to_generation() {
         let (f, mut t) = table();
-        let mut m = MessageState::new(0, t.entry(&f, 0, 1), 10.0, true);
-        assert_eq!(m.latency(), None);
-        m.delivered_time = Some(42.0);
-        assert_eq!(m.latency(), Some(32.0));
+        let m = MessageState::new(t.entry(&f, 0, 1), 10.0, true);
+        assert_eq!(m.latency_at(42.0), 32.0);
+    }
+
+    #[test]
+    fn slab_recycles_retired_slots() {
+        let (f, mut t) = table();
+        let entry = t.entry(&f, 0, 1);
+        let mut slab = MessageSlab::with_capacity(4);
+        let a = slab.insert(MessageState::new(entry, 1.0, true));
+        let b = slab.insert(MessageState::new(entry, 2.0, false));
+        assert_ne!(a, b);
+        assert_eq!(slab.live(), 2);
+        assert_eq!(slab[a].generation_time, 1.0);
+        assert_eq!(slab[b].generation_time, 2.0);
+
+        let retired = slab.remove(a);
+        assert_eq!(retired.generation_time, 1.0);
+        assert_eq!(slab.live(), 1);
+
+        // The freed slot is reused; the backing store does not grow.
+        let c = slab.insert(MessageState::new(entry, 3.0, true));
+        assert_eq!(c, a);
+        assert_eq!(slab.peak(), 2);
+        assert_eq!(slab[c].generation_time, 3.0);
+
+        slab[c].acquired = 1;
+        assert_eq!(slab[c].acquired, 1);
     }
 }

@@ -56,9 +56,14 @@ use mcnet_topology::routing::NcaRouter;
 use mcnet_topology::NodeId;
 
 /// A route as a slice of the table's arena.
+///
+/// The offset is 32-bit so the whole reference packs into 6 bytes inside the
+/// compact [`crate::message::MessageState`]; an arena of more than 2³²
+/// channels (hundreds of millions of distinct pairs) is rejected at interning
+/// time rather than silently truncated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteRef {
-    offset: u64,
+    offset: u32,
     len: u16,
 }
 
@@ -332,7 +337,10 @@ impl RouteTable {
         if packed != 0 {
             let clusters = self.cluster_packed[idx];
             return RouteEntry {
-                route: RouteRef { offset: packed >> LEN_BITS, len: (packed & LEN_MASK) as u16 },
+                route: RouteRef {
+                    offset: (packed >> LEN_BITS) as u32,
+                    len: (packed & LEN_MASK) as u16,
+                },
                 bottleneck: self.bottleneck[idx],
                 src_cluster: clusters >> 16,
                 dst_cluster: clusters & 0xFFFF,
@@ -344,6 +352,10 @@ impl RouteTable {
     /// Interns the itinerary of a first-seen pair.
     #[cold]
     fn materialize(&mut self, backend: &FabricBackend, src: usize, dst: usize) -> RouteEntry {
+        assert!(
+            self.arena.len() <= u32::MAX as usize,
+            "route arena exceeds the 32-bit RouteRef offset"
+        );
         let offset = self.arena.len() as u64;
         let (len, bottleneck, src_cluster, dst_cluster) = match (&mut self.materializer, backend) {
             (Materializer::Tree(segments), FabricBackend::Tree(fabric)) => {
@@ -368,7 +380,7 @@ impl RouteTable {
         self.bottleneck[idx] = bottleneck;
         self.materialized += 1;
         RouteEntry {
-            route: RouteRef { offset, len },
+            route: RouteRef { offset: offset as u32, len },
             bottleneck,
             src_cluster: src_cluster as u32,
             dst_cluster: dst_cluster as u32,

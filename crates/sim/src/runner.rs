@@ -109,8 +109,14 @@ pub struct SimReport {
     pub max_bridge_utilization: f64,
     /// Total simulated time.
     pub simulated_time: f64,
-    /// Number of events processed.
+    /// Number of events processed (future-event-list events plus batched
+    /// arrivals, so the count stays comparable across engine generations).
     pub events: u64,
+    /// Events processed per generated message — the engine-efficiency number
+    /// the hot-path work drives down (see PERFORMANCE.md). Regressions in
+    /// event accounting show up here directly instead of hiding inside
+    /// wall-clock noise.
+    pub events_per_message: f64,
     /// RNG seed of the run.
     pub seed: u64,
 }
@@ -163,6 +169,11 @@ fn report_from(
         max_bridge_utilization,
         simulated_time: sim.now(),
         events: sim.events_processed(),
+        events_per_message: if stats.generated() > 0 {
+            sim.events_processed() as f64 / stats.generated() as f64
+        } else {
+            0.0
+        },
         seed: config.seed,
     })
 }
@@ -268,6 +279,13 @@ mod tests {
         assert!(report.max_latency >= report.mean_latency);
         assert!(report.simulated_time > 0.0);
         assert!(report.events > 0);
+        // Every message costs at least generation + header + tail.
+        assert!(report.events_per_message >= 3.0, "{}", report.events_per_message);
+        assert!(
+            (report.events_per_message - report.events as f64 / report.generated_messages as f64)
+                .abs()
+                < 1e-12
+        );
         assert!(report.intra.count + report.inter.count == report.measured_messages);
         assert!(report.p99_latency.unwrap_or(f64::MAX) >= report.mean_latency * 0.5);
         // Utilisations are proper fractions and the bridges see real load at this rate.

@@ -6,8 +6,14 @@
 //!
 //! Setting `MCNET_BENCH_QUICK=1` (the CI smoke mode) clamps every benchmark to
 //! one sample of one iteration so a full `cargo bench` run stays cheap.
+//!
+//! Besides the console report, every benchmark result is appended to a
+//! machine-readable `BENCH_results.json` at the workspace root (override the
+//! path with `MCNET_BENCH_OUT`), so the performance trajectory can be tracked
+//! across commits and gated in CI. See `vendor/README.md` for the format.
 
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box` under criterion's traditional name.
@@ -258,6 +264,80 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         samples,
         iters_per_sample,
     );
+    record_json_result(name, mean, min, max, throughput, samples, iters_per_sample);
+}
+
+/// Where the JSON results file lives: `MCNET_BENCH_OUT` if set, otherwise
+/// `BENCH_results.json` at the workspace root (found by walking up from the
+/// bench package's manifest directory to the first `Cargo.lock`).
+fn results_path() -> PathBuf {
+    if let Ok(path) = std::env::var("MCNET_BENCH_OUT") {
+        return PathBuf::from(path);
+    }
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")));
+    let mut dir = start.clone();
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("BENCH_results.json");
+        }
+        if !dir.pop() {
+            return start.join("BENCH_results.json");
+        }
+    }
+}
+
+/// Merges one result into `BENCH_results.json`: the file is a JSON array with
+/// one object per line, keyed by benchmark name; re-running a benchmark
+/// replaces its line in place, so results from separately-run bench binaries
+/// accumulate instead of clobbering each other.
+fn record_json_result(
+    name: &str,
+    mean_s: f64,
+    min_s: f64,
+    max_s: f64,
+    throughput: Option<Throughput>,
+    samples: usize,
+    iters: u64,
+) {
+    let path = results_path();
+    // JSON-escape the benchmark name (quotes/backslashes never appear in
+    // practice, but the file must stay parseable regardless).
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let elems_per_sec = match throughput {
+        Some(Throughput::Elements(n)) if mean_s > 0.0 => format!("{:.3}", n as f64 / mean_s),
+        _ => "null".to_string(),
+    };
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"ms_per_run\":{:.6},\"min_ms\":{:.6},\"max_ms\":{:.6},\
+         \"elems_per_sec\":{elems_per_sec},\"samples\":{samples},\"iters\":{iters}}}",
+        mean_s * 1e3,
+        min_s * 1e3,
+        max_s * 1e3,
+    );
+    // Keep every existing entry except a previous run of this benchmark. Only
+    // lines this writer produced (containing a "name" key) are retained, so a
+    // corrupted file heals instead of poisoning the output.
+    let needle = format!("\"name\":\"{escaped}\"");
+    let mut entries: Vec<String> = std::fs::read_to_string(&path)
+        .unwrap_or_default()
+        .lines()
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+        .filter(|l| l.starts_with('{') && l.contains("\"name\":\"") && !l.contains(&needle))
+        .collect();
+    entries.push(line);
+    let body = entries.join(",\n");
+    if let Err(e) = std::fs::write(&path, format!("[\n{body}\n]\n")) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
 }
 
 /// Declares a named group of benchmark functions, criterion-style.
