@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mcnet_bench::{model_latency, traffic};
 use mcnet_experiments::ablations::cost_comparison;
 use mcnet_experiments::EvaluationEffort;
-use mcnet_sim::{run_simulation, SimConfig};
+use mcnet_sim::{Scenario, SimConfig};
 use mcnet_system::organizations;
 
 fn bench_cost(c: &mut Criterion) {
@@ -24,11 +24,14 @@ fn bench_cost(c: &mut Criterion) {
     group.bench_function("analytical_model", |b| {
         b.iter(|| std::hint::black_box(model_latency(&system, &t)))
     });
+    let scenario = Scenario::builder()
+        .tree(system.clone())
+        .traffic(t)
+        .config(SimConfig::quick(7))
+        .build()
+        .expect("valid bench scenario");
     group.bench_function("simulation_quick", |b| {
-        b.iter(|| {
-            let report = run_simulation(&system, &t, &SimConfig::quick(7)).unwrap();
-            std::hint::black_box(report.mean_latency)
-        })
+        b.iter(|| std::hint::black_box(scenario.run().unwrap().mean_latency))
     });
     group.finish();
 }

@@ -1,5 +1,5 @@
 //! Substrate bench: scaling of the bounded worker pool that backs
-//! `run_replications` and the figure-sweep drivers.
+//! `Scenario::replicate` and the figure-sweep drivers.
 //!
 //! Compares N independent replications run serially against the same N
 //! replications fanned over the pool. On a multi-core machine the parallel
@@ -9,31 +9,38 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcnet_bench::traffic;
-use mcnet_sim::runner::run_replications;
-use mcnet_sim::{run_simulation, SimConfig};
+use mcnet_sim::{Scenario, SimConfig};
 use mcnet_system::organizations;
 
 const REPLICATIONS: usize = 4;
 
 fn bench_parallel_scaling(c: &mut Criterion) {
-    let system = organizations::small_test_org();
-    let t = traffic(32, 256.0, 2e-3);
+    let scenario = Scenario::builder()
+        .name("replication_scaling")
+        .tree(organizations::small_test_org())
+        .traffic(traffic(32, 256.0, 2e-3))
+        .config(SimConfig::quick(100))
+        .build()
+        .expect("valid bench scenario");
     let mut group = c.benchmark_group("replication_scaling");
 
-    group.bench_with_input(BenchmarkId::new("serial", REPLICATIONS), &system, |b, sys| {
+    // Pre-seed the serial arm's scenarios outside the timed loop so both arms
+    // measure exactly REPLICATIONS simulation runs and nothing else.
+    let seeded: Vec<Scenario> =
+        (0..REPLICATIONS).map(|r| scenario.clone().with_seed(100 + r as u64)).collect();
+    group.bench_with_input(BenchmarkId::new("serial", REPLICATIONS), &seeded, |b, seeded| {
         b.iter(|| {
             let mut total = 0.0;
-            for r in 0..REPLICATIONS {
-                let cfg = SimConfig::quick(100 + r as u64);
-                total += run_simulation(sys, &t, &cfg).unwrap().mean_latency;
+            for s in seeded {
+                total += s.run().unwrap().mean_latency;
             }
             std::hint::black_box(total)
         })
     });
 
-    group.bench_with_input(BenchmarkId::new("worker_pool", REPLICATIONS), &system, |b, sys| {
+    group.bench_with_input(BenchmarkId::new("worker_pool", REPLICATIONS), &scenario, |b, s| {
         b.iter(|| {
-            let agg = run_replications(sys, &t, &SimConfig::quick(100), REPLICATIONS).unwrap();
+            let agg = s.replicate(REPLICATIONS).unwrap();
             std::hint::black_box(agg.mean_latency)
         })
     });

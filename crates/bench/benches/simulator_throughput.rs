@@ -1,31 +1,29 @@
 //! Substrate bench: discrete-event simulator throughput (messages per second) on the
-//! small test organization and on the paper's Org B, at a moderate load. Messages —
-//! not events — are the cross-PR unit of account: the events-per-message ratio itself
-//! moves as the engine sheds event traffic (see `SimReport::events_per_message`), so
-//! an events/sec number would silently re-baseline whenever it improves.
+//! tree-backend scenarios (the small test organization and the paper's Org B at a
+//! moderate load). Messages — not events — are the cross-PR unit of account: the
+//! events-per-message ratio itself moves as the engine sheds event traffic (see
+//! `SimReport::events_per_message`), so an events/sec number would silently
+//! re-baseline whenever it improves.
+//!
+//! Entries in `BENCH_results.json` are keyed by scenario name
+//! (`scenario_throughput/quick_protocol/<scenario>`); the CI regression gate
+//! watches `tree_org_b`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mcnet_bench::traffic;
-use mcnet_sim::{run_simulation, SimConfig};
-use mcnet_system::organizations;
+use mcnet_bench::tree_throughput_scenarios;
 
 fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator_throughput");
-    for (name, system, rate) in [
-        ("small_org", organizations::small_test_org(), 2e-3),
-        ("org_b", organizations::table1_org_b(), 3e-4),
-    ] {
-        let t = traffic(32, 256.0, rate);
+    let mut group = c.benchmark_group("scenario_throughput");
+    for scenario in tree_throughput_scenarios() {
         // Calibrate the message count once so Criterion can report messages/second
         // (the number PERFORMANCE.md and the CI regression gate track).
-        let probe = run_simulation(&system, &t, &SimConfig::quick(1)).unwrap();
+        let probe = scenario.run().unwrap();
         group.throughput(Throughput::Elements(probe.generated_messages));
-        group.bench_with_input(BenchmarkId::new("quick_protocol", name), &system, |b, sys| {
-            b.iter(|| {
-                let report = run_simulation(sys, &t, &SimConfig::quick(1)).unwrap();
-                std::hint::black_box(report.events)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("quick_protocol", scenario.name()),
+            &scenario,
+            |b, s| b.iter(|| std::hint::black_box(s.run().unwrap().events)),
+        );
     }
     group.finish();
 }

@@ -1,27 +1,26 @@
 //! Substrate bench: discrete-event simulator throughput (messages per second) on
-//! the k-ary n-cube (torus) backend — the direct-network counterpart of
+//! the k-ary n-cube (torus) scenarios — the direct-network counterpart of
 //! `simulator_throughput`, exercising the same engine over `CubeFabric`.
+//!
+//! Entries in `BENCH_results.json` share the `scenario_throughput` group with
+//! the tree scenarios and are keyed by scenario name
+//! (`scenario_throughput/quick_protocol/torus_<k>ary_<n>cube`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mcnet_bench::traffic;
-use mcnet_sim::{run_torus_simulation, SimConfig};
-use mcnet_system::TorusSystem;
+use mcnet_bench::torus_throughput_scenarios;
 
 fn bench_torus_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("torus_throughput");
-    for (name, k, n, rate) in [("4ary_2cube", 4usize, 2usize, 2e-3), ("8ary_2cube", 8, 2, 1e-3)] {
-        let torus = TorusSystem::new(k, n).expect("valid bench torus");
-        let t = traffic(32, 256.0, rate);
+    let mut group = c.benchmark_group("scenario_throughput");
+    for scenario in torus_throughput_scenarios() {
         // Calibrate the message count once so Criterion can report messages/second
         // (the number PERFORMANCE.md tracks across PRs).
-        let probe = run_torus_simulation(&torus, &t, &SimConfig::quick(1)).unwrap();
+        let probe = scenario.run().unwrap();
         group.throughput(Throughput::Elements(probe.generated_messages));
-        group.bench_with_input(BenchmarkId::new("quick_protocol", name), &torus, |b, torus| {
-            b.iter(|| {
-                let report = run_torus_simulation(torus, &t, &SimConfig::quick(1)).unwrap();
-                std::hint::black_box(report.events)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("quick_protocol", scenario.name()),
+            &scenario,
+            |b, s| b.iter(|| std::hint::black_box(s.run().unwrap().events)),
+        );
     }
     group.finish();
 }

@@ -21,7 +21,8 @@
 #![warn(missing_docs)]
 
 use mcnet_model::AnalyticalModel;
-use mcnet_system::{MultiClusterSystem, TrafficConfig};
+use mcnet_sim::{Scenario, SimConfig};
+use mcnet_system::{organizations, MultiClusterSystem, TorusSystem, TrafficConfig};
 
 /// Evaluates the analytical model at one traffic point, returning the latency or
 /// `None` when saturated — the common kernel most benches measure.
@@ -39,6 +40,43 @@ pub fn traffic(message_flits: usize, flit_bytes: f64, rate: f64) -> TrafficConfi
     TrafficConfig::uniform(message_flits, flit_bytes, rate).expect("valid bench traffic")
 }
 
+/// The named tree-backend throughput scenarios. `BENCH_results.json` entries
+/// (and the CI regression gate) are keyed by these scenario names, so renaming
+/// one is a conscious re-baselining act.
+pub fn tree_throughput_scenarios() -> Vec<Scenario> {
+    vec![
+        throughput_scenario("tree_small_org", organizations::small_test_org(), 2e-3),
+        throughput_scenario("tree_org_b", organizations::table1_org_b(), 3e-4),
+    ]
+}
+
+/// The named torus-backend throughput scenarios (same engine over
+/// `CubeFabric`, matched with [`tree_throughput_scenarios`]).
+pub fn torus_throughput_scenarios() -> Vec<Scenario> {
+    [("torus_4ary_2cube", 4usize, 2usize, 2e-3), ("torus_8ary_2cube", 8, 2, 1e-3)]
+        .into_iter()
+        .map(|(name, k, n, rate)| {
+            Scenario::builder()
+                .name(name)
+                .torus(TorusSystem::new(k, n).expect("valid bench torus"))
+                .traffic(traffic(32, 256.0, rate))
+                .config(SimConfig::quick(1))
+                .build()
+                .expect("valid bench scenario")
+        })
+        .collect()
+}
+
+fn throughput_scenario(name: &str, system: MultiClusterSystem, rate: f64) -> Scenario {
+    Scenario::builder()
+        .name(name)
+        .tree(system)
+        .traffic(traffic(32, 256.0, rate))
+        .config(SimConfig::quick(1))
+        .build()
+        .expect("valid bench scenario")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +90,16 @@ mod tests {
         assert_eq!(sweep_fractions().len(), 5);
         let saturated = traffic(32, 256.0, 1e-2);
         assert!(model_latency(&sys, &saturated).is_none());
+    }
+
+    #[test]
+    fn throughput_scenarios_keep_their_bench_keys() {
+        // BENCH_results.json entries and the CI gate are keyed by these names.
+        let names: Vec<String> =
+            tree_throughput_scenarios().iter().map(|s| s.name().to_string()).collect();
+        assert_eq!(names, ["tree_small_org", "tree_org_b"]);
+        let names: Vec<String> =
+            torus_throughput_scenarios().iter().map(|s| s.name().to_string()).collect();
+        assert_eq!(names, ["torus_4ary_2cube", "torus_8ary_2cube"]);
     }
 }

@@ -7,14 +7,13 @@
 //! `mcnet_sim`'s [`FabricBackend`](mcnet_sim::FabricBackend) abstraction, this
 //! module sweeps a shared load range over a **matched pair** — a tree system
 //! and a torus with equal node counts — and reports the replicated mean latency
-//! of each backend side by side. Every point of both backends runs through the
-//! same `run_replications`-style bounded-worker-pool path
-//! (`mcnet_system::parallel::parallel_map`), so the comparison inherits the
+//! of each backend side by side. Both backends are one [`Scenario`] each,
+//! swept through [`Scenario::sweep_replicated`]: every point replicates over
+//! the same bounded-worker-pool path, so the comparison inherits the
 //! deterministic seed/aggregation contract of the rest of the harness.
 
 use crate::{EvaluationEffort, Result};
-use mcnet_sim::runner::{run_replications, run_torus_replications};
-use mcnet_sim::{FabricBackend, SimError};
+use mcnet_sim::{FabricBackend, ReplicatedReport, Scenario, SimError};
 use mcnet_system::{organizations, MultiClusterSystem, TorusSystem, TrafficConfig};
 use serde::{Deserialize, Serialize};
 
@@ -85,29 +84,38 @@ pub fn tree_vs_torus(
     let (lo, hi) = (2e-4, 2e-3);
     let n_points = effort.sweep_points();
     let config = effort.sim_config(seed);
+    let rates: Vec<f64> = (0..n_points)
+        .map(|i| {
+            let frac = if n_points == 1 { 1.0 } else { i as f64 / (n_points - 1) as f64 };
+            lo + frac * (hi - lo)
+        })
+        .collect();
 
-    // Points run sequentially on purpose: each replication set already fans
-    // over the bounded worker pool inside `run_replications` /
-    // `run_torus_replications` (parallel_map spawns fresh scoped threads per
-    // call, so an outer parallel_map here would multiply thread counts up to
-    // workers², not share a pool).
+    // One declarative scenario per backend, swept over the shared rate grid.
+    // `sweep_replicated` runs the points sequentially on purpose: each
+    // replication set already fans over the bounded worker pool, so an outer
+    // parallel layer would multiply thread counts up to workers².
+    let base_traffic = TrafficConfig::uniform(message_flits, flit_bytes, lo)?;
+    let tree_outcomes = Scenario::builder()
+        .tree(tree.clone())
+        .traffic(base_traffic)
+        .config(config)
+        .build()?
+        .sweep_replicated(&rates, replications)?;
+    let torus_outcomes = Scenario::builder()
+        .torus(torus.clone())
+        .traffic(base_traffic)
+        .config(config)
+        .build()?
+        .sweep_replicated(&rates, replications)?;
+
     let mut points = Vec::with_capacity(n_points);
-    for i in 0..n_points {
-        let frac = if n_points == 1 { 1.0 } else { i as f64 / (n_points - 1) as f64 };
-        let rate = lo + frac * (hi - lo);
-        let traffic = TrafficConfig::uniform(message_flits, flit_bytes, rate)?;
-        let tree_agg = match run_replications(tree, &traffic, &config, replications) {
-            Ok(agg) => Some(agg),
-            Err(SimError::EventBudgetExhausted { .. }) => None,
-            Err(e) => return Err(e.into()),
-        };
-        let torus_agg = match run_torus_replications(torus, &traffic, &config, replications) {
-            Ok(agg) => Some(agg),
-            Err(SimError::EventBudgetExhausted { .. }) => None,
-            Err(e) => return Err(e.into()),
-        };
+    for ((rate, tree_outcome), torus_outcome) in rates.iter().zip(tree_outcomes).zip(torus_outcomes)
+    {
+        let tree_agg = saturation_as_missing(tree_outcome)?;
+        let torus_agg = saturation_as_missing(torus_outcome)?;
         points.push(BackendPoint {
-            rate,
+            rate: *rate,
             tree_latency: tree_agg.as_ref().map(|a| a.mean_latency),
             tree_halfwidth: tree_agg.as_ref().and_then(|a| a.halfwidth_95),
             torus_latency: torus_agg.as_ref().map(|a| a.mean_latency),
@@ -116,7 +124,7 @@ pub fn tree_vs_torus(
     }
 
     // Channel populations, for the matched-resources context of the report.
-    let probe = TrafficConfig::uniform(message_flits, flit_bytes, lo)?;
+    let probe = base_traffic;
     let tree_channels = FabricBackend::tree(tree, &probe)?.num_channels();
     let torus_channels = FabricBackend::cube(torus, &probe)?.num_channels();
 
@@ -129,6 +137,18 @@ pub fn tree_vs_torus(
         replications,
         points,
     })
+}
+
+/// Treats a deep-saturation outcome (exhausted event budget) as a missing
+/// point; every other error fails the comparison.
+fn saturation_as_missing(
+    outcome: std::result::Result<ReplicatedReport, SimError>,
+) -> Result<Option<ReplicatedReport>> {
+    match outcome {
+        Ok(agg) => Ok(Some(agg)),
+        Err(SimError::EventBudgetExhausted { .. }) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
 }
 
 /// The default comparison over [`matched_pair`].

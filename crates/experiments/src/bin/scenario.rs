@@ -1,0 +1,93 @@
+//! Runs a serialized scenario spec and prints the report as JSON.
+//!
+//! The spec-file schema is documented on
+//! [`mcnet_sim::ScenarioSpec::from_json`]; exemplars live under `specs/` at the
+//! workspace root. The printed document is a single JSON object with the
+//! resolved scenario parameters and the run outcome, so the output of every
+//! spec is machine-checkable (CI runs each exemplar at quick protocol and
+//! validates exactly this schema).
+//!
+//! Usage: `scenario <spec.json> [--protocol quick|reduced|paper] [--replications N]`
+
+use mcnet_sim::json::{object, Json};
+use mcnet_sim::scenario::seed_to_json;
+use mcnet_sim::{Protocol, ScenarioSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec_path: Option<String> = None;
+    let mut protocol_override: Option<Protocol> = None;
+    let mut replications_override: Option<usize> = None;
+    let mut iter = args.iter().map(String::as_str);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--protocol" => {
+                let value = iter.next().unwrap_or_else(|| usage("--protocol needs a value"));
+                protocol_override = Some(
+                    value
+                        .parse::<Protocol>()
+                        .unwrap_or_else(|e| usage(&format!("invalid --protocol: {e}"))),
+                );
+            }
+            "--replications" => {
+                replications_override = Some(
+                    iter.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .unwrap_or_else(|| usage("--replications needs a positive integer")),
+                );
+            }
+            flag if flag.starts_with("--") => usage(&format!("unknown flag {flag:?}")),
+            path if spec_path.is_none() => spec_path = Some(path.to_string()),
+            extra => usage(&format!("unexpected argument {extra:?}")),
+        }
+    }
+    let spec_path = spec_path.unwrap_or_else(|| usage("a spec file is required"));
+
+    let text = std::fs::read_to_string(&spec_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {spec_path}: {e}")));
+    let mut spec =
+        ScenarioSpec::from_json(&text).unwrap_or_else(|e| fail(&format!("{spec_path}: {e}")));
+    if let Some(protocol) = protocol_override {
+        spec = spec.with_protocol(protocol);
+    }
+    if let Some(replications) = replications_override {
+        spec.replications = replications;
+    }
+
+    let scenario = spec.build().unwrap_or_else(|e| fail(&format!("{spec_path}: {e}")));
+    eprintln!(
+        "# scenario {:?}: {} at λ_g={:.2e}, protocol {}, {} replication(s)",
+        scenario.name(),
+        scenario.fabric().summary(),
+        scenario.traffic().generation_rate,
+        spec.protocol.as_str(),
+        scenario.replications(),
+    );
+    let outcome =
+        scenario.execute().unwrap_or_else(|e| fail(&format!("scenario {spec_path} failed: {e}")));
+
+    let document = object([
+        ("name", Json::String(scenario.name().into())),
+        ("fabric", Json::String(scenario.fabric().summary())),
+        ("nodes", Json::from_u64(scenario.fabric().total_nodes() as u64)),
+        ("generation_rate", Json::Number(scenario.traffic().generation_rate)),
+        ("protocol", Json::String(spec.protocol.as_str().into())),
+        ("seed", seed_to_json(scenario.config().seed)),
+        ("replications", Json::from_u64(scenario.replications() as u64)),
+        ("outcome", outcome.to_json()),
+    ]);
+    print!("{}", document.to_pretty());
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!(
+        "{problem}\nusage: scenario <spec.json> [--protocol quick|reduced|paper] \
+         [--replications N]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}

@@ -7,7 +7,7 @@
 
 use crate::{EvaluationEffort, Result};
 use mcnet_model::{AnalyticalModel, ModelError, ModelOptions};
-use mcnet_sim::{run_simulation, SimError};
+use mcnet_sim::{Scenario, SimError, SimReport};
 use mcnet_system::sweep::FigureSweep;
 use mcnet_system::{organizations, MultiClusterSystem, TrafficConfig};
 use serde::{Deserialize, Serialize};
@@ -69,11 +69,13 @@ impl FigurePanel {
 
 /// Builds one curve: sweep `λ_g`, evaluate the model, and (optionally) simulate.
 ///
-/// The traffic points are independent, so they run concurrently on a bounded
-/// worker pool (capped at the machine's available parallelism). Every point
-/// gets the deterministic seed `seed + index`, and results are aggregated in
-/// sweep order — the produced series is bit-identical regardless of how the
-/// points interleave across threads.
+/// The simulations run through [`Scenario::sweep_outcomes`], which fans the
+/// independent traffic points over a bounded worker pool (capped at the
+/// machine's available parallelism). Every point gets the deterministic seed
+/// `seed + index`, and results are aggregated in sweep order — the produced
+/// series is bit-identical regardless of how the points interleave across
+/// threads, and bit-identical to the historical per-point `run_simulation`
+/// loop.
 pub fn build_series(
     system: &MultiClusterSystem,
     sweep: &FigureSweep,
@@ -82,12 +84,37 @@ pub fn build_series(
     seed: u64,
 ) -> Result<FigureSeries> {
     let sweep = sweep.with_points(effort.sweep_points());
-    let results = mcnet_system::parallel::parallel_map(sweep.configs()?, |i, traffic| {
-        evaluate_point(system, &traffic, effort, run_sims, seed.wrapping_add(i as u64))
+    let rates = sweep.rates()?;
+
+    // Analytical pass: independent, cheap, deterministic model evaluations.
+    let analyses = mcnet_system::parallel::parallel_map(sweep.configs()?, |_, traffic| {
+        analysis_latency(system, &traffic)
     });
-    let mut points = Vec::with_capacity(results.len());
-    for r in results {
-        points.push(r?);
+
+    // Simulation pass: one declarative scenario swept over the rate grid.
+    let simulations: Vec<Option<(f64, f64)>> = if run_sims {
+        let scenario = Scenario::builder()
+            .tree(system.clone())
+            .traffic(sweep.template()?)
+            .config(effort.sim_config(seed))
+            .build()?;
+        scenario
+            .sweep_outcomes(&rates)?
+            .into_iter()
+            .map(sim_point)
+            .collect::<std::result::Result<_, SimError>>()?
+    } else {
+        vec![None; rates.len()]
+    };
+
+    let mut points = Vec::with_capacity(rates.len());
+    for ((rate, analysis), simulation) in rates.iter().zip(analyses).zip(simulations) {
+        points.push(SeriesPoint {
+            rate: *rate,
+            analysis: analysis?,
+            simulation: simulation.map(|(mean, _)| mean),
+            sim_std_error: simulation.map(|(_, err)| err),
+        });
     }
     Ok(FigureSeries {
         label: format!("Lm={}", sweep.flit_bytes),
@@ -95,6 +122,28 @@ pub fn build_series(
         flit_bytes: sweep.flit_bytes,
         points,
     })
+}
+
+/// The analytical half of a point: latency, or `None` at saturation.
+fn analysis_latency(system: &MultiClusterSystem, traffic: &TrafficConfig) -> Result<Option<f64>> {
+    match AnalyticalModel::with_options(system, traffic, ModelOptions::default())?.evaluate() {
+        Ok(report) => Ok(Some(report.total_latency)),
+        Err(ModelError::Saturated { .. }) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Maps one swept simulation outcome to `(mean, std_error)`, treating deep
+/// saturation (an exhausted event budget) as a missing point rather than a
+/// failure of the whole figure.
+fn sim_point(
+    outcome: std::result::Result<SimReport, SimError>,
+) -> std::result::Result<Option<(f64, f64)>, SimError> {
+    match outcome {
+        Ok(report) => Ok(Some((report.mean_latency, report.latency_std_error))),
+        Err(SimError::EventBudgetExhausted { .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
 }
 
 /// Evaluates a single traffic point with both the model and (optionally) the simulator.
@@ -105,24 +154,23 @@ pub fn evaluate_point(
     run_sims: bool,
     seed: u64,
 ) -> Result<SeriesPoint> {
-    let analysis =
-        match AnalyticalModel::with_options(system, traffic, ModelOptions::default())?.evaluate() {
-            Ok(report) => Some(report.total_latency),
-            Err(ModelError::Saturated { .. }) => None,
-            Err(e) => return Err(e.into()),
-        };
-    let (simulation, sim_std_error) = if run_sims {
-        match run_simulation(system, traffic, &effort.sim_config(seed)) {
-            Ok(report) => (Some(report.mean_latency), Some(report.latency_std_error)),
-            // A configuration deep into saturation exhausts the event budget; report
-            // the point as unavailable rather than failing the whole figure.
-            Err(SimError::EventBudgetExhausted { .. }) => (None, None),
-            Err(e) => return Err(e.into()),
-        }
+    let analysis = analysis_latency(system, traffic)?;
+    let simulation = if run_sims {
+        let scenario = Scenario::builder()
+            .tree(system.clone())
+            .traffic(*traffic)
+            .config(effort.sim_config(seed))
+            .build()?;
+        sim_point(scenario.run())?
     } else {
-        (None, None)
+        None
     };
-    Ok(SeriesPoint { rate: traffic.generation_rate, analysis, simulation, sim_std_error })
+    Ok(SeriesPoint {
+        rate: traffic.generation_rate,
+        analysis,
+        simulation: simulation.map(|(mean, _)| mean),
+        sim_std_error: simulation.map(|(_, err)| err),
+    })
 }
 
 /// Builds one panel (two flit sizes) for a given organization and message length.

@@ -15,9 +15,12 @@
 //! | Ablation A2: Draper–Ghosh variance | [`ablations::variance_ablation`] | (bench) |
 //! | Ablation A3: model vs simulation cost | [`ablations::cost_comparison`] | (bench) |
 //! | Backend comparison (tree vs k-ary n-cube) | [`backends::tree_vs_torus`] | `backend_compare` |
+//! | Any serialized scenario spec (`specs/*.json`) | [`mcnet_sim::ScenarioSpec`] | `scenario` |
 //!
 //! All builders accept an [`EvaluationEffort`] so the same code path serves quick CI
-//! runs, the Criterion benches and full paper-protocol reproductions.
+//! runs, the Criterion benches and full paper-protocol reproductions. Simulation
+//! entry points route through the declarative [`mcnet_sim::Scenario`] layer; the
+//! `scenario` bin executes any spec file and prints its report as JSON.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -29,12 +29,16 @@
 //!   dimension-order routing and Dally–Seitz dateline virtual channels, the
 //!   direct-network family of the paper's analytical lineage (its refs [6]–[9]).
 //!
-//! [`Simulation::new`](engine::Simulation::new) /
-//! [`runner::run_simulation`] drive the tree;
-//! [`Simulation::new_torus`](engine::Simulation::new_torus) /
-//! [`runner::run_torus_simulation`] drive the torus. Replications of either
-//! backend share one bounded-worker-pool driver
-//! ([`runner::run_replications`] / [`runner::run_torus_replications`]).
+//! Both backends are driven through one declarative entry point: a
+//! [`scenario::Scenario`] composes a fabric ([`scenario::Fabric::Tree`] or
+//! [`scenario::Fabric::Torus`]), a traffic configuration, a measurement
+//! protocol and a replication plan, and exposes `run()`, `replicate(n)` and
+//! `sweep(&rates)`. Scenarios are serializable as plain-data
+//! [`scenario::ScenarioSpec`] JSON files (see `specs/` at the workspace root).
+//! The historical per-backend functions (`runner::run_simulation`,
+//! `runner::run_torus_simulation`, `runner::run_replications`,
+//! `runner::run_torus_replications`) survive as deprecated wrappers whose
+//! output is bit-identical to the scenario layer.
 //!
 //! ## Wormhole model
 //!
@@ -61,13 +65,17 @@
 //! independent seeds run on worker threads via [`runner::run_replications`].
 //!
 //! ```
-//! use mcnet_sim::{SimConfig, runner};
+//! use mcnet_sim::{Scenario, SimConfig};
 //! use mcnet_system::{organizations, TrafficConfig};
 //!
-//! let system = organizations::small_test_org();
-//! let traffic = TrafficConfig::uniform(8, 256.0, 1.0e-3).unwrap();
-//! let config = SimConfig::quick(42);
-//! let report = runner::run_simulation(&system, &traffic, &config).unwrap();
+//! let report = Scenario::builder()
+//!     .tree(organizations::small_test_org())
+//!     .traffic(TrafficConfig::uniform(8, 256.0, 1.0e-3).unwrap())
+//!     .config(SimConfig::quick(42))
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
 //! assert!(report.mean_latency > 0.0);
 //! ```
 
@@ -82,14 +90,21 @@ pub mod cube;
 pub mod engine;
 pub mod event;
 pub mod fabric;
+pub mod json;
 pub mod message;
 pub mod routes;
 pub mod runner;
+pub mod scenario;
 pub mod stats;
 pub mod traffic;
 
 pub use backend::FabricBackend;
-pub use runner::{run_simulation, run_torus_simulation, SimConfig, SimReport};
+pub use runner::{ReplicatedReport, SimConfig, SimReport};
+pub use scenario::{Fabric, Protocol, Scenario, ScenarioBuilder, ScenarioOutcome, ScenarioSpec};
+// The deprecated entry points stay re-exported so existing downstream paths
+// keep compiling (with a deprecation warning) during the migration window.
+#[allow(deprecated)]
+pub use runner::{run_simulation, run_torus_simulation};
 
 /// Errors produced while building or running a simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,6 +123,12 @@ pub enum SimError {
         /// Number of messages delivered before giving up.
         delivered: u64,
     },
+    /// A serialized scenario spec could not be parsed or did not describe a
+    /// valid scenario (unknown fabric kind, malformed JSON, missing fields…).
+    InvalidSpec {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -120,6 +141,9 @@ impl std::fmt::Display for SimError {
                 f,
                 "event budget exhausted after {events} events ({delivered} messages delivered)"
             ),
+            SimError::InvalidSpec { reason } => {
+                write!(f, "invalid scenario spec: {reason}")
+            }
         }
     }
 }
@@ -152,6 +176,8 @@ mod tests {
         let e = SimError::EventBudgetExhausted { events: 10, delivered: 3 };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("3"));
+        let e = SimError::InvalidSpec { reason: "bad kind".into() };
+        assert!(e.to_string().contains("bad kind"));
     }
 
     #[test]

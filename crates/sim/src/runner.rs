@@ -2,6 +2,7 @@
 
 use crate::engine::Simulation;
 use crate::message::MessageClass;
+use crate::scenario::Scenario;
 use crate::stats::ClassSummary;
 use crate::{Result, SimError};
 use mcnet_queueing::stats::RunningStats;
@@ -103,10 +104,14 @@ pub struct SimReport {
     pub contention_ratio: f64,
     /// Largest time-average utilisation over all network channels.
     pub max_channel_utilization: f64,
-    /// Mean time-average utilisation of the concentrator/dispatcher bridges.
-    pub mean_bridge_utilization: f64,
-    /// Largest time-average utilisation of any concentrator/dispatcher bridge.
-    pub max_bridge_utilization: f64,
+    /// Mean time-average utilisation of the concentrator/dispatcher bridges,
+    /// or `None` on fabrics without bridges (the torus). Bridge-less runs used
+    /// to report `0.0` — a misleading "bridges exist and are idle"; the absence
+    /// of the resource is now explicit (same bug class as `halfwidth_95`).
+    pub mean_bridge_utilization: Option<f64>,
+    /// Largest time-average utilisation of any concentrator/dispatcher bridge,
+    /// or `None` on fabrics without bridges.
+    pub max_bridge_utilization: Option<f64>,
     /// Total simulated time.
     pub simulated_time: f64,
     /// Number of events processed (future-event-list events plus batched
@@ -122,34 +127,61 @@ pub struct SimReport {
 }
 
 /// Runs one simulation over the multi-cluster tree fabric.
+#[deprecated(
+    since = "0.1.0",
+    note = "compose a `scenario::Scenario` with `ScenarioBuilder::tree` and call `run()`"
+)]
 pub fn run_simulation(
     system: &MultiClusterSystem,
     traffic: &TrafficConfig,
     config: &SimConfig,
 ) -> Result<SimReport> {
-    report_from(Simulation::new(system, traffic, config)?, traffic, config)
+    tree_scenario(system, traffic, config)?.run()
 }
 
 /// Runs one simulation over a k-ary n-cube (torus) fabric. The produced
 /// [`SimReport`] has the same shape as a tree run; the bridge-utilisation
-/// fields are zero because the torus has no concentrator/dispatcher bridges,
+/// fields are `None` because the torus has no concentrator/dispatcher bridges,
 /// and the intra/inter class split is by dimension-0 sub-ring neighborhood.
+#[deprecated(
+    since = "0.1.0",
+    note = "compose a `scenario::Scenario` with `ScenarioBuilder::torus` and call `run()`"
+)]
 pub fn run_torus_simulation(
     torus: &TorusSystem,
     traffic: &TrafficConfig,
     config: &SimConfig,
 ) -> Result<SimReport> {
-    report_from(Simulation::new_torus(torus, traffic, config)?, traffic, config)
+    torus_scenario(torus, traffic, config)?.run()
+}
+
+/// The legacy-wrapper bridge into the scenario layer (tree flavour).
+fn tree_scenario(
+    system: &MultiClusterSystem,
+    traffic: &TrafficConfig,
+    config: &SimConfig,
+) -> Result<Scenario> {
+    Scenario::builder().tree(system.clone()).traffic(*traffic).config(*config).build()
+}
+
+/// The legacy-wrapper bridge into the scenario layer (torus flavour).
+fn torus_scenario(
+    torus: &TorusSystem,
+    traffic: &TrafficConfig,
+    config: &SimConfig,
+) -> Result<Scenario> {
+    Scenario::builder().torus(torus.clone()).traffic(*traffic).config(*config).build()
 }
 
 /// Drives a built simulation to completion and extracts its report.
-fn report_from(
+pub(crate) fn report_from(
     mut sim: Simulation,
     traffic: &TrafficConfig,
     config: &SimConfig,
 ) -> Result<SimReport> {
     sim.run()?;
     let (_, max_channel_utilization) = sim.network_utilization();
+    let has_bridges = matches!(sim.backend(), crate::backend::FabricBackend::Tree(_));
     let (mean_bridge_utilization, max_bridge_utilization) = sim.bridge_utilization();
     let stats = sim.stats();
     Ok(SimReport {
@@ -165,8 +197,8 @@ fn report_from(
         generated_messages: stats.generated(),
         contention_ratio: sim.pool().contention_ratio(),
         max_channel_utilization,
-        mean_bridge_utilization,
-        max_bridge_utilization,
+        mean_bridge_utilization: has_bridges.then_some(mean_bridge_utilization),
+        max_bridge_utilization: has_bridges.then_some(max_bridge_utilization),
         simulated_time: sim.now(),
         events: sim.events_processed(),
         events_per_message: if stats.generated() > 0 {
@@ -199,31 +231,43 @@ pub struct ReplicatedReport {
 /// per replication); seed assignment (`seed + r`) and aggregation order are by
 /// replication index, so the aggregate is bit-identical regardless of how the
 /// replications interleave across threads.
+#[deprecated(
+    since = "0.1.0",
+    note = "compose a `scenario::Scenario` with `ScenarioBuilder::tree` and call `replicate(n)`"
+)]
 pub fn run_replications(
     system: &MultiClusterSystem,
     traffic: &TrafficConfig,
     config: &SimConfig,
     replications: usize,
 ) -> Result<ReplicatedReport> {
-    replicate(config, replications, |cfg| run_simulation(system, traffic, &cfg))
+    tree_scenario(system, traffic, config)?.replicate(replications)
 }
 
 /// Runs `replications` independent torus replications on the same bounded
 /// worker pool and with the same deterministic seed/aggregation contract as
 /// [`run_replications`].
+#[deprecated(
+    since = "0.1.0",
+    note = "compose a `scenario::Scenario` with `ScenarioBuilder::torus` and call `replicate(n)`"
+)]
 pub fn run_torus_replications(
     torus: &TorusSystem,
     traffic: &TrafficConfig,
     config: &SimConfig,
     replications: usize,
 ) -> Result<ReplicatedReport> {
-    replicate(config, replications, |cfg| run_torus_simulation(torus, traffic, &cfg))
+    torus_scenario(torus, traffic, config)?.replicate(replications)
 }
 
 /// The shared replication driver: fans per-replication configs over
 /// `parallel_map` and aggregates in replication order, for any backend's
-/// single-run function.
-fn replicate<F>(config: &SimConfig, replications: usize, run: F) -> Result<ReplicatedReport>
+/// single-run function. [`Scenario::replicate`] is the public face.
+pub(crate) fn replicate_with<F>(
+    config: &SimConfig,
+    replications: usize,
+    run: F,
+) -> Result<ReplicatedReport>
 where
     F: Fn(SimConfig) -> Result<SimReport> + Sync,
 {
@@ -257,6 +301,24 @@ mod tests {
     use super::*;
     use mcnet_system::organizations;
 
+    fn tree_scenario(config: SimConfig) -> Scenario {
+        Scenario::builder()
+            .tree(organizations::small_test_org())
+            .traffic(TrafficConfig::uniform(8, 256.0, 1e-3).unwrap())
+            .config(config)
+            .build()
+            .unwrap()
+    }
+
+    fn torus_scenario(config: SimConfig) -> Scenario {
+        Scenario::builder()
+            .torus(mcnet_system::TorusSystem::new(4, 2).unwrap())
+            .traffic(TrafficConfig::uniform(8, 256.0, 1e-3).unwrap())
+            .config(config)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn config_presets_are_valid() {
         assert!(SimConfig::paper(1).validate().is_ok());
@@ -270,9 +332,7 @@ mod tests {
 
     #[test]
     fn report_fields_are_consistent() {
-        let system = organizations::small_test_org();
-        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
-        let report = run_simulation(&system, &traffic, &SimConfig::quick(5)).unwrap();
+        let report = tree_scenario(SimConfig::quick(5)).run().unwrap();
         assert_eq!(report.measured_messages, 2_000);
         assert_eq!(report.generated_messages, 2_400);
         assert!(report.mean_latency > 0.0);
@@ -290,16 +350,17 @@ mod tests {
         assert!(report.p99_latency.unwrap_or(f64::MAX) >= report.mean_latency * 0.5);
         // Utilisations are proper fractions and the bridges see real load at this rate.
         assert!((0.0..=1.0).contains(&report.max_channel_utilization));
-        assert!((0.0..=1.0).contains(&report.max_bridge_utilization));
-        assert!(report.mean_bridge_utilization > 0.0);
-        assert!(report.max_bridge_utilization >= report.mean_bridge_utilization);
+        let mean_bridge = report.mean_bridge_utilization.expect("tree fabrics have bridges");
+        let max_bridge = report.max_bridge_utilization.expect("tree fabrics have bridges");
+        assert!((0.0..=1.0).contains(&max_bridge));
+        assert!(mean_bridge > 0.0);
+        assert!(max_bridge >= mean_bridge);
     }
 
     #[test]
     fn replications_run_in_parallel_and_aggregate() {
-        let system = organizations::small_test_org();
-        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
-        let agg = run_replications(&system, &traffic, &SimConfig::quick(100), 3).unwrap();
+        let scenario = tree_scenario(SimConfig::quick(100));
+        let agg = scenario.replicate(3).unwrap();
         assert_eq!(agg.replications.len(), 3);
         // Different seeds give different (but close) means.
         let means: Vec<f64> = agg.replications.iter().map(|r| r.mean_latency).collect();
@@ -307,49 +368,61 @@ mod tests {
         let avg = means.iter().sum::<f64>() / means.len() as f64;
         assert!((agg.mean_latency - avg).abs() < 1e-12);
         assert!(agg.halfwidth_95.expect("3 replications give a CI") >= 0.0);
-        assert!(run_replications(&system, &traffic, &SimConfig::quick(1), 0).is_err());
+        assert!(tree_scenario(SimConfig::quick(1)).replicate(0).is_err());
     }
 
     #[test]
     fn single_replication_reports_no_confidence_interval() {
         // One replication used to report halfwidth 0.0 — false perfect
         // confidence. It must now be explicit about having no estimate.
-        let system = organizations::small_test_org();
-        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
-        let one = run_replications(&system, &traffic, &SimConfig::quick(5), 1).unwrap();
+        let scenario = tree_scenario(SimConfig::quick(5));
+        let one = scenario.replicate(1).unwrap();
         assert_eq!(one.replications.len(), 1);
         assert_eq!(one.halfwidth_95, None);
-        let two = run_replications(&system, &traffic, &SimConfig::quick(5), 2).unwrap();
+        let two = scenario.replicate(2).unwrap();
         assert!(two.halfwidth_95.is_some());
     }
 
     #[test]
     fn torus_simulation_produces_a_full_report() {
-        let torus = mcnet_system::TorusSystem::new(4, 2).unwrap();
-        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
-        let report = run_torus_simulation(&torus, &traffic, &SimConfig::quick(5)).unwrap();
+        let report = torus_scenario(SimConfig::quick(5)).run().unwrap();
         assert_eq!(report.measured_messages, 2_000);
         assert_eq!(report.generated_messages, 2_400);
         assert!(report.mean_latency > 0.0);
         assert!(report.max_latency >= report.mean_latency);
         assert!(report.intra.count + report.inter.count == report.measured_messages);
-        // No bridges exist on the torus.
-        assert_eq!(report.mean_bridge_utilization, 0.0);
-        assert_eq!(report.max_bridge_utilization, 0.0);
+        // No bridges exist on the torus: the report says so instead of faking
+        // an idle utilisation of 0.0.
+        assert_eq!(report.mean_bridge_utilization, None);
+        assert_eq!(report.max_bridge_utilization, None);
         assert!((0.0..=1.0).contains(&report.max_channel_utilization));
         assert!(report.events > 0);
     }
 
     #[test]
     fn torus_replications_share_the_replication_contract() {
-        let torus = mcnet_system::TorusSystem::new(4, 2).unwrap();
-        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
-        let agg = run_torus_replications(&torus, &traffic, &SimConfig::quick(100), 3).unwrap();
+        let scenario = torus_scenario(SimConfig::quick(100));
+        let agg = scenario.replicate(3).unwrap();
         assert_eq!(agg.replications.len(), 3);
         // Replication 0 equals the standalone run with the same seed.
-        let standalone = run_torus_simulation(&torus, &traffic, &SimConfig::quick(100)).unwrap();
+        let standalone = scenario.run().unwrap();
         assert_eq!(agg.replications[0].mean_latency.to_bits(), standalone.mean_latency.to_bits());
         assert!(agg.halfwidth_95.is_some());
-        assert!(run_torus_replications(&torus, &traffic, &SimConfig::quick(1), 0).is_err());
+        assert!(scenario.replicate(0).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_wrappers_delegate_to_the_scenario_layer() {
+        // The deprecated entry points are thin wrappers; their output must stay
+        // bit-identical to the Scenario it wraps (the full golden matrix lives
+        // in tests/scenario_api.rs).
+        let system = organizations::small_test_org();
+        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
+        let legacy = run_simulation(&system, &traffic, &SimConfig::quick(5)).unwrap();
+        assert_eq!(legacy, tree_scenario(SimConfig::quick(5)).run().unwrap());
+        let torus = mcnet_system::TorusSystem::new(4, 2).unwrap();
+        let legacy = run_torus_replications(&torus, &traffic, &SimConfig::quick(9), 2).unwrap();
+        assert_eq!(legacy, torus_scenario(SimConfig::quick(9)).replicate(2).unwrap());
     }
 }

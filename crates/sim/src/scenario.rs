@@ -1,0 +1,1040 @@
+//! The declarative scenario layer: one entry point for every simulation run.
+//!
+//! Historically each fabric backend and each driver shape multiplied the
+//! entry-point surface (`run_simulation` vs `run_torus_simulation`,
+//! `run_replications` vs `run_torus_replications`, plus a hand-rolled sweep
+//! loop in every experiment bin). A [`Scenario`] collapses that N×M×K space
+//! into data: a fabric ([`Fabric::Tree`] or [`Fabric::Torus`]), a
+//! [`TrafficConfig`], a [`SimConfig`] and a replication count, composed through
+//! [`ScenarioBuilder`] and executed through [`Scenario::run`],
+//! [`Scenario::replicate`] and [`Scenario::sweep`]. The outputs and the
+//! seed/aggregation contracts are **bit-identical** to the legacy `run_*`
+//! functions (pinned by `tests/scenario_api.rs`); those functions survive only
+//! as thin deprecated wrappers over this module.
+//!
+//! [`ScenarioSpec`] is the serializable plain-data mirror: fabric geometry
+//! parameters, traffic pattern, protocol preset, seed and replication count,
+//! read from and written to JSON through the offline [`crate::json`] layer
+//! (`specs/*.json` at the workspace root holds exemplars; the `scenario` bin in
+//! `mcnet-experiments` executes any of them).
+//!
+//! ```
+//! use mcnet_sim::scenario::Scenario;
+//! use mcnet_system::{organizations, TrafficConfig};
+//! use mcnet_sim::SimConfig;
+//!
+//! let report = Scenario::builder()
+//!     .tree(organizations::small_test_org())
+//!     .traffic(TrafficConfig::uniform(8, 256.0, 1e-3).unwrap())
+//!     .config(SimConfig::quick(42))
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//! assert!(report.mean_latency > 0.0);
+//! ```
+
+use crate::engine::Simulation;
+use crate::json::{object, Json};
+use crate::runner::{replicate_with, report_from, ReplicatedReport, SimConfig, SimReport};
+use crate::{Result, SimError};
+use mcnet_system::sweep::materialize_rates;
+use mcnet_system::{organizations, MultiClusterSystem, TorusSystem, TrafficConfig, TrafficPattern};
+
+/// A network fabric a scenario runs over — the configuration-layer counterpart
+/// of the engine's `FabricBackend`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fabric {
+    /// The paper's heterogeneous multi-cluster m-port n-tree fabric.
+    Tree(MultiClusterSystem),
+    /// A k-ary n-cube (torus) fabric.
+    Torus(TorusSystem),
+}
+
+impl Fabric {
+    /// Total number of processing nodes.
+    pub fn total_nodes(&self) -> usize {
+        match self {
+            Fabric::Tree(s) => s.total_nodes(),
+            Fabric::Torus(t) => t.total_nodes(),
+        }
+    }
+
+    /// A short human-readable summary of the fabric.
+    pub fn summary(&self) -> String {
+        match self {
+            Fabric::Tree(s) => s.summary(),
+            Fabric::Torus(t) => t.summary(),
+        }
+    }
+}
+
+/// A fully-specified simulation scenario: fabric + traffic + measurement
+/// protocol + replication plan. Build one with [`Scenario::builder`] or from a
+/// serialized [`ScenarioSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    name: String,
+    fabric: Fabric,
+    traffic: TrafficConfig,
+    config: SimConfig,
+    replications: usize,
+}
+
+impl Scenario {
+    /// Starts composing a scenario.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// The scenario's name (used to key benchmark and report entries).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fabric the scenario runs over.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The traffic configuration.
+    pub fn traffic(&self) -> &TrafficConfig {
+        &self.traffic
+    }
+
+    /// The measurement protocol.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The planned replication count ([`Scenario::execute`] honours it;
+    /// [`Scenario::replicate`] takes an explicit override).
+    pub fn replications(&self) -> usize {
+        self.replications
+    }
+
+    /// Returns the scenario re-seeded at `seed`, everything else unchanged.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Runs the scenario once. Bit-identical to the legacy
+    /// `run_simulation` / `run_torus_simulation` at the same inputs.
+    pub fn run(&self) -> Result<SimReport> {
+        self.run_point(&self.traffic, &self.config)
+    }
+
+    /// Runs `n` independent replications (seeds `seed`, `seed+1`, …) on the
+    /// bounded worker pool and aggregates them in replication order —
+    /// bit-identical to the legacy `run_replications` /
+    /// `run_torus_replications` contract.
+    pub fn replicate(&self, n: usize) -> Result<ReplicatedReport> {
+        replicate_with(&self.config, n, |cfg| self.run_point(&self.traffic, &cfg))
+    }
+
+    /// Runs the scenario as planned: [`Scenario::run`] when `replications` is
+    /// one, [`Scenario::replicate`] otherwise.
+    pub fn execute(&self) -> Result<ScenarioOutcome> {
+        if self.replications == 1 {
+            Ok(ScenarioOutcome::Single(self.run()?))
+        } else {
+            Ok(ScenarioOutcome::Replicated(self.replicate(self.replications)?))
+        }
+    }
+
+    /// Sweeps the generation rate over `rates`, one single run per point.
+    ///
+    /// The points are independent, so they fan over the bounded worker pool;
+    /// point `i` uses seed `seed + i` and results aggregate in sweep order, so
+    /// the output is bit-identical regardless of thread interleaving (the same
+    /// contract the figure sweeps have always had). The rate grid is
+    /// materialized through [`mcnet_system::sweep::materialize_rates`], keeping
+    /// the scenario's geometry and destination pattern at every point.
+    pub fn sweep(&self, rates: &[f64]) -> Result<Vec<SimReport>> {
+        self.sweep_outcomes(rates)?.into_iter().collect()
+    }
+
+    /// Like [`Scenario::sweep`], but returns each point's own `Result` so
+    /// callers can treat deep saturation ([`SimError::EventBudgetExhausted`])
+    /// as a missing point instead of failing the whole sweep. The outer
+    /// `Result` only reports invalid rate grids.
+    pub fn sweep_outcomes(&self, rates: &[f64]) -> Result<Vec<Result<SimReport>>> {
+        let configs = materialize_rates(&self.traffic, rates)?;
+        Ok(mcnet_system::parallel::parallel_map(configs, |i, traffic| {
+            let config = SimConfig { seed: self.config.seed.wrapping_add(i as u64), ..self.config };
+            self.run_point(&traffic, &config)
+        }))
+    }
+
+    /// Sweeps the generation rate over `rates` with `n` replications per point.
+    ///
+    /// Points run sequentially on purpose: each replication set already fans
+    /// over the bounded worker pool, and nesting `parallel_map` would multiply
+    /// thread counts up to workers² instead of sharing one pool. Every point
+    /// replicates from the same base seed (seeds `seed … seed+n-1`), the
+    /// backend-comparison contract.
+    pub fn sweep_replicated(
+        &self,
+        rates: &[f64],
+        n: usize,
+    ) -> Result<Vec<Result<ReplicatedReport>>> {
+        let configs = materialize_rates(&self.traffic, rates)?;
+        Ok(configs
+            .into_iter()
+            .map(|traffic| replicate_with(&self.config, n, |cfg| self.run_point(&traffic, &cfg)))
+            .collect())
+    }
+
+    /// One simulation run at an explicit traffic point and protocol — the
+    /// primitive every public entry point reduces to.
+    fn run_point(&self, traffic: &TrafficConfig, config: &SimConfig) -> Result<SimReport> {
+        let sim = match &self.fabric {
+            Fabric::Tree(system) => Simulation::new(system, traffic, config)?,
+            Fabric::Torus(torus) => Simulation::new_torus(torus, traffic, config)?,
+        };
+        report_from(sim, traffic, config)
+    }
+}
+
+/// What [`Scenario::execute`] produced: a single run or a replicated aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioOutcome {
+    /// One simulation run (`replications == 1`).
+    Single(SimReport),
+    /// An aggregate over independent replications.
+    Replicated(ReplicatedReport),
+}
+
+impl ScenarioOutcome {
+    /// The headline mean latency of the outcome.
+    pub fn mean_latency(&self) -> f64 {
+        match self {
+            ScenarioOutcome::Single(r) => r.mean_latency,
+            ScenarioOutcome::Replicated(r) => r.mean_latency,
+        }
+    }
+
+    /// Renders the outcome as a JSON tree (every report field included).
+    pub fn to_json(&self) -> Json {
+        match self {
+            ScenarioOutcome::Single(r) => {
+                object([("kind", Json::String("single".into())), ("report", sim_report_json(r))])
+            }
+            ScenarioOutcome::Replicated(r) => object([
+                ("kind", Json::String("replicated".into())),
+                ("report", replicated_report_json(r)),
+            ]),
+        }
+    }
+}
+
+/// Composable builder for [`Scenario`]. Fabric and traffic are mandatory; the
+/// protocol defaults to [`SimConfig::quick`] with seed 0 and the replication
+/// plan to a single run.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioBuilder {
+    name: Option<String>,
+    fabric: Option<Fabric>,
+    traffic: Option<TrafficConfig>,
+    config: Option<SimConfig>,
+    replications: Option<usize>,
+}
+
+impl ScenarioBuilder {
+    /// Names the scenario (defaults to the fabric summary).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Runs over the given fabric.
+    pub fn fabric(mut self, fabric: Fabric) -> Self {
+        self.fabric = Some(fabric);
+        self
+    }
+
+    /// Runs over a multi-cluster tree fabric.
+    pub fn tree(self, system: MultiClusterSystem) -> Self {
+        self.fabric(Fabric::Tree(system))
+    }
+
+    /// Runs over a k-ary n-cube (torus) fabric.
+    pub fn torus(self, torus: TorusSystem) -> Self {
+        self.fabric(Fabric::Torus(torus))
+    }
+
+    /// Sets the traffic configuration.
+    pub fn traffic(mut self, traffic: TrafficConfig) -> Self {
+        self.traffic = Some(traffic);
+        self
+    }
+
+    /// Sets the measurement protocol.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Sets the planned replication count (≥ 1).
+    pub fn replications(mut self, replications: usize) -> Self {
+        self.replications = Some(replications);
+        self
+    }
+
+    /// Validates and assembles the scenario.
+    pub fn build(self) -> Result<Scenario> {
+        let fabric = self.fabric.ok_or_else(|| SimError::InvalidConfiguration {
+            reason: "a scenario needs a fabric (tree or torus)".into(),
+        })?;
+        let traffic = self.traffic.ok_or_else(|| SimError::InvalidConfiguration {
+            reason: "a scenario needs a traffic configuration".into(),
+        })?;
+        let config = self.config.unwrap_or_else(|| SimConfig::quick(0));
+        let replications = self.replications.unwrap_or(1);
+        let name = self.name.unwrap_or_else(|| fabric.summary());
+        let scenario = Scenario { name, fabric, traffic, config, replications };
+        scenario.validate()?;
+        Ok(scenario)
+    }
+}
+
+impl Scenario {
+    /// Validates the assembled scenario: traffic and protocol parameters,
+    /// a strictly positive generation rate (a rate of zero generates no
+    /// messages, so the measurement phase could never complete), at least one
+    /// replication, and a hot-spot node that exists on the fabric.
+    fn validate(&self) -> Result<()> {
+        self.traffic.validate()?;
+        self.config.validate()?;
+        if self.traffic.generation_rate <= 0.0 {
+            return Err(SimError::InvalidConfiguration {
+                reason: "scenario generation_rate must be positive".into(),
+            });
+        }
+        if self.replications == 0 {
+            return Err(SimError::InvalidConfiguration {
+                reason: "scenario replications must be at least 1".into(),
+            });
+        }
+        if let TrafficPattern::Hotspot { hotspot, .. } = self.traffic.pattern {
+            if hotspot >= self.fabric.total_nodes() {
+                return Err(SimError::InvalidConfiguration {
+                    reason: format!(
+                        "hotspot node {hotspot} is out of range for a fabric of {} nodes",
+                        self.fabric.total_nodes()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The measurement-protocol presets a serialized spec can name (the explicit
+/// message counts stay an in-code concern of [`SimConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// [`SimConfig::quick`]: 200/2k/200 messages.
+    Quick,
+    /// [`SimConfig::reduced`]: 1k/10k/1k messages.
+    Reduced,
+    /// [`SimConfig::paper`]: the paper's 10k/100k/10k protocol.
+    Paper,
+}
+
+impl Protocol {
+    /// The corresponding simulation protocol.
+    pub fn sim_config(self, seed: u64) -> SimConfig {
+        match self {
+            Protocol::Quick => SimConfig::quick(seed),
+            Protocol::Reduced => SimConfig::reduced(seed),
+            Protocol::Paper => SimConfig::paper(seed),
+        }
+    }
+
+    /// The spec-file spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Protocol::Quick => "quick",
+            Protocol::Reduced => "reduced",
+            Protocol::Paper => "paper",
+        }
+    }
+}
+
+impl std::str::FromStr for Protocol {
+    type Err = SimError;
+
+    /// Parses the spec-file spelling (`"quick"`, `"reduced"`, `"paper"`).
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "quick" => Ok(Protocol::Quick),
+            "reduced" => Ok(Protocol::Reduced),
+            "paper" => Ok(Protocol::Paper),
+            other => Err(spec_error(format!(
+                "unknown protocol {other:?} (expected \"quick\", \"reduced\" or \"paper\")"
+            ))),
+        }
+    }
+}
+
+/// Serializable fabric geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricSpec {
+    /// A named predefined organization from
+    /// [`mcnet_system::organizations`]: `"table1_org_a"`, `"table1_org_b"`,
+    /// `"small_test"` or `"medium"`.
+    Org {
+        /// The organization name.
+        name: String,
+    },
+    /// An explicit heterogeneous tree: `(count, ports, levels)` cluster groups.
+    Tree {
+        /// Cluster groups, each repeated `count` times.
+        groups: Vec<(usize, usize, usize)>,
+    },
+    /// A k-ary n-cube torus.
+    Torus {
+        /// Radix `k` (nodes per dimension).
+        radix: usize,
+        /// Dimension count `n`.
+        dimensions: usize,
+    },
+}
+
+impl FabricSpec {
+    /// Materializes the fabric.
+    pub fn build(&self) -> Result<Fabric> {
+        match self {
+            FabricSpec::Org { name } => Ok(Fabric::Tree(match name.as_str() {
+                "table1_org_a" => organizations::table1_org_a(),
+                "table1_org_b" => organizations::table1_org_b(),
+                "small_test" => organizations::small_test_org(),
+                "medium" => organizations::medium_org(),
+                other => {
+                    return Err(spec_error(format!(
+                        "unknown organization {other:?} (expected \"table1_org_a\", \
+                         \"table1_org_b\", \"small_test\" or \"medium\")"
+                    )))
+                }
+            })),
+            FabricSpec::Tree { groups } => {
+                if groups.is_empty() {
+                    return Err(spec_error("tree fabric needs at least one cluster group"));
+                }
+                let clusters = organizations::cluster_groups(groups)?;
+                Ok(Fabric::Tree(MultiClusterSystem::new(clusters)?))
+            }
+            FabricSpec::Torus { radix, dimensions } => {
+                Ok(Fabric::Torus(TorusSystem::new(*radix, *dimensions)?))
+            }
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            FabricSpec::Org { name } => {
+                object([("kind", Json::String("org".into())), ("name", Json::String(name.clone()))])
+            }
+            FabricSpec::Tree { groups } => object([
+                ("kind", Json::String("tree".into())),
+                (
+                    "groups",
+                    Json::Array(
+                        groups
+                            .iter()
+                            .map(|&(count, ports, levels)| {
+                                Json::Array(vec![
+                                    Json::from_u64(count as u64),
+                                    Json::from_u64(ports as u64),
+                                    Json::from_u64(levels as u64),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            FabricSpec::Torus { radix, dimensions } => object([
+                ("kind", Json::String("torus".into())),
+                ("radix", Json::from_u64(*radix as u64)),
+                ("dimensions", Json::from_u64(*dimensions as u64)),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self> {
+        let obj = v.as_object().ok_or_else(|| spec_error("\"fabric\" must be an object"))?;
+        match get_str(v, "fabric.kind", "kind")? {
+            "org" => {
+                reject_unknown_keys(v, "\"fabric\"", &["kind", "name"])?;
+                Ok(FabricSpec::Org { name: get_str(v, "fabric.name", "name")?.to_string() })
+            }
+            "tree" => {
+                reject_unknown_keys(v, "\"fabric\"", &["kind", "groups"])?;
+                let groups = obj
+                    .get("groups")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| spec_error("tree fabric needs a \"groups\" array"))?;
+                let mut out = Vec::with_capacity(groups.len());
+                for g in groups {
+                    let triple = g.as_array().filter(|a| a.len() == 3).ok_or_else(|| {
+                        spec_error("each tree group must be a [count, ports, levels] triple")
+                    })?;
+                    let mut nums = [0usize; 3];
+                    for (slot, item) in nums.iter_mut().zip(triple) {
+                        *slot = item.as_usize().ok_or_else(|| {
+                            spec_error("tree group entries must be non-negative integers")
+                        })?;
+                    }
+                    out.push((nums[0], nums[1], nums[2]));
+                }
+                Ok(FabricSpec::Tree { groups: out })
+            }
+            "torus" => {
+                reject_unknown_keys(v, "\"fabric\"", &["kind", "radix", "dimensions"])?;
+                Ok(FabricSpec::Torus {
+                    radix: get_usize(v, "fabric.radix", "radix")?,
+                    dimensions: get_usize(v, "fabric.dimensions", "dimensions")?,
+                })
+            }
+            other => Err(spec_error(format!(
+                "unknown fabric kind {other:?} (expected \"org\", \"tree\" or \"torus\")"
+            ))),
+        }
+    }
+}
+
+/// The serializable plain-data mirror of a [`Scenario`]: everything needed to
+/// reproduce a run, with the measurement protocol named by preset. Stored as
+/// JSON under `specs/`; see [`ScenarioSpec::from_json`] for the schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (keys report and benchmark entries).
+    pub name: String,
+    /// Fabric geometry.
+    pub fabric: FabricSpec,
+    /// Message geometry, load and destination pattern.
+    pub traffic: TrafficConfig,
+    /// Measurement-protocol preset.
+    pub protocol: Protocol,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Replication count (≥ 1; 1 means a single run).
+    pub replications: usize,
+}
+
+impl ScenarioSpec {
+    /// Materializes and validates the scenario described by the spec.
+    pub fn build(&self) -> Result<Scenario> {
+        Scenario::builder()
+            .name(self.name.clone())
+            .fabric(self.fabric.build()?)
+            .traffic(self.traffic)
+            .config(self.protocol.sim_config(self.seed))
+            .replications(self.replications)
+            .build()
+    }
+
+    /// Returns the spec with the protocol preset replaced (used by CI to run
+    /// paper-protocol exemplars at quick protocol).
+    pub fn with_protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Serializes the spec as pretty-printed JSON (the `specs/*.json` format).
+    pub fn to_json(&self) -> String {
+        let pattern = match self.traffic.pattern {
+            TrafficPattern::Uniform => object([("kind", Json::String("uniform".into()))]),
+            TrafficPattern::Hotspot { hotspot, fraction } => object([
+                ("kind", Json::String("hotspot".into())),
+                ("hotspot", Json::from_u64(hotspot as u64)),
+                ("fraction", Json::Number(fraction)),
+            ]),
+            TrafficPattern::LocalFavoring { locality } => object([
+                ("kind", Json::String("local_favoring".into())),
+                ("locality", Json::Number(locality)),
+            ]),
+        };
+        object([
+            ("name", Json::String(self.name.clone())),
+            ("fabric", self.fabric.to_json()),
+            (
+                "traffic",
+                object([
+                    ("message_flits", Json::from_u64(self.traffic.message_flits as u64)),
+                    ("flit_bytes", Json::Number(self.traffic.flit_bytes)),
+                    ("generation_rate", Json::Number(self.traffic.generation_rate)),
+                    ("pattern", pattern),
+                ]),
+            ),
+            ("protocol", Json::String(self.protocol.as_str().into())),
+            ("seed", seed_to_json(self.seed)),
+            ("replications", Json::from_u64(self.replications as u64)),
+        ])
+        .to_pretty()
+    }
+
+    /// Parses a spec from its JSON form. The schema:
+    ///
+    /// ```json
+    /// {
+    ///   "name": "paper_tree_org_b",
+    ///   "fabric": {"kind": "org", "name": "table1_org_b"},
+    ///   "traffic": {
+    ///     "message_flits": 32,
+    ///     "flit_bytes": 256.0,
+    ///     "generation_rate": 3.0e-4,
+    ///     "pattern": {"kind": "uniform"}
+    ///   },
+    ///   "protocol": "paper",
+    ///   "seed": 2006,
+    ///   "replications": 3
+    /// }
+    /// ```
+    ///
+    /// `fabric.kind` is `"org"` (`name`), `"tree"` (`groups` of
+    /// `[count, ports, levels]` triples) or `"torus"` (`radix`, `dimensions`);
+    /// `pattern.kind` is `"uniform"`, `"hotspot"` (`hotspot`, `fraction`) or
+    /// `"local_favoring"` (`locality`); `seed` is a JSON number, or a decimal
+    /// string for values above 2⁵³ (which a JSON number cannot carry exactly).
+    /// Unknown fields anywhere in the spec are rejected — a misspelled key
+    /// must not silently fall back to a default. Otherwise parsing only checks
+    /// shape; value validation happens in [`ScenarioSpec::build`] so a spec
+    /// with, say, a zero rate parses fine but fails to build with a typed
+    /// error.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let doc = Json::parse(text).map_err(|e| spec_error(e.to_string()))?;
+        let obj = doc.as_object().ok_or_else(|| spec_error("spec must be a JSON object"))?;
+        reject_unknown_keys(
+            &doc,
+            "the spec",
+            &["name", "fabric", "traffic", "protocol", "seed", "replications"],
+        )?;
+        let traffic_json =
+            obj.get("traffic").ok_or_else(|| spec_error("spec needs a \"traffic\" object"))?;
+        reject_unknown_keys(
+            traffic_json,
+            "\"traffic\"",
+            &["message_flits", "flit_bytes", "generation_rate", "pattern"],
+        )?;
+        let pattern = match traffic_json.as_object().and_then(|t| t.get("pattern")) {
+            None => TrafficPattern::Uniform,
+            Some(p) => match get_str(p, "pattern.kind", "kind")? {
+                "uniform" => {
+                    reject_unknown_keys(p, "\"pattern\"", &["kind"])?;
+                    TrafficPattern::Uniform
+                }
+                "hotspot" => {
+                    reject_unknown_keys(p, "\"pattern\"", &["kind", "hotspot", "fraction"])?;
+                    TrafficPattern::Hotspot {
+                        hotspot: get_usize(p, "pattern.hotspot", "hotspot")?,
+                        fraction: get_f64(p, "pattern.fraction", "fraction")?,
+                    }
+                }
+                "local_favoring" => {
+                    reject_unknown_keys(p, "\"pattern\"", &["kind", "locality"])?;
+                    TrafficPattern::LocalFavoring {
+                        locality: get_f64(p, "pattern.locality", "locality")?,
+                    }
+                }
+                other => {
+                    return Err(spec_error(format!(
+                        "unknown pattern kind {other:?} (expected \"uniform\", \"hotspot\" or \
+                         \"local_favoring\")"
+                    )))
+                }
+            },
+        };
+        let traffic = TrafficConfig {
+            message_flits: get_usize(traffic_json, "traffic.message_flits", "message_flits")?,
+            flit_bytes: get_f64(traffic_json, "traffic.flit_bytes", "flit_bytes")?,
+            generation_rate: get_f64(traffic_json, "traffic.generation_rate", "generation_rate")?,
+            pattern,
+        };
+        Ok(ScenarioSpec {
+            name: get_str(&doc, "name", "name")?.to_string(),
+            fabric: FabricSpec::from_json(
+                obj.get("fabric").ok_or_else(|| spec_error("spec needs a \"fabric\" object"))?,
+            )?,
+            traffic,
+            protocol: get_str(&doc, "protocol", "protocol")?.parse()?,
+            seed: obj.get("seed").and_then(seed_from_json).ok_or_else(|| {
+                spec_error("spec needs an integer \"seed\" (or a decimal string above 2^53)")
+            })?,
+            replications: obj
+                .get("replications")
+                .map_or(Some(1), Json::as_usize)
+                .ok_or_else(|| spec_error("\"replications\" must be a non-negative integer"))?,
+        })
+    }
+}
+
+fn spec_error(reason: impl Into<String>) -> SimError {
+    SimError::InvalidSpec { reason: reason.into() }
+}
+
+/// Rejects unrecognised keys anywhere in a spec object — a misspelled nested
+/// key (say `"patern"`) must fail loudly, not silently fall back to a default
+/// and run the wrong workload. Non-objects pass through; the typed accessors
+/// report those.
+fn reject_unknown_keys(v: &Json, context: &str, allowed: &[&str]) -> Result<()> {
+    if let Some(obj) = v.as_object() {
+        for key in obj.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(spec_error(format!(
+                    "unknown field {key:?} in {context} (expected one of {allowed:?})"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Encodes a full-range u64 seed: a JSON number when it fits the f64-exact
+/// range, a decimal string above 2⁵³ (JSON numbers would silently round there,
+/// breaking run reproducibility). Anything that prints a seed — the spec, the
+/// report, the `scenario` bin — must use this, never `Json::from_u64`.
+pub fn seed_to_json(seed: u64) -> Json {
+    if seed <= (1 << 53) {
+        Json::from_u64(seed)
+    } else {
+        Json::String(seed.to_string())
+    }
+}
+
+/// Decodes either seed encoding.
+fn seed_from_json(v: &Json) -> Option<u64> {
+    v.as_u64().or_else(|| v.as_str().and_then(|s| s.parse().ok()))
+}
+
+fn get_str<'a>(v: &'a Json, path: &str, key: &str) -> Result<&'a str> {
+    v.as_object()
+        .and_then(|o| o.get(key))
+        .and_then(Json::as_str)
+        .ok_or_else(|| spec_error(format!("spec needs a string field {path:?}")))
+}
+
+fn get_f64(v: &Json, path: &str, key: &str) -> Result<f64> {
+    v.as_object()
+        .and_then(|o| o.get(key))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| spec_error(format!("spec needs a number field {path:?}")))
+}
+
+fn get_usize(v: &Json, path: &str, key: &str) -> Result<usize> {
+    v.as_object()
+        .and_then(|o| o.get(key))
+        .and_then(Json::as_usize)
+        .ok_or_else(|| spec_error(format!("spec needs a non-negative integer field {path:?}")))
+}
+
+fn opt_f64(v: Option<f64>) -> Json {
+    v.map_or(Json::Null, Json::Number)
+}
+
+fn class_summary_json(c: &crate::stats::ClassSummary) -> Json {
+    object([
+        ("count", Json::from_u64(c.count)),
+        ("mean", Json::Number(c.mean)),
+        ("std_dev", Json::Number(c.std_dev)),
+    ])
+}
+
+/// Renders one [`SimReport`] as a JSON tree (all fields; `None` becomes
+/// `null`). Kept in this module so the report schema and the spec schema
+/// evolve together.
+pub fn sim_report_json(r: &SimReport) -> Json {
+    object([
+        ("generation_rate", Json::Number(r.generation_rate)),
+        ("mean_latency", Json::Number(r.mean_latency)),
+        ("latency_std_dev", Json::Number(r.latency_std_dev)),
+        ("latency_std_error", Json::Number(r.latency_std_error)),
+        ("max_latency", Json::Number(r.max_latency)),
+        ("p99_latency", opt_f64(r.p99_latency)),
+        ("intra", class_summary_json(&r.intra)),
+        ("inter", class_summary_json(&r.inter)),
+        ("measured_messages", Json::from_u64(r.measured_messages)),
+        ("generated_messages", Json::from_u64(r.generated_messages)),
+        ("contention_ratio", Json::Number(r.contention_ratio)),
+        ("max_channel_utilization", Json::Number(r.max_channel_utilization)),
+        ("mean_bridge_utilization", opt_f64(r.mean_bridge_utilization)),
+        ("max_bridge_utilization", opt_f64(r.max_bridge_utilization)),
+        ("simulated_time", Json::Number(r.simulated_time)),
+        ("events", Json::from_u64(r.events)),
+        ("events_per_message", Json::Number(r.events_per_message)),
+        ("seed", seed_to_json(r.seed)),
+    ])
+}
+
+/// Renders a [`ReplicatedReport`] as a JSON tree.
+pub fn replicated_report_json(r: &ReplicatedReport) -> Json {
+    object([
+        ("mean_latency", Json::Number(r.mean_latency)),
+        ("halfwidth_95", opt_f64(r.halfwidth_95)),
+        ("replications", Json::Array(r.replications.iter().map(sim_report_json).collect())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_tree_scenario(seed: u64) -> Scenario {
+        Scenario::builder()
+            .tree(organizations::small_test_org())
+            .traffic(TrafficConfig::uniform(8, 256.0, 1e-3).unwrap())
+            .config(SimConfig::quick(seed))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_fabric_and_traffic() {
+        let missing_fabric =
+            Scenario::builder().traffic(TrafficConfig::uniform(8, 256.0, 1e-3).unwrap()).build();
+        assert!(matches!(missing_fabric, Err(SimError::InvalidConfiguration { .. })));
+        let missing_traffic = Scenario::builder().tree(organizations::small_test_org()).build();
+        assert!(matches!(missing_traffic, Err(SimError::InvalidConfiguration { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_scenarios() {
+        let zero_rate = Scenario::builder()
+            .tree(organizations::small_test_org())
+            .traffic(TrafficConfig::uniform(8, 256.0, 0.0).unwrap())
+            .build();
+        assert!(matches!(zero_rate, Err(SimError::InvalidConfiguration { .. })));
+        let zero_reps = Scenario::builder()
+            .tree(organizations::small_test_org())
+            .traffic(TrafficConfig::uniform(8, 256.0, 1e-3).unwrap())
+            .replications(0)
+            .build();
+        assert!(matches!(zero_reps, Err(SimError::InvalidConfiguration { .. })));
+        let bad_hotspot = Scenario::builder()
+            .torus(TorusSystem::new(4, 2).unwrap())
+            .traffic(
+                TrafficConfig::uniform(8, 256.0, 1e-3)
+                    .unwrap()
+                    .with_pattern(TrafficPattern::Hotspot { hotspot: 16, fraction: 0.2 })
+                    .unwrap(),
+            )
+            .build();
+        assert!(matches!(bad_hotspot, Err(SimError::InvalidConfiguration { .. })));
+    }
+
+    #[test]
+    fn defaults_and_accessors() {
+        let s = quick_tree_scenario(7);
+        assert_eq!(s.replications(), 1);
+        assert_eq!(s.name(), s.fabric().summary());
+        assert_eq!(s.config().seed, 7);
+        assert_eq!(s.clone().with_seed(9).config().seed, 9);
+        let named = Scenario::builder()
+            .torus(TorusSystem::new(4, 2).unwrap())
+            .traffic(TrafficConfig::uniform(8, 256.0, 1e-3).unwrap())
+            .name("my_torus")
+            .build()
+            .unwrap();
+        assert_eq!(named.name(), "my_torus");
+    }
+
+    #[test]
+    fn execute_honours_the_replication_plan() {
+        let single = quick_tree_scenario(5).execute().unwrap();
+        assert!(matches!(single, ScenarioOutcome::Single(_)));
+        let replicated = Scenario::builder()
+            .tree(organizations::small_test_org())
+            .traffic(TrafficConfig::uniform(8, 256.0, 1e-3).unwrap())
+            .config(SimConfig::quick(5))
+            .replications(2)
+            .build()
+            .unwrap()
+            .execute()
+            .unwrap();
+        match &replicated {
+            ScenarioOutcome::Replicated(r) => assert_eq!(r.replications.len(), 2),
+            other => panic!("expected replicated outcome, got {other:?}"),
+        }
+        assert!(replicated.mean_latency() > 0.0);
+        // The outcome JSON parses back and carries the headline number.
+        let json = replicated.to_json().to_pretty();
+        let parsed = Json::parse(&json).unwrap();
+        assert_eq!(parsed.as_object().unwrap()["kind"].as_str(), Some("replicated"));
+    }
+
+    #[test]
+    fn sweep_matches_point_runs_bit_for_bit() {
+        let s = quick_tree_scenario(100);
+        let rates = [5e-4, 1e-3, 2e-3];
+        let swept = s.sweep(&rates).unwrap();
+        assert_eq!(swept.len(), 3);
+        for (i, (report, &rate)) in swept.iter().zip(&rates).enumerate() {
+            // Point i of a sweep == a standalone run at rate_i with seed+i.
+            let standalone = Scenario::builder()
+                .tree(organizations::small_test_org())
+                .traffic(s.traffic().with_rate(rate).unwrap())
+                .config(SimConfig::quick(100 + i as u64))
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(report, &standalone);
+        }
+        assert!(s.sweep(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn replicated_sweep_shares_the_backend_contract() {
+        let s = quick_tree_scenario(40);
+        let outcomes = s.sweep_replicated(&[1e-3, 2e-3], 2).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        for (outcome, rate) in outcomes.iter().zip([1e-3, 2e-3]) {
+            let agg = outcome.as_ref().unwrap();
+            assert_eq!(agg.replications.len(), 2);
+            assert!(agg.halfwidth_95.is_some());
+            assert_eq!(agg.replications[0].generation_rate, rate);
+            // Same base seed at every point (the backend-comparison contract).
+            assert_eq!(agg.replications[0].seed, 40);
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = ScenarioSpec {
+            name: "round_trip".into(),
+            fabric: FabricSpec::Tree { groups: vec![(2, 4, 1), (1, 4, 2)] },
+            traffic: TrafficConfig {
+                message_flits: 16,
+                flit_bytes: 512.0,
+                generation_rate: 2.5e-4,
+                pattern: TrafficPattern::Hotspot { hotspot: 3, fraction: 0.15 },
+            },
+            protocol: Protocol::Reduced,
+            seed: 99,
+            replications: 4,
+        };
+        let text = spec.to_json();
+        let back = ScenarioSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+        // And the spec builds into a runnable scenario.
+        let scenario = back.build().unwrap();
+        assert_eq!(scenario.name(), "round_trip");
+        assert_eq!(scenario.replications(), 4);
+        assert_eq!(scenario.config().measured_messages, 10_000);
+    }
+
+    #[test]
+    fn org_and_torus_specs_build() {
+        for (name, fabric) in
+            [("table1_org_a", 1120), ("table1_org_b", 544), ("small_test", 32), ("medium", 128)]
+        {
+            let spec = FabricSpec::Org { name: name.into() };
+            assert_eq!(spec.build().unwrap().total_nodes(), fabric);
+        }
+        assert!(FabricSpec::Org { name: "nope".into() }.build().is_err());
+        let torus = FabricSpec::Torus { radix: 8, dimensions: 2 }.build().unwrap();
+        assert_eq!(torus.total_nodes(), 64);
+    }
+
+    #[test]
+    fn invalid_specs_fail_with_typed_errors() {
+        // Zero generation rate parses but fails to build.
+        let zero_rate = r#"{
+            "name": "bad", "fabric": {"kind": "torus", "radix": 4, "dimensions": 2},
+            "traffic": {"message_flits": 8, "flit_bytes": 256.0, "generation_rate": 0.0},
+            "protocol": "quick", "seed": 1, "replications": 1
+        }"#;
+        let spec = ScenarioSpec::from_json(zero_rate).unwrap();
+        assert!(matches!(spec.build(), Err(SimError::InvalidConfiguration { .. })));
+        // Empty geometry is rejected.
+        let empty_tree = r#"{
+            "name": "bad", "fabric": {"kind": "tree", "groups": []},
+            "traffic": {"message_flits": 8, "flit_bytes": 256.0, "generation_rate": 1e-3},
+            "protocol": "quick", "seed": 1, "replications": 1
+        }"#;
+        let spec = ScenarioSpec::from_json(empty_tree).unwrap();
+        assert!(matches!(spec.build(), Err(SimError::InvalidSpec { .. })));
+        // Shape errors are typed, not panics.
+        for bad in [
+            "not json",
+            "[]",
+            r#"{"name": "x"}"#,
+            r#"{"name": "x", "fabric": {"kind": "warp"}, "traffic": {"message_flits": 8,
+                "flit_bytes": 256.0, "generation_rate": 1e-3}, "protocol": "quick", "seed": 1}"#,
+            r#"{"name": "x", "fabric": {"kind": "torus", "radix": 4, "dimensions": 2},
+                "traffic": {"message_flits": 8, "flit_bytes": 256.0, "generation_rate": 1e-3},
+                "protocol": "warp", "seed": 1}"#,
+            r#"{"name": "x", "unknown_field": 1, "fabric": {"kind": "torus", "radix": 4,
+                "dimensions": 2}, "traffic": {"message_flits": 8, "flit_bytes": 256.0,
+                "generation_rate": 1e-3}, "protocol": "quick", "seed": 1}"#,
+        ] {
+            assert!(
+                matches!(ScenarioSpec::from_json(bad), Err(SimError::InvalidSpec { .. })),
+                "{bad:?} must be rejected with a typed spec error"
+            );
+        }
+    }
+
+    #[test]
+    fn misspelled_nested_keys_are_rejected() {
+        // A typo'd "pattern" key must not silently degrade to uniform traffic.
+        for bad in [
+            r#"{"name": "x", "fabric": {"kind": "torus", "radix": 4, "dimensions": 2},
+                "traffic": {"message_flits": 8, "flit_bytes": 256.0, "generation_rate": 1e-3,
+                "patern": {"kind": "hotspot", "hotspot": 0, "fraction": 0.6}},
+                "protocol": "quick", "seed": 1}"#,
+            r#"{"name": "x", "fabric": {"kind": "torus", "radix": 4, "dimensions": 2,
+                "radiks": 8},
+                "traffic": {"message_flits": 8, "flit_bytes": 256.0, "generation_rate": 1e-3},
+                "protocol": "quick", "seed": 1}"#,
+            r#"{"name": "x", "fabric": {"kind": "torus", "radix": 4, "dimensions": 2},
+                "traffic": {"message_flits": 8, "flit_bytes": 256.0, "generation_rate": 1e-3,
+                "pattern": {"kind": "hotspot", "hotspot": 0, "fraction": 0.6, "fractional": 1}},
+                "protocol": "quick", "seed": 1}"#,
+        ] {
+            assert!(
+                matches!(ScenarioSpec::from_json(bad), Err(SimError::InvalidSpec { .. })),
+                "nested unknown key must be rejected: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_above_2_pow_53_round_trip_losslessly() {
+        // A JSON number would round such seeds; they travel as decimal strings.
+        let spec = ScenarioSpec {
+            name: "big_seed".into(),
+            fabric: FabricSpec::Torus { radix: 4, dimensions: 2 },
+            traffic: TrafficConfig::uniform(8, 256.0, 1e-3).unwrap(),
+            protocol: Protocol::Quick,
+            seed: u64::MAX - 12345,
+            replications: 1,
+        };
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.seed, u64::MAX - 12345);
+        // And report serialization doesn't panic on a full-range seed either.
+        let outcome = back.build().unwrap().execute().unwrap();
+        let doc = Json::parse(&outcome.to_json().to_pretty()).unwrap();
+        let report = &doc.as_object().unwrap()["report"];
+        assert_eq!(
+            report.as_object().unwrap()["seed"].as_str(),
+            Some(format!("{}", u64::MAX - 12345).as_str())
+        );
+    }
+
+    #[test]
+    fn with_protocol_overrides_the_preset() {
+        let spec = ScenarioSpec {
+            name: "x".into(),
+            fabric: FabricSpec::Torus { radix: 4, dimensions: 2 },
+            traffic: TrafficConfig::uniform(8, 256.0, 1e-3).unwrap(),
+            protocol: Protocol::Paper,
+            seed: 1,
+            replications: 1,
+        };
+        let quick = spec.with_protocol(Protocol::Quick).build().unwrap();
+        assert_eq!(quick.config().measured_messages, 2_000);
+    }
+}

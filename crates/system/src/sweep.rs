@@ -60,11 +60,20 @@ impl TrafficSweep {
 
     /// The corresponding traffic configurations for a given message geometry.
     pub fn configs(&self, message_flits: usize, flit_bytes: f64) -> Result<Vec<TrafficConfig>> {
-        self.rates()
-            .into_iter()
-            .map(|r| TrafficConfig::uniform(message_flits, flit_bytes, r))
-            .collect()
+        materialize_rates(
+            &TrafficConfig::uniform(message_flits, flit_bytes, self.min_rate)?,
+            &self.rates(),
+        )
     }
+}
+
+/// The one shared rate→[`TrafficConfig`] materializer: stamps every rate of a
+/// sweep onto a template configuration, keeping the template's geometry and
+/// destination pattern. [`TrafficSweep::configs`], [`FigureSweep::configs`]
+/// (via `TrafficSweep`) and the simulator's `Scenario::sweep` all route through
+/// this function, so a rate grid means the same thing everywhere.
+pub fn materialize_rates(template: &TrafficConfig, rates: &[f64]) -> Result<Vec<TrafficConfig>> {
+    rates.iter().map(|&r| template.with_rate(r)).collect()
 }
 
 /// The sweep behind one panel of the paper's Figs. 3–4: a message geometry plus the
@@ -106,6 +115,21 @@ impl FigureSweep {
     pub fn with_points(mut self, points: usize) -> Self {
         self.points = points.max(2);
         self
+    }
+
+    /// The rate values of the sweep (the published x-axis points).
+    pub fn rates(&self) -> Result<Vec<f64>> {
+        Ok(TrafficSweep::up_to(self.max_rate, self.points)?.rates())
+    }
+
+    /// The uniform-traffic template the sweep's rates are stamped onto (the
+    /// lowest rate of the sweep; see [`materialize_rates`]).
+    pub fn template(&self) -> Result<TrafficConfig> {
+        TrafficConfig::uniform(
+            self.message_flits,
+            self.flit_bytes,
+            self.max_rate / self.points as f64,
+        )
     }
 
     /// The traffic configurations of the sweep.
@@ -175,6 +199,20 @@ mod tests {
         assert_eq!(grid.len(), 4);
         assert!(grid.contains(&(32, 256.0)));
         assert!(grid.contains(&(64, 512.0)));
+    }
+
+    #[test]
+    fn materializer_keeps_geometry_and_pattern() {
+        let template = TrafficConfig::uniform(64, 512.0, 1e-4)
+            .unwrap()
+            .with_pattern(crate::TrafficPattern::LocalFavoring { locality: 0.5 })
+            .unwrap();
+        let configs = materialize_rates(&template, &[1e-4, 2e-4, 3e-4]).unwrap();
+        assert_eq!(configs.len(), 3);
+        assert!(configs.iter().all(|c| c.message_flits == 64 && c.pattern == template.pattern));
+        assert_eq!(configs[2].generation_rate, 3e-4);
+        // Invalid rates surface as errors, not panics.
+        assert!(materialize_rates(&template, &[f64::NAN]).is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use mcnet::model::AnalyticalModel;
-use mcnet::sim::{run_simulation, SimConfig};
+use mcnet::sim::{Scenario, SimConfig};
 use mcnet::system::{organizations, TrafficConfig};
 
 fn main() {
@@ -31,8 +31,16 @@ fn main() {
     let worst = report.worst_cluster().expect("non-empty system");
     println!("  worst cluster         = #{} ({:.2})", worst.cluster, worst.mean_latency);
 
-    // 4. Cross-check with the discrete-event wormhole simulator (reduced protocol).
-    let sim = run_simulation(&system, &traffic, &SimConfig::reduced(42)).expect("simulation runs");
+    // 4. Cross-check with the discrete-event wormhole simulator (reduced
+    //    protocol), driven through the declarative Scenario API.
+    let sim = Scenario::builder()
+        .tree(system.clone())
+        .traffic(traffic)
+        .config(SimConfig::reduced(42))
+        .build()
+        .expect("valid scenario")
+        .run()
+        .expect("simulation runs");
     println!("\nsimulation ({} measured messages):", sim.measured_messages);
     println!("  mean message latency  = {:.2} ± {:.2}", sim.mean_latency, sim.latency_std_error);
     println!("  intra / inter class   = {:.2} / {:.2}", sim.intra.mean, sim.inter.mean);

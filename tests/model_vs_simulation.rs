@@ -3,12 +3,24 @@
 //! to sizes a test suite can afford.
 
 use mcnet::model::{AnalyticalModel, ModelOptions};
-use mcnet::sim::{run_simulation, SimConfig};
+use mcnet::sim::{Scenario, SimConfig, SimReport};
 use mcnet::system::{organizations, ClusterSpec, MultiClusterSystem, TrafficConfig};
 
 /// Relative error helper.
 fn rel_err(a: f64, b: f64) -> f64 {
     (a - b).abs() / b
+}
+
+/// One quick-protocol scenario run over a tree system.
+fn simulate(system: &MultiClusterSystem, traffic: &TrafficConfig, seed: u64) -> SimReport {
+    Scenario::builder()
+        .tree(system.clone())
+        .traffic(*traffic)
+        .config(SimConfig::quick(seed))
+        .build()
+        .expect("valid scenario")
+        .run()
+        .expect("simulation runs")
 }
 
 #[test]
@@ -18,7 +30,7 @@ fn model_matches_simulation_at_low_load_small_org() {
     let system = organizations::small_test_org();
     let traffic = TrafficConfig::uniform(16, 256.0, 2e-4).unwrap();
     let model = AnalyticalModel::new(&system, &traffic).unwrap().evaluate().unwrap();
-    let sim = run_simulation(&system, &traffic, &SimConfig::quick(1)).unwrap();
+    let sim = simulate(&system, &traffic, 1);
     assert!(
         rel_err(model.total_latency, sim.mean_latency) < 0.25,
         "model {} vs simulation {}",
@@ -33,7 +45,7 @@ fn model_matches_simulation_on_org_b_steady_state() {
     let system = organizations::table1_org_b();
     let traffic = TrafficConfig::uniform(32, 256.0, 2.5e-4).unwrap();
     let model = AnalyticalModel::new(&system, &traffic).unwrap().evaluate().unwrap();
-    let sim = run_simulation(&system, &traffic, &SimConfig::quick(7)).unwrap();
+    let sim = simulate(&system, &traffic, 7);
     assert!(
         rel_err(model.total_latency, sim.mean_latency) < 0.25,
         "model {} vs simulation {}",
@@ -49,7 +61,7 @@ fn simulation_exceeds_model_near_saturation() {
     let system = organizations::table1_org_b();
     let traffic = TrafficConfig::uniform(32, 256.0, 7.5e-4).unwrap();
     let model = AnalyticalModel::new(&system, &traffic).unwrap().evaluate().unwrap();
-    let sim = run_simulation(&system, &traffic, &SimConfig::quick(7)).unwrap();
+    let sim = simulate(&system, &traffic, 7);
     assert!(
         sim.mean_latency > model.total_latency,
         "simulation {} should exceed model {} near saturation",
@@ -68,7 +80,7 @@ fn both_model_and_simulation_grow_with_load() {
         let traffic = TrafficConfig::uniform(16, 256.0, rate).unwrap();
         let model =
             AnalyticalModel::new(&system, &traffic).unwrap().evaluate().unwrap().total_latency;
-        let sim = run_simulation(&system, &traffic, &SimConfig::quick(3)).unwrap().mean_latency;
+        let sim = simulate(&system, &traffic, 3).mean_latency;
         assert!(model > last_model, "model latency must grow with load");
         assert!(sim > last_sim, "simulated latency must grow with load");
         last_model = model;
@@ -124,7 +136,7 @@ fn org_a_saturates_at_lower_per_node_rate_than_org_b() {
 fn simulation_intra_cluster_latency_is_below_inter_cluster_latency() {
     let system = organizations::medium_org();
     let traffic = TrafficConfig::uniform(32, 256.0, 3e-4).unwrap();
-    let sim = run_simulation(&system, &traffic, &SimConfig::quick(11)).unwrap();
+    let sim = simulate(&system, &traffic, 11);
     assert!(sim.intra.count > 0 && sim.inter.count > 0);
     assert!(sim.inter.mean > sim.intra.mean);
 
@@ -149,7 +161,7 @@ fn heterogeneous_system_differs_from_homogeneous_equivalent_in_both_tools() {
     let m_hom = AnalyticalModel::new(&homo, &traffic).unwrap().evaluate().unwrap().total_latency;
     assert!((m_het - m_hom).abs() / m_hom > 0.01, "model: {m_het} vs {m_hom}");
 
-    let s_het = run_simulation(&hetero, &traffic, &SimConfig::quick(5)).unwrap().mean_latency;
-    let s_hom = run_simulation(&homo, &traffic, &SimConfig::quick(5)).unwrap().mean_latency;
+    let s_het = simulate(&hetero, &traffic, 5).mean_latency;
+    let s_hom = simulate(&homo, &traffic, 5).mean_latency;
     assert!((s_het - s_hom).abs() / s_hom > 0.01, "simulation: {s_het} vs {s_hom}");
 }

@@ -1,0 +1,150 @@
+//! Pins the Scenario API redesign: scenario-driven runs must be bit-identical
+//! to the legacy `run_*` entry points at fixed seeds (the deprecated wrappers
+//! are the reference here, used deliberately), and every spec file under
+//! `specs/` must round-trip through JSON and execute at quick protocol.
+
+use mcnet::sim::{Protocol, Scenario, ScenarioSpec, SimConfig, SimError};
+use mcnet::system::{organizations, TorusSystem, TrafficConfig};
+
+const SPECS_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/specs");
+
+fn spec_files() -> Vec<std::path::PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(SPECS_DIR)
+        .expect("specs/ directory exists at the workspace root")
+        .map(|entry| entry.expect("readable specs/ entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 3, "specs/ must keep its exemplars, found {files:?}");
+    files
+}
+
+#[test]
+#[allow(deprecated)]
+fn scenario_run_is_bit_identical_to_legacy_tree_entry_point() {
+    let system = organizations::small_test_org();
+    let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
+    for seed in [1, 77, 2006] {
+        let config = SimConfig::quick(seed);
+        let legacy = mcnet::sim::runner::run_simulation(&system, &traffic, &config).unwrap();
+        let scenario = Scenario::builder()
+            .tree(system.clone())
+            .traffic(traffic)
+            .config(config)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        // Full-struct equality: every statistic, count and utilisation agrees
+        // bit for bit (SimReport's f64 fields compare exactly).
+        assert_eq!(legacy, scenario, "seed {seed}");
+        assert_eq!(legacy.mean_latency.to_bits(), scenario.mean_latency.to_bits());
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn scenario_run_is_bit_identical_to_legacy_torus_entry_point() {
+    let torus = TorusSystem::new(4, 2).unwrap();
+    let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
+    for seed in [1, 77] {
+        let config = SimConfig::quick(seed);
+        let legacy = mcnet::sim::runner::run_torus_simulation(&torus, &traffic, &config).unwrap();
+        let scenario = Scenario::builder()
+            .torus(torus.clone())
+            .traffic(traffic)
+            .config(config)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(legacy, scenario, "seed {seed}");
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn scenario_replicate_is_bit_identical_to_legacy_replication_drivers() {
+    let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
+    let config = SimConfig::quick(42);
+
+    let system = organizations::small_test_org();
+    let legacy = mcnet::sim::runner::run_replications(&system, &traffic, &config, 3).unwrap();
+    let scenario = Scenario::builder()
+        .tree(system.clone())
+        .traffic(traffic)
+        .config(config)
+        .build()
+        .unwrap()
+        .replicate(3)
+        .unwrap();
+    assert_eq!(legacy, scenario);
+
+    let torus = TorusSystem::new(4, 2).unwrap();
+    let legacy = mcnet::sim::runner::run_torus_replications(&torus, &traffic, &config, 3).unwrap();
+    let scenario = Scenario::builder()
+        .torus(torus.clone())
+        .traffic(traffic)
+        .config(config)
+        .build()
+        .unwrap()
+        .replicate(3)
+        .unwrap();
+    assert_eq!(legacy, scenario);
+}
+
+#[test]
+fn every_spec_exemplar_round_trips_and_runs_at_quick_protocol() {
+    for path in spec_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec =
+            ScenarioSpec::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // serialize → deserialize → the same spec.
+        let round_tripped = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(round_tripped, spec, "{} drifted through JSON", path.display());
+        // build → run at quick protocol (CI runs the same spec set through the
+        // `scenario` bin; this is the in-process equivalent).
+        let scenario = spec
+            .clone()
+            .with_protocol(Protocol::Quick)
+            .build()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(scenario.name(), spec.name);
+        let outcome = scenario.execute().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(outcome.mean_latency() > 0.0, "{}", path.display());
+    }
+}
+
+#[test]
+fn spec_exemplars_cover_both_fabrics_and_a_non_uniform_pattern() {
+    let specs: Vec<ScenarioSpec> = spec_files()
+        .iter()
+        .map(|p| ScenarioSpec::from_json(&std::fs::read_to_string(p).unwrap()).unwrap())
+        .collect();
+    let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains(&"paper_tree_org_b"), "{names:?}");
+    assert!(names.contains(&"torus_8ary_2cube"), "{names:?}");
+    assert!(names.contains(&"hotspot_small_tree"), "{names:?}");
+    assert!(specs.iter().any(|s| !s.traffic.pattern.is_uniform()));
+}
+
+#[test]
+fn invalid_specs_are_rejected_with_typed_errors() {
+    // Zero rate: parses, fails to build.
+    let mut spec = ScenarioSpec::from_json(
+        &std::fs::read_to_string(format!("{SPECS_DIR}/torus_8ary.json")).unwrap(),
+    )
+    .unwrap();
+    spec.traffic.generation_rate = 0.0;
+    assert!(matches!(spec.build(), Err(SimError::InvalidConfiguration { .. })));
+    // Empty geometry: typed spec error, not a panic.
+    let empty = r#"{
+        "name": "empty", "fabric": {"kind": "tree", "groups": []},
+        "traffic": {"message_flits": 8, "flit_bytes": 256.0, "generation_rate": 1e-3},
+        "protocol": "quick", "seed": 1, "replications": 1
+    }"#;
+    let parsed = ScenarioSpec::from_json(empty).unwrap();
+    assert!(matches!(parsed.build(), Err(SimError::InvalidSpec { .. })));
+    // Garbage documents: typed parse errors.
+    assert!(matches!(ScenarioSpec::from_json("{ not json"), Err(SimError::InvalidSpec { .. })));
+}

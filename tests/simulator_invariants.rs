@@ -1,10 +1,25 @@
 //! Integration tests of the discrete-event simulator against analytically known
 //! results and conservation invariants.
 
-use mcnet::sim::{run_simulation, runner::run_replications, SimConfig};
+use mcnet::sim::{Scenario, SimConfig, SimReport};
 use mcnet::system::{
     organizations, ClusterSpec, MultiClusterSystem, TrafficConfig, TrafficPattern,
 };
+
+/// Builds the scenario every test in this file runs: one tree system, one
+/// traffic point, one protocol.
+fn scenario(system: &MultiClusterSystem, traffic: &TrafficConfig, cfg: &SimConfig) -> Scenario {
+    Scenario::builder()
+        .tree(system.clone())
+        .traffic(*traffic)
+        .config(*cfg)
+        .build()
+        .expect("valid scenario")
+}
+
+fn run(system: &MultiClusterSystem, traffic: &TrafficConfig, cfg: &SimConfig) -> SimReport {
+    scenario(system, traffic, cfg).run().expect("simulation runs")
+}
 
 #[test]
 fn zero_contention_latency_matches_closed_form() {
@@ -23,7 +38,7 @@ fn zero_contention_latency_matches_closed_form() {
         seed: 9,
         max_events: 10_000_000,
     };
-    let report = run_simulation(&system, &traffic, &cfg).unwrap();
+    let report = run(&system, &traffic, &cfg);
 
     let t_cn = 0.276;
     let t_cs = 0.522;
@@ -52,7 +67,7 @@ fn zero_contention_latency_matches_closed_form() {
 fn message_conservation_and_class_split() {
     let system = organizations::small_test_org();
     let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
-    let report = run_simulation(&system, &traffic, &SimConfig::quick(21)).unwrap();
+    let report = run(&system, &traffic, &SimConfig::quick(21));
     // Every measured message is either intra or inter; nothing is lost.
     assert_eq!(report.intra.count + report.inter.count, report.measured_messages);
     assert_eq!(report.measured_messages, 2_000);
@@ -80,16 +95,16 @@ fn fixed_seed_runs_are_bit_identical() {
     let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
     let cfg = SimConfig::quick(77);
 
-    let a = run_simulation(&system, &traffic, &cfg).unwrap();
-    let b = run_simulation(&system, &traffic, &cfg).unwrap();
+    let a = run(&system, &traffic, &cfg);
+    let b = run(&system, &traffic, &cfg);
     assert_eq!(a.mean_latency.to_bits(), b.mean_latency.to_bits());
     assert_eq!(a.latency_std_dev.to_bits(), b.latency_std_dev.to_bits());
     assert_eq!(a.max_latency.to_bits(), b.max_latency.to_bits());
     assert_eq!(a.events, b.events);
     assert_eq!(a.simulated_time.to_bits(), b.simulated_time.to_bits());
 
-    let r1 = run_replications(&system, &traffic, &cfg, 3).unwrap();
-    let r2 = run_replications(&system, &traffic, &cfg, 3).unwrap();
+    let r1 = scenario(&system, &traffic, &cfg).replicate(3).unwrap();
+    let r2 = scenario(&system, &traffic, &cfg).replicate(3).unwrap();
     assert_eq!(r1.mean_latency.to_bits(), r2.mean_latency.to_bits());
     assert_eq!(
         r1.halfwidth_95.expect("3 replications give a CI").to_bits(),
@@ -117,7 +132,7 @@ fn fixed_seed_golden_values_are_pinned() {
     // does not touch scheduling — so even the event count is bit-stable.
     let system = organizations::small_test_org();
     let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
-    let r = run_simulation(&system, &traffic, &SimConfig::quick(77)).unwrap();
+    let r = run(&system, &traffic, &SimConfig::quick(77));
     assert_eq!(r.mean_latency.to_bits(), 0x4025663985b2ac4f, "mean_latency {}", r.mean_latency);
     assert_eq!(r.events, 21887);
     assert_eq!(r.generated_messages, 2400);
@@ -127,8 +142,8 @@ fn fixed_seed_golden_values_are_pinned() {
 fn replications_tighten_the_confidence_interval() {
     let system = organizations::small_test_org();
     let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
-    let few = run_replications(&system, &traffic, &SimConfig::quick(1), 2).unwrap();
-    let many = run_replications(&system, &traffic, &SimConfig::quick(1), 6).unwrap();
+    let few = scenario(&system, &traffic, &SimConfig::quick(1)).replicate(2).unwrap();
+    let many = scenario(&system, &traffic, &SimConfig::quick(1)).replicate(6).unwrap();
     assert_eq!(few.replications.len(), 2);
     assert_eq!(many.replications.len(), 6);
     // Same seeds prefix => the first two replications are identical across calls.
@@ -150,8 +165,8 @@ fn hotspot_traffic_is_slower_than_uniform() {
     // within seed-to-seed noise on this small system.
     let hotspot =
         uniform.with_pattern(TrafficPattern::Hotspot { hotspot: 0, fraction: 0.6 }).unwrap();
-    let u = run_simulation(&system, &uniform, &SimConfig::quick(31)).unwrap();
-    let h = run_simulation(&system, &hotspot, &SimConfig::quick(31)).unwrap();
+    let u = run(&system, &uniform, &SimConfig::quick(31));
+    let h = run(&system, &hotspot, &SimConfig::quick(31));
     assert!(
         h.mean_latency > u.mean_latency,
         "hotspot {} should exceed uniform {}",
@@ -165,8 +180,8 @@ fn local_traffic_is_faster_than_uniform() {
     let system = organizations::medium_org();
     let uniform = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
     let local = uniform.with_pattern(TrafficPattern::LocalFavoring { locality: 0.9 }).unwrap();
-    let u = run_simulation(&system, &uniform, &SimConfig::quick(41)).unwrap();
-    let l = run_simulation(&system, &local, &SimConfig::quick(41)).unwrap();
+    let u = run(&system, &uniform, &SimConfig::quick(41));
+    let l = run(&system, &local, &SimConfig::quick(41));
     assert!(
         l.mean_latency < u.mean_latency,
         "local {} should be below uniform {}",
@@ -180,8 +195,8 @@ fn larger_messages_take_longer_in_simulation() {
     let system = organizations::small_test_org();
     let small = TrafficConfig::uniform(8, 256.0, 5e-4).unwrap();
     let large = TrafficConfig::uniform(32, 256.0, 5e-4).unwrap();
-    let s = run_simulation(&system, &small, &SimConfig::quick(51)).unwrap();
-    let l = run_simulation(&system, &large, &SimConfig::quick(51)).unwrap();
+    let s = run(&system, &small, &SimConfig::quick(51));
+    let l = run(&system, &large, &SimConfig::quick(51));
     assert!(l.mean_latency > 2.0 * s.mean_latency);
 }
 
@@ -191,7 +206,7 @@ fn paper_org_a_simulates_end_to_end_at_low_load() {
     // sane latencies: above the zero-load bound, below the saturation regime.
     let system = organizations::table1_org_a();
     let traffic = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
-    let report = run_simulation(&system, &traffic, &SimConfig::quick(61)).unwrap();
+    let report = run(&system, &traffic, &SimConfig::quick(61));
     assert!(report.mean_latency > 20.0, "latency {}", report.mean_latency);
     assert!(report.mean_latency < 500.0, "latency {}", report.mean_latency);
     assert!(report.contention_ratio < 0.5);

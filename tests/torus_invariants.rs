@@ -4,13 +4,26 @@
 
 use mcnet::sim::engine::Simulation;
 use mcnet::sim::routes::RouteTable;
-use mcnet::sim::runner::{run_torus_replications, run_torus_simulation};
-use mcnet::sim::{FabricBackend, SimConfig};
+use mcnet::sim::{FabricBackend, Scenario, SimConfig, SimReport};
 use mcnet::system::{TorusSystem, TrafficConfig};
 use mcnet::topology::NodeId;
 
 fn quick(seed: u64) -> SimConfig {
     SimConfig::quick(seed)
+}
+
+/// Builds the torus scenario the tests in this file run.
+fn scenario(torus: &TorusSystem, traffic: &TrafficConfig, cfg: &SimConfig) -> Scenario {
+    Scenario::builder()
+        .torus(torus.clone())
+        .traffic(*traffic)
+        .config(*cfg)
+        .build()
+        .expect("valid scenario")
+}
+
+fn run(torus: &TorusSystem, traffic: &TrafficConfig, cfg: &SimConfig) -> SimReport {
+    scenario(torus, traffic, cfg).run().expect("simulation runs")
 }
 
 #[test]
@@ -70,8 +83,8 @@ fn fixed_seed_torus_runs_are_bit_identical() {
     let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
     let cfg = quick(77);
 
-    let a = run_torus_simulation(&torus, &traffic, &cfg).unwrap();
-    let b = run_torus_simulation(&torus, &traffic, &cfg).unwrap();
+    let a = run(&torus, &traffic, &cfg);
+    let b = run(&torus, &traffic, &cfg);
     assert_eq!(a.mean_latency.to_bits(), b.mean_latency.to_bits());
     assert_eq!(a.latency_std_dev.to_bits(), b.latency_std_dev.to_bits());
     assert_eq!(a.max_latency.to_bits(), b.max_latency.to_bits());
@@ -79,8 +92,8 @@ fn fixed_seed_torus_runs_are_bit_identical() {
     assert_eq!(a.simulated_time.to_bits(), b.simulated_time.to_bits());
 
     // Replications share the deterministic seed/aggregation contract.
-    let r1 = run_torus_replications(&torus, &traffic, &cfg, 3).unwrap();
-    let r2 = run_torus_replications(&torus, &traffic, &cfg, 3).unwrap();
+    let r1 = scenario(&torus, &traffic, &cfg).replicate(3).unwrap();
+    let r2 = scenario(&torus, &traffic, &cfg).replicate(3).unwrap();
     assert_eq!(r1.mean_latency.to_bits(), r2.mean_latency.to_bits());
     assert_eq!(r1.replications[0].mean_latency.to_bits(), a.mean_latency.to_bits());
 }
@@ -95,15 +108,15 @@ fn fixed_seed_torus_golden_values_are_pinned() {
     // unchanged — see the matching note in simulator_invariants.rs.
     let torus = TorusSystem::new(4, 2).unwrap();
     let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
-    let r = run_torus_simulation(&torus, &traffic, &quick(77)).unwrap();
+    let r = run(&torus, &traffic, &quick(77));
     assert_eq!(r.generated_messages, 2400);
     assert_eq!(r.measured_messages, 2000);
     assert_eq!(r.mean_latency.to_bits(), GOLDEN_MEAN_LATENCY_BITS, "mean {}", r.mean_latency);
     assert_eq!(r.events, GOLDEN_EVENTS);
 }
 
-/// Pinned observables of `run_torus_simulation(TorusSystem::new(4, 2), M=16
-/// Lm=256 λ=1e-3, SimConfig::quick(77))`. Bit-stable across debug and release.
+/// Pinned observables of the torus scenario (`TorusSystem::new(4, 2)`, M=16
+/// Lm=256 λ=1e-3, `SimConfig::quick(77)`). Bit-stable across debug and release.
 const GOLDEN_MEAN_LATENCY_BITS: u64 = 0x402329825345CD2A;
 const GOLDEN_EVENTS: u64 = 14803;
 
@@ -112,8 +125,8 @@ fn torus_latency_increases_with_load_and_messages_conserve() {
     let torus = TorusSystem::new(4, 2).unwrap();
     let low_t = TrafficConfig::uniform(16, 256.0, 2e-4).unwrap();
     let high_t = TrafficConfig::uniform(16, 256.0, 3e-3).unwrap();
-    let low = run_torus_simulation(&torus, &low_t, &quick(5)).unwrap();
-    let high = run_torus_simulation(&torus, &high_t, &quick(5)).unwrap();
+    let low = run(&torus, &low_t, &quick(5));
+    let high = run(&torus, &high_t, &quick(5));
     assert!(
         high.mean_latency > low.mean_latency,
         "low={} high={}",
@@ -143,7 +156,7 @@ fn torus_zero_load_latency_matches_closed_form() {
         seed: 9,
         max_events: 10_000_000,
     };
-    let report = run_torus_simulation(&torus, &traffic, &cfg).unwrap();
+    let report = run(&torus, &traffic, &cfg);
     let (t_cn, t_cs) = (0.276, 0.522);
     let min_possible = 2.0 * t_cn + 1.0 * t_cs + (flits as f64 - 1.0) * t_cs;
     // Longest dimension-order route on the 4-ary 2-cube crosses 4 links.
