@@ -1,0 +1,118 @@
+//! Spec-driven model-vs-simulation validation: every given scenario spec is
+//! swept over fractions of its analytical saturation rate, evaluated with
+//! `Scenario::evaluate` (the analytical model) and simulated with
+//! `Scenario::sweep_outcomes`, and the steady-state relative error is gated
+//! against a tolerance. CI runs this over `specs/*.json` so a model or engine
+//! change that breaks low-load model/sim agreement — on either fabric, uniform
+//! or hot-spot — fails the build.
+//!
+//! Usage: `model_vs_sim [--effort quick|standard|paper] [--tolerance T]
+//! [--steady-fraction F] <spec.json>...`
+//!
+//! Exits non-zero when any spec's steady-state mean relative error exceeds the
+//! tolerance (default 0.25 — generous against quick-protocol noise; the
+//! integration tests pin the tighter 10% torus claim at reduced protocol).
+
+use mcnet_experiments::comparison::{validate_spec, validation_to_markdown, SpecValidation};
+use mcnet_experiments::EvaluationEffort;
+use mcnet_sim::ScenarioSpec;
+
+/// Sweep points as fractions of the analytical saturation rate: the
+/// steady-state region the accuracy claim is about, plus one near-knee point
+/// for context (not gated).
+const FRACTIONS: &[f64] = &[0.2, 0.35, 0.5, 0.8];
+const STEADY_FRACTION: f64 = 0.7;
+
+fn main() {
+    let mut tolerance = 0.25f64;
+    let mut effort = EvaluationEffort::Quick;
+    let mut steady_fraction = STEADY_FRACTION;
+    let mut spec_paths: Vec<String> = Vec::new();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter().map(String::as_str);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--effort" => {
+                effort = match iter.next() {
+                    Some("quick") => EvaluationEffort::Quick,
+                    Some("standard") => EvaluationEffort::Standard,
+                    Some("paper") => EvaluationEffort::Paper,
+                    other => usage(&format!("invalid --effort {other:?}")),
+                }
+            }
+            "--tolerance" => {
+                tolerance = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t > 0.0)
+                    .unwrap_or_else(|| usage("--tolerance needs a positive number"));
+            }
+            "--steady-fraction" => {
+                steady_fraction = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|f: &f64| (0.0..=1.0).contains(f))
+                    .unwrap_or_else(|| usage("--steady-fraction needs a value in [0, 1]"));
+            }
+            flag if flag.starts_with("--") => usage(&format!("unknown flag {flag:?}")),
+            path => spec_paths.push(path.to_string()),
+        }
+    }
+    if spec_paths.is_empty() {
+        usage("at least one spec file is required");
+    }
+
+    let mut cases: Vec<SpecValidation> = Vec::with_capacity(spec_paths.len());
+    for path in &spec_paths {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let spec = ScenarioSpec::from_json(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        eprintln!("# validating {} ({path})", spec.name);
+        let case = validate_spec(&spec, effort, FRACTIONS, steady_fraction)
+            .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        cases.push(case);
+    }
+
+    println!("{}", validation_to_markdown(&cases));
+
+    let mut failed = false;
+    for case in &cases {
+        let err = case.summary.steady_state_error;
+        if case.summary.steady_state_points == 0 {
+            eprintln!("FAIL {}: no steady-state points survived the sweep", case.name);
+            failed = true;
+        } else if err > tolerance {
+            eprintln!(
+                "FAIL {}: steady-state mean relative error {:.1}% exceeds the {:.1}% tolerance",
+                case.name,
+                100.0 * err,
+                100.0 * tolerance
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "ok   {}: steady-state mean relative error {:.1}% (tolerance {:.1}%)",
+                case.name,
+                100.0 * err,
+                100.0 * tolerance
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!(
+        "{problem}\nusage: model_vs_sim [--effort quick|standard|paper] [--tolerance T] \
+         [--steady-fraction F] <spec.json>..."
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}

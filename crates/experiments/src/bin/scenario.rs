@@ -1,16 +1,20 @@
-//! Runs a serialized scenario spec and prints the report as JSON.
+//! Runs a serialized scenario spec — through the simulator or, with
+//! `--model`, through the analytical model — and prints the report as JSON.
 //!
 //! The spec-file schema is documented on
 //! [`mcnet_sim::ScenarioSpec::from_json`]; exemplars live under `specs/` at the
 //! workspace root. The printed document is a single JSON object with the
 //! resolved scenario parameters and the run outcome, so the output of every
 //! spec is machine-checkable (CI runs each exemplar at quick protocol and
-//! validates exactly this schema).
+//! validates exactly this schema). With `--model` the outcome kind is
+//! `"model"` and the report is the analytical [`mcnet_sim::Scenario::evaluate`]
+//! result — one spec, either world.
 //!
-//! Usage: `scenario <spec.json> [--protocol quick|reduced|paper] [--replications N]`
+//! Usage: `scenario <spec.json> [--protocol quick|reduced|paper]
+//! [--replications N] [--model]`
 
 use mcnet_sim::json::{object, Json};
-use mcnet_sim::scenario::seed_to_json;
+use mcnet_sim::scenario::{model_report_json, seed_to_json};
 use mcnet_sim::{Protocol, ScenarioSpec};
 
 fn main() {
@@ -18,9 +22,11 @@ fn main() {
     let mut spec_path: Option<String> = None;
     let mut protocol_override: Option<Protocol> = None;
     let mut replications_override: Option<usize> = None;
+    let mut model = false;
     let mut iter = args.iter().map(String::as_str);
     while let Some(arg) = iter.next() {
         match arg {
+            "--model" => model = true,
             "--protocol" => {
                 let value = iter.next().unwrap_or_else(|| usage("--protocol needs a value"));
                 protocol_override = Some(
@@ -56,15 +62,28 @@ fn main() {
 
     let scenario = spec.build().unwrap_or_else(|e| fail(&format!("{spec_path}: {e}")));
     eprintln!(
-        "# scenario {:?}: {} at λ_g={:.2e}, protocol {}, {} replication(s)",
+        "# scenario {:?}: {} at λ_g={:.2e}, {}, {} replication(s)",
         scenario.name(),
         scenario.fabric().summary(),
         scenario.traffic().generation_rate,
-        spec.protocol.as_str(),
+        if model {
+            "analytical model".to_string()
+        } else {
+            format!("protocol {}", spec.protocol.as_str())
+        },
         scenario.replications(),
     );
-    let outcome =
-        scenario.execute().unwrap_or_else(|e| fail(&format!("scenario {spec_path} failed: {e}")));
+    let outcome = if model {
+        let report = scenario
+            .evaluate()
+            .unwrap_or_else(|e| fail(&format!("model evaluation of {spec_path} failed: {e}")));
+        object([("kind", Json::String("model".into())), ("report", model_report_json(&report))])
+    } else {
+        scenario
+            .execute()
+            .unwrap_or_else(|e| fail(&format!("scenario {spec_path} failed: {e}")))
+            .to_json()
+    };
 
     let document = object([
         ("name", Json::String(scenario.name().into())),
@@ -74,7 +93,7 @@ fn main() {
         ("protocol", Json::String(spec.protocol.as_str().into())),
         ("seed", seed_to_json(scenario.config().seed)),
         ("replications", Json::from_u64(scenario.replications() as u64)),
-        ("outcome", outcome.to_json()),
+        ("outcome", outcome),
     ]);
     print!("{}", document.to_pretty());
 }
@@ -82,7 +101,7 @@ fn main() {
 fn usage(problem: &str) -> ! {
     eprintln!(
         "{problem}\nusage: scenario <spec.json> [--protocol quick|reduced|paper] \
-         [--replications N]"
+         [--replications N] [--model]"
     );
     std::process::exit(2);
 }

@@ -3,12 +3,24 @@
 //! The paper's conclusion from Figs. 3–4 is qualitative: "the analytical model predicts
 //! the mean message latency with a good degree of accuracy when the system is in the
 //! steady-state region" with "discrepancies … when the system … approaches the
-//! saturation point". This module turns that claim into numbers: for a panel it
-//! computes the relative error of the model against the simulation per traffic point
-//! and aggregates it separately for the *steady-state region* (points at most a given
-//! fraction of the saturation rate) and the *near-saturation region* (the rest).
+//! saturation point". This module turns that claim into numbers, in two forms:
+//!
+//! * [`accuracy_report`] — the historical figure-panel view: the relative error
+//!   of the model against the simulation per traffic point of a (tree-fabric)
+//!   figure panel, split into the steady-state and near-saturation regions.
+//! * [`validate_spec`] / [`validate_specs`] — the **spec-driven validation
+//!   sweep**: any serialized [`ScenarioSpec`] (tree or torus, uniform or
+//!   hot-spot) is swept over fractions of its *analytical* saturation rate,
+//!   evaluated through [`mcnet_sim::Scenario::evaluate`] and simulated through
+//!   [`mcnet_sim::Scenario::sweep_outcomes`], and summarized with the same
+//!   region split — one report over every fabric × pattern the spec files
+//!   cover. The `model_vs_sim` binary (and the CI step of the same name) is
+//!   the command-line face of this path.
 
 use crate::figures::FigurePanel;
+use crate::{EvaluationEffort, ExperimentError, Result};
+use mcnet_model::ModelOptions;
+use mcnet_sim::{Scenario, ScenarioSpec, SimError};
 use serde::{Deserialize, Serialize};
 
 /// Relative error of one traffic point.
@@ -71,6 +83,149 @@ pub fn accuracy_report(panel: &FigurePanel, steady_fraction: f64) -> AccuracySum
         }
     }
     summarize_points(points)
+}
+
+/// The model-vs-simulation validation of one scenario spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecValidation {
+    /// Spec name.
+    pub name: String,
+    /// Fabric summary (`N=…` / `torus k=…`).
+    pub fabric: String,
+    /// Destination pattern, as a short tag (`uniform`, `hotspot`, …).
+    pub pattern: String,
+    /// The analytical saturation rate the sweep fractions are anchored to.
+    pub model_saturation: f64,
+    /// Accuracy summary over the swept points.
+    pub summary: AccuracySummary,
+}
+
+/// Sweeps one spec over `fractions` of its analytical saturation rate and
+/// compares model against simulation at every point.
+///
+/// The simulation runs at the given effort's protocol from the spec's own seed
+/// (one independent seed per point, the [`mcnet_sim::Scenario::sweep_outcomes`]
+/// contract); deep saturation on either side — an exhausted event budget or a
+/// saturated model — drops the point rather than failing the validation.
+/// Points at most `steady_fraction` of the saturation rate count as
+/// steady-state.
+pub fn validate_spec(
+    spec: &ScenarioSpec,
+    effort: EvaluationEffort,
+    fractions: &[f64],
+    steady_fraction: f64,
+) -> Result<SpecValidation> {
+    if fractions.is_empty() || fractions.iter().any(|f| !f.is_finite() || *f <= 0.0) {
+        return Err(ExperimentError::InvalidExperiment(format!(
+            "saturation fractions must be positive and finite, got {fractions:?}"
+        )));
+    }
+    let scenario = Scenario::builder()
+        .name(spec.name.clone())
+        .fabric(spec.fabric.build().map_err(ExperimentError::from)?)
+        .traffic(spec.traffic)
+        .config(effort.sim_config(spec.seed))
+        .build()
+        .map_err(ExperimentError::from)?;
+
+    let saturation = scenario
+        .model_backend()
+        .find_saturation_rate(&spec.traffic, ModelOptions::default(), 1e-4)
+        .map_err(ExperimentError::from)?;
+    let rates: Vec<f64> = fractions.iter().map(|f| f * saturation).collect();
+
+    let models = scenario.evaluate_sweep(&rates).map_err(ExperimentError::from)?;
+    let sims = scenario.sweep_outcomes(&rates).map_err(ExperimentError::from)?;
+
+    let mut points = Vec::with_capacity(rates.len());
+    for ((rate, fraction), (model, sim)) in
+        rates.iter().zip(fractions).zip(models.into_iter().zip(sims))
+    {
+        let model = match model {
+            Ok(report) => Some(report.mean_latency),
+            Err(SimError::ModelSaturated { .. }) => None,
+            Err(e) => return Err(e.into()),
+        };
+        let sim = match sim {
+            Ok(report) => Some(report.mean_latency),
+            Err(SimError::EventBudgetExhausted { .. }) => None,
+            Err(e) => return Err(e.into()),
+        };
+        let (Some(analysis), Some(simulation)) = (model, sim) else { continue };
+        if simulation <= 0.0 {
+            continue;
+        }
+        points.push(PointError {
+            rate: *rate,
+            analysis,
+            simulation,
+            relative_error: (analysis - simulation).abs() / simulation,
+            steady_state: *fraction <= steady_fraction,
+        });
+    }
+
+    Ok(SpecValidation {
+        name: spec.name.clone(),
+        fabric: scenario.fabric().summary(),
+        pattern: pattern_tag(&spec.traffic.pattern),
+        model_saturation: saturation,
+        summary: summarize_points(points),
+    })
+}
+
+/// Validates a whole spec set (tree/torus × uniform/hot-spot in the shipped
+/// `specs/` directory) into one report.
+pub fn validate_specs(
+    specs: &[ScenarioSpec],
+    effort: EvaluationEffort,
+    fractions: &[f64],
+    steady_fraction: f64,
+) -> Result<Vec<SpecValidation>> {
+    specs.iter().map(|spec| validate_spec(spec, effort, fractions, steady_fraction)).collect()
+}
+
+/// Renders a spec-validation set as one markdown table.
+pub fn validation_to_markdown(cases: &[SpecValidation]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "### Model vs simulation, spec-driven\n\n\
+         | spec | fabric | pattern | model saturation | steady-state err (mean/max) | \
+         near-saturation err | points |\n|---|---|---|---|---|---|---|\n",
+    );
+    let pct = |v: f64| {
+        if v.is_nan() {
+            "—".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * v)
+        }
+    };
+    for c in cases {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.3e} | {} / {} | {} | {} |",
+            c.name,
+            c.fabric,
+            c.pattern,
+            c.model_saturation,
+            pct(c.summary.steady_state_error),
+            pct(c.summary.steady_state_max_error),
+            pct(c.summary.near_saturation_error),
+            c.summary.points.len(),
+        );
+    }
+    out
+}
+
+fn pattern_tag(pattern: &mcnet_system::TrafficPattern) -> String {
+    match pattern {
+        mcnet_system::TrafficPattern::Uniform => "uniform".into(),
+        mcnet_system::TrafficPattern::Hotspot { hotspot, fraction } => {
+            format!("hotspot(node {hotspot}, f={fraction})")
+        }
+        mcnet_system::TrafficPattern::LocalFavoring { locality } => {
+            format!("local_favoring({locality})")
+        }
+    }
 }
 
 fn summarize_points(points: Vec<PointError>) -> AccuracySummary {
@@ -175,5 +330,58 @@ mod tests {
         assert!(acc.points.is_empty());
         assert!(acc.steady_state_error.is_nan());
         assert_eq!(acc.steady_state_max_error, 0.0);
+    }
+
+    fn torus_spec(pattern: mcnet_system::TrafficPattern) -> ScenarioSpec {
+        ScenarioSpec {
+            name: "validation_test".into(),
+            fabric: mcnet_sim::scenario::FabricSpec::Torus { radix: 4, dimensions: 2 },
+            traffic: mcnet_system::TrafficConfig::uniform(16, 256.0, 1e-3)
+                .unwrap()
+                .with_pattern(pattern)
+                .unwrap(),
+            protocol: mcnet_sim::Protocol::Quick,
+            seed: 7,
+            replications: 1,
+        }
+    }
+
+    #[test]
+    fn spec_validation_sweeps_model_against_simulation() {
+        let spec = torus_spec(mcnet_system::TrafficPattern::Uniform);
+        let v = validate_spec(&spec, EvaluationEffort::Quick, &[0.2, 0.4, 0.8], 0.7).unwrap();
+        assert_eq!(v.name, "validation_test");
+        assert!(v.fabric.contains("torus"));
+        assert_eq!(v.pattern, "uniform");
+        assert!(v.model_saturation > 0.0);
+        assert_eq!(v.summary.points.len(), 3);
+        assert_eq!(v.summary.steady_state_points, 2);
+        assert_eq!(v.summary.near_saturation_points, 1);
+        // Low-load agreement: the paper's qualitative claim, quantified.
+        assert!(
+            v.summary.steady_state_error < 0.25,
+            "steady-state error {}",
+            v.summary.steady_state_error
+        );
+        let md = validation_to_markdown(&[v]);
+        assert!(md.contains("validation_test"));
+        assert!(md.contains("torus"));
+    }
+
+    #[test]
+    fn spec_validation_covers_hotspot_patterns() {
+        let spec = torus_spec(mcnet_system::TrafficPattern::Hotspot { hotspot: 5, fraction: 0.2 });
+        let v = validate_spec(&spec, EvaluationEffort::Quick, &[0.3], 0.7).unwrap();
+        assert!(v.pattern.starts_with("hotspot"));
+        assert_eq!(v.summary.points.len(), 1);
+        assert!(v.summary.steady_state_error < 0.3, "{}", v.summary.steady_state_error);
+    }
+
+    #[test]
+    fn degenerate_fractions_are_rejected() {
+        let spec = torus_spec(mcnet_system::TrafficPattern::Uniform);
+        assert!(validate_spec(&spec, EvaluationEffort::Quick, &[], 0.7).is_err());
+        assert!(validate_spec(&spec, EvaluationEffort::Quick, &[-0.5], 0.7).is_err());
+        assert!(validate_spec(&spec, EvaluationEffort::Quick, &[f64::NAN], 0.7).is_err());
     }
 }

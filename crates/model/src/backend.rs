@@ -1,0 +1,320 @@
+//! The fabric-facing surface of the analytical layer: one entry point over both
+//! analytical models, mirroring the simulator's `FabricBackend` abstraction.
+//!
+//! A [`ModelBackend`] owns a fabric description — the paper's heterogeneous
+//! multi-cluster tree or a k-ary n-cube torus — and evaluates any supported
+//! traffic point through one surface: [`ModelBackend::evaluate`] (mean latency
+//! plus the per-class breakdown), [`ModelBackend::mean_latency`] and the
+//! pattern-aware saturation search [`ModelBackend::saturation_rate`] /
+//! [`ModelBackend::find_saturation_rate`]. The scenario layer in `mcnet-sim`
+//! builds one of these from the same `Fabric` that drives the simulator, which
+//! is what lets a single serialized scenario run through either world.
+
+use crate::multicluster::AnalyticalModel;
+use crate::options::ModelOptions;
+use crate::torus::{TorusLatencyReport, TorusModel};
+use crate::{LatencyReport, ModelError, Result};
+use mcnet_system::{MultiClusterSystem, TorusSystem, TrafficConfig};
+use serde::{Deserialize, Serialize};
+
+/// An analytical model bound to a fabric — the model-side counterpart of the
+/// simulator's `FabricBackend`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelBackend {
+    /// The paper's heterogeneous multi-cluster m-port n-tree model (Eqs. 1–36).
+    Tree(MultiClusterSystem),
+    /// The k-ary n-cube model (the Draper–Ghosh lineage; see [`crate::torus`]).
+    Torus(TorusSystem),
+}
+
+/// The unified latency report of one backend evaluation: the engine-facing
+/// headline numbers plus the fabric-specific breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelReport {
+    /// The per-node generation rate the report was computed for.
+    pub generation_rate: f64,
+    /// System-wide mean message latency.
+    pub mean_latency: f64,
+    /// Mean latency of the intra class (intra-cluster on the tree, same
+    /// dimension-0 sub-ring on the torus; background component under hot-spot
+    /// traffic).
+    pub intra_latency: f64,
+    /// Mean latency of the inter class.
+    pub inter_latency: f64,
+    /// Worst per-channel utilisation encountered anywhere in the model.
+    pub max_channel_utilization: f64,
+    /// The fabric-specific breakdown.
+    pub detail: ModelDetail,
+}
+
+/// Fabric-specific detail of a [`ModelReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelDetail {
+    /// Per-cluster breakdown of the tree model (Eqs. 35–36).
+    Tree(LatencyReport),
+    /// Class breakdown of the torus model.
+    Torus(TorusLatencyReport),
+}
+
+impl ModelReport {
+    /// A short tag naming the backend that produced the report.
+    pub fn backend_kind(&self) -> &'static str {
+        match self.detail {
+            ModelDetail::Tree(_) => "tree",
+            ModelDetail::Torus(_) => "torus",
+        }
+    }
+}
+
+impl ModelBackend {
+    /// Total number of processing nodes of the fabric.
+    pub fn total_nodes(&self) -> usize {
+        match self {
+            ModelBackend::Tree(s) => s.total_nodes(),
+            ModelBackend::Torus(t) => t.total_nodes(),
+        }
+    }
+
+    /// A short human-readable summary of the fabric.
+    pub fn summary(&self) -> String {
+        match self {
+            ModelBackend::Tree(s) => s.summary(),
+            ModelBackend::Torus(t) => t.summary(),
+        }
+    }
+
+    /// Evaluates the analytical model at one traffic point. Fails with
+    /// [`ModelError::Saturated`] when the model has no steady state there.
+    pub fn evaluate(&self, traffic: &TrafficConfig, options: ModelOptions) -> Result<ModelReport> {
+        match self {
+            ModelBackend::Tree(system) => {
+                let report = AnalyticalModel::with_options(system, traffic, options)?.evaluate()?;
+                Ok(ModelReport {
+                    generation_rate: report.generation_rate,
+                    mean_latency: report.total_latency,
+                    intra_latency: report.mean_intra_latency(),
+                    inter_latency: report.mean_inter_latency(),
+                    max_channel_utilization: report.max_channel_utilization,
+                    detail: ModelDetail::Tree(report),
+                })
+            }
+            ModelBackend::Torus(torus) => {
+                let report = TorusModel::new(torus, traffic, options)?.evaluate()?;
+                Ok(ModelReport {
+                    generation_rate: report.generation_rate,
+                    mean_latency: report.total,
+                    intra_latency: report.intra,
+                    inter_latency: report.inter,
+                    max_channel_utilization: report.max_channel_utilization,
+                    detail: ModelDetail::Torus(report),
+                })
+            }
+        }
+    }
+
+    /// Convenience: the mean latency at one traffic point, or `None` when the
+    /// model is saturated there (errors other than saturation propagate).
+    pub fn mean_latency(
+        &self,
+        traffic: &TrafficConfig,
+        options: ModelOptions,
+    ) -> Result<Option<f64>> {
+        match self.evaluate(traffic, options) {
+            Ok(report) => Ok(Some(report.mean_latency)),
+            Err(ModelError::Saturated { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Finds the saturation generation rate for the given message geometry and
+    /// destination pattern (taken from `template`; its rate is ignored) by
+    /// bisection: the largest rate (within `tolerance`) at which the model
+    /// still has a steady state. `upper_bound` must be a saturated rate.
+    pub fn saturation_rate(
+        &self,
+        template: &TrafficConfig,
+        options: ModelOptions,
+        upper_bound: f64,
+        tolerance: f64,
+    ) -> Result<f64> {
+        let steady = |rate: f64| -> Result<bool> {
+            let traffic = template.with_rate(rate).map_err(ModelError::from)?;
+            Ok(self.mean_latency(&traffic, options)?.is_some())
+        };
+        if steady(upper_bound)? {
+            return Err(ModelError::InvalidConfiguration {
+                reason: format!("the model is not saturated at the upper bound {upper_bound}"),
+            });
+        }
+        let mut lo = 0.0;
+        let mut hi = upper_bound;
+        while hi - lo > tolerance {
+            let mid = 0.5 * (lo + hi);
+            if steady(mid)? {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Like [`ModelBackend::saturation_rate`], but finds its own bracket by
+    /// doubling (or, when the template's rate is already saturated, halving)
+    /// from the template's rate. The bracket is a factor of two wide before
+    /// the bisection starts, so `relative_tolerance` is relative to the found
+    /// saturation rate (within that factor) no matter how far off the starting
+    /// rate was.
+    pub fn find_saturation_rate(
+        &self,
+        template: &TrafficConfig,
+        options: ModelOptions,
+        relative_tolerance: f64,
+    ) -> Result<f64> {
+        let steady = |rate: f64| -> Result<bool> {
+            let traffic = template.with_rate(rate).map_err(ModelError::from)?;
+            Ok(self.mean_latency(&traffic, options)?.is_some())
+        };
+        let mut rate = if template.generation_rate > 0.0 { template.generation_rate } else { 1e-6 };
+        if steady(rate)? {
+            // Double until saturated: the first saturated rate is at most
+            // 2× the saturation point.
+            for _ in 0..64 {
+                rate *= 2.0;
+                if !steady(rate)? {
+                    return self.saturation_rate(
+                        template,
+                        options,
+                        rate,
+                        relative_tolerance * rate,
+                    );
+                }
+            }
+            Err(ModelError::InvalidConfiguration {
+                reason: format!("the model never saturates below {rate}"),
+            })
+        } else {
+            // Halve until steady: the last saturated rate (2× the first steady
+            // one) is then an equally tight upper bound.
+            for _ in 0..64 {
+                rate *= 0.5;
+                if steady(rate)? {
+                    let upper = 2.0 * rate;
+                    return self.saturation_rate(
+                        template,
+                        options,
+                        upper,
+                        relative_tolerance * upper,
+                    );
+                }
+            }
+            Err(ModelError::InvalidConfiguration {
+                reason: format!("the model is saturated even at the vanishing rate {rate}"),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcnet_system::{organizations, TrafficPattern};
+
+    #[test]
+    fn tree_backend_matches_the_direct_model() {
+        let system = organizations::table1_org_b();
+        let backend = ModelBackend::Tree(system.clone());
+        let traffic = TrafficConfig::uniform(32, 256.0, 2e-4).unwrap();
+        let unified = backend.evaluate(&traffic, ModelOptions::default()).unwrap();
+        let direct = AnalyticalModel::new(&system, &traffic).unwrap().evaluate().unwrap();
+        assert_eq!(unified.mean_latency, direct.total_latency);
+        assert_eq!(unified.intra_latency, direct.mean_intra_latency());
+        assert_eq!(unified.backend_kind(), "tree");
+        assert!(matches!(unified.detail, ModelDetail::Tree(_)));
+        assert_eq!(backend.total_nodes(), 544);
+    }
+
+    #[test]
+    fn torus_backend_matches_the_direct_model() {
+        let torus = TorusSystem::new(4, 2).unwrap();
+        let backend = ModelBackend::Torus(torus.clone());
+        let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
+        let unified = backend.evaluate(&traffic, ModelOptions::default()).unwrap();
+        let direct =
+            TorusModel::new(&torus, &traffic, ModelOptions::default()).unwrap().evaluate().unwrap();
+        assert_eq!(unified.mean_latency, direct.total);
+        assert_eq!(unified.backend_kind(), "torus");
+        assert_eq!(backend.total_nodes(), 16);
+        assert!(backend.summary().contains("torus"));
+    }
+
+    #[test]
+    fn saturation_search_works_on_both_backends() {
+        let tree = ModelBackend::Tree(organizations::table1_org_b());
+        let template = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
+        let sat_tree = tree.find_saturation_rate(&template, ModelOptions::default(), 1e-4).unwrap();
+        // Must agree with the historical tree-only search.
+        let reference = crate::multicluster::saturation_rate(
+            &organizations::table1_org_b(),
+            32,
+            256.0,
+            ModelOptions::default(),
+            1e-2,
+            1e-7,
+        )
+        .unwrap();
+        assert!((sat_tree - reference).abs() / reference < 1e-2, "{sat_tree} vs {reference}");
+
+        let torus = ModelBackend::Torus(TorusSystem::new(4, 2).unwrap());
+        let template = TrafficConfig::uniform(16, 256.0, 1e-4).unwrap();
+        let sat_torus =
+            torus.find_saturation_rate(&template, ModelOptions::default(), 1e-4).unwrap();
+        assert!(sat_torus > 0.0);
+        // Just below: steady; just above: saturated.
+        let below = template.with_rate(sat_torus * 0.95).unwrap();
+        assert!(torus.mean_latency(&below, ModelOptions::default()).unwrap().is_some());
+        let above = template.with_rate(sat_torus * 1.10).unwrap();
+        assert!(torus.mean_latency(&above, ModelOptions::default()).unwrap().is_none());
+    }
+
+    #[test]
+    fn saturation_search_honours_the_pattern() {
+        let torus = ModelBackend::Torus(TorusSystem::new(4, 2).unwrap());
+        let uniform = TrafficConfig::uniform(16, 256.0, 1e-4).unwrap();
+        let hot =
+            uniform.with_pattern(TrafficPattern::Hotspot { hotspot: 3, fraction: 0.4 }).unwrap();
+        let opts = ModelOptions::default();
+        let sat_uniform = torus.find_saturation_rate(&uniform, opts, 1e-4).unwrap();
+        let sat_hot = torus.find_saturation_rate(&hot, opts, 1e-4).unwrap();
+        assert!(
+            sat_hot < sat_uniform,
+            "hot-spot traffic must saturate earlier: {sat_hot} vs {sat_uniform}"
+        );
+    }
+
+    #[test]
+    fn saturation_search_converges_from_either_side() {
+        // The search must land on the same saturation rate whether the
+        // template's starting rate is far below or far above it — the
+        // tolerance is anchored to the found bracket, not the starting rate.
+        let torus = ModelBackend::Torus(TorusSystem::new(4, 2).unwrap());
+        let opts = ModelOptions::default();
+        let from_below = torus
+            .find_saturation_rate(&TrafficConfig::uniform(16, 256.0, 1e-7).unwrap(), opts, 1e-4)
+            .unwrap();
+        let from_above = torus
+            .find_saturation_rate(&TrafficConfig::uniform(16, 256.0, 10.0).unwrap(), opts, 1e-4)
+            .unwrap();
+        assert!(
+            (from_below - from_above).abs() / from_below < 1e-3,
+            "{from_below} vs {from_above}"
+        );
+    }
+
+    #[test]
+    fn bad_upper_bound_is_rejected() {
+        let tree = ModelBackend::Tree(organizations::table1_org_b());
+        let template = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
+        assert!(tree.saturation_rate(&template, ModelOptions::default(), 1e-7, 1e-9).is_err());
+    }
+}

@@ -38,12 +38,17 @@ pub fn concentrator_waiting(lambda_icn2: f64, times: &ChannelTimes, cluster: usi
 }
 
 /// Mean concentrator/dispatcher waiting time seen by external messages of cluster `i`
-/// (Eq. 34), given the per-destination waiting times `W_s^{(i,v)}` for every `v ≠ i`.
-pub fn mean_concentrator_waiting(per_pair: &[f64]) -> f64 {
-    if per_pair.is_empty() {
-        return 0.0;
-    }
-    2.0 * per_pair.iter().sum::<f64>() / per_pair.len() as f64
+/// (Eq. 34): twice the destination-averaged per-direction wait — the factor 2 accounts
+/// for the concentrate buffer (ECN1 → ICN2) and the dispatch buffer (ICN2 → ECN1),
+/// which see the same rate and service time.
+///
+/// `weighted_sum` is `Σ_v w_v · W_s^{(i,v)}` over the destination clusters and `norm`
+/// the weight normalizer: `C − 1` for the paper's arithmetic destination average
+/// (uniform traffic, where every `w_v` is 1), `1` for a probability-weighted
+/// non-uniform destination mix. This is the single home of Eq. 34's doubling rule;
+/// `inter::inter_cluster_latency` supplies both aggregation flavours.
+pub fn mean_concentrator_waiting(weighted_sum: f64, norm: f64) -> f64 {
+    2.0 * weighted_sum / norm
 }
 
 #[cfg(test)]
@@ -99,9 +104,12 @@ mod tests {
 
     #[test]
     fn mean_doubles_the_per_direction_wait() {
-        assert_eq!(mean_concentrator_waiting(&[]), 0.0);
-        let w = mean_concentrator_waiting(&[1.0, 2.0, 3.0]);
+        // Uniform flavour: arithmetic mean over C−1 destinations, doubled.
+        let w = mean_concentrator_waiting(1.0 + 2.0 + 3.0, 3.0);
         assert!((w - 4.0).abs() < 1e-12); // 2 * mean(1,2,3) = 4
+                                          // Weighted flavour: the weights already sum to one.
+        let w = mean_concentrator_waiting(0.25 * 2.0 + 0.75 * 4.0, 1.0);
+        assert!((w - 7.0).abs() < 1e-12);
     }
 
     #[test]

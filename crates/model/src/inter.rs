@@ -39,7 +39,24 @@ pub struct InterClusterLatency {
     pub max_channel_utilization: f64,
 }
 
+/// The per-destination quantities of one `(source, v)` journey.
+struct PairLatency {
+    network: f64,
+    wait: f64,
+    tail: f64,
+    concentrator: f64,
+    max_utilization: f64,
+}
+
 /// Computes the inter-cluster latency seen by messages originating in cluster `source`.
+///
+/// Under uniform traffic the per-destination quantities are averaged
+/// arithmetically over the `C − 1` destination clusters, exactly as published
+/// (Eqs. 31 and 34). Under a non-uniform destination mix each destination is
+/// weighted by the probability `q(i,v)/P_o^{(i)}` that an external message of
+/// this cluster actually goes there (destinations that receive none of this
+/// cluster's traffic are skipped entirely, so a saturated but unused pair
+/// journey cannot poison the average).
 pub fn inter_cluster_latency(
     rates: &SystemRates,
     hops: &HopCache,
@@ -48,70 +65,40 @@ pub fn inter_cluster_latency(
     options: &ModelOptions,
 ) -> Result<InterClusterLatency> {
     let num_clusters = rates.clusters().len();
-    let src = rates.cluster(source);
-    let hops_src = hops.cluster(src.levels);
+    let weights = rates.destination_weights(source);
 
     let mut network_sum = 0.0;
     let mut wait_sum = 0.0;
     let mut tail_sum = 0.0;
-    let mut concentrator_waits = Vec::with_capacity(num_clusters - 1);
+    let mut concentrator_sum = 0.0;
     let mut max_utilization: f64 = 0.0;
 
     for v in 0..num_clusters {
         if v == source {
             continue;
         }
-        let dst = rates.cluster(v);
-        let hops_dst = hops.cluster(dst.levels);
-        let pair = rates.pair(source, v);
-
-        let network = service::mean_inter_network_latency(
-            hops_src,
-            hops_dst,
-            hops.icn2(),
-            pair.eta_ecn1,
-            pair.eta_icn2,
-            times,
-        )?;
-        service::check_channel_utilization(&network, Some(source))?;
-        max_utilization = max_utilization.max(network.max_utilization);
-
-        let wait = source_queue::waiting_time(
-            &SourceQueueInput {
-                kind: SourceQueueKind::Inter,
-                per_node_rate: src.per_node_ecn1_rate,
-                aggregate_rate: pair.lambda_ecn1,
-                network_latency: network.latency,
-                minimum_latency: times.message_node_time(),
-                cluster: source,
-            },
-            options,
-        )?;
-
-        let tail = tail::inter_tail_time(hops_src, hops_dst, hops.icn2(), times);
-
-        network_sum += network.latency;
-        wait_sum += wait;
-        tail_sum += tail;
-
-        if options.include_concentrator {
-            concentrator_waits.push(concentrator::concentrator_waiting(
-                pair.lambda_icn2,
-                times,
-                source,
-            )?);
-        }
+        // Uniform: every destination weighs 1/(C−1) (applied after the sum, in
+        // the published sum-then-divide form). Non-uniform: the mix weight.
+        let weight = match &weights {
+            None => 1.0,
+            Some(w) if w[v] > 0.0 => w[v],
+            Some(_) => continue,
+        };
+        let pair = pair_latency(rates, hops, source, v, times, options)?;
+        max_utilization = max_utilization.max(pair.max_utilization);
+        network_sum += weight * pair.network;
+        wait_sum += weight * pair.wait;
+        tail_sum += weight * pair.tail;
+        concentrator_sum += weight * pair.concentrator;
     }
 
-    let destinations = (num_clusters - 1) as f64;
-    let network = network_sum / destinations;
-    let source_wait = wait_sum / destinations;
-    let tail = tail_sum / destinations;
-    let concentrator_wait = if options.include_concentrator {
-        concentrator::mean_concentrator_waiting(&concentrator_waits)
-    } else {
-        0.0
-    };
+    // The uniform path divides by C−1 here; the weighted path's weights already
+    // sum to one. Eq. 34's factor 2 lives in the concentrator module.
+    let norm = if weights.is_none() { (num_clusters - 1) as f64 } else { 1.0 };
+    let network = network_sum / norm;
+    let source_wait = wait_sum / norm;
+    let tail = tail_sum / norm;
+    let concentrator_wait = concentrator::mean_concentrator_waiting(concentrator_sum, norm);
 
     Ok(InterClusterLatency {
         network,
@@ -120,6 +107,58 @@ pub fn inter_cluster_latency(
         total: network + source_wait + tail,
         concentrator_wait,
         max_channel_utilization: max_utilization,
+    })
+}
+
+/// Evaluates one `(source, v)` pair journey (Eqs. 26–33).
+fn pair_latency(
+    rates: &SystemRates,
+    hops: &HopCache,
+    source: usize,
+    v: usize,
+    times: &ChannelTimes,
+    options: &ModelOptions,
+) -> Result<PairLatency> {
+    let src = rates.cluster(source);
+    let hops_src = hops.cluster(src.levels);
+    let dst = rates.cluster(v);
+    let hops_dst = hops.cluster(dst.levels);
+    let pair = rates.pair(source, v);
+
+    let network = service::mean_inter_network_latency(
+        hops_src,
+        hops_dst,
+        hops.icn2(),
+        pair.eta_ecn1,
+        pair.eta_icn2,
+        times,
+    )?;
+    service::check_channel_utilization(&network, Some(source))?;
+
+    let wait = source_queue::waiting_time(
+        &SourceQueueInput {
+            kind: SourceQueueKind::Inter,
+            per_node_rate: src.per_node_ecn1_rate,
+            aggregate_rate: pair.lambda_ecn1,
+            network_latency: network.latency,
+            minimum_latency: times.message_node_time(),
+            cluster: Some(source),
+        },
+        options,
+    )?;
+
+    let tail = tail::inter_tail_time(hops_src, hops_dst, hops.icn2(), times);
+    let concentrator = if options.include_concentrator {
+        concentrator::concentrator_waiting(pair.lambda_icn2, times, source)?
+    } else {
+        0.0
+    };
+    Ok(PairLatency {
+        network: network.latency,
+        wait,
+        tail,
+        concentrator,
+        max_utilization: network.max_utilization,
     })
 }
 

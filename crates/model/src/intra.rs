@@ -47,7 +47,7 @@ pub fn intra_cluster_latency(
             aggregate_rate: rates.lambda_icn1,
             network_latency: network.latency,
             minimum_latency: times.message_node_time(),
-            cluster: rates.cluster,
+            cluster: Some(rates.cluster),
         },
         options,
     )?;

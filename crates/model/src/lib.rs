@@ -1,9 +1,12 @@
 //! # mcnet-model
 //!
-//! The analytical mean-message-latency model for **heterogeneous multi-cluster
-//! systems** — the primary contribution of Javadi, Abawajy, Akbari and Nahavandi,
-//! *"Analysis of Interconnection Networks in Heterogeneous Multi-Cluster Systems"*,
-//! ICPP Workshops 2006 (Section 3, Eqs. (1)–(36)).
+//! The analytical mean-message-latency models of this workspace: the
+//! **heterogeneous multi-cluster tree model** — the primary contribution of
+//! Javadi, Abawajy, Akbari and Nahavandi, *"Analysis of Interconnection
+//! Networks in Heterogeneous Multi-Cluster Systems"*, ICPP Workshops 2006
+//! (Section 3, Eqs. (1)–(36)) — and a **k-ary n-cube (torus) model** in the
+//! same M/G/1 lineage ([`torus`]), both behind one fabric-facing surface
+//! ([`ModelBackend`]) that mirrors the simulator's backend abstraction.
 //!
 //! Given a [`mcnet_system::MultiClusterSystem`] (cluster sizes, network arity, network
 //! technology) and a [`mcnet_system::TrafficConfig`] (message length `M`, flit size
@@ -13,7 +16,7 @@
 //! ICN1) and inter-cluster traffic (via ECN1 + ICN2 + the concentrators/dispatchers),
 //! and combines them into the system-wide average of Eq. (36).
 //!
-//! ## Model structure
+//! ## Model structure (tree backend)
 //!
 //! ```text
 //!            ┌ hop-count distribution  P_{j,n}          (Eq. 4,  crate mcnet-topology)
@@ -24,6 +27,21 @@
 //!            ├ concentrator waiting    W_d              (Eqs. 33–34, [`concentrator`])
 //!            └ composition             T, ℓ             (Eqs. 25, 31, 35–36, [`multicluster`])
 //! ```
+//!
+//! The torus backend runs the same stage-recursion / source-queue / tail
+//! pipeline over k-ary n-cube geometry with exact per-channel (node ×
+//! dimension × direction × dateline-VC) loads; see [`torus`] for its
+//! assumptions and equations.
+//!
+//! ## Non-uniform destinations
+//!
+//! Both backends evaluate [`mcnet_system::TrafficPattern::Hotspot`]
+//! analytically: the tree model redistributes traffic between clusters through
+//! the [`rates::DestinationMix`] matrix (generalizing Eqs. 5–13 and the
+//! Eqs. 31/34 destination averages), the torus model adds the enumerated
+//! per-channel loads of every `source → hotspot` route. The tree model
+//! additionally accepts [`mcnet_system::TrafficPattern::LocalFavoring`];
+//! sub-ring local-favoring on the torus stays simulator-only.
 //!
 //! ## Faithfulness and documented interpretation choices
 //!
@@ -59,6 +77,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod concentrator;
 pub mod curves;
 pub mod homogeneous;
@@ -71,9 +90,12 @@ pub mod rates;
 pub mod service;
 pub mod source_queue;
 pub mod tail;
+pub mod torus;
 
+pub use backend::{ModelBackend, ModelDetail, ModelReport};
 pub use multicluster::{AnalyticalModel, ClusterLatency, LatencyReport};
 pub use options::{ModelOptions, SourceQueueRate};
+pub use torus::{TorusLatencyReport, TorusModel};
 
 /// Errors produced while evaluating the analytical model.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +128,9 @@ pub enum SaturatedComponent {
     Concentrator,
     /// A network channel (stage utilisation reached 1 in the service-time recursion).
     Channel,
+    /// The injection channel of a direct-network fabric (the torus model's single
+    /// source queue per node).
+    InjectionQueue,
 }
 
 impl std::fmt::Display for SaturatedComponent {
@@ -115,6 +140,7 @@ impl std::fmt::Display for SaturatedComponent {
             SaturatedComponent::InterSourceQueue => "inter-cluster source queue",
             SaturatedComponent::Concentrator => "concentrator/dispatcher",
             SaturatedComponent::Channel => "network channel",
+            SaturatedComponent::InjectionQueue => "injection source queue",
         };
         f.write_str(s)
     }

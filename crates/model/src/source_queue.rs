@@ -18,6 +18,9 @@ pub enum SourceQueueKind {
     Intra,
     /// Injection into the inter-cluster access network ECN1.
     Inter,
+    /// Injection into a direct-network fabric (the k-ary n-cube model), where a
+    /// node has a single injection channel shared by all destinations.
+    Injection,
 }
 
 /// Inputs of a source-queue computation.
@@ -34,8 +37,9 @@ pub struct SourceQueueInput {
     pub network_latency: f64,
     /// Minimum possible network latency, `M·t_cn`, used by the variance approximation.
     pub minimum_latency: f64,
-    /// Cluster index (for error reporting).
-    pub cluster: usize,
+    /// Cluster index (for error reporting); `None` on fabrics without clusters
+    /// (the torus).
+    pub cluster: Option<usize>,
 }
 
 /// Computes the mean source-queue waiting time `W` (Eq. 23 / Eq. 30) under the given
@@ -61,9 +65,10 @@ pub fn waiting_time(input: &SourceQueueInput, options: &ModelOptions) -> Result<
             component: match input.kind {
                 SourceQueueKind::Intra => SaturatedComponent::IntraSourceQueue,
                 SourceQueueKind::Inter => SaturatedComponent::InterSourceQueue,
+                SourceQueueKind::Injection => SaturatedComponent::InjectionQueue,
             },
             utilization,
-            cluster: Some(input.cluster),
+            cluster: input.cluster,
         }),
         Err(e) => Err(ModelError::InvalidConfiguration { reason: e.to_string() }),
     }
@@ -80,7 +85,7 @@ mod tests {
             aggregate_rate: aggregate,
             network_latency: latency,
             minimum_latency: 8.832,
-            cluster: 0,
+            cluster: Some(0),
         }
     }
 
@@ -127,7 +132,7 @@ mod tests {
     #[test]
     fn saturation_reports_component_and_cluster() {
         let mut inp = input(0.02, 0.0, 100.0); // ρ = 2
-        inp.cluster = 5;
+        inp.cluster = Some(5);
         let err = waiting_time(&inp, &ModelOptions::default()).unwrap_err();
         match err {
             ModelError::Saturated { component, cluster, utilization } => {

@@ -1,0 +1,796 @@
+//! An analytical mean-latency model for the k-ary n-cube (torus) fabric — the
+//! Draper–Ghosh / Ould-Khaoua lineage the paper builds on (its references
+//! [6]–[9]), instantiated to match the wormhole simulator's `CubeFabric`
+//! backend channel for channel.
+//!
+//! ## Model structure
+//!
+//! The same pipeline as the tree model, with the torus topology supplying the
+//! geometry:
+//!
+//! ```text
+//! hop-count distribution   P(d)          exact per-ring convolution
+//! channel message rates    η_c           exact per-channel loads (see below)
+//! stage service times      S_k           backward recursion of Eqs. (16)–(18)
+//! source-queue waiting     W             M/G/1, Draper–Ghosh variance (Eq. 22)
+//! tail-flit time           R             d·t_cs + t_cn per journey (Eq. 24 analogue)
+//! composition              T = W + S + R
+//! ```
+//!
+//! A message crossing `d` links passes through `d + 1` stages: `d` link
+//! channels served in `M·t_cs` each, then the ejection channel served in
+//! `M·t_cn` — exactly the channels of the simulator's itinerary (the injection
+//! channel is the M/G/1 source-queue server, as in the tree model).
+//!
+//! ## Channel loads
+//!
+//! Dimension-order routing makes the per-dimension digit pairs independent and
+//! uniform, so the uniform-traffic load of every link channel — per node,
+//! dimension, ring direction *and dateline virtual channel* — follows exactly
+//! from a single `k × k` enumeration of one ring (the direction tie-break and
+//! the Dally–Seitz dateline VC switch mirror `KaryNCube` hop for hop; the
+//! workspace integration tests pin this against a brute-force count over the
+//! simulator's own itineraries). Hot-spot traffic adds the enumerated loads of
+//! every `source → hotspot` route on top. The per-stage blocking recursion uses
+//! the *usage-weighted mean* channel rate of the message class (background or
+//! hot-spot), and saturation is declared from a worst-case recursion over the
+//! most loaded channel — the direct-network counterparts of the per-network
+//! mean rates and utilisation checks of the tree model.
+//!
+//! ## Assumptions and limits
+//!
+//! * Destination patterns: uniform and hot-spot. Sub-ring local-favoring
+//!   traffic changes the hop-count distribution itself and is not modelled.
+//! * Virtual channels are independent servers (as in the simulator, where each
+//!   VC has its own occupancy and full link bandwidth), not Dally-style
+//!   time-multiplexed shares.
+//! * Blocking at different stages is independent (the Draper–Ghosh assumption
+//!   shared with the tree model); like the paper's model, it under-predicts
+//!   near saturation where tree-saturation effects couple the stages.
+
+use crate::options::ModelOptions;
+use crate::service::{self, ChannelTimes, StageOutcome};
+use crate::source_queue::{self, SourceQueueInput, SourceQueueKind};
+use crate::{ModelError, Result};
+use mcnet_system::{TorusSystem, TrafficConfig, TrafficPattern};
+use mcnet_topology::{KaryNCube, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Largest torus population the analytical model accepts. The per-channel load
+/// tables are dense (`N · n · 2 · 2` entries), so the model is capped well below
+/// the simulator's `MAX_TORUS_NODES` id budget.
+pub const MAX_MODEL_TORUS_NODES: usize = 1 << 16;
+
+/// The latency report of one torus-model evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TorusLatencyReport {
+    /// The per-node generation rate the report was computed for.
+    pub generation_rate: f64,
+    /// Mean source-queue waiting time `W` at the injection channel.
+    pub source_wait: f64,
+    /// Mean network latency `S` (class-mixed).
+    pub network: f64,
+    /// Mean tail-flit time `R` (class-mixed).
+    pub tail: f64,
+    /// Mean message latency `T = W + S + R`.
+    pub total: f64,
+    /// Mean latency of background messages staying in their dimension-0
+    /// sub-ring (the torus analogue of the tree's intra-cluster class).
+    pub intra: f64,
+    /// Mean latency of background messages crossing sub-rings (equal to
+    /// [`TorusLatencyReport::intra`] on a 1-D torus, whose inter class is
+    /// empty).
+    pub inter: f64,
+    /// Probability that a background message stays in its sub-ring,
+    /// `(k − 1)/(N − 1)`.
+    pub intra_fraction: f64,
+    /// Mean latency of hot-spot-directed messages, when the pattern has a
+    /// hot-spot component.
+    pub hotspot_total: Option<f64>,
+    /// Mean latency of the background (uniformly-routed) messages, when the
+    /// pattern has a hot-spot component.
+    pub background_total: Option<f64>,
+    /// Average link hops per message.
+    pub average_hops: f64,
+    /// Worst stage utilisation of the saturation recursion over the most loaded
+    /// channel.
+    pub max_channel_utilization: f64,
+}
+
+/// Per-channel load tables of one torus + traffic point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ChannelLoads {
+    /// Total message rate per link channel (background + hot-spot), indexed by
+    /// [`TorusModel::channel_index`].
+    rate: Vec<f64>,
+    /// Relative traversal weight of every link channel under the background
+    /// (uniform) destination component.
+    uniform_usage: Vec<f64>,
+    /// Traversal count of every link channel over all `source → hotspot` routes.
+    hotspot_usage: Vec<f64>,
+}
+
+/// The analytical k-ary n-cube model, bound to one system and traffic point.
+#[derive(Debug, Clone)]
+pub struct TorusModel {
+    torus: TorusSystem,
+    traffic: TrafficConfig,
+    options: ModelOptions,
+    times: ChannelTimes,
+    cube: KaryNCube,
+    loads: ChannelLoads,
+    /// `P(d links | dest ≠ src)` for `d = 1..=diameter` (index `d − 1`).
+    hop_probs: Vec<f64>,
+    /// `P(d | background message stays in its dimension-0 sub-ring)`.
+    intra_probs: Vec<f64>,
+    /// `P(d | background message crosses sub-rings)`.
+    inter_probs: Vec<f64>,
+    /// `P(background message stays in its sub-ring)`.
+    intra_fraction: f64,
+    /// Fraction of all messages that are hot-spot-directed, `(N−1)·f/N`.
+    hot_weight: f64,
+    /// Hot-spot node, when the pattern has one.
+    hotspot: Option<usize>,
+}
+
+impl TorusModel {
+    /// Builds the model for a torus and traffic point.
+    ///
+    /// Supports [`TrafficPattern::Uniform`] and [`TrafficPattern::Hotspot`];
+    /// sub-ring local-favoring traffic is rejected (it reshapes the hop-count
+    /// distribution itself and is only available in the simulator).
+    pub fn new(
+        torus: &TorusSystem,
+        traffic: &TrafficConfig,
+        options: ModelOptions,
+    ) -> Result<Self> {
+        traffic.validate().map_err(ModelError::from)?;
+        let n_total = torus.total_nodes();
+        if n_total > MAX_MODEL_TORUS_NODES {
+            return Err(ModelError::InvalidConfiguration {
+                reason: format!(
+                    "the analytical torus model supports up to {MAX_MODEL_TORUS_NODES} nodes, \
+                     got {n_total}"
+                ),
+            });
+        }
+        let (hotspot, fraction) = match traffic.pattern {
+            TrafficPattern::Uniform => (None, 0.0),
+            TrafficPattern::Hotspot { hotspot, fraction } => {
+                if hotspot >= n_total {
+                    return Err(ModelError::InvalidConfiguration {
+                        reason: format!(
+                            "hot-spot node {hotspot} is out of range for a torus of {n_total} nodes"
+                        ),
+                    });
+                }
+                if fraction > 0.0 {
+                    (Some(hotspot), fraction)
+                } else {
+                    (None, 0.0)
+                }
+            }
+            TrafficPattern::LocalFavoring { .. } => {
+                return Err(ModelError::InvalidConfiguration {
+                    reason: "the analytical torus model supports uniform and hot-spot traffic \
+                             only (local-favoring destinations reshape the hop distribution)"
+                        .into(),
+                });
+            }
+        };
+        let cube = KaryNCube::new(torus.radix(), torus.dimensions())?;
+        let times = ChannelTimes::new(torus.technology(), traffic);
+
+        let ring = RingUsage::enumerate(torus.radix());
+        let (hop_probs, intra_probs, inter_probs, intra_fraction) =
+            hop_distributions(&ring.distance_probs, torus.dimensions());
+
+        let loads = ChannelLoads::build(&cube, traffic, &ring, hotspot, fraction)?;
+        let n = n_total as f64;
+        Ok(TorusModel {
+            torus: torus.clone(),
+            traffic: *traffic,
+            options,
+            times,
+            cube,
+            loads,
+            hop_probs,
+            intra_probs,
+            inter_probs,
+            intra_fraction,
+            hot_weight: fraction * (n - 1.0) / n,
+            hotspot,
+        })
+    }
+
+    /// The system the model describes.
+    pub fn torus(&self) -> &TorusSystem {
+        &self.torus
+    }
+
+    /// The traffic point the model was built for.
+    pub fn traffic(&self) -> &TrafficConfig {
+        &self.traffic
+    }
+
+    /// The per-message channel times (`M·t_cn`, `M·t_cs`).
+    pub fn channel_times(&self) -> &ChannelTimes {
+        &self.times
+    }
+
+    /// The dense index of a link channel: `node`, `dimension`, ring direction
+    /// (`+1`/`-1`) and dateline virtual channel.
+    fn channel_index(&self, node: usize, dimension: usize, direction: i8, vc: usize) -> usize {
+        let dir_idx = usize::from(direction < 0);
+        ((node * self.cube.dimensions() + dimension) * 2 + dir_idx) * 2 + vc
+    }
+
+    /// The modelled message rate of one link channel (messages per time unit on
+    /// the given node's outgoing channel in `dimension`, ring `direction`
+    /// `+1`/`-1`, dateline virtual channel `vc`). Exposed so the load model can
+    /// be cross-checked against a brute-force count over simulator itineraries.
+    pub fn link_rate(
+        &self,
+        node: usize,
+        dimension: usize,
+        direction: i8,
+        vc: usize,
+    ) -> Result<f64> {
+        if node >= self.cube.num_nodes()
+            || dimension >= self.cube.dimensions()
+            || !matches!(direction, -1 | 1)
+            || vc >= 2
+        {
+            return Err(ModelError::InvalidConfiguration {
+                reason: format!(
+                    "no such channel: node {node}, dimension {dimension}, direction {direction}, \
+                     vc {vc}"
+                ),
+            });
+        }
+        Ok(self.loads.rate[self.channel_index(node, dimension, direction, vc)])
+    }
+
+    /// The modelled arrival rate of a node's ejection channel.
+    pub fn ejection_rate(&self, node: usize) -> Result<f64> {
+        if node >= self.cube.num_nodes() {
+            return Err(ModelError::InvalidConfiguration {
+                reason: format!("node {node} out of range"),
+            });
+        }
+        let n = self.cube.num_nodes() as f64;
+        let lambda = self.traffic.generation_rate;
+        Ok(match (self.hotspot, &self.traffic.pattern) {
+            (Some(h), TrafficPattern::Hotspot { fraction, .. }) => {
+                if node == h {
+                    lambda * ((n - 1.0) * fraction + (1.0 - fraction))
+                } else {
+                    lambda * ((n - 2.0) * (1.0 - fraction) + 1.0) / (n - 1.0)
+                }
+            }
+            _ => lambda,
+        })
+    }
+
+    /// Evaluates the model. Fails with [`ModelError::Saturated`] when the
+    /// worst-channel recursion or the injection source queue has no steady
+    /// state at this load.
+    pub fn evaluate(&self) -> Result<TorusLatencyReport> {
+        let lambda = self.traffic.generation_rate;
+        let n = self.cube.num_nodes() as f64;
+        let t_cs = self.times.t_cs;
+        let t_cn = self.times.t_cn;
+
+        // Saturation gate: the most loaded link channel, on the longest journey,
+        // with the most loaded ejection channel as the final stage.
+        let eta_max = self.loads.rate.iter().cloned().fold(0.0f64, f64::max);
+        let ej_max = (0..self.cube.num_nodes())
+            .map(|t| self.ejection_rate(t).unwrap_or(0.0))
+            .fold(0.0f64, f64::max);
+        let worst = self.journey_latency(self.hop_probs.len(), eta_max, ej_max)?;
+        service::check_channel_utilization(&worst, None)?;
+
+        // Background (uniformly-routed) class.
+        let eta_uni = usage_weighted_rate(&self.loads.uniform_usage, &self.loads.rate);
+        let ej_uni = self.mean_background_ejection_rate();
+        let s_uni = self.class_network_latency(&self.hop_probs, eta_uni, ej_uni)?;
+        let s_intra = self.class_network_latency(&self.intra_probs, eta_uni, ej_uni)?;
+        let s_inter = self.class_network_latency(&self.inter_probs, eta_uni, ej_uni)?;
+
+        // Hot-spot class (empty under uniform traffic).
+        let (s_hot, d_hot) = if let Some(hot_node) = self.hotspot {
+            let eta_hot = usage_weighted_rate(&self.loads.hotspot_usage, &self.loads.rate);
+            let ej_hot = self.ejection_rate(hot_node)?;
+            // A uniformly-placed source is uniformly far from the hot node, so
+            // the hot class shares the background hop distribution.
+            (
+                Some(self.class_network_latency(&self.hop_probs, eta_hot, ej_hot)?),
+                mean_hops(&self.hop_probs),
+            )
+        } else {
+            (None, 0.0)
+        };
+
+        let d_avg = mean_hops(&self.hop_probs);
+        let d_intra = mean_hops(&self.intra_probs);
+        let d_inter = mean_hops(&self.inter_probs);
+
+        // Class mixture: the network latency the injection channel is held for.
+        let w_hot = self.hot_weight;
+        let network = match s_hot {
+            Some(hot) => w_hot * hot.latency + (1.0 - w_hot) * s_uni.latency,
+            None => s_uni.latency,
+        };
+        let tail_of = |d: f64| d * t_cs + t_cn;
+        let tail = match s_hot {
+            Some(_) => w_hot * tail_of(d_hot) + (1.0 - w_hot) * tail_of(d_avg),
+            None => tail_of(d_avg),
+        };
+
+        // Injection source queue: every message of a node passes through its one
+        // injection channel, which stays busy for the message's entire network
+        // latency — the M/G/1 of Eqs. (19)–(23) with the Draper–Ghosh variance.
+        // The torus has no cluster-aggregate reading: the rate is per-node.
+        let source_wait = source_queue::waiting_time(
+            &SourceQueueInput {
+                kind: SourceQueueKind::Injection,
+                per_node_rate: lambda,
+                aggregate_rate: lambda * n,
+                network_latency: network,
+                minimum_latency: self.times.message_node_time(),
+                cluster: None,
+            },
+            &ModelOptions {
+                source_queue_rate: crate::options::SourceQueueRate::PerNode,
+                ..self.options
+            },
+        )?;
+
+        let total = source_wait + network + tail;
+        let intra = source_wait + s_intra.latency + tail_of(d_intra);
+        // On a 1-D torus every destination shares the single sub-ring: the
+        // inter class is empty (all-zero distribution) and mirrors the intra
+        // class instead of reporting a fabricated near-zero latency.
+        let inter = if self.intra_fraction >= 1.0 {
+            intra
+        } else {
+            source_wait + s_inter.latency + tail_of(d_inter)
+        };
+        Ok(TorusLatencyReport {
+            generation_rate: lambda,
+            source_wait,
+            network,
+            tail,
+            total,
+            intra,
+            inter,
+            intra_fraction: self.intra_fraction,
+            hotspot_total: s_hot.map(|s| source_wait + s.latency + tail_of(d_hot)),
+            background_total: s_hot.map(|_| source_wait + s_uni.latency + tail_of(d_avg)),
+            average_hops: match s_hot {
+                Some(_) => w_hot * d_hot + (1.0 - w_hot) * d_avg,
+                None => d_avg,
+            },
+            max_channel_utilization: worst.max_utilization,
+        })
+    }
+
+    /// Convenience: the total mean latency, or `None` when saturated.
+    pub fn total_latency(&self) -> Option<f64> {
+        self.evaluate().ok().map(|r| r.total)
+    }
+
+    /// Mean network latency of one class: the `d`-hop journey recursion
+    /// weighted by the class's hop-count distribution.
+    fn class_network_latency(
+        &self,
+        probs: &[f64],
+        eta_link: f64,
+        eta_ejection: f64,
+    ) -> Result<StageOutcome> {
+        let mut latency = 0.0;
+        let mut max_utilization: f64 = 0.0;
+        for (idx, &p) in probs.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let outcome = self.journey_latency(idx + 1, eta_link, eta_ejection)?;
+            latency += p * outcome.latency;
+            max_utilization = max_utilization.max(outcome.max_utilization);
+        }
+        Ok(StageOutcome { latency, max_utilization })
+    }
+
+    /// The Eqs. (16)–(18) backward recursion over one `d`-link journey:
+    /// `d` link stages at the given link rate, then the ejection stage.
+    fn journey_latency(&self, d: usize, eta_link: f64, eta_ejection: f64) -> Result<StageOutcome> {
+        let mut etas = vec![eta_link; d + 1];
+        etas[d] = eta_ejection;
+        service::stage_recursion(&etas, &self.times)
+    }
+
+    /// The mean ejection rate seen by a background message (its destination is
+    /// uniform over the other nodes, the hot node included).
+    fn mean_background_ejection_rate(&self) -> f64 {
+        let n = self.cube.num_nodes() as f64;
+        match self.hotspot {
+            None => self.traffic.generation_rate,
+            Some(h) => {
+                let at_hot = self.ejection_rate(h).unwrap_or(0.0);
+                let elsewhere = self.ejection_rate(usize::from(h == 0)).unwrap_or(0.0);
+                (at_hot + (n - 2.0) * elsewhere) / (n - 1.0)
+            }
+        }
+    }
+}
+
+/// Usage-weighted mean channel rate: the expected rate of the channel a random
+/// hop of the class acquires.
+fn usage_weighted_rate(usage: &[f64], rate: &[f64]) -> f64 {
+    let total: f64 = usage.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    usage.iter().zip(rate).map(|(u, r)| u * r).sum::<f64>() / total
+}
+
+/// `Σ d · P(d)` over a hop-count distribution indexed `d − 1`.
+fn mean_hops(probs: &[f64]) -> f64 {
+    probs.iter().enumerate().map(|(idx, p)| (idx + 1) as f64 * p).sum()
+}
+
+/// Usage statistics of one k-ring under dimension-order routing with the
+/// simulator's direction tie-break and dateline discipline.
+struct RingUsage {
+    /// `usage[digit][dir_idx][vc]`: expected traversals of the channel leaving
+    /// `digit` in direction `dir_idx` (0 = +1, 1 = −1) on `vc`, summed over all
+    /// `k²` ordered digit pairs.
+    usage: Vec<[[f64; 2]; 2]>,
+    /// `distance_probs[d]`: probability of ring distance `d` (`d = 0..=k/2`)
+    /// for a uniform digit pair.
+    distance_probs: Vec<f64>,
+}
+
+impl RingUsage {
+    fn enumerate(k: usize) -> RingUsage {
+        let mut usage = vec![[[0.0f64; 2]; 2]; k];
+        let mut distance_counts = vec![0usize; k / 2 + 1];
+        for a in 0..k {
+            for b in 0..k {
+                let forward = (b + k - a) % k;
+                if forward == 0 {
+                    distance_counts[0] += 1;
+                    continue;
+                }
+                let backward = k - forward;
+                // The simulator's tie-break: forward wins on equality.
+                let (dir_idx, steps, step): (usize, usize, isize) =
+                    if forward <= backward { (0, forward, 1) } else { (1, backward, -1) };
+                distance_counts[steps] += 1;
+                let mut digit = a;
+                let mut wrapped = false;
+                for _ in 0..steps {
+                    if k > 2 {
+                        let crosses = (step == 1 && digit == k - 1) || (step == -1 && digit == 0);
+                        wrapped = wrapped || crosses;
+                    }
+                    usage[digit][dir_idx][usize::from(wrapped)] += 1.0;
+                    digit = (digit as isize + step).rem_euclid(k as isize) as usize;
+                }
+            }
+        }
+        let pairs = (k * k) as f64;
+        RingUsage {
+            usage,
+            distance_probs: distance_counts.iter().map(|&c| c as f64 / pairs).collect(),
+        }
+    }
+}
+
+/// Builds `P(d)` for the full cube (per-ring distance distributions convolved
+/// over the dimensions, conditioned on `dest ≠ src`), together with the
+/// distributions conditioned on staying in / leaving the dimension-0 sub-ring.
+fn hop_distributions(ring_probs: &[f64], dimensions: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, f64) {
+    // Full convolution over n independent ring distances.
+    let mut full = vec![1.0f64];
+    for _ in 0..dimensions {
+        full = convolve(&full, ring_probs);
+    }
+    // Intra (same sub-ring): dimension 0 moves, dimensions 1.. all have
+    // distance 0.
+    let p_rest_zero: f64 = ring_probs[0].powi(dimensions as i32 - 1);
+    let p_zero_total = full[0];
+    let p_intra: f64 = ring_probs[1..].iter().sum::<f64>() * p_rest_zero;
+
+    // Condition on dest ≠ src (drop d = 0).
+    let p_nonzero = 1.0 - p_zero_total;
+    let hop_probs: Vec<f64> = full[1..].iter().map(|p| p / p_nonzero).collect();
+    let intra_fraction = p_intra / p_nonzero;
+
+    // Intra-class distribution: the dimension-0 ring distance, conditioned > 0.
+    let ring_moving: f64 = ring_probs[1..].iter().sum();
+    let mut intra_probs = vec![0.0; hop_probs.len()];
+    for (d, &p) in ring_probs.iter().enumerate().skip(1) {
+        intra_probs[d - 1] = p / ring_moving;
+    }
+    // Inter-class distribution: the complement. On a 1-D torus the class is
+    // empty (every destination shares the single ring); its distribution is
+    // left all-zero and the report mirrors the intra class instead of
+    // fabricating a latency from a 0/0 division.
+    let p_inter = p_nonzero - p_intra;
+    let mut inter_probs = vec![0.0; hop_probs.len()];
+    if p_inter > f64::EPSILON {
+        for d in 1..full.len() {
+            let intra_part = if d < ring_probs.len() { ring_probs[d] * p_rest_zero } else { 0.0 };
+            inter_probs[d - 1] = ((full[d] - intra_part) / p_inter).max(0.0);
+        }
+    }
+    (hop_probs, intra_probs, inter_probs, intra_fraction)
+}
+
+fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+impl ChannelLoads {
+    fn build(
+        cube: &KaryNCube,
+        traffic: &TrafficConfig,
+        ring: &RingUsage,
+        hotspot: Option<usize>,
+        fraction: f64,
+    ) -> Result<ChannelLoads> {
+        let k = cube.radix();
+        let n_nodes = cube.num_nodes();
+        let dims = cube.dimensions();
+        let channels = n_nodes * dims * 2 * 2;
+        let n = n_nodes as f64;
+        let lambda = traffic.generation_rate;
+
+        // The per-source rate of the background (uniform-destination) component:
+        // non-hot sources send (1 − f)·λ_g uniformly, the hot node sends its
+        // full λ_g uniformly; the symmetric equivalent spreads the difference.
+        let lambda_uniform = if hotspot.is_some() {
+            lambda * ((n - 1.0) * (1.0 - fraction) + 1.0) / n
+        } else {
+            lambda
+        };
+
+        let mut rate = vec![0.0f64; channels];
+        let mut uniform_usage = vec![0.0f64; channels];
+        let mut hotspot_usage = vec![0.0f64; channels];
+
+        let index = |node: usize, dim: usize, dir_idx: usize, vc: usize| {
+            ((node * dims + dim) * 2 + dir_idx) * 2 + vc
+        };
+
+        // Background loads: exact from the single-ring enumeration. A channel
+        // leaving digit `a` of dimension `i` is traversed `usage[a][dir][vc]·k^(n-1)`
+        // times over all N² ordered pairs, i.e. at rate
+        // λ_u · usage/k · N/(N−1) once destinations exclude the source.
+        let correction = n / (n - 1.0);
+        for node in 0..n_nodes {
+            let mut rest = node;
+            for dim in 0..dims {
+                let digit = rest % k;
+                rest /= k;
+                for dir_idx in 0..2 {
+                    for vc in 0..2 {
+                        let u = ring.usage[digit][dir_idx][vc];
+                        if u == 0.0 {
+                            continue;
+                        }
+                        let c = index(node, dim, dir_idx, vc);
+                        uniform_usage[c] = u;
+                        rate[c] = lambda_uniform * u / k as f64 * correction;
+                    }
+                }
+            }
+        }
+
+        // Hot-spot loads: enumerate every source → hotspot route (with the
+        // shared dateline-VC definition) and add f·λ_g per traversal.
+        if let Some(h) = hotspot {
+            let target = NodeId::from_index(h);
+            let mut hops = Vec::new();
+            for src in 0..n_nodes {
+                if src == h {
+                    continue;
+                }
+                hops.clear();
+                cube.route_into(NodeId::from_index(src), target, &mut hops)?;
+                let vcs = cube.dateline_vcs(NodeId::from_index(src), &hops)?;
+                let mut from = src;
+                for (hop, vc) in hops.iter().zip(vcs) {
+                    let dir_idx = usize::from(hop.direction < 0);
+                    let c = index(from, hop.dimension, dir_idx, vc as usize);
+                    hotspot_usage[c] += 1.0;
+                    rate[c] += fraction * lambda;
+                    from = hop.node.index();
+                }
+            }
+        }
+
+        Ok(ChannelLoads { rate, uniform_usage, hotspot_usage })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(k: usize, nd: usize, rate: f64) -> TorusModel {
+        let torus = TorusSystem::new(k, nd).unwrap();
+        let traffic = TrafficConfig::uniform(16, 256.0, rate).unwrap();
+        TorusModel::new(&torus, &traffic, ModelOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn hop_distribution_matches_average_distance() {
+        for &(k, nd) in &[(4usize, 2usize), (3, 3), (5, 2), (2, 4), (8, 2)] {
+            let m = model(k, nd, 1e-5);
+            let d_avg = mean_hops(&m.hop_probs);
+            let expected = m.cube.average_distance();
+            assert!((d_avg - expected).abs() < 1e-9, "({k},{nd}): {d_avg} vs {expected}");
+            let total: f64 = m.hop_probs.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn class_split_is_consistent() {
+        let m = model(4, 2, 1e-4);
+        let n = m.cube.num_nodes() as f64;
+        let k = m.torus.radix() as f64;
+        assert!((m.intra_fraction - (k - 1.0) / (n - 1.0)).abs() < 1e-12);
+        // The intra/inter mixture reproduces the full distribution.
+        for d in 0..m.hop_probs.len() {
+            let mixed =
+                m.intra_fraction * m.intra_probs[d] + (1.0 - m.intra_fraction) * m.inter_probs[d];
+            assert!((mixed - m.hop_probs[d]).abs() < 1e-12, "d={}", d + 1);
+        }
+        // Sub-ring journeys are shorter on average.
+        assert!(mean_hops(&m.intra_probs) < mean_hops(&m.inter_probs));
+    }
+
+    #[test]
+    fn uniform_link_rates_are_symmetric_across_parallel_rings() {
+        let m = model(4, 2, 1e-3);
+        // Nodes 0 and 4 have the same dimension-0 digit, so their dimension-0
+        // channels carry identical load.
+        for dir in [1, -1] {
+            for vc in 0..2 {
+                assert_eq!(
+                    m.link_rate(0, 0, dir, vc).unwrap(),
+                    m.link_rate(4, 0, dir, vc).unwrap()
+                );
+            }
+        }
+        assert!(m.link_rate(99, 0, 1, 0).is_err());
+        assert!(m.link_rate(0, 5, 1, 0).is_err());
+        assert!(m.link_rate(0, 0, 2, 0).is_err());
+    }
+
+    #[test]
+    fn total_uniform_load_matches_average_distance() {
+        // Σ_c η_c must equal N·λ·d_avg (messages × hops, spread over channels).
+        for &(k, nd) in &[(4usize, 2usize), (3, 2), (2, 3)] {
+            let m = model(k, nd, 1e-3);
+            let total: f64 = m.loads.rate.iter().sum();
+            let n = m.cube.num_nodes() as f64;
+            let expected = n * 1e-3 * m.cube.average_distance();
+            assert!((total - expected).abs() < 1e-9 * expected.max(1.0), "({k},{nd})");
+        }
+    }
+
+    #[test]
+    fn zero_load_latency_is_the_transfer_time() {
+        let m = model(4, 2, 1e-9);
+        let r = m.evaluate().unwrap();
+        let t = m.channel_times();
+        // S → M·t_cs, W → 0, R → d_avg·t_cs + t_cn.
+        assert!((r.network - t.message_switch_time()).abs() < 1e-3);
+        assert!(r.source_wait < 1e-3);
+        let d_avg = m.cube.average_distance();
+        assert!((r.tail - (d_avg * t.t_cs + t.t_cn)).abs() < 1e-9);
+        assert!((r.total - (r.source_wait + r.network + r.tail)).abs() < 1e-12);
+        assert!(r.hotspot_total.is_none());
+        assert!(r.intra < r.inter, "sub-ring journeys are shorter");
+    }
+
+    #[test]
+    fn latency_grows_with_load_until_saturation() {
+        let mut prev = 0.0;
+        for rate in [1e-4, 1e-3, 3e-3, 6e-3] {
+            let r = model(4, 2, rate).evaluate().unwrap();
+            assert!(r.total > prev, "latency must grow with load at λ={rate}");
+            prev = r.total;
+        }
+        // Far past saturation (beyond the busiest channel's raw bandwidth,
+        // 1/(η_max·M·t_cs)) the model reports a typed error.
+        let sat = model(4, 2, 2e-1).evaluate();
+        assert!(matches!(sat, Err(ModelError::Saturated { .. })), "{sat:?}");
+        assert_eq!(model(4, 2, 2e-1).total_latency(), None);
+    }
+
+    #[test]
+    fn hotspot_concentrates_load_and_raises_latency() {
+        let torus = TorusSystem::new(4, 2).unwrap();
+        let uniform = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
+        let hot =
+            uniform.with_pattern(TrafficPattern::Hotspot { hotspot: 5, fraction: 0.3 }).unwrap();
+        let mu = TorusModel::new(&torus, &uniform, ModelOptions::default()).unwrap();
+        let mh = TorusModel::new(&torus, &hot, ModelOptions::default()).unwrap();
+        // The hot node's ejection channel carries the concentrated traffic.
+        assert!(mh.ejection_rate(5).unwrap() > 4.0 * mu.ejection_rate(5).unwrap());
+        assert!(mh.ejection_rate(0).unwrap() < mu.ejection_rate(0).unwrap());
+        let ru = mu.evaluate().unwrap();
+        let rh = mh.evaluate().unwrap();
+        assert!(rh.total > ru.total, "hot-spot contention must raise the mean");
+        let hot_total = rh.hotspot_total.unwrap();
+        let background = rh.background_total.unwrap();
+        assert!(hot_total > background, "hot-spot-directed messages queue at the hot node");
+        // Saturation arrives much earlier than under uniform traffic.
+        let sat_at = |pattern: Option<(usize, f64)>| {
+            let traffic = TrafficConfig::uniform(16, 256.0, 1e-4).unwrap();
+            let traffic = match pattern {
+                Some((h, f)) => traffic
+                    .with_pattern(TrafficPattern::Hotspot { hotspot: h, fraction: f })
+                    .unwrap(),
+                None => traffic,
+            };
+            crate::backend::ModelBackend::Torus(torus.clone())
+                .find_saturation_rate(&traffic, ModelOptions::default(), 1e-3)
+                .unwrap()
+        };
+        assert!(sat_at(Some((5, 0.3))) < 0.5 * sat_at(None));
+    }
+
+    #[test]
+    fn one_dimensional_torus_has_no_inter_class() {
+        // A single ring is one sub-ring: the inter class is empty, its
+        // distribution all-zero, and the report mirrors the intra class
+        // instead of fabricating a near-zero latency from 0/0.
+        let m = model(8, 1, 1e-3);
+        assert_eq!(m.intra_fraction, 1.0);
+        assert!(m.inter_probs.iter().all(|&p| p == 0.0));
+        let r = m.evaluate().unwrap();
+        assert_eq!(r.intra, r.inter);
+        assert!((r.intra - r.total).abs() < 1e-9, "one class means intra == total");
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let torus = TorusSystem::new(4, 2).unwrap();
+        let local = TrafficConfig::uniform(16, 256.0, 1e-3)
+            .unwrap()
+            .with_pattern(TrafficPattern::LocalFavoring { locality: 0.5 })
+            .unwrap();
+        assert!(TorusModel::new(&torus, &local, ModelOptions::default()).is_err());
+        let bad_hot = TrafficConfig::uniform(16, 256.0, 1e-3)
+            .unwrap()
+            .with_pattern(TrafficPattern::Hotspot { hotspot: 16, fraction: 0.2 })
+            .unwrap();
+        assert!(TorusModel::new(&torus, &bad_hot, ModelOptions::default()).is_err());
+    }
+
+    #[test]
+    fn variance_option_lowers_the_source_wait() {
+        let torus = TorusSystem::new(4, 2).unwrap();
+        let traffic = TrafficConfig::uniform(16, 256.0, 4e-3).unwrap();
+        let with =
+            TorusModel::new(&torus, &traffic, ModelOptions::default()).unwrap().evaluate().unwrap();
+        let without = TorusModel::new(&torus, &traffic, ModelOptions::default().without_variance())
+            .unwrap()
+            .evaluate()
+            .unwrap();
+        assert!(without.source_wait < with.source_wait);
+        assert_eq!(with.network, without.network);
+    }
+}

@@ -170,25 +170,15 @@ impl CubeFabric {
         self.cube
             .route_into(NodeId::from_index(src), NodeId::from_index(dst), hop_scratch)
             .map_err(SimError::from)?;
+        // The dateline VC of every hop comes from the topology layer — the one
+        // shared definition the analytical torus model also consumes. `vcs == 1`
+        // fabrics (k = 2) get all-zero VCs from the same helper.
+        let datelines =
+            self.cube.dateline_vcs(NodeId::from_index(src), hop_scratch).map_err(SimError::from)?;
         out.push(self.injection(src));
-        let k = self.torus.radix();
         let mut from = src;
-        let mut wrapped_dim = usize::MAX; // routes correct dimensions upwards
-        let mut wrapped = false;
-        for hop in hop_scratch.iter() {
-            if hop.dimension != wrapped_dim {
-                wrapped_dim = hop.dimension;
-                wrapped = false;
-            }
-            if self.vcs > 1 {
-                // The digit of `from` in the hop's dimension decides whether this
-                // hop crosses the ring's wrap-around edge.
-                let digit = from / k.pow(hop.dimension as u32) % k;
-                let crosses_wrap =
-                    (hop.direction == 1 && digit == k - 1) || (hop.direction == -1 && digit == 0);
-                wrapped = wrapped || crosses_wrap;
-            }
-            out.push(self.link_channel(from, hop, wrapped as u32));
+        for (hop, vc) in hop_scratch.iter().zip(datelines) {
+            out.push(self.link_channel(from, hop, vc as u32));
             from = hop.node.index();
         }
         debug_assert_eq!(from, dst, "dimension-order route must end at the destination");

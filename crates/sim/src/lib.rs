@@ -33,12 +33,17 @@
 //! [`scenario::Scenario`] composes a fabric ([`scenario::Fabric::Tree`] or
 //! [`scenario::Fabric::Torus`]), a traffic configuration, a measurement
 //! protocol and a replication plan, and exposes `run()`, `replicate(n)` and
-//! `sweep(&rates)`. Scenarios are serializable as plain-data
+//! `sweep(&rates)` — plus the **analytical evaluation mode**
+//! [`scenario::Scenario::evaluate`], which sends the same fabric and traffic
+//! point through `mcnet-model`'s matching `ModelBackend` instead of the
+//! discrete-event engine, so one scenario (or serialized spec) drives model
+//! *or* simulation. Scenarios are serializable as plain-data
 //! [`scenario::ScenarioSpec`] JSON files (see `specs/` at the workspace root).
 //! The historical per-backend functions (`runner::run_simulation`,
 //! `runner::run_torus_simulation`, `runner::run_replications`,
 //! `runner::run_torus_replications`) survive as deprecated wrappers whose
-//! output is bit-identical to the scenario layer.
+//! output is bit-identical to the scenario layer; the only remaining caller is
+//! the pinning test in `tests/scenario_api.rs`.
 //!
 //! ## Wormhole model
 //!
@@ -101,10 +106,6 @@ pub mod traffic;
 pub use backend::FabricBackend;
 pub use runner::{ReplicatedReport, SimConfig, SimReport};
 pub use scenario::{Fabric, Protocol, Scenario, ScenarioBuilder, ScenarioOutcome, ScenarioSpec};
-// The deprecated entry points stay re-exported so existing downstream paths
-// keep compiling (with a deprecation warning) during the migration window.
-#[allow(deprecated)]
-pub use runner::{run_simulation, run_torus_simulation};
 
 /// Errors produced while building or running a simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,10 +125,20 @@ pub enum SimError {
         delivered: u64,
     },
     /// A serialized scenario spec could not be parsed or did not describe a
-    /// valid scenario (unknown fabric kind, malformed JSON, missing fields…).
+    /// valid scenario (unknown fabric kind, malformed JSON, missing fields,
+    /// an empty or non-finite sweep rate grid…).
     InvalidSpec {
         /// Human-readable description of the problem.
         reason: String,
+    },
+    /// The analytical model ([`Scenario::evaluate`]) declared saturation at the
+    /// requested load: the steady-state latency does not exist there. The
+    /// analytical counterpart of [`SimError::EventBudgetExhausted`].
+    ModelSaturated {
+        /// Which model component saturated.
+        component: String,
+        /// The utilisation that triggered the error.
+        utilization: f64,
     },
 }
 
@@ -143,6 +154,9 @@ impl std::fmt::Display for SimError {
             ),
             SimError::InvalidSpec { reason } => {
                 write!(f, "invalid scenario spec: {reason}")
+            }
+            SimError::ModelSaturated { component, utilization } => {
+                write!(f, "analytical model saturated: {component} at utilisation {utilization:.3}")
             }
         }
     }
@@ -165,6 +179,17 @@ impl From<mcnet_topology::TopologyError> for SimError {
     }
 }
 
+impl From<mcnet_model::ModelError> for SimError {
+    fn from(e: mcnet_model::ModelError) -> Self {
+        match e {
+            mcnet_model::ModelError::Saturated { component, utilization, .. } => {
+                SimError::ModelSaturated { component: component.to_string(), utilization }
+            }
+            other => SimError::InvalidConfiguration { reason: other.to_string() },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +203,9 @@ mod tests {
         assert!(e.to_string().contains("3"));
         let e = SimError::InvalidSpec { reason: "bad kind".into() };
         assert!(e.to_string().contains("bad kind"));
+        let e = SimError::ModelSaturated { component: "network channel".into(), utilization: 1.2 };
+        assert!(e.to_string().contains("network channel"));
+        assert!(e.to_string().contains("1.2"));
     }
 
     #[test]
@@ -185,6 +213,18 @@ mod tests {
         let e: SimError = mcnet_system::SystemError::TooFewClusters { clusters: 1 }.into();
         assert!(matches!(e, SimError::InvalidConfiguration { .. }));
         let e: SimError = mcnet_topology::TopologyError::InvalidLevelCount { n: 0 }.into();
+        assert!(matches!(e, SimError::InvalidConfiguration { .. }));
+        // Model saturation keeps its typed identity; other model errors fold
+        // into the configuration bucket.
+        let e: SimError = mcnet_model::ModelError::Saturated {
+            component: mcnet_model::SaturatedComponent::Channel,
+            utilization: 1.5,
+            cluster: None,
+        }
+        .into();
+        assert!(matches!(e, SimError::ModelSaturated { .. }));
+        let e: SimError =
+            mcnet_model::ModelError::InvalidConfiguration { reason: "nope".into() }.into();
         assert!(matches!(e, SimError::InvalidConfiguration { .. }));
     }
 }

@@ -410,19 +410,4 @@ mod tests {
         assert!(agg.halfwidth_95.is_some());
         assert!(scenario.replicate(0).is_err());
     }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_wrappers_delegate_to_the_scenario_layer() {
-        // The deprecated entry points are thin wrappers; their output must stay
-        // bit-identical to the Scenario it wraps (the full golden matrix lives
-        // in tests/scenario_api.rs).
-        let system = organizations::small_test_org();
-        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
-        let legacy = run_simulation(&system, &traffic, &SimConfig::quick(5)).unwrap();
-        assert_eq!(legacy, tree_scenario(SimConfig::quick(5)).run().unwrap());
-        let torus = mcnet_system::TorusSystem::new(4, 2).unwrap();
-        let legacy = run_torus_replications(&torus, &traffic, &SimConfig::quick(9), 2).unwrap();
-        assert_eq!(legacy, torus_scenario(SimConfig::quick(9)).replicate(2).unwrap());
-    }
 }

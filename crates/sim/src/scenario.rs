@@ -38,6 +38,7 @@ use crate::engine::Simulation;
 use crate::json::{object, Json};
 use crate::runner::{replicate_with, report_from, ReplicatedReport, SimConfig, SimReport};
 use crate::{Result, SimError};
+use mcnet_model::{ModelBackend, ModelOptions, ModelReport};
 use mcnet_system::sweep::materialize_rates;
 use mcnet_system::{organizations, MultiClusterSystem, TorusSystem, TrafficConfig, TrafficPattern};
 
@@ -158,9 +159,11 @@ impl Scenario {
     /// Like [`Scenario::sweep`], but returns each point's own `Result` so
     /// callers can treat deep saturation ([`SimError::EventBudgetExhausted`])
     /// as a missing point instead of failing the whole sweep. The outer
-    /// `Result` only reports invalid rate grids.
+    /// `Result` only reports invalid rate grids
+    /// ([`SimError::InvalidSpec`] for an empty, non-finite or non-positive
+    /// grid — a silent empty report used to be the failure mode).
     pub fn sweep_outcomes(&self, rates: &[f64]) -> Result<Vec<Result<SimReport>>> {
-        let configs = materialize_rates(&self.traffic, rates)?;
+        let configs = self.materialize_grid(rates)?;
         Ok(mcnet_system::parallel::parallel_map(configs, |i, traffic| {
             let config = SimConfig { seed: self.config.seed.wrapping_add(i as u64), ..self.config };
             self.run_point(&traffic, &config)
@@ -179,11 +182,70 @@ impl Scenario {
         rates: &[f64],
         n: usize,
     ) -> Result<Vec<Result<ReplicatedReport>>> {
-        let configs = materialize_rates(&self.traffic, rates)?;
+        let configs = self.materialize_grid(rates)?;
         Ok(configs
             .into_iter()
             .map(|traffic| replicate_with(&self.config, n, |cfg| self.run_point(&traffic, &cfg)))
             .collect())
+    }
+
+    /// The analytical model bound to this scenario's fabric — the model-side
+    /// counterpart of the engine's `FabricBackend`, built from the very same
+    /// fabric description.
+    pub fn model_backend(&self) -> ModelBackend {
+        match &self.fabric {
+            Fabric::Tree(system) => ModelBackend::Tree(system.clone()),
+            Fabric::Torus(torus) => ModelBackend::Torus(torus.clone()),
+        }
+    }
+
+    /// Evaluates the scenario **analytically**: the same fabric and traffic
+    /// point, sent through `mcnet-model` instead of the discrete-event engine.
+    /// One scenario (or serialized spec) thereby drives model *or* simulation;
+    /// the `scenario` bin's `--model` flag and the `model_vs_sim` validation
+    /// sweep in `mcnet-experiments` are the spec-driven faces of this method.
+    ///
+    /// Saturation surfaces as the typed [`SimError::ModelSaturated`] — the
+    /// analytical counterpart of a simulation exhausting its event budget.
+    pub fn evaluate(&self) -> Result<ModelReport> {
+        self.evaluate_with_options(ModelOptions::default())
+    }
+
+    /// [`Scenario::evaluate`] with explicit model-interpretation options.
+    pub fn evaluate_with_options(&self, options: ModelOptions) -> Result<ModelReport> {
+        Ok(self.model_backend().evaluate(&self.traffic, options)?)
+    }
+
+    /// Evaluates the model over a rate grid (the analytical counterpart of
+    /// [`Scenario::sweep_outcomes`]): per-point results so saturated points can
+    /// be treated as missing, an [`SimError::InvalidSpec`] outer error for a
+    /// degenerate grid.
+    pub fn evaluate_sweep(&self, rates: &[f64]) -> Result<Vec<Result<ModelReport>>> {
+        let configs = self.materialize_grid(rates)?;
+        let backend = self.model_backend();
+        Ok(configs
+            .into_iter()
+            .map(|traffic| Ok(backend.evaluate(&traffic, ModelOptions::default())?))
+            .collect())
+    }
+
+    /// Validates and materializes a sweep's rate grid. An empty grid used to
+    /// produce an empty report with no diagnostic; it is now a typed spec
+    /// error, as are non-finite and non-positive rates.
+    fn materialize_grid(&self, rates: &[f64]) -> Result<Vec<TrafficConfig>> {
+        if rates.is_empty() {
+            return Err(SimError::InvalidSpec {
+                reason: "sweep rate grid is empty (a sweep needs at least one rate)".into(),
+            });
+        }
+        if let Some(bad) = rates.iter().find(|r| !r.is_finite() || **r <= 0.0) {
+            return Err(SimError::InvalidSpec {
+                reason: format!("sweep rate grid contains a non-positive or non-finite rate {bad}"),
+            });
+        }
+        materialize_rates(&self.traffic, rates).map_err(|e| SimError::InvalidSpec {
+            reason: format!("sweep rate grid could not be materialized: {e}"),
+        })
     }
 
     /// One simulation run at an explicit traffic point and protocol — the
@@ -777,6 +839,34 @@ pub fn replicated_report_json(r: &ReplicatedReport) -> Json {
     ])
 }
 
+/// Renders a [`ModelReport`] (the [`Scenario::evaluate`] output) as a JSON
+/// tree: the unified headline numbers plus the backend-specific breakdown.
+pub fn model_report_json(r: &ModelReport) -> Json {
+    let detail = match &r.detail {
+        mcnet_model::ModelDetail::Tree(t) => object([
+            ("kind", Json::String("tree".into())),
+            ("clusters", Json::from_u64(t.clusters.len() as u64)),
+        ]),
+        mcnet_model::ModelDetail::Torus(t) => object([
+            ("kind", Json::String("torus".into())),
+            ("source_wait", Json::Number(t.source_wait)),
+            ("network", Json::Number(t.network)),
+            ("tail", Json::Number(t.tail)),
+            ("average_hops", Json::Number(t.average_hops)),
+            ("hotspot_total", opt_f64(t.hotspot_total)),
+            ("background_total", opt_f64(t.background_total)),
+        ]),
+    };
+    object([
+        ("generation_rate", Json::Number(r.generation_rate)),
+        ("mean_latency", Json::Number(r.mean_latency)),
+        ("intra_latency", Json::Number(r.intra_latency)),
+        ("inter_latency", Json::Number(r.inter_latency)),
+        ("max_channel_utilization", Json::Number(r.max_channel_utilization)),
+        ("detail", detail),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -882,7 +972,85 @@ mod tests {
                 .unwrap();
             assert_eq!(report, &standalone);
         }
-        assert!(s.sweep(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn degenerate_rate_grids_are_typed_spec_errors() {
+        // An empty grid used to silently produce an empty report; it and every
+        // non-finite / non-positive grid are now SimError::InvalidSpec.
+        let s = quick_tree_scenario(1);
+        for bad in [&[][..], &[f64::NAN][..], &[f64::INFINITY][..], &[1e-3, -1e-3][..], &[0.0][..]]
+        {
+            assert!(
+                matches!(s.sweep(bad), Err(SimError::InvalidSpec { .. })),
+                "grid {bad:?} must be rejected as an invalid spec"
+            );
+            assert!(matches!(s.sweep_outcomes(bad), Err(SimError::InvalidSpec { .. })));
+            assert!(matches!(s.sweep_replicated(bad, 2), Err(SimError::InvalidSpec { .. })));
+            assert!(matches!(s.evaluate_sweep(bad), Err(SimError::InvalidSpec { .. })));
+        }
+        // A valid grid still sweeps.
+        assert_eq!(s.sweep_outcomes(&[1e-3]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn evaluate_runs_the_analytical_model_on_both_fabrics() {
+        // The scenario's analytical mode returns the same numbers as building
+        // the model backend by hand, for the tree and the torus alike.
+        let tree = quick_tree_scenario(3);
+        let report = tree.evaluate().unwrap();
+        assert_eq!(report.backend_kind(), "tree");
+        let direct = tree
+            .model_backend()
+            .evaluate(tree.traffic(), mcnet_model::ModelOptions::default())
+            .unwrap();
+        assert_eq!(report, direct);
+        assert!(report.mean_latency > 0.0);
+
+        let torus = Scenario::builder()
+            .torus(TorusSystem::new(4, 2).unwrap())
+            .traffic(TrafficConfig::uniform(16, 256.0, 1e-3).unwrap())
+            .build()
+            .unwrap();
+        let report = torus.evaluate().unwrap();
+        assert_eq!(report.backend_kind(), "torus");
+        assert!(report.intra_latency < report.inter_latency);
+        // The JSON rendering parses back and carries the headline number.
+        let doc = Json::parse(&model_report_json(&report).to_pretty()).unwrap();
+        assert_eq!(doc.as_object().unwrap()["mean_latency"].as_f64(), Some(report.mean_latency));
+
+        // Saturation is a typed error, mirroring EventBudgetExhausted.
+        let saturated = Scenario::builder()
+            .torus(TorusSystem::new(4, 2).unwrap())
+            .traffic(TrafficConfig::uniform(16, 256.0, 0.5).unwrap())
+            .build()
+            .unwrap()
+            .evaluate();
+        assert!(matches!(saturated, Err(SimError::ModelSaturated { .. })), "{saturated:?}");
+    }
+
+    #[test]
+    fn evaluate_sweep_mirrors_the_simulation_sweep_contract() {
+        let s = quick_tree_scenario(5);
+        let rates = [2e-4, 4e-4];
+        let reports = s.evaluate_sweep(&rates).unwrap();
+        assert_eq!(reports.len(), 2);
+        for (report, &rate) in reports.iter().zip(&rates) {
+            let report = report.as_ref().unwrap();
+            assert_eq!(report.generation_rate, rate);
+        }
+        // A spec round-trips into the same analytical result: one spec, two
+        // worlds.
+        let spec = ScenarioSpec {
+            name: "eval".into(),
+            fabric: FabricSpec::Torus { radix: 4, dimensions: 2 },
+            traffic: TrafficConfig::uniform(16, 256.0, 1e-3).unwrap(),
+            protocol: Protocol::Quick,
+            seed: 1,
+            replications: 1,
+        };
+        let from_spec = ScenarioSpec::from_json(&spec.to_json()).unwrap().build().unwrap();
+        assert_eq!(from_spec.evaluate().unwrap(), spec.build().unwrap().evaluate().unwrap());
     }
 
     #[test]

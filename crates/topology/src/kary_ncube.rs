@@ -160,6 +160,43 @@ impl KaryNCube {
         Ok(())
     }
 
+    /// The dateline virtual-channel index of every hop of a dimension-order
+    /// route: a hop rides VC 0 until (and unless) its ring's wrap-around edge
+    /// has been crossed in that dimension, and VC 1 from the crossing hop
+    /// onwards — the classic Dally–Seitz discipline that keeps the torus
+    /// channel-dependency graph acyclic. For `k = 2` a ring is a single
+    /// bidirectional edge, no intra-ring dependency exists and every hop rides
+    /// VC 0.
+    ///
+    /// `hops` must be the dimension-order route starting at `src` (as produced
+    /// by [`KaryNCube::route`]); this is the one shared definition consumed by
+    /// both the simulator's cube fabric and the analytical torus model, so the
+    /// two layers cannot drift apart on VC selection.
+    pub fn dateline_vcs(&self, src: NodeId, hops: &[CubeHop]) -> Result<Vec<u8>> {
+        let mut digits = self.coordinates(src)?;
+        let mut vcs = Vec::with_capacity(hops.len());
+        let mut wrapped_dim = usize::MAX; // routes correct dimensions upwards
+        let mut wrapped = false;
+        for hop in hops {
+            if hop.dimension != wrapped_dim {
+                wrapped_dim = hop.dimension;
+                wrapped = false;
+            }
+            if self.k > 2 {
+                // The digit the hop departs from decides whether it crosses the
+                // ring's wrap-around edge.
+                let digit = digits[hop.dimension];
+                let crosses = (hop.direction == 1 && digit == self.k - 1)
+                    || (hop.direction == -1 && digit == 0);
+                wrapped = wrapped || crosses;
+            }
+            vcs.push(wrapped as u8);
+            let d = &mut digits[hop.dimension];
+            *d = if hop.direction == 1 { (*d + 1) % self.k } else { (*d + self.k - 1) % self.k };
+        }
+        Ok(vcs)
+    }
+
     /// Average minimal distance under uniform traffic.
     ///
     /// For each dimension the average ring distance is `k/4` for even `k` and
@@ -287,6 +324,30 @@ mod tests {
         let prefix = buf.len();
         cube.route_into(NodeId(0), NodeId(1), &mut buf).unwrap();
         assert!(buf.len() > prefix);
+    }
+
+    #[test]
+    fn dateline_vcs_follow_the_wrap_crossing() {
+        // On a 4-ring, 3 -> 0 crosses the wrap immediately (VC1); 0 -> 1 never
+        // does (VC0); 3 -> 1 crosses on the first hop and stays on VC1.
+        let ring = KaryNCube::new(4, 1).unwrap();
+        let route = |a: usize, b: usize| ring.route(NodeId::from_index(a), NodeId::from_index(b));
+        let vcs = |a, b| ring.dateline_vcs(NodeId::from_index(a), &route(a, b).unwrap()).unwrap();
+        assert_eq!(vcs(3, 0), vec![1]);
+        assert_eq!(vcs(0, 3), vec![1]); // backward across the wrap
+        assert_eq!(vcs(0, 1), vec![0]);
+        assert_eq!(vcs(3, 1), vec![1, 1]);
+        assert_eq!(vcs(1, 3), vec![0, 0]); // tie broken forward, no wrap
+                                           // The wrap state resets per dimension.
+        let cube = KaryNCube::new(4, 2).unwrap();
+        let hops = cube.route(NodeId::from_index(3), NodeId::from_index(4)).unwrap();
+        let vcs = cube.dateline_vcs(NodeId::from_index(3), &hops).unwrap();
+        assert_eq!(hops.len(), 2);
+        assert_eq!(vcs, vec![1, 0], "dimension-1 hop starts fresh on VC0");
+        // k = 2 rings have a single channel: every hop rides VC 0.
+        let hyper = KaryNCube::new(2, 3).unwrap();
+        let hops = hyper.route(NodeId::from_index(0), NodeId::from_index(7)).unwrap();
+        assert_eq!(hyper.dateline_vcs(NodeId::from_index(0), &hops).unwrap(), vec![0; hops.len()]);
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //! simulator — the reproduction of the paper's central validation claim, scaled down
 //! to sizes a test suite can afford.
 
-use mcnet::model::{AnalyticalModel, ModelOptions};
-use mcnet::sim::{Scenario, SimConfig, SimReport};
-use mcnet::system::{organizations, ClusterSpec, MultiClusterSystem, TrafficConfig};
+use mcnet::model::{AnalyticalModel, ModelBackend, ModelOptions};
+use mcnet::sim::{Scenario, SimConfig, SimError, SimReport};
+use mcnet::system::{
+    organizations, ClusterSpec, MultiClusterSystem, TorusSystem, TrafficConfig, TrafficPattern,
+};
 
 /// Relative error helper.
 fn rel_err(a: f64, b: f64) -> f64 {
@@ -130,6 +132,201 @@ fn org_a_saturates_at_lower_per_node_rate_than_org_b() {
     )
     .unwrap();
     assert!(a < b, "Org A saturation {a} should be below Org B saturation {b}");
+}
+
+/// One reduced-protocol torus simulation through the scenario layer.
+fn simulate_torus(torus: &TorusSystem, traffic: &TrafficConfig, seed: u64) -> SimReport {
+    Scenario::builder()
+        .torus(torus.clone())
+        .traffic(*traffic)
+        .config(SimConfig::reduced(seed))
+        .build()
+        .expect("valid scenario")
+        .run()
+        .expect("simulation runs")
+}
+
+#[test]
+fn torus_model_matches_simulation_at_low_to_moderate_load() {
+    // The acceptance bar of the analytical-layer refactor: the k-ary n-cube
+    // model agrees with the CubeFabric simulator within 10% mean latency at
+    // low-to-moderate load (up to half of the model's saturation rate) across
+    // the 4-ary and 8-ary spec grid.
+    for (k, n) in [(4usize, 2usize), (8, 2)] {
+        let torus = TorusSystem::new(k, n).unwrap();
+        let backend = ModelBackend::Torus(torus.clone());
+        let template = TrafficConfig::uniform(16, 256.0, 1e-4).unwrap();
+        let saturation =
+            backend.find_saturation_rate(&template, ModelOptions::default(), 1e-4).unwrap();
+        for fraction in [0.2, 0.35, 0.5] {
+            let traffic = template.with_rate(fraction * saturation).unwrap();
+            let model = backend
+                .evaluate(&traffic, ModelOptions::default())
+                .unwrap_or_else(|e| panic!("({k},{n}) steady at {fraction}·sat: {e}"))
+                .mean_latency;
+            let sim = simulate_torus(&torus, &traffic, 7).mean_latency;
+            assert!(
+                rel_err(model, sim) < 0.10,
+                "({k},{n}) at {fraction}·saturation: model {model} vs simulation {sim}"
+            );
+        }
+    }
+}
+
+#[test]
+fn torus_model_saturation_falls_in_the_simulators_bracket() {
+    // The model's saturation rate must land inside the bracket the simulator
+    // actually exhibits: comfortably below it the simulator is still clearly
+    // steady, comfortably above it the simulator has blown up.
+    for (k, n) in [(4usize, 2usize), (8, 2)] {
+        let torus = TorusSystem::new(k, n).unwrap();
+        let backend = ModelBackend::Torus(torus.clone());
+        let template = TrafficConfig::uniform(16, 256.0, 1e-4).unwrap();
+        let saturation =
+            backend.find_saturation_rate(&template, ModelOptions::default(), 1e-4).unwrap();
+        let zero_load = backend
+            .evaluate(&template.with_rate(saturation * 1e-3).unwrap(), ModelOptions::default())
+            .unwrap()
+            .mean_latency;
+
+        // Below: steady, latency within a small multiple of the zero-load value.
+        let below = template.with_rate(0.6 * saturation).unwrap();
+        let steady = simulate_torus(&torus, &below, 3).mean_latency;
+        assert!(
+            steady < 4.0 * zero_load,
+            "({k},{n}): sim at 0.6·sat should be steady, got {steady} vs zero-load {zero_load}"
+        );
+
+        // Above: blown up — either an order of magnitude past zero-load or an
+        // exhausted event budget.
+        let above = template.with_rate(2.0 * saturation).unwrap();
+        let blown = Scenario::builder()
+            .torus(torus.clone())
+            .traffic(above)
+            .config(SimConfig::reduced(3))
+            .build()
+            .unwrap()
+            .run();
+        match blown {
+            Ok(report) => assert!(
+                report.mean_latency > 10.0 * zero_load,
+                "({k},{n}): sim at 2·sat should have blown up, got {}",
+                report.mean_latency
+            ),
+            Err(SimError::EventBudgetExhausted { .. }) => {}
+            Err(e) => panic!("({k},{n}): unexpected simulation error {e}"),
+        }
+    }
+}
+
+#[test]
+fn torus_model_channel_loads_match_brute_force_itinerary_counts() {
+    // The model's per-channel load formula (single-ring enumeration, scaled by
+    // N/(N−1)) against ground truth: count how often every link channel of the
+    // simulator's own CubeFabric appears across all N(N−1) itineraries. Under
+    // uniform traffic each pair occurs at rate λ/(N−1) per source, so the
+    // expected channel rate is λ·count/(N−1) — the model must hit it exactly
+    // (up to floating-point noise), VC by VC.
+    use mcnet::model::TorusModel;
+    use mcnet::topology::NodeId;
+    use std::collections::HashMap;
+
+    for (k, n) in [(4usize, 2usize), (3, 2), (2, 3), (5, 2)] {
+        let torus = TorusSystem::new(k, n).unwrap();
+        let lambda = 1e-3;
+        let traffic = TrafficConfig::uniform(16, 256.0, lambda).unwrap();
+        let model = TorusModel::new(&torus, &traffic, ModelOptions::default()).unwrap();
+        let cube = mcnet::topology::KaryNCube::new(k, n).unwrap();
+        let nodes = torus.total_nodes();
+
+        // Brute-force traversal counts keyed by (from, dim, dir, vc).
+        let mut counts: HashMap<(usize, usize, i8, usize), usize> = HashMap::new();
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                if src == dst {
+                    continue;
+                }
+                let hops = cube.route(NodeId::from_index(src), NodeId::from_index(dst)).unwrap();
+                let vcs = cube.dateline_vcs(NodeId::from_index(src), &hops).unwrap();
+                let mut from = src;
+                for (hop, vc) in hops.iter().zip(vcs) {
+                    *counts
+                        .entry((from, hop.dimension, hop.direction, vc as usize))
+                        .or_default() += 1;
+                    from = hop.node.index();
+                }
+            }
+        }
+
+        for node in 0..nodes {
+            for dim in 0..n {
+                for dir in [1i8, -1] {
+                    for vc in 0..2usize {
+                        let count = *counts.get(&(node, dim, dir, vc)).unwrap_or(&0) as f64;
+                        let expected = lambda * count / (nodes as f64 - 1.0);
+                        let modelled = model.link_rate(node, dim, dir, vc).unwrap();
+                        assert!(
+                            (modelled - expected).abs() < 1e-12,
+                            "({k},{n}) channel ({node},{dim},{dir},{vc}): \
+                             model {modelled} vs brute force {expected}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hotspot_model_matches_simulation_at_low_load_on_both_fabrics() {
+    // The non-uniform extension: hot-spot traffic evaluates analytically on
+    // tree and torus alike and tracks the simulator in the steady-state region.
+    let pattern = TrafficPattern::Hotspot { hotspot: 5, fraction: 0.2 };
+
+    let torus = TorusSystem::new(4, 2).unwrap();
+    let traffic = TrafficConfig::uniform(16, 256.0, 8e-3).unwrap().with_pattern(pattern).unwrap();
+    let model = ModelBackend::Torus(torus.clone())
+        .evaluate(&traffic, ModelOptions::default())
+        .unwrap()
+        .mean_latency;
+    let sim = simulate_torus(&torus, &traffic, 21).mean_latency;
+    assert!(rel_err(model, sim) < 0.15, "torus hotspot: model {model} vs simulation {sim}");
+
+    let tree = organizations::small_test_org();
+    let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap().with_pattern(pattern).unwrap();
+    let model = ModelBackend::Tree(tree.clone())
+        .evaluate(&traffic, ModelOptions::default())
+        .unwrap()
+        .mean_latency;
+    let sim = Scenario::builder()
+        .tree(tree)
+        .traffic(traffic)
+        .config(SimConfig::reduced(21))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+        .mean_latency;
+    assert!(rel_err(model, sim) < 0.15, "tree hotspot: model {model} vs simulation {sim}");
+}
+
+#[test]
+fn hotspot_saturates_the_model_earlier_than_uniform_on_both_fabrics() {
+    let opts = ModelOptions::default();
+    let template = TrafficConfig::uniform(16, 256.0, 1e-4).unwrap();
+    let hot = template.with_pattern(TrafficPattern::Hotspot { hotspot: 0, fraction: 0.4 }).unwrap();
+    for backend in [
+        ModelBackend::Torus(TorusSystem::new(4, 2).unwrap()),
+        ModelBackend::Tree(organizations::small_test_org()),
+    ] {
+        let uniform_sat = backend.find_saturation_rate(&template, opts, 1e-3).unwrap();
+        let hot_sat = backend.find_saturation_rate(&hot, opts, 1e-3).unwrap();
+        assert!(
+            hot_sat < uniform_sat,
+            "{}: hotspot saturation {hot_sat} must be below uniform {uniform_sat}",
+            backend.summary()
+        );
+    }
 }
 
 #[test]

@@ -125,7 +125,27 @@ fn spec_exemplars_cover_both_fabrics_and_a_non_uniform_pattern() {
     assert!(names.contains(&"paper_tree_org_b"), "{names:?}");
     assert!(names.contains(&"torus_8ary_2cube"), "{names:?}");
     assert!(names.contains(&"hotspot_small_tree"), "{names:?}");
+    assert!(names.contains(&"torus_hotspot_4ary"), "{names:?}");
     assert!(specs.iter().any(|s| !s.traffic.pattern.is_uniform()));
+}
+
+#[test]
+fn every_spec_exemplar_evaluates_analytically() {
+    // One spec drives either world: each exemplar must also go through the
+    // analytical model (Scenario::evaluate) with a steady state at its own
+    // configured load — every shipped spec sits in the validated region.
+    for path in spec_files() {
+        let spec = ScenarioSpec::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let report =
+            spec.build().unwrap().evaluate().unwrap_or_else(|e| {
+                panic!("{}: analytical evaluation failed: {e}", path.display())
+            });
+        assert!(report.mean_latency > 0.0, "{}", path.display());
+        assert!(report.max_channel_utilization < 1.0, "{}", path.display());
+        // The backend kind matches the fabric kind in the spec.
+        let is_torus = matches!(spec.fabric, mcnet::sim::scenario::FabricSpec::Torus { .. });
+        assert_eq!(report.backend_kind() == "torus", is_torus, "{}", path.display());
+    }
 }
 
 #[test]

@@ -1,0 +1,201 @@
+//! Property tests over the `mcnet_sim::json` spec layer: randomly generated
+//! valid specs must round-trip losslessly (including full-range u64 seeds),
+//! and corrupted documents — unknown keys at every nesting level, malformed
+//! fabric/traffic/pattern variants — must be rejected with typed spec errors,
+//! never silently degraded to defaults.
+
+use mcnet::sim::json::Json;
+use mcnet::sim::scenario::FabricSpec;
+use mcnet::sim::{Protocol, ScenarioSpec, SimError};
+use mcnet::system::{TrafficConfig, TrafficPattern};
+use proptest::prelude::*;
+
+/// Strategy over valid scenario specs covering every fabric and pattern kind.
+fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        (
+            0usize..3, // fabric kind selector
+            2usize..6, // radix / ports half / group size material
+            1usize..4, // dimensions / levels
+            0usize..3, // pattern kind selector
+        ),
+        (
+            1usize..64,     // message flits
+            1u64..4,        // protocol selector material
+            0u64..u64::MAX, // seed, (nearly) full range — well past 2^53
+            1usize..5,      // replications
+        ),
+    )
+        .prop_map(|((fabric_kind, k, n, pattern_kind), (flits, proto, seed, replications))| {
+            let fabric = match fabric_kind {
+                0 => FabricSpec::Org { name: "small_test".into() },
+                1 => FabricSpec::Tree { groups: vec![(2, 4, 1), (1, 4, n.min(2))] },
+                _ => FabricSpec::Torus { radix: k, dimensions: n },
+            };
+            let pattern = match pattern_kind {
+                0 => TrafficPattern::Uniform,
+                1 => TrafficPattern::Hotspot { hotspot: k - 1, fraction: 0.25 },
+                _ => TrafficPattern::LocalFavoring { locality: 0.75 },
+            };
+            let traffic =
+                TrafficConfig::uniform(flits, 256.0, 1e-3).unwrap().with_pattern(pattern).unwrap();
+            let protocol = match proto {
+                1 => Protocol::Quick,
+                2 => Protocol::Reduced,
+                _ => Protocol::Paper,
+            };
+            ScenarioSpec { name: "prop".into(), fabric, traffic, protocol, seed, replications }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn specs_round_trip_losslessly(spec in spec_strategy()) {
+        let text = spec.to_json();
+        let back = ScenarioSpec::from_json(&text).unwrap();
+        prop_assert_eq!(&back, &spec);
+        // Seeds survive exactly even above 2^53 (where they travel as decimal
+        // strings because a JSON number would round).
+        prop_assert_eq!(back.seed, spec.seed);
+        // And a second round trip is a fixed point.
+        prop_assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_at_every_nesting_level(
+        spec in spec_strategy(),
+        level in 0usize..4,
+        key_tag in 0usize..5,
+    ) {
+        // Inject one unrecognized key at a random nesting level of a valid
+        // document; parsing must fail with a typed spec error instead of
+        // silently ignoring the field.
+        let bogus = format!("bogus_{key_tag}");
+        let doc = Json::parse(&spec.to_json()).unwrap();
+        let Json::Object(mut root) = doc else { panic!("spec renders an object") };
+        match level {
+            0 => {
+                root.insert(bogus, Json::Number(1.0));
+            }
+            1 => {
+                let Some(Json::Object(fabric)) = root.get_mut("fabric") else {
+                    panic!("spec has a fabric object")
+                };
+                fabric.insert(bogus, Json::Number(1.0));
+            }
+            2 => {
+                let Some(Json::Object(traffic)) = root.get_mut("traffic") else {
+                    panic!("spec has a traffic object")
+                };
+                traffic.insert(bogus, Json::Number(1.0));
+            }
+            _ => {
+                let Some(Json::Object(traffic)) = root.get_mut("traffic") else {
+                    panic!("spec has a traffic object")
+                };
+                let Some(Json::Object(pattern)) = traffic.get_mut("pattern") else {
+                    panic!("spec has a pattern object")
+                };
+                pattern.insert(bogus, Json::Number(1.0));
+            }
+        }
+        let corrupted = Json::Object(root).to_pretty();
+        prop_assert!(
+            matches!(ScenarioSpec::from_json(&corrupted), Err(SimError::InvalidSpec { .. })),
+            "unknown key at level {} must be rejected: {}", level, corrupted
+        );
+    }
+
+    #[test]
+    fn malformed_variant_kinds_are_rejected(
+        spec in spec_strategy(),
+        target in 0usize..3,
+        tag in 0usize..4,
+    ) {
+        // Replace a variant selector (fabric.kind / pattern.kind / protocol)
+        // with a string outside its vocabulary.
+        let wrong = format!("warp_{tag}");
+        let doc = Json::parse(&spec.to_json()).unwrap();
+        let Json::Object(mut root) = doc else { panic!("spec renders an object") };
+        match target {
+            0 => {
+                let Some(Json::Object(fabric)) = root.get_mut("fabric") else {
+                    panic!("spec has a fabric object")
+                };
+                fabric.insert("kind".into(), Json::String(wrong));
+            }
+            1 => {
+                let Some(Json::Object(traffic)) = root.get_mut("traffic") else {
+                    panic!("spec has a traffic object")
+                };
+                let Some(Json::Object(pattern)) = traffic.get_mut("pattern") else {
+                    panic!("spec has a pattern object")
+                };
+                pattern.insert("kind".into(), Json::String(wrong));
+            }
+            _ => {
+                root.insert("protocol".into(), Json::String(wrong));
+            }
+        }
+        let corrupted = Json::Object(root).to_pretty();
+        prop_assert!(
+            matches!(ScenarioSpec::from_json(&corrupted), Err(SimError::InvalidSpec { .. })),
+            "unknown variant must be rejected: {}", corrupted
+        );
+    }
+
+    #[test]
+    fn required_field_removal_is_rejected(
+        spec in spec_strategy(),
+        field in 0usize..4,
+    ) {
+        let name = ["name", "fabric", "traffic", "protocol"][field];
+        let doc = Json::parse(&spec.to_json()).unwrap();
+        let Json::Object(mut root) = doc else { panic!("spec renders an object") };
+        root.remove(name);
+        let corrupted = Json::Object(root).to_pretty();
+        prop_assert!(
+            matches!(ScenarioSpec::from_json(&corrupted), Err(SimError::InvalidSpec { .. })),
+            "missing {} must be rejected", name
+        );
+    }
+
+    #[test]
+    fn type_confused_traffic_fields_are_rejected(
+        spec in spec_strategy(),
+        field in 0usize..3,
+    ) {
+        // Strings where numbers belong must not parse.
+        let name = ["message_flits", "flit_bytes", "generation_rate"][field];
+        let doc = Json::parse(&spec.to_json()).unwrap();
+        let Json::Object(mut root) = doc else { panic!("spec renders an object") };
+        let Some(Json::Object(traffic)) = root.get_mut("traffic") else {
+            panic!("spec has a traffic object")
+        };
+        traffic.insert(name.into(), Json::String("three".into()));
+        let corrupted = Json::Object(root).to_pretty();
+        prop_assert!(
+            matches!(ScenarioSpec::from_json(&corrupted), Err(SimError::InvalidSpec { .. })),
+            "non-numeric {} must be rejected", name
+        );
+    }
+}
+
+#[test]
+fn pattern_object_always_serializes() {
+    // Uniform specs render an explicit {"kind": "uniform"} pattern, so the
+    // nesting-level property above can always find the object to corrupt.
+    let spec = ScenarioSpec {
+        name: "x".into(),
+        fabric: FabricSpec::Torus { radix: 4, dimensions: 2 },
+        traffic: TrafficConfig::uniform(8, 256.0, 1e-3).unwrap(),
+        protocol: Protocol::Quick,
+        seed: 1,
+        replications: 1,
+    };
+    let doc = Json::parse(&spec.to_json()).unwrap();
+    let traffic = doc.as_object().unwrap()["traffic"].as_object().unwrap();
+    assert!(traffic.contains_key("pattern"));
+}

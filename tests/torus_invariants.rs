@@ -121,6 +121,40 @@ const GOLDEN_MEAN_LATENCY_BITS: u64 = 0x402329825345CD2A;
 const GOLDEN_EVENTS: u64 = 14803;
 
 #[test]
+fn fixed_seed_torus_hotspot_golden_is_pinned() {
+    // Golden tripwire for the torus + hot-spot path, pinned at the
+    // introduction of the analytical-layer refactor: it rides the
+    // `specs/torus_hotspot.json` exemplar (at quick protocol), so it also
+    // locks the spec file itself and the hotspot destination sampling on the
+    // cube fabric. Any engine or spec change that shifts these constants must
+    // update them consciously.
+    let text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/specs/torus_hotspot.json"))
+            .unwrap();
+    let spec = mcnet::sim::ScenarioSpec::from_json(&text)
+        .unwrap()
+        .with_protocol(mcnet::sim::Protocol::Quick);
+    let r = spec.build().unwrap().run().unwrap();
+    assert_eq!(r.generated_messages, 2400);
+    assert_eq!(r.measured_messages, 2000);
+    assert_eq!(
+        r.mean_latency.to_bits(),
+        GOLDEN_HOTSPOT_MEAN_LATENCY_BITS,
+        "mean {}",
+        r.mean_latency
+    );
+    assert_eq!(r.events, GOLDEN_HOTSPOT_EVENTS);
+    // The hot sub-ring classification still holds: cross-ring messages travel
+    // further and slower on average.
+    assert!(r.inter.mean > r.intra.mean);
+}
+
+/// Pinned observables of `specs/torus_hotspot.json` at quick protocol
+/// (4-ary 2-cube, M=16 Lm=256 λ=8e-3, hotspot node 5 f=0.2, seed 21).
+const GOLDEN_HOTSPOT_MEAN_LATENCY_BITS: u64 = 0x4024A53FBAC0B57A;
+const GOLDEN_HOTSPOT_EVENTS: u64 = 15208;
+
+#[test]
 fn torus_latency_increases_with_load_and_messages_conserve() {
     let torus = TorusSystem::new(4, 2).unwrap();
     let low_t = TrafficConfig::uniform(16, 256.0, 2e-4).unwrap();
