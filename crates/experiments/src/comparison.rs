@@ -343,6 +343,7 @@ mod tests {
             protocol: mcnet_sim::Protocol::Quick,
             seed: 7,
             replications: 1,
+            faults: None,
         }
     }
 

@@ -102,6 +102,14 @@ pub struct ChannelPool {
     contention_events: u64,
     /// Total number of acquisitions.
     acquisitions: u64,
+    /// Disabled (faulted) channels. Allocated lazily on the first
+    /// [`set_disabled`](Self::set_disabled) call so fault-free runs pay only an
+    /// `is_empty` check on the acquisition path.
+    disabled: Vec<bool>,
+    /// Number of waiter link nodes currently queued across all channels. Must
+    /// equal `waiters.nodes.len() - waiters.free.len()` at all times — the
+    /// invariant that proves fault aborts reclaim every arena node.
+    live_waiters: usize,
 }
 
 /// Result of an acquisition attempt.
@@ -128,6 +136,8 @@ impl ChannelPool {
             waiters: WaiterArena::default(),
             contention_events: 0,
             acquisitions: 0,
+            disabled: Vec::new(),
+            live_waiters: 0,
         }
     }
 
@@ -187,6 +197,18 @@ impl ChannelPool {
         }
     }
 
+    /// Checks the arena accounting invariant: every link node is either live in
+    /// some channel's FIFO or on the free list. A violation means an aborted
+    /// waiter leaked its node (or one was double-freed).
+    #[inline]
+    fn check_arena(&self) {
+        debug_assert_eq!(
+            self.waiters.nodes.len() - self.waiters.free.len(),
+            self.live_waiters,
+            "waiter arena leak: allocated nodes do not match live waiters"
+        );
+    }
+
     /// Appends a waiter to a channel's FIFO.
     fn push_waiter(&mut self, ch: GlobalChannelId, message: MessageId) {
         let node = self.waiters.alloc(message);
@@ -197,6 +219,8 @@ impl ChannelPool {
             self.waiters.nodes[state.waiters_tail as usize].next = node;
         }
         state.waiters_tail = node;
+        self.live_waiters += 1;
+        self.check_arena();
     }
 
     /// Removes and returns the oldest waiter of a channel, if any.
@@ -210,7 +234,83 @@ impl ChannelPool {
         if state.waiters_head == NIL {
             state.waiters_tail = NIL;
         }
+        self.live_waiters -= 1;
+        self.check_arena();
         Some(node.message)
+    }
+
+    /// Number of messages currently waiting across all channels. Zero after a
+    /// completed run: every waiter is eventually granted or aborted, and both
+    /// paths reclaim the arena node.
+    #[inline]
+    pub fn live_waiters(&self) -> usize {
+        self.live_waiters
+    }
+
+    /// Whether a channel is currently disabled by a fault.
+    #[inline]
+    pub fn is_disabled(&self, ch: GlobalChannelId) -> bool {
+        !self.disabled.is_empty() && self.disabled[ch as usize]
+    }
+
+    /// Sets or clears a channel's disabled (faulted) flag. Overlapping fault
+    /// targets may share channels; the flag reflects the last action applied,
+    /// so callers skip redundant transitions rather than asserting on them.
+    pub fn set_disabled(&mut self, ch: GlobalChannelId, down: bool) {
+        if self.disabled.is_empty() {
+            self.disabled = vec![false; self.states.len()];
+        }
+        self.disabled[ch as usize] = down;
+    }
+
+    /// Removes and returns every waiter of a channel in FIFO order — the first
+    /// step of taking a channel down. All arena nodes are reclaimed.
+    pub fn drain_waiters(&mut self, ch: GlobalChannelId) -> Vec<MessageId> {
+        let mut drained = Vec::new();
+        while let Some(message) = self.pop_waiter(ch) {
+            drained.push(message);
+        }
+        self.check_arena();
+        drained
+    }
+
+    /// Unlinks `message` from a channel's waiter FIFO, reclaiming its arena
+    /// node. Returns `false` if the message was not queued there (it is mid
+    /// crossing with a pending event instead).
+    pub fn remove_waiter(&mut self, ch: GlobalChannelId, message: MessageId) -> bool {
+        let state = &mut self.states[ch as usize];
+        let mut prev = NIL;
+        let mut idx = state.waiters_head;
+        while idx != NIL {
+            let node = self.waiters.nodes[idx as usize];
+            if node.message == message {
+                if prev == NIL {
+                    state.waiters_head = node.next;
+                } else {
+                    self.waiters.nodes[prev as usize].next = node.next;
+                }
+                if state.waiters_tail == idx {
+                    state.waiters_tail = prev;
+                }
+                self.waiters.release(idx);
+                self.live_waiters -= 1;
+                self.check_arena();
+                return true;
+            }
+            prev = idx;
+            idx = node.next;
+        }
+        false
+    }
+
+    /// Whether a scheduled channel wakeup is still meaningful: the channel is
+    /// enabled, unheld, and past any lazy free time. Fault aborts can orphan a
+    /// wakeup (its waiter was removed and the channel re-acquired, re-released
+    /// to a later free time, or disabled since) — the engine drops those.
+    #[inline]
+    pub fn can_handoff(&self, ch: GlobalChannelId, now: f64) -> bool {
+        let state = &self.states[ch as usize];
+        !self.is_disabled(ch) && state.holder.is_none() && now >= state.free_at
     }
 
     /// Attempts to acquire a channel for `message` at simulation time `now`: grants it
@@ -222,6 +322,7 @@ impl ChannelPool {
     /// the channel was released lazily (no event pending) and this message is
     /// the first waiter.
     pub fn acquire(&mut self, ch: GlobalChannelId, message: MessageId, now: f64) -> Acquire {
+        debug_assert!(!self.is_disabled(ch), "acquiring a disabled channel");
         self.acquisitions += 1;
         let state = &mut self.states[ch as usize];
         if state.holder.is_none() && state.waiters_head == NIL && now >= state.free_at {
@@ -477,5 +578,64 @@ mod tests {
     fn releasing_unheld_channel_panics() {
         let mut p = pool(1);
         p.mark_released(0, 9, 0.0);
+    }
+
+    #[test]
+    fn drain_waiters_returns_fifo_order_and_reclaims_nodes() {
+        let mut p = pool(1);
+        p.acquire(0, 1, 0.0);
+        p.acquire(0, 2, 0.1);
+        p.acquire(0, 3, 0.2);
+        p.acquire(0, 4, 0.3);
+        assert_eq!(p.live_waiters(), 3);
+        assert_eq!(p.drain_waiters(0), vec![2, 3, 4]);
+        assert_eq!(p.live_waiters(), 0);
+        assert_eq!(p.queue_len(0), 0);
+        // The nodes went back to the free list, not leaked: fresh contention
+        // reuses them without growing the arena.
+        p.acquire(0, 5, 1.0);
+        p.acquire(0, 6, 1.1);
+        assert_eq!(p.waiter_nodes_allocated(), 3);
+    }
+
+    #[test]
+    fn remove_waiter_unlinks_head_middle_and_tail() {
+        let mut p = pool(1);
+        p.acquire(0, 1, 0.0);
+        for (i, m) in [2, 3, 4, 5].into_iter().enumerate() {
+            p.acquire(0, m, 0.1 + i as f64 * 0.1);
+        }
+        assert!(p.remove_waiter(0, 3), "middle");
+        assert!(p.remove_waiter(0, 2), "head");
+        assert!(p.remove_waiter(0, 5), "tail");
+        assert!(!p.remove_waiter(0, 9), "absent message is reported, not invented");
+        assert_eq!(p.queue_len(0), 1);
+        assert_eq!(p.live_waiters(), 1);
+        // The surviving waiter still hands off normally, and a push after a
+        // tail removal re-links correctly.
+        p.acquire(0, 6, 1.0);
+        assert_eq!(p.mark_released(0, 1, 2.0), Some(2.0));
+        assert_eq!(p.handoff(0, 2.0), Some(4));
+        assert_eq!(p.queue_len(0), 1);
+        assert_eq!(p.live_waiters(), 1);
+    }
+
+    #[test]
+    fn disabled_set_is_lazy_and_gates_handoff_readiness() {
+        let mut p = pool(2);
+        assert!(!p.is_disabled(0));
+        assert!(p.can_handoff(0, 0.0));
+        p.set_disabled(0, true);
+        assert!(p.is_disabled(0));
+        assert!(!p.is_disabled(1));
+        assert!(!p.can_handoff(0, 5.0));
+        p.set_disabled(0, false);
+        assert!(p.can_handoff(0, 5.0));
+        // A held or still-draining channel is not ready for a hand-off either.
+        p.acquire(1, 7, 0.0);
+        assert!(!p.can_handoff(1, 1.0));
+        p.mark_released(1, 7, 3.0);
+        assert!(!p.can_handoff(1, 2.0));
+        assert!(p.can_handoff(1, 3.0));
     }
 }

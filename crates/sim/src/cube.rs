@@ -147,6 +147,51 @@ impl CubeFabric {
         from as u32 * per_node + (hop.dimension as u32 * self.dirs + dir_idx) * self.vcs + vc
     }
 
+    /// All virtual-channel ids of the directed ring link leaving `from` in
+    /// dimension `dim` (`positive` selects the +1 or −1 direction; for `k = 2`
+    /// the two coincide on the single channel). Fault targets resolve through
+    /// this: cutting a ring edge means disabling every VC of the directed link.
+    pub fn directed_link_channels(
+        &self,
+        from: usize,
+        dim: usize,
+        positive: bool,
+    ) -> Vec<GlobalChannelId> {
+        debug_assert!(from < self.cube.num_nodes() && dim < self.cube.dimensions());
+        let dir_idx = if self.dirs == 1 || positive { 0u32 } else { 1u32 };
+        let per_node = self.cube.dimensions() as u32 * self.dirs * self.vcs;
+        let base = from as u32 * per_node + (dim as u32 * self.dirs + dir_idx) * self.vcs;
+        (base..base + self.vcs).collect()
+    }
+
+    /// The ring neighbour of `node` in dimension `dim` (`positive` picks the
+    /// +1 or −1 direction; they coincide for `k = 2`).
+    pub fn ring_neighbor(&self, node: usize, dim: usize, positive: bool) -> usize {
+        let k = self.torus.radix();
+        let stride = k.pow(dim as u32);
+        let coord = (node / stride) % k;
+        let next = if positive { (coord + 1) % k } else { (coord + k - 1) % k };
+        node - coord * stride + next * stride
+    }
+
+    /// Every channel incident to one node's router: its injection and ejection
+    /// channels plus all VCs of every directed link leaving or entering it —
+    /// the channel set a whole-switch fault disables. Sorted and deduplicated
+    /// (for `k = 2` the two directions share channels).
+    pub fn switch_channels(&self, node: usize) -> Vec<GlobalChannelId> {
+        let mut out = vec![self.injection(node), self.ejection(node)];
+        for dim in 0..self.cube.dimensions() {
+            for positive in [true, false] {
+                out.extend(self.directed_link_channels(node, dim, positive));
+                let neighbor = self.ring_neighbor(node, dim, positive);
+                out.extend(self.directed_link_channels(neighbor, dim, !positive));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Creates the channel-occupancy pool matching this fabric.
     pub fn channel_pool(&self) -> ChannelPool {
         let mut flit_times = vec![self.t_link; self.link_channels as usize];
@@ -297,6 +342,64 @@ mod tests {
         assert_eq!(it.channels.len(), 3 + 2);
         let unique: HashSet<_> = it.channels.iter().collect();
         assert_eq!(unique.len(), it.channels.len());
+    }
+
+    #[test]
+    fn directed_link_channels_match_hop_channels() {
+        let f = fabric(4, 2);
+        // The +1 hop out of node 5 in dimension 0 lands on node 6; its channel
+        // set must be exactly the VCs the router would use for that hop.
+        let hop = CubeHop { dimension: 0, direction: 1, node: NodeId::from_index(6) };
+        let expected: Vec<_> =
+            (0..f.virtual_channels()).map(|vc| f.link_channel(5, &hop, vc)).collect();
+        assert_eq!(f.directed_link_channels(5, 0, true), expected);
+        let back = CubeHop { dimension: 0, direction: -1, node: NodeId::from_index(5) };
+        let expected: Vec<_> =
+            (0..f.virtual_channels()).map(|vc| f.link_channel(6, &back, vc)).collect();
+        assert_eq!(f.directed_link_channels(6, 0, false), expected);
+        // k = 2: both directions collapse onto the single channel.
+        let h = fabric(2, 3);
+        assert_eq!(h.directed_link_channels(0, 1, true), h.directed_link_channels(0, 1, false));
+    }
+
+    #[test]
+    fn ring_neighbors_wrap_per_dimension() {
+        let f = fabric(4, 2);
+        assert_eq!(f.ring_neighbor(5, 0, true), 6);
+        assert_eq!(f.ring_neighbor(5, 0, false), 4);
+        assert_eq!(f.ring_neighbor(3, 0, true), 0, "dimension-0 wrap");
+        assert_eq!(f.ring_neighbor(5, 1, true), 9);
+        assert_eq!(f.ring_neighbor(1, 1, false), 13, "dimension-1 wrap");
+        let h = fabric(2, 3);
+        assert_eq!(h.ring_neighbor(0, 2, true), 4);
+        assert_eq!(h.ring_neighbor(0, 2, false), 4, "k = 2 directions coincide");
+    }
+
+    #[test]
+    fn switch_channels_cover_all_incident_links() {
+        let f = fabric(4, 2);
+        let channels = f.switch_channels(5);
+        // injection + ejection + (2 dims × 2 dirs × 2 VCs) outgoing + the same
+        // incoming from the four neighbours.
+        assert_eq!(channels.len(), 2 + 8 + 8);
+        assert!(channels.contains(&f.injection(5)));
+        assert!(channels.contains(&f.ejection(5)));
+        for dim in 0..2 {
+            for positive in [true, false] {
+                for ch in f.directed_link_channels(5, dim, positive) {
+                    assert!(channels.contains(&ch), "outgoing dim {dim}");
+                }
+                let nb = f.ring_neighbor(5, dim, positive);
+                for ch in f.directed_link_channels(nb, dim, !positive) {
+                    assert!(channels.contains(&ch), "incoming dim {dim}");
+                }
+            }
+        }
+        // Sorted and unique.
+        let mut sorted = channels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, channels);
     }
 
     #[test]

@@ -32,10 +32,11 @@ use crate::arrivals::ArrivalQueue;
 use crate::backend::FabricBackend;
 use crate::channels::{Acquire, ChannelPool, GlobalChannelId};
 use crate::event::{EventKind, EventQueue, MessageId};
+use crate::fault::{FaultAction, FaultPlan};
 use crate::message::{MessageSlab, MessageState};
 use crate::routes::RouteTable;
 use crate::runner::SimConfig;
-use crate::stats::SimStats;
+use crate::stats::{Delivery, SimStats};
 use crate::traffic::TrafficSource;
 use crate::{Result, SimError};
 use mcnet_system::{MultiClusterSystem, TorusSystem, TrafficConfig};
@@ -58,6 +59,11 @@ pub struct Simulation {
     message_flits: f64,
     generation_target: u64,
     max_events: u64,
+    /// Retry budget per message under fault injection (delivery attempts).
+    fault_max_attempts: u32,
+    /// Base retransmission backoff; failure `i` retries after
+    /// `fault_retry_base · 2^(i−1)`.
+    fault_retry_base: f64,
 }
 
 impl Simulation {
@@ -67,9 +73,21 @@ impl Simulation {
         traffic_cfg: &TrafficConfig,
         config: &SimConfig,
     ) -> Result<Self> {
+        Self::new_with(system, traffic_cfg, config, None)
+    }
+
+    /// Builds a tree-fabric simulation with an optional fault-injection plan.
+    /// `new(…)` is exactly `new_with(…, None)`; a `Some` plan schedules its
+    /// `ChannelDown`/`ChannelUp` events up front and arms the retry policy.
+    pub fn new_with(
+        system: &MultiClusterSystem,
+        traffic_cfg: &TrafficConfig,
+        config: &SimConfig,
+        faults: Option<&FaultPlan>,
+    ) -> Result<Self> {
         let backend = FabricBackend::tree(system, traffic_cfg)?;
         let traffic = TrafficSource::new(system, traffic_cfg)?;
-        Self::from_backend(backend, traffic, traffic_cfg, config)
+        Self::from_backend(backend, traffic, traffic_cfg, config, faults)
     }
 
     /// Builds a simulation over a k-ary n-cube (torus) fabric.
@@ -78,9 +96,20 @@ impl Simulation {
         traffic_cfg: &TrafficConfig,
         config: &SimConfig,
     ) -> Result<Self> {
+        Self::new_torus_with(torus, traffic_cfg, config, None)
+    }
+
+    /// Builds a torus-fabric simulation with an optional fault-injection plan
+    /// (see [`new_with`](Self::new_with)).
+    pub fn new_torus_with(
+        torus: &TorusSystem,
+        traffic_cfg: &TrafficConfig,
+        config: &SimConfig,
+        faults: Option<&FaultPlan>,
+    ) -> Result<Self> {
         let backend = FabricBackend::cube(torus, traffic_cfg)?;
         let traffic = TrafficSource::for_torus(torus, traffic_cfg)?;
-        Self::from_backend(backend, traffic, traffic_cfg, config)
+        Self::from_backend(backend, traffic, traffic_cfg, config, faults)
     }
 
     /// Builds the simulation state shared by every backend: route table, channel
@@ -90,6 +119,7 @@ impl Simulation {
         traffic: TrafficSource,
         traffic_cfg: &TrafficConfig,
         config: &SimConfig,
+        faults: Option<&FaultPlan>,
     ) -> Result<Self> {
         config.validate()?;
         let routes = RouteTable::build(&backend)?;
@@ -124,12 +154,33 @@ impl Simulation {
             message_flits: traffic_cfg.message_flits as f64,
             generation_target,
             max_events: config.max_events,
+            fault_max_attempts: FaultPlan::DEFAULT_MAX_ATTEMPTS,
+            fault_retry_base: FaultPlan::DEFAULT_RETRY_BASE,
         };
         // Prime every node's Poisson process (same RNG draw order as the
         // per-node Generate events the seed engine scheduled).
         for node in 0..nodes {
             let dt = sim.traffic.sample_interarrival(&mut sim.rng);
             sim.arrivals.push(dt, node as u32);
+        }
+        // Materialize the fault plan: every resolved target channel gets its
+        // own timed down/up event (switch faults fan out to the whole incident
+        // set). Fault-free runs take none of this — the event mix, RNG draw
+        // order and statistics stay bit-identical to the pre-fault engine.
+        if let Some(plan) = faults {
+            plan.validate()?;
+            sim.fault_max_attempts = plan.max_attempts;
+            sim.fault_retry_base = plan.retry_base;
+            sim.stats.enable_windows(plan.window);
+            for fault in plan.resolve(&sim.backend)? {
+                for &channel in &fault.channels {
+                    let kind = match fault.action {
+                        FaultAction::Down => EventKind::ChannelDown { channel },
+                        FaultAction::Up => EventKind::ChannelUp { channel },
+                    };
+                    sim.queue.schedule_at(fault.at, kind);
+                }
+            }
         }
         Ok(sim)
     }
@@ -220,6 +271,9 @@ impl Simulation {
                     EventKind::HeaderAdvance { message } => self.handle_header_advance(message),
                     EventKind::ChannelFree { channel } => self.handle_channel_free(channel),
                     EventKind::TailArrived { message } => self.handle_tail_arrived(message),
+                    EventKind::ChannelDown { channel } => self.handle_channel_down(channel),
+                    EventKind::ChannelUp { channel } => self.pool.set_disabled(channel, false),
+                    EventKind::Retransmit { message } => self.request_next_channel(message),
                 }
             }
             if self.events_processed() > self.max_events {
@@ -228,8 +282,12 @@ impl Simulation {
                     delivered: self.stats.delivered(),
                 });
             }
+            // A message leaves the system by delivery or (under faults) by
+            // exhausting its retry budget; the run ends when every generated
+            // message has done one or the other. `dropped` is zero on the
+            // fault-free path, so the condition degenerates to the original.
             if self.stats.generated() >= self.generation_target
-                && self.stats.delivered() >= self.generation_target
+                && self.stats.delivered() + self.stats.dropped() >= self.generation_target
             {
                 break;
             }
@@ -251,8 +309,8 @@ impl Simulation {
         // happens here.
         let dst = self.traffic.sample_destination(&mut self.rng, node);
         let entry = self.routes.entry(&self.backend, node, dst);
-        let (_, measured) = self.stats.register_generation();
-        let message = MessageState::new(entry, self.queue.now(), measured);
+        let (gen_id, measured) = self.stats.register_generation();
+        let message = MessageState::new(entry, self.queue.now(), measured, gen_id as u32);
         let id = self.messages.insert(message);
         self.request_next_channel(id);
 
@@ -275,6 +333,13 @@ impl Simulation {
         let channel = msg
             .next_channel(self.routes.channels(msg.route))
             .expect("request_next_channel called on a finished path");
+        // A faulted channel fails the attempt on the spot: no event is pending
+        // for the message and it is queued nowhere, so the abort resolves
+        // synchronously (drop or backoff retransmission).
+        if self.pool.is_disabled(channel) {
+            self.abort_message(id, true);
+            return;
+        }
         match self.pool.acquire(channel, id, self.queue.now()) {
             Acquire::Granted => self.channel_granted(id, channel),
             Acquire::QueuedUntil(free_at) => {
@@ -294,6 +359,12 @@ impl Simulation {
     }
 
     fn handle_header_advance(&mut self, id: MessageId) {
+        // A channel-down may have killed this message while its header was mid
+        // crossing; the stale event is the hook that resolves the abort.
+        if self.messages[id].aborted {
+            self.resolve_abort(id);
+            return;
+        }
         if self.messages[id].header_delivered() {
             // The header reached the destination. The remaining M-1 flits drain behind
             // it at the bottleneck channel rate: channel k of an L-channel path sees
@@ -325,6 +396,14 @@ impl Simulation {
     }
 
     fn handle_channel_free(&mut self, channel: u32) {
+        // Fault aborts can orphan a scheduled wakeup: its waiter was removed
+        // and the channel re-acquired, re-released to a later free time, or
+        // disabled in the meantime. Those fire into nothing. On a fault-free
+        // run the guard is always true (wakeups fire exactly at their free
+        // time on an unheld channel), so the event stream is unchanged.
+        if !self.pool.can_handoff(channel, self.queue.now()) {
+            return;
+        }
         if let Some(next) = self.pool.handoff(channel, self.queue.now()) {
             self.channel_granted(next, channel);
         }
@@ -332,10 +411,107 @@ impl Simulation {
 
     fn handle_tail_arrived(&mut self, id: MessageId) {
         let now = self.queue.now();
-        // The message's work is done: fold its latency into the statistics and
-        // recycle its slot. No per-message state outlives delivery.
+        // The message's work is done: fold it into the statistics (and the run
+        // digest) and recycle its slot. No per-message state outlives delivery.
         let msg = self.messages.remove(id);
-        self.stats.record_delivery(msg.latency_at(now), msg.class(), msg.measured);
+        self.stats.record_delivery(Delivery {
+            gen_id: msg.gen_id,
+            class: msg.class(),
+            latency: msg.latency_at(now),
+            at: now,
+            measured: msg.measured,
+            attempts: u32::from(msg.attempts) + 1,
+        });
+    }
+
+    // ---- fault handling -----------------------------------------------------------
+
+    /// A channel goes down: its holder and every queued waiter abort, then the
+    /// channel joins the disabled set. Only acquisition-phase messages are
+    /// affected — a committed message (header delivered, tail draining) has
+    /// already released its channels and keeps draining; physically its flits
+    /// are past the failure point.
+    fn handle_channel_down(&mut self, channel: GlobalChannelId) {
+        if self.pool.is_disabled(channel) {
+            return; // overlapping fault targets may share channels
+        }
+        let holder = self.pool.holder(channel);
+        // Drain the waiters *before* aborting the holder, so the holder's
+        // release of this channel finds an empty FIFO and schedules no wakeup.
+        let waiters = self.pool.drain_waiters(channel);
+        if let Some(id) = holder {
+            self.abort_message(id, false);
+        }
+        for id in waiters {
+            // A drained waiter has no pending event by construction: it was
+            // sitting in the FIFO, which is exactly the no-event state.
+            self.abort_message(id, true);
+        }
+        self.pool.set_disabled(channel, true);
+    }
+
+    /// Kills a message in its acquisition phase: every held channel is released
+    /// at the current time (waiters on them get their hand-offs) and the path
+    /// progress resets to the source. If an event for the message is still in
+    /// flight — its header was mid crossing — the abort parks on the `aborted`
+    /// flag and resolves when that event fires; otherwise it resolves now.
+    ///
+    /// `known_no_pending` is set by callers that can prove no event references
+    /// the message (it was drained from a waiter FIFO, or the call sits in the
+    /// message's own control flow). Without that proof, the message either
+    /// waits in its next channel's FIFO (removable now) or has a pending
+    /// `HeaderAdvance`.
+    fn abort_message(&mut self, id: MessageId, known_no_pending: bool) {
+        let now = self.queue.now();
+        let (route, acquired) = {
+            let msg = &self.messages[id];
+            debug_assert!(!msg.aborted, "aborting a message twice");
+            (msg.route, msg.acquired as usize)
+        };
+        let path = self.routes.channels(route);
+        for &ch in &path[..acquired] {
+            if let Some(free_at) = self.pool.mark_released(ch, id, now) {
+                self.queue.schedule_at(free_at, EventKind::ChannelFree { channel: ch });
+            }
+        }
+        let pending = if known_no_pending {
+            false
+        } else if acquired == path.len() {
+            // The header was crossing the last channel of the path: the only
+            // possible reference is its pending `HeaderAdvance`.
+            true
+        } else {
+            // Queued on the next channel (unlink it now — this also reclaims
+            // its waiter-arena node) or mid crossing with a pending event.
+            !self.pool.remove_waiter(path[acquired], id)
+        };
+        self.messages[id].acquired = 0;
+        if pending {
+            self.messages[id].aborted = true;
+        } else {
+            self.resolve_abort(id);
+        }
+    }
+
+    /// Settles a completed abort: the message is dropped if its retry budget is
+    /// spent, otherwise a retransmission from the source is scheduled after an
+    /// exponential backoff.
+    fn resolve_abort(&mut self, id: MessageId) {
+        let failures = u32::from(self.messages[id].attempts) + 1;
+        if failures >= self.fault_max_attempts {
+            let now = self.queue.now();
+            let msg = self.messages.remove(id);
+            self.stats.record_drop(msg.class(), msg.measured, now);
+        } else {
+            let msg = &mut self.messages[id];
+            msg.attempts = failures as u8;
+            msg.aborted = false;
+            self.stats.record_retransmit();
+            // Cap the exponent: the retry budget tops out at 64 attempts and a
+            // 2^20 backoff is already "past any plausible horizon".
+            let delay = self.fault_retry_base * (1u64 << (failures - 1).min(20)) as f64;
+            self.queue.schedule_in(delay, EventKind::Retransmit { message: id });
+        }
     }
 }
 
@@ -448,6 +624,42 @@ mod tests {
         let cfg = SimConfig { max_events: 100, ..small_config() };
         let mut sim = Simulation::new(&system, &traffic, &cfg).unwrap();
         assert!(matches!(sim.run(), Err(SimError::EventBudgetExhausted { .. })));
+    }
+
+    #[test]
+    fn bridge_outage_aborts_retransmits_and_leaves_no_residue() {
+        use crate::fault::{BridgeUnit, FaultEvent, FaultTarget};
+        let system = organizations::small_test_org();
+        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
+        let target = FaultTarget::Bridge { cluster: 0, unit: BridgeUnit::Concentrator };
+        let mut plan = FaultPlan::new(vec![
+            FaultEvent { at: 500.0, target, action: FaultAction::Down },
+            FaultEvent { at: 8000.0, target, action: FaultAction::Up },
+        ]);
+        plan.max_attempts = 3;
+        plan.retry_base = 100.0;
+        let run = || {
+            let mut sim =
+                Simulation::new_with(&system, &traffic, &small_config(), Some(&plan)).unwrap();
+            sim.run().unwrap();
+            sim
+        };
+        let sim = run();
+        let stats = sim.stats();
+        // Conservation: every generated message was delivered or dropped.
+        assert_eq!(stats.generated(), 500);
+        assert_eq!(stats.delivered() + stats.dropped(), 500);
+        // The outage actually bit: messages aborted, backed off, and some ran
+        // out of budget (the outage far exceeds the total backoff allowance).
+        assert!(stats.retransmits() > 0, "no retransmissions recorded");
+        assert!(stats.dropped() > 0, "no drops despite a long outage");
+        assert!(stats.delivered() > 0, "intra traffic must survive a bridge outage");
+        assert!(!stats.time_series().is_empty(), "fault runs carry a time series");
+        // No residue: all channels free, every waiter-arena node reclaimed.
+        assert_eq!(sim.pool().busy_count(sim.now()), 0);
+        assert_eq!(sim.pool().live_waiters(), 0);
+        // Faulted runs stay deterministic per seed, digest included.
+        assert_eq!(run().stats().digest(), stats.digest());
     }
 
     #[test]

@@ -83,6 +83,25 @@ pub enum EventKind {
         /// The message in flight.
         message: MessageId,
     },
+    /// A channel goes down (fault injection): its holder and queued waiters are
+    /// aborted and the channel joins the pool's disabled set until a matching
+    /// [`ChannelUp`](EventKind::ChannelUp). Scheduled at simulation build time
+    /// from a resolved fault plan; fault-free runs never contain one.
+    ChannelDown {
+        /// The channel being disabled.
+        channel: u32,
+    },
+    /// A downed channel comes back up and leaves the disabled set.
+    ChannelUp {
+        /// The channel being re-enabled.
+        channel: u32,
+    },
+    /// An aborted message's exponential-backoff delay has elapsed: the message
+    /// restarts acquisition from its source (injection channel).
+    Retransmit {
+        /// The aborted message.
+        message: MessageId,
+    },
 }
 
 /// A scheduled event.

@@ -95,6 +95,7 @@ pub mod cube;
 pub mod engine;
 pub mod event;
 pub mod fabric;
+pub mod fault;
 pub mod json;
 pub mod message;
 pub mod routes;
@@ -104,6 +105,7 @@ pub mod stats;
 pub mod traffic;
 
 pub use backend::FabricBackend;
+pub use fault::{BridgeUnit, FaultAction, FaultEvent, FaultPlan, FaultTarget, RingDir};
 pub use runner::{ReplicatedReport, SimConfig, SimReport};
 pub use scenario::{Fabric, Protocol, Scenario, ScenarioBuilder, ScenarioOutcome, ScenarioSpec};
 

@@ -50,6 +50,16 @@ pub struct MessageState {
     /// Number of channels acquired so far; the next channel to acquire is
     /// `path[acquired]` where `path` is the resolved route slice.
     pub acquired: u16,
+    /// Stable generation index of the message (its position in the generated
+    /// stream). Slab slots are recycled, so `MessageId` is not an identity;
+    /// the run digest folds this index instead.
+    pub gen_id: u32,
+    /// Number of failed delivery attempts so far (fault aborts). Zero on the
+    /// fault-free path.
+    pub attempts: u8,
+    /// Set when a channel-down killed this message while a stale event for it
+    /// is still in flight; the abort resolves when that event fires.
+    pub aborted: bool,
     /// Whether this message falls into the measurement window (not warm-up, not drain).
     pub measured: bool,
 }
@@ -60,7 +70,7 @@ const _: () = assert!(std::mem::size_of::<MessageState>() <= 40, "MessageState g
 
 impl MessageState {
     /// Creates a new, not-yet-started message from a resolved route-table entry.
-    pub fn new(entry: RouteEntry, generation_time: f64, measured: bool) -> Self {
+    pub fn new(entry: RouteEntry, generation_time: f64, measured: bool, gen_id: u32) -> Self {
         debug_assert!(!entry.route.is_empty(), "messages always cross at least one channel");
         debug_assert!(
             entry.src_cluster <= u32::from(u16::MAX) && entry.dst_cluster <= u32::from(u16::MAX),
@@ -73,6 +83,9 @@ impl MessageState {
             src_cluster: entry.src_cluster as u16,
             dst_cluster: entry.dst_cluster as u16,
             acquired: 0,
+            gen_id,
+            attempts: 0,
+            aborted: false,
             measured,
         }
     }
@@ -219,9 +232,9 @@ mod tests {
     fn class_is_derived_from_clusters() {
         let (f, mut t) = table();
         let last = t.nodes() - 1;
-        let inter = MessageState::new(t.entry(&f, 0, last), 10.0, true);
+        let inter = MessageState::new(t.entry(&f, 0, last), 10.0, true, 0);
         assert_eq!(inter.class(), MessageClass::Inter);
-        let intra = MessageState::new(t.entry(&f, 0, 1), 0.0, false);
+        let intra = MessageState::new(t.entry(&f, 0, 1), 0.0, false, 0);
         assert_eq!(intra.class(), MessageClass::Intra);
     }
 
@@ -231,7 +244,7 @@ mod tests {
         let entry = t.entry(&f, 0, 1);
         let path: Vec<_> = t.channels(entry.route).to_vec();
         assert_eq!(path.len(), 2, "same-leaf intra journey crosses two links");
-        let mut m = MessageState::new(entry, 10.0, true);
+        let mut m = MessageState::new(entry, 10.0, true, 0);
 
         assert_eq!(m.next_channel(&path), Some(path[0]));
         assert!(!m.header_delivered());
@@ -247,7 +260,7 @@ mod tests {
     #[test]
     fn latency_is_relative_to_generation() {
         let (f, mut t) = table();
-        let m = MessageState::new(t.entry(&f, 0, 1), 10.0, true);
+        let m = MessageState::new(t.entry(&f, 0, 1), 10.0, true, 0);
         assert_eq!(m.latency_at(42.0), 32.0);
     }
 
@@ -256,8 +269,8 @@ mod tests {
         let (f, mut t) = table();
         let entry = t.entry(&f, 0, 1);
         let mut slab = MessageSlab::with_capacity(4);
-        let a = slab.insert(MessageState::new(entry, 1.0, true));
-        let b = slab.insert(MessageState::new(entry, 2.0, false));
+        let a = slab.insert(MessageState::new(entry, 1.0, true, 0));
+        let b = slab.insert(MessageState::new(entry, 2.0, false, 0));
         assert_ne!(a, b);
         assert_eq!(slab.live(), 2);
         assert_eq!(slab[a].generation_time, 1.0);
@@ -268,7 +281,7 @@ mod tests {
         assert_eq!(slab.live(), 1);
 
         // The freed slot is reused; the backing store does not grow.
-        let c = slab.insert(MessageState::new(entry, 3.0, true));
+        let c = slab.insert(MessageState::new(entry, 3.0, true, 0));
         assert_eq!(c, a);
         assert_eq!(slab.peak(), 2);
         assert_eq!(slab[c].generation_time, 3.0);

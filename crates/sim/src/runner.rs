@@ -100,6 +100,27 @@ pub struct SimReport {
     pub measured_messages: u64,
     /// Number of messages generated in total (all phases).
     pub generated_messages: u64,
+    /// Number of messages delivered in total (all phases). Equals
+    /// `generated_messages` on a fault-free run; under fault injection,
+    /// `delivered_messages + dropped_messages == generated_messages` at the end
+    /// of a completed run.
+    pub delivered_messages: u64,
+    /// Retransmissions scheduled after fault aborts (zero without faults).
+    pub retransmits: u64,
+    /// Messages dropped after exhausting their retry budget (zero without
+    /// faults).
+    pub dropped_messages: u64,
+    /// Mean of latency-per-attempt over the measured deliveries; equals
+    /// `mean_latency` on a fault-free run.
+    pub mean_attempt_latency: f64,
+    /// Order-stable FNV-1a digest of the delivered-message stream
+    /// `(generation index, class, delivery-time bits)`. Two runs with equal
+    /// digests delivered the same messages at bit-identical times in the same
+    /// order — the replay/equivalence handle for goldens and CI.
+    pub digest: u64,
+    /// Windowed delivery/drop/latency series showing the degradation dip and
+    /// recovery around fault windows. Empty on fault-free runs.
+    pub time_series: Vec<crate::stats::LatencyWindow>,
     /// Fraction of channel acquisitions that had to wait.
     pub contention_ratio: f64,
     /// Largest time-average utilisation over all network channels.
@@ -195,6 +216,12 @@ pub(crate) fn report_from(
         inter: stats.class_summary(MessageClass::Inter),
         measured_messages: stats.delivered_measured(),
         generated_messages: stats.generated(),
+        delivered_messages: stats.delivered(),
+        retransmits: stats.retransmits(),
+        dropped_messages: stats.dropped(),
+        mean_attempt_latency: stats.mean_attempt_latency(),
+        digest: stats.digest(),
+        time_series: stats.time_series(),
         contention_ratio: sim.pool().contention_ratio(),
         max_channel_utilization,
         mean_bridge_utilization: has_bridges.then_some(mean_bridge_utilization),
@@ -348,6 +375,16 @@ mod tests {
         );
         assert!(report.intra.count + report.inter.count == report.measured_messages);
         assert!(report.p99_latency.unwrap_or(f64::MAX) >= report.mean_latency * 0.5);
+        // Fault-free runs: everything generated is delivered, nothing retries
+        // or drops, per-attempt latency collapses onto the plain mean, the
+        // time series stays empty — and the digest is a real fold, not the
+        // untouched FNV offset basis.
+        assert_eq!(report.delivered_messages, report.generated_messages);
+        assert_eq!(report.retransmits, 0);
+        assert_eq!(report.dropped_messages, 0);
+        assert_eq!(report.mean_attempt_latency.to_bits(), report.mean_latency.to_bits());
+        assert!(report.time_series.is_empty());
+        assert_ne!(report.digest, 0xcbf2_9ce4_8422_2325);
         // Utilisations are proper fractions and the bridges see real load at this rate.
         assert!((0.0..=1.0).contains(&report.max_channel_utilization));
         let mean_bridge = report.mean_bridge_utilization.expect("tree fabrics have bridges");

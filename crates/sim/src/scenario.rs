@@ -35,6 +35,7 @@
 //! ```
 
 use crate::engine::Simulation;
+use crate::fault::FaultPlan;
 use crate::json::{object, Json};
 use crate::runner::{replicate_with, report_from, ReplicatedReport, SimConfig, SimReport};
 use crate::{Result, SimError};
@@ -80,6 +81,7 @@ pub struct Scenario {
     traffic: TrafficConfig,
     config: SimConfig,
     replications: usize,
+    faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -114,6 +116,13 @@ impl Scenario {
         self.replications
     }
 
+    /// The fault-injection plan, if any. Every run and replication of the
+    /// scenario applies it; the analytical mode ([`Scenario::evaluate`])
+    /// ignores it — the model has no fault semantics.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
     /// Returns the scenario re-seeded at `seed`, everything else unchanged.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -138,7 +147,7 @@ impl Scenario {
     /// one, [`Scenario::replicate`] otherwise.
     pub fn execute(&self) -> Result<ScenarioOutcome> {
         if self.replications == 1 {
-            Ok(ScenarioOutcome::Single(self.run()?))
+            Ok(ScenarioOutcome::Single(Box::new(self.run()?)))
         } else {
             Ok(ScenarioOutcome::Replicated(self.replicate(self.replications)?))
         }
@@ -251,19 +260,22 @@ impl Scenario {
     /// One simulation run at an explicit traffic point and protocol — the
     /// primitive every public entry point reduces to.
     fn run_point(&self, traffic: &TrafficConfig, config: &SimConfig) -> Result<SimReport> {
+        let faults = self.faults.as_ref();
         let sim = match &self.fabric {
-            Fabric::Tree(system) => Simulation::new(system, traffic, config)?,
-            Fabric::Torus(torus) => Simulation::new_torus(torus, traffic, config)?,
+            Fabric::Tree(system) => Simulation::new_with(system, traffic, config, faults)?,
+            Fabric::Torus(torus) => Simulation::new_torus_with(torus, traffic, config, faults)?,
         };
         report_from(sim, traffic, config)
     }
 }
 
 /// What [`Scenario::execute`] produced: a single run or a replicated aggregate.
+/// The single report is boxed: `SimReport` carries the degradation time
+/// series, so inline it would dwarf the replicated variant.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScenarioOutcome {
     /// One simulation run (`replications == 1`).
-    Single(SimReport),
+    Single(Box<SimReport>),
     /// An aggregate over independent replications.
     Replicated(ReplicatedReport),
 }
@@ -301,6 +313,7 @@ pub struct ScenarioBuilder {
     traffic: Option<TrafficConfig>,
     config: Option<SimConfig>,
     replications: Option<usize>,
+    faults: Option<FaultPlan>,
 }
 
 impl ScenarioBuilder {
@@ -344,6 +357,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Injects a fault plan: timed link/switch outages with degraded-mode
+    /// delivery (abort, backoff retransmission, bounded retries). The plan is
+    /// validated against the fabric at [`build`](Self::build).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Validates and assembles the scenario.
     pub fn build(self) -> Result<Scenario> {
         let fabric = self.fabric.ok_or_else(|| SimError::InvalidConfiguration {
@@ -355,7 +376,8 @@ impl ScenarioBuilder {
         let config = self.config.unwrap_or_else(|| SimConfig::quick(0));
         let replications = self.replications.unwrap_or(1);
         let name = self.name.unwrap_or_else(|| fabric.summary());
-        let scenario = Scenario { name, fabric, traffic, config, replications };
+        let scenario =
+            Scenario { name, fabric, traffic, config, replications, faults: self.faults };
         scenario.validate()?;
         Ok(scenario)
     }
@@ -388,6 +410,10 @@ impl Scenario {
                     ),
                 });
             }
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+            plan.validate_against(&self.fabric)?;
         }
         Ok(())
     }
@@ -584,18 +610,24 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// Replication count (≥ 1; 1 means a single run).
     pub replications: usize,
+    /// Optional fault-injection plan (timed outages + retry policy). `None`
+    /// runs fault-free and serializes without a `"faults"` key.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ScenarioSpec {
     /// Materializes and validates the scenario described by the spec.
     pub fn build(&self) -> Result<Scenario> {
-        Scenario::builder()
+        let mut builder = Scenario::builder()
             .name(self.name.clone())
             .fabric(self.fabric.build()?)
             .traffic(self.traffic)
             .config(self.protocol.sim_config(self.seed))
-            .replications(self.replications)
-            .build()
+            .replications(self.replications);
+        if let Some(plan) = &self.faults {
+            builder = builder.faults(plan.clone());
+        }
+        builder.build()
     }
 
     /// Returns the spec with the protocol preset replaced (used by CI to run
@@ -619,7 +651,7 @@ impl ScenarioSpec {
                 ("locality", Json::Number(locality)),
             ]),
         };
-        object([
+        let mut fields = vec![
             ("name", Json::String(self.name.clone())),
             ("fabric", self.fabric.to_json()),
             (
@@ -634,8 +666,11 @@ impl ScenarioSpec {
             ("protocol", Json::String(self.protocol.as_str().into())),
             ("seed", seed_to_json(self.seed)),
             ("replications", Json::from_u64(self.replications as u64)),
-        ])
-        .to_pretty()
+        ];
+        if let Some(plan) = &self.faults {
+            fields.push(("faults", plan.to_json()));
+        }
+        Json::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).to_pretty()
     }
 
     /// Parses a spec from its JSON form. The schema:
@@ -661,6 +696,8 @@ impl ScenarioSpec {
     /// `pattern.kind` is `"uniform"`, `"hotspot"` (`hotspot`, `fraction`) or
     /// `"local_favoring"` (`locality`); `seed` is a JSON number, or a decimal
     /// string for values above 2⁵³ (which a JSON number cannot carry exactly).
+    /// An optional `"faults"` object adds a fault-injection plan (see
+    /// [`FaultPlan::from_json`] for its schema).
     /// Unknown fields anywhere in the spec are rejected — a misspelled key
     /// must not silently fall back to a default. Otherwise parsing only checks
     /// shape; value validation happens in [`ScenarioSpec::build`] so a spec
@@ -672,7 +709,7 @@ impl ScenarioSpec {
         reject_unknown_keys(
             &doc,
             "the spec",
-            &["name", "fabric", "traffic", "protocol", "seed", "replications"],
+            &["name", "fabric", "traffic", "protocol", "seed", "replications", "faults"],
         )?;
         let traffic_json =
             obj.get("traffic").ok_or_else(|| spec_error("spec needs a \"traffic\" object"))?;
@@ -729,11 +766,12 @@ impl ScenarioSpec {
                 .get("replications")
                 .map_or(Some(1), Json::as_usize)
                 .ok_or_else(|| spec_error("\"replications\" must be a non-negative integer"))?,
+            faults: obj.get("faults").map(FaultPlan::from_json).transpose()?,
         })
     }
 }
 
-fn spec_error(reason: impl Into<String>) -> SimError {
+pub(crate) fn spec_error(reason: impl Into<String>) -> SimError {
     SimError::InvalidSpec { reason: reason.into() }
 }
 
@@ -741,7 +779,7 @@ fn spec_error(reason: impl Into<String>) -> SimError {
 /// key (say `"patern"`) must fail loudly, not silently fall back to a default
 /// and run the wrong workload. Non-objects pass through; the typed accessors
 /// report those.
-fn reject_unknown_keys(v: &Json, context: &str, allowed: &[&str]) -> Result<()> {
+pub(crate) fn reject_unknown_keys(v: &Json, context: &str, allowed: &[&str]) -> Result<()> {
     if let Some(obj) = v.as_object() {
         for key in obj.keys() {
             if !allowed.contains(&key.as_str()) {
@@ -767,25 +805,25 @@ pub fn seed_to_json(seed: u64) -> Json {
 }
 
 /// Decodes either seed encoding.
-fn seed_from_json(v: &Json) -> Option<u64> {
+pub(crate) fn seed_from_json(v: &Json) -> Option<u64> {
     v.as_u64().or_else(|| v.as_str().and_then(|s| s.parse().ok()))
 }
 
-fn get_str<'a>(v: &'a Json, path: &str, key: &str) -> Result<&'a str> {
+pub(crate) fn get_str<'a>(v: &'a Json, path: &str, key: &str) -> Result<&'a str> {
     v.as_object()
         .and_then(|o| o.get(key))
         .and_then(Json::as_str)
         .ok_or_else(|| spec_error(format!("spec needs a string field {path:?}")))
 }
 
-fn get_f64(v: &Json, path: &str, key: &str) -> Result<f64> {
+pub(crate) fn get_f64(v: &Json, path: &str, key: &str) -> Result<f64> {
     v.as_object()
         .and_then(|o| o.get(key))
         .and_then(Json::as_f64)
         .ok_or_else(|| spec_error(format!("spec needs a number field {path:?}")))
 }
 
-fn get_usize(v: &Json, path: &str, key: &str) -> Result<usize> {
+pub(crate) fn get_usize(v: &Json, path: &str, key: &str) -> Result<usize> {
     v.as_object()
         .and_then(|o| o.get(key))
         .and_then(Json::as_usize)
@@ -819,6 +857,28 @@ pub fn sim_report_json(r: &SimReport) -> Json {
         ("inter", class_summary_json(&r.inter)),
         ("measured_messages", Json::from_u64(r.measured_messages)),
         ("generated_messages", Json::from_u64(r.generated_messages)),
+        ("delivered_messages", Json::from_u64(r.delivered_messages)),
+        ("retransmits", Json::from_u64(r.retransmits)),
+        ("dropped_messages", Json::from_u64(r.dropped_messages)),
+        ("mean_attempt_latency", Json::Number(r.mean_attempt_latency)),
+        // 16-hex-digit string: a u64 digest does not survive a JSON number.
+        ("digest", Json::String(format!("{:016x}", r.digest))),
+        (
+            "time_series",
+            Json::Array(
+                r.time_series
+                    .iter()
+                    .map(|w| {
+                        object([
+                            ("start", Json::Number(w.start)),
+                            ("delivered", Json::from_u64(w.delivered)),
+                            ("dropped", Json::from_u64(w.dropped)),
+                            ("mean_latency", opt_f64(w.mean_latency)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
         ("contention_ratio", Json::Number(r.contention_ratio)),
         ("max_channel_utilization", Json::Number(r.max_channel_utilization)),
         ("mean_bridge_utilization", opt_f64(r.mean_bridge_utilization)),
@@ -1048,6 +1108,7 @@ mod tests {
             protocol: Protocol::Quick,
             seed: 1,
             replications: 1,
+            faults: None,
         };
         let from_spec = ScenarioSpec::from_json(&spec.to_json()).unwrap().build().unwrap();
         assert_eq!(from_spec.evaluate().unwrap(), spec.build().unwrap().evaluate().unwrap());
@@ -1082,6 +1143,7 @@ mod tests {
             protocol: Protocol::Reduced,
             seed: 99,
             replications: 4,
+            faults: None,
         };
         let text = spec.to_json();
         let back = ScenarioSpec::from_json(&text).unwrap();
@@ -1179,6 +1241,7 @@ mod tests {
             protocol: Protocol::Quick,
             seed: u64::MAX - 12345,
             replications: 1,
+            faults: None,
         };
         let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back.seed, u64::MAX - 12345);
@@ -1193,6 +1256,47 @@ mod tests {
     }
 
     #[test]
+    fn fault_plans_ride_the_spec_round_trip_and_gate_on_the_fabric() {
+        use crate::fault::{BridgeUnit, FaultAction, FaultEvent, FaultTarget};
+        let target = FaultTarget::Bridge { cluster: 0, unit: BridgeUnit::Concentrator };
+        let plan = FaultPlan::new(vec![
+            FaultEvent { at: 500.0, target, action: FaultAction::Down },
+            FaultEvent { at: 2000.0, target, action: FaultAction::Up },
+        ]);
+        let spec = ScenarioSpec {
+            name: "faulted".into(),
+            fabric: FabricSpec::Org { name: "small_test".into() },
+            traffic: TrafficConfig::uniform(8, 256.0, 1e-3).unwrap(),
+            protocol: Protocol::Quick,
+            seed: 7,
+            replications: 1,
+            faults: Some(plan.clone()),
+        };
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        let scenario = back.build().unwrap();
+        assert_eq!(scenario.faults(), Some(&plan));
+        // A fault-free spec keeps serializing without any "faults" key.
+        let clean = ScenarioSpec { faults: None, ..spec.clone() };
+        assert!(!clean.to_json().contains("faults"));
+        // Fabric-dependent validation runs at build: a bridge fault cannot
+        // target a torus, and the error is a typed spec error.
+        let mismatched =
+            ScenarioSpec { fabric: FabricSpec::Torus { radix: 4, dimensions: 2 }, ..spec };
+        assert!(matches!(mismatched.build(), Err(SimError::InvalidSpec { .. })));
+        // A faulted run degrades but completes, and reports the fault surface.
+        let report = scenario.run().unwrap();
+        assert_eq!(report.delivered_messages + report.dropped_messages, report.generated_messages);
+        assert!(report.retransmits > 0);
+        assert!(!report.time_series.is_empty());
+        let json = Json::parse(&sim_report_json(&report).to_pretty()).unwrap();
+        let obj = json.as_object().unwrap();
+        assert_eq!(obj["digest"].as_str(), Some(format!("{:016x}", report.digest).as_str()));
+        assert_eq!(obj["retransmits"].as_u64(), Some(report.retransmits));
+        assert!(obj["time_series"].as_array().is_some_and(|a| !a.is_empty()));
+    }
+
+    #[test]
     fn with_protocol_overrides_the_preset() {
         let spec = ScenarioSpec {
             name: "x".into(),
@@ -1201,6 +1305,7 @@ mod tests {
             protocol: Protocol::Paper,
             seed: 1,
             replications: 1,
+            faults: None,
         };
         let quick = spec.with_protocol(Protocol::Quick).build().unwrap();
         assert_eq!(quick.config().measured_messages, 2_000);

@@ -111,6 +111,86 @@ proptest! {
     }
 
     #[test]
+    fn calendar_matches_heap_with_fault_events_among_ties(
+        ops in collection::vec((0u32..8, 0u32..10_000, 0u32..4), 10..=600),
+    ) {
+        // Fault-plan events (ChannelDown/ChannelUp) and retransmission
+        // wake-ups ride the same queue as the traffic events; mixing them
+        // into dense same-instant ties must not perturb the (time, seq) pop
+        // contract, and the payload must come back through the bucket rotation
+        // untouched.
+        let mut calendar = EventQueue::new();
+        let mut reference = ReferenceHeap::new();
+        for &(op, payload, kind_sel) in &ops {
+            if op % 4 != 0 {
+                let delay = f64::from(payload % 32) * 0.25;
+                let kind = match kind_sel {
+                    0 => EventKind::ChannelDown { channel: payload },
+                    1 => EventKind::ChannelUp { channel: payload },
+                    2 => EventKind::Retransmit { message: payload },
+                    _ => EventKind::Generate { node: payload },
+                };
+                calendar.schedule_in(delay, kind);
+                reference.schedule_in(delay, kind);
+            } else {
+                match (calendar.pop(), reference.pop()) {
+                    (None, None) => {}
+                    (Some(c), Some(r)) => {
+                        prop_assert_eq!(c.time.to_bits(), r.time.to_bits());
+                        prop_assert_eq!(c.seq, r.seq);
+                        prop_assert_eq!(c.kind, r.kind);
+                    }
+                    (c, r) => panic!("emptiness diverged (calendar {c:?}, heap {r:?})"),
+                }
+            }
+        }
+        while let Some(c) = calendar.pop() {
+            let r = reference.pop().unwrap();
+            prop_assert_eq!((c.time.to_bits(), c.seq), (r.time.to_bits(), r.seq));
+            prop_assert_eq!(c.kind, r.kind);
+        }
+        prop_assert!(reference.pop().is_none());
+    }
+
+    #[test]
+    fn calendar_matches_heap_across_resize_boundaries_with_fault_tape(
+        burst in 60usize..=500,
+        drain in 1usize..=59,
+    ) {
+        // The resize-boundary tape of the test below, but alternating fault
+        // and traffic kinds so grow/shrink rehashing is exercised while the
+        // buckets hold heterogeneous payloads.
+        let mut calendar = EventQueue::new();
+        let mut reference = ReferenceHeap::new();
+        for cycle in 0..4u32 {
+            for i in 0..burst {
+                let delay = (i % 13) as f64 * 0.5;
+                let id = cycle * 1000 + i as u32;
+                let kind = match i % 3 {
+                    0 => EventKind::ChannelDown { channel: id },
+                    1 => EventKind::ChannelUp { channel: id },
+                    _ => EventKind::Retransmit { message: id },
+                };
+                calendar.schedule_in(delay, kind);
+                reference.schedule_in(delay, kind);
+            }
+            for _ in 0..drain.min(calendar.pending()) {
+                let c = calendar.pop().unwrap();
+                let r = reference.pop().unwrap();
+                prop_assert_eq!((c.time.to_bits(), c.seq), (r.time.to_bits(), r.seq));
+                prop_assert_eq!(c.kind, r.kind);
+            }
+            prop_assert_eq!(calendar.pending(), reference.heap.len());
+        }
+        while let Some(c) = calendar.pop() {
+            let r = reference.pop().unwrap();
+            prop_assert_eq!((c.time.to_bits(), c.seq), (r.time.to_bits(), r.seq));
+            prop_assert_eq!(c.kind, r.kind);
+        }
+        prop_assert!(reference.pop().is_none());
+    }
+
+    #[test]
     fn calendar_matches_heap_across_resize_boundaries(
         burst in 60usize..=500,
         drain in 1usize..=59,

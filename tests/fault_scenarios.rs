@@ -1,0 +1,173 @@
+//! End-to-end fault-injection scenarios: the shipped fault specs must show a
+//! throughput dip during the outage and recover after the `Up` event, keep the
+//! generated = delivered + dropped conservation identity, and reproduce the
+//! run digests pinned in `specs/goldens/digests.json`. A repeated down/up
+//! cycle scenario doubles as the waiter-arena leak regression: in debug builds
+//! the channel pool asserts its free list stays consistent on every abort.
+
+use mcnet::sim::json::Json;
+use mcnet::sim::{
+    BridgeUnit, FaultAction, FaultEvent, FaultPlan, FaultTarget, Protocol, RingDir, Scenario,
+    ScenarioSpec, SimConfig, SimReport,
+};
+use mcnet::system::{organizations, TorusSystem, TrafficConfig};
+
+const ROOT: &str = env!("CARGO_MANIFEST_DIR");
+
+fn run_spec(rel: &str) -> (ScenarioSpec, SimReport) {
+    let text = std::fs::read_to_string(format!("{ROOT}/{rel}")).expect("spec file exists");
+    let spec = ScenarioSpec::from_json(&text).expect("spec parses");
+    let report = spec.build().unwrap().run().unwrap();
+    (spec, report)
+}
+
+fn pinned_digest(rel: &str) -> String {
+    let text = std::fs::read_to_string(format!("{ROOT}/specs/goldens/digests.json"))
+        .expect("goldens file exists");
+    let doc = Json::parse(&text).expect("goldens parse");
+    let digests = doc.as_object().unwrap()["digests"].as_object().unwrap();
+    match &digests[rel] {
+        Json::String(s) => s.clone(),
+        other => panic!("digest for {rel} is not a string: {other:?}"),
+    }
+}
+
+/// Shared assertions for one fault spec: conservation, degradation plus
+/// recovery around the single down/up outage, and the pinned digest.
+fn check_outage_profile(rel: &str) {
+    let (spec, report) = run_spec(rel);
+    let plan = spec.faults.as_ref().expect("fault spec carries a plan");
+    let (down, up) = match plan.events.as_slice() {
+        [d, u] => {
+            assert_eq!(d.action, FaultAction::Down, "{rel}");
+            assert_eq!(u.action, FaultAction::Up, "{rel}");
+            (d.at, u.at)
+        }
+        other => panic!("{rel}: expected one down/up pair, got {} events", other.len()),
+    };
+
+    // Conservation at the horizon: every generated message is accounted for.
+    assert_eq!(
+        report.generated_messages,
+        report.delivered_messages + report.dropped_messages,
+        "{rel}: generated = delivered + dropped"
+    );
+    assert!(report.retransmits > 0, "{rel}: outage must force retransmissions");
+    assert!(report.dropped_messages > 0, "{rel}: outage must exhaust some retry budgets");
+    assert!(report.delivered_messages > 0, "{rel}");
+
+    // Throughput dips while the fault is active and recovers afterwards.
+    let series = &report.time_series;
+    assert!(!series.is_empty(), "{rel}: fault plans record a time series");
+    let width = plan.window;
+    let mean_delivered = |lo: f64, hi: f64| {
+        let windows: Vec<_> =
+            series.iter().filter(|w| w.start >= lo && w.start + width <= hi).collect();
+        assert!(!windows.is_empty(), "{rel}: no windows in [{lo}, {hi})");
+        windows.iter().map(|w| w.delivered as f64).sum::<f64>() / windows.len() as f64
+    };
+    let before = mean_delivered(0.0, down);
+    let during = mean_delivered(down, up);
+    let horizon = series.last().unwrap().start + width;
+    let after = mean_delivered(up, horizon);
+    assert!(
+        during < before,
+        "{rel}: delivered rate must dip during the outage ({during:.1} vs {before:.1})"
+    );
+    assert!(
+        after > during,
+        "{rel}: delivered rate must recover after the repair ({after:.1} vs {during:.1})"
+    );
+
+    // Drops happen only while the fault is active: a message is aborted (and
+    // can exhaust its budget) only when it touches a disabled channel.
+    for w in series.iter().filter(|w| w.start >= up) {
+        assert_eq!(w.dropped, 0, "{rel}: drop after repair in window at {}", w.start);
+    }
+
+    // The fixed-seed digest is pinned: degraded-mode delivery is as
+    // deterministic as the fault-free path.
+    assert_eq!(
+        format!("{:016x}", report.digest),
+        pinned_digest(rel),
+        "{rel}: run digest moved — engine behaviour changed"
+    );
+}
+
+#[test]
+fn tree_bridge_loss_dips_and_recovers() {
+    check_outage_profile("specs/tree_bridge_loss.json");
+}
+
+#[test]
+fn torus_ring_cut_dips_and_recovers() {
+    check_outage_profile("specs/torus_ring_cut.json");
+}
+
+#[test]
+fn fault_free_control_matches_pinned_digest() {
+    // The fault-free exemplar run through the very same code path must keep
+    // its golden digest: the fault machinery is inert without a plan. Pinned
+    // at quick protocol, matching the CI fault-specs step.
+    let text = std::fs::read_to_string(format!("{ROOT}/specs/torus_8ary.json")).unwrap();
+    let spec = ScenarioSpec::from_json(&text).unwrap().with_protocol(Protocol::Quick);
+    let report = spec.build().unwrap().run().unwrap();
+    assert!(spec.faults.is_none());
+    assert_eq!(report.retransmits, 0);
+    assert_eq!(report.dropped_messages, 0);
+    assert!(report.time_series.is_empty(), "no fault plan, no time series");
+    assert_eq!(format!("{:016x}", report.digest), pinned_digest("specs/torus_8ary.json"));
+}
+
+/// Regression for the waiter-arena leak: repeated down/up cycles on both
+/// fabrics abort many waiting messages, and every abort must return its
+/// FIFO node to the arena free list (debug builds assert the arena invariant
+/// inside the channel pool on each drain). Conservation and determinism must
+/// survive the churn.
+#[test]
+fn repeated_outage_cycles_leave_no_residue() {
+    let tree_target = FaultTarget::Bridge { cluster: 0, unit: BridgeUnit::Concentrator };
+    let torus_target = FaultTarget::TorusLink { node: 5, dim: 0, dir: RingDir::Plus };
+    for (name, target) in [("tree", tree_target), ("torus", torus_target)] {
+        let events = (0..10)
+            .flat_map(|cycle| {
+                let base = 1000.0 + cycle as f64 * 3000.0;
+                [
+                    FaultEvent { at: base, target, action: FaultAction::Down },
+                    FaultEvent { at: base + 1500.0, target, action: FaultAction::Up },
+                ]
+            })
+            .collect();
+        let mut plan = FaultPlan::new(events);
+        plan.max_attempts = 3;
+        plan.retry_base = 100.0;
+
+        let run = || {
+            let builder = match target {
+                FaultTarget::Bridge { .. } => {
+                    Scenario::builder().tree(organizations::small_test_org())
+                }
+                _ => Scenario::builder().torus(TorusSystem::new(4, 2).unwrap()),
+            };
+            builder
+                .traffic(TrafficConfig::uniform(16, 256.0, 1e-3).unwrap())
+                .config(SimConfig::quick(77))
+                .faults(plan.clone())
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let first = run();
+        assert_eq!(
+            first.generated_messages,
+            first.delivered_messages + first.dropped_messages,
+            "{name}: conservation across ten outage cycles"
+        );
+        assert!(first.retransmits > 0, "{name}");
+        // Bit-for-bit repeatable, cycles and all.
+        let second = run();
+        assert_eq!(first.digest, second.digest, "{name}");
+        assert_eq!(first, second, "{name}: full report must be deterministic");
+    }
+}

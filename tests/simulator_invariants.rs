@@ -136,6 +136,15 @@ fn fixed_seed_golden_values_are_pinned() {
     assert_eq!(r.mean_latency.to_bits(), 0x4025663985b2ac4f, "mean_latency {}", r.mean_latency);
     assert_eq!(r.events, 21887);
     assert_eq!(r.generated_messages, 2400);
+    // The delivered-stream digest pins the full delivery order and timing, a
+    // far stronger tripwire than the mean alone. Pinned at the fault-injection
+    // PR: a fault-free run must keep this digest bit-for-bit, with the fault
+    // machinery completely inert.
+    assert_eq!(r.digest, 0xe33a2dcc7d438c4b, "digest {:016x}", r.digest);
+    assert_eq!(r.delivered_messages, r.generated_messages);
+    assert_eq!(r.retransmits, 0);
+    assert_eq!(r.dropped_messages, 0);
+    assert!(r.time_series.is_empty(), "no fault plan, no degradation time series");
 }
 
 #[test]

@@ -6,7 +6,10 @@
 
 use mcnet::sim::json::Json;
 use mcnet::sim::scenario::FabricSpec;
-use mcnet::sim::{Protocol, ScenarioSpec, SimError};
+use mcnet::sim::{
+    BridgeUnit, FaultAction, FaultEvent, FaultPlan, FaultTarget, Protocol, RingDir, ScenarioSpec,
+    SimError,
+};
 use mcnet::system::{TrafficConfig, TrafficPattern};
 use proptest::prelude::*;
 
@@ -44,8 +47,64 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 2 => Protocol::Reduced,
                 _ => Protocol::Paper,
             };
-            ScenarioSpec { name: "prop".into(), fabric, traffic, protocol, seed, replications }
+            ScenarioSpec {
+                name: "prop".into(),
+                fabric,
+                traffic,
+                protocol,
+                seed,
+                replications,
+                faults: None,
+            }
         })
+}
+
+/// Strategy over valid specs carrying a fault plan: per-target alternating
+/// down/up schedules over bridge and torus-link targets with randomized
+/// retransmission policy knobs. Shape-valid by construction (fabric-range
+/// checks happen at build, not parse).
+fn fault_spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
+    ((0usize..2, 0usize..4, 1usize..4), (1u32..9, 1u64..1000, 1u64..1000)).prop_map(
+        |((kind, idx, cycles), (max_attempts, base, window))| {
+            let target = match kind {
+                0 => FaultTarget::Bridge {
+                    cluster: idx,
+                    unit: if idx % 2 == 0 {
+                        BridgeUnit::Concentrator
+                    } else {
+                        BridgeUnit::Dispatcher
+                    },
+                },
+                _ => FaultTarget::TorusLink {
+                    node: idx,
+                    dim: idx % 2,
+                    dir: if idx % 2 == 0 { RingDir::Plus } else { RingDir::Minus },
+                },
+            };
+            let events = (0..cycles)
+                .flat_map(|c| {
+                    let t = c as f64 * 1000.0;
+                    [
+                        FaultEvent { at: t + 100.0, target, action: FaultAction::Down },
+                        FaultEvent { at: t + 600.0, target, action: FaultAction::Up },
+                    ]
+                })
+                .collect();
+            let mut plan = FaultPlan::new(events);
+            plan.max_attempts = max_attempts;
+            plan.retry_base = base as f64;
+            plan.window = window as f64;
+            ScenarioSpec {
+                name: "fault_prop".into(),
+                fabric: FabricSpec::Org { name: "small_test".into() },
+                traffic: TrafficConfig::uniform(8, 256.0, 1e-3).unwrap(),
+                protocol: Protocol::Quick,
+                seed: 7,
+                replications: 1,
+                faults: Some(plan),
+            }
+        },
+    )
 }
 
 proptest! {
@@ -183,6 +242,96 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fault_plans_round_trip_losslessly(spec in fault_spec_strategy()) {
+        let text = spec.to_json();
+        let back = ScenarioSpec::from_json(&text).unwrap();
+        prop_assert_eq!(&back, &spec);
+        prop_assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn malformed_fault_plans_are_rejected(
+        spec in fault_spec_strategy(),
+        mode in 0usize..5,
+    ) {
+        // Corrupt one aspect of a valid fault plan; parsing must fail with a
+        // typed spec error, never a silently repaired plan.
+        let doc = Json::parse(&spec.to_json()).unwrap();
+        let Json::Object(mut root) = doc else { panic!("spec renders an object") };
+        let Some(Json::Object(faults)) = root.get_mut("faults") else {
+            panic!("fault spec has a faults object")
+        };
+        let Some(Json::Array(events)) = faults.get_mut("events") else {
+            panic!("faults has an events array")
+        };
+        let Some(Json::Object(first)) = events.first_mut() else {
+            panic!("events is non-empty")
+        };
+        match mode {
+            0 => {
+                // Negative fault time.
+                first.insert("at".into(), Json::Number(-1.0));
+            }
+            1 => {
+                // Non-numeric fault time (non-finite literals like `1e999`
+                // are already rejected by the JSON parser itself).
+                first.insert("at".into(), Json::String("soon".into()));
+            }
+            2 => {
+                // Unknown target kind.
+                let Some(Json::Object(target)) = first.get_mut("target") else {
+                    panic!("event has a target object")
+                };
+                target.insert("kind".into(), Json::String("carrier_pigeon".into()));
+            }
+            3 => {
+                // Up before the first Down on this target.
+                first.insert("action".into(), Json::String("up".into()));
+            }
+            _ => {
+                // Zero retransmission attempts.
+                faults.insert("max_attempts".into(), Json::Number(0.0));
+            }
+        }
+        let corrupted = Json::Object(root).to_pretty();
+        prop_assert!(
+            matches!(ScenarioSpec::from_json(&corrupted), Err(SimError::InvalidSpec { .. })),
+            "malformed fault plan (mode {}) must be rejected: {}", mode, corrupted
+        );
+    }
+
+    #[test]
+    fn out_of_range_fault_targets_fail_at_build(cluster in 8usize..64) {
+        // Shape-valid plans naming clusters the fabric does not have parse
+        // fine but must be rejected with a typed error when the scenario is
+        // built against the actual fabric (small_test has 4 clusters).
+        let target =
+            FaultTarget::Bridge { cluster, unit: BridgeUnit::Concentrator };
+        let plan = FaultPlan::new(vec![
+            FaultEvent { at: 100.0, target, action: FaultAction::Down },
+            FaultEvent { at: 600.0, target, action: FaultAction::Up },
+        ]);
+        let spec = ScenarioSpec {
+            name: "oob".into(),
+            fabric: FabricSpec::Org { name: "small_test".into() },
+            traffic: TrafficConfig::uniform(8, 256.0, 1e-3).unwrap(),
+            protocol: Protocol::Quick,
+            seed: 7,
+            replications: 1,
+            faults: Some(plan),
+        };
+        let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        prop_assert!(
+            matches!(parsed.build(), Err(SimError::InvalidSpec { .. })),
+            "out-of-range fault cluster must be rejected at build"
+        );
+    }
+}
+
 #[test]
 fn pattern_object_always_serializes() {
     // Uniform specs render an explicit {"kind": "uniform"} pattern, so the
@@ -194,6 +343,7 @@ fn pattern_object_always_serializes() {
         protocol: Protocol::Quick,
         seed: 1,
         replications: 1,
+        faults: None,
     };
     let doc = Json::parse(&spec.to_json()).unwrap();
     let traffic = doc.as_object().unwrap()["traffic"].as_object().unwrap();

@@ -113,12 +113,20 @@ fn fixed_seed_torus_golden_values_are_pinned() {
     assert_eq!(r.measured_messages, 2000);
     assert_eq!(r.mean_latency.to_bits(), GOLDEN_MEAN_LATENCY_BITS, "mean {}", r.mean_latency);
     assert_eq!(r.events, GOLDEN_EVENTS);
+    assert_eq!(r.digest, GOLDEN_DIGEST, "digest {:016x}", r.digest);
+    assert_eq!(r.retransmits, 0);
+    assert_eq!(r.dropped_messages, 0);
+    assert!(r.time_series.is_empty(), "no fault plan, no degradation time series");
 }
 
 /// Pinned observables of the torus scenario (`TorusSystem::new(4, 2)`, M=16
 /// Lm=256 λ=1e-3, `SimConfig::quick(77)`). Bit-stable across debug and release.
+/// The digest pins the full delivery stream (order, class and timing of every
+/// delivered message), added with the fault-injection PR; fault-free runs must
+/// not move it.
 const GOLDEN_MEAN_LATENCY_BITS: u64 = 0x402329825345CD2A;
 const GOLDEN_EVENTS: u64 = 14803;
+const GOLDEN_DIGEST: u64 = 0x3121cf1800063001;
 
 #[test]
 fn fixed_seed_torus_hotspot_golden_is_pinned() {
@@ -144,6 +152,7 @@ fn fixed_seed_torus_hotspot_golden_is_pinned() {
         r.mean_latency
     );
     assert_eq!(r.events, GOLDEN_HOTSPOT_EVENTS);
+    assert_eq!(r.digest, GOLDEN_HOTSPOT_DIGEST, "digest {:016x}", r.digest);
     // The hot sub-ring classification still holds: cross-ring messages travel
     // further and slower on average.
     assert!(r.inter.mean > r.intra.mean);
@@ -153,6 +162,7 @@ fn fixed_seed_torus_hotspot_golden_is_pinned() {
 /// (4-ary 2-cube, M=16 Lm=256 λ=8e-3, hotspot node 5 f=0.2, seed 21).
 const GOLDEN_HOTSPOT_MEAN_LATENCY_BITS: u64 = 0x4024A53FBAC0B57A;
 const GOLDEN_HOTSPOT_EVENTS: u64 = 15208;
+const GOLDEN_HOTSPOT_DIGEST: u64 = 0x9362c32ce10cc40e;
 
 #[test]
 fn torus_latency_increases_with_load_and_messages_conserve() {
