@@ -21,7 +21,7 @@
 #![warn(missing_docs)]
 
 use mcnet_model::AnalyticalModel;
-use mcnet_sim::{Scenario, SimConfig};
+use mcnet_sim::{RoutingPolicy, Scenario, SimConfig};
 use mcnet_system::{organizations, MultiClusterSystem, TorusSystem, TrafficConfig};
 
 /// Evaluates the analytical model at one traffic point, returning the latency or
@@ -51,20 +51,29 @@ pub fn tree_throughput_scenarios() -> Vec<Scenario> {
 }
 
 /// The named torus-backend throughput scenarios (same engine over
-/// `CubeFabric`, matched with [`tree_throughput_scenarios`]).
+/// `CubeFabric`, matched with [`tree_throughput_scenarios`]). The adaptive
+/// 8-ary entry is the A/B twin of `torus_8ary_2cube`: the same geometry and
+/// traffic through the adaptive-routing hot path (per-hop candidate
+/// enumeration, scratch-arena routes, the isolated route RNG), so the cost of
+/// adaptivity is one subtraction away in `BENCH_results.json`.
 pub fn torus_throughput_scenarios() -> Vec<Scenario> {
-    [("torus_4ary_2cube", 4usize, 2usize, 2e-3), ("torus_8ary_2cube", 8, 2, 1e-3)]
-        .into_iter()
-        .map(|(name, k, n, rate)| {
-            Scenario::builder()
-                .name(name)
-                .torus(TorusSystem::new(k, n).expect("valid bench torus"))
-                .traffic(traffic(32, 256.0, rate))
-                .config(SimConfig::quick(1))
-                .build()
-                .expect("valid bench scenario")
-        })
-        .collect()
+    [
+        ("torus_4ary_2cube", 4usize, 2usize, 2e-3, RoutingPolicy::Deterministic),
+        ("torus_8ary_2cube", 8, 2, 1e-3, RoutingPolicy::Deterministic),
+        ("torus_8ary_adaptive", 8, 2, 1e-3, RoutingPolicy::AdaptiveTorus { adaptive_vcs: 2 }),
+    ]
+    .into_iter()
+    .map(|(name, k, n, rate, routing)| {
+        Scenario::builder()
+            .name(name)
+            .torus(TorusSystem::new(k, n).expect("valid bench torus"))
+            .traffic(traffic(32, 256.0, rate))
+            .config(SimConfig::quick(1))
+            .routing(routing)
+            .build()
+            .expect("valid bench scenario")
+    })
+    .collect()
 }
 
 fn throughput_scenario(name: &str, system: MultiClusterSystem, rate: f64) -> Scenario {
@@ -100,6 +109,6 @@ mod tests {
         assert_eq!(names, ["tree_small_org", "tree_org_b"]);
         let names: Vec<String> =
             torus_throughput_scenarios().iter().map(|s| s.name().to_string()).collect();
-        assert_eq!(names, ["torus_4ary_2cube", "torus_8ary_2cube"]);
+        assert_eq!(names, ["torus_4ary_2cube", "torus_8ary_2cube", "torus_8ary_adaptive"]);
     }
 }

@@ -19,7 +19,6 @@
 
 use crate::figures::FigurePanel;
 use crate::{EvaluationEffort, ExperimentError, Result};
-use mcnet_model::ModelOptions;
 use mcnet_sim::{Scenario, ScenarioSpec, SimError};
 use serde::{Deserialize, Serialize};
 
@@ -125,13 +124,14 @@ pub fn validate_spec(
         .fabric(spec.fabric.build().map_err(ExperimentError::from)?)
         .traffic(spec.traffic)
         .config(effort.sim_config(spec.seed))
+        .routing(spec.routing)
         .build()
         .map_err(ExperimentError::from)?;
 
-    let saturation = scenario
-        .model_backend()
-        .find_saturation_rate(&spec.traffic, ModelOptions::default(), 1e-4)
-        .map_err(ExperimentError::from)?;
+    // The saturation anchor respects the spec's routing policy: an adaptive
+    // spec sweeps fractions of the *adaptive-load* model's (later) saturation
+    // point, so the gated region matches the policy actually simulated.
+    let saturation = scenario.find_saturation_rate(1e-4).map_err(ExperimentError::from)?;
     let rates: Vec<f64> = fractions.iter().map(|f| f * saturation).collect();
 
     let models = scenario.evaluate_sweep(&rates).map_err(ExperimentError::from)?;
@@ -344,6 +344,7 @@ mod tests {
             seed: 7,
             replications: 1,
             faults: None,
+            routing: mcnet_sim::RoutingPolicy::Deterministic,
         }
     }
 

@@ -94,7 +94,7 @@ pub mod torus;
 
 pub use backend::{ModelBackend, ModelDetail, ModelReport};
 pub use multicluster::{AnalyticalModel, ClusterLatency, LatencyReport};
-pub use options::{ModelOptions, SourceQueueRate};
+pub use options::{ModelOptions, SourceQueueRate, TorusRouting};
 pub use torus::{TorusLatencyReport, TorusModel};
 
 /// Errors produced while evaluating the analytical model.

@@ -24,6 +24,27 @@ pub enum SourceQueueRate {
     ClusterAggregate,
 }
 
+/// Routing discipline assumed by the torus channel-load model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TorusRouting {
+    /// Dimension-order routing with Dally–Seitz dateline virtual channels —
+    /// the simulator's deterministic torus policy and the Draper–Ghosh
+    /// baseline.
+    #[default]
+    Deterministic,
+    /// Minimal-adaptive routing in Duato's framework: per link,
+    /// `adaptive_vcs` fully-adaptive virtual channels on top of the two
+    /// dateline escape VCs. A header waits only when every adaptive candidate
+    /// *and* the escape channel of its dimension-order hop are busy; the
+    /// escape class carries the load share that exhausted its candidates (see
+    /// `crate::torus` for the fixed point).
+    AdaptiveMinimal {
+        /// Fully-adaptive virtual channels per link, in addition to the escape
+        /// class. Must be at least 1.
+        adaptive_vcs: usize,
+    },
+}
+
 /// Variance model for the source-queue service time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum VarianceApproximation {
@@ -48,6 +69,12 @@ pub struct ModelOptions {
     /// inter-cluster latency. The paper includes it; switching it off quantifies the
     /// concentrators' contribution in the ablation benches.
     pub include_concentrator: bool,
+    /// Routing discipline of the torus model (ignored by the tree model, whose
+    /// deterministic NCA loads also describe randomized up*/down* routing in
+    /// the mean — randomization only redistributes load across symmetric
+    /// channels of the same network).
+    #[serde(default)]
+    pub torus_routing: TorusRouting,
 }
 
 impl Default for ModelOptions {
@@ -57,6 +84,7 @@ impl Default for ModelOptions {
             source_queue_rate: SourceQueueRate::PerNode,
             variance: VarianceApproximation::DraperGhosh,
             include_concentrator: true,
+            torus_routing: TorusRouting::Deterministic,
         }
     }
 }
@@ -90,6 +118,13 @@ impl ModelOptions {
         self.include_concentrator = false;
         self
     }
+
+    /// Switches the torus model to minimal-adaptive routing with the given
+    /// number of adaptive virtual channels per link.
+    pub fn with_adaptive_torus(mut self, adaptive_vcs: usize) -> Self {
+        self.torus_routing = TorusRouting::AdaptiveMinimal { adaptive_vcs };
+        self
+    }
 }
 
 #[cfg(test)]
@@ -116,5 +151,8 @@ mod tests {
         assert_eq!(o.variance, VarianceApproximation::None);
         let o = ModelOptions::default().without_concentrator();
         assert!(!o.include_concentrator);
+        let o = ModelOptions::default().with_adaptive_torus(2);
+        assert_eq!(o.torus_routing, TorusRouting::AdaptiveMinimal { adaptive_vcs: 2 });
+        assert_eq!(ModelOptions::default().torus_routing, TorusRouting::Deterministic);
     }
 }

@@ -48,7 +48,7 @@
 //!   shared with the tree model); like the paper's model, it under-predicts
 //!   near saturation where tree-saturation effects couple the stages.
 
-use crate::options::ModelOptions;
+use crate::options::{ModelOptions, TorusRouting};
 use crate::service::{self, ChannelTimes, StageOutcome};
 use crate::source_queue::{self, SourceQueueInput, SourceQueueKind};
 use crate::{ModelError, Result};
@@ -95,6 +95,10 @@ pub struct TorusLatencyReport {
     /// Worst stage utilisation of the saturation recursion over the most loaded
     /// channel.
     pub max_channel_utilization: f64,
+    /// Under minimal-adaptive routing, the modelled probability that a header
+    /// finds every adaptive candidate busy and falls back to the escape class
+    /// (`None` under deterministic routing).
+    pub escape_fraction: Option<f64>,
 }
 
 /// Per-channel load tables of one torus + traffic point.
@@ -274,19 +278,22 @@ impl TorusModel {
 
     /// Evaluates the model. Fails with [`ModelError::Saturated`] when the
     /// worst-channel recursion or the injection source queue has no steady
-    /// state at this load.
+    /// state at this load. The routing discipline comes from
+    /// [`ModelOptions::torus_routing`].
     pub fn evaluate(&self) -> Result<TorusLatencyReport> {
-        let lambda = self.traffic.generation_rate;
-        let n = self.cube.num_nodes() as f64;
-        let t_cs = self.times.t_cs;
-        let t_cn = self.times.t_cn;
+        match self.options.torus_routing {
+            TorusRouting::Deterministic => self.evaluate_deterministic(),
+            TorusRouting::AdaptiveMinimal { adaptive_vcs } => self.evaluate_adaptive(adaptive_vcs),
+        }
+    }
 
+    /// The Draper–Ghosh baseline: dimension-order routing, one deterministic
+    /// dateline VC per hop.
+    fn evaluate_deterministic(&self) -> Result<TorusLatencyReport> {
         // Saturation gate: the most loaded link channel, on the longest journey,
         // with the most loaded ejection channel as the final stage.
         let eta_max = self.loads.rate.iter().cloned().fold(0.0f64, f64::max);
-        let ej_max = (0..self.cube.num_nodes())
-            .map(|t| self.ejection_rate(t).unwrap_or(0.0))
-            .fold(0.0f64, f64::max);
+        let ej_max = self.max_ejection_rate();
         let worst = self.journey_latency(self.hop_probs.len(), eta_max, ej_max)?;
         service::check_channel_utilization(&worst, None)?;
 
@@ -297,23 +304,124 @@ impl TorusModel {
         let s_intra = self.class_network_latency(&self.intra_probs, eta_uni, ej_uni)?;
         let s_inter = self.class_network_latency(&self.inter_probs, eta_uni, ej_uni)?;
 
-        // Hot-spot class (empty under uniform traffic).
-        let (s_hot, d_hot) = if let Some(hot_node) = self.hotspot {
+        // Hot-spot class (empty under uniform traffic). A uniformly-placed
+        // source is uniformly far from the hot node, so the hot class shares
+        // the background hop distribution.
+        let s_hot = if let Some(hot_node) = self.hotspot {
             let eta_hot = usage_weighted_rate(&self.loads.hotspot_usage, &self.loads.rate);
             let ej_hot = self.ejection_rate(hot_node)?;
-            // A uniformly-placed source is uniformly far from the hot node, so
-            // the hot class shares the background hop distribution.
-            (
-                Some(self.class_network_latency(&self.hop_probs, eta_hot, ej_hot)?),
-                mean_hops(&self.hop_probs),
-            )
+            Some(self.class_network_latency(&self.hop_probs, eta_hot, ej_hot)?)
+        } else {
+            None
+        };
+        self.compose(s_uni, s_intra, s_inter, s_hot, worst.max_utilization, None)
+    }
+
+    /// The minimal-adaptive variant in Duato's framework. The physical link
+    /// set of a minimal route is the dimension-order one reordered, so the
+    /// deterministic per-link totals (summed over the two dateline VCs) remain
+    /// the exact per-link message rates; what changes is how a hop acquires a
+    /// VC on that link. A share `1 − β` of the load flows over the
+    /// `adaptive_vcs` unrestricted VCs (spread evenly — the simulator picks
+    /// uniformly among free candidates), and the share `β` that found every
+    /// candidate busy falls back to the escape class, which keeps the
+    /// deterministic dateline discipline. `β` is the fixed point of
+    /// [`escape_fraction`]; a header then *waits* only when its candidates and
+    /// the escape channel are all busy, which [`adaptive_journey`] models as a
+    /// blocking product.
+    fn evaluate_adaptive(&self, adaptive_vcs: usize) -> Result<TorusLatencyReport> {
+        if adaptive_vcs == 0 {
+            return Err(ModelError::InvalidConfiguration {
+                reason: "minimal-adaptive routing needs at least 1 adaptive virtual channel".into(),
+            });
+        }
+        let v = adaptive_vcs as f64;
+        let candidates = v * self.mean_active_dimensions();
+        let hold = self.times.message_switch_time();
+
+        // Saturation gate: the most loaded physical link, with the adaptive /
+        // escape split it settles into at this load.
+        let eta_vc_max = self.loads.rate.iter().cloned().fold(0.0f64, f64::max);
+        let (_, link_max) = self.link_rate_stats(&self.loads.uniform_usage);
+        let beta_max = escape_fraction(link_max, v, candidates, hold);
+        let worst = adaptive_journey(
+            self.hop_probs.len(),
+            link_max * (1.0 - beta_max) / v,
+            beta_max * eta_vc_max,
+            self.max_ejection_rate(),
+            candidates,
+            &self.times,
+        );
+        service::check_channel_utilization(&worst, None)?;
+
+        // Background class: usage-weighted link totals drive the fixed point,
+        // the usage-weighted deterministic VC rate scales the escape class.
+        let (link_uni, _) = self.link_rate_stats(&self.loads.uniform_usage);
+        let eta_vc_uni = usage_weighted_rate(&self.loads.uniform_usage, &self.loads.rate);
+        let beta_uni = escape_fraction(link_uni, v, candidates, hold);
+        let eta_a_uni = link_uni * (1.0 - beta_uni) / v;
+        let eta_e_uni = beta_uni * eta_vc_uni;
+        let ej_uni = self.mean_background_ejection_rate();
+        let journey = |probs: &[f64], eta_a: f64, eta_e: f64, ej: f64| {
+            let mut latency = 0.0;
+            let mut max_utilization: f64 = 0.0;
+            for (idx, &p) in probs.iter().enumerate() {
+                if p == 0.0 {
+                    continue;
+                }
+                let outcome = adaptive_journey(idx + 1, eta_a, eta_e, ej, candidates, &self.times);
+                latency += p * outcome.latency;
+                max_utilization = max_utilization.max(outcome.max_utilization);
+            }
+            StageOutcome { latency, max_utilization }
+        };
+        let s_uni = journey(&self.hop_probs, eta_a_uni, eta_e_uni, ej_uni);
+        let s_intra = journey(&self.intra_probs, eta_a_uni, eta_e_uni, ej_uni);
+        let s_inter = journey(&self.inter_probs, eta_a_uni, eta_e_uni, ej_uni);
+
+        // Hot-spot class: its own link loads, its own escape share.
+        let (s_hot, beta_hot) = if let Some(hot_node) = self.hotspot {
+            let (link_hot, _) = self.link_rate_stats(&self.loads.hotspot_usage);
+            let eta_vc_hot = usage_weighted_rate(&self.loads.hotspot_usage, &self.loads.rate);
+            let beta_hot = escape_fraction(link_hot, v, candidates, hold);
+            let eta_a_hot = link_hot * (1.0 - beta_hot) / v;
+            let s = journey(
+                &self.hop_probs,
+                eta_a_hot,
+                beta_hot * eta_vc_hot,
+                self.ejection_rate(hot_node)?,
+            );
+            (Some(s), beta_hot)
         } else {
             (None, 0.0)
         };
+        let beta = self.hot_weight * beta_hot + (1.0 - self.hot_weight) * beta_uni;
+        self.compose(s_uni, s_intra, s_inter, s_hot, worst.max_utilization, Some(beta))
+    }
+
+    /// Mixes the per-class network latencies into the full report — the
+    /// source-queue waiting time, class mixture and tail times shared by the
+    /// deterministic and adaptive evaluations (which differ only in how the
+    /// per-journey stage recursion treats blocking).
+    fn compose(
+        &self,
+        s_uni: StageOutcome,
+        s_intra: StageOutcome,
+        s_inter: StageOutcome,
+        s_hot: Option<StageOutcome>,
+        max_channel_utilization: f64,
+        escape_fraction: Option<f64>,
+    ) -> Result<TorusLatencyReport> {
+        let lambda = self.traffic.generation_rate;
+        let n = self.cube.num_nodes() as f64;
+        let t_cs = self.times.t_cs;
+        let t_cn = self.times.t_cn;
 
         let d_avg = mean_hops(&self.hop_probs);
         let d_intra = mean_hops(&self.intra_probs);
         let d_inter = mean_hops(&self.inter_probs);
+        // The hot class shares the background hop distribution.
+        let d_hot = d_avg;
 
         // Class mixture: the network latency the injection channel is held for.
         let w_hot = self.hot_weight;
@@ -371,8 +479,46 @@ impl TorusModel {
                 Some(_) => w_hot * d_hot + (1.0 - w_hot) * d_avg,
                 None => d_avg,
             },
-            max_channel_utilization: worst.max_utilization,
+            max_channel_utilization,
+            escape_fraction,
         })
+    }
+
+    /// The most loaded ejection channel's arrival rate.
+    fn max_ejection_rate(&self) -> f64 {
+        (0..self.cube.num_nodes())
+            .map(|t| self.ejection_rate(t).unwrap_or(0.0))
+            .fold(0.0f64, f64::max)
+    }
+
+    /// `E[#dimensions still to correct | dest ≠ src]` — the number of
+    /// dimensions (hence candidate hop directions) a header can choose among.
+    /// Each ring digit pair differs with probability `1 − 1/k`, so the mean is
+    /// `n·(1 − 1/k) / (1 − k^{-n})` once conditioned on a non-trivial pair.
+    fn mean_active_dimensions(&self) -> f64 {
+        let k = self.torus.radix() as f64;
+        let n = self.torus.dimensions() as i32;
+        let p_move = 1.0 - 1.0 / k;
+        let p_nonzero = 1.0 - (1.0 / k).powi(n);
+        (n as f64 * p_move / p_nonzero).max(1.0)
+    }
+
+    /// Per-physical-link statistics of a class: the usage-weighted mean and the
+    /// global maximum of the *link-total* message rate (both dateline VCs of a
+    /// `(node, dimension, direction)` link folded together — minimal-adaptive
+    /// routing preserves exactly these totals, only the VC split changes).
+    fn link_rate_stats(&self, usage: &[f64]) -> (f64, f64) {
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        let mut max = 0.0f64;
+        for base in (0..self.loads.rate.len()).step_by(2) {
+            let link_rate = self.loads.rate[base] + self.loads.rate[base + 1];
+            let link_usage = usage[base] + usage[base + 1];
+            weighted += link_usage * link_rate;
+            weight += link_usage;
+            max = max.max(link_rate);
+        }
+        (if weight == 0.0 { 0.0 } else { weighted / weight }, max)
     }
 
     /// Convenience: the total mean latency, or `None` when saturated.
@@ -432,6 +578,68 @@ fn usage_weighted_rate(usage: &[f64], rate: &[f64]) -> f64 {
         return 0.0;
     }
     usage.iter().zip(rate).map(|(u, r)| u * r).sum::<f64>() / total
+}
+
+/// The stationary escape share `β` of one class: the probability that a header
+/// finds all of its adaptive candidates busy and falls back to the escape
+/// class. With the adaptive VCs carrying the load share `1 − β` spread over
+/// `V` channels per link, each candidate is busy with probability
+/// `η_link·(1 − β)/V · M·t_cs` (raw holding time), and candidate independence
+/// gives the fixed point
+///
+/// ```text
+/// β = (η_link·(1 − β)/V · M·t_cs)^c̄
+/// ```
+///
+/// with `c̄` the mean candidate count. Solved by damped iteration (the map is
+/// decreasing in `β`, so the plain iteration oscillates).
+fn escape_fraction(eta_link: f64, adaptive_vcs: f64, candidates: f64, hold: f64) -> f64 {
+    let mut beta = 0.5;
+    for _ in 0..200 {
+        let eta_adaptive = eta_link * (1.0 - beta) / adaptive_vcs;
+        let next = (eta_adaptive * hold).clamp(0.0, 1.0).powf(candidates);
+        let damped = 0.5 * (beta + next);
+        if (damped - beta).abs() < 1e-13 {
+            return damped;
+        }
+        beta = damped;
+    }
+    beta
+}
+
+/// The stage recursion of a `d`-link journey under minimal-adaptive routing.
+/// Same backward walk as [`service::stage_recursion`], but a link stage only
+/// blocks the header when **all** `c̄` adaptive candidates are busy *and* the
+/// escape channel of the dimension-order hop is busy too, so the waiting term
+/// is scaled by the blocking product `u_a^c̄ · u_e` instead of a single
+/// channel's busy probability (the residual charged is the escape channel's,
+/// since that is where the header ends up queueing).
+fn adaptive_journey(
+    d: usize,
+    eta_adaptive: f64,
+    eta_escape: f64,
+    eta_ejection: f64,
+    candidates: f64,
+    times: &ChannelTimes,
+) -> StageOutcome {
+    let m_tcn = times.message_node_time();
+    let m_tcs = times.message_switch_time();
+
+    // Ejection stage: the destination always accepts.
+    let mut service = m_tcn;
+    let mut max_utilization = (eta_ejection * service).max(0.0);
+    let mut downstream_wait = 0.5 * service * (eta_ejection * service).min(1.0);
+    let mut latency = service;
+
+    for _ in 0..d {
+        service = m_tcs + downstream_wait;
+        max_utilization = max_utilization.max(eta_adaptive * service).max(eta_escape * service);
+        let u_adaptive = (eta_adaptive * service).min(1.0);
+        let u_escape = (eta_escape * service).min(1.0);
+        downstream_wait += 0.5 * service * u_adaptive.powf(candidates) * u_escape;
+        latency = service;
+    }
+    StageOutcome { latency, max_utilization }
 }
 
 /// `Σ d · P(d)` over a hop-count distribution indexed `d − 1`.
@@ -778,6 +986,85 @@ mod tests {
             .with_pattern(TrafficPattern::Hotspot { hotspot: 16, fraction: 0.2 })
             .unwrap();
         assert!(TorusModel::new(&torus, &bad_hot, ModelOptions::default()).is_err());
+    }
+
+    fn adaptive_model(k: usize, nd: usize, rate: f64, vcs: usize) -> TorusModel {
+        let torus = TorusSystem::new(k, nd).unwrap();
+        let traffic = TrafficConfig::uniform(16, 256.0, rate).unwrap();
+        TorusModel::new(&torus, &traffic, ModelOptions::default().with_adaptive_torus(vcs)).unwrap()
+    }
+
+    #[test]
+    fn adaptive_routing_needs_at_least_one_vc() {
+        let r = adaptive_model(4, 2, 1e-3, 0).evaluate();
+        assert!(matches!(r, Err(ModelError::InvalidConfiguration { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn adaptive_routing_converges_to_deterministic_at_zero_load() {
+        // With nothing in flight no candidate is ever busy: β → 0, no blocking
+        // anywhere, and both disciplines report the pure transfer time.
+        let det = model(4, 2, 1e-9).evaluate().unwrap();
+        let ada = adaptive_model(4, 2, 1e-9, 1).evaluate().unwrap();
+        assert!((det.total - ada.total).abs() < 1e-3, "{} vs {}", det.total, ada.total);
+        assert!(ada.escape_fraction.unwrap() < 1e-6);
+        assert_eq!(det.escape_fraction, None);
+    }
+
+    #[test]
+    fn adaptive_routing_lowers_latency_under_load() {
+        // At a loaded operating point the blocking product beats single-channel
+        // blocking: the adaptive network latency is strictly lower, and more
+        // adaptive VCs lower it further.
+        let det = model(4, 2, 4e-3).evaluate().unwrap();
+        let one = adaptive_model(4, 2, 4e-3, 1).evaluate().unwrap();
+        let two = adaptive_model(4, 2, 4e-3, 2).evaluate().unwrap();
+        assert!(one.network < det.network, "{} vs {}", one.network, det.network);
+        assert!(two.network < one.network);
+        let beta = one.escape_fraction.unwrap();
+        assert!(beta > 0.0 && beta < 1.0, "{beta}");
+        assert!(two.escape_fraction.unwrap() < beta, "more VCs, fewer fallbacks");
+    }
+
+    #[test]
+    fn escape_fraction_grows_with_load() {
+        let mut prev = 0.0;
+        for rate in [1e-4, 1e-3, 3e-3, 6e-3] {
+            let beta = adaptive_model(4, 2, rate, 1).evaluate().unwrap().escape_fraction.unwrap();
+            assert!(beta > prev, "β must grow with load at λ={rate}");
+            assert!(beta < 1.0);
+            prev = beta;
+        }
+    }
+
+    #[test]
+    fn adaptive_routing_raises_the_saturation_rate() {
+        let torus = TorusSystem::new(8, 2).unwrap();
+        let backend = crate::backend::ModelBackend::Torus(torus);
+        let template = TrafficConfig::uniform(16, 256.0, 1e-4).unwrap();
+        let det = backend.find_saturation_rate(&template, ModelOptions::default(), 1e-4).unwrap();
+        let ada = backend
+            .find_saturation_rate(&template, ModelOptions::default().with_adaptive_torus(1), 1e-4)
+            .unwrap();
+        assert!(ada > det, "adaptive VCs add capacity: {ada} vs {det}");
+    }
+
+    #[test]
+    fn adaptive_routing_helps_hotspot_traffic() {
+        let torus = TorusSystem::new(4, 2).unwrap();
+        let hot = TrafficConfig::uniform(16, 256.0, 1e-3)
+            .unwrap()
+            .with_pattern(TrafficPattern::Hotspot { hotspot: 5, fraction: 0.3 })
+            .unwrap();
+        let det =
+            TorusModel::new(&torus, &hot, ModelOptions::default()).unwrap().evaluate().unwrap();
+        let ada = TorusModel::new(&torus, &hot, ModelOptions::default().with_adaptive_torus(2))
+            .unwrap()
+            .evaluate()
+            .unwrap();
+        assert!(ada.network < det.network);
+        assert!(ada.hotspot_total.unwrap() < det.hotspot_total.unwrap());
+        assert!(ada.escape_fraction.unwrap() > 0.0);
     }
 
     #[test]

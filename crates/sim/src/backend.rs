@@ -24,7 +24,8 @@
 use crate::channels::{ChannelPool, GlobalChannelId};
 use crate::cube::CubeFabric;
 use crate::fabric::{Fabric, Itinerary};
-use crate::Result;
+use crate::policy::RoutingPolicy;
+use crate::{Result, SimError};
 use mcnet_system::{MultiClusterSystem, TorusSystem, TrafficConfig};
 
 /// A network fabric the wormhole engine can run over.
@@ -41,14 +42,80 @@ pub enum FabricBackend {
 }
 
 impl FabricBackend {
-    /// Builds the tree backend for a multi-cluster system.
+    /// Builds the tree backend for a multi-cluster system (deterministic routing).
     pub fn tree(system: &MultiClusterSystem, traffic: &TrafficConfig) -> Result<Self> {
-        Ok(FabricBackend::Tree(Box::new(Fabric::build(system, traffic)?)))
+        Self::tree_with(system, traffic, RoutingPolicy::Deterministic)
     }
 
-    /// Builds the torus backend for a k-ary n-cube system.
+    /// Builds the torus backend for a k-ary n-cube system (deterministic routing).
     pub fn cube(torus: &TorusSystem, traffic: &TrafficConfig) -> Result<Self> {
-        Ok(FabricBackend::Cube(CubeFabric::build(torus, traffic)?))
+        Self::cube_with(torus, traffic, RoutingPolicy::Deterministic)
+    }
+
+    /// Builds the tree backend under a routing policy. Only
+    /// [`RoutingPolicy::Deterministic`] and [`RoutingPolicy::RandomizedUpDown`]
+    /// apply to the tree fabric.
+    pub fn tree_with(
+        system: &MultiClusterSystem,
+        traffic: &TrafficConfig,
+        policy: RoutingPolicy,
+    ) -> Result<Self> {
+        policy.validate()?;
+        if let RoutingPolicy::AdaptiveTorus { .. } = policy {
+            return Err(SimError::InvalidConfiguration {
+                reason: "adaptive_torus routing applies to the torus fabric, not the tree"
+                    .to_string(),
+            });
+        }
+        let mut fabric = Fabric::build(system, traffic)?;
+        fabric.set_randomized_routing(matches!(policy, RoutingPolicy::RandomizedUpDown));
+        Ok(FabricBackend::Tree(Box::new(fabric)))
+    }
+
+    /// Builds the torus backend under a routing policy. Only
+    /// [`RoutingPolicy::Deterministic`] and [`RoutingPolicy::AdaptiveTorus`]
+    /// apply to the cube fabric; the adaptive variant adds its unrestricted
+    /// VCs on top of the dateline escape class.
+    pub fn cube_with(
+        torus: &TorusSystem,
+        traffic: &TrafficConfig,
+        policy: RoutingPolicy,
+    ) -> Result<Self> {
+        policy.validate()?;
+        let adaptive_vcs = match policy {
+            RoutingPolicy::Deterministic => 0,
+            RoutingPolicy::AdaptiveTorus { adaptive_vcs } => adaptive_vcs,
+            RoutingPolicy::RandomizedUpDown => {
+                return Err(SimError::InvalidConfiguration {
+                    reason: "randomized_updown routing applies to the tree fabric, not the torus"
+                        .to_string(),
+                });
+            }
+        };
+        // The engine tracks dateline crossings in a per-dimension bitmask of
+        // one byte; real torus configurations stop well short of 8 dimensions.
+        if adaptive_vcs > 0 && torus.dimensions() > 8 {
+            return Err(SimError::InvalidConfiguration {
+                reason: format!(
+                    "adaptive_torus routing supports at most 8 dimensions (got {})",
+                    torus.dimensions()
+                ),
+            });
+        }
+        Ok(FabricBackend::Cube(CubeFabric::build_with(torus, traffic, adaptive_vcs)?))
+    }
+
+    /// The routing policy the backend was built for (encoded in the fabric:
+    /// adaptive VCs on the cube, the randomized-routing flag on the tree).
+    pub fn routing_policy(&self) -> RoutingPolicy {
+        match self {
+            FabricBackend::Tree(f) if f.randomized_routing() => RoutingPolicy::RandomizedUpDown,
+            FabricBackend::Tree(_) => RoutingPolicy::Deterministic,
+            FabricBackend::Cube(f) if f.adaptive_vcs() > 0 => {
+                RoutingPolicy::AdaptiveTorus { adaptive_vcs: f.adaptive_vcs() as u8 }
+            }
+            FabricBackend::Cube(_) => RoutingPolicy::Deterministic,
+        }
     }
 
     /// The tree fabric, if this is the tree backend.
@@ -161,11 +228,17 @@ impl FabricBackend {
         }
     }
 
-    /// A short human-readable summary of the underlying system.
+    /// A short human-readable summary of the underlying system. Deterministic
+    /// backends produce exactly the bare system summary (pinned by goldens);
+    /// adaptive policies append their description.
     pub fn summary(&self) -> String {
-        match self {
+        let base = match self {
             FabricBackend::Tree(f) => f.system().summary(),
             FabricBackend::Cube(f) => f.torus().summary(),
+        };
+        match self.routing_policy() {
+            RoutingPolicy::Deterministic => base,
+            policy => format!("{base} [{}]", policy.describe()),
         }
     }
 }
@@ -198,6 +271,41 @@ mod tests {
         assert_eq!(bridges.len(), 2 * system.num_clusters());
         assert!(bridges.iter().all(|&b| backend.is_bridge(b)));
         assert_eq!(backend.summary(), system.summary());
+    }
+
+    #[test]
+    fn policy_aware_constructors_validate_fabric_compatibility() {
+        let system = organizations::small_test_org();
+        let t = traffic();
+        let torus = mcnet_system::TorusSystem::new(4, 2).unwrap();
+        let adaptive = RoutingPolicy::AdaptiveTorus { adaptive_vcs: 2 };
+        assert!(FabricBackend::tree_with(&system, &t, adaptive).is_err());
+        assert!(FabricBackend::cube_with(&torus, &t, RoutingPolicy::RandomizedUpDown).is_err());
+        assert!(FabricBackend::cube_with(
+            &torus,
+            &t,
+            RoutingPolicy::AdaptiveTorus { adaptive_vcs: 0 }
+        )
+        .is_err());
+
+        let det = FabricBackend::cube(&torus, &t).unwrap();
+        assert!(det.routing_policy().is_deterministic());
+        assert_eq!(det.summary(), torus.summary(), "deterministic summary is unchanged");
+
+        let ad = FabricBackend::cube_with(&torus, &t, adaptive).unwrap();
+        assert_eq!(ad.routing_policy(), adaptive);
+        assert!(ad.summary().starts_with(&torus.summary()));
+        assert!(ad.summary().contains("adaptive"));
+        assert!(ad.num_channels() > det.num_channels(), "adaptive VCs widen the channel space");
+
+        let rt = FabricBackend::tree_with(&system, &t, RoutingPolicy::RandomizedUpDown).unwrap();
+        assert_eq!(rt.routing_policy(), RoutingPolicy::RandomizedUpDown);
+        assert!(rt.summary().contains("randomized"));
+        assert_eq!(
+            rt.num_channels(),
+            FabricBackend::tree(&system, &t).unwrap().num_channels(),
+            "randomized tree routing reuses the deterministic channel space"
+        );
     }
 
     #[test]

@@ -44,9 +44,16 @@ pub struct CubeFabric {
     t_node: f64,
     /// Per-flit time of router↔router link channels, `t_cs`.
     t_link: f64,
-    /// Virtual channels per directed link: 2 (dateline discipline) for `k > 2`,
-    /// 1 for `k = 2`.
+    /// Virtual channels per directed link. The low `escape_vcs` indices are the
+    /// escape class (dateline discipline): 2 for `k > 2`, 1 for `k = 2`. Under
+    /// [`crate::policy::RoutingPolicy::AdaptiveTorus`] each link carries
+    /// additional unrestricted adaptive VCs above the escape class, so
+    /// `vcs = escape_vcs + adaptive_vcs`; deterministic fabrics have
+    /// `vcs == escape_vcs` and the exact channel numbering of every previous
+    /// release.
     vcs: u32,
+    /// Virtual channels of the escape (dateline) class, always the low indices.
+    escape_vcs: u32,
     /// Directions per dimension: 2 for `k > 2`, 1 for `k = 2` (where +1 and −1
     /// coincide).
     dirs: u32,
@@ -56,12 +63,25 @@ pub struct CubeFabric {
 }
 
 impl CubeFabric {
-    /// Builds the torus fabric.
+    /// Builds the deterministic torus fabric (escape VCs only — the channel
+    /// numbering every interned route and pinned digest depends on).
     pub fn build(torus: &TorusSystem, traffic: &TrafficConfig) -> Result<Self> {
+        Self::build_with(torus, traffic, 0)
+    }
+
+    /// Builds the torus fabric with `adaptive_vcs` unrestricted adaptive VCs
+    /// per directed link on top of the escape class. `adaptive_vcs == 0` is the
+    /// deterministic layout.
+    pub fn build_with(
+        torus: &TorusSystem,
+        traffic: &TrafficConfig,
+        adaptive_vcs: u8,
+    ) -> Result<Self> {
         traffic.validate().map_err(SimError::from)?;
         let cube = KaryNCube::new(torus.radix(), torus.dimensions()).map_err(SimError::from)?;
         let tech = torus.technology();
-        let (dirs, vcs) = if torus.radix() == 2 { (1u32, 1u32) } else { (2u32, 2u32) };
+        let (dirs, escape_vcs) = if torus.radix() == 2 { (1u32, 1u32) } else { (2u32, 2u32) };
+        let vcs = escape_vcs + adaptive_vcs as u32;
         let link_channels = (cube.num_nodes() * cube.dimensions()) as u32 * dirs * vcs;
         Ok(CubeFabric {
             torus: torus.clone(),
@@ -69,6 +89,7 @@ impl CubeFabric {
             t_node: tech.node_channel_time(traffic.flit_bytes),
             t_link: tech.switch_channel_time(traffic.flit_bytes),
             vcs,
+            escape_vcs,
             dirs,
             link_channels,
         })
@@ -111,9 +132,59 @@ impl CubeFabric {
     }
 
     /// Virtual channels per directed link (2 under the dateline discipline,
-    /// 1 for `k = 2`).
+    /// 1 for `k = 2`, plus any adaptive VCs).
     pub fn virtual_channels(&self) -> u32 {
         self.vcs
+    }
+
+    /// Virtual channels of the escape (dateline) class per directed link.
+    pub fn escape_vcs(&self) -> u32 {
+        self.escape_vcs
+    }
+
+    /// Unrestricted adaptive virtual channels per directed link (0 on a
+    /// deterministic fabric).
+    pub fn adaptive_vcs(&self) -> u32 {
+        self.vcs - self.escape_vcs
+    }
+
+    /// The ring coordinate of `node` in dimension `dim`.
+    #[inline]
+    fn digit(&self, node: usize, dim: usize) -> usize {
+        let k = self.torus.radix();
+        (node / k.pow(dim as u32)) % k
+    }
+
+    /// `true` if taking `hop` out of `from` crosses its ring's wrap-around
+    /// (dateline) edge — the event that forces the escape class onto VC1.
+    #[inline]
+    pub fn hop_wraps(&self, from: usize, hop: &CubeHop) -> bool {
+        self.cube.hop_crosses_dateline(self.digit(from, hop.dimension), hop.direction)
+    }
+
+    /// The adaptive-class channel ids of one hop leaving `from` (empty on a
+    /// deterministic fabric). Adaptive VCs are unrestricted: any of them is
+    /// legal for any minimal hop, with deadlock freedom guaranteed by the
+    /// always-reachable escape class (Duato's protocol).
+    #[inline]
+    pub fn adaptive_link_channels(
+        &self,
+        from: usize,
+        hop: &CubeHop,
+    ) -> std::ops::Range<GlobalChannelId> {
+        let base = self.link_channel(from, hop, self.escape_vcs);
+        base..base + self.adaptive_vcs()
+    }
+
+    /// The escape-class channel of one hop leaving `from`: the dateline VC the
+    /// deterministic dimension-order route would use. `wrapped` must be `true`
+    /// if the message has already crossed this dimension's wrap edge on any
+    /// earlier hop (adaptive or escape) — a message past the dateline must
+    /// never re-enter VC0, or the escape class's dependency graph would cycle.
+    #[inline]
+    pub fn escape_channel(&self, from: usize, hop: &CubeHop, wrapped: bool) -> GlobalChannelId {
+        let vc = if self.escape_vcs > 1 && (wrapped || self.hop_wraps(from, hop)) { 1 } else { 0 };
+        self.link_channel(from, hop, vc)
     }
 
     /// The injection channel of a node (crossed first by every message it sends).
@@ -400,6 +471,61 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted, channels);
+    }
+
+    fn adaptive_fabric(k: usize, n: usize, adaptive_vcs: u8) -> CubeFabric {
+        let torus = TorusSystem::new(k, n).unwrap();
+        let traffic = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
+        CubeFabric::build_with(&torus, &traffic, adaptive_vcs).unwrap()
+    }
+
+    #[test]
+    #[allow(clippy::identity_op)] // channel-count factors spelled out per leg
+    fn adaptive_fabric_layers_vcs_above_the_escape_class() {
+        let det = fabric(4, 2);
+        let ad = adaptive_fabric(4, 2, 2);
+        assert_eq!(det.adaptive_vcs(), 0);
+        assert_eq!((ad.escape_vcs(), ad.adaptive_vcs(), ad.virtual_channels()), (2, 2, 4));
+        assert_eq!(ad.num_channels(), 16 * 2 * 2 * 4 + 32);
+
+        let hop = CubeHop { dimension: 0, direction: 1, node: NodeId::from_index(1) };
+        assert!(det.adaptive_link_channels(0, &hop).is_empty());
+        let range = ad.adaptive_link_channels(0, &hop);
+        assert_eq!(range.len(), 2);
+        assert_eq!(range.start, ad.link_channel(0, &hop, 2));
+
+        // Escape selection: VC0 before the dateline, VC1 on the wrap hop and
+        // for any message that already wrapped this dimension.
+        assert_eq!(ad.escape_channel(0, &hop, false), ad.link_channel(0, &hop, 0));
+        assert_eq!(ad.escape_channel(0, &hop, true), ad.link_channel(0, &hop, 1));
+        let wrap_hop = CubeHop { dimension: 0, direction: 1, node: NodeId::from_index(0) };
+        assert!(ad.hop_wraps(3, &wrap_hop));
+        assert!(!ad.hop_wraps(1, &hop));
+        assert_eq!(ad.escape_channel(3, &wrap_hop, false), ad.link_channel(3, &wrap_hop, 1));
+
+        // Hypercube: single-VC escape class, adaptive layered above it.
+        let h = adaptive_fabric(2, 3, 1);
+        assert_eq!((h.escape_vcs(), h.adaptive_vcs()), (1, 1));
+        assert_eq!(h.num_channels(), 8 * 3 * 1 * 2 + 16);
+    }
+
+    #[test]
+    fn deterministic_routes_on_adaptive_fabrics_stay_in_the_escape_class() {
+        let ad = adaptive_fabric(4, 2, 2);
+        let vcs = ad.virtual_channels();
+        for src in 0..16 {
+            for dst in 0..16 {
+                if src == dst {
+                    continue;
+                }
+                let it = ad.build_path(src, dst).unwrap();
+                for &ch in &it.channels {
+                    if ch < ad.link_channels {
+                        assert!(ch % vcs < ad.escape_vcs(), "{src}->{dst} left the escape class");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -81,6 +81,10 @@ pub struct Fabric {
     flit_times: Vec<f64>,
     t_cn: f64,
     t_cs: f64,
+    /// `true` when the engine samples randomized up*/down* paths over this
+    /// fabric instead of the deterministic NCA routes (the channel space is
+    /// identical either way — only per-message path selection differs).
+    randomized_routing: bool,
 }
 
 impl Fabric {
@@ -123,7 +127,28 @@ impl Fabric {
         let bridges = BridgeMap::new(next_base, system.num_clusters());
         flit_times.extend(std::iter::repeat_n(t_cs, bridges.num_channels()));
 
-        Ok(Fabric { system: system.clone(), icn1, ecn1, icn2, bridges, flit_times, t_cn, t_cs })
+        Ok(Fabric {
+            system: system.clone(),
+            icn1,
+            ecn1,
+            icn2,
+            bridges,
+            flit_times,
+            t_cn,
+            t_cs,
+            randomized_routing: false,
+        })
+    }
+
+    /// Whether the engine samples randomized up*/down* paths over this fabric.
+    pub fn randomized_routing(&self) -> bool {
+        self.randomized_routing
+    }
+
+    /// Enables/disables randomized up*/down* path selection (set by
+    /// [`crate::backend::FabricBackend::tree_with`]).
+    pub(crate) fn set_randomized_routing(&mut self, on: bool) {
+        self.randomized_routing = on;
     }
 
     /// The system the fabric was built from.
@@ -257,6 +282,96 @@ impl Fabric {
     fn bottleneck_of(&self, channels: &[GlobalChannelId]) -> f64 {
         channels.iter().map(|&c| self.flit_times[c as usize]).fold(0.0f64, f64::max)
     }
+
+    /// Builds a *randomized* legal up\*/down\* itinerary for `src → dst` into
+    /// `out`, with every up-port choice taken from `pick` (called with the
+    /// number of alternatives) instead of the deterministic destination digits.
+    ///
+    /// The tree's path redundancy lies exactly in the ascending choices: intra-
+    /// cluster messages randomize their ICN1 ascent, inter-cluster messages
+    /// randomize the ECN1 ascent, the ICN2 crossing *and* the destination-side
+    /// root the descent starts from (sampled from the destination's legal
+    /// ascent roots, generalising the deterministic path's fixed home root).
+    /// Descents are forced by the destination digits, so every produced path is
+    /// a legal up-then-down route of the same length, bottleneck and cluster
+    /// classification as the deterministic one for the pair.
+    ///
+    /// `scratch` is a reusable local-channel buffer so steady-state calls
+    /// allocate nothing.
+    pub fn build_random_path_into(
+        &self,
+        src: usize,
+        dst: usize,
+        scratch: &mut Vec<mcnet_topology::graph::ChannelId>,
+        out: &mut Vec<GlobalChannelId>,
+        pick: &mut dyn FnMut(usize) -> usize,
+    ) -> Result<()> {
+        if src == dst {
+            return Err(SimError::InvalidConfiguration {
+                reason: format!("message from node {src} to itself"),
+            });
+        }
+        let s = self.system.locate(src).map_err(SimError::from)?;
+        let d = self.system.locate(dst).map_err(SimError::from)?;
+        out.clear();
+
+        if s.cluster == d.cluster {
+            let net = &self.icn1[s.cluster];
+            scratch.clear();
+            NcaRouter::new(net.tree())
+                .route_into_with_choices(
+                    NodeId::from_index(s.local),
+                    NodeId::from_index(d.local),
+                    scratch,
+                    &mut |_| {},
+                    pick,
+                )
+                .map_err(SimError::from)?;
+            out.extend(scratch.iter().map(|c| net.channel_base() + c.0));
+            return Ok(());
+        }
+
+        let src_net = &self.ecn1[s.cluster];
+        let dst_net = &self.ecn1[d.cluster];
+        let src_router = NcaRouter::new(src_net.tree());
+        let dst_router = NcaRouter::new(dst_net.tree());
+
+        // Phase 1: randomized ascent of the source cluster's ECN1.
+        scratch.clear();
+        src_router
+            .ascent_into_with_choices(NodeId::from_index(s.local), scratch, pick)
+            .map_err(SimError::from)?;
+        out.extend(scratch.iter().map(|c| src_net.channel_base() + c.0));
+        out.push(self.bridges.concentrate(s.cluster));
+
+        // Phase 2: randomized ICN2 crossing between the cluster slots.
+        scratch.clear();
+        NcaRouter::new(self.icn2.tree())
+            .route_into_with_choices(
+                NodeId::from_index(s.cluster),
+                NodeId::from_index(d.cluster),
+                scratch,
+                &mut |_| {},
+                pick,
+            )
+            .map_err(SimError::from)?;
+        out.extend(scratch.iter().map(|c| self.icn2.channel_base() + c.0));
+        out.push(self.bridges.dispatch(d.cluster));
+
+        // Phase 3: descend from a randomly sampled legal root of the
+        // destination — the root a randomized ascent from `dst` would reach,
+        // so a down-path to `dst` from it is guaranteed to exist.
+        scratch.clear();
+        let root = dst_router
+            .ascent_into_with_choices(NodeId::from_index(d.local), scratch, pick)
+            .map_err(SimError::from)?;
+        scratch.clear();
+        dst_router
+            .descent_into(root, NodeId::from_index(d.local), scratch)
+            .map_err(SimError::from)?;
+        out.extend(scratch.iter().map(|c| dst_net.channel_base() + c.0));
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -362,6 +477,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn randomized_paths_preserve_length_bottleneck_and_clusters() {
+        let f = fabric();
+        let n = f.system().total_nodes();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let det = f.build_path(src, dst).unwrap();
+                for choice in 0..3usize {
+                    let mut pick = |k: usize| choice.min(k - 1);
+                    f.build_random_path_into(src, dst, &mut scratch, &mut out, &mut pick).unwrap();
+                    assert_eq!(out.len(), det.channels.len(), "{src}->{dst} choice {choice}");
+                    let unique: HashSet<_> = out.iter().collect();
+                    assert_eq!(unique.len(), out.len(), "{src}->{dst} repeats a channel");
+                    let bottleneck = out.iter().map(|&c| f.flit_time(c)).fold(0.0f64, f64::max);
+                    assert!((bottleneck - det.bottleneck).abs() < 1e-12);
+                    if det.src_cluster != det.dst_cluster {
+                        assert!(out.contains(&f.bridges().concentrate(det.src_cluster as usize)));
+                        assert!(out.contains(&f.bridges().dispatch(det.dst_cluster as usize)));
+                    } else {
+                        assert!(out.iter().all(|&c| !f.bridges().is_bridge(c)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_choices_reach_distinct_paths() {
+        let f = fabric();
+        let n = f.system().total_nodes();
+        let mut scratch = Vec::new();
+        let (mut low, mut high) = (Vec::new(), Vec::new());
+        let mut distinct = 0usize;
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let mut first = |_: usize| 0usize;
+                let mut last = |k: usize| k - 1;
+                f.build_random_path_into(src, dst, &mut scratch, &mut low, &mut first).unwrap();
+                f.build_random_path_into(src, dst, &mut scratch, &mut high, &mut last).unwrap();
+                if low != high {
+                    distinct += 1;
+                }
+            }
+        }
+        assert!(distinct > 0, "up-port choices never changed any path");
     }
 
     #[test]

@@ -39,11 +39,19 @@
 //! discrete-event engine, so one scenario (or serialized spec) drives model
 //! *or* simulation. Scenarios are serializable as plain-data
 //! [`scenario::ScenarioSpec`] JSON files (see `specs/` at the workspace root).
-//! The historical per-backend functions (`runner::run_simulation`,
-//! `runner::run_torus_simulation`, `runner::run_replications`,
-//! `runner::run_torus_replications`) survive as deprecated wrappers whose
-//! output is bit-identical to the scenario layer; the only remaining caller is
-//! the pinning test in `tests/scenario_api.rs`.
+//! The historical per-backend `runner::run_*` functions are gone; the scenario
+//! layer's outputs are pinned bit-for-bit against frozen golden digests in
+//! `tests/scenario_api.rs` instead.
+//!
+//! ## Routing policies
+//!
+//! Itinerary selection is governed by [`policy::RoutingPolicy`]: the default
+//! deterministic tables (NCA tree routing / dimension-order torus routing),
+//! the minimal-adaptive torus policy with a Duato-style dateline escape class
+//! ([`policy::RoutingPolicy::AdaptiveTorus`]), or randomized legal up\*/down\*
+//! tree paths ([`policy::RoutingPolicy::RandomizedUpDown`]). Policies thread
+//! through the builder (`ScenarioBuilder::routing`) and the spec's `"routing"`
+//! key; deterministic runs are bit-identical to the pre-policy engine.
 //!
 //! ## Wormhole model
 //!
@@ -67,7 +75,7 @@
 //! [`SimConfig`] reproduces the paper's measurement protocol: a warm-up phase
 //! (messages not counted), a measurement phase and a drain phase, with totals of
 //! 10,000 / 100,000 / 10,000 messages in the paper. Parallel replications with
-//! independent seeds run on worker threads via [`runner::run_replications`].
+//! independent seeds run on worker threads via [`scenario::Scenario::replicate`].
 //!
 //! ```
 //! use mcnet_sim::{Scenario, SimConfig};
@@ -98,6 +106,7 @@ pub mod fabric;
 pub mod fault;
 pub mod json;
 pub mod message;
+pub mod policy;
 pub mod routes;
 pub mod runner;
 pub mod scenario;
@@ -106,6 +115,7 @@ pub mod traffic;
 
 pub use backend::FabricBackend;
 pub use fault::{BridgeUnit, FaultAction, FaultEvent, FaultPlan, FaultTarget, RingDir};
+pub use policy::RoutingPolicy;
 pub use runner::{ReplicatedReport, SimConfig, SimReport};
 pub use scenario::{Fabric, Protocol, Scenario, ScenarioBuilder, ScenarioOutcome, ScenarioSpec};
 

@@ -1,0 +1,122 @@
+//! Routing policies: how a message's itinerary is chosen.
+//!
+//! The engine supports three policies:
+//!
+//! * [`RoutingPolicy::Deterministic`] — the PR 1/3 contract: every `(src, dst)`
+//!   pair resolves to one interned arena slice (dimension-order + dateline VCs
+//!   on the torus, the NCA route on the tree). Bit-identical to all previous
+//!   releases and allocation-free after a pair's first lookup.
+//! * [`RoutingPolicy::AdaptiveTorus`] — Duato-style minimal-adaptive routing on
+//!   the k-ary n-cube. Each directed link carries `adaptive_vcs` extra virtual
+//!   channels with no routing restriction; the existing Dally–Seitz dateline
+//!   VCs become the *escape class*. At every hop the header may take any free
+//!   adaptive VC on any minimal next-hop; when all adaptive candidates are
+//!   busy it falls back to (and may wait on) the escape channel, whose
+//!   dimension-order + dateline discipline keeps the network deadlock-free.
+//! * [`RoutingPolicy::RandomizedUpDown`] — randomized legal up\*/down\* path
+//!   selection on the m-port n-tree fabric. The up-port choices of the ICN1 /
+//!   ECN1 ascents (and the ICN2 crossing) are sampled uniformly per message
+//!   instead of being forced by the destination digits, spreading load across
+//!   the tree's redundant ascent paths.
+//!
+//! Adaptive decisions draw from a dedicated RNG stream seeded independently of
+//! the traffic stream, so enabling a policy never perturbs arrival times or
+//! destination draws — deterministic-mode digests are unchanged by
+//! construction, and fixed-seed adaptive runs are themselves reproducible.
+
+use crate::{Result, SimError};
+
+/// Default number of unrestricted adaptive VCs per directed torus link.
+pub const DEFAULT_ADAPTIVE_VCS: u8 = 1;
+
+/// How message itineraries are chosen (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// One interned deterministic itinerary per `(src, dst)` pair.
+    #[default]
+    Deterministic,
+    /// Minimal-adaptive torus routing with Duato escape channels.
+    AdaptiveTorus {
+        /// Unrestricted adaptive VCs added to every directed link (1..=4).
+        adaptive_vcs: u8,
+    },
+    /// Randomized legal up*/down* path selection on the tree.
+    RandomizedUpDown,
+}
+
+impl RoutingPolicy {
+    /// Upper bound on `adaptive_vcs`: more VCs than this would only dilute the
+    /// per-VC bandwidth share without adding routing freedom on minimal paths.
+    pub const MAX_ADAPTIVE_VCS: u8 = 4;
+
+    /// `true` for the deterministic (interned-route) policy.
+    #[inline]
+    pub fn is_deterministic(self) -> bool {
+        matches!(self, RoutingPolicy::Deterministic)
+    }
+
+    /// The spec-facing policy name (`"routing": {"policy": ...}`).
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            RoutingPolicy::Deterministic => "deterministic",
+            RoutingPolicy::AdaptiveTorus { .. } => "adaptive_torus",
+            RoutingPolicy::RandomizedUpDown => "randomized_updown",
+        }
+    }
+
+    /// Human-readable description used by summaries and report headers.
+    pub fn describe(self) -> String {
+        match self {
+            RoutingPolicy::Deterministic => "deterministic".to_string(),
+            RoutingPolicy::AdaptiveTorus { adaptive_vcs } => {
+                format!("adaptive torus (escape + {adaptive_vcs} adaptive vc)")
+            }
+            RoutingPolicy::RandomizedUpDown => "randomized up*/down*".to_string(),
+        }
+    }
+
+    /// Validates the policy's own parameters (fabric compatibility is checked
+    /// where the policy meets a concrete fabric).
+    pub fn validate(self) -> Result<()> {
+        if let RoutingPolicy::AdaptiveTorus { adaptive_vcs } = self {
+            if adaptive_vcs == 0 || adaptive_vcs > Self::MAX_ADAPTIVE_VCS {
+                return Err(SimError::InvalidConfiguration {
+                    reason: format!(
+                        "adaptive_vcs must be in 1..={}, got {adaptive_vcs}",
+                        Self::MAX_ADAPTIVE_VCS
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_deterministic() {
+        assert!(RoutingPolicy::default().is_deterministic());
+        assert!(!RoutingPolicy::AdaptiveTorus { adaptive_vcs: 1 }.is_deterministic());
+        assert!(!RoutingPolicy::RandomizedUpDown.is_deterministic());
+    }
+
+    #[test]
+    fn spec_names_are_stable() {
+        assert_eq!(RoutingPolicy::Deterministic.spec_name(), "deterministic");
+        assert_eq!(RoutingPolicy::AdaptiveTorus { adaptive_vcs: 2 }.spec_name(), "adaptive_torus");
+        assert_eq!(RoutingPolicy::RandomizedUpDown.spec_name(), "randomized_updown");
+    }
+
+    #[test]
+    fn adaptive_vc_counts_are_bounded() {
+        assert!(RoutingPolicy::AdaptiveTorus { adaptive_vcs: 0 }.validate().is_err());
+        assert!(RoutingPolicy::AdaptiveTorus { adaptive_vcs: 1 }.validate().is_ok());
+        assert!(RoutingPolicy::AdaptiveTorus { adaptive_vcs: 4 }.validate().is_ok());
+        assert!(RoutingPolicy::AdaptiveTorus { adaptive_vcs: 5 }.validate().is_err());
+        assert!(RoutingPolicy::Deterministic.validate().is_ok());
+        assert!(RoutingPolicy::RandomizedUpDown.validate().is_ok());
+    }
+}

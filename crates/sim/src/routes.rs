@@ -169,6 +169,14 @@ pub struct RouteTable {
     materializer: Materializer,
     /// Number of entries materialised so far, for diagnostics.
     materialized: usize,
+    /// Free lists of recycled per-message scratch regions, indexed by region
+    /// length in channels. Only offsets handed out by [`RouteTable::alloc_scratch`]
+    /// ever land here, so interned entries are never recycled.
+    scratch_free: Vec<Vec<u32>>,
+    /// Scratch regions currently allocated (live adaptive messages).
+    scratch_live: usize,
+    /// High-water mark of simultaneously live scratch regions, for diagnostics.
+    scratch_peak: usize,
 }
 
 impl RouteTable {
@@ -198,6 +206,9 @@ impl RouteTable {
                 FabricBackend::Cube(_) => Materializer::Cube { hop_scratch: Vec::new() },
             },
             materialized: 0,
+            scratch_free: Vec::new(),
+            scratch_live: 0,
+            scratch_peak: 0,
         };
         if let FabricBackend::Tree(fabric) = backend {
             table.precompute_tree_segments(fabric)?;
@@ -317,6 +328,73 @@ impl RouteTable {
     #[inline]
     pub fn channels(&self, route: RouteRef) -> &[GlobalChannelId] {
         &self.arena[route.offset as usize..route.offset as usize + route.len as usize]
+    }
+
+    /// Allocates a per-message scratch region of exactly `len` channels in the
+    /// shared arena, reusing a previously released region of the same length
+    /// when one exists. Adaptive policies write each message's channel choices
+    /// into its region (via [`RouteTable::set_channel`] /
+    /// [`RouteTable::fill_scratch`]) and return it with
+    /// [`RouteTable::release_scratch`] when the message leaves the network, so
+    /// steady-state adaptive runs allocate nothing per message either — the
+    /// arena grows to the peak number of in-flight messages and then cycles.
+    ///
+    /// Deterministic interning and scratch regions share the arena but never
+    /// alias: interned entries are append-only and the free lists only contain
+    /// offsets handed out here.
+    pub fn alloc_scratch(&mut self, len: usize) -> RouteRef {
+        assert!(len >= 1 && len <= u16::MAX as usize, "scratch route length {len} out of range");
+        self.scratch_live += 1;
+        self.scratch_peak = self.scratch_peak.max(self.scratch_live);
+        if let Some(offset) = self.scratch_free.get_mut(len).and_then(Vec::pop) {
+            return RouteRef { offset, len: len as u16 };
+        }
+        assert!(
+            self.arena.len() + len <= u32::MAX as usize,
+            "route arena exceeds the 32-bit RouteRef offset"
+        );
+        let offset = self.arena.len() as u32;
+        self.arena.resize(self.arena.len() + len, 0);
+        RouteRef { offset, len: len as u16 }
+    }
+
+    /// Returns a scratch region to the free list for reuse.
+    ///
+    /// Must only be called with refs produced by [`RouteTable::alloc_scratch`];
+    /// releasing an interned entry would let later messages overwrite it.
+    pub fn release_scratch(&mut self, route: RouteRef) {
+        let len = route.len();
+        if self.scratch_free.len() <= len {
+            self.scratch_free.resize_with(len + 1, Vec::new);
+        }
+        self.scratch_free[len].push(route.offset);
+        debug_assert!(self.scratch_live > 0, "release without a live scratch route");
+        self.scratch_live -= 1;
+    }
+
+    /// Writes one channel of a scratch region (adaptive per-hop commitment).
+    #[inline]
+    pub fn set_channel(&mut self, route: RouteRef, idx: usize, channel: GlobalChannelId) {
+        debug_assert!(idx < route.len());
+        self.arena[route.offset as usize + idx] = channel;
+    }
+
+    /// Copies a full channel sequence into a scratch region (randomized tree
+    /// paths, which are materialised whole at generation time).
+    pub fn fill_scratch(&mut self, route: RouteRef, channels: &[GlobalChannelId]) {
+        debug_assert_eq!(channels.len(), route.len(), "scratch fill length mismatch");
+        self.arena[route.offset as usize..route.offset as usize + channels.len()]
+            .copy_from_slice(channels);
+    }
+
+    /// Scratch regions currently allocated (live adaptive messages).
+    pub fn live_scratch_routes(&self) -> usize {
+        self.scratch_live
+    }
+
+    /// High-water mark of simultaneously live scratch regions.
+    pub fn peak_scratch_routes(&self) -> usize {
+        self.scratch_peak
     }
 
     /// Looks up (interning on first use) the entry for `src → dst`.
@@ -588,6 +666,53 @@ mod tests {
         let e1_again = table.entry(&backend, 0, 5);
         assert_eq!(e1, e1_again);
         assert_eq!(table.arena_len(), grown);
+    }
+
+    #[test]
+    fn scratch_regions_recycle_by_length() {
+        let (_backend, mut table) = build_cube_pair();
+        let a = table.alloc_scratch(4);
+        let b = table.alloc_scratch(4);
+        let c = table.alloc_scratch(6);
+        assert_eq!(table.live_scratch_routes(), 3);
+        assert_eq!(a.len(), 4);
+        assert_ne!(a, b, "distinct live regions never alias");
+
+        table.fill_scratch(a, &[10, 11, 12, 13]);
+        table.set_channel(b, 0, 99);
+        assert_eq!(table.channels(a), &[10, 11, 12, 13]);
+        assert_eq!(table.channels(b)[0], 99);
+
+        table.release_scratch(a);
+        let a2 = table.alloc_scratch(4);
+        assert_eq!(a2, a, "freed region of the same length is reused");
+        let d = table.alloc_scratch(6);
+        assert_ne!(d, c, "length-6 region is still live, so a new one is carved");
+        assert_eq!(table.live_scratch_routes(), 4);
+        assert_eq!(table.peak_scratch_routes(), 4);
+    }
+
+    #[test]
+    fn scratch_and_interned_entries_share_the_arena_without_aliasing() {
+        let (backend, mut table) = build_cube_pair();
+        let interned = table.entry(&backend, 0, 5);
+        let before: Vec<_> = table.channels(interned.route).to_vec();
+
+        // Carve, scribble over and recycle scratch regions around a second
+        // interning; the interned slices must be unaffected.
+        let s = table.alloc_scratch(interned.route.len());
+        for i in 0..s.len() {
+            table.set_channel(s, i, u32::MAX);
+        }
+        let interned2 = table.entry(&backend, 5, 0);
+        table.release_scratch(s);
+        let s2 = table.alloc_scratch(interned.route.len());
+        assert_eq!(s2, s);
+        table.fill_scratch(s2, &vec![7; s2.len()]);
+
+        assert_eq!(table.channels(interned.route), &before[..]);
+        assert!(!table.channels(interned2.route).contains(&u32::MAX));
+        assert_eq!(table.entry(&backend, 0, 5), interned);
     }
 
     #[test]

@@ -2,11 +2,10 @@
 
 use crate::engine::Simulation;
 use crate::message::MessageClass;
-use crate::scenario::Scenario;
 use crate::stats::ClassSummary;
 use crate::{Result, SimError};
 use mcnet_queueing::stats::RunningStats;
-use mcnet_system::{MultiClusterSystem, TorusSystem, TrafficConfig};
+use mcnet_system::TrafficConfig;
 use serde::{Deserialize, Serialize};
 
 /// Measurement protocol of one simulation run.
@@ -113,6 +112,17 @@ pub struct SimReport {
     /// Mean of latency-per-attempt over the measured deliveries; equals
     /// `mean_latency` on a fault-free run.
     pub mean_attempt_latency: f64,
+    /// The routing policy of the run, in spec spelling (`"deterministic"`,
+    /// `"adaptive_torus"`, `"randomized_updown"`).
+    pub routing: String,
+    /// Headers that took a minimal hop other than the dimension-order one
+    /// (adaptive torus), or messages whose randomized tree path differed from
+    /// the deterministic one. Zero under deterministic routing.
+    pub adaptive_misroutes: u64,
+    /// Headers that found every adaptive candidate busy and fell back on the
+    /// dateline escape class. Zero under deterministic routing (and on trees,
+    /// which have no escape class).
+    pub escape_fallbacks: u64,
     /// Order-stable FNV-1a digest of the delivered-message stream
     /// `(generation index, class, delivery-time bits)`. Two runs with equal
     /// digests delivered the same messages at bit-identical times in the same
@@ -147,53 +157,6 @@ pub struct SimReport {
     pub seed: u64,
 }
 
-/// Runs one simulation over the multi-cluster tree fabric.
-#[deprecated(
-    since = "0.1.0",
-    note = "compose a `scenario::Scenario` with `ScenarioBuilder::tree` and call `run()`"
-)]
-pub fn run_simulation(
-    system: &MultiClusterSystem,
-    traffic: &TrafficConfig,
-    config: &SimConfig,
-) -> Result<SimReport> {
-    tree_scenario(system, traffic, config)?.run()
-}
-
-/// Runs one simulation over a k-ary n-cube (torus) fabric. The produced
-/// [`SimReport`] has the same shape as a tree run; the bridge-utilisation
-/// fields are `None` because the torus has no concentrator/dispatcher bridges,
-/// and the intra/inter class split is by dimension-0 sub-ring neighborhood.
-#[deprecated(
-    since = "0.1.0",
-    note = "compose a `scenario::Scenario` with `ScenarioBuilder::torus` and call `run()`"
-)]
-pub fn run_torus_simulation(
-    torus: &TorusSystem,
-    traffic: &TrafficConfig,
-    config: &SimConfig,
-) -> Result<SimReport> {
-    torus_scenario(torus, traffic, config)?.run()
-}
-
-/// The legacy-wrapper bridge into the scenario layer (tree flavour).
-fn tree_scenario(
-    system: &MultiClusterSystem,
-    traffic: &TrafficConfig,
-    config: &SimConfig,
-) -> Result<Scenario> {
-    Scenario::builder().tree(system.clone()).traffic(*traffic).config(*config).build()
-}
-
-/// The legacy-wrapper bridge into the scenario layer (torus flavour).
-fn torus_scenario(
-    torus: &TorusSystem,
-    traffic: &TrafficConfig,
-    config: &SimConfig,
-) -> Result<Scenario> {
-    Scenario::builder().torus(torus.clone()).traffic(*traffic).config(*config).build()
-}
-
 /// Drives a built simulation to completion and extracts its report.
 pub(crate) fn report_from(
     mut sim: Simulation,
@@ -204,6 +167,7 @@ pub(crate) fn report_from(
     let (_, max_channel_utilization) = sim.network_utilization();
     let has_bridges = matches!(sim.backend(), crate::backend::FabricBackend::Tree(_));
     let (mean_bridge_utilization, max_bridge_utilization) = sim.bridge_utilization();
+    let routing = sim.backend().routing_policy();
     let stats = sim.stats();
     Ok(SimReport {
         generation_rate: traffic.generation_rate,
@@ -220,6 +184,9 @@ pub(crate) fn report_from(
         retransmits: stats.retransmits(),
         dropped_messages: stats.dropped(),
         mean_attempt_latency: stats.mean_attempt_latency(),
+        routing: routing.spec_name().to_string(),
+        adaptive_misroutes: stats.adaptive_misroutes(),
+        escape_fallbacks: stats.escape_fallbacks(),
         digest: stats.digest(),
         time_series: stats.time_series(),
         contention_ratio: sim.pool().contention_ratio(),
@@ -249,42 +216,6 @@ pub struct ReplicatedReport {
     /// replication used to be reported as a half-width of `0.0` — false perfect
     /// confidence; the absence of an estimate is now explicit.
     pub halfwidth_95: Option<f64>,
-}
-
-/// Runs `replications` independent replications over the tree fabric (seeds
-/// `seed`, `seed+1`, …) on a bounded worker pool and aggregates them.
-///
-/// The pool is capped at the machine's available parallelism (never one OS thread
-/// per replication); seed assignment (`seed + r`) and aggregation order are by
-/// replication index, so the aggregate is bit-identical regardless of how the
-/// replications interleave across threads.
-#[deprecated(
-    since = "0.1.0",
-    note = "compose a `scenario::Scenario` with `ScenarioBuilder::tree` and call `replicate(n)`"
-)]
-pub fn run_replications(
-    system: &MultiClusterSystem,
-    traffic: &TrafficConfig,
-    config: &SimConfig,
-    replications: usize,
-) -> Result<ReplicatedReport> {
-    tree_scenario(system, traffic, config)?.replicate(replications)
-}
-
-/// Runs `replications` independent torus replications on the same bounded
-/// worker pool and with the same deterministic seed/aggregation contract as
-/// [`run_replications`].
-#[deprecated(
-    since = "0.1.0",
-    note = "compose a `scenario::Scenario` with `ScenarioBuilder::torus` and call `replicate(n)`"
-)]
-pub fn run_torus_replications(
-    torus: &TorusSystem,
-    traffic: &TrafficConfig,
-    config: &SimConfig,
-    replications: usize,
-) -> Result<ReplicatedReport> {
-    torus_scenario(torus, traffic, config)?.replicate(replications)
 }
 
 /// The shared replication driver: fans per-replication configs over
@@ -326,6 +257,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::Scenario;
     use mcnet_system::organizations;
 
     fn tree_scenario(config: SimConfig) -> Scenario {

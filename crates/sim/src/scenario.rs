@@ -8,9 +8,9 @@
 //! [`TrafficConfig`], a [`SimConfig`] and a replication count, composed through
 //! [`ScenarioBuilder`] and executed through [`Scenario::run`],
 //! [`Scenario::replicate`] and [`Scenario::sweep`]. The outputs and the
-//! seed/aggregation contracts are **bit-identical** to the legacy `run_*`
-//! functions (pinned by `tests/scenario_api.rs`); those functions survive only
-//! as thin deprecated wrappers over this module.
+//! seed/aggregation contracts the legacy `run_*` functions had are preserved
+//! **bit-identically**, pinned against frozen golden digests in
+//! `tests/scenario_api.rs`; the wrappers themselves are gone.
 //!
 //! [`ScenarioSpec`] is the serializable plain-data mirror: fabric geometry
 //! parameters, traffic pattern, protocol preset, seed and replication count,
@@ -37,6 +37,7 @@
 use crate::engine::Simulation;
 use crate::fault::FaultPlan;
 use crate::json::{object, Json};
+use crate::policy::RoutingPolicy;
 use crate::runner::{replicate_with, report_from, ReplicatedReport, SimConfig, SimReport};
 use crate::{Result, SimError};
 use mcnet_model::{ModelBackend, ModelOptions, ModelReport};
@@ -82,6 +83,7 @@ pub struct Scenario {
     config: SimConfig,
     replications: usize,
     faults: Option<FaultPlan>,
+    routing: RoutingPolicy,
 }
 
 impl Scenario {
@@ -121,6 +123,13 @@ impl Scenario {
     /// ignores it — the model has no fault semantics.
     pub fn faults(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// The routing policy every run of the scenario uses
+    /// ([`RoutingPolicy::Deterministic`] unless the builder or spec said
+    /// otherwise).
+    pub fn routing(&self) -> RoutingPolicy {
+        self.routing
     }
 
     /// Returns the scenario re-seeded at `seed`, everything else unchanged.
@@ -221,8 +230,37 @@ impl Scenario {
     }
 
     /// [`Scenario::evaluate`] with explicit model-interpretation options.
+    /// The scenario's routing policy overrides the options' torus-routing
+    /// knob, so an adaptive spec evaluates through the adaptive-load model
+    /// without the caller restating the policy.
     pub fn evaluate_with_options(&self, options: ModelOptions) -> Result<ModelReport> {
-        Ok(self.model_backend().evaluate(&self.traffic, options)?)
+        Ok(self.model_backend().evaluate(&self.traffic, self.model_options(options))?)
+    }
+
+    /// Maps the scenario's routing policy onto the analytical model's knobs.
+    /// Randomized up*/down* routing needs no mapping: it redistributes load
+    /// across symmetric channels of the same networks, which the tree model's
+    /// network-mean rates already describe.
+    fn model_options(&self, base: ModelOptions) -> ModelOptions {
+        match self.routing {
+            RoutingPolicy::AdaptiveTorus { adaptive_vcs } => {
+                base.with_adaptive_torus(adaptive_vcs as usize)
+            }
+            RoutingPolicy::Deterministic | RoutingPolicy::RandomizedUpDown => base,
+        }
+    }
+
+    /// The analytical saturation rate of the scenario's fabric and traffic
+    /// under the scenario's routing policy: adaptive specs probe the
+    /// adaptive-load model, whose extra virtual-channel capacity saturates
+    /// later than dimension order, so validation sweeps scale their rate grid
+    /// to the policy actually being simulated.
+    pub fn find_saturation_rate(&self, tolerance: f64) -> Result<f64> {
+        Ok(self.model_backend().find_saturation_rate(
+            &self.traffic,
+            self.model_options(ModelOptions::default()),
+            tolerance,
+        )?)
     }
 
     /// Evaluates the model over a rate grid (the analytical counterpart of
@@ -234,7 +272,9 @@ impl Scenario {
         let backend = self.model_backend();
         Ok(configs
             .into_iter()
-            .map(|traffic| Ok(backend.evaluate(&traffic, ModelOptions::default())?))
+            .map(|traffic| {
+                Ok(backend.evaluate(&traffic, self.model_options(ModelOptions::default()))?)
+            })
             .collect())
     }
 
@@ -262,8 +302,12 @@ impl Scenario {
     fn run_point(&self, traffic: &TrafficConfig, config: &SimConfig) -> Result<SimReport> {
         let faults = self.faults.as_ref();
         let sim = match &self.fabric {
-            Fabric::Tree(system) => Simulation::new_with(system, traffic, config, faults)?,
-            Fabric::Torus(torus) => Simulation::new_torus_with(torus, traffic, config, faults)?,
+            Fabric::Tree(system) => {
+                Simulation::new_routed(system, traffic, config, faults, self.routing)?
+            }
+            Fabric::Torus(torus) => {
+                Simulation::new_torus_routed(torus, traffic, config, faults, self.routing)?
+            }
         };
         report_from(sim, traffic, config)
     }
@@ -314,6 +358,7 @@ pub struct ScenarioBuilder {
     config: Option<SimConfig>,
     replications: Option<usize>,
     faults: Option<FaultPlan>,
+    routing: Option<RoutingPolicy>,
 }
 
 impl ScenarioBuilder {
@@ -365,6 +410,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the routing policy (defaults to [`RoutingPolicy::Deterministic`]).
+    /// The policy must match the fabric — [`RoutingPolicy::AdaptiveTorus`]
+    /// needs a torus, [`RoutingPolicy::RandomizedUpDown`] a tree — which is
+    /// checked at [`build`](Self::build).
+    pub fn routing(mut self, policy: RoutingPolicy) -> Self {
+        self.routing = Some(policy);
+        self
+    }
+
     /// Validates and assembles the scenario.
     pub fn build(self) -> Result<Scenario> {
         let fabric = self.fabric.ok_or_else(|| SimError::InvalidConfiguration {
@@ -376,8 +430,9 @@ impl ScenarioBuilder {
         let config = self.config.unwrap_or_else(|| SimConfig::quick(0));
         let replications = self.replications.unwrap_or(1);
         let name = self.name.unwrap_or_else(|| fabric.summary());
+        let routing = self.routing.unwrap_or_default();
         let scenario =
-            Scenario { name, fabric, traffic, config, replications, faults: self.faults };
+            Scenario { name, fabric, traffic, config, replications, faults: self.faults, routing };
         scenario.validate()?;
         Ok(scenario)
     }
@@ -414,6 +469,20 @@ impl Scenario {
         if let Some(plan) = &self.faults {
             plan.validate()?;
             plan.validate_against(&self.fabric)?;
+        }
+        self.routing.validate()?;
+        match (&self.routing, &self.fabric) {
+            (RoutingPolicy::AdaptiveTorus { .. }, Fabric::Tree(_)) => {
+                return Err(SimError::InvalidConfiguration {
+                    reason: "adaptive_torus routing needs a torus fabric".into(),
+                });
+            }
+            (RoutingPolicy::RandomizedUpDown, Fabric::Torus(_)) => {
+                return Err(SimError::InvalidConfiguration {
+                    reason: "randomized_updown routing needs a tree fabric".into(),
+                });
+            }
+            _ => {}
         }
         Ok(())
     }
@@ -613,6 +682,10 @@ pub struct ScenarioSpec {
     /// Optional fault-injection plan (timed outages + retry policy). `None`
     /// runs fault-free and serializes without a `"faults"` key.
     pub faults: Option<FaultPlan>,
+    /// Routing policy. [`RoutingPolicy::Deterministic`] serializes without a
+    /// `"routing"` key, so every pre-policy spec file parses unchanged — and
+    /// adaptive routing is strictly opt-in.
+    pub routing: RoutingPolicy,
 }
 
 impl ScenarioSpec {
@@ -623,7 +696,8 @@ impl ScenarioSpec {
             .fabric(self.fabric.build()?)
             .traffic(self.traffic)
             .config(self.protocol.sim_config(self.seed))
-            .replications(self.replications);
+            .replications(self.replications)
+            .routing(self.routing);
         if let Some(plan) = &self.faults {
             builder = builder.faults(plan.clone());
         }
@@ -670,6 +744,9 @@ impl ScenarioSpec {
         if let Some(plan) = &self.faults {
             fields.push(("faults", plan.to_json()));
         }
+        if !self.routing.is_deterministic() {
+            fields.push(("routing", routing_to_json(self.routing)));
+        }
         Json::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).to_pretty()
     }
 
@@ -709,7 +786,7 @@ impl ScenarioSpec {
         reject_unknown_keys(
             &doc,
             "the spec",
-            &["name", "fabric", "traffic", "protocol", "seed", "replications", "faults"],
+            &["name", "fabric", "traffic", "protocol", "seed", "replications", "faults", "routing"],
         )?;
         let traffic_json =
             obj.get("traffic").ok_or_else(|| spec_error("spec needs a \"traffic\" object"))?;
@@ -767,7 +844,64 @@ impl ScenarioSpec {
                 .map_or(Some(1), Json::as_usize)
                 .ok_or_else(|| spec_error("\"replications\" must be a non-negative integer"))?,
             faults: obj.get("faults").map(FaultPlan::from_json).transpose()?,
+            routing: obj.get("routing").map(routing_from_json).transpose()?.unwrap_or_default(),
         })
+    }
+}
+
+/// Serializes a non-deterministic routing policy as the spec's `"routing"`
+/// object: `{"policy": "adaptive_torus", "adaptive_vcs": N}` or
+/// `{"policy": "randomized_updown"}`. Deterministic policies never reach this
+/// (the spec omits the key entirely).
+fn routing_to_json(policy: RoutingPolicy) -> Json {
+    match policy {
+        RoutingPolicy::Deterministic => {
+            object([("policy", Json::String(policy.spec_name().into()))])
+        }
+        RoutingPolicy::AdaptiveTorus { adaptive_vcs } => object([
+            ("policy", Json::String(policy.spec_name().into())),
+            ("adaptive_vcs", Json::from_u64(adaptive_vcs as u64)),
+        ]),
+        RoutingPolicy::RandomizedUpDown => {
+            object([("policy", Json::String(policy.spec_name().into()))])
+        }
+    }
+}
+
+/// Parses the spec's `"routing"` object. Unknown policies and stray keys are
+/// typed spec errors; `adaptive_vcs` belongs only to `"adaptive_torus"` (where
+/// it defaults to [`crate::policy::DEFAULT_ADAPTIVE_VCS`]).
+fn routing_from_json(v: &Json) -> Result<RoutingPolicy> {
+    let obj = v.as_object().ok_or_else(|| spec_error("\"routing\" must be an object"))?;
+    match get_str(v, "routing.policy", "policy")? {
+        "deterministic" => {
+            reject_unknown_keys(v, "\"routing\"", &["policy"])?;
+            Ok(RoutingPolicy::Deterministic)
+        }
+        "adaptive_torus" => {
+            reject_unknown_keys(v, "\"routing\"", &["policy", "adaptive_vcs"])?;
+            let adaptive_vcs = match obj.get("adaptive_vcs") {
+                None => crate::policy::DEFAULT_ADAPTIVE_VCS,
+                Some(n) => n
+                    .as_u64()
+                    .filter(|&n| n >= 1 && n <= RoutingPolicy::MAX_ADAPTIVE_VCS as u64)
+                    .ok_or_else(|| {
+                        spec_error(format!(
+                            "\"routing.adaptive_vcs\" must be an integer in 1..={}",
+                            RoutingPolicy::MAX_ADAPTIVE_VCS
+                        ))
+                    })? as u8,
+            };
+            Ok(RoutingPolicy::AdaptiveTorus { adaptive_vcs })
+        }
+        "randomized_updown" => {
+            reject_unknown_keys(v, "\"routing\"", &["policy"])?;
+            Ok(RoutingPolicy::RandomizedUpDown)
+        }
+        other => Err(spec_error(format!(
+            "unknown routing policy {other:?} (expected \"deterministic\", \"adaptive_torus\" or \
+             \"randomized_updown\")"
+        ))),
     }
 }
 
@@ -861,6 +995,9 @@ pub fn sim_report_json(r: &SimReport) -> Json {
         ("retransmits", Json::from_u64(r.retransmits)),
         ("dropped_messages", Json::from_u64(r.dropped_messages)),
         ("mean_attempt_latency", Json::Number(r.mean_attempt_latency)),
+        ("routing", Json::String(r.routing.clone())),
+        ("adaptive_misroutes", Json::from_u64(r.adaptive_misroutes)),
+        ("escape_fallbacks", Json::from_u64(r.escape_fallbacks)),
         // 16-hex-digit string: a u64 digest does not survive a JSON number.
         ("digest", Json::String(format!("{:016x}", r.digest))),
         (
@@ -1109,6 +1246,7 @@ mod tests {
             seed: 1,
             replications: 1,
             faults: None,
+            routing: RoutingPolicy::Deterministic,
         };
         let from_spec = ScenarioSpec::from_json(&spec.to_json()).unwrap().build().unwrap();
         assert_eq!(from_spec.evaluate().unwrap(), spec.build().unwrap().evaluate().unwrap());
@@ -1144,6 +1282,7 @@ mod tests {
             seed: 99,
             replications: 4,
             faults: None,
+            routing: RoutingPolicy::Deterministic,
         };
         let text = spec.to_json();
         let back = ScenarioSpec::from_json(&text).unwrap();
@@ -1242,6 +1381,7 @@ mod tests {
             seed: u64::MAX - 12345,
             replications: 1,
             faults: None,
+            routing: RoutingPolicy::Deterministic,
         };
         let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back.seed, u64::MAX - 12345);
@@ -1271,6 +1411,7 @@ mod tests {
             seed: 7,
             replications: 1,
             faults: Some(plan.clone()),
+            routing: RoutingPolicy::Deterministic,
         };
         let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
@@ -1297,6 +1438,151 @@ mod tests {
     }
 
     #[test]
+    fn routing_policies_ride_the_spec_round_trip() {
+        let spec = ScenarioSpec {
+            name: "adaptive".into(),
+            fabric: FabricSpec::Torus { radix: 8, dimensions: 2 },
+            traffic: TrafficConfig::uniform(8, 256.0, 1e-3).unwrap(),
+            protocol: Protocol::Quick,
+            seed: 7,
+            replications: 1,
+            faults: None,
+            routing: RoutingPolicy::AdaptiveTorus { adaptive_vcs: 2 },
+        };
+        let text = spec.to_json();
+        assert!(text.contains("adaptive_torus"));
+        let back = ScenarioSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(
+            back.build().unwrap().routing(),
+            RoutingPolicy::AdaptiveTorus { adaptive_vcs: 2 }
+        );
+        // Deterministic specs serialize without a "routing" key, so every
+        // pre-policy spec file keeps parsing — adaptive routing is opt-in.
+        let det = ScenarioSpec { routing: RoutingPolicy::Deterministic, ..spec };
+        assert!(!det.to_json().contains("routing"));
+        assert_eq!(ScenarioSpec::from_json(&det.to_json()).unwrap(), det);
+        // An omitted adaptive_vcs takes the default.
+        let defaulted = r#"{
+            "name": "x", "fabric": {"kind": "torus", "radix": 4, "dimensions": 2},
+            "traffic": {"message_flits": 8, "flit_bytes": 256.0, "generation_rate": 1e-3},
+            "protocol": "quick", "seed": 1, "replications": 1,
+            "routing": {"policy": "adaptive_torus"}
+        }"#;
+        assert_eq!(
+            ScenarioSpec::from_json(defaulted).unwrap().routing,
+            RoutingPolicy::AdaptiveTorus { adaptive_vcs: crate::policy::DEFAULT_ADAPTIVE_VCS }
+        );
+    }
+
+    #[test]
+    fn invalid_routing_specs_fail_with_typed_errors() {
+        let base = |routing: &str| {
+            format!(
+                r#"{{
+                "name": "x", "fabric": {{"kind": "torus", "radix": 4, "dimensions": 2}},
+                "traffic": {{"message_flits": 8, "flit_bytes": 256.0, "generation_rate": 1e-3}},
+                "protocol": "quick", "seed": 1, "replications": 1,
+                "routing": {routing}
+            }}"#
+            )
+        };
+        // Unknown policy names, out-of-range VC counts and stray keys are all
+        // typed parse errors, not silent defaults.
+        for bad in [
+            r#"{"policy": "warp_speed"}"#,
+            r#"{"policy": "adaptive_torus", "adaptive_vcs": 0}"#,
+            r#"{"policy": "adaptive_torus", "adaptive_vcs": 99}"#,
+            r#"{"policy": "adaptive_torus", "adaptive_vc": 1}"#,
+            r#"{"policy": "randomized_updown", "adaptive_vcs": 1}"#,
+            r#""adaptive_torus""#,
+        ] {
+            assert!(
+                matches!(ScenarioSpec::from_json(&base(bad)), Err(SimError::InvalidSpec { .. })),
+                "routing {bad} must be rejected"
+            );
+        }
+        // Policy/fabric mismatches are build-time configuration errors.
+        let mismatch = Scenario::builder()
+            .tree(organizations::small_test_org())
+            .traffic(TrafficConfig::uniform(8, 256.0, 1e-3).unwrap())
+            .routing(RoutingPolicy::AdaptiveTorus { adaptive_vcs: 1 })
+            .build();
+        assert!(matches!(mismatch, Err(SimError::InvalidConfiguration { .. })));
+        let mismatch = Scenario::builder()
+            .torus(TorusSystem::new(4, 2).unwrap())
+            .traffic(TrafficConfig::uniform(8, 256.0, 1e-3).unwrap())
+            .routing(RoutingPolicy::RandomizedUpDown)
+            .build();
+        assert!(matches!(mismatch, Err(SimError::InvalidConfiguration { .. })));
+    }
+
+    #[test]
+    fn scenario_runs_report_their_routing_policy() {
+        let adaptive = Scenario::builder()
+            .torus(TorusSystem::new(4, 2).unwrap())
+            .traffic(TrafficConfig::uniform(8, 256.0, 2e-3).unwrap())
+            .config(SimConfig::quick(9))
+            .routing(RoutingPolicy::AdaptiveTorus { adaptive_vcs: 1 })
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(adaptive.routing, "adaptive_torus");
+        assert_eq!(adaptive.delivered_messages, adaptive.generated_messages);
+
+        let randomized = Scenario::builder()
+            .tree(organizations::small_test_org())
+            .traffic(TrafficConfig::uniform(8, 256.0, 1e-3).unwrap())
+            .config(SimConfig::quick(9))
+            .routing(RoutingPolicy::RandomizedUpDown)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(randomized.routing, "randomized_updown");
+        assert!(randomized.adaptive_misroutes > 0);
+        assert_eq!(randomized.escape_fallbacks, 0);
+
+        let det = quick_tree_scenario(9).run().unwrap();
+        assert_eq!(det.routing, "deterministic");
+        assert_eq!(det.adaptive_misroutes, 0);
+        assert_eq!(det.escape_fallbacks, 0);
+        // The report JSON carries the policy fields.
+        let doc = Json::parse(&sim_report_json(&adaptive).to_pretty()).unwrap();
+        let obj = doc.as_object().unwrap();
+        assert_eq!(obj["routing"].as_str(), Some("adaptive_torus"));
+        assert_eq!(obj["adaptive_misroutes"].as_u64(), Some(adaptive.adaptive_misroutes));
+        assert_eq!(obj["escape_fallbacks"].as_u64(), Some(adaptive.escape_fallbacks));
+    }
+
+    #[test]
+    fn adaptive_scenarios_evaluate_through_the_adaptive_model() {
+        let build = |routing: RoutingPolicy| {
+            Scenario::builder()
+                .torus(TorusSystem::new(8, 2).unwrap())
+                .traffic(TrafficConfig::uniform(16, 256.0, 1e-3).unwrap())
+                .routing(routing)
+                .build()
+                .unwrap()
+        };
+        let adaptive = build(RoutingPolicy::AdaptiveTorus { adaptive_vcs: 2 }).evaluate().unwrap();
+        let det = build(RoutingPolicy::Deterministic).evaluate().unwrap();
+        let mcnet_model::ModelDetail::Torus(detail) = adaptive.detail else {
+            panic!("torus scenario must produce a torus detail");
+        };
+        assert!(detail.escape_fraction.is_some(), "adaptive knob must reach the model");
+        let mcnet_model::ModelDetail::Torus(detail) = det.detail else {
+            panic!("torus scenario must produce a torus detail");
+        };
+        assert_eq!(detail.escape_fraction, None);
+        assert!(
+            adaptive.mean_latency < det.mean_latency,
+            "adaptive VCs relieve blocking in the model too"
+        );
+    }
+
+    #[test]
     fn with_protocol_overrides_the_preset() {
         let spec = ScenarioSpec {
             name: "x".into(),
@@ -1306,6 +1592,7 @@ mod tests {
             seed: 1,
             replications: 1,
             faults: None,
+            routing: RoutingPolicy::Deterministic,
         };
         let quick = spec.with_protocol(Protocol::Quick).build().unwrap();
         assert_eq!(quick.config().measured_messages, 2_000);

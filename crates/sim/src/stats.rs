@@ -94,6 +94,12 @@ pub struct SimStats {
     dropped_measured: u64,
     /// Latency divided by attempts used, per measured delivery.
     attempt_latency: RunningStats,
+    /// Adaptive hops/paths taken off the deterministic route (0 in
+    /// deterministic mode).
+    adaptive_misroutes: u64,
+    /// Hops that fell back to the escape channel because every adaptive
+    /// candidate was busy (0 in deterministic mode).
+    escape_fallbacks: u64,
     /// FNV-1a accumulator over the delivered-message stream.
     digest: u64,
     /// Windowed delivery/drop series, enabled only for fault runs.
@@ -141,6 +147,8 @@ impl SimStats {
             dropped: 0,
             dropped_measured: 0,
             attempt_latency: RunningStats::new(),
+            adaptive_misroutes: 0,
+            escape_fallbacks: 0,
             digest: FNV_OFFSET,
             windows: None,
         }
@@ -206,6 +214,29 @@ impl SimStats {
     /// Records a scheduled retransmission of an aborted message.
     pub fn record_retransmit(&mut self) {
         self.retransmits += 1;
+    }
+
+    /// Records an adaptive routing decision off the deterministic path: a torus
+    /// hop leaving on a non-dimension-order candidate, or a tree message whose
+    /// randomized up*/down* path differs from the NCA route.
+    pub fn record_misroute(&mut self) {
+        self.adaptive_misroutes += 1;
+    }
+
+    /// Records a hop that fell back to the escape channel because every
+    /// adaptive candidate was busy or disabled.
+    pub fn record_escape_fallback(&mut self) {
+        self.escape_fallbacks += 1;
+    }
+
+    /// Adaptive hops/paths taken off the deterministic route so far.
+    pub fn adaptive_misroutes(&self) -> u64 {
+        self.adaptive_misroutes
+    }
+
+    /// Escape-channel fallbacks taken so far.
+    pub fn escape_fallbacks(&self) -> u64 {
+        self.escape_fallbacks
     }
 
     /// Records a message dropped after exhausting its retry budget.

@@ -160,6 +160,51 @@ impl KaryNCube {
         Ok(())
     }
 
+    /// Appends the minimal ("productive") next hops from `current` towards
+    /// `dst` onto `out`: one hop per still-unresolved dimension, each taking
+    /// the shorter way around its ring with ties broken forward — exactly the
+    /// per-dimension direction rule of [`KaryNCube::route_into`], so every
+    /// candidate lies on a minimal path and the union of links reachable this
+    /// way equals the links dimension-order routing uses. Candidates are
+    /// ordered by dimension; the first entry is always the hop dimension-order
+    /// routing would take (the natural escape choice of a Duato-style adaptive
+    /// router). `current == dst` yields no candidates.
+    pub fn adaptive_hops(
+        &self,
+        current: NodeId,
+        dst: NodeId,
+        out: &mut Vec<CubeHop>,
+    ) -> Result<()> {
+        let cur = self.coordinates(current)?;
+        let target = self.coordinates(dst)?;
+        for dim in 0..self.n {
+            if cur[dim] == target[dim] {
+                continue;
+            }
+            let forward = (target[dim] + self.k - cur[dim]) % self.k;
+            let backward = self.k - forward;
+            let direction: i8 = if forward <= backward { 1 } else { -1 };
+            let mut next = cur.clone();
+            next[dim] = if direction == 1 {
+                (cur[dim] + 1) % self.k
+            } else {
+                (cur[dim] + self.k - 1) % self.k
+            };
+            out.push(CubeHop { dimension: dim, direction, node: self.node_at(&next)? });
+        }
+        Ok(())
+    }
+
+    /// Whether a hop departing a node whose digit in the hop's dimension is
+    /// `from_digit` crosses that ring's wrap-around (dateline) edge. Always
+    /// false for `k == 2`, where a ring is a single bidirectional edge.
+    #[inline]
+    pub fn hop_crosses_dateline(&self, from_digit: usize, direction: i8) -> bool {
+        self.k > 2
+            && ((direction == 1 && from_digit == self.k - 1)
+                || (direction == -1 && from_digit == 0))
+    }
+
     /// The dateline virtual-channel index of every hop of a dimension-order
     /// route: a hop rides VC 0 until (and unless) its ring's wrap-around edge
     /// has been crossed in that dimension, and VC 1 from the crossing hop
@@ -182,14 +227,9 @@ impl KaryNCube {
                 wrapped_dim = hop.dimension;
                 wrapped = false;
             }
-            if self.k > 2 {
-                // The digit the hop departs from decides whether it crosses the
-                // ring's wrap-around edge.
-                let digit = digits[hop.dimension];
-                let crosses = (hop.direction == 1 && digit == self.k - 1)
-                    || (hop.direction == -1 && digit == 0);
-                wrapped = wrapped || crosses;
-            }
+            // The digit the hop departs from decides whether it crosses the
+            // ring's wrap-around edge.
+            wrapped = wrapped || self.hop_crosses_dateline(digits[hop.dimension], hop.direction);
             vcs.push(wrapped as u8);
             let d = &mut digits[hop.dimension];
             *d = if hop.direction == 1 { (*d + 1) % self.k } else { (*d + self.k - 1) % self.k };
@@ -354,5 +394,58 @@ mod tests {
     fn self_route_rejected() {
         let cube = KaryNCube::new(3, 2).unwrap();
         assert!(cube.route(NodeId(4), NodeId(4)).is_err());
+    }
+
+    #[test]
+    fn adaptive_hops_are_minimal_and_lead_by_dimension_order() {
+        for &(k, n) in &[(4usize, 2usize), (3, 3), (5, 2), (2, 4)] {
+            let cube = KaryNCube::new(k, n).unwrap();
+            let mut hops = Vec::new();
+            for a in cube.nodes() {
+                for b in cube.nodes() {
+                    if a == b {
+                        continue;
+                    }
+                    hops.clear();
+                    cube.adaptive_hops(a, b, &mut hops).unwrap();
+                    let d = cube.distance(a, b).unwrap();
+                    assert!(!hops.is_empty());
+                    // Every candidate strictly reduces the distance (minimality).
+                    for hop in &hops {
+                        assert_eq!(
+                            cube.distance(hop.node, b).unwrap(),
+                            d - 1,
+                            "({k},{n}) {a}->{b}"
+                        );
+                    }
+                    // The first candidate is the dimension-order hop.
+                    let dor = cube.route(a, b).unwrap();
+                    assert_eq!(hops[0], dor[0], "({k},{n}) {a}->{b}");
+                    // One candidate per unresolved dimension, dimensions ascending.
+                    for w in hops.windows(2) {
+                        assert!(w[0].dimension < w[1].dimension);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_hops_at_destination_are_empty() {
+        let cube = KaryNCube::new(4, 2).unwrap();
+        let mut hops = Vec::new();
+        cube.adaptive_hops(NodeId(5), NodeId(5), &mut hops).unwrap();
+        assert!(hops.is_empty());
+    }
+
+    #[test]
+    fn dateline_helper_matches_the_vc_discipline() {
+        let ring = KaryNCube::new(4, 1).unwrap();
+        assert!(ring.hop_crosses_dateline(3, 1));
+        assert!(ring.hop_crosses_dateline(0, -1));
+        assert!(!ring.hop_crosses_dateline(1, 1));
+        assert!(!ring.hop_crosses_dateline(3, -1));
+        let hyper = KaryNCube::new(2, 2).unwrap();
+        assert!(!hyper.hop_crosses_dateline(1, 1), "k = 2 rings have no dateline");
     }
 }

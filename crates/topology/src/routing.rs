@@ -133,7 +133,7 @@ impl<'a> NcaRouter<'a> {
     pub fn route(&self, src: NodeId, dst: NodeId) -> Result<Path> {
         let mut channels = Vec::new();
         let mut switches = Vec::new();
-        self.walk_route(src, dst, &mut channels, &mut |sw| switches.push(sw))?;
+        self.walk_route(src, dst, &mut channels, &mut |sw| switches.push(sw), None)?;
         let j = channels.len() / 2;
         debug_assert_eq!(channels.len(), 2 * j);
         debug_assert_eq!(switches.len(), 2 * j - 1);
@@ -143,7 +143,40 @@ impl<'a> NcaRouter<'a> {
     /// Appends the channels of the full route from `src` to `dst` onto `out`
     /// without any allocation beyond (amortised) buffer growth.
     pub fn route_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<ChannelId>) -> Result<()> {
-        self.walk_route(src, dst, out, &mut |_| {})
+        self.walk_route(src, dst, out, &mut |_| {}, None)
+    }
+
+    /// Like [`NcaRouter::route_into`], but the ascending up-port choices are
+    /// taken from `pick` (called with the number of alternatives, returning
+    /// the chosen index) instead of the deterministic destination digits.
+    ///
+    /// The m-port n-tree's path redundancy lies exactly in these up-port
+    /// choices: every choice sequence ascends to *some* nearest common
+    /// ancestor at the same level, and the descent from it is forced by the
+    /// destination address — so every sampled route is a legal minimal
+    /// Up*/Down* path (the randomized-routing counterpart of the paper's
+    /// deterministic digit rule). `emit_switch` reports every switch
+    /// traversed, as in [`NcaRouter::route`].
+    pub fn route_into_with_choices(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<ChannelId>,
+        emit_switch: &mut dyn FnMut(SwitchId),
+        pick: &mut dyn FnMut(usize) -> usize,
+    ) -> Result<()> {
+        self.walk_route(src, dst, out, emit_switch, Some(pick))
+    }
+
+    /// Like [`NcaRouter::ascent_into`], but with up-port choices taken from
+    /// `pick` — the randomized ECN1 ascent. Returns the root switch reached.
+    pub fn ascent_into_with_choices(
+        &self,
+        src: NodeId,
+        out: &mut Vec<ChannelId>,
+        pick: &mut dyn FnMut(usize) -> usize,
+    ) -> Result<SwitchId> {
+        self.walk_ascent(src, out, &mut |_| {}, Some(pick))
     }
 
     /// Ascending-only route from `src` up to a root switch, used for the ECN1 phase of
@@ -154,7 +187,7 @@ impl<'a> NcaRouter<'a> {
     pub fn route_to_root(&self, src: NodeId) -> Result<Path> {
         let mut channels = Vec::new();
         let mut switches = Vec::new();
-        self.walk_ascent(src, &mut channels, &mut |sw| switches.push(sw))?;
+        self.walk_ascent(src, &mut channels, &mut |sw| switches.push(sw), None)?;
         let links = channels.len();
         Ok(Path { channels, switches, ascending_links: links, descending_links: 0 })
     }
@@ -162,7 +195,7 @@ impl<'a> NcaRouter<'a> {
     /// Appends the channels of the ascent from `src` to its root switch onto `out`,
     /// returning the root switch reached.
     pub fn ascent_into(&self, src: NodeId, out: &mut Vec<ChannelId>) -> Result<SwitchId> {
-        self.walk_ascent(src, out, &mut |_| {})
+        self.walk_ascent(src, out, &mut |_| {}, None)
     }
 
     /// Descending-only route from a root switch down to `dst`, used for the ECN1 phase
@@ -209,6 +242,7 @@ impl<'a> NcaRouter<'a> {
         dst: NodeId,
         out: &mut Vec<ChannelId>,
         emit_switch: &mut dyn FnMut(SwitchId),
+        mut pick: Option<&mut dyn FnMut(usize) -> usize>,
     ) -> Result<()> {
         let tree = self.tree;
         let n = tree.levels();
@@ -233,7 +267,13 @@ impl<'a> NcaRouter<'a> {
             // keeps the route deterministic while giving every destination — including
             // destinations sharing a leaf switch — its own descending path, which is
             // what balances traffic across the redundant down links of the fat-tree.
-            let u = dst_addr.digits[level] as usize;
+            // A caller-provided `pick` replaces that digit rule with its own choice
+            // (randomized Up*/Down* selection); the arity bounds the index either way.
+            let k = self.tree.arity();
+            let u = match pick.as_mut() {
+                Some(p) => p(k).min(k - 1),
+                None => dst_addr.digits[level] as usize,
+            };
             let ch =
                 tree.up_channel(current, u).expect("non-root switches always have k up channels");
             out.push(ch);
@@ -257,6 +297,7 @@ impl<'a> NcaRouter<'a> {
         src: NodeId,
         out: &mut Vec<ChannelId>,
         emit_switch: &mut dyn FnMut(SwitchId),
+        mut pick: Option<&mut dyn FnMut(usize) -> usize>,
     ) -> Result<SwitchId> {
         let tree = self.tree;
         let n = tree.levels();
@@ -268,7 +309,11 @@ impl<'a> NcaRouter<'a> {
         emit_switch(current);
         let mut word = WordBuf::from_digits(&src_addr.digits[1..]);
         for level in 0..n.saturating_sub(1) {
-            let u = src_addr.digits[level] as usize;
+            let k = tree.arity();
+            let u = match pick.as_mut() {
+                Some(p) => p(k).min(k - 1),
+                None => src_addr.digits[level] as usize,
+            };
             let ch =
                 tree.up_channel(current, u).expect("non-root switches always have k up channels");
             out.push(ch);
@@ -551,5 +596,82 @@ mod tests {
             router.route(NodeId(1), NodeId(1)),
             Err(TopologyError::SelfRouting { .. })
         ));
+    }
+
+    #[test]
+    fn every_up_choice_sequence_yields_a_valid_route() {
+        // Exhaustively drive the choice-parameterized walker with constant
+        // choices: every up-port index must produce a connected minimal route
+        // ending at the destination (the redundancy claim randomized routing
+        // relies on).
+        for &(m, n) in &[(4usize, 2usize), (4, 3), (8, 2)] {
+            let tree = MPortNTree::new(m, n).unwrap();
+            let router = NcaRouter::new(&tree);
+            let k = tree.arity();
+            for src in tree.nodes().step_by(3) {
+                for dst in tree.nodes().step_by(5) {
+                    if src == dst {
+                        continue;
+                    }
+                    let reference = router.route(src, dst).unwrap();
+                    for choice in 0..k {
+                        let mut channels = Vec::new();
+                        let mut switches = Vec::new();
+                        router
+                            .route_into_with_choices(
+                                src,
+                                dst,
+                                &mut channels,
+                                &mut |sw| switches.push(sw),
+                                &mut |_| choice,
+                            )
+                            .unwrap();
+                        assert_eq!(channels.len(), reference.num_links(), "({m},{n}) {src}->{dst}");
+                        let path = Path {
+                            channels,
+                            switches,
+                            ascending_links: reference.ascending_links,
+                            descending_links: reference.descending_links,
+                        };
+                        assert_path_is_connected(&tree, &path, src, dst);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn choice_ascent_reaches_every_root() {
+        let tree = MPortNTree::new(8, 2).unwrap();
+        let router = NcaRouter::new(&tree);
+        let k = tree.arity();
+        let mut roots = std::collections::HashSet::new();
+        let mut buf = Vec::new();
+        for choice in 0..k {
+            buf.clear();
+            let root =
+                router.ascent_into_with_choices(NodeId(0), &mut buf, &mut |_| choice).unwrap();
+            assert!(tree.is_root(root));
+            assert_eq!(buf.len(), tree.levels());
+            roots.insert(root);
+        }
+        assert_eq!(roots.len(), k, "each up choice reaches a distinct root");
+    }
+
+    #[test]
+    fn out_of_range_choices_are_clamped() {
+        let tree = MPortNTree::new(4, 3).unwrap();
+        let router = NcaRouter::new(&tree);
+        let mut channels = Vec::new();
+        router
+            .route_into_with_choices(
+                NodeId(0),
+                NodeId::from_index(tree.num_nodes() - 1),
+                &mut channels,
+                &mut |_| {},
+                &mut |_| usize::MAX,
+            )
+            .unwrap();
+        assert!(!channels.is_empty());
     }
 }

@@ -146,6 +146,170 @@ impl<'a> UpDownRouting<'a> {
         Ok(UpDownPath { switches, up_links, down_links })
     }
 
+    /// Minimal remaining-link distance from every `(switch, phase)` state to
+    /// the goal switch (reachable in either phase), or `usize::MAX` when the
+    /// state cannot legally reach it. Backward BFS over the reversed legal
+    /// moves of the product graph used by [`UpDownRouting::shortest_path`].
+    fn distances_to(&self, goal: SwitchId) -> Vec<usize> {
+        let num = self.tree.num_switches();
+        let mut dist = vec![usize::MAX; num * 2];
+        let mut queue = VecDeque::new();
+        for phase in 0..2 {
+            dist[goal.index() * 2 + phase] = 0;
+            queue.push_back(goal.index() * 2 + phase);
+        }
+        while let Some(state) = queue.pop_front() {
+            let sw = state / 2;
+            let phase = state % 2;
+            let d = dist[state];
+            for &(peer, is_up_from_here) in &self.adjacency[sw] {
+                // `peer -> sw` has the opposite orientation of `sw -> peer`.
+                let preds: &[usize] = if is_up_from_here {
+                    // peer -> sw is a down link: legal from either phase, lands in phase 1.
+                    if phase == 1 {
+                        &[0, 1]
+                    } else {
+                        &[]
+                    }
+                } else {
+                    // peer -> sw is an up link: legal only from phase 0 into phase 0.
+                    if phase == 0 {
+                        &[0]
+                    } else {
+                        &[]
+                    }
+                };
+                for &p in preds {
+                    let pred = peer.index() * 2 + p;
+                    if dist[pred] == usize::MAX {
+                        dist[pred] = d + 1;
+                        queue.push_back(pred);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Builds an [`UpDownPath`] from a switch sequence by classifying each
+    /// link against the adjacency orientation. The sequence must be legal.
+    fn path_from_switches(&self, switches: Vec<SwitchId>) -> UpDownPath {
+        let mut up_links = 0;
+        let mut down_links = 0;
+        for w in switches.windows(2) {
+            let (_, is_up) = *self.adjacency[w[0].index()]
+                .iter()
+                .find(|(peer, _)| *peer == w[1])
+                .expect("consecutive switches are adjacent");
+            if is_up {
+                up_links += 1;
+            } else {
+                down_links += 1;
+            }
+        }
+        UpDownPath { switches, up_links, down_links }
+    }
+
+    /// Enumerates **every** legal Up*/Down* path of minimal length between two
+    /// nodes — the full candidate set a randomized router selects from. The
+    /// count is bounded by the fat-tree's up-port redundancy (`k^(j-1)` for a
+    /// level-`j-1` NCA), so enumeration is cheap on the tree sizes the
+    /// simulator materialises; [`UpDownRouting::sample_path`] draws one
+    /// candidate without enumerating.
+    pub fn candidate_paths(&self, src: NodeId, dst: NodeId) -> Result<Vec<UpDownPath>> {
+        if src == dst {
+            return Err(TopologyError::SelfRouting { node: src });
+        }
+        let start = self.tree.leaf_switch_of(src)?;
+        let goal = self.tree.leaf_switch_of(dst)?;
+        if start == goal {
+            return Ok(vec![self.path_from_switches(vec![start])]);
+        }
+        let dist = self.distances_to(goal);
+        let mut paths = Vec::new();
+        let mut prefix = vec![start];
+        self.enumerate_minimal(start.index() * 2, goal, &dist, &mut prefix, &mut paths);
+        Ok(paths)
+    }
+
+    /// Samples one minimal legal Up*/Down* path, taking every tie-break from
+    /// `pick` (called with the number of distance-decreasing moves at the
+    /// current state, returning the chosen index). A uniform `pick` yields the
+    /// randomized Up*/Down* selection; a constant `pick(_) = 0` is
+    /// deterministic.
+    pub fn sample_path(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        pick: &mut dyn FnMut(usize) -> usize,
+    ) -> Result<UpDownPath> {
+        if src == dst {
+            return Err(TopologyError::SelfRouting { node: src });
+        }
+        let start = self.tree.leaf_switch_of(src)?;
+        let goal = self.tree.leaf_switch_of(dst)?;
+        if start == goal {
+            return Ok(self.path_from_switches(vec![start]));
+        }
+        let dist = self.distances_to(goal);
+        let mut switches = vec![start];
+        let mut state = start.index() * 2;
+        let mut moves: Vec<usize> = Vec::new();
+        while state / 2 != goal.index() {
+            moves.clear();
+            self.minimal_moves(state, &dist, |next| moves.push(next));
+            debug_assert!(!moves.is_empty(), "distance map promises progress");
+            let chosen = moves[pick(moves.len()).min(moves.len() - 1)];
+            switches.push(SwitchId::from_index(chosen / 2));
+            state = chosen;
+        }
+        Ok(self.path_from_switches(switches))
+    }
+
+    /// Calls `emit` with every legal successor state of `state` that sits one
+    /// link closer to the goal according to `dist`.
+    fn minimal_moves(&self, state: usize, dist: &[usize], mut emit: impl FnMut(usize)) {
+        let sw = state / 2;
+        let phase = state % 2;
+        let d = dist[state];
+        debug_assert_ne!(d, usize::MAX);
+        for &(peer, is_up) in &self.adjacency[sw] {
+            let next_phase = if is_up {
+                if phase == 1 {
+                    continue;
+                }
+                0
+            } else {
+                1
+            };
+            let next = peer.index() * 2 + next_phase;
+            if dist[next] != usize::MAX && dist[next] + 1 == d {
+                emit(next);
+            }
+        }
+    }
+
+    fn enumerate_minimal(
+        &self,
+        state: usize,
+        goal: SwitchId,
+        dist: &[usize],
+        prefix: &mut Vec<SwitchId>,
+        paths: &mut Vec<UpDownPath>,
+    ) {
+        if state / 2 == goal.index() {
+            paths.push(self.path_from_switches(prefix.clone()));
+            return;
+        }
+        let mut moves = Vec::new();
+        self.minimal_moves(state, dist, |next| moves.push(next));
+        for next in moves {
+            prefix.push(SwitchId::from_index(next / 2));
+            self.enumerate_minimal(next, goal, dist, prefix, paths);
+            prefix.pop();
+        }
+    }
+
     /// Verifies that a sequence of switches is a legal Up*/Down* path (all up links
     /// precede all down links).
     pub fn is_legal(&self, switches: &[SwitchId]) -> bool {
@@ -282,5 +446,87 @@ mod tests {
         let tree = MPortNTree::new(4, 2).unwrap();
         let ud = UpDownRouting::new(&tree);
         assert!(ud.shortest_path(NodeId(0), NodeId(0)).is_err());
+        assert!(ud.candidate_paths(NodeId(0), NodeId(0)).is_err());
+        assert!(ud.sample_path(NodeId(0), NodeId(0), &mut |_| 0).is_err());
+    }
+
+    #[test]
+    fn candidate_paths_are_legal_minimal_and_contain_the_bfs_path() {
+        for &(m, n) in &[(4usize, 2usize), (4, 3), (8, 2)] {
+            let tree = MPortNTree::new(m, n).unwrap();
+            let ud = UpDownRouting::new(&tree);
+            for src in tree.nodes().step_by(3) {
+                for dst in tree.nodes().step_by(5) {
+                    if src == dst {
+                        continue;
+                    }
+                    let shortest = ud.shortest_path(src, dst).unwrap();
+                    let candidates = ud.candidate_paths(src, dst).unwrap();
+                    assert!(!candidates.is_empty());
+                    for c in &candidates {
+                        assert!(ud.is_legal(&c.switches), "({m},{n}) {src}->{dst}");
+                        assert_eq!(c.total_links(), shortest.total_links());
+                        assert_eq!(c.switches.first(), shortest.switches.first());
+                        assert_eq!(c.switches.last(), shortest.switches.last());
+                    }
+                    // No duplicate candidates.
+                    for (i, a) in candidates.iter().enumerate() {
+                        for b in &candidates[i + 1..] {
+                            assert_ne!(a.switches, b.switches);
+                        }
+                    }
+                    assert!(
+                        candidates.iter().any(|c| c.switches == shortest.switches),
+                        "the BFS path must be among the candidates"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_count_follows_the_up_port_redundancy() {
+        // A cross-tree pair in an (m, n) tree has k^(j-1) minimal Up*/Down*
+        // paths (one per up-port word), k = m/2.
+        let tree = MPortNTree::new(8, 2).unwrap();
+        let ud = UpDownRouting::new(&tree);
+        let far = NodeId::from_index(tree.num_nodes() - 1);
+        let candidates = ud.candidate_paths(NodeId(0), far).unwrap();
+        assert_eq!(candidates.len(), 4, "j = 2 NCA level with k = 4 up choices");
+    }
+
+    #[test]
+    fn sampled_paths_cover_the_candidate_set() {
+        let tree = MPortNTree::new(8, 2).unwrap();
+        let ud = UpDownRouting::new(&tree);
+        let far = NodeId::from_index(tree.num_nodes() - 1);
+        let candidates = ud.candidate_paths(NodeId(0), far).unwrap();
+        // Drive `pick` through a counter so successive samples rotate through
+        // the tie-breaks deterministically.
+        let mut seen = std::collections::HashSet::new();
+        for salt in 0..16usize {
+            let mut step = 0usize;
+            let sampled = ud
+                .sample_path(NodeId(0), far, &mut |n| {
+                    step += 1;
+                    (salt + step) % n
+                })
+                .unwrap();
+            assert!(ud.is_legal(&sampled.switches));
+            assert!(candidates.iter().any(|c| c.switches == sampled.switches));
+            seen.insert(sampled.switches.clone());
+        }
+        assert!(seen.len() > 1, "sampling must reach more than one candidate");
+    }
+
+    #[test]
+    fn same_leaf_pairs_have_one_trivial_candidate() {
+        let tree = MPortNTree::new(4, 2).unwrap();
+        let ud = UpDownRouting::new(&tree);
+        // Nodes 0 and 1 share a leaf switch in the m-port n-tree numbering.
+        let candidates = ud.candidate_paths(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].switches.len(), 1);
+        assert_eq!(candidates[0].total_links(), 2);
     }
 }

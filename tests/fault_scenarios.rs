@@ -7,8 +7,8 @@
 
 use mcnet::sim::json::Json;
 use mcnet::sim::{
-    BridgeUnit, FaultAction, FaultEvent, FaultPlan, FaultTarget, Protocol, RingDir, Scenario,
-    ScenarioSpec, SimConfig, SimReport,
+    BridgeUnit, FaultAction, FaultEvent, FaultPlan, FaultTarget, Protocol, RingDir, RoutingPolicy,
+    Scenario, ScenarioSpec, SimConfig, SimReport,
 };
 use mcnet::system::{organizations, TorusSystem, TrafficConfig};
 
@@ -117,6 +117,65 @@ fn fault_free_control_matches_pinned_digest() {
     assert_eq!(report.dropped_messages, 0);
     assert!(report.time_series.is_empty(), "no fault plan, no time series");
     assert_eq!(format!("{:016x}", report.digest), pinned_digest("specs/torus_8ary.json"));
+}
+
+#[test]
+fn adaptive_and_randomized_exemplars_match_their_pinned_digests() {
+    // Fixed-seed adaptive/randomized runs are exactly as deterministic as the
+    // dimension-order baseline: their routing randomness comes from an
+    // isolated RNG stream seeded from the run seed, so the delivery-stream
+    // digests are pinned alongside the fault goldens (quick protocol,
+    // matching the CI fault-specs step).
+    for rel in ["specs/torus_adaptive.json", "specs/tree_updown_random.json"] {
+        let text = std::fs::read_to_string(format!("{ROOT}/{rel}")).unwrap();
+        let spec = ScenarioSpec::from_json(&text).unwrap().with_protocol(Protocol::Quick);
+        let report = spec.build().unwrap().run().unwrap();
+        assert!(report.adaptive_misroutes > 0, "{rel}: policy must actually deviate");
+        assert_eq!(
+            format!("{:016x}", report.digest),
+            pinned_digest(rel),
+            "{rel}: adaptive digest moved — routing behaviour changed"
+        );
+    }
+}
+
+/// Minimal-adaptive routing must ride out the ring cut better than dimension
+/// order: a message whose remaining journey still spans another dimension can
+/// detour around the downed link instead of burning its retry budget against
+/// it, so strictly fewer messages exhaust their budgets and get dropped.
+#[test]
+fn adaptive_routing_delivers_through_the_ring_cut_with_fewer_drops() {
+    let text = std::fs::read_to_string(format!("{ROOT}/specs/torus_ring_cut.json")).unwrap();
+    let det_spec = ScenarioSpec::from_json(&text).unwrap();
+    let mut adaptive_spec = det_spec.clone();
+    adaptive_spec.routing = RoutingPolicy::AdaptiveTorus { adaptive_vcs: 2 };
+
+    let det = det_spec.build().unwrap().run().unwrap();
+    let adaptive = adaptive_spec.clone().build().unwrap().run().unwrap();
+
+    assert_eq!(
+        adaptive.generated_messages,
+        adaptive.delivered_messages + adaptive.dropped_messages,
+        "conservation holds under adaptive routing too"
+    );
+    assert_eq!(adaptive.routing, "adaptive_torus");
+    assert!(det.dropped_messages > 0, "the deterministic baseline must drop under the cut");
+    assert!(
+        adaptive.dropped_messages < det.dropped_messages,
+        "adaptive must drop fewer messages than dimension order ({} vs {})",
+        adaptive.dropped_messages,
+        det.dropped_messages
+    );
+    assert!(
+        adaptive.delivered_messages > det.delivered_messages,
+        "detours must turn drops into deliveries ({} vs {})",
+        adaptive.delivered_messages,
+        det.delivered_messages
+    );
+
+    // The adaptive degraded-mode run is as deterministic as the baseline.
+    let again = adaptive_spec.build().unwrap().run().unwrap();
+    assert_eq!(adaptive, again, "adaptive fault run must be bit-for-bit repeatable");
 }
 
 /// Regression for the waiter-arena leak: repeated down/up cycles on both

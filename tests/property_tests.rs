@@ -8,7 +8,8 @@ use mcnet::sim::FabricBackend;
 use mcnet::system::{ClusterSpec, MultiClusterSystem, TrafficConfig};
 use mcnet::topology::distance::HopDistribution;
 use mcnet::topology::routing::NcaRouter;
-use mcnet::topology::{MPortNTree, NodeId};
+use mcnet::topology::updown::UpDownRouting;
+use mcnet::topology::{KaryNCube, MPortNTree, NodeId};
 use proptest::prelude::*;
 
 /// Strategy for valid (m, n) tree parameters kept small enough for exhaustive checks.
@@ -172,5 +173,73 @@ proptest! {
         let result = AnalyticalModel::new(&system, &traffic).unwrap().evaluate();
         let saturated = matches!(result, Err(ModelError::Saturated { .. }));
         prop_assert!(saturated, "expected a saturation error");
+    }
+
+    #[test]
+    fn adaptive_torus_candidates_are_minimal_and_escape_reachable(
+        k in 2usize..=8,
+        n in 1usize..=3,
+        seed in 0u64..1000,
+    ) {
+        let cube = KaryNCube::new(k, n).unwrap();
+        let nodes = k.pow(n as u32);
+        let src_idx = (seed as usize) % nodes;
+        let src = NodeId::from_index(src_idx);
+        // Offset by 1..nodes-1 so the pair is always distinct.
+        let dst = NodeId::from_index((src_idx + 1 + (seed as usize * 13) % (nodes - 1)) % nodes);
+        // Walk from src to dst taking, at every position, an arbitrary
+        // (seed-rotated) candidate. Every candidate must be minimal — reduce
+        // the distance by exactly one — and the first candidate must be the
+        // dimension-order hop, whose dateline escape VC definition keeps the
+        // escape class reachable from any intermediate node.
+        let mut cur = src;
+        let mut hops = Vec::new();
+        let mut steps = 0usize;
+        while cur != dst {
+            let before = cube.distance(cur, dst).unwrap();
+            hops.clear();
+            cube.adaptive_hops(cur, dst, &mut hops).unwrap();
+            prop_assert!(!hops.is_empty(), "non-degenerate pair must have candidates");
+            // hops[0] is the dimension-order hop: lowest unresolved dimension.
+            let dor_dim = hops[0].dimension;
+            prop_assert!(hops.iter().all(|h| h.dimension >= dor_dim));
+            for hop in &hops {
+                let after = cube.distance(hop.node, dst).unwrap();
+                prop_assert_eq!(after + 1, before, "candidate must be minimal");
+            }
+            // The escape route (pure dimension-order from here) exists and is
+            // exactly `before` hops long.
+            let mut escape = Vec::new();
+            cube.route_into(cur, dst, &mut escape).unwrap();
+            prop_assert_eq!(escape.len(), before);
+            // Advance through a seed-dependent candidate.
+            let pick = (seed as usize + steps) % hops.len();
+            cur = hops[pick].node;
+            steps += 1;
+            prop_assert!(steps <= n * k, "minimal progress must terminate");
+        }
+    }
+
+    #[test]
+    fn sampled_updown_paths_are_legal((m, n) in tree_params(), seed in 0u64..1000) {
+        let tree = MPortNTree::new(m, n).unwrap();
+        let routing = UpDownRouting::new(&tree);
+        let nodes = tree.num_nodes();
+        let src_idx = (seed as usize) % nodes;
+        let src = NodeId::from_index(src_idx);
+        // Offset by 1..nodes-1 so the pair is always distinct.
+        let dst = NodeId::from_index((src_idx + 1 + (seed as usize * 7) % (nodes - 1)) % nodes);
+        // Drive the sampler with a seed-derived picker: every sampled path
+        // must pass the up*/down* legality check and span the same number of
+        // links as the deterministic NCA route.
+        let mut state = seed;
+        let mut pick = |n: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize % n
+        };
+        let path = routing.sample_path(src, dst, &mut pick).unwrap();
+        prop_assert!(routing.is_legal(&path.switches), "sampled path must be up*/down* legal");
+        let j = tree.hop_count(src, dst).unwrap();
+        prop_assert_eq!(path.up_links + path.down_links, 2 * j - 2);
     }
 }

@@ -1,7 +1,7 @@
-//! Pins the Scenario API redesign: scenario-driven runs must be bit-identical
-//! to the legacy `run_*` entry points at fixed seeds (the deprecated wrappers
-//! are the reference here, used deliberately), and every spec file under
-//! `specs/` must round-trip through JSON and execute at quick protocol.
+//! Pins the Scenario API redesign: scenario-driven runs are frozen bit-for-bit
+//! against golden digests and latency bit patterns captured from the legacy
+//! `run_*` entry points before those wrappers were deleted, and every spec file
+//! under `specs/` must round-trip through JSON and execute at quick protocol.
 
 use mcnet::sim::{Protocol, Scenario, ScenarioSpec, SimConfig, SimError};
 use mcnet::system::{organizations, TorusSystem, TrafficConfig};
@@ -19,78 +19,98 @@ fn spec_files() -> Vec<std::path::PathBuf> {
     files
 }
 
+/// Golden values captured from the legacy `run_simulation` tree entry point at
+/// these exact seeds before the wrapper was deleted. The delivery-stream digest
+/// covers every (message id, class, delivery time) tuple; the latency bit
+/// pattern freezes the aggregation arithmetic.
+const TREE_GOLDENS: [(u64, u64, u64); 3] = [
+    (1, 2697319415182810220, 0x40254007939692b6),
+    (77, 16373449751557016651, 0x4025663985b2ac4f),
+    (2006, 11172979118901272723, 0x40257022701ce6a5),
+];
+
+/// Same capture for the legacy `run_torus_simulation` entry point.
+const TORUS_GOLDENS: [(u64, u64, u64); 2] =
+    [(1, 15619143940259837087, 0x4023233d85c9d326), (77, 3540338484076490753, 0x402329825345cd2a)];
+
 #[test]
-#[allow(deprecated)]
-fn scenario_run_is_bit_identical_to_legacy_tree_entry_point() {
+fn scenario_run_matches_the_frozen_tree_goldens_bit_for_bit() {
     let system = organizations::small_test_org();
     let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
-    for seed in [1, 77, 2006] {
-        let config = SimConfig::quick(seed);
-        let legacy = mcnet::sim::runner::run_simulation(&system, &traffic, &config).unwrap();
-        let scenario = Scenario::builder()
+    for (seed, digest, mean_bits) in TREE_GOLDENS {
+        let report = Scenario::builder()
             .tree(system.clone())
             .traffic(traffic)
-            .config(config)
+            .config(SimConfig::quick(seed))
             .build()
             .unwrap()
             .run()
             .unwrap();
-        // Full-struct equality: every statistic, count and utilisation agrees
-        // bit for bit (SimReport's f64 fields compare exactly).
-        assert_eq!(legacy, scenario, "seed {seed}");
-        assert_eq!(legacy.mean_latency.to_bits(), scenario.mean_latency.to_bits());
+        assert_eq!(report.digest, digest, "seed {seed}");
+        assert_eq!(report.mean_latency.to_bits(), mean_bits, "seed {seed}");
+        assert_eq!(report.measured_messages, 2000, "seed {seed}");
+        assert_eq!(report.delivered_messages, report.generated_messages, "seed {seed}");
+        assert_eq!(report.routing, "deterministic", "seed {seed}");
     }
 }
 
 #[test]
-#[allow(deprecated)]
-fn scenario_run_is_bit_identical_to_legacy_torus_entry_point() {
+fn scenario_run_matches_the_frozen_torus_goldens_bit_for_bit() {
     let torus = TorusSystem::new(4, 2).unwrap();
     let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
-    for seed in [1, 77] {
-        let config = SimConfig::quick(seed);
-        let legacy = mcnet::sim::runner::run_torus_simulation(&torus, &traffic, &config).unwrap();
-        let scenario = Scenario::builder()
+    for (seed, digest, mean_bits) in TORUS_GOLDENS {
+        let report = Scenario::builder()
             .torus(torus.clone())
             .traffic(traffic)
-            .config(config)
+            .config(SimConfig::quick(seed))
             .build()
             .unwrap()
             .run()
             .unwrap();
-        assert_eq!(legacy, scenario, "seed {seed}");
+        assert_eq!(report.digest, digest, "seed {seed}");
+        assert_eq!(report.mean_latency.to_bits(), mean_bits, "seed {seed}");
+        assert_eq!(report.measured_messages, 2000, "seed {seed}");
+        assert_eq!(report.delivered_messages, report.generated_messages, "seed {seed}");
     }
 }
 
 #[test]
-#[allow(deprecated)]
-fn scenario_replicate_is_bit_identical_to_legacy_replication_drivers() {
+fn scenario_replicate_matches_the_frozen_replication_goldens() {
+    // The replication driver fans seeds base..base+n over worker threads and
+    // aggregates in replication order; these values were captured from the
+    // legacy `run_replications`/`run_torus_replications` drivers at seed 42.
     let traffic = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
     let config = SimConfig::quick(42);
 
-    let system = organizations::small_test_org();
-    let legacy = mcnet::sim::runner::run_replications(&system, &traffic, &config, 3).unwrap();
-    let scenario = Scenario::builder()
-        .tree(system.clone())
+    let rep = Scenario::builder()
+        .tree(organizations::small_test_org())
         .traffic(traffic)
         .config(config)
         .build()
         .unwrap()
         .replicate(3)
         .unwrap();
-    assert_eq!(legacy, scenario);
+    assert_eq!(rep.mean_latency.to_bits(), 0x402581cc36d88395);
+    assert_eq!(rep.halfwidth_95.unwrap().to_bits(), 0x3fad025712e9576b);
+    assert_eq!(
+        rep.replications.iter().map(|r| r.digest).collect::<Vec<_>>(),
+        [5662518630029268569, 17143435895695001086, 5295411615315801976]
+    );
 
-    let torus = TorusSystem::new(4, 2).unwrap();
-    let legacy = mcnet::sim::runner::run_torus_replications(&torus, &traffic, &config, 3).unwrap();
-    let scenario = Scenario::builder()
-        .torus(torus.clone())
+    let rep = Scenario::builder()
+        .torus(TorusSystem::new(4, 2).unwrap())
         .traffic(traffic)
         .config(config)
         .build()
         .unwrap()
         .replicate(3)
         .unwrap();
-    assert_eq!(legacy, scenario);
+    assert_eq!(rep.mean_latency.to_bits(), 0x4023214428ee51ae);
+    assert_eq!(rep.halfwidth_95.unwrap().to_bits(), 0x3f9e6cd1d1cf39ba);
+    assert_eq!(
+        rep.replications.iter().map(|r| r.digest).collect::<Vec<_>>(),
+        [16739608433485872978, 16455721171644410621, 4864989507515034663]
+    );
 }
 
 #[test]
@@ -127,6 +147,12 @@ fn spec_exemplars_cover_both_fabrics_and_a_non_uniform_pattern() {
     assert!(names.contains(&"hotspot_small_tree"), "{names:?}");
     assert!(names.contains(&"torus_hotspot_4ary"), "{names:?}");
     assert!(specs.iter().any(|s| !s.traffic.pattern.is_uniform()));
+    // Both non-deterministic routing policies ship as exemplars.
+    assert!(names.contains(&"torus_8ary_adaptive"), "{names:?}");
+    assert!(names.contains(&"tree_updown_random"), "{names:?}");
+    let routings: Vec<&str> = specs.iter().map(|s| s.routing.spec_name()).collect();
+    assert!(routings.contains(&"adaptive_torus"), "{routings:?}");
+    assert!(routings.contains(&"randomized_updown"), "{routings:?}");
 }
 
 #[test]

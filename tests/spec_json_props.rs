@@ -7,8 +7,8 @@
 use mcnet::sim::json::Json;
 use mcnet::sim::scenario::FabricSpec;
 use mcnet::sim::{
-    BridgeUnit, FaultAction, FaultEvent, FaultPlan, FaultTarget, Protocol, RingDir, ScenarioSpec,
-    SimError,
+    BridgeUnit, FaultAction, FaultEvent, FaultPlan, FaultTarget, Protocol, RingDir, RoutingPolicy,
+    ScenarioSpec, SimError,
 };
 use mcnet::system::{TrafficConfig, TrafficPattern};
 use proptest::prelude::*;
@@ -47,6 +47,18 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 2 => Protocol::Reduced,
                 _ => Protocol::Paper,
             };
+            // Routing varies with the fabric so every generated pair stays
+            // buildable: adaptive policies only exist on the torus, randomized
+            // up*/down* only on trees.
+            let routing = match (&fabric, pattern_kind) {
+                (FabricSpec::Torus { .. }, 1) => {
+                    RoutingPolicy::AdaptiveTorus { adaptive_vcs: (k % 4 + 1) as u8 }
+                }
+                (FabricSpec::Org { .. } | FabricSpec::Tree { .. }, 2) => {
+                    RoutingPolicy::RandomizedUpDown
+                }
+                _ => RoutingPolicy::Deterministic,
+            };
             ScenarioSpec {
                 name: "prop".into(),
                 fabric,
@@ -55,6 +67,7 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 seed,
                 replications,
                 faults: None,
+                routing,
             }
         })
 }
@@ -102,6 +115,7 @@ fn fault_spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 seed: 7,
                 replications: 1,
                 faults: Some(plan),
+                routing: RoutingPolicy::Deterministic,
             }
         },
     )
@@ -323,6 +337,7 @@ proptest! {
             seed: 7,
             replications: 1,
             faults: Some(plan),
+            routing: RoutingPolicy::Deterministic,
         };
         let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
         prop_assert!(
@@ -344,6 +359,7 @@ fn pattern_object_always_serializes() {
         seed: 1,
         replications: 1,
         faults: None,
+        routing: RoutingPolicy::Deterministic,
     };
     let doc = Json::parse(&spec.to_json()).unwrap();
     let traffic = doc.as_object().unwrap()["traffic"].as_object().unwrap();

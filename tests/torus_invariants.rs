@@ -219,3 +219,44 @@ fn torus_channels_all_free_after_drain() {
     assert_eq!(sim.pool().busy_count(sim.now()), 0, "leaked channel occupancy");
     assert!(sim.backend().as_cube().is_some());
 }
+
+#[test]
+fn adaptive_routing_beats_dimension_order_under_saturated_hotspot_load() {
+    // The acceptance bar of the adaptive-routing refactor: on the paper-scale
+    // 8-ary 2-cube, minimal-adaptive routing with Duato escape channels
+    // sustains measurably higher delivered throughput than dimension order
+    // once a hot spot saturates the fabric. At this load delivery is
+    // drain-limited, so delivered messages per unit simulated time is the
+    // achieved saturation throughput; spreading the hot-spot detour load over
+    // every minimal candidate buys 4–7% across seeds (measured at quick
+    // protocol), gated at >2% per seed.
+    use mcnet::sim::RoutingPolicy;
+    use mcnet::system::TrafficPattern;
+    let torus = TorusSystem::new(8, 2).unwrap();
+    let traffic = TrafficConfig::uniform(16, 256.0, 4e-2)
+        .unwrap()
+        .with_pattern(TrafficPattern::Hotspot { hotspot: 0, fraction: 0.2 })
+        .unwrap();
+    for seed in [1u64, 7, 42] {
+        let throughput = |routing: RoutingPolicy| {
+            let report = Scenario::builder()
+                .torus(torus.clone())
+                .traffic(traffic)
+                .config(quick(seed))
+                .routing(routing)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(report.delivered_messages, report.generated_messages, "seed {seed}");
+            report.delivered_messages as f64 / report.simulated_time
+        };
+        let dor = throughput(RoutingPolicy::Deterministic);
+        let adaptive = throughput(RoutingPolicy::AdaptiveTorus { adaptive_vcs: 2 });
+        assert!(
+            adaptive > 1.02 * dor,
+            "seed {seed}: adaptive throughput {adaptive:.5} not measurably above \
+             dimension order {dor:.5}"
+        );
+    }
+}
