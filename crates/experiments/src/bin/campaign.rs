@@ -1,0 +1,91 @@
+//! Runs a campaign — a directory of scenario specs, or a grid spec that
+//! cross-products fabric/routing/rate/seed over a base scenario — and prints
+//! the aggregated report as one JSON document.
+//!
+//! The grid-spec schema is documented on
+//! [`mcnet_experiments::campaign::Campaign::from_grid_json`]; pointing the bin
+//! at a directory (e.g. `specs/`) runs every `*.json` scenario spec in it,
+//! sorted by file name, with seeds taken verbatim — so per-cell digests are
+//! bit-identical to running each spec standalone through the `scenario` bin.
+//! With `--screen`, the grid is first swept through the batched analytical
+//! evaluator and only the Pareto frontier (throughput vs model latency vs
+//! peak channel utilization) is simulated.
+//!
+//! Exits nonzero when any cell failed (build or simulation), after printing
+//! the full report — screened-out and saturated cells are successes, not
+//! failures.
+//!
+//! Usage: `campaign <specs-dir | campaign.json>
+//! [--protocol quick|reduced|paper] [--screen]`
+
+use std::path::Path;
+
+use mcnet_experiments::campaign::{Campaign, CampaignOptions, CellStatus};
+use mcnet_sim::Protocol;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut options = CampaignOptions::default();
+    let mut iter = args.iter().map(String::as_str);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--screen" => options.screen = true,
+            "--protocol" => {
+                let value = iter.next().unwrap_or_else(|| usage("--protocol needs a value"));
+                options.protocol = Some(
+                    value
+                        .parse::<Protocol>()
+                        .unwrap_or_else(|e| usage(&format!("invalid --protocol: {e}"))),
+                );
+            }
+            flag if flag.starts_with("--") => usage(&format!("unknown flag {flag:?}")),
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => usage(&format!("unexpected argument {extra:?}")),
+        }
+    }
+    let path = path.unwrap_or_else(|| usage("a specs directory or campaign spec file is required"));
+
+    let campaign = if Path::new(&path).is_dir() {
+        Campaign::from_dir(Path::new(&path))
+    } else {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        Campaign::from_grid_json(&text)
+    }
+    .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+
+    eprintln!(
+        "# campaign {:?}: {} cells, {} mode{}",
+        campaign.name(),
+        campaign.cells().len(),
+        if options.screen { "screen" } else { "full" },
+        options.protocol.map_or(String::new(), |p| format!(", protocol {}", p.as_str())),
+    );
+    let report = campaign.run(&options);
+    println!("{}", report.to_json().to_pretty());
+    let failed = report.count(CellStatus::Failed) + report.count(CellStatus::Invalid);
+    eprintln!(
+        "# {} simulated, {} screened out, {} saturated, {} failed",
+        report.count(CellStatus::Simulated),
+        report.count(CellStatus::ScreenedOut),
+        report.count(CellStatus::Saturated),
+        failed,
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!(
+        "error: {problem}\nusage: campaign <specs-dir | campaign.json> \
+         [--protocol quick|reduced|paper] [--screen]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}

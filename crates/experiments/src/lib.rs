@@ -28,6 +28,7 @@
 
 pub mod ablations;
 pub mod backends;
+pub mod campaign;
 pub mod comparison;
 pub mod figures;
 pub mod report;

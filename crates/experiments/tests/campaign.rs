@@ -1,0 +1,170 @@
+//! Campaign-engine contracts: grid expansion, determinism of parallel cell
+//! execution against standalone runs, and the analytical pre-screen.
+
+use std::path::Path;
+
+use mcnet_experiments::campaign::{Campaign, CampaignOptions, CellStatus};
+use mcnet_sim::{Protocol, ScenarioOutcome};
+
+fn specs_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs"))
+}
+
+#[test]
+fn grid_expansion_orders_cells_and_derives_seeds() {
+    let grid = r#"{
+        "name": "expansion",
+        "base": {
+            "name": "base", "fabric": {"kind": "torus", "radix": 4, "dimensions": 2},
+            "traffic": {"message_flits": 8, "flit_bytes": 256.0, "generation_rate": 1e-3},
+            "protocol": "quick", "seed": 100, "replications": 1
+        },
+        "axes": {
+            "routing": [null, {"policy": "adaptive_torus", "adaptive_vcs": 2}],
+            "rate": [5e-4, 1e-3]
+        }
+    }"#;
+    let campaign = Campaign::from_grid_json(grid).unwrap();
+    assert_eq!(campaign.name(), "expansion");
+    let cells = campaign.cells();
+    assert_eq!(cells.len(), 4);
+    // fabric → routing → rate → seed order: the rate axis varies fastest.
+    let rates: Vec<f64> = cells.iter().map(|c| c.spec.traffic.generation_rate).collect();
+    assert_eq!(rates, [5e-4, 1e-3, 5e-4, 1e-3]);
+    let routings: Vec<&str> = cells.iter().map(|c| c.spec.routing.spec_name()).collect();
+    assert_eq!(routings, ["deterministic", "deterministic", "adaptive_torus", "adaptive_torus"]);
+    // No seed axis: cell seeds derive from the base seed and the cell index.
+    let seeds: Vec<u64> = cells.iter().map(|c| c.spec.seed).collect();
+    assert_eq!(seeds, [100, 101, 102, 103]);
+    // Names embed the cell index, so report rows stay unambiguous.
+    assert_eq!(cells[2].spec.name, "expansion/0002");
+
+    // An explicit seed axis overrides derivation and multiplies the grid.
+    let with_seeds = r#"{
+        "name": "seeded",
+        "base": {
+            "name": "base", "fabric": {"kind": "torus", "radix": 4, "dimensions": 2},
+            "traffic": {"message_flits": 8, "flit_bytes": 256.0, "generation_rate": 1e-3},
+            "protocol": "quick", "seed": 100, "replications": 1
+        },
+        "axes": {"rate": [5e-4, 1e-3], "seed": [7, 8, 9]}
+    }"#;
+    let campaign = Campaign::from_grid_json(with_seeds).unwrap();
+    let seeds: Vec<u64> = campaign.cells().iter().map(|c| c.spec.seed).collect();
+    assert_eq!(seeds, [7, 8, 9, 7, 8, 9]);
+
+    // Misspelled axes and malformed bases are typed errors, not silent grids.
+    assert!(Campaign::from_grid_json(&grid.replace("\"rate\"", "\"rates\"")).is_err());
+    assert!(Campaign::from_grid_json(&grid.replace("\"base\"", "\"template\"")).is_err());
+    assert!(Campaign::from_grid_json(&grid.replace("1e-3,", "0.0,")).is_ok());
+    assert!(Campaign::from_grid_json("{}").is_err());
+}
+
+#[test]
+fn campaign_cells_are_bit_identical_to_standalone_runs() {
+    // The whole specs/ directory as one campaign at quick protocol — the
+    // acceptance contract: per-cell outcomes (and therefore digests) equal
+    // running each spec standalone, which also proves independence from
+    // worker count and execution order (standalone execution is sequential).
+    let campaign = Campaign::from_dir(specs_dir()).unwrap();
+    assert!(campaign.cells().len() >= 8, "specs/ holds the exemplar suite");
+    let options = CampaignOptions { protocol: Some(Protocol::Quick), screen: false };
+    let report = campaign.run(&options);
+    assert_eq!(report.count(CellStatus::Simulated), campaign.cells().len());
+    for (cell, row) in campaign.cells().iter().zip(&report.cells) {
+        let standalone =
+            cell.spec.clone().with_protocol(Protocol::Quick).build().unwrap().execute().unwrap();
+        assert_eq!(
+            row.outcome.as_ref(),
+            Some(&standalone),
+            "campaign cell {:?} must match its standalone run bit for bit",
+            cell.spec.name
+        );
+    }
+    // And the campaign itself is reproducible run to run.
+    assert_eq!(report, campaign.run(&options));
+}
+
+#[test]
+fn screen_mode_simulates_only_the_pareto_frontier() {
+    // Deterministic vs adaptive routing at the same rate: the adaptive model
+    // is strictly faster at equal throughput and utilization, so the
+    // deterministic cell is Pareto-dominated. The 0.5 cells saturate the
+    // model outright.
+    let grid = r#"{
+        "name": "screened",
+        "base": {
+            "name": "base", "fabric": {"kind": "torus", "radix": 8, "dimensions": 2},
+            "traffic": {"message_flits": 16, "flit_bytes": 256.0, "generation_rate": 1e-3},
+            "protocol": "quick", "seed": 5, "replications": 1
+        },
+        "axes": {
+            "routing": [null, {"policy": "adaptive_torus", "adaptive_vcs": 2}],
+            "rate": [1e-3, 0.5]
+        }
+    }"#;
+    let campaign = Campaign::from_grid_json(grid).unwrap();
+    let report = campaign.run(&CampaignOptions { protocol: None, screen: true });
+    assert_eq!(report.mode, "screen");
+    let statuses: Vec<CellStatus> = report.cells.iter().map(|c| c.status).collect();
+    assert_eq!(
+        statuses,
+        [
+            CellStatus::ScreenedOut,
+            CellStatus::Saturated,
+            CellStatus::Simulated,
+            CellStatus::Saturated
+        ]
+    );
+    // Screened and simulated cells keep their model numbers; only the
+    // simulated cell carries a simulation outcome.
+    assert!(report.cells[0].model.is_some());
+    assert!(report.cells[0].outcome.is_none());
+    assert!(report.cells[2].model.is_some());
+    let outcome = report.cells[2].outcome.as_ref().expect("frontier cell simulated");
+    assert!(matches!(outcome, ScenarioOutcome::Single(_)));
+    // The simulated survivor equals its standalone run: screening must not
+    // perturb the cells it lets through.
+    let standalone = campaign.cells()[2].spec.build().unwrap().execute().unwrap();
+    assert_eq!(report.cells[2].outcome.as_ref(), Some(&standalone));
+    // Saturated cells carry the diagnostic instead of an outcome.
+    assert!(report.cells[1].error.as_deref().unwrap_or("").contains("saturat"));
+
+    // The aggregate JSON carries the summary the CI smoke step validates.
+    let doc = report.to_json().to_compact();
+    let parsed = mcnet_sim::json::Json::parse(&doc).unwrap();
+    let summary = parsed.as_object().unwrap()["summary"].clone();
+    let summary = summary.as_object().unwrap();
+    assert_eq!(summary["cells"].as_u64(), Some(4));
+    assert_eq!(summary["simulated"].as_u64(), Some(1));
+    assert_eq!(summary["screened_out"].as_u64(), Some(3));
+    assert_eq!(summary["failed"].as_u64(), Some(0));
+}
+
+#[test]
+fn unbuildable_grid_combinations_are_recorded_not_fatal() {
+    // A grid crossing a tree fabric with torus-only routing yields cells that
+    // parse but cannot build; they become "invalid" rows while the rest of
+    // the campaign still runs.
+    let grid = r#"{
+        "name": "mixed",
+        "base": {
+            "name": "base", "fabric": {"kind": "org", "name": "small_test"},
+            "traffic": {"message_flits": 8, "flit_bytes": 256.0, "generation_rate": 1e-3},
+            "protocol": "quick", "seed": 9, "replications": 1
+        },
+        "axes": {
+            "fabric": [
+                {"kind": "org", "name": "small_test"},
+                {"kind": "torus", "radix": 4, "dimensions": 2}
+            ],
+            "routing": [{"policy": "adaptive_torus", "adaptive_vcs": 1}]
+        }
+    }"#;
+    let campaign = Campaign::from_grid_json(grid).unwrap();
+    let report = campaign.run(&CampaignOptions::default());
+    let statuses: Vec<CellStatus> = report.cells.iter().map(|c| c.status).collect();
+    assert_eq!(statuses, [CellStatus::Invalid, CellStatus::Simulated]);
+    assert!(report.cells[0].error.is_some());
+    assert_eq!(report.count(CellStatus::Invalid), 1);
+}

@@ -10,7 +10,7 @@
 //! builds one of these from the same `Fabric` that drives the simulator, which
 //! is what lets a single serialized scenario run through either world.
 
-use crate::multicluster::AnalyticalModel;
+use crate::multicluster::{AnalyticalModel, SweepEvaluator};
 use crate::options::ModelOptions;
 use crate::torus::{TorusLatencyReport, TorusModel};
 use crate::{LatencyReport, ModelError, Result};
@@ -64,6 +64,28 @@ impl ModelReport {
             ModelDetail::Torus(_) => "torus",
         }
     }
+
+    fn from_tree(report: LatencyReport) -> ModelReport {
+        ModelReport {
+            generation_rate: report.generation_rate,
+            mean_latency: report.total_latency,
+            intra_latency: report.mean_intra_latency(),
+            inter_latency: report.mean_inter_latency(),
+            max_channel_utilization: report.max_channel_utilization,
+            detail: ModelDetail::Tree(report),
+        }
+    }
+
+    fn from_torus(report: TorusLatencyReport) -> ModelReport {
+        ModelReport {
+            generation_rate: report.generation_rate,
+            mean_latency: report.total,
+            intra_latency: report.intra,
+            inter_latency: report.inter,
+            max_channel_utilization: report.max_channel_utilization,
+            detail: ModelDetail::Torus(report),
+        }
+    }
 }
 
 impl ModelBackend {
@@ -89,25 +111,47 @@ impl ModelBackend {
         match self {
             ModelBackend::Tree(system) => {
                 let report = AnalyticalModel::with_options(system, traffic, options)?.evaluate()?;
-                Ok(ModelReport {
-                    generation_rate: report.generation_rate,
-                    mean_latency: report.total_latency,
-                    intra_latency: report.mean_intra_latency(),
-                    inter_latency: report.mean_inter_latency(),
-                    max_channel_utilization: report.max_channel_utilization,
-                    detail: ModelDetail::Tree(report),
-                })
+                Ok(ModelReport::from_tree(report))
             }
             ModelBackend::Torus(torus) => {
                 let report = TorusModel::new(torus, traffic, options)?.evaluate()?;
-                Ok(ModelReport {
-                    generation_rate: report.generation_rate,
-                    mean_latency: report.total,
-                    intra_latency: report.intra,
-                    inter_latency: report.inter,
-                    max_channel_utilization: report.max_channel_utilization,
-                    detail: ModelDetail::Torus(report),
-                })
+                Ok(ModelReport::from_torus(report))
+            }
+        }
+    }
+
+    /// Evaluates the model at every rate of a sweep, building the
+    /// rate-independent structure (hop distributions, per-channel usage
+    /// tables, destination mixes) **once** and rebinding only the per-channel
+    /// rates between points. Each slot of the returned vector is exactly what
+    /// [`ModelBackend::evaluate`] returns for `template.with_rate(rates[i])` —
+    /// bit-identical reports, per-point [`ModelError::Saturated`] in the
+    /// failing slots — at a fraction of the construction cost. Errors that
+    /// would reject the template itself (invalid fabric, unsupported pattern)
+    /// surface as the outer `Err`.
+    pub fn evaluate_batch(
+        &self,
+        template: &TrafficConfig,
+        rates: &[f64],
+        options: ModelOptions,
+    ) -> Result<Vec<Result<ModelReport>>> {
+        match self {
+            ModelBackend::Tree(system) => {
+                let mut sweep = SweepEvaluator::with_options(system, template, options)?;
+                Ok(rates
+                    .iter()
+                    .map(|&rate| Ok(ModelReport::from_tree(sweep.evaluate_at(rate)?)))
+                    .collect())
+            }
+            ModelBackend::Torus(torus) => {
+                let mut model = TorusModel::new(torus, template, options)?;
+                Ok(rates
+                    .iter()
+                    .map(|&rate| {
+                        model.set_rate(rate)?;
+                        Ok(ModelReport::from_torus(model.evaluate()?))
+                    })
+                    .collect())
             }
         }
     }
@@ -246,6 +290,49 @@ mod tests {
         assert_eq!(unified.backend_kind(), "torus");
         assert_eq!(backend.total_nodes(), 16);
         assert!(backend.summary().contains("torus"));
+    }
+
+    fn assert_batch_matches_pointwise(
+        backend: &ModelBackend,
+        template: &TrafficConfig,
+        options: ModelOptions,
+        rates: &[f64],
+    ) {
+        let batch = backend.evaluate_batch(template, rates, options).unwrap();
+        assert_eq!(batch.len(), rates.len());
+        for (&rate, slot) in rates.iter().zip(&batch) {
+            let traffic = template.with_rate(rate).unwrap();
+            match (backend.evaluate(&traffic, options), slot) {
+                (Ok(single), Ok(batched)) => assert_eq!(&single, batched, "rate {rate}"),
+                (Err(ModelError::Saturated { .. }), Err(ModelError::Saturated { .. })) => {}
+                (single, batched) => {
+                    panic!("rate {rate}: pointwise {single:?} vs batched {batched:?}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_batch_is_bit_identical_to_pointwise() {
+        // Sweep through saturation so both Ok and Err slots are exercised.
+        let rates: Vec<f64> = (1..=12).map(|i| i as f64 * 8e-4).collect();
+        let tree = ModelBackend::Tree(organizations::small_test_org());
+        let tree_template = TrafficConfig::uniform(32, 256.0, 1e-4).unwrap();
+        let torus = ModelBackend::Torus(TorusSystem::new(4, 2).unwrap());
+        let torus_template = TrafficConfig::uniform(16, 256.0, 1e-4).unwrap();
+        let hot = |t: &TrafficConfig| {
+            t.with_pattern(TrafficPattern::Hotspot { hotspot: 3, fraction: 0.3 }).unwrap()
+        };
+        for options in [ModelOptions::default(), ModelOptions::default().without_variance()] {
+            assert_batch_matches_pointwise(&tree, &tree_template, options, &rates);
+            assert_batch_matches_pointwise(&tree, &hot(&tree_template), options, &rates);
+            assert_batch_matches_pointwise(&torus, &torus_template, options, &rates);
+            assert_batch_matches_pointwise(&torus, &hot(&torus_template), options, &rates);
+        }
+        // The adaptive torus variant goes through its own evaluation path.
+        let adaptive = ModelOptions::default().with_adaptive_torus(2);
+        assert_batch_matches_pointwise(&torus, &torus_template, adaptive, &rates);
+        assert_batch_matches_pointwise(&torus, &hot(&torus_template), adaptive, &rates);
     }
 
     #[test]

@@ -40,12 +40,69 @@ pub struct InterClusterLatency {
 }
 
 /// The per-destination quantities of one `(source, v)` journey.
+#[derive(Clone, Copy)]
 struct PairLatency {
     network: f64,
     wait: f64,
     tail: f64,
     concentrator: f64,
     max_utilization: f64,
+}
+
+/// The complete bitwise input of one pair journey. Everything `pair_latency`
+/// reads besides the globals (hop cache, channel times, options) is captured
+/// here, so two pairs with equal keys produce bit-identical `PairLatency`
+/// values — the cluster indices themselves only surface in error payloads,
+/// and an error aborts the whole evaluation at its first occurrence either way.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct PairKey {
+    levels_src: usize,
+    levels_dst: usize,
+    per_node_ecn1_rate: u64,
+    lambda_ecn1: u64,
+    lambda_icn2: u64,
+    eta_ecn1: u64,
+    eta_icn2: u64,
+}
+
+/// Memo of pair journeys keyed by their complete bitwise inputs, for sweeping
+/// one system over many rate points: heterogeneous organizations repeat the
+/// same few (source class, destination class) journey shapes across the
+/// `C·(C−1)` ordered pairs, so each distinct shape is solved once per rate
+/// point instead of once per pair. A linear scan beats hashing here — real
+/// organizations have a handful of classes (Org B: 9 for 240 pairs).
+#[derive(Debug, Default)]
+pub struct PairJourneyMemo {
+    entries: Vec<(PairKey, PairLatency)>,
+}
+
+impl PairJourneyMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets every cached journey; call between rate points (the keys are
+    /// rate-dependent, so stale entries can never be hit, but dropping them
+    /// keeps the scan short).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl std::fmt::Debug for PairKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairKey")
+            .field("levels_src", &self.levels_src)
+            .field("levels_dst", &self.levels_dst)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for PairLatency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairLatency").field("network", &self.network).finish_non_exhaustive()
+    }
 }
 
 /// Computes the inter-cluster latency seen by messages originating in cluster `source`.
@@ -63,6 +120,32 @@ pub fn inter_cluster_latency(
     source: usize,
     times: &ChannelTimes,
     options: &ModelOptions,
+) -> Result<InterClusterLatency> {
+    inter_cluster_latency_impl(rates, hops, source, times, options, None)
+}
+
+/// [`inter_cluster_latency`] with a cross-call journey memo: bit-identical
+/// results, but each distinct pair-journey shape is solved only once per rate
+/// point. Used by the batched sweep evaluator; the memo must be cleared when
+/// the rates change.
+pub fn inter_cluster_latency_memoized(
+    rates: &SystemRates,
+    hops: &HopCache,
+    source: usize,
+    times: &ChannelTimes,
+    options: &ModelOptions,
+    memo: &mut PairJourneyMemo,
+) -> Result<InterClusterLatency> {
+    inter_cluster_latency_impl(rates, hops, source, times, options, Some(memo))
+}
+
+fn inter_cluster_latency_impl(
+    rates: &SystemRates,
+    hops: &HopCache,
+    source: usize,
+    times: &ChannelTimes,
+    options: &ModelOptions,
+    mut memo: Option<&mut PairJourneyMemo>,
 ) -> Result<InterClusterLatency> {
     let num_clusters = rates.clusters().len();
     let weights = rates.destination_weights(source);
@@ -84,7 +167,20 @@ pub fn inter_cluster_latency(
             Some(w) if w[v] > 0.0 => w[v],
             Some(_) => continue,
         };
-        let pair = pair_latency(rates, hops, source, v, times, options)?;
+        let pair = match memo.as_deref_mut() {
+            None => pair_latency(rates, hops, source, v, times, options)?,
+            Some(memo) => {
+                let key = pair_key(rates, source, v);
+                match memo.entries.iter().find(|(k, _)| *k == key) {
+                    Some((_, cached)) => *cached,
+                    None => {
+                        let fresh = pair_latency(rates, hops, source, v, times, options)?;
+                        memo.entries.push((key, fresh));
+                        fresh
+                    }
+                }
+            }
+        };
         max_utilization = max_utilization.max(pair.max_utilization);
         network_sum += weight * pair.network;
         wait_sum += weight * pair.wait;
@@ -108,6 +204,22 @@ pub fn inter_cluster_latency(
         concentrator_wait,
         max_channel_utilization: max_utilization,
     })
+}
+
+/// The memo key of the `(source, v)` journey: everything `pair_latency` reads
+/// from the rates, as raw bits.
+fn pair_key(rates: &SystemRates, source: usize, v: usize) -> PairKey {
+    let src = rates.cluster(source);
+    let pair = rates.pair(source, v);
+    PairKey {
+        levels_src: src.levels,
+        levels_dst: rates.cluster(v).levels,
+        per_node_ecn1_rate: src.per_node_ecn1_rate.to_bits(),
+        lambda_ecn1: pair.lambda_ecn1.to_bits(),
+        lambda_icn2: pair.lambda_icn2.to_bits(),
+        eta_ecn1: pair.eta_ecn1.to_bits(),
+        eta_icn2: pair.eta_icn2.to_bits(),
+    }
 }
 
 /// Evaluates one `(source, v)` pair journey (Eqs. 26–33).

@@ -30,6 +30,62 @@ pub struct IntraClusterLatency {
     pub max_channel_utilization: f64,
 }
 
+/// The complete bitwise input of one intra-cluster computation (the hop
+/// distribution is determined by the level count; the cluster index only
+/// surfaces in error payloads, and an error aborts the whole evaluation at its
+/// first occurrence either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IntraKey {
+    levels: usize,
+    eta_icn1: u64,
+    per_node_icn1_rate: u64,
+    lambda_icn1: u64,
+}
+
+/// Memo of intra-cluster latencies keyed by their complete bitwise inputs:
+/// clusters of the same size see identical ICN1 loads under the paper's
+/// uniform spreading, so each distinct size is solved once per rate point.
+#[derive(Debug, Default)]
+pub struct IntraJourneyMemo {
+    entries: Vec<(IntraKey, IntraClusterLatency)>,
+}
+
+impl IntraJourneyMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets every cached latency; call between rate points.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// [`intra_cluster_latency`] with a cross-call memo: bit-identical results,
+/// one computation per distinct cluster class per rate point. The memo must be
+/// cleared when the rates change.
+pub fn intra_cluster_latency_memoized(
+    rates: &ClusterRates,
+    hops: &HopDistribution,
+    times: &ChannelTimes,
+    options: &ModelOptions,
+    memo: &mut IntraJourneyMemo,
+) -> Result<IntraClusterLatency> {
+    let key = IntraKey {
+        levels: rates.levels,
+        eta_icn1: rates.eta_icn1.to_bits(),
+        per_node_icn1_rate: rates.per_node_icn1_rate.to_bits(),
+        lambda_icn1: rates.lambda_icn1.to_bits(),
+    };
+    if let Some((_, cached)) = memo.entries.iter().find(|(k, _)| *k == key) {
+        return Ok(*cached);
+    }
+    let fresh = intra_cluster_latency(rates, hops, times, options)?;
+    memo.entries.push((key, fresh));
+    Ok(fresh)
+}
+
 /// Computes the intra-cluster latency of cluster `i`.
 pub fn intra_cluster_latency(
     rates: &ClusterRates,

@@ -111,6 +111,20 @@ impl<'a> AnalyticalModel<'a> {
         Ok(AnalyticalModel { system, traffic: *traffic, options, rates, hops, times })
     }
 
+    /// Rebinds the model to a new per-node generation rate without rebuilding
+    /// the rate-independent structure (hop distributions, destination mix,
+    /// outgoing probabilities). The result of a subsequent
+    /// [`AnalyticalModel::evaluate`] is bit-identical to a model freshly built
+    /// at that rate; only the construction cost is saved — this is what
+    /// `ModelBackend::evaluate_batch` sweeps with.
+    pub fn set_rate(&mut self, rate: f64) -> Result<()> {
+        let traffic = self.traffic.with_rate(rate).map_err(ModelError::from)?;
+        self.traffic = traffic;
+        self.times = ChannelTimes::new(self.system.technology(), &traffic);
+        self.rates.rebind(traffic.generation_rate);
+        Ok(())
+    }
+
     /// The system the model describes.
     pub fn system(&self) -> &MultiClusterSystem {
         self.system
@@ -138,6 +152,14 @@ impl<'a> AnalyticalModel<'a> {
 
     /// Evaluates the latency of a single cluster (Eq. 35).
     pub fn cluster_latency(&self, cluster: usize) -> Result<ClusterLatency> {
+        self.cluster_latency_impl(cluster, None)
+    }
+
+    fn cluster_latency_impl(
+        &self,
+        cluster: usize,
+        memos: Option<(&mut intra::IntraJourneyMemo, &mut inter::PairJourneyMemo)>,
+    ) -> Result<ClusterLatency> {
         if cluster >= self.system.num_clusters() {
             return Err(ModelError::InvalidConfiguration {
                 reason: format!(
@@ -147,19 +169,36 @@ impl<'a> AnalyticalModel<'a> {
             });
         }
         let c = self.rates.cluster(cluster);
-        let intra = intra::intra_cluster_latency(
-            c,
-            self.hops.cluster(c.levels),
-            &self.times,
-            &self.options,
-        )?;
-        let inter = inter::inter_cluster_latency(
-            &self.rates,
-            &self.hops,
-            cluster,
-            &self.times,
-            &self.options,
-        )?;
+        let cluster_hops = self.hops.cluster(c.levels);
+        let (intra, inter) = match memos {
+            None => (
+                intra::intra_cluster_latency(c, cluster_hops, &self.times, &self.options)?,
+                inter::inter_cluster_latency(
+                    &self.rates,
+                    &self.hops,
+                    cluster,
+                    &self.times,
+                    &self.options,
+                )?,
+            ),
+            Some((intra_memo, pair_memo)) => (
+                intra::intra_cluster_latency_memoized(
+                    c,
+                    cluster_hops,
+                    &self.times,
+                    &self.options,
+                    intra_memo,
+                )?,
+                inter::inter_cluster_latency_memoized(
+                    &self.rates,
+                    &self.hops,
+                    cluster,
+                    &self.times,
+                    &self.options,
+                    pair_memo,
+                )?,
+            ),
+        };
         let p_o = c.outgoing_probability;
         let mean_latency =
             (1.0 - p_o) * intra.total + p_o * (inter.total + inter.concentrator_wait);
@@ -177,11 +216,19 @@ impl<'a> AnalyticalModel<'a> {
     /// Evaluates the full model (Eq. 36). Fails with [`ModelError::Saturated`] when any
     /// queue or channel of the model is saturated at this load.
     pub fn evaluate(&self) -> Result<LatencyReport> {
+        self.evaluate_impl(None)
+    }
+
+    fn evaluate_impl(
+        &self,
+        mut memos: Option<(&mut intra::IntraJourneyMemo, &mut inter::PairJourneyMemo)>,
+    ) -> Result<LatencyReport> {
         let mut clusters = Vec::with_capacity(self.system.num_clusters());
         let mut total = 0.0;
         let mut max_util: f64 = 0.0;
         for i in 0..self.system.num_clusters() {
-            let cl = self.cluster_latency(i)?;
+            let cl =
+                self.cluster_latency_impl(i, memos.as_mut().map(|(a, b)| (&mut **a, &mut **b)))?;
             total += cl.weight * cl.mean_latency;
             max_util = max_util
                 .max(cl.intra.max_channel_utilization)
@@ -200,6 +247,57 @@ impl<'a> AnalyticalModel<'a> {
     /// this load (useful for plotting truncated curves).
     pub fn total_latency(&self) -> Option<f64> {
         self.evaluate().ok().map(|r| r.total_latency)
+    }
+}
+
+/// A model bound for sweeping many rate points over one system: rebinds the
+/// rates between points ([`AnalyticalModel::set_rate`]) and memoizes the
+/// journey computations within each point, so every distinct cluster class and
+/// `(source class, destination class)` pair journey is solved once per point
+/// instead of once per cluster/pair. The report of [`SweepEvaluator::evaluate_at`]
+/// is bit-identical to a fresh `AnalyticalModel` evaluated at that rate — the
+/// memo keys capture the complete bitwise inputs of each journey — which is
+/// what makes `ModelBackend::evaluate_batch` cheap on heterogeneous
+/// organizations (Org B: 9 distinct pair journeys behind 240 ordered pairs).
+#[derive(Debug)]
+pub struct SweepEvaluator<'a> {
+    model: AnalyticalModel<'a>,
+    intra_memo: intra::IntraJourneyMemo,
+    pair_memo: inter::PairJourneyMemo,
+}
+
+impl<'a> SweepEvaluator<'a> {
+    /// Wraps an already-built model.
+    pub fn new(model: AnalyticalModel<'a>) -> Self {
+        SweepEvaluator {
+            model,
+            intra_memo: intra::IntraJourneyMemo::new(),
+            pair_memo: inter::PairJourneyMemo::new(),
+        }
+    }
+
+    /// Builds the model and the sweep state in one step.
+    pub fn with_options(
+        system: &'a MultiClusterSystem,
+        traffic: &TrafficConfig,
+        options: ModelOptions,
+    ) -> Result<Self> {
+        Ok(Self::new(AnalyticalModel::with_options(system, traffic, options)?))
+    }
+
+    /// The model in its current rate binding.
+    pub fn model(&self) -> &AnalyticalModel<'a> {
+        &self.model
+    }
+
+    /// Rebinds the rates to `rate` and evaluates the full model there,
+    /// bit-identical to [`AnalyticalModel::evaluate`] on a model freshly built
+    /// at that rate.
+    pub fn evaluate_at(&mut self, rate: f64) -> Result<LatencyReport> {
+        self.model.set_rate(rate)?;
+        self.intra_memo.clear();
+        self.pair_memo.clear();
+        self.model.evaluate_impl(Some((&mut self.intra_memo, &mut self.pair_memo)))
     }
 }
 

@@ -207,6 +207,43 @@ impl TorusModel {
         })
     }
 
+    /// Rebinds the model to a new per-node generation rate, recomputing only
+    /// the per-channel rate table from the stored (rate-independent) usage
+    /// counts. Every arithmetic step mirrors [`ChannelLoads::build`] — the
+    /// uniform term uses the identical expression and the hot-spot term is the
+    /// identical repeated addition — so a subsequent [`TorusModel::evaluate`]
+    /// is bit-identical to a model freshly built at that rate.
+    pub fn set_rate(&mut self, rate: f64) -> Result<()> {
+        let traffic = self.traffic.with_rate(rate).map_err(ModelError::from)?;
+        self.traffic = traffic;
+        self.times = ChannelTimes::new(self.torus.technology(), &traffic);
+        let fraction = match (self.hotspot, &traffic.pattern) {
+            (Some(_), TrafficPattern::Hotspot { fraction, .. }) => *fraction,
+            _ => 0.0,
+        };
+        let n = self.cube.num_nodes() as f64;
+        let k = self.cube.radix();
+        let lambda = traffic.generation_rate;
+        let lambda_uniform = if self.hotspot.is_some() {
+            lambda * ((n - 1.0) * (1.0 - fraction) + 1.0) / n
+        } else {
+            lambda
+        };
+        let correction = n / (n - 1.0);
+        for c in 0..self.loads.rate.len() {
+            let u = self.loads.uniform_usage[c];
+            let mut r = if u == 0.0 { 0.0 } else { lambda_uniform * u / k as f64 * correction };
+            // `build` adds `fraction·λ` once per enumerated hot-spot traversal;
+            // repeating the identical addend reproduces its partial-sum
+            // sequence exactly (the traversal counts are exact integers).
+            for _ in 0..self.loads.hotspot_usage[c] as usize {
+                r += fraction * lambda;
+            }
+            self.loads.rate[c] = r;
+        }
+        Ok(())
+    }
+
     /// The system the model describes.
     pub fn torus(&self) -> &TorusSystem {
         &self.torus

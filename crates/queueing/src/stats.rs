@@ -135,6 +135,20 @@ impl Histogram {
         Histogram { bin_width, counts: vec![0; bins], overflow: 0, total: 0 }
     }
 
+    /// Forgets every recorded observation and adopts a new bin width, keeping
+    /// the allocated bin storage — equivalent to `Histogram::new(bin_width,
+    /// self.counts().len())` without the allocation.
+    ///
+    /// # Panics
+    /// Panics if `bin_width` is not positive.
+    pub fn reset(&mut self, bin_width: f64) {
+        assert!(bin_width > 0.0, "bin width must be positive");
+        self.bin_width = bin_width;
+        self.counts.fill(0);
+        self.overflow = 0;
+        self.total = 0;
+    }
+
     /// Records one (non-negative) observation; negative values count as overflow.
     pub fn record(&mut self, x: f64) {
         self.total += 1;

@@ -141,6 +141,25 @@ impl ChannelPool {
         }
     }
 
+    /// Rewinds every channel to idle and forgets all waiter, fault and
+    /// diagnostic state — field-for-field what [`ChannelPool::new`] produces
+    /// over the same flit times, but keeping the channel-state storage, the
+    /// waiter arena's node capacity and the disabled set's allocation.
+    pub fn reset(&mut self) {
+        debug_assert_eq!(self.live_waiters, 0, "reset with waiters still queued");
+        for state in &mut self.states {
+            *state = ChannelState::default();
+        }
+        self.waiters.nodes.clear();
+        self.waiters.free.clear();
+        self.contention_events = 0;
+        self.acquisitions = 0;
+        for down in &mut self.disabled {
+            *down = false;
+        }
+        self.live_waiters = 0;
+    }
+
     /// Number of channels in the pool.
     #[inline]
     pub fn len(&self) -> usize {

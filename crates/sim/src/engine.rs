@@ -84,6 +84,10 @@ pub struct Simulation {
     stats: SimStats,
     rng: SmallRng,
     message_flits: f64,
+    /// Flit length the backend's channel times were built with — a [`reset`]
+    /// (Self::reset) must keep the same message geometry or the baked flit
+    /// times would be stale.
+    flit_bytes: f64,
     generation_target: u64,
     max_events: u64,
     /// Retry budget per message under fault injection (delivery attempts).
@@ -217,6 +221,7 @@ impl Simulation {
             stats,
             rng: SmallRng::seed_from_u64(config.seed),
             message_flits: traffic_cfg.message_flits as f64,
+            flit_bytes: traffic_cfg.flit_bytes,
             generation_target,
             max_events: config.max_events,
             fault_max_attempts: FaultPlan::DEFAULT_MAX_ATTEMPTS,
@@ -255,6 +260,86 @@ impl Simulation {
             }
         }
         Ok(sim)
+    }
+
+    /// Rewinds a finished simulation for a fresh run over the **same fabric,
+    /// routing policy and message geometry**, reusing every grown allocation:
+    /// the event calendar, the channel pool and its waiter arena, the message
+    /// slab, the interned route table (with its scratch free lists), the
+    /// per-node arrival heap, the latency histogram and the adaptive scratch
+    /// buffers. The traffic rate and pattern, the seed, the measurement
+    /// protocol and the fault plan may all change between runs — which is
+    /// exactly the shape of a replication loop or a campaign sweep, where a
+    /// reused engine allocates like a single run.
+    ///
+    /// Reset-then-run is bit-identical to building a fresh simulation with
+    /// the same parameters: every reused structure either rewinds to its
+    /// exact post-construction state or is layout-transparent by contract
+    /// (the calendar queue's pop order, the route arena's offsets). The RNG
+    /// streams are reseeded and the arrival heap re-primed in the same node
+    /// order as construction.
+    ///
+    /// Fails if the message geometry (flit count or flit length) differs from
+    /// the one the fabric's channel times were built with — such a change
+    /// needs a rebuilt backend, not a reset.
+    pub fn reset(
+        &mut self,
+        traffic_cfg: &TrafficConfig,
+        config: &SimConfig,
+        faults: Option<&FaultPlan>,
+    ) -> Result<()> {
+        config.validate()?;
+        if traffic_cfg.message_flits as f64 != self.message_flits
+            || traffic_cfg.flit_bytes != self.flit_bytes
+        {
+            return Err(SimError::InvalidConfiguration {
+                reason: format!(
+                    "reset changes the message geometry ({} flits of {} bytes -> {} flits of {} \
+                     bytes); rebuild the simulation instead",
+                    self.message_flits,
+                    self.flit_bytes,
+                    traffic_cfg.message_flits,
+                    traffic_cfg.flit_bytes
+                ),
+            });
+        }
+        self.traffic.rebind(traffic_cfg)?;
+        self.routes.begin_run();
+        self.pool.reset();
+        self.queue.reset();
+        self.arrivals.clear();
+        self.arrivals_processed = 0;
+        self.messages.clear();
+        let expected_scale = self.message_flits * self.backend.drain_scale();
+        self.stats.reset(config.warmup_messages, config.measured_messages, expected_scale);
+        self.generation_target = self.stats.generation_target(config.drain_messages);
+        self.max_events = config.max_events;
+        self.rng = SmallRng::seed_from_u64(config.seed);
+        self.route_rng = SmallRng::seed_from_u64(config.seed ^ ROUTE_RNG_SEED_OFFSET);
+        self.fault_max_attempts = FaultPlan::DEFAULT_MAX_ATTEMPTS;
+        self.fault_retry_base = FaultPlan::DEFAULT_RETRY_BASE;
+        self.adaptive.clear();
+        // Re-prime the Poisson processes in the same draw order as construction.
+        for node in 0..self.backend.total_nodes() {
+            let dt = self.traffic.sample_interarrival(&mut self.rng);
+            self.arrivals.push(dt, node as u32);
+        }
+        if let Some(plan) = faults {
+            plan.validate()?;
+            self.fault_max_attempts = plan.max_attempts;
+            self.fault_retry_base = plan.retry_base;
+            self.stats.enable_windows(plan.window);
+            for fault in plan.resolve(&self.backend)? {
+                for &channel in &fault.channels {
+                    let kind = match fault.action {
+                        FaultAction::Down => EventKind::ChannelDown { channel },
+                        FaultAction::Up => EventKind::ChannelUp { channel },
+                    };
+                    self.queue.schedule_at(fault.at, kind);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Current simulation time.
@@ -834,6 +919,138 @@ mod tests {
             seed: 7,
             max_events: 5_000_000,
         }
+    }
+
+    /// Runs the simulation to completion and condenses everything the report
+    /// layer reads into a comparable fingerprint.
+    fn run_fingerprint(sim: &mut Simulation) -> (u64, u64, u64, u64, u64, u64) {
+        sim.run().unwrap();
+        (
+            sim.stats().digest(),
+            sim.stats().generated(),
+            sim.stats().delivered(),
+            sim.stats().dropped(),
+            sim.stats().mean_latency().to_bits(),
+            sim.events_processed(),
+        )
+    }
+
+    #[test]
+    fn reset_then_run_is_bit_identical_to_a_fresh_simulation() {
+        use crate::fault::{BridgeUnit, FaultEvent, FaultTarget, RingDir};
+        use mcnet_system::TrafficPattern;
+
+        let system = organizations::small_test_org();
+        let torus = TorusSystem::new(4, 2).unwrap();
+        let cfg_a = small_config();
+        let cfg_b = SimConfig {
+            warmup_messages: 20,
+            measured_messages: 300,
+            drain_messages: 30,
+            seed: 99,
+            max_events: 5_000_000,
+        };
+        let traffic_a = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
+        // The second point changes rate *and* pattern (geometry stays).
+        let traffic_b = TrafficConfig::uniform(8, 256.0, 5e-4)
+            .unwrap()
+            .with_pattern(TrafficPattern::Hotspot { hotspot: 3, fraction: 0.3 })
+            .unwrap();
+        let tree_faults = FaultPlan::new(vec![
+            FaultEvent {
+                at: 50.0,
+                target: FaultTarget::Bridge { cluster: 0, unit: BridgeUnit::Concentrator },
+                action: FaultAction::Down,
+            },
+            FaultEvent {
+                at: 400.0,
+                target: FaultTarget::Bridge { cluster: 0, unit: BridgeUnit::Concentrator },
+                action: FaultAction::Up,
+            },
+        ]);
+        let torus_faults = FaultPlan::new(vec![
+            FaultEvent {
+                at: 50.0,
+                target: FaultTarget::TorusLink { node: 5, dim: 0, dir: RingDir::Plus },
+                action: FaultAction::Down,
+            },
+            FaultEvent {
+                at: 400.0,
+                target: FaultTarget::TorusLink { node: 5, dim: 0, dir: RingDir::Plus },
+                action: FaultAction::Up,
+            },
+        ]);
+
+        // Every (traffic, config, faults) leg a reused engine walks through
+        // must match a freshly built engine bit for bit — including a faulted
+        // leg in the middle, whose disabled-set and window state must not
+        // leak into the fault-free leg after it.
+        for policy in [RoutingPolicy::Deterministic, RoutingPolicy::RandomizedUpDown] {
+            let legs: [(&TrafficConfig, &SimConfig, Option<&FaultPlan>); 4] = [
+                (&traffic_a, &cfg_a, None),
+                (&traffic_b, &cfg_b, None),
+                (&traffic_a, &cfg_a, Some(&tree_faults)),
+                (&traffic_a, &cfg_a, None),
+            ];
+            let mut reused =
+                Simulation::new_routed(&system, legs[0].0, legs[0].1, legs[0].2, policy).unwrap();
+            for (i, (traffic, config, faults)) in legs.into_iter().enumerate() {
+                if i > 0 {
+                    reused.reset(traffic, config, faults).unwrap();
+                }
+                let mut fresh =
+                    Simulation::new_routed(&system, traffic, config, faults, policy).unwrap();
+                assert_eq!(
+                    run_fingerprint(&mut reused),
+                    run_fingerprint(&mut fresh),
+                    "tree {policy:?} leg {i} diverged after reset"
+                );
+            }
+        }
+        for policy in
+            [RoutingPolicy::Deterministic, RoutingPolicy::AdaptiveTorus { adaptive_vcs: 2 }]
+        {
+            let legs: [(&TrafficConfig, &SimConfig, Option<&FaultPlan>); 4] = [
+                (&traffic_a, &cfg_a, None),
+                (&traffic_b, &cfg_b, None),
+                (&traffic_a, &cfg_a, Some(&torus_faults)),
+                (&traffic_a, &cfg_a, None),
+            ];
+            let mut reused =
+                Simulation::new_torus_routed(&torus, legs[0].0, legs[0].1, legs[0].2, policy)
+                    .unwrap();
+            for (i, (traffic, config, faults)) in legs.into_iter().enumerate() {
+                if i > 0 {
+                    reused.reset(traffic, config, faults).unwrap();
+                }
+                let mut fresh =
+                    Simulation::new_torus_routed(&torus, traffic, config, faults, policy).unwrap();
+                assert_eq!(
+                    run_fingerprint(&mut reused),
+                    run_fingerprint(&mut fresh),
+                    "torus {policy:?} leg {i} diverged after reset"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_rejects_a_changed_message_geometry() {
+        let system = organizations::small_test_org();
+        let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
+        let cfg = small_config();
+        let mut sim = Simulation::new(&system, &traffic, &cfg).unwrap();
+        sim.run().unwrap();
+        // Different flit count and different flit size both need a rebuild.
+        let longer = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
+        assert!(sim.reset(&longer, &cfg, None).is_err());
+        let wider = TrafficConfig::uniform(8, 512.0, 1e-3).unwrap();
+        assert!(sim.reset(&wider, &cfg, None).is_err());
+        // A failed reset leaves the engine untouched: a compatible reset
+        // afterwards still reproduces the fresh run exactly.
+        sim.reset(&traffic, &cfg, None).unwrap();
+        let mut fresh = Simulation::new(&system, &traffic, &cfg).unwrap();
+        assert_eq!(run_fingerprint(&mut sim), run_fingerprint(&mut fresh));
     }
 
     #[test]

@@ -205,6 +205,24 @@ impl EventQueue {
         }
     }
 
+    /// Rewinds the queue to time 0 with no pending events, keeping the bucket
+    /// storage and the width calibrated during the previous run. Pop order is
+    /// independent of bucket layout and width (see the determinism contract
+    /// above), so starting the next run on a grown, calibrated calendar is
+    /// bit-transparent to its event order — it only skips the ramp-up
+    /// rebuilds a fresh queue would pay.
+    pub fn reset(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.len = 0;
+        self.cached_min = None;
+        self.recalibrate = false;
+        self.now = 0.0;
+        self.next_seq = 0;
+        self.processed = 0;
+    }
+
     /// Current simulation time.
     #[inline]
     pub fn now(&self) -> f64 {

@@ -162,6 +162,13 @@ impl MessageSlab {
         MessageSlab { slots: Vec::with_capacity(capacity), free: Vec::new() }
     }
 
+    /// Removes every message, keeping the slot storage for the next run. The
+    /// peak-occupancy diagnostic starts over too — it is a per-run number.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+    }
+
     /// Number of live (in-flight) messages.
     #[inline]
     pub fn live(&self) -> usize {

@@ -387,6 +387,18 @@ impl RouteTable {
             .copy_from_slice(channels);
     }
 
+    /// Rewinds the per-run diagnostics for a table reused across runs. The
+    /// interned entries, the arena and the scratch free lists are all kept:
+    /// interned routes are pure functions of the backend and consume no RNG,
+    /// and scratch regions are fully rewritten before every read, so carrying
+    /// them over is bit-transparent to the next run — it just skips the
+    /// re-materialisation a fresh table would pay.
+    pub fn begin_run(&mut self) {
+        debug_assert_eq!(self.scratch_live, 0, "scratch routes leaked across runs");
+        self.scratch_live = 0;
+        self.scratch_peak = 0;
+    }
+
     /// Scratch regions currently allocated (live adaptive messages).
     pub fn live_scratch_routes(&self) -> usize {
         self.scratch_live

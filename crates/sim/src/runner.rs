@@ -157,9 +157,11 @@ pub struct SimReport {
     pub seed: u64,
 }
 
-/// Drives a built simulation to completion and extracts its report.
+/// Drives a built (or freshly reset) simulation to completion and extracts
+/// its report. Takes the simulation by `&mut` so callers can
+/// [`reset`](Simulation::reset) and re-run it without reallocating.
 pub(crate) fn report_from(
-    mut sim: Simulation,
+    sim: &mut Simulation,
     traffic: &TrafficConfig,
     config: &SimConfig,
 ) -> Result<SimReport> {
@@ -218,40 +220,55 @@ pub struct ReplicatedReport {
     pub halfwidth_95: Option<f64>,
 }
 
-/// The shared replication driver: fans per-replication configs over
-/// `parallel_map` and aggregates in replication order, for any backend's
-/// single-run function. [`Scenario::replicate`] is the public face.
+/// The shared replication driver: fans per-replication configs over the
+/// worker pool and aggregates in replication order, for any backend's
+/// single-run function. Each worker thread carries one engine cache slot, so
+/// a run function built on [`Scenario::run_point_reusing`] resets one engine
+/// per worker instead of allocating one per replication.
+/// [`Scenario::replicate`] is the public face.
 pub(crate) fn replicate_with<F>(
     config: &SimConfig,
     replications: usize,
     run: F,
 ) -> Result<ReplicatedReport>
 where
-    F: Fn(SimConfig) -> Result<SimReport> + Sync,
+    F: Fn(&mut Option<Simulation>, SimConfig) -> Result<SimReport> + Sync,
 {
     if replications == 0 {
         return Err(SimError::InvalidConfiguration {
             reason: "at least one replication is required".into(),
         });
     }
-    let results = mcnet_system::parallel::parallel_map((0..replications).collect(), |_, r| {
-        run(SimConfig { seed: config.seed.wrapping_add(r as u64), ..*config })
-    });
+    let results = mcnet_system::parallel::parallel_map_with(
+        (0..replications).collect(),
+        || None,
+        |slot, _, r| run(slot, SimConfig { seed: config.seed.wrapping_add(r as u64), ..*config }),
+    );
 
     let mut replication_reports = Vec::with_capacity(replications);
     for r in results {
         replication_reports.push(r?);
     }
+    Ok(aggregate_replications(replication_reports))
+}
+
+/// Aggregates per-replication reports (in replication order) into a
+/// [`ReplicatedReport`] — the one aggregation both the pool-fanned
+/// [`replicate_with`] and the sequential
+/// [`Scenario::execute_reusing`](crate::scenario::Scenario::execute_reusing)
+/// path share, so a campaign cell and a standalone `replicate` produce
+/// bit-identical aggregates from the same per-replication reports.
+pub(crate) fn aggregate_replications(replication_reports: Vec<SimReport>) -> ReplicatedReport {
     let mut stats = RunningStats::new();
     for r in &replication_reports {
         stats.push(r.mean_latency);
     }
     let halfwidth = mcnet_queueing::stats::confidence_interval_halfwidth(&stats, 0.95);
-    Ok(ReplicatedReport {
+    ReplicatedReport {
         mean_latency: stats.mean(),
         halfwidth_95: halfwidth.is_finite().then_some(halfwidth),
         replications: replication_reports,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -149,7 +149,9 @@ impl Scenario {
     /// bit-identical to the legacy `run_replications` /
     /// `run_torus_replications` contract.
     pub fn replicate(&self, n: usize) -> Result<ReplicatedReport> {
-        replicate_with(&self.config, n, |cfg| self.run_point(&self.traffic, &cfg))
+        replicate_with(&self.config, n, |slot, cfg| {
+            self.run_point_reusing(slot, &self.traffic, &cfg)
+        })
     }
 
     /// Runs the scenario as planned: [`Scenario::run`] when `replications` is
@@ -160,6 +162,34 @@ impl Scenario {
         } else {
             Ok(ScenarioOutcome::Replicated(self.replicate(self.replications)?))
         }
+    }
+
+    /// [`Scenario::execute`] against a caller-held engine cache, for drivers
+    /// (campaigns) that are themselves already fanned over the worker pool:
+    /// replications run *sequentially* on the calling thread — nesting another
+    /// `parallel_map` would multiply thread counts — and every run resets the
+    /// cached engine in place instead of allocating a fresh one.
+    ///
+    /// Bit-identical to [`Scenario::execute`]: replication `r` uses seed
+    /// `seed + r` and the aggregate is computed in replication order, exactly
+    /// the [`Scenario::replicate`] contract. The slot must only ever be fed
+    /// scenarios of compatible shape — [`Simulation::reset`] checks message
+    /// geometry but **not** fabric identity, so callers switching fabrics or
+    /// routing policies between runs must clear (or key) the slot themselves.
+    pub fn execute_reusing(&self, slot: &mut Option<Simulation>) -> Result<ScenarioOutcome> {
+        if self.replications == 1 {
+            return Ok(ScenarioOutcome::Single(Box::new(self.run_point_reusing(
+                slot,
+                &self.traffic,
+                &self.config,
+            )?)));
+        }
+        let mut reports = Vec::with_capacity(self.replications);
+        for r in 0..self.replications {
+            let config = SimConfig { seed: self.config.seed.wrapping_add(r as u64), ..self.config };
+            reports.push(self.run_point_reusing(slot, &self.traffic, &config)?);
+        }
+        Ok(ScenarioOutcome::Replicated(crate::runner::aggregate_replications(reports)))
     }
 
     /// Sweeps the generation rate over `rates`, one single run per point.
@@ -182,10 +212,15 @@ impl Scenario {
     /// grid — a silent empty report used to be the failure mode).
     pub fn sweep_outcomes(&self, rates: &[f64]) -> Result<Vec<Result<SimReport>>> {
         let configs = self.materialize_grid(rates)?;
-        Ok(mcnet_system::parallel::parallel_map(configs, |i, traffic| {
-            let config = SimConfig { seed: self.config.seed.wrapping_add(i as u64), ..self.config };
-            self.run_point(&traffic, &config)
-        }))
+        Ok(mcnet_system::parallel::parallel_map_with(
+            configs,
+            || None,
+            |slot, i, traffic| {
+                let config =
+                    SimConfig { seed: self.config.seed.wrapping_add(i as u64), ..self.config };
+                self.run_point_reusing(slot, &traffic, &config)
+            },
+        ))
     }
 
     /// Sweeps the generation rate over `rates` with `n` replications per point.
@@ -203,7 +238,11 @@ impl Scenario {
         let configs = self.materialize_grid(rates)?;
         Ok(configs
             .into_iter()
-            .map(|traffic| replicate_with(&self.config, n, |cfg| self.run_point(&traffic, &cfg)))
+            .map(|traffic| {
+                replicate_with(&self.config, n, |slot, cfg| {
+                    self.run_point_reusing(slot, &traffic, &cfg)
+                })
+            })
             .collect())
     }
 
@@ -268,14 +307,17 @@ impl Scenario {
     /// be treated as missing, an [`SimError::InvalidSpec`] outer error for a
     /// degenerate grid.
     pub fn evaluate_sweep(&self, rates: &[f64]) -> Result<Vec<Result<ModelReport>>> {
-        let configs = self.materialize_grid(rates)?;
-        let backend = self.model_backend();
-        Ok(configs
-            .into_iter()
-            .map(|traffic| {
-                Ok(backend.evaluate(&traffic, self.model_options(ModelOptions::default()))?)
-            })
-            .collect())
+        // Validates the grid exactly as the simulation sweep does.
+        self.materialize_grid(rates)?;
+        // Batched evaluation: the load/saturation structure is built once and
+        // every rate point rebinds over it — bit-identical to a pointwise
+        // `evaluate` loop (see `evaluate_batch`), several times faster.
+        let reports = self.model_backend().evaluate_batch(
+            &self.traffic,
+            rates,
+            self.model_options(ModelOptions::default()),
+        )?;
+        Ok(reports.into_iter().map(|r| r.map_err(SimError::from)).collect())
     }
 
     /// Validates and materializes a sweep's rate grid. An empty grid used to
@@ -297,19 +339,58 @@ impl Scenario {
         })
     }
 
+    /// Builds the engine for one run — the fabric dispatch shared by the
+    /// fresh and the engine-reusing run paths.
+    fn build_sim(&self, traffic: &TrafficConfig, config: &SimConfig) -> Result<Simulation> {
+        let faults = self.faults.as_ref();
+        match &self.fabric {
+            Fabric::Tree(system) => {
+                Simulation::new_routed(system, traffic, config, faults, self.routing)
+            }
+            Fabric::Torus(torus) => {
+                Simulation::new_torus_routed(torus, traffic, config, faults, self.routing)
+            }
+        }
+    }
+
     /// One simulation run at an explicit traffic point and protocol — the
     /// primitive every public entry point reduces to.
     fn run_point(&self, traffic: &TrafficConfig, config: &SimConfig) -> Result<SimReport> {
-        let faults = self.faults.as_ref();
-        let sim = match &self.fabric {
-            Fabric::Tree(system) => {
-                Simulation::new_routed(system, traffic, config, faults, self.routing)?
+        let mut sim = self.build_sim(traffic, config)?;
+        report_from(&mut sim, traffic, config)
+    }
+
+    /// [`Scenario::run_point`] against a per-worker engine cache: a cached
+    /// engine is [`reset`](Simulation::reset) in place (reusing all of its
+    /// grown allocations); a missing or incompatible one is built fresh and
+    /// cached. Bit-identical to `run_point` by the reset contract — the cache
+    /// only changes how much the run allocates. The slot must only ever be
+    /// fed runs of this same scenario (same fabric and routing policy); sweep
+    /// and replication workers hold one slot per thread for exactly that use.
+    pub(crate) fn run_point_reusing(
+        &self,
+        slot: &mut Option<Simulation>,
+        traffic: &TrafficConfig,
+        config: &SimConfig,
+    ) -> Result<SimReport> {
+        if let Some(sim) = slot {
+            if sim.reset(traffic, config, self.faults.as_ref()).is_ok() {
+                let report = report_from(sim, traffic, config);
+                if report.is_err() {
+                    // A run that died mid-flight (exhausted event budget)
+                    // leaves live in-flight state; drop the engine rather
+                    // than reset around it.
+                    *slot = None;
+                }
+                return report;
             }
-            Fabric::Torus(torus) => {
-                Simulation::new_torus_routed(torus, traffic, config, faults, self.routing)?
-            }
-        };
-        report_from(sim, traffic, config)
+            // Incompatible (e.g. a changed message geometry): rebuild below.
+            *slot = None;
+        }
+        let mut sim = self.build_sim(traffic, config)?;
+        let report = report_from(&mut sim, traffic, config)?;
+        *slot = Some(sim);
+        Ok(report)
     }
 }
 
@@ -1149,6 +1230,32 @@ mod tests {
         let json = replicated.to_json().to_pretty();
         let parsed = Json::parse(&json).unwrap();
         assert_eq!(parsed.as_object().unwrap()["kind"].as_str(), Some("replicated"));
+    }
+
+    #[test]
+    fn execute_reusing_is_bit_identical_to_execute() {
+        // One cached engine serves a single run, a replicated aggregate and a
+        // different-rate single run back to back — each outcome equal to the
+        // fresh-engine `execute` of the same scenario.
+        let mut slot = None;
+        let single = quick_tree_scenario(5);
+        assert_eq!(single.execute_reusing(&mut slot).unwrap(), single.execute().unwrap());
+        assert!(slot.is_some(), "the engine must stay cached for the next cell");
+
+        let replicated = Scenario::builder()
+            .tree(organizations::small_test_org())
+            .traffic(TrafficConfig::uniform(8, 256.0, 2e-3).unwrap())
+            .config(SimConfig::quick(41))
+            .replications(3)
+            .build()
+            .unwrap();
+        assert_eq!(replicated.execute_reusing(&mut slot).unwrap(), replicated.execute().unwrap());
+
+        let single_again = quick_tree_scenario(77);
+        assert_eq!(
+            single_again.execute_reusing(&mut slot).unwrap(),
+            single_again.execute().unwrap()
+        );
     }
 
     #[test]

@@ -154,6 +154,32 @@ impl SimStats {
         }
     }
 
+    /// Rewinds the accumulator for a fresh run with new warm-up/measurement
+    /// targets and latency scale — field-for-field what [`SimStats::new`]
+    /// produces, but keeping the histogram's bin storage. The windowed time
+    /// series is disabled again; a fault plan re-enables it per run.
+    pub fn reset(&mut self, warmup: u64, measured: u64, expected_scale: f64) {
+        let bin = (expected_scale / 10.0).max(1e-9);
+        self.warmup = warmup;
+        self.measured_target = measured;
+        self.generated = 0;
+        self.delivered = 0;
+        self.delivered_measured = 0;
+        self.latency = RunningStats::new();
+        self.intra_latency = RunningStats::new();
+        self.inter_latency = RunningStats::new();
+        self.histogram.reset(bin);
+        self.max_latency = 0.0;
+        self.retransmits = 0;
+        self.dropped = 0;
+        self.dropped_measured = 0;
+        self.attempt_latency = RunningStats::new();
+        self.adaptive_misroutes = 0;
+        self.escape_fallbacks = 0;
+        self.digest = FNV_OFFSET;
+        self.windows = None;
+    }
+
     /// Turns on the windowed time series with the given bucket width (fault
     /// runs only; fault-free reports keep an empty series).
     pub fn enable_windows(&mut self, width: f64) {

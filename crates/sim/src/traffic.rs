@@ -48,6 +48,17 @@ impl TrafficSource {
         total_nodes: usize,
         cluster_ranges: Vec<(usize, usize)>,
     ) -> Result<Self> {
+        Self::check(traffic, total_nodes)?;
+        Ok(TrafficSource {
+            generation_rate: traffic.generation_rate,
+            pattern: traffic.pattern,
+            total_nodes,
+            cluster_ranges,
+        })
+    }
+
+    /// Validates a traffic configuration against a node count.
+    fn check(traffic: &TrafficConfig, total_nodes: usize) -> Result<()> {
         traffic.validate().map_err(SimError::from)?;
         if traffic.generation_rate <= 0.0 {
             return Err(SimError::InvalidConfiguration {
@@ -61,12 +72,18 @@ impl TrafficSource {
                 });
             }
         }
-        Ok(TrafficSource {
-            generation_rate: traffic.generation_rate,
-            pattern: traffic.pattern,
-            total_nodes,
-            cluster_ranges,
-        })
+        Ok(())
+    }
+
+    /// Re-validates and adopts a new traffic configuration over the same node
+    /// partition: the rate and pattern may change between runs, the topology
+    /// (and therefore the partition ranges) may not. Used by the engine's run
+    /// reuse so campaign cells never rebuild their source.
+    pub fn rebind(&mut self, traffic: &TrafficConfig) -> Result<()> {
+        Self::check(traffic, self.total_nodes)?;
+        self.generation_rate = traffic.generation_rate;
+        self.pattern = traffic.pattern;
+        Ok(())
     }
 
     /// The per-node generation rate.

@@ -35,9 +35,31 @@ where
     U: Send,
     F: Fn(usize, T) -> U + Sync,
 {
+    parallel_map_with(items, || (), |(), i, item| f(i, item))
+}
+
+/// [`parallel_map`] with reusable per-worker state: `init` runs once on each
+/// worker thread and the resulting value is threaded mutably through every
+/// item that worker claims.
+///
+/// This is the scheduling shape of allocation reuse: a worker that processes
+/// many simulation runs keeps one engine (or other scratch arena) alive in
+/// `S` and resets it between items instead of reallocating. The determinism
+/// contract is unchanged — and therefore demands that the *value* of each
+/// result stays a function of `(index, item)` only: `S` may cache arenas and
+/// buffers, never anything that leaks into results, since which items share a
+/// worker (and in what order) is scheduling-dependent.
+pub fn parallel_map_with<T, U, S, I, F>(items: Vec<T>, init: I, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, T) -> U + Sync,
+{
     let workers = max_workers().min(items.len());
     if workers <= 1 {
-        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        let mut state = init();
+        return items.into_iter().enumerate().map(|(i, item)| f(&mut state, i, item)).collect();
     }
 
     let n = items.len();
@@ -47,18 +69,21 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("work slot poisoned")
+                        .take()
+                        .expect("work item claimed twice");
+                    let out = f(&mut state, i, item);
+                    *results[i].lock().expect("result slot poisoned") = Some(out);
                 }
-                let item = slots[i]
-                    .lock()
-                    .expect("work slot poisoned")
-                    .take()
-                    .expect("work item claimed twice");
-                let out = f(i, item);
-                *results[i].lock().expect("result slot poisoned") = Some(out);
             });
         }
     });
@@ -115,6 +140,45 @@ mod tests {
     fn empty_and_single_inputs_run_inline() {
         assert!(parallel_map(Vec::<u8>::new(), |_, x| x).is_empty());
         assert_eq!(parallel_map(vec![9], |i, x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn per_worker_state_is_initialized_once_per_thread_and_reused() {
+        // Each worker tags its results with its own monotonically increasing
+        // counter: every item sees a state that was used `>= 1` times, the
+        // number of distinct states is bounded by the worker count, and the
+        // result values remain a pure function of the input item.
+        let out = parallel_map_with(
+            (0..200usize).collect::<Vec<_>>(),
+            || 0usize,
+            |seen, i, item| {
+                *seen += 1;
+                assert_eq!(i, item);
+                (item * 2, std::thread::current().id())
+            },
+        );
+        assert_eq!(out.len(), 200);
+        let mut threads = HashSet::new();
+        for (i, (v, thread)) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+            threads.insert(*thread);
+        }
+        assert!(threads.len() <= max_workers());
+    }
+
+    #[test]
+    fn inline_fallback_threads_one_state_through_every_item() {
+        // Zero/one items run inline on the caller's thread with a single state.
+        assert!(parallel_map_with(Vec::<u8>::new(), || 0, |_, _, x| x).is_empty());
+        let out = parallel_map_with(
+            vec![5u8],
+            || 41,
+            |s: &mut i32, i, x| {
+                *s += 1;
+                (i, x, *s)
+            },
+        );
+        assert_eq!(out, vec![(0, 5, 42)]);
     }
 
     #[test]

@@ -105,6 +105,17 @@ fn torus_ring_cut_dips_and_recovers() {
 }
 
 #[test]
+fn adaptive_torus_ring_cut_dips_and_recovers() {
+    // The adaptive twin of torus_ring_cut: same fabric, traffic and outage,
+    // routed adaptively — the fault time-series exemplars cover adaptive
+    // routing too, with its own pinned degraded-mode digest.
+    check_outage_profile("specs/torus_ring_cut_adaptive.json");
+    let (_, report) = run_spec("specs/torus_ring_cut_adaptive.json");
+    assert_eq!(report.routing, "adaptive_torus");
+    assert!(report.adaptive_misroutes > 0, "the adaptive policy must actually deviate");
+}
+
+#[test]
 fn fault_free_control_matches_pinned_digest() {
     // The fault-free exemplar run through the very same code path must keep
     // its golden digest: the fault machinery is inert without a plan. Pinned

@@ -5,7 +5,9 @@
 //! elements-per-second throughput when a [`Throughput`] was declared.
 //!
 //! Setting `MCNET_BENCH_QUICK=1` (the CI smoke mode) clamps every benchmark to
-//! one sample of one iteration so a full `cargo bench` run stays cheap.
+//! one sample of one iteration so a full `cargo bench` run stays cheap;
+//! `MCNET_BENCH_SAMPLES=N` instead runs N one-iteration samples without the
+//! timed warm-up, so CI can take a cheap min-of-N for its regression gates.
 //!
 //! Besides the console report, every benchmark result is appended to a
 //! machine-readable `BENCH_results.json` at the workspace root (override the
@@ -39,6 +41,16 @@ impl Default for Criterion {
 
 fn quick_mode() -> bool {
     std::env::var("MCNET_BENCH_QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+}
+
+/// `MCNET_BENCH_SAMPLES=N` (ignored in quick mode) runs exactly N samples of
+/// one iteration each, skipping the timed warm-up: the cheap middle ground
+/// between the one-sample quick smoke and a fully calibrated run. CI uses
+/// `N>=3` for the gated benchmarks so the regression gate can compare
+/// `min_ms` — the minimum over N samples — instead of a single-sample mean
+/// that fires on scheduler noise.
+fn sample_override() -> Option<usize> {
+    std::env::var("MCNET_BENCH_SAMPLES").ok()?.parse::<usize>().ok().filter(|&n| n > 0)
 }
 
 impl Criterion {
@@ -207,10 +219,11 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
 
     // Warm-up: run single iterations until the warm-up budget is spent, which
     // also calibrates the per-iteration cost.
+    let override_samples = if quick { None } else { sample_override() };
     let mut one = Bencher { iters: 1, elapsed: Duration::ZERO };
     f(&mut one);
     let mut per_iter = one.elapsed.max(Duration::from_nanos(1));
-    if !quick {
+    if !quick && override_samples.is_none() {
         let warmup_start = Instant::now();
         while warmup_start.elapsed() < config.warm_up_time {
             f(&mut one);
@@ -220,6 +233,8 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
 
     let (samples, iters_per_sample) = if quick {
         (1usize, 1u64)
+    } else if let Some(n) = override_samples {
+        (n, 1u64)
     } else {
         let per_sample = config.measurement_time.as_secs_f64() / config.sample_size as f64;
         let iters = (per_sample / per_iter.as_secs_f64()).clamp(1.0, 1e9) as u64;
