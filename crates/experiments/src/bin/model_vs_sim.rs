@@ -13,15 +13,24 @@
 //! tolerance (default 0.25 — generous against quick-protocol noise; the
 //! integration tests pin the tighter 10% torus claim at reduced protocol).
 
-use mcnet_experiments::comparison::{validate_spec, validation_to_markdown, SpecValidation};
+use mcnet_experiments::comparison::{
+    burstiness_scan, burstiness_to_markdown, validate_spec, validation_to_markdown, SpecValidation,
+};
 use mcnet_experiments::EvaluationEffort;
-use mcnet_sim::ScenarioSpec;
+use mcnet_sim::{ScenarioSpec, TrafficSourceSpec};
 
 /// Sweep points as fractions of the analytical saturation rate: the
 /// steady-state region the accuracy claim is about, plus one near-knee point
 /// for context (not gated).
 const FRACTIONS: &[f64] = &[0.2, 0.35, 0.5, 0.8];
 const STEADY_FRACTION: f64 = 0.7;
+
+/// Duty cycles of the burstiness scan run for every ON-OFF spec: the error
+/// trend is documented from near-Poisson (duty 0.9) down to strongly bursty
+/// (duty 0.25). Only the Poisson control point is gated — the bursty points
+/// measure, on purpose, how far the model's Poisson assumption drifts.
+const SCAN_DUTIES: &[f64] = &[0.9, 0.5, 0.25];
+const SCAN_FRACTION: f64 = 0.35;
 
 fn main() {
     let mut tolerance = 0.25f64;
@@ -64,19 +73,48 @@ fn main() {
     }
 
     let mut cases: Vec<SpecValidation> = Vec::with_capacity(spec_paths.len());
+    let mut failed = false;
     for path in &spec_paths {
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-        let spec = ScenarioSpec::from_json(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        let spec = ScenarioSpec::from_json_file(std::path::Path::new(path))
+            .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
         eprintln!("# validating {} ({path})", spec.name);
         let case = validate_spec(&spec, effort, FRACTIONS, steady_fraction)
             .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
         cases.push(case);
+
+        // Every ON-OFF spec gets a burstiness-vs-error row set: the same
+        // fabric and load with the arrival process swept from Poisson into
+        // the spec's bursty regime. The Poisson control is gated against the
+        // tolerance; the bursty rows document the drift.
+        if matches!(spec.source, TrafficSourceSpec::OnOff { .. }) {
+            let points = burstiness_scan(&spec, effort, SCAN_DUTIES, SCAN_FRACTION)
+                .unwrap_or_else(|e| fail(&format!("{path}: burstiness scan: {e}")));
+            println!("{}", burstiness_to_markdown(&spec.name, &points));
+            match points.iter().find(|p| p.duty.is_none()) {
+                Some(control) if control.relative_error <= tolerance => eprintln!(
+                    "ok   {}: poisson-control error {:.1}% (tolerance {:.1}%)",
+                    spec.name,
+                    100.0 * control.relative_error,
+                    100.0 * tolerance
+                ),
+                Some(control) => {
+                    eprintln!(
+                        "FAIL {}: poisson-control error {:.1}% exceeds the {:.1}% tolerance",
+                        spec.name,
+                        100.0 * control.relative_error,
+                        100.0 * tolerance
+                    );
+                    failed = true;
+                }
+                None => {
+                    eprintln!("FAIL {}: burstiness scan lost its poisson control", spec.name);
+                    failed = true;
+                }
+            }
+        }
     }
 
     println!("{}", validation_to_markdown(&cases));
-
-    let mut failed = false;
     for case in &cases {
         let err = case.summary.steady_state_error;
         if case.summary.steady_state_points == 0 {

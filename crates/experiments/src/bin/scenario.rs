@@ -49,10 +49,8 @@ fn main() {
     }
     let spec_path = spec_path.unwrap_or_else(|| usage("a spec file is required"));
 
-    let text = std::fs::read_to_string(&spec_path)
-        .unwrap_or_else(|e| fail(&format!("cannot read {spec_path}: {e}")));
-    let mut spec =
-        ScenarioSpec::from_json(&text).unwrap_or_else(|e| fail(&format!("{spec_path}: {e}")));
+    let mut spec = ScenarioSpec::from_json_file(std::path::Path::new(&spec_path))
+        .unwrap_or_else(|e| fail(&format!("{spec_path}: {e}")));
     if let Some(protocol) = protocol_override {
         spec = spec.with_protocol(protocol);
     }

@@ -106,10 +106,7 @@ impl Campaign {
         }
         let mut cells = Vec::with_capacity(files.len());
         for (index, path) in files.iter().enumerate() {
-            let text = std::fs::read_to_string(path).map_err(|e| {
-                ExperimentError::InvalidExperiment(format!("cannot read {}: {e}", path.display()))
-            })?;
-            let spec = ScenarioSpec::from_json(&text).map_err(|e| {
+            let spec = ScenarioSpec::from_json_file(path).map_err(|e| {
                 ExperimentError::InvalidExperiment(format!("{}: {e}", path.display()))
             })?;
             cells.push(CampaignCell { index, spec });
@@ -131,18 +128,23 @@ impl Campaign {
     ///     "fabric": [{"kind": "torus", "radix": 4, "dimensions": 2}],
     ///     "routing": [null, {"policy": "adaptive_torus", "adaptive_vcs": 2}],
     ///     "rate": [5e-4, 1e-3, 2e-3],
+    ///     "burstiness": [null, 0.5, 0.25],
     ///     "seed": [1, 2]
     ///   }
     /// }
     /// ```
     ///
     /// Every axis is optional; a missing axis keeps the base spec's value. The
-    /// cross product is expanded in `fabric → routing → rate → seed` order
-    /// (the innermost axis varies fastest). A routing-axis entry of `null`
-    /// means deterministic routing (the spec's no-`"routing"`-key form). Cell
-    /// seeds come from the seed axis when present, otherwise
-    /// `base_seed + cell_index` — so grid cells are independent replications
-    /// by construction. Cell names are `<base name>/<4-digit index>`.
+    /// cross product is expanded in `fabric → routing → rate → burstiness →
+    /// seed` order (the innermost axis varies fastest). A routing-axis entry
+    /// of `null` means deterministic routing (the spec's no-`"routing"`-key
+    /// form). A burstiness-axis entry is `null` (Poisson arrivals, the spec's
+    /// no-`"source"`-key form), a number (an ON-OFF source's duty cycle) or a
+    /// full `traffic.source` object spliced verbatim. Cell seeds come from the
+    /// seed axis when present, otherwise `base_seed + cell_index` — so grid
+    /// cells are independent replications by construction, and the traffic
+    /// source (bursty or not) draws from the cell's own deterministic seed.
+    /// Cell names are `<base name>/<4-digit index>`.
     ///
     /// Axis *values* are spliced into the base spec's JSON and re-parsed
     /// through [`ScenarioSpec::from_json`], so they get exactly the spec
@@ -177,7 +179,7 @@ impl Campaign {
                 .as_object()
                 .ok_or_else(|| invalid("campaign \"axes\" must be an object".into()))?,
         };
-        check_keys(axes, "\"axes\"", &["fabric", "routing", "rate", "seed"])?;
+        check_keys(axes, "\"axes\"", &["fabric", "routing", "rate", "burstiness", "seed"])?;
         let axis = |key: &str| -> Result<Option<Vec<Json>>> {
             match axes.get(key) {
                 None => Ok(None),
@@ -193,6 +195,7 @@ impl Campaign {
         let fabrics = axis("fabric")?.map_or(vec![None], |v| v.into_iter().map(Some).collect());
         let routings = axis("routing")?.map_or(vec![None], |v| v.into_iter().map(Some).collect());
         let rates = axis("rate")?.map_or(vec![None], |v| v.into_iter().map(Some).collect());
+        let bursts = axis("burstiness")?.map_or(vec![None], |v| v.into_iter().map(Some).collect());
         let seeds = axis("seed")?.map_or(vec![None], |v| v.into_iter().map(Some).collect());
 
         let mut cells = Vec::with_capacity(fabrics.len() * routings.len() * rates.len());
@@ -200,44 +203,68 @@ impl Campaign {
         for fabric in &fabrics {
             for routing in &routings {
                 for rate in &rates {
-                    for seed in &seeds {
-                        let mut cell = base_doc.clone();
-                        cell.insert("name".into(), Json::String(format!("{name}/{index:04}")));
-                        if let Some(f) = fabric {
-                            cell.insert("fabric".into(), f.clone());
-                        }
-                        match routing {
-                            None => {}
-                            Some(Json::Null) => {
-                                cell.remove("routing");
+                    for burst in &bursts {
+                        for seed in &seeds {
+                            let mut cell = base_doc.clone();
+                            cell.insert("name".into(), Json::String(format!("{name}/{index:04}")));
+                            if let Some(f) = fabric {
+                                cell.insert("fabric".into(), f.clone());
                             }
-                            Some(r) => {
-                                cell.insert("routing".into(), r.clone());
+                            match routing {
+                                None => {}
+                                Some(Json::Null) => {
+                                    cell.remove("routing");
+                                }
+                                Some(r) => {
+                                    cell.insert("routing".into(), r.clone());
+                                }
                             }
+                            if rate.is_some() || burst.is_some() {
+                                let traffic = cell
+                                    .get_mut("traffic")
+                                    .and_then(|t| match t {
+                                        Json::Object(map) => Some(map),
+                                        _ => None,
+                                    })
+                                    .ok_or_else(|| {
+                                        invalid(
+                                            "campaign \"base\" needs a \"traffic\" object".into(),
+                                        )
+                                    })?;
+                                if let Some(r) = rate {
+                                    traffic.insert("generation_rate".into(), r.clone());
+                                }
+                                match burst {
+                                    None => {}
+                                    Some(Json::Null) => {
+                                        traffic.remove("source");
+                                    }
+                                    Some(Json::Number(duty)) => {
+                                        traffic.insert(
+                                            "source".into(),
+                                            object([
+                                                ("kind", Json::String("on_off".into())),
+                                                ("duty", Json::Number(*duty)),
+                                            ]),
+                                        );
+                                    }
+                                    Some(s) => {
+                                        traffic.insert("source".into(), s.clone());
+                                    }
+                                }
+                            }
+                            match seed {
+                                Some(s) => cell.insert("seed".into(), s.clone()),
+                                None => cell.insert(
+                                    "seed".into(),
+                                    seed_to_json(base_spec.seed.wrapping_add(index as u64)),
+                                ),
+                            };
+                            let spec = ScenarioSpec::from_json(&Json::Object(cell).to_compact())
+                                .map_err(|e| invalid(format!("campaign cell {index}: {e}")))?;
+                            cells.push(CampaignCell { index, spec });
+                            index += 1;
                         }
-                        if let Some(r) = rate {
-                            let traffic = cell
-                                .get_mut("traffic")
-                                .and_then(|t| match t {
-                                    Json::Object(map) => Some(map),
-                                    _ => None,
-                                })
-                                .ok_or_else(|| {
-                                    invalid("campaign \"base\" needs a \"traffic\" object".into())
-                                })?;
-                            traffic.insert("generation_rate".into(), r.clone());
-                        }
-                        match seed {
-                            Some(s) => cell.insert("seed".into(), s.clone()),
-                            None => cell.insert(
-                                "seed".into(),
-                                seed_to_json(base_spec.seed.wrapping_add(index as u64)),
-                            ),
-                        };
-                        let spec = ScenarioSpec::from_json(&Json::Object(cell).to_compact())
-                            .map_err(|e| invalid(format!("campaign cell {index}: {e}")))?;
-                        cells.push(CampaignCell { index, spec });
-                        index += 1;
                     }
                 }
             }
@@ -553,6 +580,7 @@ impl CampaignReport {
                     ("seed", seed_to_json(c.spec.seed)),
                     ("replications", Json::from_u64(c.spec.replications as u64)),
                     ("routing", Json::String(c.spec.routing.spec_name().into())),
+                    ("source", c.spec.source.to_json()),
                     ("protocol", Json::String(c.spec.protocol.as_str().into())),
                     ("status", Json::String(c.status.as_str().into())),
                     ("model", c.model.as_ref().map_or(Json::Null, model_report_json)),

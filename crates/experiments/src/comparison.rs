@@ -19,7 +19,7 @@
 
 use crate::figures::FigurePanel;
 use crate::{EvaluationEffort, ExperimentError, Result};
-use mcnet_sim::{Scenario, ScenarioSpec, SimError};
+use mcnet_sim::{Scenario, ScenarioSpec, SimError, TrafficSourceSpec};
 use serde::{Deserialize, Serialize};
 
 /// Relative error of one traffic point.
@@ -93,6 +93,11 @@ pub struct SpecValidation {
     pub fabric: String,
     /// Destination pattern, as a short tag (`uniform`, `hotspot`, …).
     pub pattern: String,
+    /// Burstiness index of the spec's arrival process: the squared coefficient
+    /// of variation of a node's interarrival times (1.0 for Poisson, larger
+    /// for ON-OFF and bursty traces — see
+    /// [`mcnet_sim::TrafficSourceSpec::burstiness`]).
+    pub burstiness: f64,
     /// The analytical saturation rate the sweep fractions are anchored to.
     pub model_saturation: f64,
     /// Accuracy summary over the swept points.
@@ -123,15 +128,47 @@ pub fn validate_spec(
         .name(spec.name.clone())
         .fabric(spec.fabric.build().map_err(ExperimentError::from)?)
         .traffic(spec.traffic)
+        .source(spec.source.clone())
         .config(effort.sim_config(spec.seed))
         .routing(spec.routing)
         .build()
         .map_err(ExperimentError::from)?;
+    let burstiness =
+        spec.source.burstiness(spec.traffic.generation_rate).map_err(ExperimentError::from)?;
 
     // The saturation anchor respects the spec's routing policy: an adaptive
     // spec sweeps fractions of the *adaptive-load* model's (later) saturation
     // point, so the gated region matches the policy actually simulated.
     let saturation = scenario.find_saturation_rate(1e-4).map_err(ExperimentError::from)?;
+
+    // A trace-driven source replays a fixed arrival record: sweeping the rate
+    // axis would not move the simulated load, so the fractions of saturation
+    // would compare the model at swept loads against a simulation pinned at
+    // the trace's own load. Validate the single configured point instead —
+    // the model evaluates at the trace's effective rate (the scenario's
+    // effective-rate contract), the simulation replays the trace.
+    if matches!(spec.source, TrafficSourceSpec::TraceReplay { .. }) {
+        let model = scenario.evaluate().map_err(ExperimentError::from)?;
+        let sim = scenario.run().map_err(ExperimentError::from)?;
+        let mut points = Vec::new();
+        if sim.mean_latency > 0.0 {
+            points.push(PointError {
+                rate: model.generation_rate,
+                analysis: model.mean_latency,
+                simulation: sim.mean_latency,
+                relative_error: (model.mean_latency - sim.mean_latency).abs() / sim.mean_latency,
+                steady_state: true,
+            });
+        }
+        return Ok(SpecValidation {
+            name: spec.name.clone(),
+            fabric: scenario.fabric().summary(),
+            pattern: pattern_tag(&spec.traffic.pattern),
+            burstiness,
+            model_saturation: saturation,
+            summary: summarize_points(points),
+        });
+    }
     let rates: Vec<f64> = fractions.iter().map(|f| f * saturation).collect();
 
     let models = scenario.evaluate_sweep(&rates).map_err(ExperimentError::from)?;
@@ -168,6 +205,7 @@ pub fn validate_spec(
         name: spec.name.clone(),
         fabric: scenario.fabric().summary(),
         pattern: pattern_tag(&spec.traffic.pattern),
+        burstiness,
         model_saturation: saturation,
         summary: summarize_points(points),
     })
@@ -189,8 +227,9 @@ pub fn validation_to_markdown(cases: &[SpecValidation]) -> String {
     use std::fmt::Write as _;
     let mut out = String::from(
         "### Model vs simulation, spec-driven\n\n\
-         | spec | fabric | pattern | model saturation | steady-state err (mean/max) | \
-         near-saturation err | points |\n|---|---|---|---|---|---|---|\n",
+         | spec | fabric | pattern | burstiness | model saturation | \
+         steady-state err (mean/max) | near-saturation err | points |\n\
+         |---|---|---|---|---|---|---|---|\n",
     );
     let pct = |v: f64| {
         if v.is_nan() {
@@ -202,15 +241,128 @@ pub fn validation_to_markdown(cases: &[SpecValidation]) -> String {
     for c in cases {
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {:.3e} | {} / {} | {} | {} |",
+            "| {} | {} | {} | {:.2} | {:.3e} | {} / {} | {} | {} |",
             c.name,
             c.fabric,
             c.pattern,
+            c.burstiness,
             c.model_saturation,
             pct(c.summary.steady_state_error),
             pct(c.summary.steady_state_max_error),
             pct(c.summary.near_saturation_error),
             c.summary.points.len(),
+        );
+    }
+    out
+}
+
+/// One point of an ON-OFF burstiness scan: the same spec at the same load,
+/// with the arrival process swept from Poisson into increasingly bursty
+/// ON-OFF shapes. The analytical model only sees the (identical) mean rate,
+/// so the relative error is a direct measurement of what the Poisson
+/// assumption costs as burstiness grows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstinessPoint {
+    /// ON-OFF duty cycle of the point; `None` is the Poisson control.
+    pub duty: Option<f64>,
+    /// Burstiness index (interarrival SCV; 1.0 for the Poisson control).
+    pub burstiness: f64,
+    /// Analytical latency at the point's mean rate.
+    pub analysis: f64,
+    /// Simulated latency under the bursty process.
+    pub simulation: f64,
+    /// `|analysis − simulation| / simulation`.
+    pub relative_error: f64,
+}
+
+/// Sweeps a spec's arrival process over ON-OFF `duties` (plus a leading
+/// Poisson control) at `fraction` of the Poisson model's saturation rate,
+/// and records model-vs-simulation error against the burstiness index.
+///
+/// Points whose simulation exhausts its event budget (deep burst-induced
+/// saturation) are dropped, mirroring [`validate_spec`]'s sweep contract.
+pub fn burstiness_scan(
+    spec: &ScenarioSpec,
+    effort: EvaluationEffort,
+    duties: &[f64],
+    fraction: f64,
+) -> Result<Vec<BurstinessPoint>> {
+    if duties.is_empty() || duties.iter().any(|d| !d.is_finite() || *d <= 0.0 || *d >= 1.0) {
+        return Err(ExperimentError::InvalidExperiment(format!(
+            "ON-OFF duty cycles must lie strictly inside (0, 1), got {duties:?}"
+        )));
+    }
+    if !fraction.is_finite() || fraction <= 0.0 {
+        return Err(ExperimentError::InvalidExperiment(format!(
+            "saturation fraction must be positive and finite, got {fraction}"
+        )));
+    }
+    let build = |source: TrafficSourceSpec, rate: f64| -> Result<Scenario> {
+        Scenario::builder()
+            .name(spec.name.clone())
+            .fabric(spec.fabric.build().map_err(ExperimentError::from)?)
+            .traffic(
+                spec.traffic
+                    .with_rate(rate)
+                    .map_err(SimError::from)
+                    .map_err(ExperimentError::from)?,
+            )
+            .source(source)
+            .config(effort.sim_config(spec.seed))
+            .routing(spec.routing)
+            .build()
+            .map_err(ExperimentError::from)
+    };
+    // The load anchor is the Poisson scenario's saturation: every point runs
+    // at the same mean rate, so burstiness is the only thing that varies.
+    let poisson = build(TrafficSourceSpec::Poisson, spec.traffic.generation_rate)?;
+    let rate = fraction * poisson.find_saturation_rate(1e-4).map_err(ExperimentError::from)?;
+
+    let mut sources = vec![(None, TrafficSourceSpec::Poisson)];
+    sources.extend(
+        duties.iter().map(|&d| (Some(d), TrafficSourceSpec::OnOff { duty: d, mean_on: None })),
+    );
+    let mut points = Vec::with_capacity(sources.len());
+    for (duty, source) in sources {
+        let burstiness = source.burstiness(rate).map_err(ExperimentError::from)?;
+        let scenario = build(source, rate)?;
+        let analysis = scenario.evaluate().map_err(ExperimentError::from)?.mean_latency;
+        let simulation = match scenario.run() {
+            Ok(report) => report.mean_latency,
+            Err(SimError::EventBudgetExhausted { .. }) => continue,
+            Err(e) => return Err(e.into()),
+        };
+        if simulation <= 0.0 {
+            continue;
+        }
+        points.push(BurstinessPoint {
+            duty,
+            burstiness,
+            analysis,
+            simulation,
+            relative_error: (analysis - simulation).abs() / simulation,
+        });
+    }
+    Ok(points)
+}
+
+/// Renders a burstiness scan as one markdown table.
+pub fn burstiness_to_markdown(name: &str, points: &[BurstinessPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "### Burstiness vs model error: {name}\n\n\
+         | duty | burstiness | model | simulation | relative error |\n\
+         |---|---|---|---|---|\n"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "| {} | {:.2} | {:.1} | {:.1} | {:.1}% |",
+            p.duty.map_or("— (poisson)".to_string(), |d| format!("{d:.2}")),
+            p.burstiness,
+            p.analysis,
+            p.simulation,
+            100.0 * p.relative_error,
         );
     }
     out
@@ -340,6 +492,7 @@ mod tests {
                 .unwrap()
                 .with_pattern(pattern)
                 .unwrap(),
+            source: TrafficSourceSpec::Poisson,
             protocol: mcnet_sim::Protocol::Quick,
             seed: 7,
             replications: 1,
@@ -377,6 +530,31 @@ mod tests {
         assert!(v.pattern.starts_with("hotspot"));
         assert_eq!(v.summary.points.len(), 1);
         assert!(v.summary.steady_state_error < 0.3, "{}", v.summary.steady_state_error);
+    }
+
+    #[test]
+    fn burstiness_scan_orders_points_by_burstiness() {
+        let spec = torus_spec(mcnet_system::TrafficPattern::Uniform);
+        let points = burstiness_scan(&spec, EvaluationEffort::Quick, &[0.9, 0.5], 0.35).unwrap();
+        assert!(points.len() >= 2, "at least the control and one ON-OFF point must survive");
+        // The scan leads with the Poisson control (burstiness exactly 1).
+        assert_eq!(points[0].duty, None);
+        assert_eq!(points[0].burstiness, 1.0);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].burstiness > pair[0].burstiness,
+                "shrinking duty cycles must scan increasing burstiness"
+            );
+        }
+        // Near-Poisson agreement: the model's assumption holds at the control.
+        assert!(points[0].relative_error < 0.25, "{}", points[0].relative_error);
+        let md = burstiness_to_markdown(&spec.name, &points);
+        assert!(md.contains("poisson"));
+        assert!(md.contains(&spec.name));
+        // Degenerate scans are rejected.
+        assert!(burstiness_scan(&spec, EvaluationEffort::Quick, &[], 0.35).is_err());
+        assert!(burstiness_scan(&spec, EvaluationEffort::Quick, &[1.0], 0.35).is_err());
+        assert!(burstiness_scan(&spec, EvaluationEffort::Quick, &[0.5], 0.0).is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::path::Path;
 
 use mcnet_experiments::campaign::{Campaign, CampaignOptions, CellStatus};
-use mcnet_sim::{Protocol, ScenarioOutcome};
+use mcnet_sim::{Protocol, ScenarioOutcome, TrafficSourceSpec};
 
 fn specs_dir() -> &'static Path {
     Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs"))
@@ -83,6 +83,53 @@ fn campaign_cells_are_bit_identical_to_standalone_runs() {
     }
     // And the campaign itself is reproducible run to run.
     assert_eq!(report, campaign.run(&options));
+}
+
+#[test]
+fn burstiness_axis_expands_sources_and_keeps_cell_determinism() {
+    let grid = r#"{
+        "name": "bursty",
+        "base": {
+            "name": "base", "fabric": {"kind": "torus", "radix": 4, "dimensions": 2},
+            "traffic": {"message_flits": 8, "flit_bytes": 256.0, "generation_rate": 1e-3,
+                        "source": {"kind": "on_off", "duty": 0.5}},
+            "protocol": "quick", "seed": 42, "replications": 1
+        },
+        "axes": {
+            "burstiness": [null, 0.25, {"kind": "on_off", "duty": 0.5, "mean_on": 4000.0}]
+        }
+    }"#;
+    let campaign = Campaign::from_grid_json(grid).unwrap();
+    let cells = campaign.cells();
+    assert_eq!(cells.len(), 3);
+    // `null` strips the base's bursty source (the Poisson control); a bare
+    // number is an on_off duty cycle; an object is spliced verbatim.
+    assert!(cells[0].spec.source.is_poisson());
+    assert_eq!(cells[1].spec.source, TrafficSourceSpec::OnOff { duty: 0.25, mean_on: None });
+    assert_eq!(cells[2].spec.source, TrafficSourceSpec::OnOff { duty: 0.5, mean_on: Some(4000.0) });
+    // Per-cell seeds still derive deterministically with the new axis in play,
+    // so every bursty cell is an independent replication by construction.
+    let seeds: Vec<u64> = cells.iter().map(|c| c.spec.seed).collect();
+    assert_eq!(seeds, [42, 43, 44]);
+
+    // Bursty cells run on the shared worker pool yet equal their standalone
+    // (sequential) runs bit for bit, and the whole report is reproducible.
+    let options = CampaignOptions { protocol: Some(Protocol::Quick), screen: false };
+    let report = campaign.run(&options);
+    assert_eq!(report.count(CellStatus::Simulated), 3);
+    for (cell, row) in campaign.cells().iter().zip(&report.cells) {
+        let standalone = cell.spec.clone().build().unwrap().execute().unwrap();
+        assert_eq!(
+            row.outcome.as_ref(),
+            Some(&standalone),
+            "bursty campaign cell {:?} must match its standalone run bit for bit",
+            cell.spec.name
+        );
+    }
+    assert_eq!(report, campaign.run(&options));
+
+    // A malformed burstiness entry (wrong kind of scalar) is a typed error.
+    assert!(Campaign::from_grid_json(&grid.replace("0.25,", "\"bursty\",")).is_err());
 }
 
 #[test]

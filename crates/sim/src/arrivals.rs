@@ -66,6 +66,19 @@ impl ArrivalQueue {
         self.sift_down(0);
     }
 
+    /// Removes and returns the earliest arrival — used when its node's source
+    /// is exhausted (finite traces) and has no next draw to re-arm with.
+    pub fn pop_min(&mut self) -> Option<(f64, u32)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let min = self.heap.swap_remove(0);
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some(min)
+    }
+
     /// Removes every pending arrival (the generation phase is over).
     pub fn clear(&mut self) {
         self.heap.clear();
@@ -130,6 +143,22 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn pop_min_retires_exhausted_nodes_in_order() {
+        let mut q = ArrivalQueue::with_capacity(4);
+        q.push(3.0, 0);
+        q.push(1.0, 1);
+        q.push(1.0, 2);
+        q.push(2.0, 3);
+        assert_eq!(q.pop_min(), Some((1.0, 1)));
+        assert_eq!(q.pop_min(), Some((1.0, 2)));
+        // Interleaves with re-arms: the remaining heap stays ordered.
+        q.replace_min(4.0);
+        assert_eq!(q.pop_min(), Some((3.0, 0)));
+        assert_eq!(q.pop_min(), Some((4.0, 3)));
+        assert_eq!(q.pop_min(), None);
     }
 
     #[test]

@@ -38,7 +38,8 @@ use crate::policy::RoutingPolicy;
 use crate::routes::{RouteEntry, RouteTable};
 use crate::runner::SimConfig;
 use crate::stats::{Delivery, SimStats};
-use crate::traffic::TrafficSource;
+use crate::traffic::Poisson;
+use crate::traffic_source::{TrafficSource, TrafficSourceSpec};
 use crate::{Result, SimError};
 use mcnet_system::{MultiClusterSystem, TorusSystem, TrafficConfig};
 use mcnet_topology::kary_ncube::CubeHop;
@@ -80,7 +81,14 @@ pub struct Simulation {
     arrivals: ArrivalQueue,
     arrivals_processed: u64,
     messages: MessageSlab,
-    traffic: TrafficSource,
+    traffic: Box<dyn TrafficSource>,
+    /// The plain-data description `traffic` was built from; a [`reset`]
+    /// (Self::reset) with an equal spec rebinds the existing source in place,
+    /// a different spec rebuilds it over the same partition.
+    source_spec: TrafficSourceSpec,
+    /// The node partition the source samples over (cluster ranges on the
+    /// tree, dimension-0 sub-rings on the torus) — kept for source rebuilds.
+    cluster_ranges: Vec<(usize, usize)>,
     stats: SimStats,
     rng: SmallRng,
     message_flits: f64,
@@ -141,9 +149,32 @@ impl Simulation {
         faults: Option<&FaultPlan>,
         policy: RoutingPolicy,
     ) -> Result<Self> {
+        Self::new_full(system, traffic_cfg, config, faults, policy, &TrafficSourceSpec::Poisson)
+    }
+
+    /// Builds a tree-fabric simulation under an explicit routing policy *and*
+    /// traffic source ([`TrafficSourceSpec`]). `new_routed(…)` is exactly
+    /// `new_full(…, &TrafficSourceSpec::Poisson)`.
+    pub fn new_full(
+        system: &MultiClusterSystem,
+        traffic_cfg: &TrafficConfig,
+        config: &SimConfig,
+        faults: Option<&FaultPlan>,
+        policy: RoutingPolicy,
+        source: &TrafficSourceSpec,
+    ) -> Result<Self> {
         let backend = FabricBackend::tree_with(system, traffic_cfg, policy)?;
-        let traffic = TrafficSource::new(system, traffic_cfg)?;
-        Self::from_backend(backend, traffic, traffic_cfg, config, faults)
+        let cluster_ranges = Poisson::cluster_ranges_of(system);
+        let traffic = source.build(traffic_cfg, system.total_nodes(), cluster_ranges.clone())?;
+        Self::from_backend(
+            backend,
+            traffic,
+            source.clone(),
+            cluster_ranges,
+            traffic_cfg,
+            config,
+            faults,
+        )
     }
 
     /// Builds a simulation over a k-ary n-cube (torus) fabric.
@@ -175,16 +206,47 @@ impl Simulation {
         faults: Option<&FaultPlan>,
         policy: RoutingPolicy,
     ) -> Result<Self> {
+        Self::new_torus_full(
+            torus,
+            traffic_cfg,
+            config,
+            faults,
+            policy,
+            &TrafficSourceSpec::Poisson,
+        )
+    }
+
+    /// Builds a torus-fabric simulation under an explicit routing policy *and*
+    /// traffic source (see [`new_full`](Self::new_full)).
+    pub fn new_torus_full(
+        torus: &TorusSystem,
+        traffic_cfg: &TrafficConfig,
+        config: &SimConfig,
+        faults: Option<&FaultPlan>,
+        policy: RoutingPolicy,
+        source: &TrafficSourceSpec,
+    ) -> Result<Self> {
         let backend = FabricBackend::cube_with(torus, traffic_cfg, policy)?;
-        let traffic = TrafficSource::for_torus(torus, traffic_cfg)?;
-        Self::from_backend(backend, traffic, traffic_cfg, config, faults)
+        let cluster_ranges = torus.neighborhood_ranges();
+        let traffic = source.build(traffic_cfg, torus.total_nodes(), cluster_ranges.clone())?;
+        Self::from_backend(
+            backend,
+            traffic,
+            source.clone(),
+            cluster_ranges,
+            traffic_cfg,
+            config,
+            faults,
+        )
     }
 
     /// Builds the simulation state shared by every backend: route table, channel
     /// pool, per-node Poisson processes.
     fn from_backend(
         backend: FabricBackend,
-        traffic: TrafficSource,
+        traffic: Box<dyn TrafficSource>,
+        source_spec: TrafficSourceSpec,
+        cluster_ranges: Vec<(usize, usize)>,
         traffic_cfg: &TrafficConfig,
         config: &SimConfig,
         faults: Option<&FaultPlan>,
@@ -194,7 +256,12 @@ impl Simulation {
         let pool = backend.channel_pool();
         let expected_scale = traffic_cfg.message_flits as f64 * backend.drain_scale();
         let stats = SimStats::new(config.warmup_messages, config.measured_messages, expected_scale);
-        let generation_target = stats.generation_target(config.drain_messages);
+        // Finite sources (trace replay) cap the run at their record count: the
+        // run then delivers exactly the trace, whatever the protocol asks for.
+        let mut generation_target = stats.generation_target(config.drain_messages);
+        if let Some(limit) = traffic.message_limit() {
+            generation_target = generation_target.min(limit);
+        }
         // Pending events stay bounded by 2·nodes + channels (one HeaderAdvance
         // per crossing message — its source's injection channel is held; one
         // TailArrived per draining message — its destination's ejection channel
@@ -218,6 +285,8 @@ impl Simulation {
             // (generation is open-loop). The hint covers the common case.
             messages: MessageSlab::with_capacity(nodes),
             traffic,
+            source_spec,
+            cluster_ranges,
             stats,
             rng: SmallRng::seed_from_u64(config.seed),
             message_flits: traffic_cfg.message_flits as f64,
@@ -234,11 +303,14 @@ impl Simulation {
             local_scratch: Vec::new(),
             global_scratch: Vec::new(),
         };
-        // Prime every node's Poisson process (same RNG draw order as the
-        // per-node Generate events the seed engine scheduled).
+        // Prime every node's arrival process in node order (for the Poisson
+        // source this is the same RNG draw order as the per-node Generate
+        // events the seed engine scheduled). A `None` means the node never
+        // generates (e.g. absent from a trace) and is simply not armed.
         for node in 0..nodes {
-            let dt = sim.traffic.sample_interarrival(&mut sim.rng);
-            sim.arrivals.push(dt, node as u32);
+            if let Some(t) = sim.traffic.next_arrival(&mut sim.rng, node, 0.0) {
+                sim.arrivals.push(t, node as u32);
+            }
         }
         // Materialize the fault plan: every resolved target channel gets its
         // own timed down/up event (switch faults fan out to the whole incident
@@ -285,6 +357,7 @@ impl Simulation {
     pub fn reset(
         &mut self,
         traffic_cfg: &TrafficConfig,
+        source: &TrafficSourceSpec,
         config: &SimConfig,
         faults: Option<&FaultPlan>,
     ) -> Result<()> {
@@ -303,7 +376,20 @@ impl Simulation {
                 ),
             });
         }
-        self.traffic.rebind(traffic_cfg)?;
+        // Same source spec: rebind in place (rewinds per-node state to its
+        // post-construction value). A different spec rebuilds the source over
+        // the same node partition — the fabric does not change, so a reset
+        // can still hop between source kinds (campaign burstiness axes).
+        if *source == self.source_spec {
+            self.traffic.rebind(traffic_cfg)?;
+        } else {
+            self.traffic = source.build(
+                traffic_cfg,
+                self.backend.total_nodes(),
+                self.cluster_ranges.clone(),
+            )?;
+            self.source_spec = source.clone();
+        }
         self.routes.begin_run();
         self.pool.reset();
         self.queue.reset();
@@ -313,16 +399,20 @@ impl Simulation {
         let expected_scale = self.message_flits * self.backend.drain_scale();
         self.stats.reset(config.warmup_messages, config.measured_messages, expected_scale);
         self.generation_target = self.stats.generation_target(config.drain_messages);
+        if let Some(limit) = self.traffic.message_limit() {
+            self.generation_target = self.generation_target.min(limit);
+        }
         self.max_events = config.max_events;
         self.rng = SmallRng::seed_from_u64(config.seed);
         self.route_rng = SmallRng::seed_from_u64(config.seed ^ ROUTE_RNG_SEED_OFFSET);
         self.fault_max_attempts = FaultPlan::DEFAULT_MAX_ATTEMPTS;
         self.fault_retry_base = FaultPlan::DEFAULT_RETRY_BASE;
         self.adaptive.clear();
-        // Re-prime the Poisson processes in the same draw order as construction.
+        // Re-prime the arrival processes in the same draw order as construction.
         for node in 0..self.backend.total_nodes() {
-            let dt = self.traffic.sample_interarrival(&mut self.rng);
-            self.arrivals.push(dt, node as u32);
+            if let Some(t) = self.traffic.next_arrival(&mut self.rng, node, 0.0) {
+                self.arrivals.push(t, node as u32);
+            }
         }
         if let Some(plan) = faults {
             plan.validate()?;
@@ -467,7 +557,7 @@ impl Simulation {
         // recycled scratch region of the same arena instead (fully materialised
         // at generation for randomized tree paths; committed hop by hop at
         // acquisition for the adaptive torus).
-        let dst = self.traffic.sample_destination(&mut self.rng, node);
+        let dst = self.traffic.destination(&mut self.rng, node);
         let entry = match self.policy {
             RoutingPolicy::Deterministic => self.routes.entry(&self.backend, node, dst),
             RoutingPolicy::AdaptiveTorus { .. } => self.adaptive_entry(node, dst),
@@ -485,12 +575,23 @@ impl Simulation {
         }
         self.request_next_channel(id);
 
-        // Keep this node's Poisson process alive while the generation phase
+        // Keep this node's arrival process alive while the generation phase
         // lasts: one in-place re-arm of the arrival heap, no event round-trip.
+        // An exhausted node (finite trace) is retired with a single pop.
         if self.stats.generated() < self.generation_target {
-            let dt = self.traffic.sample_interarrival(&mut self.rng);
-            let next = self.queue.now() + dt;
-            self.arrivals.replace_min(next);
+            let now = self.queue.now();
+            match self.traffic.next_arrival(&mut self.rng, node, now) {
+                Some(next) => {
+                    debug_assert!(
+                        next >= now,
+                        "traffic source re-armed node {node} into the past ({next} < {now})"
+                    );
+                    self.arrivals.replace_min(next);
+                }
+                None => {
+                    self.arrivals.pop_min();
+                }
+            }
         } else {
             self.arrivals.clear();
         }
@@ -996,7 +1097,7 @@ mod tests {
                 Simulation::new_routed(&system, legs[0].0, legs[0].1, legs[0].2, policy).unwrap();
             for (i, (traffic, config, faults)) in legs.into_iter().enumerate() {
                 if i > 0 {
-                    reused.reset(traffic, config, faults).unwrap();
+                    reused.reset(traffic, &TrafficSourceSpec::Poisson, config, faults).unwrap();
                 }
                 let mut fresh =
                     Simulation::new_routed(&system, traffic, config, faults, policy).unwrap();
@@ -1021,7 +1122,7 @@ mod tests {
                     .unwrap();
             for (i, (traffic, config, faults)) in legs.into_iter().enumerate() {
                 if i > 0 {
-                    reused.reset(traffic, config, faults).unwrap();
+                    reused.reset(traffic, &TrafficSourceSpec::Poisson, config, faults).unwrap();
                 }
                 let mut fresh =
                     Simulation::new_torus_routed(&torus, traffic, config, faults, policy).unwrap();
@@ -1043,12 +1144,12 @@ mod tests {
         sim.run().unwrap();
         // Different flit count and different flit size both need a rebuild.
         let longer = TrafficConfig::uniform(16, 256.0, 1e-3).unwrap();
-        assert!(sim.reset(&longer, &cfg, None).is_err());
+        assert!(sim.reset(&longer, &TrafficSourceSpec::Poisson, &cfg, None).is_err());
         let wider = TrafficConfig::uniform(8, 512.0, 1e-3).unwrap();
-        assert!(sim.reset(&wider, &cfg, None).is_err());
+        assert!(sim.reset(&wider, &TrafficSourceSpec::Poisson, &cfg, None).is_err());
         // A failed reset leaves the engine untouched: a compatible reset
         // afterwards still reproduces the fresh run exactly.
-        sim.reset(&traffic, &cfg, None).unwrap();
+        sim.reset(&traffic, &TrafficSourceSpec::Poisson, &cfg, None).unwrap();
         let mut fresh = Simulation::new(&system, &traffic, &cfg).unwrap();
         assert_eq!(run_fingerprint(&mut sim), run_fingerprint(&mut fresh));
     }

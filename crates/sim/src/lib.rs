@@ -112,12 +112,14 @@ pub mod runner;
 pub mod scenario;
 pub mod stats;
 pub mod traffic;
+pub mod traffic_source;
 
 pub use backend::FabricBackend;
 pub use fault::{BridgeUnit, FaultAction, FaultEvent, FaultPlan, FaultTarget, RingDir};
 pub use policy::RoutingPolicy;
 pub use runner::{ReplicatedReport, SimConfig, SimReport};
 pub use scenario::{Fabric, Protocol, Scenario, ScenarioBuilder, ScenarioOutcome, ScenarioSpec};
+pub use traffic_source::{TrafficSource, TrafficSourceSpec};
 
 /// Errors produced while building or running a simulation.
 #[derive(Debug, Clone, PartialEq)]

@@ -39,6 +39,7 @@ use crate::fault::FaultPlan;
 use crate::json::{object, Json};
 use crate::policy::RoutingPolicy;
 use crate::runner::{replicate_with, report_from, ReplicatedReport, SimConfig, SimReport};
+use crate::traffic_source::TrafficSourceSpec;
 use crate::{Result, SimError};
 use mcnet_model::{ModelBackend, ModelOptions, ModelReport};
 use mcnet_system::sweep::materialize_rates;
@@ -80,6 +81,7 @@ pub struct Scenario {
     name: String,
     fabric: Fabric,
     traffic: TrafficConfig,
+    source: TrafficSourceSpec,
     config: SimConfig,
     replications: usize,
     faults: Option<FaultPlan>,
@@ -105,6 +107,13 @@ impl Scenario {
     /// The traffic configuration.
     pub fn traffic(&self) -> &TrafficConfig {
         &self.traffic
+    }
+
+    /// The arrival-process shape every node draws from
+    /// ([`TrafficSourceSpec::Poisson`] unless the builder or spec said
+    /// otherwise).
+    pub fn source(&self) -> &TrafficSourceSpec {
+        &self.source
     }
 
     /// The measurement protocol.
@@ -273,7 +282,32 @@ impl Scenario {
     /// knob, so an adaptive spec evaluates through the adaptive-load model
     /// without the caller restating the policy.
     pub fn evaluate_with_options(&self, options: ModelOptions) -> Result<ModelReport> {
-        Ok(self.model_backend().evaluate(&self.traffic, self.model_options(options))?)
+        Ok(self.model_backend().evaluate(&self.model_traffic()?, self.model_options(options))?)
+    }
+
+    /// The traffic point the analytical model evaluates: the configured point
+    /// with the generation rate replaced by the traffic source's long-run
+    /// **effective rate** (see [`TrafficSourceSpec::effective_rate`]). The
+    /// model itself is Poisson-only, so a bursty or trace-driven source is
+    /// approximated by its mean load — the `model_vs_sim` burstiness table in
+    /// `mcnet-experiments` quantifies how far that approximation drifts. A
+    /// Poisson source returns the configured traffic untouched, keeping the
+    /// analytical path bit-identical to the pre-source-subsystem layer.
+    fn model_traffic(&self) -> Result<TrafficConfig> {
+        let rate =
+            self.source.effective_rate(self.traffic.generation_rate, self.fabric.total_nodes())?;
+        if rate == self.traffic.generation_rate {
+            return Ok(self.traffic);
+        }
+        Ok(self.traffic.with_rate(rate)?)
+    }
+
+    /// The rate-axis scale factor between the configured and the effective
+    /// rate: callers sweep and search on the *configured* axis, the model
+    /// evaluates on the *effective* one. `1.0` for Poisson and ON-OFF sources.
+    fn model_rate_scale(&self) -> Result<f64> {
+        let rate = self.traffic.generation_rate;
+        Ok(self.source.effective_rate(rate, self.fabric.total_nodes())? / rate)
     }
 
     /// Maps the scenario's routing policy onto the analytical model's knobs.
@@ -295,11 +329,16 @@ impl Scenario {
     /// later than dimension order, so validation sweeps scale their rate grid
     /// to the policy actually being simulated.
     pub fn find_saturation_rate(&self, tolerance: f64) -> Result<f64> {
-        Ok(self.model_backend().find_saturation_rate(
+        let saturation = self.model_backend().find_saturation_rate(
             &self.traffic,
             self.model_options(ModelOptions::default()),
             tolerance,
-        )?)
+        )?;
+        // The search runs on the model's (effective-rate) axis; report the
+        // *configured* rate whose effective load saturates, so sweeps built
+        // from fractions of this value stay on the caller's axis. The scale
+        // is 1.0 for Poisson and ON-OFF sources, keeping them bit-identical.
+        Ok(saturation / self.model_rate_scale()?)
     }
 
     /// Evaluates the model over a rate grid (the analytical counterpart of
@@ -311,10 +350,20 @@ impl Scenario {
         self.materialize_grid(rates)?;
         // Batched evaluation: the load/saturation structure is built once and
         // every rate point rebinds over it — bit-identical to a pointwise
-        // `evaluate` loop (see `evaluate_batch`), several times faster.
+        // `evaluate` loop (see `evaluate_batch`), several times faster. The
+        // grid is mapped onto the model's effective-rate axis first; the scale
+        // is 1.0 (no mapping) for Poisson and ON-OFF sources.
+        let scale = self.model_rate_scale()?;
+        let effective: Vec<f64>;
+        let model_rates = if scale == 1.0 {
+            rates
+        } else {
+            effective = rates.iter().map(|r| r * scale).collect();
+            &effective
+        };
         let reports = self.model_backend().evaluate_batch(
             &self.traffic,
-            rates,
+            model_rates,
             self.model_options(ModelOptions::default()),
         )?;
         Ok(reports.into_iter().map(|r| r.map_err(SimError::from)).collect())
@@ -345,11 +394,16 @@ impl Scenario {
         let faults = self.faults.as_ref();
         match &self.fabric {
             Fabric::Tree(system) => {
-                Simulation::new_routed(system, traffic, config, faults, self.routing)
+                Simulation::new_full(system, traffic, config, faults, self.routing, &self.source)
             }
-            Fabric::Torus(torus) => {
-                Simulation::new_torus_routed(torus, traffic, config, faults, self.routing)
-            }
+            Fabric::Torus(torus) => Simulation::new_torus_full(
+                torus,
+                traffic,
+                config,
+                faults,
+                self.routing,
+                &self.source,
+            ),
         }
     }
 
@@ -374,7 +428,7 @@ impl Scenario {
         config: &SimConfig,
     ) -> Result<SimReport> {
         if let Some(sim) = slot {
-            if sim.reset(traffic, config, self.faults.as_ref()).is_ok() {
+            if sim.reset(traffic, &self.source, config, self.faults.as_ref()).is_ok() {
                 let report = report_from(sim, traffic, config);
                 if report.is_err() {
                     // A run that died mid-flight (exhausted event budget)
@@ -436,6 +490,7 @@ pub struct ScenarioBuilder {
     name: Option<String>,
     fabric: Option<Fabric>,
     traffic: Option<TrafficConfig>,
+    source: Option<TrafficSourceSpec>,
     config: Option<SimConfig>,
     replications: Option<usize>,
     faults: Option<FaultPlan>,
@@ -468,6 +523,14 @@ impl ScenarioBuilder {
     /// Sets the traffic configuration.
     pub fn traffic(mut self, traffic: TrafficConfig) -> Self {
         self.traffic = Some(traffic);
+        self
+    }
+
+    /// Sets the traffic-source shape (defaults to
+    /// [`TrafficSourceSpec::Poisson`], the paper's arrival process). The spec
+    /// is validated against the fabric at [`build`](Self::build).
+    pub fn source(mut self, source: TrafficSourceSpec) -> Self {
+        self.source = Some(source);
         self
     }
 
@@ -512,8 +575,17 @@ impl ScenarioBuilder {
         let replications = self.replications.unwrap_or(1);
         let name = self.name.unwrap_or_else(|| fabric.summary());
         let routing = self.routing.unwrap_or_default();
-        let scenario =
-            Scenario { name, fabric, traffic, config, replications, faults: self.faults, routing };
+        let source = self.source.unwrap_or_default();
+        let scenario = Scenario {
+            name,
+            fabric,
+            traffic,
+            source,
+            config,
+            replications,
+            faults: self.faults,
+            routing,
+        };
         scenario.validate()?;
         Ok(scenario)
     }
@@ -542,6 +614,18 @@ impl Scenario {
                 return Err(SimError::InvalidConfiguration {
                     reason: format!(
                         "hotspot node {hotspot} is out of range for a fabric of {} nodes",
+                        self.fabric.total_nodes()
+                    ),
+                });
+            }
+        }
+        self.source.validate()?;
+        if let TrafficSourceSpec::HeterogeneousRates { multipliers, .. } = &self.source {
+            if multipliers.len() != self.fabric.total_nodes() {
+                return Err(SimError::InvalidConfiguration {
+                    reason: format!(
+                        "heterogeneous source has {} multipliers for a fabric of {} nodes",
+                        multipliers.len(),
                         self.fabric.total_nodes()
                     ),
                 });
@@ -754,6 +838,10 @@ pub struct ScenarioSpec {
     pub fabric: FabricSpec,
     /// Message geometry, load and destination pattern.
     pub traffic: TrafficConfig,
+    /// Arrival-process shape ([`TrafficSourceSpec::Poisson`] serializes
+    /// without a `"source"` key inside `"traffic"`, so every pre-source spec
+    /// file parses — and serializes — unchanged; bursty arrivals are opt-in).
+    pub source: TrafficSourceSpec,
     /// Measurement-protocol preset.
     pub protocol: Protocol,
     /// Base RNG seed.
@@ -776,6 +864,7 @@ impl ScenarioSpec {
             .name(self.name.clone())
             .fabric(self.fabric.build()?)
             .traffic(self.traffic)
+            .source(self.source.clone())
             .config(self.protocol.sim_config(self.seed))
             .replications(self.replications)
             .routing(self.routing);
@@ -806,17 +895,21 @@ impl ScenarioSpec {
                 ("locality", Json::Number(locality)),
             ]),
         };
+        let mut traffic_fields = vec![
+            ("message_flits", Json::from_u64(self.traffic.message_flits as u64)),
+            ("flit_bytes", Json::Number(self.traffic.flit_bytes)),
+            ("generation_rate", Json::Number(self.traffic.generation_rate)),
+            ("pattern", pattern),
+        ];
+        if !self.source.is_poisson() {
+            traffic_fields.push(("source", self.source.to_json()));
+        }
         let mut fields = vec![
             ("name", Json::String(self.name.clone())),
             ("fabric", self.fabric.to_json()),
             (
                 "traffic",
-                object([
-                    ("message_flits", Json::from_u64(self.traffic.message_flits as u64)),
-                    ("flit_bytes", Json::Number(self.traffic.flit_bytes)),
-                    ("generation_rate", Json::Number(self.traffic.generation_rate)),
-                    ("pattern", pattern),
-                ]),
+                Json::Object(traffic_fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect()),
             ),
             ("protocol", Json::String(self.protocol.as_str().into())),
             ("seed", seed_to_json(self.seed)),
@@ -829,6 +922,22 @@ impl ScenarioSpec {
             fields.push(("routing", routing_to_json(self.routing)));
         }
         Json::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).to_pretty()
+    }
+
+    /// Reads and parses a spec file ([`ScenarioSpec::from_json`]), then
+    /// re-anchors any relative trace-file path in `traffic.source` against the
+    /// spec file's own directory. This is the loader the spec-running binaries
+    /// and the campaign engine use, so a committed spec can reference a
+    /// committed trace (say `"path": "traces/torus_16node.csv"` next to it
+    /// under `specs/`) and resolve it from any working directory.
+    pub fn from_json_file(path: &std::path::Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| spec_error(format!("cannot read spec file {}: {e}", path.display())))?;
+        let mut spec = Self::from_json(&text)?;
+        if let Some(base) = path.parent() {
+            spec.source.anchor_trace_path(base);
+        }
+        Ok(spec)
     }
 
     /// Parses a spec from its JSON form. The schema:
@@ -854,8 +963,10 @@ impl ScenarioSpec {
     /// `pattern.kind` is `"uniform"`, `"hotspot"` (`hotspot`, `fraction`) or
     /// `"local_favoring"` (`locality`); `seed` is a JSON number, or a decimal
     /// string for values above 2⁵³ (which a JSON number cannot carry exactly).
-    /// An optional `"faults"` object adds a fault-injection plan (see
-    /// [`FaultPlan::from_json`] for its schema).
+    /// An optional `traffic.source` object selects the arrival process (see
+    /// [`TrafficSourceSpec::from_json`] for its schema; omitted means Poisson,
+    /// the paper's process). An optional `"faults"` object adds a
+    /// fault-injection plan (see [`FaultPlan::from_json`] for its schema).
     /// Unknown fields anywhere in the spec are rejected — a misspelled key
     /// must not silently fall back to a default. Otherwise parsing only checks
     /// shape; value validation happens in [`ScenarioSpec::build`] so a spec
@@ -874,7 +985,7 @@ impl ScenarioSpec {
         reject_unknown_keys(
             traffic_json,
             "\"traffic\"",
-            &["message_flits", "flit_bytes", "generation_rate", "pattern"],
+            &["message_flits", "flit_bytes", "generation_rate", "pattern", "source"],
         )?;
         let pattern = match traffic_json.as_object().and_then(|t| t.get("pattern")) {
             None => TrafficPattern::Uniform,
@@ -910,12 +1021,17 @@ impl ScenarioSpec {
             generation_rate: get_f64(traffic_json, "traffic.generation_rate", "generation_rate")?,
             pattern,
         };
+        let source = match traffic_json.as_object().and_then(|t| t.get("source")) {
+            None => TrafficSourceSpec::Poisson,
+            Some(s) => TrafficSourceSpec::from_json(s)?,
+        };
         Ok(ScenarioSpec {
             name: get_str(&doc, "name", "name")?.to_string(),
             fabric: FabricSpec::from_json(
                 obj.get("fabric").ok_or_else(|| spec_error("spec needs a \"fabric\" object"))?,
             )?,
             traffic,
+            source,
             protocol: get_str(&doc, "protocol", "protocol")?.parse()?,
             seed: obj.get("seed").and_then(seed_from_json).ok_or_else(|| {
                 spec_error("spec needs an integer \"seed\" (or a decimal string above 2^53)")
@@ -1349,6 +1465,7 @@ mod tests {
             name: "eval".into(),
             fabric: FabricSpec::Torus { radix: 4, dimensions: 2 },
             traffic: TrafficConfig::uniform(16, 256.0, 1e-3).unwrap(),
+            source: TrafficSourceSpec::Poisson,
             protocol: Protocol::Quick,
             seed: 1,
             replications: 1,
@@ -1385,6 +1502,7 @@ mod tests {
                 generation_rate: 2.5e-4,
                 pattern: TrafficPattern::Hotspot { hotspot: 3, fraction: 0.15 },
             },
+            source: TrafficSourceSpec::Poisson,
             protocol: Protocol::Reduced,
             seed: 99,
             replications: 4,
@@ -1484,6 +1602,7 @@ mod tests {
             name: "big_seed".into(),
             fabric: FabricSpec::Torus { radix: 4, dimensions: 2 },
             traffic: TrafficConfig::uniform(8, 256.0, 1e-3).unwrap(),
+            source: TrafficSourceSpec::Poisson,
             protocol: Protocol::Quick,
             seed: u64::MAX - 12345,
             replications: 1,
@@ -1514,6 +1633,7 @@ mod tests {
             name: "faulted".into(),
             fabric: FabricSpec::Org { name: "small_test".into() },
             traffic: TrafficConfig::uniform(8, 256.0, 1e-3).unwrap(),
+            source: TrafficSourceSpec::Poisson,
             protocol: Protocol::Quick,
             seed: 7,
             replications: 1,
@@ -1550,6 +1670,7 @@ mod tests {
             name: "adaptive".into(),
             fabric: FabricSpec::Torus { radix: 8, dimensions: 2 },
             traffic: TrafficConfig::uniform(8, 256.0, 1e-3).unwrap(),
+            source: TrafficSourceSpec::Poisson,
             protocol: Protocol::Quick,
             seed: 7,
             replications: 1,
@@ -1695,6 +1816,7 @@ mod tests {
             name: "x".into(),
             fabric: FabricSpec::Torus { radix: 4, dimensions: 2 },
             traffic: TrafficConfig::uniform(8, 256.0, 1e-3).unwrap(),
+            source: TrafficSourceSpec::Poisson,
             protocol: Protocol::Paper,
             seed: 1,
             replications: 1,

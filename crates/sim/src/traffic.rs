@@ -9,9 +9,12 @@ use crate::{Result, SimError};
 use mcnet_system::{MultiClusterSystem, TorusSystem, TrafficConfig, TrafficPattern};
 use rand::Rng;
 
-/// Samples inter-arrival times and destinations for one simulation run.
+/// The paper's stationary Poisson source: exponential inter-arrival times and
+/// a static destination mix. This is the default (and historically the only)
+/// implementation of [`crate::traffic_source::TrafficSource`]; the bursty and
+/// trace-driven sources in that module wrap or replace it.
 #[derive(Debug, Clone)]
-pub struct TrafficSource {
+pub struct Poisson {
     generation_rate: f64,
     pattern: TrafficPattern,
     total_nodes: usize,
@@ -21,17 +24,22 @@ pub struct TrafficSource {
     cluster_ranges: Vec<(usize, usize)>,
 }
 
-impl TrafficSource {
+impl Poisson {
     /// Creates a source for the given multi-cluster system and traffic
     /// configuration.
     pub fn new(system: &MultiClusterSystem, traffic: &TrafficConfig) -> Result<Self> {
-        let cluster_ranges = (0..system.num_clusters())
+        Self::from_parts(traffic, system.total_nodes(), Self::cluster_ranges_of(system))
+    }
+
+    /// The contiguous cluster partition of a multi-cluster tree system, in the
+    /// `(start, end)` form the sources consume.
+    pub(crate) fn cluster_ranges_of(system: &MultiClusterSystem) -> Vec<(usize, usize)> {
+        (0..system.num_clusters())
             .map(|c| {
                 let r = system.node_range(c).expect("cluster index in range");
                 (r.start, r.end)
             })
-            .collect();
-        Self::from_parts(traffic, system.total_nodes(), cluster_ranges)
+            .collect()
     }
 
     /// Creates a source for a torus system. The cluster-relative patterns map
@@ -43,13 +51,13 @@ impl TrafficSource {
     }
 
     /// Shared constructor over an arbitrary contiguous node partition.
-    fn from_parts(
+    pub(crate) fn from_parts(
         traffic: &TrafficConfig,
         total_nodes: usize,
         cluster_ranges: Vec<(usize, usize)>,
     ) -> Result<Self> {
         Self::check(traffic, total_nodes)?;
-        Ok(TrafficSource {
+        Ok(Poisson {
             generation_rate: traffic.generation_rate,
             pattern: traffic.pattern,
             total_nodes,
@@ -175,11 +183,11 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
-    fn source(pattern: TrafficPattern) -> (MultiClusterSystem, TrafficSource) {
+    fn source(pattern: TrafficPattern) -> (MultiClusterSystem, Poisson) {
         let system = organizations::small_test_org();
         let traffic =
             TrafficConfig::uniform(32, 256.0, 1e-3).unwrap().with_pattern(pattern).unwrap();
-        let src = TrafficSource::new(&system, &traffic).unwrap();
+        let src = Poisson::new(&system, &traffic).unwrap();
         (system, src)
     }
 
@@ -234,7 +242,7 @@ mod tests {
             .unwrap()
             .with_pattern(TrafficPattern::LocalFavoring { locality: 0.8 })
             .unwrap();
-        let src = TrafficSource::for_torus(&torus, &traffic).unwrap();
+        let src = Poisson::for_torus(&torus, &traffic).unwrap();
         let mut rng = SmallRng::seed_from_u64(11);
         // Node 5 lives in sub-ring 1 (nodes 4..8).
         let samples = 20_000;
@@ -253,7 +261,7 @@ mod tests {
             .unwrap()
             .with_pattern(TrafficPattern::Hotspot { hotspot: 100, fraction: 0.1 })
             .unwrap();
-        assert!(TrafficSource::for_torus(&torus, &bad).is_err());
+        assert!(Poisson::for_torus(&torus, &bad).is_err());
     }
 
     #[test]
@@ -323,11 +331,11 @@ mod tests {
     fn invalid_configurations_rejected() {
         let system = organizations::small_test_org();
         let zero = TrafficConfig::uniform(32, 256.0, 0.0).unwrap();
-        assert!(TrafficSource::new(&system, &zero).is_err());
+        assert!(Poisson::new(&system, &zero).is_err());
         let bad_hotspot = TrafficConfig::uniform(32, 256.0, 1e-3)
             .unwrap()
             .with_pattern(TrafficPattern::Hotspot { hotspot: 10_000, fraction: 0.1 })
             .unwrap();
-        assert!(TrafficSource::new(&system, &bad_hotspot).is_err());
+        assert!(Poisson::new(&system, &bad_hotspot).is_err());
     }
 }

@@ -116,9 +116,10 @@ fn scenario_replicate_matches_the_frozen_replication_goldens() {
 #[test]
 fn every_spec_exemplar_round_trips_and_runs_at_quick_protocol() {
     for path in spec_files() {
-        let text = std::fs::read_to_string(&path).unwrap();
-        let spec =
-            ScenarioSpec::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // `from_json_file` so the trace-replay exemplar's relative trace path
+        // anchors to specs/ regardless of the test binary's working directory.
+        let spec = ScenarioSpec::from_json_file(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         // serialize → deserialize → the same spec.
         let round_tripped = ScenarioSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(round_tripped, spec, "{} drifted through JSON", path.display());
@@ -161,7 +162,7 @@ fn every_spec_exemplar_evaluates_analytically() {
     // analytical model (Scenario::evaluate) with a steady state at its own
     // configured load — every shipped spec sits in the validated region.
     for path in spec_files() {
-        let spec = ScenarioSpec::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let spec = ScenarioSpec::from_json_file(&path).unwrap();
         let report =
             spec.build().unwrap().evaluate().unwrap_or_else(|e| {
                 panic!("{}: analytical evaluation failed: {e}", path.display())

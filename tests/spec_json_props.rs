@@ -8,7 +8,7 @@ use mcnet::sim::json::Json;
 use mcnet::sim::scenario::FabricSpec;
 use mcnet::sim::{
     BridgeUnit, FaultAction, FaultEvent, FaultPlan, FaultTarget, Protocol, RingDir, RoutingPolicy,
-    ScenarioSpec, SimError,
+    ScenarioSpec, SimError, TrafficSourceSpec,
 };
 use mcnet::system::{TrafficConfig, TrafficPattern};
 use proptest::prelude::*;
@@ -27,49 +27,78 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
             1u64..4,        // protocol selector material
             0u64..u64::MAX, // seed, (nearly) full range — well past 2^53
             1usize..5,      // replications
+            0usize..3,      // traffic-source kind selector
         ),
     )
-        .prop_map(|((fabric_kind, k, n, pattern_kind), (flits, proto, seed, replications))| {
-            let fabric = match fabric_kind {
-                0 => FabricSpec::Org { name: "small_test".into() },
-                1 => FabricSpec::Tree { groups: vec![(2, 4, 1), (1, 4, n.min(2))] },
-                _ => FabricSpec::Torus { radix: k, dimensions: n },
-            };
-            let pattern = match pattern_kind {
-                0 => TrafficPattern::Uniform,
-                1 => TrafficPattern::Hotspot { hotspot: k - 1, fraction: 0.25 },
-                _ => TrafficPattern::LocalFavoring { locality: 0.75 },
-            };
-            let traffic =
-                TrafficConfig::uniform(flits, 256.0, 1e-3).unwrap().with_pattern(pattern).unwrap();
-            let protocol = match proto {
-                1 => Protocol::Quick,
-                2 => Protocol::Reduced,
-                _ => Protocol::Paper,
-            };
-            // Routing varies with the fabric so every generated pair stays
-            // buildable: adaptive policies only exist on the torus, randomized
-            // up*/down* only on trees.
-            let routing = match (&fabric, pattern_kind) {
-                (FabricSpec::Torus { .. }, 1) => {
-                    RoutingPolicy::AdaptiveTorus { adaptive_vcs: (k % 4 + 1) as u8 }
+        .prop_map(
+            |(
+                (fabric_kind, k, n, pattern_kind),
+                (flits, proto, seed, replications, source_kind),
+            )| {
+                let fabric = match fabric_kind {
+                    0 => FabricSpec::Org { name: "small_test".into() },
+                    1 => FabricSpec::Tree { groups: vec![(2, 4, 1), (1, 4, n.min(2))] },
+                    _ => FabricSpec::Torus { radix: k, dimensions: n },
+                };
+                let pattern = match pattern_kind {
+                    0 => TrafficPattern::Uniform,
+                    1 => TrafficPattern::Hotspot { hotspot: k - 1, fraction: 0.25 },
+                    _ => TrafficPattern::LocalFavoring { locality: 0.75 },
+                };
+                let traffic = TrafficConfig::uniform(flits, 256.0, 1e-3)
+                    .unwrap()
+                    .with_pattern(pattern)
+                    .unwrap();
+                let protocol = match proto {
+                    1 => Protocol::Quick,
+                    2 => Protocol::Reduced,
+                    _ => Protocol::Paper,
+                };
+                // Routing varies with the fabric so every generated pair stays
+                // buildable: adaptive policies only exist on the torus, randomized
+                // up*/down* only on trees.
+                let routing = match (&fabric, pattern_kind) {
+                    (FabricSpec::Torus { .. }, 1) => {
+                        RoutingPolicy::AdaptiveTorus { adaptive_vcs: (k % 4 + 1) as u8 }
+                    }
+                    (FabricSpec::Org { .. } | FabricSpec::Tree { .. }, 2) => {
+                        RoutingPolicy::RandomizedUpDown
+                    }
+                    _ => RoutingPolicy::Deterministic,
+                };
+                // Every serializable source kind with an inline body: Poisson
+                // (the no-"source"-key form), bursty ON-OFF (with and without an
+                // explicit burst length) and per-node heterogeneity over both
+                // admissible inner processes. Trace replay is exercised by the
+                // dedicated traffic tests (it needs a records payload).
+                let source = match source_kind {
+                    0 => TrafficSourceSpec::Poisson,
+                    1 => TrafficSourceSpec::OnOff {
+                        duty: 0.25 + k as f64 / 16.0,
+                        mean_on: if n % 2 == 0 { None } else { Some(1500.0) },
+                    },
+                    _ => TrafficSourceSpec::HeterogeneousRates {
+                        multipliers: (0..4).map(|i| 0.5 + 0.25 * i as f64).collect(),
+                        inner: Box::new(if n % 2 == 0 {
+                            TrafficSourceSpec::Poisson
+                        } else {
+                            TrafficSourceSpec::OnOff { duty: 0.5, mean_on: None }
+                        }),
+                    },
+                };
+                ScenarioSpec {
+                    name: "prop".into(),
+                    fabric,
+                    traffic,
+                    source,
+                    protocol,
+                    seed,
+                    replications,
+                    faults: None,
+                    routing,
                 }
-                (FabricSpec::Org { .. } | FabricSpec::Tree { .. }, 2) => {
-                    RoutingPolicy::RandomizedUpDown
-                }
-                _ => RoutingPolicy::Deterministic,
-            };
-            ScenarioSpec {
-                name: "prop".into(),
-                fabric,
-                traffic,
-                protocol,
-                seed,
-                replications,
-                faults: None,
-                routing,
-            }
-        })
+            },
+        )
 }
 
 /// Strategy over valid specs carrying a fault plan: per-target alternating
@@ -111,6 +140,7 @@ fn fault_spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 name: "fault_prop".into(),
                 fabric: FabricSpec::Org { name: "small_test".into() },
                 traffic: TrafficConfig::uniform(8, 256.0, 1e-3).unwrap(),
+                source: TrafficSourceSpec::Poisson,
                 protocol: Protocol::Quick,
                 seed: 7,
                 replications: 1,
@@ -333,6 +363,7 @@ proptest! {
             name: "oob".into(),
             fabric: FabricSpec::Org { name: "small_test".into() },
             traffic: TrafficConfig::uniform(8, 256.0, 1e-3).unwrap(),
+            source: TrafficSourceSpec::Poisson,
             protocol: Protocol::Quick,
             seed: 7,
             replications: 1,
@@ -355,6 +386,7 @@ fn pattern_object_always_serializes() {
         name: "x".into(),
         fabric: FabricSpec::Torus { radix: 4, dimensions: 2 },
         traffic: TrafficConfig::uniform(8, 256.0, 1e-3).unwrap(),
+        source: TrafficSourceSpec::Poisson,
         protocol: Protocol::Quick,
         seed: 1,
         replications: 1,

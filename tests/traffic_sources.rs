@@ -1,0 +1,160 @@
+//! Traffic-source subsystem contracts, end to end: ON-OFF sources converge to
+//! the configured long-run rate, the committed trace exemplar replays exactly
+//! and reproduces its pinned digest, heterogeneous multipliers shift the load
+//! the analytical model evaluates at, and a reused engine hops between source
+//! kinds bit-identically to fresh builds.
+
+use std::path::Path;
+
+use mcnet::sim::engine::Simulation;
+use mcnet::sim::json::Json;
+use mcnet::sim::{RoutingPolicy, Scenario, ScenarioSpec, SimConfig, TrafficSourceSpec};
+use mcnet::system::{TorusSystem, TrafficConfig};
+
+const ROOT: &str = env!("CARGO_MANIFEST_DIR");
+
+fn pinned_digest(rel: &str) -> String {
+    let text = std::fs::read_to_string(format!("{ROOT}/specs/goldens/digests.json"))
+        .expect("goldens file exists");
+    let doc = Json::parse(&text).expect("goldens parse");
+    let digests = doc.as_object().unwrap()["digests"].as_object().unwrap();
+    match &digests[rel] {
+        Json::String(s) => s.clone(),
+        other => panic!("digest for {rel} is not a string: {other:?}"),
+    }
+}
+
+#[test]
+fn on_off_long_run_rate_converges_to_the_configured_rate() {
+    // The ON-OFF construction compensates duty with a higher on-state rate
+    // (λ_on = λ/d), so the delivered long-run rate must match the configured
+    // rate regardless of burstiness. The counting noise of an interrupted
+    // Poisson process scales with its SCV (23.5 at duty 0.25), so the ±5%
+    // check needs paper-scale samples: 120k messages puts the estimator's
+    // standard error near 1.4% at the burstiest point.
+    let torus = TorusSystem::new(4, 2).unwrap();
+    let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
+    for (duty, seed) in [(0.9, 7u64), (0.5, 11), (0.25, 13)] {
+        let report = Scenario::builder()
+            .torus(torus.clone())
+            .traffic(traffic)
+            .config(SimConfig::paper(seed))
+            .source(TrafficSourceSpec::OnOff { duty, mean_on: None })
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let achieved = report.generated_messages as f64 / (report.simulated_time * 16.0);
+        assert!(
+            (achieved / 1e-3 - 1.0).abs() < 0.05,
+            "duty {duty}: long-run rate {achieved:.3e} drifted from the configured 1e-3"
+        );
+    }
+}
+
+#[test]
+fn on_off_spec_exemplar_reproduces_its_pinned_digest() {
+    let spec =
+        ScenarioSpec::from_json_file(&Path::new(ROOT).join("specs/tree_onoff.json")).unwrap();
+    assert!(matches!(spec.source, TrafficSourceSpec::OnOff { duty, .. } if duty == 0.9));
+    let report = spec.build().unwrap().run().unwrap();
+    assert_eq!(format!("{:016x}", report.digest), pinned_digest("specs/tree_onoff.json"));
+    assert_eq!(report.delivered_messages, report.generated_messages);
+}
+
+#[test]
+fn trace_replay_delivers_exactly_the_committed_trace() {
+    // The exemplar trace holds 1200 records; replay must generate and deliver
+    // exactly that many, reproduce the pinned digest, and repeat identically.
+    let spec = ScenarioSpec::from_json_file(&Path::new(ROOT).join("specs/torus_trace_replay.json"))
+        .unwrap();
+    let report = spec.build().unwrap().run().unwrap();
+    assert_eq!(report.generated_messages, 1200);
+    assert_eq!(report.delivered_messages, 1200);
+    assert_eq!(report.dropped_messages, 0);
+    assert_eq!(format!("{:016x}", report.digest), pinned_digest("specs/torus_trace_replay.json"));
+    let again = spec.build().unwrap().run().unwrap();
+    assert_eq!(again.digest, report.digest, "trace replay must be reproducible run to run");
+}
+
+#[test]
+fn heterogeneous_multipliers_shift_load_and_the_model_follows() {
+    // Mean multiplier 1.25 over 16 nodes: the fabric carries 1.25× the
+    // configured aggregate load, and the analytical model evaluates at the
+    // effective rate — bit-identical to a Poisson scenario configured at
+    // 1.25× directly.
+    let multipliers: Vec<f64> = (0..16).map(|i| if i < 8 { 0.5 } else { 2.0 }).collect();
+    let torus = TorusSystem::new(4, 2).unwrap();
+    let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
+    let hetero = Scenario::builder()
+        .torus(torus.clone())
+        .traffic(traffic)
+        .config(SimConfig::reduced(5))
+        .source(TrafficSourceSpec::HeterogeneousRates {
+            multipliers,
+            inner: Box::new(TrafficSourceSpec::Poisson),
+        })
+        .build()
+        .unwrap();
+    let report = hetero.run().unwrap();
+    let achieved = report.generated_messages as f64 / (report.simulated_time * 16.0);
+    assert!(
+        (achieved / (1e-3 * 1.25) - 1.0).abs() < 0.05,
+        "aggregate rate {achieved:.3e} drifted from the 1.25× effective load"
+    );
+
+    let poisson_at_effective = Scenario::builder()
+        .torus(torus)
+        .traffic(TrafficConfig::uniform(8, 256.0, 1e-3 * 1.25).unwrap())
+        .config(SimConfig::reduced(5))
+        .build()
+        .unwrap();
+    let model_hetero = hetero.evaluate().unwrap();
+    let model_poisson = poisson_at_effective.evaluate().unwrap();
+    assert_eq!(model_hetero.mean_latency.to_bits(), model_poisson.mean_latency.to_bits());
+}
+
+#[test]
+fn reused_engine_hops_between_source_kinds_bit_identically() {
+    // reset() may swap the source spec between runs (the campaign burstiness
+    // axis does exactly this); every hop must reproduce the digest of a
+    // freshly built engine with the same parameters.
+    let torus = TorusSystem::new(4, 2).unwrap();
+    let traffic = TrafficConfig::uniform(8, 256.0, 1e-3).unwrap();
+    let config = SimConfig::quick(42);
+    let on_off = TrafficSourceSpec::OnOff { duty: 0.5, mean_on: None };
+    let fresh_digest = |source: &TrafficSourceSpec| {
+        let mut sim = Simulation::new_torus_full(
+            &torus,
+            &traffic,
+            &config,
+            None,
+            RoutingPolicy::Deterministic,
+            source,
+        )
+        .unwrap();
+        sim.run().unwrap();
+        sim.stats().digest()
+    };
+    let poisson_digest = fresh_digest(&TrafficSourceSpec::Poisson);
+    let on_off_digest = fresh_digest(&on_off);
+    assert_ne!(poisson_digest, on_off_digest, "burstiness must change the event stream");
+
+    let mut sim = Simulation::new_torus_full(
+        &torus,
+        &traffic,
+        &config,
+        None,
+        RoutingPolicy::Deterministic,
+        &TrafficSourceSpec::Poisson,
+    )
+    .unwrap();
+    sim.run().unwrap();
+    assert_eq!(sim.stats().digest(), poisson_digest);
+    sim.reset(&traffic, &on_off, &config, None).unwrap();
+    sim.run().unwrap();
+    assert_eq!(sim.stats().digest(), on_off_digest, "poisson → on_off reset diverged");
+    sim.reset(&traffic, &TrafficSourceSpec::Poisson, &config, None).unwrap();
+    sim.run().unwrap();
+    assert_eq!(sim.stats().digest(), poisson_digest, "on_off → poisson reset diverged");
+}
