@@ -1,18 +1,23 @@
-//! Substrate bench: scaling of the bounded worker pool that backs
+//! Substrate bench: scaling of the replication fast path that backs
 //! `Scenario::replicate` and the figure-sweep drivers.
 //!
-//! Compares N independent replications run serially against the same N
-//! replications fanned over the pool. On a multi-core machine the parallel
-//! variant approaches `N / min(N, cores)` of the serial time; on a single-core
-//! machine both are equal (the pool runs inline) — the printed pair makes the
-//! achieved ratio visible either way.
+//! For N ∈ {2, 4, 8}, compares N independent replications run serially on
+//! fresh engines against the same N replications through `replicate` — the
+//! bounded worker pool with one reused (reset, not reallocated) engine per
+//! worker. On a multi-core machine the pooled variant approaches
+//! `N / min(N, cores)` of the serial time; on a single-core machine the pool
+//! runs inline and the remaining gap is pure engine reuse (allocation and
+//! warm-cache savings). The serial rows run first so the JSON writer can
+//! attach the derived `speedup_vs_serial` field to each pooled row;
+//! `worker_pool/4` repeats `reused_pool/4` under its historical name for the
+//! longitudinal series in `BENCH_results.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcnet_bench::traffic;
 use mcnet_sim::{Scenario, SimConfig};
 use mcnet_system::organizations;
 
-const REPLICATIONS: usize = 4;
+const REPLICATION_COUNTS: [usize; 3] = [2, 4, 8];
 
 fn bench_parallel_scaling(c: &mut Criterion) {
     let scenario = Scenario::builder()
@@ -24,23 +29,32 @@ fn bench_parallel_scaling(c: &mut Criterion) {
         .expect("valid bench scenario");
     let mut group = c.benchmark_group("replication_scaling");
 
-    // Pre-seed the serial arm's scenarios outside the timed loop so both arms
-    // measure exactly REPLICATIONS simulation runs and nothing else.
-    let seeded: Vec<Scenario> =
-        (0..REPLICATIONS).map(|r| scenario.clone().with_seed(100 + r as u64)).collect();
-    group.bench_with_input(BenchmarkId::new("serial", REPLICATIONS), &seeded, |b, seeded| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for s in seeded {
-                total += s.run().unwrap().mean_latency;
-            }
-            std::hint::black_box(total)
-        })
-    });
+    for n in REPLICATION_COUNTS {
+        // Pre-seed the serial arm's scenarios outside the timed loop so both
+        // arms measure exactly n simulation runs and nothing else.
+        let seeded: Vec<Scenario> =
+            (0..n).map(|r| scenario.clone().with_seed(100 + r as u64)).collect();
+        group.bench_with_input(BenchmarkId::new("serial", n), &seeded, |b, seeded| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for s in seeded {
+                    total += s.run().unwrap().mean_latency;
+                }
+                std::hint::black_box(total)
+            })
+        });
 
-    group.bench_with_input(BenchmarkId::new("worker_pool", REPLICATIONS), &scenario, |b, s| {
+        group.bench_with_input(BenchmarkId::new("reused_pool", n), &scenario, |b, s| {
+            b.iter(|| {
+                let agg = s.replicate(n).unwrap();
+                std::hint::black_box(agg.mean_latency)
+            })
+        });
+    }
+
+    group.bench_with_input(BenchmarkId::new("worker_pool", 4usize), &scenario, |b, s| {
         b.iter(|| {
-            let agg = s.replicate(REPLICATIONS).unwrap();
+            let agg = s.replicate(4).unwrap();
             std::hint::black_box(agg.mean_latency)
         })
     });

@@ -7,10 +7,12 @@
 //!
 //! Entries in `BENCH_results.json` are keyed by scenario name
 //! (`scenario_throughput/quick_protocol/<scenario>`); the CI regression gate
-//! watches `tree_org_b`.
+//! watches `tree_org_b`. The `paper_protocol` rows run the same engine under
+//! the full 10k/100k/10k measurement protocol — the workload of the figure
+//! driver at paper effort — on the paper's Org B tree and an 8-ary 2-cube.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mcnet_bench::tree_throughput_scenarios;
+use mcnet_bench::{paper_throughput_scenarios, tree_throughput_scenarios};
 
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("scenario_throughput");
@@ -21,6 +23,15 @@ fn bench_simulator(c: &mut Criterion) {
         group.throughput(Throughput::Elements(probe.generated_messages));
         group.bench_with_input(
             BenchmarkId::new("quick_protocol", scenario.name()),
+            &scenario,
+            |b, s| b.iter(|| std::hint::black_box(s.run().unwrap().events)),
+        );
+    }
+    for scenario in paper_throughput_scenarios() {
+        let probe = scenario.run().unwrap();
+        group.throughput(Throughput::Elements(probe.generated_messages));
+        group.bench_with_input(
+            BenchmarkId::new("paper_protocol", scenario.name()),
             &scenario,
             |b, s| b.iter(|| std::hint::black_box(s.run().unwrap().events)),
         );

@@ -50,6 +50,30 @@ pub fn tree_throughput_scenarios() -> Vec<Scenario> {
     ]
 }
 
+/// The paper-protocol throughput scenarios: the same fabrics as the quick
+/// rows, but under the full `SimConfig::paper` measurement protocol
+/// (10k warm-up / 100k measured / 10k drain messages) — the workload the
+/// figure driver actually runs at paper effort. Keyed in
+/// `BENCH_results.json` as `scenario_throughput/paper_protocol/<name>`.
+pub fn paper_throughput_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::builder()
+            .name("tree_org_b")
+            .tree(organizations::table1_org_b())
+            .traffic(traffic(32, 256.0, 3e-4))
+            .config(SimConfig::paper(1))
+            .build()
+            .expect("valid bench scenario"),
+        Scenario::builder()
+            .name("torus_8ary")
+            .torus(TorusSystem::new(8, 2).expect("valid bench torus"))
+            .traffic(traffic(32, 256.0, 1e-3))
+            .config(SimConfig::paper(1))
+            .build()
+            .expect("valid bench scenario"),
+    ]
+}
+
 /// The named torus-backend throughput scenarios (same engine over
 /// `CubeFabric`, matched with [`tree_throughput_scenarios`]). The adaptive
 /// 8-ary entry is the A/B twin of `torus_8ary_2cube`: the same geometry and

@@ -7,7 +7,7 @@
 
 use crate::{EvaluationEffort, Result};
 use mcnet_model::{AnalyticalModel, ModelError, ModelOptions};
-use mcnet_sim::{Scenario, SimError, SimReport};
+use mcnet_sim::{ReplicatedReport, Scenario, SimError, SimReport};
 use mcnet_system::sweep::FigureSweep;
 use mcnet_system::{organizations, MultiClusterSystem, TrafficConfig};
 use serde::{Deserialize, Serialize};
@@ -122,6 +122,186 @@ pub fn build_series(
         flit_bytes: sweep.flit_bytes,
         points,
     })
+}
+
+/// A figure produced by the replicated paper-scale driver: the panels plus
+/// one digest pinning every simulated delivery stream the figure contains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicatedFigure {
+    /// The figure's panels, in the paper's left-to-right order.
+    pub panels: Vec<FigurePanel>,
+    /// FNV-1a fold of every replication's delivery digest, in (panel, series,
+    /// point, replication) order. Two invocations at the same effort, seed and
+    /// replication count must produce the same value — the CI smoke check.
+    pub digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fold_digest(fold: &mut u64, digest: u64) {
+    for byte in digest.to_le_bytes() {
+        *fold = (*fold ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Like [`build_series`], but with `reps` independent replications per traffic
+/// point — the shape of the paper-scale figure driver. The whole sweep runs
+/// through [`Scenario::sweep_replicated`], so one per-worker engine pool is
+/// warmed by the first point and merely *reset* for every following
+/// replication: a curve of `P` points × `reps` replications builds
+/// `min(workers, reps)` engines, total. Each point reports the mean over its
+/// replication means and the standard error across replications; points where
+/// any replication exhausts its event budget (deep saturation) are omitted,
+/// exactly like [`build_series`].
+pub fn build_series_replicated(
+    system: &MultiClusterSystem,
+    sweep: &FigureSweep,
+    effort: EvaluationEffort,
+    reps: usize,
+    seed: u64,
+    fold: &mut u64,
+) -> Result<FigureSeries> {
+    let sweep = sweep.with_points(effort.sweep_points());
+    let rates = sweep.rates()?;
+
+    let analyses = mcnet_system::parallel::parallel_map(sweep.configs()?, |_, traffic| {
+        analysis_latency(system, &traffic)
+    });
+
+    let scenario = Scenario::builder()
+        .tree(system.clone())
+        .traffic(sweep.template()?)
+        .config(effort.sim_config(seed))
+        .build()?;
+    let replicated = scenario.sweep_replicated(&rates, reps)?;
+
+    let mut points = Vec::with_capacity(rates.len());
+    for ((rate, analysis), outcome) in rates.iter().zip(analyses).zip(replicated) {
+        let simulation = replicated_point(outcome, fold)?;
+        points.push(SeriesPoint {
+            rate: *rate,
+            analysis: analysis?,
+            simulation: simulation.map(|(mean, _)| mean),
+            sim_std_error: simulation.map(|(_, err)| err),
+        });
+    }
+    Ok(FigureSeries {
+        label: format!("Lm={}", sweep.flit_bytes),
+        message_flits: sweep.message_flits,
+        flit_bytes: sweep.flit_bytes,
+        points,
+    })
+}
+
+/// Maps one replicated sweep outcome to `(mean, std_error)` and folds its
+/// delivery digests, treating an exhausted event budget as a missing point.
+fn replicated_point(
+    outcome: std::result::Result<ReplicatedReport, SimError>,
+    fold: &mut u64,
+) -> std::result::Result<Option<(f64, f64)>, SimError> {
+    match outcome {
+        Ok(rep) => {
+            for r in &rep.replications {
+                fold_digest(fold, r.digest);
+            }
+            let n = rep.replications.len();
+            let err = if n >= 2 {
+                let mean = rep.mean_latency;
+                let var =
+                    rep.replications.iter().map(|r| (r.mean_latency - mean).powi(2)).sum::<f64>()
+                        / (n - 1) as f64;
+                (var / n as f64).sqrt()
+            } else {
+                rep.replications[0].latency_std_error
+            };
+            Ok(Some((rep.mean_latency, err)))
+        }
+        Err(SimError::EventBudgetExhausted { .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// [`build_panel`] with replications: every series of the panel goes through
+/// [`build_series_replicated`].
+pub fn build_panel_replicated(
+    title: &str,
+    system: &MultiClusterSystem,
+    sweeps: &[FigureSweep],
+    effort: EvaluationEffort,
+    reps: usize,
+    seed: u64,
+    fold: &mut u64,
+) -> Result<FigurePanel> {
+    let mut series = Vec::with_capacity(sweeps.len());
+    for sweep in sweeps {
+        series.push(build_series_replicated(system, sweep, effort, reps, seed, fold)?);
+    }
+    Ok(FigurePanel { title: title.to_string(), system: system.summary(), series })
+}
+
+/// [`figure3`] through the replicated driver: every point simulated `reps`
+/// times (seeds `seed … seed+reps-1`) over a reused engine pool.
+pub fn figure3_replicated(
+    effort: EvaluationEffort,
+    reps: usize,
+    seed: u64,
+) -> Result<ReplicatedFigure> {
+    let system = organizations::table1_org_a();
+    let mut fold = FNV_OFFSET;
+    let panels = vec![
+        build_panel_replicated(
+            "Fig. 3 (left): N=1120, m=8, M=32",
+            &system,
+            &[FigureSweep::fig3_m32(256.0), FigureSweep::fig3_m32(512.0)],
+            effort,
+            reps,
+            seed,
+            &mut fold,
+        )?,
+        build_panel_replicated(
+            "Fig. 3 (right): N=1120, m=8, M=64",
+            &system,
+            &[FigureSweep::fig3_m64(256.0), FigureSweep::fig3_m64(512.0)],
+            effort,
+            reps,
+            seed,
+            &mut fold,
+        )?,
+    ];
+    Ok(ReplicatedFigure { panels, digest: fold })
+}
+
+/// [`figure4`] through the replicated driver: every point simulated `reps`
+/// times (seeds `seed … seed+reps-1`) over a reused engine pool.
+pub fn figure4_replicated(
+    effort: EvaluationEffort,
+    reps: usize,
+    seed: u64,
+) -> Result<ReplicatedFigure> {
+    let system = organizations::table1_org_b();
+    let mut fold = FNV_OFFSET;
+    let panels = vec![
+        build_panel_replicated(
+            "Fig. 4 (left): N=544, m=4, M=32",
+            &system,
+            &[FigureSweep::fig4_m32(256.0), FigureSweep::fig4_m32(512.0)],
+            effort,
+            reps,
+            seed,
+            &mut fold,
+        )?,
+        build_panel_replicated(
+            "Fig. 4 (right): N=544, m=4, M=64",
+            &system,
+            &[FigureSweep::fig4_m64(256.0), FigureSweep::fig4_m64(512.0)],
+            effort,
+            reps,
+            seed,
+            &mut fold,
+        )?,
+    ];
+    Ok(ReplicatedFigure { panels, digest: fold })
 }
 
 /// The analytical half of a point: latency, or `None` at saturation.
@@ -269,6 +449,29 @@ mod tests {
         let a = p.analysis.unwrap();
         let s = p.simulation.unwrap();
         assert!(a > 0.3 * s && a < 3.0 * s, "analysis {a} vs simulation {s}");
+    }
+
+    #[test]
+    fn replicated_series_reports_spread_and_digest() {
+        // One quick replicated curve of Org B, M=32, Lm=256: every unsaturated
+        // point carries a replication mean and a cross-replication standard
+        // error, and the digest fold moves off its FNV offset basis.
+        let system = organizations::table1_org_b();
+        let mut fold = FNV_OFFSET;
+        let series = build_series_replicated(
+            &system,
+            &FigureSweep::fig4_m32(256.0),
+            EvaluationEffort::Quick,
+            2,
+            7,
+            &mut fold,
+        )
+        .unwrap();
+        assert_eq!(series.points.len(), EvaluationEffort::Quick.sweep_points());
+        let simulated: Vec<_> = series.points.iter().filter(|p| p.simulation.is_some()).collect();
+        assert!(!simulated.is_empty(), "every quick point saturated");
+        assert!(simulated.iter().all(|p| p.sim_std_error.is_some()));
+        assert_ne!(fold, FNV_OFFSET, "no delivery digests were folded");
     }
 
     #[test]

@@ -4,9 +4,40 @@
 //! redirected into files, diffed between runs and pasted into EXPERIMENTS.md.
 
 use crate::comparison::AccuracySummary;
-use crate::figures::FigurePanel;
+use crate::figures::{FigurePanel, FigureSeries, SeriesPoint};
 use crate::table1::OrganizationSummary;
+use mcnet_sim::json::{object, Json};
 use std::fmt::Write as _;
+
+/// Renders a figure panel as a JSON tree through the offline
+/// [`mcnet_sim::json`] layer — the machine-readable face of the figure
+/// driver, diffable byte for byte between deterministic invocations.
+pub fn panel_to_json(panel: &FigurePanel) -> Json {
+    object([
+        ("title", Json::String(panel.title.clone())),
+        ("system", Json::String(panel.system.clone())),
+        ("series", Json::Array(panel.series.iter().map(series_to_json).collect())),
+    ])
+}
+
+fn series_to_json(s: &FigureSeries) -> Json {
+    object([
+        ("label", Json::String(s.label.clone())),
+        ("message_flits", Json::from_u64(s.message_flits as u64)),
+        ("flit_bytes", Json::Number(s.flit_bytes)),
+        ("points", Json::Array(s.points.iter().map(point_to_json).collect())),
+    ])
+}
+
+fn point_to_json(p: &SeriesPoint) -> Json {
+    let opt = |v: Option<f64>| v.map(Json::Number).unwrap_or(Json::Null);
+    object([
+        ("rate", Json::Number(p.rate)),
+        ("analysis", opt(p.analysis)),
+        ("simulation", opt(p.simulation)),
+        ("sim_std_error", opt(p.sim_std_error)),
+    ])
+}
 
 /// Renders a figure panel as CSV: one row per traffic point, one column pair
 /// (analysis, simulation) per series.

@@ -23,37 +23,31 @@ pub type GlobalChannelId = u32;
 /// Sentinel for "no link node" in the waiter arena's intrusive lists.
 const NIL: u32 = u32::MAX;
 
-/// State of one unidirectional channel.
-#[derive(Debug, Clone)]
-struct ChannelState {
-    /// The message currently holding the channel, if any.
-    holder: Option<MessageId>,
-    /// First waiter link node in the shared [`WaiterArena`], or [`NIL`].
-    waiters_head: u32,
-    /// Last waiter link node, or [`NIL`] (push-back is O(1)).
-    waiters_tail: u32,
-    /// Simulation time at which the current holder acquired the channel.
-    held_since: f64,
-    /// Accumulated busy time of the channel.
-    busy_time: f64,
+/// Sentinel for "no holder" in [`HotChannel::holder`] (message slab slots
+/// never reach `u32::MAX`).
+const NO_HOLDER: u32 = u32::MAX;
+
+/// The per-channel state read by every acquisition attempt, packed into one
+/// 16-byte record so the hot path (grant test, occupancy probe, release) and
+/// the adaptive candidate scan touch a single dense array. Everything an
+/// acquisition does *not* need — the FIFO tail, the busy-time accounting, the
+/// fault flags — lives in parallel cold arrays of the [`ChannelPool`].
+#[derive(Debug, Clone, Copy)]
+struct HotChannel {
     /// Time at which a lazily released channel becomes free again. When the
     /// holder's tail passes with nobody waiting, no release event is scheduled;
     /// the channel simply records its future free time and the next acquirer
     /// compares against it.
     free_at: f64,
+    /// The message currently holding the channel, or [`NO_HOLDER`].
+    holder: u32,
+    /// First waiter link node in the shared [`WaiterArena`], or [`NIL`].
+    waiters_head: u32,
 }
 
-impl Default for ChannelState {
-    fn default() -> Self {
-        ChannelState {
-            holder: None,
-            waiters_head: NIL,
-            waiters_tail: NIL,
-            held_since: 0.0,
-            busy_time: 0.0,
-            free_at: 0.0,
-        }
-    }
+impl HotChannel {
+    /// An idle channel: free since time 0, no holder, no waiters.
+    const IDLE: HotChannel = HotChannel { free_at: 0.0, holder: NO_HOLDER, waiters_head: NIL };
 }
 
 /// One singly-linked FIFO node of the shared waiter storage.
@@ -92,7 +86,16 @@ impl WaiterArena {
 /// All channels of the simulated system.
 #[derive(Debug)]
 pub struct ChannelPool {
-    states: Vec<ChannelState>,
+    /// Hot per-channel records (see [`HotChannel`]).
+    hot: Vec<HotChannel>,
+    /// Last waiter link node per channel, or [`NIL`] (push-back is O(1)).
+    /// Cold: touched only when a FIFO actually grows or shrinks.
+    waiters_tail: Vec<u32>,
+    /// Simulation time at which each current holder acquired its channel.
+    /// Cold: busy-time accounting only.
+    held_since: Vec<f64>,
+    /// Accumulated busy time per channel. Cold: utilisation reporting only.
+    busy_time: Vec<f64>,
     /// Per-flit transfer time of each channel.
     flit_times: Vec<f64>,
     /// Shared waiter-FIFO storage (see [`WaiterArena`]).
@@ -130,8 +133,12 @@ pub enum Acquire {
 impl ChannelPool {
     /// Creates a pool of `count` channels with the given per-flit times.
     pub fn new(flit_times: Vec<f64>) -> Self {
+        let n = flit_times.len();
         ChannelPool {
-            states: vec![ChannelState::default(); flit_times.len()],
+            hot: vec![HotChannel::IDLE; n],
+            waiters_tail: vec![NIL; n],
+            held_since: vec![0.0; n],
+            busy_time: vec![0.0; n],
             flit_times,
             waiters: WaiterArena::default(),
             contention_events: 0,
@@ -147,9 +154,10 @@ impl ChannelPool {
     /// waiter arena's node capacity and the disabled set's allocation.
     pub fn reset(&mut self) {
         debug_assert_eq!(self.live_waiters, 0, "reset with waiters still queued");
-        for state in &mut self.states {
-            *state = ChannelState::default();
-        }
+        self.hot.fill(HotChannel::IDLE);
+        self.waiters_tail.fill(NIL);
+        self.held_since.fill(0.0);
+        self.busy_time.fill(0.0);
         self.waiters.nodes.clear();
         self.waiters.free.clear();
         self.contention_events = 0;
@@ -163,13 +171,13 @@ impl ChannelPool {
     /// Number of channels in the pool.
     #[inline]
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.hot.len()
     }
 
     /// `true` if the pool has no channels.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.hot.is_empty()
     }
 
     /// Per-flit transfer time of a channel.
@@ -181,19 +189,20 @@ impl ChannelPool {
     /// Whether a channel is currently held.
     #[inline]
     pub fn is_busy(&self, ch: GlobalChannelId) -> bool {
-        self.states[ch as usize].holder.is_some()
+        self.hot[ch as usize].holder != NO_HOLDER
     }
 
     /// The message currently holding the channel, if any.
     #[inline]
     pub fn holder(&self, ch: GlobalChannelId) -> Option<MessageId> {
-        self.states[ch as usize].holder
+        let holder = self.hot[ch as usize].holder;
+        (holder != NO_HOLDER).then_some(holder)
     }
 
     /// Number of messages waiting on a channel (diagnostic; walks the FIFO).
     pub fn queue_len(&self, ch: GlobalChannelId) -> usize {
         let mut count = 0;
-        let mut idx = self.states[ch as usize].waiters_head;
+        let mut idx = self.hot[ch as usize].waiters_head;
         while idx != NIL {
             count += 1;
             idx = self.waiters.nodes[idx as usize].next;
@@ -231,27 +240,27 @@ impl ChannelPool {
     /// Appends a waiter to a channel's FIFO.
     fn push_waiter(&mut self, ch: GlobalChannelId, message: MessageId) {
         let node = self.waiters.alloc(message);
-        let state = &mut self.states[ch as usize];
-        if state.waiters_tail == NIL {
-            state.waiters_head = node;
+        let tail = self.waiters_tail[ch as usize];
+        if tail == NIL {
+            self.hot[ch as usize].waiters_head = node;
         } else {
-            self.waiters.nodes[state.waiters_tail as usize].next = node;
+            self.waiters.nodes[tail as usize].next = node;
         }
-        state.waiters_tail = node;
+        self.waiters_tail[ch as usize] = node;
         self.live_waiters += 1;
         self.check_arena();
     }
 
     /// Removes and returns the oldest waiter of a channel, if any.
     fn pop_waiter(&mut self, ch: GlobalChannelId) -> Option<MessageId> {
-        let state = &mut self.states[ch as usize];
-        if state.waiters_head == NIL {
+        let head = self.hot[ch as usize].waiters_head;
+        if head == NIL {
             return None;
         }
-        let node = self.waiters.release(state.waiters_head);
-        state.waiters_head = node.next;
-        if state.waiters_head == NIL {
-            state.waiters_tail = NIL;
+        let node = self.waiters.release(head);
+        self.hot[ch as usize].waiters_head = node.next;
+        if node.next == NIL {
+            self.waiters_tail[ch as usize] = NIL;
         }
         self.live_waiters -= 1;
         self.check_arena();
@@ -277,7 +286,7 @@ impl ChannelPool {
     /// so callers skip redundant transitions rather than asserting on them.
     pub fn set_disabled(&mut self, ch: GlobalChannelId, down: bool) {
         if self.disabled.is_empty() {
-            self.disabled = vec![false; self.states.len()];
+            self.disabled = vec![false; self.hot.len()];
         }
         self.disabled[ch as usize] = down;
     }
@@ -297,19 +306,18 @@ impl ChannelPool {
     /// node. Returns `false` if the message was not queued there (it is mid
     /// crossing with a pending event instead).
     pub fn remove_waiter(&mut self, ch: GlobalChannelId, message: MessageId) -> bool {
-        let state = &mut self.states[ch as usize];
         let mut prev = NIL;
-        let mut idx = state.waiters_head;
+        let mut idx = self.hot[ch as usize].waiters_head;
         while idx != NIL {
             let node = self.waiters.nodes[idx as usize];
             if node.message == message {
                 if prev == NIL {
-                    state.waiters_head = node.next;
+                    self.hot[ch as usize].waiters_head = node.next;
                 } else {
                     self.waiters.nodes[prev as usize].next = node.next;
                 }
-                if state.waiters_tail == idx {
-                    state.waiters_tail = prev;
+                if self.waiters_tail[ch as usize] == idx {
+                    self.waiters_tail[ch as usize] = prev;
                 }
                 self.waiters.release(idx);
                 self.live_waiters -= 1;
@@ -328,8 +336,8 @@ impl ChannelPool {
     /// to a later free time, or disabled since) — the engine drops those.
     #[inline]
     pub fn can_handoff(&self, ch: GlobalChannelId, now: f64) -> bool {
-        let state = &self.states[ch as usize];
-        !self.is_disabled(ch) && state.holder.is_none() && now >= state.free_at
+        let hot = &self.hot[ch as usize];
+        !self.is_disabled(ch) && hot.holder == NO_HOLDER && now >= hot.free_at
     }
 
     /// Attempts to acquire a channel for `message` at simulation time `now`: grants it
@@ -343,16 +351,16 @@ impl ChannelPool {
     pub fn acquire(&mut self, ch: GlobalChannelId, message: MessageId, now: f64) -> Acquire {
         debug_assert!(!self.is_disabled(ch), "acquiring a disabled channel");
         self.acquisitions += 1;
-        let state = &mut self.states[ch as usize];
-        if state.holder.is_none() && state.waiters_head == NIL && now >= state.free_at {
-            state.holder = Some(message);
-            state.held_since = now;
+        let hot = &mut self.hot[ch as usize];
+        if hot.holder == NO_HOLDER && hot.waiters_head == NIL && now >= hot.free_at {
+            hot.holder = message;
+            self.held_since[ch as usize] = now;
             Acquire::Granted
         } else {
-            debug_assert_ne!(state.holder, Some(message), "message acquiring a channel twice");
+            debug_assert_ne!(hot.holder, message, "message acquiring a channel twice");
             self.contention_events += 1;
-            let first = state.holder.is_none() && state.waiters_head == NIL;
-            let free_at = state.free_at;
+            let first = hot.holder == NO_HOLDER && hot.waiters_head == NIL;
+            let free_at = hot.free_at;
             self.push_waiter(ch, message);
             if first {
                 Acquire::QueuedUntil(free_at)
@@ -380,15 +388,16 @@ impl ChannelPool {
         message: MessageId,
         at: f64,
     ) -> Option<f64> {
-        let state = &mut self.states[ch as usize];
-        debug_assert_eq!(state.holder, Some(message), "releasing a channel not held");
-        state.busy_time += at - state.held_since;
-        state.holder = None;
-        state.free_at = at;
-        if state.waiters_head == NIL {
-            None
-        } else {
+        let hot = &mut self.hot[ch as usize];
+        debug_assert_eq!(hot.holder, message, "releasing a channel not held");
+        hot.holder = NO_HOLDER;
+        hot.free_at = at;
+        let waiting = hot.waiters_head != NIL;
+        self.busy_time[ch as usize] += at - self.held_since[ch as usize];
+        if waiting {
             Some(at)
+        } else {
+            None
         }
     }
 
@@ -396,15 +405,11 @@ impl ChannelPool {
     /// (the firing of a scheduled wakeup). Returns the new holder so the engine
     /// can resume it, or `None` if no waiter is left.
     pub fn handoff(&mut self, ch: GlobalChannelId, now: f64) -> Option<MessageId> {
-        debug_assert!(self.states[ch as usize].holder.is_none(), "hand-off on a held channel");
-        debug_assert!(
-            now >= self.states[ch as usize].free_at,
-            "hand-off before the channel is free"
-        );
+        debug_assert!(self.hot[ch as usize].holder == NO_HOLDER, "hand-off on a held channel");
+        debug_assert!(now >= self.hot[ch as usize].free_at, "hand-off before the channel is free");
         let next = self.pop_waiter(ch)?;
-        let state = &mut self.states[ch as usize];
-        state.holder = Some(next);
-        state.held_since = now;
+        self.hot[ch as usize].holder = next;
+        self.held_since[ch as usize] = now;
         Some(next)
     }
 
@@ -412,15 +417,15 @@ impl ChannelPool {
     /// header or still draining a lazily released tail (`now < free_at`).
     #[inline]
     pub fn is_occupied(&self, ch: GlobalChannelId, now: f64) -> bool {
-        let state = &self.states[ch as usize];
-        state.holder.is_some() || now < state.free_at
+        let hot = &self.hot[ch as usize];
+        hot.holder != NO_HOLDER || now < hot.free_at
     }
 
     /// Number of channels occupied at time `now` (diagnostic). Counts both held
     /// channels and lazily released channels whose free time has not yet passed,
     /// so a stuck or leaked channel cannot hide behind a cleared holder.
     pub fn busy_count(&self, now: f64) -> usize {
-        (0..self.states.len() as GlobalChannelId).filter(|&ch| self.is_occupied(ch, now)).count()
+        (0..self.hot.len() as GlobalChannelId).filter(|&ch| self.is_occupied(ch, now)).count()
     }
 
     /// Time-average utilisation of one channel over `[0, now]` (fraction of time the
@@ -429,9 +434,12 @@ impl ChannelPool {
         if now <= 0.0 {
             return 0.0;
         }
-        let state = &self.states[ch as usize];
-        let in_flight = if state.holder.is_some() { now - state.held_since } else { 0.0 };
-        ((state.busy_time + in_flight) / now).clamp(0.0, 1.0)
+        let in_flight = if self.hot[ch as usize].holder != NO_HOLDER {
+            now - self.held_since[ch as usize]
+        } else {
+            0.0
+        };
+        ((self.busy_time[ch as usize] + in_flight) / now).clamp(0.0, 1.0)
     }
 
     /// `(mean, max)` utilisation over an arbitrary subset of channels at time `now`.

@@ -395,6 +395,12 @@ impl Simulation {
         self.queue.reset();
         self.arrivals.clear();
         self.arrivals_processed = 0;
+        // A completed run is quiescent: every generated message was delivered
+        // or dropped, so nothing is in flight (the waiter arena asserts the
+        // same invariant inside `pool.reset`). Resetting an *aborted* run
+        // (event budget exhausted mid-flight) is a caller bug — the engine's
+        // carried state only rewinds cleanly from quiescence.
+        debug_assert_eq!(self.messages.live(), 0, "reset with messages still in flight");
         self.messages.clear();
         let expected_scale = self.message_flits * self.backend.drain_scale();
         self.stats.reset(config.warmup_messages, config.measured_messages, expected_scale);
@@ -488,7 +494,20 @@ impl Simulation {
 
     /// Runs the simulation until every generated message has been delivered.
     pub fn run(&mut self) -> Result<()> {
+        // Hoisted loop bookkeeping: the event budget as a plain countdown, and
+        // the finished-message target (delivered + dropped can never exceed
+        // generated, so `finished >= target` alone implies the generation
+        // phase is over too). Both replace multi-field reads per event.
+        let mut budget = self.max_events.saturating_add(1).saturating_sub(self.events_processed());
+        let target = self.generation_target;
         loop {
+            if budget == 0 {
+                return Err(SimError::EventBudgetExhausted {
+                    events: self.events_processed(),
+                    delivered: self.stats.delivered(),
+                });
+            }
+            budget -= 1;
             // Fire whichever comes first: the earliest future event or the
             // earliest batched arrival. Exact ties go to the event list (a
             // fixed contract; see PERFORMANCE.md).
@@ -523,19 +542,11 @@ impl Simulation {
                     EventKind::Retransmit { message } => self.handle_retransmit(message),
                 }
             }
-            if self.events_processed() > self.max_events {
-                return Err(SimError::EventBudgetExhausted {
-                    events: self.events_processed(),
-                    delivered: self.stats.delivered(),
-                });
-            }
             // A message leaves the system by delivery or (under faults) by
             // exhausting its retry budget; the run ends when every generated
             // message has done one or the other. `dropped` is zero on the
             // fault-free path, so the condition degenerates to the original.
-            if self.stats.generated() >= self.generation_target
-                && self.stats.delivered() + self.stats.dropped() >= self.generation_target
-            {
+            if self.stats.delivered() + self.stats.dropped() >= target {
                 break;
             }
         }

@@ -147,6 +147,20 @@ struct MinPos {
     seq: u64,
 }
 
+/// One calendar slot: an event plus the absolute day it was filed under.
+///
+/// The day is computed once at insertion with the queue's current
+/// [`day_of`](EventQueue::day_of) map and stored, so the dequeue scan's
+/// day-membership test is a single integer compare instead of re-deriving
+/// the day from the float time. Storing it also makes the membership test
+/// *definitionally* identical to insertion — the rounding hazard of a
+/// recomputed bucket edge (see [`EventQueue::ensure_min`]) cannot arise.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    day: u64,
+    ev: Event,
+}
+
 /// Smallest number of buckets the calendar ever shrinks to.
 const MIN_BUCKETS: usize = 16;
 /// Largest number of buckets the calendar ever grows to (a full year scan must
@@ -155,15 +169,30 @@ const MAX_BUCKETS: usize = 1 << 20;
 /// How many pending events are sampled when recalibrating the bucket width.
 const WIDTH_SAMPLE: usize = 64;
 /// Width multiplier over the mean adjacent-event gap (Brown's rule of thumb).
-const WIDTH_FACTOR: f64 = 3.0;
+const WIDTH_FACTOR: f64 = 2.0;
 
 /// The future-event list plus the simulation clock.
 #[derive(Debug)]
 pub struct EventQueue {
-    /// Circular array of unsorted time buckets; length is a power of two.
-    buckets: Vec<Vec<Event>>,
+    /// Physical bucket storage. May be longer than the live calendar
+    /// ([`logical`](Self::logical)): shrinking the calendar only lowers the
+    /// logical size, so bucket capacities survive shrink/grow cycles and a
+    /// steady-state rebuild allocates nothing.
+    buckets: Vec<Vec<Slot>>,
+    /// Live calendar size (a power of two ≤ `buckets.len()`); the circular
+    /// index mask is `logical - 1`.
+    logical: usize,
+    /// Drain scratch for [`rebuild`](Self::rebuild), retained across rebuilds.
+    scratch: Vec<Slot>,
     /// Bucket time width.
     width: f64,
+    /// Precomputed `1.0 / width`: the day index is `(t * inv_width) as u64`.
+    /// Multiplication replaces the hot-path division; any monotone map from
+    /// time to days yields the same pop order (see the determinism contract),
+    /// so the exact rounding of the product is immaterial — it only has to be
+    /// the *same* map for insertion and scan, which sharing this field
+    /// guarantees.
+    inv_width: f64,
     /// Number of pending events.
     len: usize,
     /// Cached position of the pending minimum (see [`MinPos`]).
@@ -195,7 +224,10 @@ impl EventQueue {
     pub fn new() -> Self {
         EventQueue {
             buckets: vec![Vec::new(); MIN_BUCKETS],
+            logical: MIN_BUCKETS,
+            scratch: Vec::new(),
             width: 1.0,
+            inv_width: 1.0,
             len: 0,
             cached_min: None,
             recalibrate: false,
@@ -244,7 +276,7 @@ impl EventQueue {
     /// Number of buckets currently in the calendar (diagnostics / tests).
     #[inline]
     pub fn num_buckets(&self) -> usize {
-        self.buckets.len()
+        self.logical
     }
 
     /// Current bucket width (diagnostics / tests).
@@ -288,8 +320,10 @@ impl EventQueue {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        let bucket = self.bucket_of(time);
-        self.buckets[bucket].push(Event { time, seq, kind });
+        let day = self.day_of(time);
+        let live = &mut self.buckets[..self.logical];
+        let bucket = (day & (live.len() as u64 - 1)) as usize;
+        live[bucket].push(Slot { day, ev: Event { time, seq, kind } });
         self.len += 1;
         // Keep the cached minimum valid: a push never moves existing events, so
         // the cache only changes if the new event beats it.
@@ -303,8 +337,8 @@ impl EventQueue {
                 });
             }
         }
-        if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
-            self.rebuild(self.buckets.len() * 2);
+        if self.len > 2 * self.logical && self.logical < MAX_BUCKETS {
+            self.rebuild(self.logical * 2);
         }
     }
 
@@ -327,7 +361,7 @@ impl EventQueue {
         }
         self.ensure_min();
         let min = self.cached_min.take().expect("ensure_min fills the cache");
-        let ev = self.buckets[min.bucket as usize].swap_remove(min.slot as usize);
+        let ev = self.buckets[min.bucket as usize].swap_remove(min.slot as usize).ev;
         debug_assert!(ev.time == min.time && ev.seq == min.seq);
         self.len -= 1;
         debug_assert!(ev.time >= self.now);
@@ -337,9 +371,9 @@ impl EventQueue {
             // A scan overflowed the year: the width no longer matches the event
             // density. Rebuild at the current size with a fresh width.
             self.recalibrate = false;
-            self.rebuild(self.buckets.len());
-        } else if self.len < self.buckets.len() / 2 && self.buckets.len() > MIN_BUCKETS {
-            self.rebuild(self.buckets.len() / 2);
+            self.rebuild(self.logical);
+        } else if self.len < self.logical / 2 && self.logical > MIN_BUCKETS {
+            self.rebuild(self.logical / 2);
         }
         Some(ev)
     }
@@ -347,13 +381,7 @@ impl EventQueue {
     /// The absolute day (bucket-grid index) of a time instant.
     #[inline]
     fn day_of(&self, time: f64) -> u64 {
-        (time / self.width) as u64
-    }
-
-    /// The circular bucket a time instant maps to.
-    #[inline]
-    fn bucket_of(&self, time: f64) -> usize {
-        (self.day_of(time) & (self.buckets.len() as u64 - 1)) as usize
+        (time * self.inv_width) as u64
     }
 
     /// Locates the pending minimum `(time, seq)` and memoizes its position.
@@ -362,44 +390,69 @@ impl EventQueue {
     /// first bucket holding an event *of that day* contains the global minimum
     /// (`day_of` is monotone in time, so every earlier day was empty, and a
     /// same-time tie always lands on the same day, where the min-scan breaks
-    /// it by `seq`). Day membership is tested with the *same* `day_of`
-    /// expression insertion used — never with a recomputed bucket edge
-    /// (`(day+1)·width` can round to the opposite side of the division at a
-    /// boundary-exact time, which would skip the event and pop out of order).
-    /// If a whole year passes without a hit the events are far sparser than
-    /// the width: fall back to a direct scan of everything and flag the width
-    /// for recalibration.
+    /// it by `seq`). Day membership is the stored insertion day ([`Slot`]) —
+    /// never a recomputed bucket edge (`(day+1)·width` can round to the
+    /// opposite side of the truncation at a boundary-exact time, which would
+    /// skip the event and pop out of order). If a whole year passes without a
+    /// hit the events are far sparser than the width: fall back to a direct
+    /// scan of everything and flag the width for recalibration.
     fn ensure_min(&mut self) {
         if self.cached_min.is_some() {
             return;
         }
         debug_assert!(self.len > 0);
-        let mask = self.buckets.len() as u64 - 1;
+        let mask = self.logical as u64 - 1;
         let start = self.day_of(self.now);
-        for day in start..start + self.buckets.len() as u64 {
+        // Slicing to exactly `logical` buckets lets the masked index below be
+        // provably in bounds (mask = len - 1), eliding the per-day check.
+        let live = &self.buckets[..self.logical];
+        for day in start..start + self.logical as u64 {
             let bucket = (day & mask) as usize;
-            if let Some(min) = self.bucket_min(bucket, Some(day)) {
-                self.cached_min = Some(min);
+            // Day-restricted min-scan, fused inline: on the bench profile this
+            // is the single hottest loop in the engine, and the tracked best
+            // is kept in locals (no `Option` in the inner comparisons).
+            let mut best_slot = usize::MAX;
+            let (mut best_time, mut best_seq) = (f64::INFINITY, u64::MAX);
+            for (slot, s) in live[bucket].iter().enumerate() {
+                if s.day != day {
+                    continue; // an event of another year sharing this bucket
+                }
+                let e = &s.ev;
+                if e.time < best_time || (e.time == best_time && e.seq < best_seq) {
+                    best_slot = slot;
+                    best_time = e.time;
+                    best_seq = e.seq;
+                }
+            }
+            if best_slot != usize::MAX {
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    self.cached_min = Some(MinPos {
+                        bucket: bucket as u32,
+                        slot: best_slot as u32,
+                        time: best_time,
+                        seq: best_seq,
+                    });
+                }
                 return;
             }
         }
         // Sparse fallback: direct search over all buckets for the global min.
         self.recalibrate = self.len >= 4;
-        let global = (0..self.buckets.len())
-            .filter_map(|b| self.bucket_min(b, None))
+        let global = (0..self.logical)
+            .filter_map(|b| self.bucket_min(b))
             .min_by(|a, b| a.time.total_cmp(&b.time).then_with(|| a.seq.cmp(&b.seq)));
         self.cached_min = global;
         debug_assert!(self.cached_min.is_some(), "non-empty queue always has a minimum");
     }
 
-    /// Minimum `(time, seq)` event of one bucket, restricted to events whose
-    /// [`day_of`](Self::day_of) equals `day` when given.
-    fn bucket_min(&self, bucket: usize, day: Option<u64>) -> Option<MinPos> {
+    /// Minimum `(time, seq)` event of one bucket, ignoring days (the sparse
+    /// fallback path of [`ensure_min`](Self::ensure_min)).
+    fn bucket_min(&self, bucket: usize) -> Option<MinPos> {
         let mut best: Option<MinPos> = None;
-        for (slot, e) in self.buckets[bucket].iter().enumerate() {
-            if day.is_some_and(|d| self.day_of(e.time) != d) {
-                continue; // an event of another year sharing this bucket
-            }
+        #[allow(clippy::cast_possible_truncation)]
+        for (slot, s) in self.buckets[bucket].iter().enumerate() {
+            let e = &s.ev;
             let better = match best {
                 None => true,
                 Some(m) => e.time < m.time || (e.time == m.time && e.seq < m.seq),
@@ -418,19 +471,36 @@ impl EventQueue {
 
     /// Rebuilds the calendar with `new_buckets` buckets and a width
     /// recalibrated from the observed event density.
+    ///
+    /// Allocation-free at steady state: pending events drain into the retained
+    /// [`scratch`](Self::scratch), shrinking only lowers the logical size (the
+    /// physical buckets and their capacities stay), and growing past the
+    /// physical size — which can only happen while capacities are still
+    /// ramping up — extends the bucket spine with fresh empty `Vec`s.
     fn rebuild(&mut self, new_buckets: usize) {
         let new_buckets = new_buckets.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
-        let events: Vec<Event> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
-        debug_assert_eq!(events.len(), self.len);
-        self.width = self.calibrated_width(&events);
-        if self.buckets.len() != new_buckets {
-            self.buckets = vec![Vec::new(); new_buckets];
+        let Self { buckets, scratch, logical, .. } = self;
+        scratch.clear();
+        for bucket in &mut buckets[..*logical] {
+            scratch.append(bucket);
         }
+        debug_assert_eq!(self.scratch.len(), self.len);
+        self.width = self.calibrated_width(&self.scratch);
+        self.inv_width = 1.0 / self.width;
+        if self.buckets.len() < new_buckets {
+            self.buckets.resize_with(new_buckets, Vec::new);
+        }
+        self.logical = new_buckets;
         self.cached_min = None;
-        for ev in events {
-            let bucket = self.bucket_of(ev.time);
-            self.buckets[bucket].push(ev);
+        let mask = new_buckets as u64 - 1;
+        let mut slot = 0;
+        while slot < self.scratch.len() {
+            let mut s = self.scratch[slot];
+            s.day = self.day_of(s.ev.time);
+            self.buckets[(s.day & mask) as usize].push(s);
+            slot += 1;
         }
+        self.scratch.clear();
     }
 
     /// Pins the bucket width (tests only): lets boundary-exact event times be
@@ -440,17 +510,24 @@ impl EventQueue {
     fn set_width_for_test(&mut self, width: f64) {
         assert_eq!(self.len, 0, "set the width before scheduling");
         self.width = width;
+        self.inv_width = 1.0 / width;
     }
 
     /// A bucket width matched to the pending events: [`WIDTH_FACTOR`] times the
     /// mean positive gap between adjacent event times in a sorted sample. Falls
     /// back to the current width when there are too few events (or only ties)
-    /// to estimate a gap.
-    fn calibrated_width(&self, events: &[Event]) -> f64 {
+    /// to estimate a gap. The sample lives on the stack — rebuilds allocate
+    /// nothing.
+    fn calibrated_width(&self, events: &[Slot]) -> f64 {
         if events.len() < 2 {
             return self.width;
         }
-        let mut sample: Vec<f64> = events.iter().take(WIDTH_SAMPLE).map(|e| e.time).collect();
+        let mut sample = [0.0f64; WIDTH_SAMPLE];
+        let n = events.len().min(WIDTH_SAMPLE);
+        for (dst, s) in sample[..n].iter_mut().zip(events) {
+            *dst = s.ev.time;
+        }
+        let sample = &mut sample[..n];
         sample.sort_by(f64::total_cmp);
         let (mut sum, mut gaps) = (0.0f64, 0usize);
         for pair in sample.windows(2) {

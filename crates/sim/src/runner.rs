@@ -234,14 +234,32 @@ pub(crate) fn replicate_with<F>(
 where
     F: Fn(&mut Option<Simulation>, SimConfig) -> Result<SimReport> + Sync,
 {
+    replicate_pooled(config, replications, &mut Vec::new(), run)
+}
+
+/// [`replicate_with`] against a caller-held slot pool: the per-worker engine
+/// caches live in `slots` and survive the call, so a driver running many
+/// replication sets back to back (a replicated sweep, a campaign column)
+/// builds exactly `max_workers()` engines over its whole lifetime instead of
+/// one set per batch. `N` replications on `W` workers build at most `W`
+/// engines — and zero new ones once the pool is warm.
+pub(crate) fn replicate_pooled<F>(
+    config: &SimConfig,
+    replications: usize,
+    slots: &mut Vec<Option<Simulation>>,
+    run: F,
+) -> Result<ReplicatedReport>
+where
+    F: Fn(&mut Option<Simulation>, SimConfig) -> Result<SimReport> + Sync,
+{
     if replications == 0 {
         return Err(SimError::InvalidConfiguration {
             reason: "at least one replication is required".into(),
         });
     }
-    let results = mcnet_system::parallel::parallel_map_with(
+    let results = mcnet_system::parallel::parallel_map_reusing(
         (0..replications).collect(),
-        || None,
+        slots,
         |slot, _, r| run(slot, SimConfig { seed: config.seed.wrapping_add(r as u64), ..*config }),
     );
 

@@ -239,16 +239,22 @@ impl Scenario {
     /// thread counts up to workers² instead of sharing one pool. Every point
     /// replicates from the same base seed (seeds `seed … seed+n-1`), the
     /// backend-comparison contract.
+    ///
+    /// One engine pool is threaded through the *whole* sweep: the per-worker
+    /// engines warmed by the first point are reset — not reallocated — for
+    /// every following point, so a sweep of `P` points × `n` replications on
+    /// `W` workers builds exactly `min(W, n)` engines, total.
     pub fn sweep_replicated(
         &self,
         rates: &[f64],
         n: usize,
     ) -> Result<Vec<Result<ReplicatedReport>>> {
         let configs = self.materialize_grid(rates)?;
+        let mut slots: Vec<Option<Simulation>> = Vec::new();
         Ok(configs
             .into_iter()
             .map(|traffic| {
-                replicate_with(&self.config, n, |slot, cfg| {
+                crate::runner::replicate_pooled(&self.config, n, &mut slots, |slot, cfg| {
                     self.run_point_reusing(slot, &traffic, &cfg)
                 })
             })

@@ -1,0 +1,169 @@
+//! Pins the replication fast path to the fresh-engine baseline, bit for bit.
+//!
+//! `Scenario::replicate` and `Scenario::sweep_replicated` run every
+//! replication through a cached per-worker engine that is `reset` between
+//! runs. The engine's reset contract promises the reuse is invisible: this
+//! test replays the same replication plans through freshly built engines
+//! (`Scenario::run`, one engine per run) and requires the full `SimReport`s —
+//! including the order-sensitive FNV delivery digests — to match exactly,
+//! across both fabrics, all three routing policies, and a faulted spec whose
+//! disabled-set and retry state must not leak between runs.
+
+use mcnet_sim::fault::{BridgeUnit, FaultAction, FaultEvent, FaultPlan, FaultTarget, RingDir};
+use mcnet_sim::policy::RoutingPolicy;
+use mcnet_sim::scenario::Scenario;
+use mcnet_sim::{SimConfig, SimReport};
+use mcnet_system::{organizations, TorusSystem, TrafficConfig};
+
+const REPS: usize = 3;
+
+fn config() -> SimConfig {
+    SimConfig {
+        warmup_messages: 30,
+        measured_messages: 400,
+        drain_messages: 40,
+        seed: 7,
+        max_events: 5_000_000,
+    }
+}
+
+fn tree_scenario(policy: RoutingPolicy, faults: Option<FaultPlan>) -> Scenario {
+    let mut b = Scenario::builder()
+        .tree(organizations::small_test_org())
+        .traffic(TrafficConfig::uniform(32, 256.0, 1e-3).unwrap())
+        .config(config())
+        .routing(policy);
+    if let Some(plan) = faults {
+        b = b.faults(plan);
+    }
+    b.build().unwrap()
+}
+
+fn torus_scenario(policy: RoutingPolicy, faults: Option<FaultPlan>) -> Scenario {
+    let mut b = Scenario::builder()
+        .torus(TorusSystem::new(4, 2).unwrap())
+        .traffic(TrafficConfig::uniform(32, 256.0, 1e-3).unwrap())
+        .config(config())
+        .routing(policy);
+    if let Some(plan) = faults {
+        b = b.faults(plan);
+    }
+    b.build().unwrap()
+}
+
+fn tree_faults() -> FaultPlan {
+    FaultPlan::new(vec![
+        FaultEvent {
+            at: 50.0,
+            target: FaultTarget::Bridge { cluster: 0, unit: BridgeUnit::Concentrator },
+            action: FaultAction::Down,
+        },
+        FaultEvent {
+            at: 400.0,
+            target: FaultTarget::Bridge { cluster: 0, unit: BridgeUnit::Concentrator },
+            action: FaultAction::Up,
+        },
+    ])
+}
+
+fn torus_faults() -> FaultPlan {
+    FaultPlan::new(vec![
+        FaultEvent {
+            at: 50.0,
+            target: FaultTarget::TorusLink { node: 5, dim: 0, dir: RingDir::Plus },
+            action: FaultAction::Down,
+        },
+        FaultEvent {
+            at: 400.0,
+            target: FaultTarget::TorusLink { node: 5, dim: 0, dir: RingDir::Plus },
+            action: FaultAction::Up,
+        },
+    ])
+}
+
+/// Fresh-engine baseline: one newly built engine per replication, the seed
+/// schedule `seed … seed+n-1` the replication contract promises.
+fn fresh_replications(scenario: &Scenario, n: usize) -> Vec<SimReport> {
+    let base = scenario.config().seed;
+    (0..n).map(|r| scenario.clone().with_seed(base.wrapping_add(r as u64)).run().unwrap()).collect()
+}
+
+fn assert_replicate_matches_fresh(scenario: Scenario, label: &str) {
+    let fresh = fresh_replications(&scenario, REPS);
+    let pooled = scenario.replicate(REPS).unwrap();
+    for (r, (got, want)) in pooled.replications.iter().zip(&fresh).enumerate() {
+        assert_eq!(
+            got.digest, want.digest,
+            "{label}: replication {r} delivery digest diverged under engine reuse"
+        );
+    }
+    assert_eq!(pooled.replications, fresh, "{label}: reused-engine reports diverged");
+}
+
+#[test]
+fn replicate_is_bit_identical_to_fresh_engines() {
+    assert_replicate_matches_fresh(
+        tree_scenario(RoutingPolicy::Deterministic, None),
+        "tree/deterministic",
+    );
+    assert_replicate_matches_fresh(
+        tree_scenario(RoutingPolicy::RandomizedUpDown, None),
+        "tree/randomized",
+    );
+    assert_replicate_matches_fresh(
+        torus_scenario(RoutingPolicy::Deterministic, None),
+        "torus/deterministic",
+    );
+    assert_replicate_matches_fresh(
+        torus_scenario(RoutingPolicy::AdaptiveTorus { adaptive_vcs: 2 }, None),
+        "torus/adaptive",
+    );
+}
+
+#[test]
+fn replicate_is_bit_identical_under_faults() {
+    assert_replicate_matches_fresh(
+        tree_scenario(RoutingPolicy::Deterministic, Some(tree_faults())),
+        "tree/deterministic/faulted",
+    );
+    assert_replicate_matches_fresh(
+        torus_scenario(RoutingPolicy::AdaptiveTorus { adaptive_vcs: 2 }, Some(torus_faults())),
+        "torus/adaptive/faulted",
+    );
+}
+
+/// `sweep_replicated` threads ONE engine pool through every point; each
+/// point must still match per-point fresh engines at the point's rate.
+#[test]
+fn sweep_replicated_is_bit_identical_to_fresh_engines() {
+    let rates = [5e-4, 1e-3, 2e-3];
+    for (scenario, label) in [
+        (tree_scenario(RoutingPolicy::RandomizedUpDown, None), "tree/randomized"),
+        (tree_scenario(RoutingPolicy::Deterministic, Some(tree_faults())), "tree/faulted"),
+        (torus_scenario(RoutingPolicy::AdaptiveTorus { adaptive_vcs: 2 }, None), "torus/adaptive"),
+    ] {
+        let swept = scenario.sweep_replicated(&rates, REPS).unwrap();
+        assert_eq!(swept.len(), rates.len());
+        for (i, (&rate, outcome)) in rates.iter().zip(&swept).enumerate() {
+            let point = Scenario::builder();
+            let point = match scenario.fabric() {
+                mcnet_sim::scenario::Fabric::Tree(s) => point.tree(s.clone()),
+                mcnet_sim::scenario::Fabric::Torus(t) => point.torus(t.clone()),
+            };
+            let mut point = point
+                .traffic(scenario.traffic().with_rate(rate).unwrap())
+                .config(*scenario.config())
+                .routing(scenario.routing());
+            if let Some(plan) = scenario.faults() {
+                point = point.faults(plan.clone());
+            }
+            let point = point.build().unwrap();
+            let fresh = fresh_replications(&point, REPS);
+            let got = outcome.as_ref().unwrap();
+            assert_eq!(
+                got.replications, fresh,
+                "{label}: sweep point {i} (rate {rate}) diverged under the shared engine pool"
+            );
+        }
+    }
+}

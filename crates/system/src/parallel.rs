@@ -53,6 +53,7 @@ pub fn parallel_map_with<T, U, S, I, F>(items: Vec<T>, init: I, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
+    S: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, T) -> U + Sync,
 {
@@ -61,29 +62,69 @@ where
         let mut state = init();
         return items.into_iter().enumerate().map(|(i, item)| f(&mut state, i, item)).collect();
     }
+    let mut states: Vec<S> = (0..workers).map(|_| init()).collect();
+    run_pool(items, &mut states, workers, &f)
+}
 
+/// [`parallel_map_with`] where the per-worker states outlive the call: the
+/// caller owns the slot vector and passes it back for the next batch, so an
+/// engine (or any other arena) warmed up by one sweep point keeps its
+/// capacity for every following point instead of being dropped at the batch
+/// boundary. Missing slots are default-constructed on demand and the vector
+/// never shrinks.
+///
+/// Same determinism contract as [`parallel_map_with`]: result `i` must be a
+/// pure function of `(i, items[i])` — the slots may cache allocations, never
+/// anything that leaks into results, since which items (and now even which
+/// *batches*) share a slot is scheduling-dependent.
+pub fn parallel_map_reusing<T, U, S, F>(items: Vec<T>, slots: &mut Vec<S>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    S: Default + Send,
+    F: Fn(&mut S, usize, T) -> U + Sync,
+{
+    let workers = max_workers().min(items.len()).max(1);
+    if slots.len() < workers {
+        slots.resize_with(workers, S::default);
+    }
+    if workers <= 1 {
+        let state = &mut slots[0];
+        return items.into_iter().enumerate().map(|(i, item)| f(state, i, item)).collect();
+    }
+    run_pool(items, slots, workers, &f)
+}
+
+/// The shared pool body: fans `items` over `workers` scoped threads, each
+/// owning one of the first `workers` entries of `states` exclusively for the
+/// duration of the scope, and returns results in input order.
+fn run_pool<T, U, S, F>(items: Vec<T>, states: &mut [S], workers: usize, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    S: Send,
+    F: Fn(&mut S, usize, T) -> U + Sync,
+{
     let n = items.len();
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut state = init();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let item = slots[i]
-                        .lock()
-                        .expect("work slot poisoned")
-                        .take()
-                        .expect("work item claimed twice");
-                    let out = f(&mut state, i, item);
-                    *results[i].lock().expect("result slot poisoned") = Some(out);
+        let (slots, results, next) = (&slots, &results, &next);
+        for state in states.iter_mut().take(workers) {
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                let item = slots[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work item claimed twice");
+                let out = f(state, i, item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
             });
         }
     });
@@ -179,6 +220,38 @@ mod tests {
             },
         );
         assert_eq!(out, vec![(0, 5, 42)]);
+    }
+
+    #[test]
+    fn reusing_slots_persist_across_calls_and_never_shrink() {
+        // Two batches through the same slot vector: the states warmed by the
+        // first batch are handed back to the second, results stay a pure
+        // function of the input, and the vector retains its high-water size.
+        let mut slots: Vec<usize> = Vec::new();
+        let out = parallel_map_reusing((0..64usize).collect(), &mut slots, |uses, i, item| {
+            *uses += 1;
+            assert_eq!(i, item);
+            item * 2
+        });
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+        let width = slots.len();
+        assert!(width >= 1 && width <= max_workers());
+        let first_batch_uses: usize = slots.iter().sum();
+        assert_eq!(first_batch_uses, 64);
+
+        // A smaller second batch must not shrink the pool, and its work lands
+        // in the same (already warmed) slots.
+        let out = parallel_map_reusing(vec![7usize], &mut slots, |uses, _, item| {
+            *uses += 1;
+            item
+        });
+        assert_eq!(out, vec![7]);
+        assert_eq!(slots.len(), width);
+        assert_eq!(slots.iter().sum::<usize>(), 65);
+
+        // Empty batches are a no-op beyond ensuring one slot exists.
+        assert!(parallel_map_reusing(Vec::<u8>::new(), &mut slots, |_, _, x| x).is_empty());
+        assert_eq!(slots.iter().sum::<usize>(), 65);
     }
 
     #[test]

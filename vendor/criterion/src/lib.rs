@@ -8,6 +8,7 @@
 //! one sample of one iteration so a full `cargo bench` run stays cheap;
 //! `MCNET_BENCH_SAMPLES=N` instead runs N one-iteration samples without the
 //! timed warm-up, so CI can take a cheap min-of-N for its regression gates.
+//! When both are set, the explicit sample count wins.
 //!
 //! Besides the console report, every benchmark result is appended to a
 //! machine-readable `BENCH_results.json` at the workspace root (override the
@@ -43,11 +44,12 @@ fn quick_mode() -> bool {
     std::env::var("MCNET_BENCH_QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
 }
 
-/// `MCNET_BENCH_SAMPLES=N` (ignored in quick mode) runs exactly N samples of
-/// one iteration each, skipping the timed warm-up: the cheap middle ground
-/// between the one-sample quick smoke and a fully calibrated run. CI uses
-/// `N>=3` for the gated benchmarks so the regression gate can compare
-/// `min_ms` — the minimum over N samples — instead of a single-sample mean
+/// `MCNET_BENCH_SAMPLES=N` runs exactly N samples of one iteration each,
+/// skipping the timed warm-up: the cheap middle ground between the one-sample
+/// quick smoke and a fully calibrated run. An explicit sample count always
+/// wins over `MCNET_BENCH_QUICK` — CI sets both (quick as the fleet-wide
+/// default, samples on the gated benchmarks) and the gate needs its
+/// `min_ms` — the minimum over N samples — rather than a single-sample mean
 /// that fires on scheduler noise.
 fn sample_override() -> Option<usize> {
     std::env::var("MCNET_BENCH_SAMPLES").ok()?.parse::<usize>().ok().filter(|&n| n > 0)
@@ -219,7 +221,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
 
     // Warm-up: run single iterations until the warm-up budget is spent, which
     // also calibrates the per-iteration cost.
-    let override_samples = if quick { None } else { sample_override() };
+    let override_samples = sample_override();
     let mut one = Bencher { iters: 1, elapsed: Duration::ZERO };
     f(&mut one);
     let mut per_iter = one.elapsed.max(Duration::from_nanos(1));
@@ -231,10 +233,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         }
     }
 
-    let (samples, iters_per_sample) = if quick {
-        (1usize, 1u64)
-    } else if let Some(n) = override_samples {
+    let (samples, iters_per_sample) = if let Some(n) = override_samples {
         (n, 1u64)
+    } else if quick {
+        (1usize, 1u64)
     } else {
         let per_sample = config.measurement_time.as_secs_f64() / config.sample_size as f64;
         let iters = (per_sample / per_iter.as_secs_f64()).clamp(1.0, 1e9) as u64;
@@ -331,13 +333,6 @@ fn record_json_result(
         Some(Throughput::Elements(n)) if mean_s > 0.0 => format!("{:.3}", n as f64 / mean_s),
         _ => "null".to_string(),
     };
-    let line = format!(
-        "{{\"name\":\"{escaped}\",\"ms_per_run\":{:.6},\"min_ms\":{:.6},\"max_ms\":{:.6},\
-         \"elems_per_sec\":{elems_per_sec},\"samples\":{samples},\"iters\":{iters}}}",
-        mean_s * 1e3,
-        min_s * 1e3,
-        max_s * 1e3,
-    );
     // Keep every existing entry except a previous run of this benchmark. Only
     // lines this writer produced (containing a "name" key) are retained, so a
     // corrupted file heals instead of poisoning the output.
@@ -348,11 +343,41 @@ fn record_json_result(
         .map(|l| l.trim().trim_end_matches(',').to_string())
         .filter(|l| l.starts_with('{') && l.contains("\"name\":\"") && !l.contains(&needle))
         .collect();
+    let speedup = speedup_vs_serial(name, min_s, &entries)
+        .map(|s| format!(",\"speedup_vs_serial\":{s:.3}"))
+        .unwrap_or_default();
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"ms_per_run\":{:.6},\"min_ms\":{:.6},\"max_ms\":{:.6},\
+         \"elems_per_sec\":{elems_per_sec},\"samples\":{samples},\"iters\":{iters}{speedup}}}",
+        mean_s * 1e3,
+        min_s * 1e3,
+        max_s * 1e3,
+    );
     entries.push(line);
     let body = entries.join(",\n");
     if let Err(e) = std::fs::write(&path, format!("[\n{body}\n]\n")) {
         eprintln!("warning: could not write {}: {e}", path.display());
     }
+}
+
+/// Derived column for pooled-replication rows: a benchmark named
+/// `<group>/reused_pool/<p>` (or the legacy `<group>/worker_pool/<p>`) gains a
+/// `speedup_vs_serial` field when its serial twin `<group>/serial/<p>` is
+/// already recorded — min-over-samples against min-over-samples, so the ratio
+/// compares two noise floors rather than two noisy means. The serial rows
+/// must therefore run before the pooled rows within a bench binary, which is
+/// the natural declaration order.
+fn speedup_vs_serial(name: &str, min_s: f64, entries: &[String]) -> Option<f64> {
+    let (rest, param) = name.rsplit_once('/')?;
+    let (group, func) = rest.rsplit_once('/')?;
+    if func != "reused_pool" && func != "worker_pool" {
+        return None;
+    }
+    let serial_needle = format!("\"name\":\"{group}/serial/{param}\"");
+    let serial_line = entries.iter().find(|l| l.contains(&serial_needle))?;
+    let field = serial_line.split("\"min_ms\":").nth(1)?;
+    let serial_min_ms: f64 = field.split(',').next()?.trim_end_matches('}').parse().ok()?;
+    (min_s > 0.0).then(|| (serial_min_ms / 1e3) / min_s)
 }
 
 /// Declares a named group of benchmark functions, criterion-style.
